@@ -1,0 +1,214 @@
+//! The switch management CPU (§4.1, §5.2).
+//!
+//! Entry insertion into cuckoo exact-match tables is a software job: the
+//! CPU reads learning-filter batches, runs the BFS move search, and sends
+//! the move sequence to the ASIC over PCI-E. The paper measured/projected a
+//! sustainable rate of **200 K insertions per second** — this number is the
+//! root cause of the PCC problem (pending connections) and is therefore a
+//! first-class model parameter.
+//!
+//! The model is a single work queue drained at a fixed per-job cost. Jobs
+//! carry an opaque payload; completion times are exposed so the simulator
+//! can schedule "entry became visible in ConnTable" events.
+
+use sr_types::{Duration, Nanos};
+use std::collections::VecDeque;
+
+/// Configuration of the CPU model.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchCpuConfig {
+    /// Sustained insertion throughput, jobs per second (paper: 200_000).
+    pub insertions_per_sec: u64,
+}
+
+impl Default for SwitchCpuConfig {
+    fn default() -> Self {
+        SwitchCpuConfig {
+            insertions_per_sec: 200_000,
+        }
+    }
+}
+
+impl SwitchCpuConfig {
+    /// Time one insertion occupies the CPU.
+    pub fn job_cost(&self) -> Duration {
+        if self.insertions_per_sec == 0 {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(1_000_000_000 / self.insertions_per_sec)
+        }
+    }
+}
+
+/// A queued CPU job with its computed completion time.
+#[derive(Clone, Debug)]
+pub struct CpuJob<P> {
+    /// Opaque payload (e.g. the learn event to install).
+    pub payload: P,
+    /// When the CPU finishes this job and the table entry becomes visible.
+    pub completes_at: Nanos,
+}
+
+/// The switch CPU work queue.
+pub struct SwitchCpu<P> {
+    cfg: SwitchCpuConfig,
+    queue: VecDeque<CpuJob<P>>,
+    /// The time through which the CPU is already committed.
+    busy_until: Nanos,
+    completed_jobs: u64,
+}
+
+impl<P> SwitchCpu<P> {
+    /// Create an idle CPU.
+    pub fn new(cfg: SwitchCpuConfig) -> SwitchCpu<P> {
+        SwitchCpu {
+            cfg,
+            queue: VecDeque::new(),
+            busy_until: Nanos::ZERO,
+            completed_jobs: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SwitchCpuConfig {
+        &self.cfg
+    }
+
+    /// Jobs waiting or in flight.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total jobs completed (popped) so far.
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// When the CPU will next be idle.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Submit one job at `now`; returns its completion time.
+    pub fn submit(&mut self, payload: P, now: Nanos) -> Nanos {
+        let start = self.busy_until.max(now);
+        let done = start.saturating_add(self.cfg.job_cost());
+        self.busy_until = done;
+        self.queue.push_back(CpuJob {
+            payload,
+            completes_at: done,
+        });
+        done
+    }
+
+    /// Submit a batch in order; returns the completion time of the last job.
+    pub fn submit_batch<I: IntoIterator<Item = P>>(&mut self, jobs: I, now: Nanos) -> Option<Nanos> {
+        let mut last = None;
+        for j in jobs {
+            last = Some(self.submit(j, now));
+        }
+        last
+    }
+
+    /// Completion time of the earliest unfinished job, if any.
+    pub fn next_completion(&self) -> Option<Nanos> {
+        self.queue.front().map(|j| j.completes_at)
+    }
+
+    /// Pop every job whose completion time has passed.
+    pub fn pop_completed(&mut self, now: Nanos) -> Vec<CpuJob<P>> {
+        let mut done = Vec::new();
+        while let Some(j) = self.queue.front() {
+            if j.completes_at <= now {
+                done.push(self.queue.pop_front().expect("front exists"));
+                self.completed_jobs += 1;
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Whether all submitted jobs have completed by `now`.
+    pub fn drained(&self, now: Nanos) -> bool {
+        self.queue.front().map(|j| j.completes_at > now).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu(rate: u64) -> SwitchCpu<u32> {
+        SwitchCpu::new(SwitchCpuConfig {
+            insertions_per_sec: rate,
+        })
+    }
+
+    #[test]
+    fn single_job_takes_inverse_rate() {
+        let mut c = cpu(200_000); // 5 µs per job
+        let done = c.submit(1, Nanos::ZERO);
+        assert_eq!(done, Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn jobs_serialize() {
+        let mut c = cpu(200_000);
+        let d1 = c.submit(1, Nanos::ZERO);
+        let d2 = c.submit(2, Nanos::ZERO);
+        assert_eq!(d2, d1 + Duration::from_micros(5));
+        assert_eq!(c.backlog(), 2);
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut c = cpu(200_000);
+        c.submit(1, Nanos::ZERO);
+        // Submitted long after the first finished: starts at `now`.
+        let d = c.submit(2, Nanos::from_millis(10));
+        assert_eq!(d, Nanos::from_millis(10) + Duration::from_micros(5));
+    }
+
+    #[test]
+    fn pop_completed_respects_time() {
+        let mut c = cpu(200_000);
+        c.submit(1, Nanos::ZERO);
+        c.submit(2, Nanos::ZERO);
+        assert!(c.pop_completed(Nanos::from_micros(4)).is_empty());
+        let first = c.pop_completed(Nanos::from_micros(5));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].payload, 1);
+        let second = c.pop_completed(Nanos::from_micros(100));
+        assert_eq!(second.len(), 1);
+        assert_eq!(c.completed_jobs(), 2);
+        assert!(c.drained(Nanos::from_micros(100)));
+    }
+
+    #[test]
+    fn batch_submission() {
+        let mut c = cpu(1_000_000); // 1 µs per job
+        let last = c.submit_batch(vec![1, 2, 3], Nanos::ZERO).unwrap();
+        assert_eq!(last, Nanos::from_micros(3));
+        assert!(c.submit_batch(Vec::<u32>::new(), Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn sustained_rate_matches_config() {
+        // Submit 1000 jobs; the makespan must be 1000/rate seconds.
+        let mut c = cpu(200_000);
+        let mut last = Nanos::ZERO;
+        for i in 0..1000 {
+            last = c.submit(i, Nanos::ZERO);
+        }
+        assert_eq!(last, Nanos::from_millis(5)); // 1000 / 200k = 5 ms
+    }
+
+    #[test]
+    fn zero_rate_never_completes() {
+        let mut c = cpu(0);
+        let done = c.submit(1, Nanos::ZERO);
+        assert_eq!(done, Nanos::MAX);
+        assert!(c.pop_completed(Nanos::from_secs(1_000_000)).is_empty());
+    }
+}

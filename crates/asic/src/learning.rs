@@ -1,0 +1,218 @@
+//! The learning filter (§4.1, §4.3).
+//!
+//! "ASICs often batch new connection events in a learning filter to avoid
+//! frequent interruptions to the switch CPU. The filter also removes
+//! duplicate events (from multiple packets of the same connection). The
+//! learning filter can store up to thousands of requests and notifies the
+//! switch software when the learning filter is full or after a timeout."
+//!
+//! The timeout (500 µs – 5 ms in the paper) is the main lever in Fig 18:
+//! a longer timeout means connections stay *pending* longer, growing the
+//! set the TransitTable must remember during an update.
+
+use sr_types::{Duration, Nanos};
+use std::collections::HashSet;
+
+/// A new-connection event queued toward the switch CPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LearnEvent<M> {
+    /// The connection key (canonical 5-tuple bytes).
+    pub key: Box<[u8]>,
+    /// Metadata captured at first-packet time (e.g. the DIP-pool version the
+    /// data plane selected).
+    pub meta: M,
+    /// When the first packet hit the ASIC.
+    pub arrived: Nanos,
+}
+
+/// Learning-filter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LearningFilterConfig {
+    /// Maximum buffered events before an immediate notification (the paper
+    /// defaults to 2K in §6).
+    pub capacity: usize,
+    /// Notify the CPU this long after the oldest buffered event.
+    pub timeout: Duration,
+}
+
+impl Default for LearningFilterConfig {
+    fn default() -> Self {
+        LearningFilterConfig {
+            capacity: 2048,
+            timeout: Duration::from_millis(1),
+        }
+    }
+}
+
+/// The learning filter: dedup + batch + full-or-timeout notification.
+pub struct LearningFilter<M> {
+    cfg: LearningFilterConfig,
+    buf: Vec<LearnEvent<M>>,
+    pending_keys: HashSet<Box<[u8]>>,
+    /// Events dropped because the filter was full (overflow loses learns —
+    /// those connections are retried on their next packet).
+    overflow_drops: u64,
+}
+
+impl<M> LearningFilter<M> {
+    /// Create an empty filter.
+    pub fn new(cfg: LearningFilterConfig) -> LearningFilter<M> {
+        LearningFilter {
+            buf: Vec::with_capacity(cfg.capacity),
+            pending_keys: HashSet::new(),
+            overflow_drops: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LearningFilterConfig {
+        &self.cfg
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events lost to overflow so far.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops
+    }
+
+    /// Whether `key` currently has a buffered learn event (i.e. the
+    /// connection is pending in the filter).
+    pub fn is_pending(&self, key: &[u8]) -> bool {
+        self.pending_keys.contains(key)
+    }
+
+    /// Record a first-packet event. Duplicate keys are absorbed (the dedup
+    /// the hardware performs). Returns whether the event was enqueued.
+    pub fn learn(&mut self, key: &[u8], meta: M, now: Nanos) -> bool {
+        if self.pending_keys.contains(key) {
+            return false;
+        }
+        if self.buf.len() >= self.cfg.capacity {
+            self.overflow_drops += 1;
+            return false;
+        }
+        let boxed: Box<[u8]> = key.into();
+        self.pending_keys.insert(boxed.clone());
+        self.buf.push(LearnEvent {
+            key: boxed,
+            meta,
+            arrived: now,
+        });
+        true
+    }
+
+    /// When the CPU should next be notified, given the current buffer:
+    /// `None` if empty, `Some(deadline)` otherwise. A full buffer notifies
+    /// immediately (`deadline = now of the filling event`).
+    pub fn notify_deadline(&self) -> Option<Nanos> {
+        let oldest = self.buf.first()?.arrived;
+        if self.buf.len() >= self.cfg.capacity {
+            Some(oldest)
+        } else {
+            Some(oldest + self.cfg.timeout)
+        }
+    }
+
+    /// Drain the batch if the notification condition holds at `now`
+    /// (buffer full, or oldest event older than the timeout).
+    pub fn drain_if_due(&mut self, now: Nanos) -> Option<Vec<LearnEvent<M>>> {
+        match self.notify_deadline() {
+            Some(d) if d <= now => Some(self.drain_now()),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally drain everything (e.g. forced flush during an update).
+    pub fn drain_now(&mut self) -> Vec<LearnEvent<M>> {
+        self.pending_keys.clear();
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: usize, timeout_ms: u64) -> LearningFilterConfig {
+        LearningFilterConfig {
+            capacity,
+            timeout: Duration::from_millis(timeout_ms),
+        }
+    }
+
+    #[test]
+    fn dedup_absorbs_repeat_packets() {
+        let mut f: LearningFilter<u8> = LearningFilter::new(cfg(10, 1));
+        assert!(f.learn(b"conn1", 0, Nanos::ZERO));
+        assert!(!f.learn(b"conn1", 0, Nanos::from_micros(10)));
+        assert_eq!(f.len(), 1);
+        assert!(f.is_pending(b"conn1"));
+        assert!(!f.is_pending(b"conn2"));
+    }
+
+    #[test]
+    fn timeout_drives_notification() {
+        let mut f: LearningFilter<u8> = LearningFilter::new(cfg(10, 1));
+        f.learn(b"a", 0, Nanos::from_micros(100));
+        assert_eq!(
+            f.notify_deadline(),
+            Some(Nanos::from_micros(100) + Duration::from_millis(1))
+        );
+        assert!(f.drain_if_due(Nanos::from_micros(500)).is_none());
+        let batch = f.drain_if_due(Nanos::from_micros(1100)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(f.is_empty());
+        assert_eq!(f.notify_deadline(), None);
+    }
+
+    #[test]
+    fn full_buffer_notifies_immediately() {
+        let mut f: LearningFilter<u8> = LearningFilter::new(cfg(3, 1000));
+        for (i, k) in [b"a", b"b", b"c"].iter().enumerate() {
+            f.learn(*k, 0, Nanos::from_micros(i as u64));
+        }
+        // Deadline collapses to the oldest arrival when full.
+        assert_eq!(f.notify_deadline(), Some(Nanos::ZERO));
+        assert!(f.drain_if_due(Nanos::from_micros(2)).is_some());
+    }
+
+    #[test]
+    fn overflow_drops_counted() {
+        let mut f: LearningFilter<u8> = LearningFilter::new(cfg(2, 1));
+        f.learn(b"a", 0, Nanos::ZERO);
+        f.learn(b"b", 0, Nanos::ZERO);
+        assert!(!f.learn(b"c", 0, Nanos::ZERO));
+        assert_eq!(f.overflow_drops(), 1);
+    }
+
+    #[test]
+    fn drain_clears_pending_set() {
+        let mut f: LearningFilter<u8> = LearningFilter::new(cfg(10, 1));
+        f.learn(b"a", 0, Nanos::ZERO);
+        f.drain_now();
+        // After drain the same key may be learned again (entry insertion
+        // may still be in flight — the CPU dedups at its layer).
+        assert!(f.learn(b"a", 0, Nanos::from_millis(2)));
+    }
+
+    #[test]
+    fn batch_preserves_arrival_order_and_meta() {
+        let mut f: LearningFilter<u32> = LearningFilter::new(cfg(10, 1));
+        f.learn(b"a", 10, Nanos::from_micros(1));
+        f.learn(b"b", 20, Nanos::from_micros(2));
+        let batch = f.drain_now();
+        assert_eq!(batch[0].meta, 10);
+        assert_eq!(batch[1].meta, 20);
+        assert!(batch[0].arrived < batch[1].arrived);
+    }
+}

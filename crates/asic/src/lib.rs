@@ -1,0 +1,42 @@
+//! Behavioural model of a programmable switching ASIC (§4.1).
+//!
+//! SilkRoad's feasibility rests on four hardware primitives that this crate
+//! models faithfully enough to reproduce the paper's memory and PCC results:
+//!
+//! * **SRAM with word packing** ([`sram`]) — exact-match tables live in
+//!   112-bit SRAM words; several compact entries pack into one word
+//!   (SilkRoad packs four 28-bit ConnTable entries per word).
+//! * **Exact-match tables over multi-stage cuckoo hashing** ([`table`]) —
+//!   lookups are line-rate; *insertions are software*, performed by the
+//!   switch management CPU ([`cpu`]) which runs the BFS move search.
+//! * **Learning filter** ([`learning`]) — batches first-packet events (with
+//!   deduplication) toward the CPU, notifying on full-or-timeout.
+//! * **Transactional memory / register arrays** ([`register`]) — one-cycle
+//!   read-check-modify-write state, used for bloom filters and counters;
+//!   and **meters** ([`meter`]) — RFC 4115 two-rate three-color markers for
+//!   per-VIP isolation.
+//!
+//! [`resources`] adds the chip-level resource-accounting model used to
+//! regenerate Table 1 (SRAM growth across ASIC generations) and Table 2
+//! (SilkRoad's additional resource usage over the baseline switch.p4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod learning;
+pub mod meter;
+pub mod pipeline;
+pub mod register;
+pub mod resources;
+pub mod sram;
+pub mod table;
+
+pub use cpu::{CpuJob, SwitchCpu, SwitchCpuConfig};
+pub use learning::{LearnEvent, LearningFilter, LearningFilterConfig};
+pub use meter::{Meter, MeterColor, MeterConfig};
+pub use pipeline::{MatchKind, PipelineProgram, RegisterDecl, TableDecl};
+pub use register::RegisterArray;
+pub use resources::{AsicGeneration, ResourceModel, ResourcePercent, ResourceUsage};
+pub use sram::{SramSpec, WORD_BITS};
+pub use table::{ExactMatchTable, TableSpec};

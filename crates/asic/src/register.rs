@@ -1,0 +1,156 @@
+//! Register arrays — transactional stateful memory (§4.1).
+//!
+//! "The update on a counter by a previous packet can be immediately seen and
+//! modified by the right next packet, i.e., read-check-modify-write is done
+//! in one clock cycle time." P4 exposes this as register arrays; SilkRoad
+//! builds its TransitTable bloom filter on them.
+//!
+//! The model is a plain cell array with an operation counter, so tests and
+//! the resource model can account for stateful-ALU usage. Because the whole
+//! simulator is single-threaded and event-ordered, the one-cycle
+//! transactional semantics hold trivially: operations are applied in packet
+//! order with no interleaving.
+
+/// A register array of `cells` cells, each `width_bits` wide (1..=64).
+#[derive(Clone, Debug)]
+pub struct RegisterArray {
+    cells: Vec<u64>,
+    width_bits: u8,
+    ops: u64,
+}
+
+impl RegisterArray {
+    /// Allocate an array. Width is clamped to 1..=64.
+    pub fn new(cells: usize, width_bits: u8) -> RegisterArray {
+        RegisterArray {
+            cells: vec![0; cells],
+            width_bits: width_bits.clamp(1, 64),
+            ops: 0,
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell width in bits.
+    pub fn width_bits(&self) -> u8 {
+        self.width_bits
+    }
+
+    /// Total size in bytes (resource accounting).
+    pub fn size_bytes(&self) -> usize {
+        (self.cells.len() * self.width_bits as usize).div_ceil(8)
+    }
+
+    /// Operations performed since construction (stateful-ALU activity).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Read a cell.
+    pub fn read(&mut self, idx: usize) -> u64 {
+        self.ops += 1;
+        self.cells[idx] & self.mask()
+    }
+
+    /// Write a cell (truncated to width).
+    pub fn write(&mut self, idx: usize, value: u64) {
+        self.ops += 1;
+        let m = self.mask();
+        self.cells[idx] = value & m;
+    }
+
+    /// One-cycle read-check-modify-write: apply `f` to the current value,
+    /// store the result, and return the *previous* value. This is the
+    /// primitive a P4 `RegisterAction` provides.
+    pub fn rmw<F: FnOnce(u64) -> u64>(&mut self, idx: usize, f: F) -> u64 {
+        self.ops += 1;
+        let m = self.mask();
+        let old = self.cells[idx] & m;
+        self.cells[idx] = f(old) & m;
+        old
+    }
+
+    /// Saturating increment, returning the previous value (counter idiom).
+    pub fn incr(&mut self, idx: usize) -> u64 {
+        let m = self.mask();
+        self.rmw(idx, |v| if v == m { v } else { v + 1 })
+    }
+
+    /// Zero every cell.
+    pub fn clear(&mut self) {
+        self.ops += 1;
+        self.cells.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut r = RegisterArray::new(8, 32);
+        r.write(3, 0xdead_beef);
+        assert_eq!(r.read(3), 0xdead_beef);
+        assert_eq!(r.read(0), 0);
+    }
+
+    #[test]
+    fn width_truncates() {
+        let mut r = RegisterArray::new(2, 8);
+        r.write(0, 0x1ff);
+        assert_eq!(r.read(0), 0xff);
+    }
+
+    #[test]
+    fn rmw_returns_old_value() {
+        let mut r = RegisterArray::new(1, 16);
+        r.write(0, 10);
+        let old = r.rmw(0, |v| v + 5);
+        assert_eq!(old, 10);
+        assert_eq!(r.read(0), 15);
+    }
+
+    #[test]
+    fn incr_saturates() {
+        let mut r = RegisterArray::new(1, 2);
+        for _ in 0..10 {
+            r.incr(0);
+        }
+        assert_eq!(r.read(0), 3);
+    }
+
+    #[test]
+    fn ops_counted_and_clear() {
+        let mut r = RegisterArray::new(4, 64);
+        r.write(0, 1);
+        r.read(0);
+        r.incr(1);
+        assert_eq!(r.ops(), 3);
+        r.clear();
+        assert_eq!(r.read(1), 0);
+        assert_eq!(r.size_bytes(), 32);
+    }
+
+    #[test]
+    fn width_clamped() {
+        assert_eq!(RegisterArray::new(1, 0).width_bits(), 1);
+        assert_eq!(RegisterArray::new(1, 99).width_bits(), 64);
+    }
+}

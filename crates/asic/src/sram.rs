@@ -1,0 +1,117 @@
+//! SRAM geometry and word packing (§4.1, §6.1).
+//!
+//! ASIC exact-match SRAM is organised in fixed-width words; the paper (and
+//! RMT [19]) use **112-bit** words. A table entry of `e` bits packs
+//! `floor(112 / e)` entries per word, so the 28-bit SilkRoad ConnTable entry
+//! (16-bit digest + 6-bit version + 6-bit overhead) packs exactly 4 per
+//! word, while a naive IPv6 entry (37 B key + 18 B action) spans multiple
+//! words.
+
+/// SRAM word width in bits, as in RMT and the paper's §6 simulations.
+pub const WORD_BITS: u32 = 112;
+
+/// Description of an SRAM allocation request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SramSpec {
+    /// Bits per entry (match field + action data + packing overhead).
+    pub entry_bits: u32,
+}
+
+impl SramSpec {
+    /// Entries that fit in one word. Entries wider than a word span
+    /// `ceil(entry_bits / WORD_BITS)` words ("0" packing ratio is reported
+    /// as a fractional entries-per-word below 1).
+    pub fn entries_per_word(&self) -> u32 {
+        if self.entry_bits == 0 {
+            return WORD_BITS; // degenerate, avoids div-by-zero
+        }
+        WORD_BITS / self.entry_bits // 0 if entry wider than a word
+    }
+
+    /// Words needed to store `n` entries.
+    pub fn words_for(&self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let per_word = self.entries_per_word();
+        if per_word >= 1 {
+            n.div_ceil(per_word as u64)
+        } else {
+            // Wide entry: each entry occupies multiple whole words.
+            let words_per_entry = (self.entry_bits as u64).div_ceil(WORD_BITS as u64);
+            n * words_per_entry
+        }
+    }
+
+    /// Bytes of SRAM needed to store `n` entries (whole words).
+    pub fn bytes_for(&self, n: u64) -> u64 {
+        self.words_for(n) * (WORD_BITS as u64) / 8
+    }
+
+    /// Packing efficiency: useful bits / allocated bits.
+    pub fn efficiency(&self) -> f64 {
+        let per_word = self.entries_per_word();
+        if per_word >= 1 {
+            (per_word * self.entry_bits) as f64 / WORD_BITS as f64
+        } else {
+            let words_per_entry = (self.entry_bits).div_ceil(WORD_BITS);
+            self.entry_bits as f64 / (words_per_entry * WORD_BITS) as f64
+        }
+    }
+}
+
+/// Convert a byte count to mebibytes for reporting.
+pub fn bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silkroad_entry_packs_four_per_word() {
+        // §6.1: 16-bit digest + 6-bit version + 6-bit overhead = 28 bits;
+        // exactly 4 entries per 112-bit word.
+        let spec = SramSpec { entry_bits: 28 };
+        assert_eq!(spec.entries_per_word(), 4);
+        assert!((spec.efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn naive_ipv6_entry_spans_words() {
+        // 37B key + 18B action = 440 bits -> 4 words per entry.
+        let spec = SramSpec { entry_bits: 440 };
+        assert_eq!(spec.entries_per_word(), 0);
+        assert_eq!(spec.words_for(1), 4);
+        assert_eq!(spec.words_for(10), 40);
+    }
+
+    #[test]
+    fn words_for_rounds_up() {
+        let spec = SramSpec { entry_bits: 28 };
+        assert_eq!(spec.words_for(0), 0);
+        assert_eq!(spec.words_for(1), 1);
+        assert_eq!(spec.words_for(4), 1);
+        assert_eq!(spec.words_for(5), 2);
+    }
+
+    #[test]
+    fn ten_million_connections_fit_modern_sram() {
+        // The paper's headline: 10M conns at 28 bits/entry is ~33 MB,
+        // within 50-100 MB; the naive IPv6 layout is ~550 MB, not.
+        let compact = SramSpec { entry_bits: 28 };
+        let naive = SramSpec { entry_bits: 440 };
+        let compact_mb = bytes_to_mb(compact.bytes_for(10_000_000));
+        let naive_mb = bytes_to_mb(naive.bytes_for(10_000_000));
+        assert!(compact_mb < 50.0, "compact {compact_mb} MB");
+        assert!(naive_mb > 500.0, "naive {naive_mb} MB");
+    }
+
+    #[test]
+    fn zero_width_entry_is_degenerate_not_panicking() {
+        let spec = SramSpec { entry_bits: 0 };
+        assert!(spec.entries_per_word() > 0);
+        let _ = spec.words_for(10);
+    }
+}

@@ -1,0 +1,214 @@
+//! Exact-match tables with SRAM accounting.
+//!
+//! An [`ExactMatchTable`] couples the multi-stage cuckoo store from
+//! `sr-hash` with a [`TableSpec`] describing the on-chip entry layout, so
+//! every table knows both its *behaviour* (lookup/insert/relocate) and its
+//! *cost* (SRAM words, crossbar bits, hash bits) — the latter feeds the
+//! Table 2 resource model and the Fig 12/14 memory results.
+
+use crate::sram::SramSpec;
+use sr_hash::cuckoo::{CuckooError, CuckooConfig, CuckooTable, InsertOutcome, LookupHit};
+pub use sr_hash::cuckoo::MatchMode;
+
+/// On-chip layout of one table entry.
+#[derive(Clone, Copy, Debug)]
+pub struct TableSpec {
+    /// Bits of match field stored per entry (digest width, or full key).
+    pub match_bits: u32,
+    /// Bits of action data per entry (pool version, or full DIP+port).
+    pub action_bits: u32,
+    /// Packing overhead bits per entry (instruction + next-table address;
+    /// the paper uses 6 bits in §6.1).
+    pub overhead_bits: u32,
+}
+
+impl TableSpec {
+    /// The paper's ConnTable layout: 16-bit digest + 6-bit version +
+    /// 6-bit overhead = 28 bits.
+    pub fn silkroad_conntable() -> TableSpec {
+        TableSpec {
+            match_bits: 16,
+            action_bits: 6,
+            overhead_bits: 6,
+        }
+    }
+
+    /// Total bits per entry.
+    pub fn entry_bits(&self) -> u32 {
+        self.match_bits + self.action_bits + self.overhead_bits
+    }
+
+    /// The SRAM view of this entry.
+    pub fn sram(&self) -> SramSpec {
+        SramSpec {
+            entry_bits: self.entry_bits(),
+        }
+    }
+
+    /// SRAM bytes to hold `n` entries.
+    pub fn bytes_for(&self, n: u64) -> u64 {
+        self.sram().bytes_for(n)
+    }
+}
+
+/// An exact-match table instantiated across pipeline stages.
+pub struct ExactMatchTable<V> {
+    spec: TableSpec,
+    inner: CuckooTable<V>,
+}
+
+impl<V: Clone> ExactMatchTable<V> {
+    /// Build a table for ~`capacity` entries over `stages` stages with the
+    /// given entry layout and match mode.
+    pub fn new(
+        capacity: usize,
+        stages: usize,
+        spec: TableSpec,
+        match_mode: MatchMode,
+        seed: u64,
+    ) -> ExactMatchTable<V> {
+        let entries_per_word = SramSpec {
+            entry_bits: spec.entry_bits(),
+        }
+        .entries_per_word()
+        .max(1) as usize;
+        let mut cfg = CuckooConfig::for_capacity(capacity, stages, entries_per_word, seed);
+        cfg.match_mode = match_mode;
+        ExactMatchTable {
+            spec,
+            inner: CuckooTable::new(cfg),
+        }
+    }
+
+    /// The entry layout.
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Occupancy fraction.
+    pub fn load_factor(&self) -> f64 {
+        self.inner.load_factor()
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.config().total_slots()
+    }
+
+    /// SRAM bytes provisioned for this table (whole geometry, not just
+    /// occupied entries) — what Fig 12 reports.
+    pub fn provisioned_bytes(&self) -> u64 {
+        self.spec.bytes_for(self.capacity() as u64)
+    }
+
+    /// SRAM bytes for the *occupied* entries only.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.spec.bytes_for(self.len() as u64)
+    }
+
+    /// ASIC-path lookup (first match-field hit in stage order).
+    pub fn lookup(&self, key: &[u8]) -> Option<LookupHit<'_, V>> {
+        self.inner.lookup(key)
+    }
+
+    /// Software-path exact lookup with mutation.
+    pub fn lookup_exact_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        self.inner.lookup_exact_mut(key)
+    }
+
+    /// Software-path insertion (BFS move search).
+    pub fn insert(&mut self, key: &[u8], value: V) -> Result<InsertOutcome, CuckooError> {
+        self.inner.insert(key, value)
+    }
+
+    /// Software-path removal.
+    pub fn remove(&mut self, key: &[u8]) -> Result<V, CuckooError> {
+        self.inner.remove(key)
+    }
+
+    /// False-positive repair: move the resident entry to another stage.
+    pub fn relocate(&mut self, key: &[u8]) -> Result<usize, CuckooError> {
+        self.inner.relocate(key)
+    }
+
+    /// Iterate all (key, value) pairs (software side).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &V)> {
+        self.inner.iter()
+    }
+
+    /// Expiry scan: drop entries failing the predicate.
+    pub fn retain<F: FnMut(&[u8], &V) -> bool>(&mut self, pred: F) -> Vec<(Box<[u8]>, V)> {
+        self.inner.retain(pred)
+    }
+
+    /// Cumulative BFS move count.
+    pub fn total_moves(&self) -> u64 {
+        self.inner.total_moves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conntable_spec_matches_paper() {
+        let s = TableSpec::silkroad_conntable();
+        assert_eq!(s.entry_bits(), 28);
+        assert_eq!(s.sram().entries_per_word(), 4);
+        // 1M entries = 250K words = 3.5 MB.
+        assert_eq!(s.bytes_for(1_000_000), 250_000 * 14);
+    }
+
+    #[test]
+    fn table_roundtrip_with_accounting() {
+        let mut t: ExactMatchTable<u8> = ExactMatchTable::new(
+            1000,
+            4,
+            TableSpec::silkroad_conntable(),
+            MatchMode::Digest { bits: 16 },
+            5,
+        );
+        assert!(t.capacity() >= 1000);
+        assert!(t.provisioned_bytes() > 0);
+        assert_eq!(t.occupied_bytes(), 0);
+        t.insert(b"key-a", 1).unwrap();
+        t.insert(b"key-b", 2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.occupied_bytes() > 0);
+        assert_eq!(*t.lookup(b"key-a").unwrap().value, 1);
+        assert_eq!(t.remove(b"key-b").unwrap(), 2);
+        assert!(t.lookup(b"key-b").is_none() || !t.lookup(b"key-b").unwrap().exact);
+    }
+
+    #[test]
+    fn full_key_table_has_no_false_hits() {
+        let mut t: ExactMatchTable<u8> = ExactMatchTable::new(
+            100,
+            2,
+            TableSpec {
+                match_bits: 104,
+                action_bits: 48,
+                overhead_bits: 6,
+            },
+            MatchMode::FullKey,
+            9,
+        );
+        t.insert(b"only", 1).unwrap();
+        for i in 0..10_000u32 {
+            if let Some(hit) = t.lookup(&i.to_be_bytes()) {
+                assert!(hit.exact, "full-key table produced inexact hit");
+            }
+        }
+    }
+}

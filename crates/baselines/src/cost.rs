@@ -1,0 +1,123 @@
+//! Capital and power cost model (§6.1, Fig 13).
+//!
+//! "To support the state-of-the-art performance of 12 Mpps for 52-byte
+//! packets, a typical SLB with Intel Xeon Processor E5-2660 costs around
+//! 200 Watt and 3K USD. By contrast, SilkRoad with 6.4 Tbps ASIC can
+//! achieve about 10 Gpps with 52-byte packets, consuming around 300 Watt
+//! and 10K USD. So processing the same amount of traffic in ASIC consumes
+//! about 1/500 of the power and 1/250 of the capital cost."
+
+/// Unit costs and capacities of each platform.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// SLB server power draw, watts.
+    pub slb_watts: f64,
+    /// SLB server capital cost, USD.
+    pub slb_usd: f64,
+    /// SLB packet throughput, packets/s (52-byte packets).
+    pub slb_pps: f64,
+    /// SLB NIC throughput, bits/s.
+    pub slb_bps: f64,
+    /// SilkRoad switch power draw, watts.
+    pub silkroad_watts: f64,
+    /// SilkRoad switch capital cost, USD.
+    pub silkroad_usd: f64,
+    /// SilkRoad packet throughput, packets/s.
+    pub silkroad_pps: f64,
+    /// SilkRoad bit throughput, bits/s.
+    pub silkroad_bps: f64,
+    /// Connections one SilkRoad holds in SRAM (the paper assumes 10 M).
+    pub silkroad_conns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            slb_watts: 200.0,
+            slb_usd: 3_000.0,
+            slb_pps: 12e6,
+            slb_bps: 10e9,
+            silkroad_watts: 300.0,
+            silkroad_usd: 10_000.0,
+            silkroad_pps: 10e9,
+            silkroad_bps: 6.4e12,
+            silkroad_conns: 10e6,
+        }
+    }
+}
+
+/// A sized deployment for one load point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deployment {
+    /// SLB servers needed.
+    pub slbs: u64,
+    /// SilkRoad switches needed.
+    pub silkroads: u64,
+}
+
+impl Deployment {
+    /// Fig 13's y-axis: SLBs replaced per SilkRoad.
+    pub fn replacement_ratio(&self) -> f64 {
+        self.slbs as f64 / self.silkroads.max(1) as f64
+    }
+}
+
+impl CostModel {
+    /// Units needed for a load of `pps` packets/s, `bps` bits/s, and
+    /// `conns` simultaneous connections.
+    pub fn size(&self, pps: f64, bps: f64, conns: f64) -> Deployment {
+        let slbs = (pps / self.slb_pps).max(bps / self.slb_bps).ceil().max(1.0) as u64;
+        let silkroads = (conns / self.silkroad_conns)
+            .max(pps / self.silkroad_pps)
+            .max(bps / self.silkroad_bps)
+            .ceil()
+            .max(1.0) as u64;
+        Deployment { slbs, silkroads }
+    }
+
+    /// Power per packet/s ratio SLB : SilkRoad (the paper's ≈500×).
+    pub fn power_saving_factor(&self) -> f64 {
+        (self.slb_watts / self.slb_pps) / (self.silkroad_watts / self.silkroad_pps)
+    }
+
+    /// Capital cost per packet/s ratio SLB : SilkRoad (the paper's ≈250×).
+    pub fn capex_saving_factor(&self) -> f64 {
+        (self.slb_usd / self.slb_pps) / (self.silkroad_usd / self.silkroad_pps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_saving_factors() {
+        let m = CostModel::default();
+        let p = m.power_saving_factor();
+        let c = m.capex_saving_factor();
+        assert!((450.0..650.0).contains(&p), "power factor {p}");
+        assert!((200.0..300.0).contains(&c), "capex factor {c}");
+    }
+
+    #[test]
+    fn sizing_follows_binding_constraint() {
+        let m = CostModel::default();
+        // Packet-bound: 24 Mpps needs 2 SLBs, 1 SilkRoad.
+        let d = m.size(24e6, 0.0, 1e6);
+        assert_eq!(d, Deployment { slbs: 2, silkroads: 1 });
+        // Connection-bound: 15M conns need 2 SilkRoads.
+        let d = m.size(1e6, 0.0, 15e6);
+        assert_eq!(d.silkroads, 2);
+        // Bit-bound SLBs: 15 Tbps needs 1500 SLBs (§2.2) but 3 SilkRoads.
+        let d = m.size(0.0, 15e12, 1e6);
+        assert_eq!(d.slbs, 1500);
+        assert_eq!(d.silkroads, 3);
+        assert!((d.replacement_ratio() - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn minimum_one_unit() {
+        let m = CostModel::default();
+        assert_eq!(m.size(0.0, 0.0, 0.0), Deployment { slbs: 1, silkroads: 1 });
+    }
+}

@@ -1,0 +1,413 @@
+//! Duet (§2.3, §3.2): VIPTable in the switch, ConnTable in SLBs.
+//!
+//! Steady state: the switch maps a VIP's packets to DIPs with stateless
+//! ECMP hashing — fast, but memoryless. When a VIP's DIP pool changes, all
+//! of its traffic is *redirected* to SLBs, which build a ConnTable and apply
+//! the update PCC-safely. The open question Duet never answers cleanly is
+//! **when to migrate the VIP back to the switch**:
+//!
+//! * migrate early (periodic timer) → remaining old connections re-hash
+//!   over the new pool at the switch and break (Fig 5b, 16, 17);
+//! * migrate late / wait for old connections to die → SLBs keep carrying
+//!   the traffic (Fig 5a: up to 93.8 % of volume at 50 updates/min).
+//!
+//! Model notes: the redirect-in direction is made lossless, reflecting the
+//! paper's footnote that the SLB warms its ConnTable before the update
+//! applies — an *old* connection missing the SLB table (first packet seen
+//! mid-redirect, non-SYN) is assigned by the *pre-update* switch pool, a
+//! *new* connection (SYN) by the current pool.
+
+use sr_hash::{ecmp_select, HashFn};
+use sr_types::{Addr, Dip, Duration, Nanos, PacketMeta, TypeError, Vip};
+use std::collections::HashMap;
+
+/// How a redirected VIP returns to the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// Migrate every redirected VIP back on a fixed period (the Duet paper
+    /// uses 10 minutes; Fig 5 also evaluates 1 minute).
+    Periodic(Duration),
+    /// Only migrate a VIP once every live connection would map identically
+    /// at the switch — zero PCC violations, maximal SLB load
+    /// ("Migrate-PCC" in Fig 5).
+    WaitPcc,
+}
+
+/// Duet configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DuetConfig {
+    /// Migrate-back policy.
+    pub policy: MigrationPolicy,
+    /// Hash seed (shared by switch ECMP and SLB).
+    pub seed: u64,
+}
+
+impl Default for DuetConfig {
+    fn default() -> Self {
+        DuetConfig {
+            policy: MigrationPolicy::Periodic(Duration::from_mins(10)),
+            seed: 0xd0e7,
+        }
+    }
+}
+
+/// Counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DuetStats {
+    /// Packets handled at the switch.
+    pub switch_packets: u64,
+    /// Bytes handled at the switch.
+    pub switch_bytes: u64,
+    /// Packets handled at SLBs (redirected VIPs).
+    pub slb_packets: u64,
+    /// Bytes handled at SLBs.
+    pub slb_bytes: u64,
+    /// VIP redirects started.
+    pub redirects: u64,
+    /// VIP migrations back to the switch.
+    pub migrations: u64,
+    /// Pool updates applied.
+    pub updates: u64,
+}
+
+struct DuetVip {
+    /// The authoritative (latest) pool — what SLBs serve.
+    pool: Vec<Dip>,
+    /// The pool programmed into the switch ECMP table (stale while
+    /// redirected).
+    switch_pool: Vec<Dip>,
+    redirected: bool,
+    /// SLB ConnTable for this VIP (only meaningful while redirected).
+    conns: HashMap<Box<[u8]>, Dip>,
+}
+
+/// The Duet load balancer (one switch + its SLB tier).
+pub struct DuetLb {
+    cfg: DuetConfig,
+    hash: HashFn,
+    vips: HashMap<Addr, DuetVip>,
+    /// Next periodic migration boundary.
+    next_migration: Nanos,
+    stats: DuetStats,
+}
+
+impl DuetLb {
+    /// Build a Duet instance.
+    pub fn new(cfg: DuetConfig) -> DuetLb {
+        DuetLb {
+            hash: HashFn::new(cfg.seed),
+            next_migration: match cfg.policy {
+                MigrationPolicy::Periodic(p) => Nanos::ZERO + p,
+                MigrationPolicy::WaitPcc => Nanos::MAX,
+            },
+            cfg,
+            vips: HashMap::new(),
+            stats: DuetStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &DuetStats {
+        &self.stats
+    }
+
+    /// Register a VIP.
+    pub fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) -> Result<(), TypeError> {
+        if self.vips.contains_key(&vip.0) {
+            return Err(TypeError::InvalidState {
+                what: "VIP already registered",
+            });
+        }
+        self.vips.insert(
+            vip.0,
+            DuetVip {
+                switch_pool: dips.clone(),
+                pool: dips,
+                redirected: false,
+                conns: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Whether a VIP is currently served by SLBs.
+    pub fn is_redirected(&self, vip: Vip) -> bool {
+        self.vips.get(&vip.0).map(|v| v.redirected).unwrap_or(false)
+    }
+
+    /// The latest pool of a VIP.
+    pub fn dips(&self, vip: Vip) -> Option<&[Dip]> {
+        self.vips.get(&vip.0).map(|v| v.pool.as_slice())
+    }
+
+    fn select(hash: &HashFn, key: &[u8], pool: &[Dip]) -> Option<Dip> {
+        ecmp_select(hash.hash(key), pool.len()).map(|i| pool[i])
+    }
+
+    /// Apply a pool change: updates the authoritative pool and redirects the
+    /// VIP to SLBs if it is not already there.
+    pub fn update_pool(&mut self, vip: Vip, dips: Vec<Dip>, _now: Nanos) -> Result<(), TypeError> {
+        let v = self
+            .vips
+            .get_mut(&vip.0)
+            .ok_or(TypeError::NotFound { what: "VIP" })?;
+        v.pool = dips;
+        self.stats.updates += 1;
+        if !v.redirected {
+            v.redirected = true;
+            self.stats.redirects += 1;
+        }
+        Ok(())
+    }
+
+    /// Process one packet.
+    pub fn process_packet(&mut self, pkt: &PacketMeta, _now: Nanos) -> Option<Dip> {
+        let key = pkt.tuple.key_bytes();
+        let v = self.vips.get_mut(&pkt.tuple.dst)?;
+        if !v.redirected {
+            self.stats.switch_packets += 1;
+            self.stats.switch_bytes += pkt.len as u64;
+            return Self::select(&self.hash, &key, &v.switch_pool);
+        }
+        // SLB path.
+        self.stats.slb_packets += 1;
+        self.stats.slb_bytes += pkt.len as u64;
+        if let Some(d) = v.conns.get(key.as_slice()) {
+            return Some(*d);
+        }
+        // Miss: SYN ⇒ genuinely new (current pool); otherwise an old
+        // connection the warm-up would have captured (pre-update pool).
+        let pool = if pkt.flags.is_syn() {
+            &v.pool
+        } else {
+            &v.switch_pool
+        };
+        let dip = Self::select(&self.hash, &key, pool)?;
+        v.conns.insert(key.into(), dip);
+        Some(dip)
+    }
+
+    /// Drop a connection's SLB state (flow ended).
+    pub fn close_connection(&mut self, vip: Vip, key: &[u8]) {
+        if let Some(v) = self.vips.get_mut(&vip.0) {
+            v.conns.remove(key);
+        }
+    }
+
+    /// Whether migrating `vip` back right now would break any live
+    /// connection.
+    fn migration_is_safe(hash: &HashFn, v: &DuetVip) -> bool {
+        v.conns
+            .iter()
+            .all(|(k, d)| Self::select(hash, k, &v.pool) == Some(*d))
+    }
+
+    /// Force one VIP back to the switch immediately (used by external
+    /// migrate-back policies with richer knowledge, e.g. the simulator's
+    /// flow-level Migrate-PCC). Returns whether a migration happened.
+    pub fn force_migrate(&mut self, vip: Vip) -> bool {
+        match self.vips.get_mut(&vip.0) {
+            Some(v) if v.redirected => {
+                Self::migrate(v);
+                self.stats.migrations += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn migrate(v: &mut DuetVip) {
+        v.switch_pool = v.pool.clone();
+        v.redirected = false;
+        v.conns.clear();
+    }
+
+    /// Run the migrate-back policy. Call at (or after) every
+    /// [`DuetLb::next_wakeup`] and whenever connections close (WaitPcc).
+    /// Returns the VIPs that migrated back to the switch during this tick
+    /// (their connections may now map differently).
+    pub fn tick(&mut self, now: Nanos) -> Vec<Vip> {
+        let mut migrated = Vec::new();
+        match self.cfg.policy {
+            MigrationPolicy::Periodic(p) => {
+                if self.next_migration <= now {
+                    for (addr, v) in self.vips.iter_mut() {
+                        if v.redirected {
+                            Self::migrate(v);
+                            self.stats.migrations += 1;
+                            migrated.push(Vip(*addr));
+                        }
+                    }
+                    // Fast-forward to the first boundary after `now` (a
+                    // per-boundary loop would crawl across idle gaps).
+                    let periods = now.since(self.next_migration).div_duration(p) + 1;
+                    self.next_migration = self.next_migration + Duration(p.0 * periods);
+                }
+            }
+            MigrationPolicy::WaitPcc => {
+                for (addr, v) in self.vips.iter_mut() {
+                    if v.redirected && Self::migration_is_safe(&self.hash, v) {
+                        Self::migrate(v);
+                        self.stats.migrations += 1;
+                        migrated.push(Vip(*addr));
+                    }
+                }
+            }
+        }
+        migrated
+    }
+
+    /// The next instant `tick` has scheduled work (periodic policy only).
+    pub fn next_wakeup(&self) -> Option<Nanos> {
+        match self.cfg.policy {
+            MigrationPolicy::Periodic(_) => Some(self.next_migration),
+            MigrationPolicy::WaitPcc => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::FiveTuple;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn conn(p: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, p), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn duet(policy: MigrationPolicy) -> DuetLb {
+        let mut d = DuetLb::new(DuetConfig {
+            policy,
+            seed: 0xd0e7,
+        });
+        d.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        d
+    }
+
+    #[test]
+    fn steady_state_runs_at_switch() {
+        let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(10)));
+        let a = d.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert!(a.is_some());
+        assert_eq!(d.stats().switch_packets, 1);
+        assert_eq!(d.stats().slb_packets, 0);
+        // Stateless but deterministic.
+        let b = d.process_packet(&PacketMeta::data(conn(1), 100), Nanos::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_redirects_to_slb() {
+        let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(10)));
+        d.update_pool(vip(), vec![dip(1), dip(2), dip(3)], Nanos::ZERO).unwrap();
+        assert!(d.is_redirected(vip()));
+        d.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert_eq!(d.stats().slb_packets, 1);
+        assert_eq!(d.stats().redirects, 1);
+    }
+
+    #[test]
+    fn old_connections_keep_old_mapping_while_redirected() {
+        let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(10)));
+        // Old connection established at the switch.
+        let before = d.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO).unwrap();
+        // Update removes a DIP; VIP redirects.
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1)).unwrap();
+        // Old connection's next (non-SYN) packet at the SLB: must keep its
+        // pre-update DIP (warm-up semantics).
+        let after = d
+            .process_packet(&PacketMeta::data(conn(5), 100), Nanos::from_secs(1))
+            .unwrap();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn periodic_migration_breaks_stale_connections() {
+        let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(1)));
+        // Many old connections at the switch.
+        let assigned: Vec<(u16, Dip)> = (0..2000)
+            .map(|p| {
+                (
+                    p,
+                    d.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap(),
+                )
+            })
+            .collect();
+        // Remove a DIP; redirect; old conns keep mapping at SLB.
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(5)).unwrap();
+        for (p, dd) in &assigned {
+            let at_slb = d
+                .process_packet(&PacketMeta::data(conn(*p), 100), Nanos::from_secs(6))
+                .unwrap();
+            assert_eq!(at_slb, *dd);
+        }
+        // Timer fires: migrate back.
+        d.tick(Nanos::from_mins(1));
+        assert!(!d.is_redirected(vip()));
+        assert_eq!(d.stats().migrations, 1);
+        // Old connections re-hash over the new pool at the switch: many
+        // must now map differently (the PCC violation Duet suffers).
+        let broken = assigned
+            .iter()
+            .filter(|(p, dd)| {
+                d.process_packet(&PacketMeta::data(conn(*p), 100), Nanos::from_mins(2))
+                    .unwrap()
+                    != *dd
+            })
+            .count();
+        assert!(broken > 0, "expected some broken connections");
+        // With 1 of 4 DIPs removed and hash-scaled ECMP, roughly 1/4 of
+        // connections plus reshuffle noise move; definitely not all.
+        assert!(broken < assigned.len());
+    }
+
+    #[test]
+    fn wait_pcc_never_migrates_early() {
+        let mut d = duet(MigrationPolicy::WaitPcc);
+        let key5 = conn(5).key_bytes();
+        let before = d.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO).unwrap();
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1)).unwrap();
+        // Register the old connection at the SLB.
+        let at_slb = d
+            .process_packet(&PacketMeta::data(conn(5), 100), Nanos::from_secs(1))
+            .unwrap();
+        assert_eq!(at_slb, before);
+        // If its mapping would change at the switch, migration must wait.
+        let would_be = DuetLb::select(&d.hash, &key5, d.dips(vip()).unwrap());
+        d.tick(Nanos::from_mins(30));
+        if would_be == Some(before) {
+            assert!(!d.is_redirected(vip()) || d.stats().migrations <= 1);
+        } else {
+            assert!(d.is_redirected(vip()), "migrated while unsafe");
+            // Connection ends; now migration may proceed.
+            d.close_connection(vip(), &key5);
+            d.tick(Nanos::from_mins(31));
+            assert!(!d.is_redirected(vip()));
+        }
+    }
+
+    #[test]
+    fn periodic_wakeup_advances() {
+        let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(1)));
+        assert_eq!(d.next_wakeup(), Some(Nanos::from_mins(1)));
+        d.tick(Nanos::from_mins(3));
+        assert_eq!(d.next_wakeup(), Some(Nanos::from_mins(4)));
+        assert_eq!(duet(MigrationPolicy::WaitPcc).next_wakeup(), None);
+    }
+
+    #[test]
+    fn unknown_vip_rejected() {
+        let mut d = duet(MigrationPolicy::WaitPcc);
+        let unknown = Vip(Addr::v4(9, 9, 9, 9, 80));
+        assert!(d.update_pool(unknown, vec![dip(1)], Nanos::ZERO).is_err());
+        assert!(d.add_vip(vip(), vec![dip(1)]).is_err());
+    }
+}

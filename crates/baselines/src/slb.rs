@@ -1,0 +1,254 @@
+//! Software load balancer (Ananta / Maglev style, §2.2).
+//!
+//! Both tables live in server software: ConnTable is a hash map, VIPTable
+//! uses Maglev consistent hashing. Updates are trivially PCC-safe — the
+//! software locks VIPTable, buffers new connections, swaps the pool, and
+//! releases (§2.1) — which the model reflects by performing the swap
+//! synchronously. What the SLB pays instead is throughput (12 Mpps per
+//! 8-core server) and latency (50 µs – 1 ms), which the load accounting
+//! here feeds into Fig 5a and Fig 13.
+
+use sr_hash::maglev::MaglevTable;
+use sr_types::{Addr, Dip, Nanos, PacketMeta, TypeError, Vip};
+use std::collections::HashMap;
+
+/// SLB configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SlbConfig {
+    /// Maglev lookup-table size per VIP (prime recommended).
+    pub maglev_table_size: usize,
+    /// Packet throughput of one SLB server (the paper: 12 Mpps).
+    pub server_mpps: f64,
+    /// Bit throughput of one SLB server's NIC (the paper: 10 Gbps).
+    pub server_gbps: f64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for SlbConfig {
+    fn default() -> Self {
+        SlbConfig {
+            maglev_table_size: 4099,
+            server_mpps: 12.0,
+            server_gbps: 10.0,
+            seed: 0x51b,
+        }
+    }
+}
+
+struct VipPool {
+    dips: Vec<Dip>,
+    maglev: MaglevTable,
+}
+
+/// Per-instance counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlbStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Bytes processed.
+    pub bytes: u64,
+    /// Live connection entries.
+    pub connections: u64,
+    /// Pool updates applied.
+    pub updates: u64,
+}
+
+/// The software load balancer.
+pub struct SoftwareLb {
+    cfg: SlbConfig,
+    vips: HashMap<Addr, VipPool>,
+    conn_table: HashMap<Box<[u8]>, Dip>,
+    stats: SlbStats,
+}
+
+impl SoftwareLb {
+    /// Build an SLB.
+    pub fn new(cfg: SlbConfig) -> SoftwareLb {
+        SoftwareLb {
+            cfg,
+            vips: HashMap::new(),
+            conn_table: HashMap::new(),
+            stats: SlbStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SlbStats {
+        &self.stats
+    }
+
+    fn rebuild(&mut self, vip: Vip, dips: Vec<Dip>) {
+        let keys: Vec<Vec<u8>> = dips
+            .iter()
+            .map(|d| {
+                let mut k = Vec::new();
+                d.0.encode_into(&mut k);
+                k
+            })
+            .collect();
+        let maglev = MaglevTable::build(&keys, self.cfg.maglev_table_size, self.cfg.seed);
+        self.vips.insert(vip.0, VipPool { dips, maglev });
+    }
+
+    /// Register a VIP.
+    pub fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) -> Result<(), TypeError> {
+        if self.vips.contains_key(&vip.0) {
+            return Err(TypeError::InvalidState {
+                what: "VIP already registered",
+            });
+        }
+        self.rebuild(vip, dips);
+        Ok(())
+    }
+
+    /// Current DIPs of a VIP.
+    pub fn dips(&self, vip: Vip) -> Option<&[Dip]> {
+        self.vips.get(&vip.0).map(|p| p.dips.as_slice())
+    }
+
+    /// Apply a pool change. Synchronous and PCC-safe: established
+    /// connections keep their ConnTable entries, only new connections see
+    /// the new Maglev table.
+    pub fn update_pool(&mut self, vip: Vip, dips: Vec<Dip>) -> Result<(), TypeError> {
+        if !self.vips.contains_key(&vip.0) {
+            return Err(TypeError::NotFound { what: "VIP" });
+        }
+        self.rebuild(vip, dips);
+        self.stats.updates += 1;
+        Ok(())
+    }
+
+    /// Process one packet; `_now` kept for interface symmetry (the SLB has
+    /// no asynchronous control plane).
+    pub fn process_packet(&mut self, pkt: &PacketMeta, _now: Nanos) -> Option<Dip> {
+        self.stats.packets += 1;
+        self.stats.bytes += pkt.len as u64;
+        let key = pkt.tuple.key_bytes();
+        if let Some(d) = self.conn_table.get(key.as_slice()) {
+            return Some(*d);
+        }
+        let pool = self.vips.get(&pkt.tuple.dst)?;
+        let idx = pool.maglev.select(&key)?;
+        let dip = pool.dips[idx];
+        self.conn_table.insert(key.into(), dip);
+        self.stats.connections += 1;
+        Some(dip)
+    }
+
+    /// Drop a connection's state.
+    pub fn close_connection(&mut self, key: &[u8]) {
+        if self.conn_table.remove(key).is_some() {
+            self.stats.connections = self.stats.connections.saturating_sub(1);
+        }
+    }
+
+    /// Whether the SLB currently has state for `key`.
+    pub fn has_connection(&self, key: &[u8]) -> bool {
+        self.conn_table.contains_key(key)
+    }
+
+    /// Number of SLB servers needed to carry `pps` packets/s and `gbps`
+    /// Gbit/s of load.
+    pub fn servers_needed(&self, pps: f64, gbps: f64) -> u64 {
+        let by_pps = pps / (self.cfg.server_mpps * 1e6);
+        let by_bps = gbps / self.cfg.server_gbps;
+        by_pps.max(by_bps).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::FiveTuple;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn conn(p: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, p), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn slb() -> SoftwareLb {
+        let mut s = SoftwareLb::new(SlbConfig::default());
+        s.add_vip(vip(), vec![dip(1), dip(2), dip(3)]).unwrap();
+        s
+    }
+
+    #[test]
+    fn connection_stickiness() {
+        let mut s = slb();
+        let d1 = s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO).unwrap();
+        for _ in 0..10 {
+            let d = s.process_packet(&PacketMeta::data(conn(1), 100), Nanos::ZERO).unwrap();
+            assert_eq!(d, d1);
+        }
+        assert_eq!(s.stats().connections, 1);
+        assert_eq!(s.stats().packets, 11);
+    }
+
+    #[test]
+    fn pcc_across_updates() {
+        let mut s = slb();
+        let assigned: Vec<(u16, Dip)> = (0..200)
+            .map(|p| (p, s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap()))
+            .collect();
+        s.update_pool(vip(), vec![dip(1), dip(3)]).unwrap();
+        for (p, d) in assigned {
+            let after = s.process_packet(&PacketMeta::data(conn(p), 100), Nanos::ZERO).unwrap();
+            assert_eq!(after, d, "SLB broke PCC for port {p}");
+        }
+    }
+
+    #[test]
+    fn new_connections_avoid_removed_dip() {
+        let mut s = slb();
+        s.update_pool(vip(), vec![dip(1), dip(3)]).unwrap();
+        for p in 1000..1200 {
+            let d = s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap();
+            assert_ne!(d, dip(2));
+        }
+    }
+
+    #[test]
+    fn close_frees_state() {
+        let mut s = slb();
+        s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        let key = conn(1).key_bytes();
+        assert!(s.has_connection(&key));
+        s.close_connection(&key);
+        assert!(!s.has_connection(&key));
+        assert_eq!(s.stats().connections, 0);
+    }
+
+    #[test]
+    fn unknown_vip_unhandled() {
+        let mut s = SoftwareLb::new(SlbConfig::default());
+        assert_eq!(s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn servers_needed_paper_numbers() {
+        let s = slb();
+        // §2.2: 15 Tbps needs 1500 servers at 10 Gbps line rate.
+        assert_eq!(s.servers_needed(0.0, 15_000.0), 1500);
+        // 24 Mpps needs 2 servers at 12 Mpps each.
+        assert_eq!(s.servers_needed(24e6, 0.0), 2);
+        // Minimum one server.
+        assert_eq!(s.servers_needed(0.0, 0.0), 1);
+    }
+
+    #[test]
+    fn update_unknown_vip_rejected() {
+        let mut s = slb();
+        assert!(s
+            .update_pool(Vip(Addr::v4(9, 9, 9, 9, 80)), vec![dip(1)])
+            .is_err());
+        assert!(s.add_vip(vip(), vec![dip(1)]).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Criterion microbenchmarks for the hot primitives.
+//!
+//! * `cuckoo/*` — the §5.2 insertion-throughput claim (200 K conn/s is a
+//!   *CPU* budget; the in-memory structure must be far faster);
+//! * `dataplane/*` — per-packet SilkRoad processing;
+//! * `bloom`, `digest`, `maglev`, `meter` — supporting primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use silkroad::{PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use sr_asic::{Meter, MeterConfig};
+use sr_hash::cuckoo::{CuckooConfig, CuckooTable};
+use sr_hash::{BloomFilter, DigestFn, HashFn};
+use sr_hash::maglev::MaglevTable;
+use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
+
+fn key(i: u64) -> [u8; 13] {
+    let mut k = [0u8; 13];
+    k[..8].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("insert_at_70pct_load", |b| {
+        let cfg = CuckooConfig::for_capacity(100_000, 4, 4, 7);
+        let mut t: CuckooTable<u32> = CuckooTable::new(cfg);
+        let target = (t.config().total_slots() as f64 * 0.7) as u64;
+        for i in 0..target {
+            let _ = t.insert(&key(i), 0);
+        }
+        let mut i = target;
+        b.iter(|| {
+            i += 1;
+            let _ = t.insert(&key(i), 0);
+            let _ = t.remove(&key(i));
+        });
+    });
+
+    g.bench_function("lookup_hit", |b| {
+        let cfg = CuckooConfig::for_capacity(100_000, 4, 4, 7);
+        let mut t: CuckooTable<u32> = CuckooTable::new(cfg);
+        for i in 0..80_000u64 {
+            let _ = t.insert(&key(i), 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 80_000;
+            criterion::black_box(t.lookup(&key(i)));
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("hash_13B", |b| {
+        let h = HashFn::new(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            criterion::black_box(h.hash(&key(criterion::black_box(i))))
+        });
+    });
+
+    c.bench_function("digest_16bit", |b| {
+        let d = DigestFn::new(1, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            criterion::black_box(d.digest(&key(criterion::black_box(i))))
+        });
+    });
+
+    c.bench_function("bloom_insert_query", |b| {
+        let mut f = BloomFilter::new(256, 4, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&key(i));
+            criterion::black_box(f.contains(&key(i)))
+        });
+    });
+
+    c.bench_function("maglev_build_100_backends", |b| {
+        let keys: Vec<Vec<u8>> = (0..100).map(|i| format!("dip-{i}").into_bytes()).collect();
+        b.iter(|| criterion::black_box(MaglevTable::build(&keys, 65_537, 3)));
+    });
+
+    c.bench_function("meter_mark", |b| {
+        let mut m = Meter::new(MeterConfig::gbps(4.0, 4.0, 1.0));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1200; // ~1500B at 10 Gbps
+            criterion::black_box(m.mark(Nanos(t), 1500))
+        });
+    });
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane");
+    g.throughput(Throughput::Elements(1));
+
+    fn setup(conns: u64) -> (SilkRoadSwitch, Vec<FiveTuple>) {
+        let mut cfg = SilkRoadConfig::default();
+        cfg.conn_capacity = (conns as usize * 2).max(4096);
+        let mut sw = SilkRoadSwitch::new(cfg);
+        let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+        let dips = (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect();
+        sw.add_vip(vip, dips).unwrap();
+        let tuples: Vec<FiveTuple> = (0..conns)
+            .map(|i| {
+                FiveTuple::tcp(
+                    Addr::v4_indexed(100, (i / 60_000) as u32, 1024 + (i % 60_000) as u16),
+                    Addr::v4(20, 0, 0, 1, 80),
+                )
+            })
+            .collect();
+        for t in &tuples {
+            sw.process_packet(&PacketMeta::syn(*t), Nanos::ZERO);
+        }
+        sw.advance(Nanos::from_secs(10));
+        (sw, tuples)
+    }
+
+    g.bench_function("conn_table_hit_100k_resident", |b| {
+        let (mut sw, tuples) = setup(100_000);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % tuples.len();
+            criterion::black_box(
+                sw.process_packet(&PacketMeta::data(tuples[i], 800), Nanos::from_secs(20)),
+            )
+        });
+    });
+
+    g.bench_function("miss_path_with_learn", |b| {
+        let (mut sw, _) = setup(10_000);
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            let t = FiveTuple::tcp(
+                Addr::v4_indexed(101, (i / 60_000) as u32, 1024 + (i % 60_000) as u16),
+                Addr::v4(20, 0, 0, 1, 80),
+            );
+            criterion::black_box(sw.process_packet(&PacketMeta::syn(t), Nanos::from_secs(20)))
+        });
+    });
+
+    g.bench_function("dip_pool_update_cycle", |b| {
+        let (mut sw, _) = setup(10_000);
+        let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+        let dip = Dip(Addr::v4(10, 0, 0, 1, 20));
+        let mut t = Nanos::from_secs(30);
+        b.iter_batched(
+            || (),
+            |()| {
+                t = t + sr_types::Duration::from_millis(50);
+                sw.request_update(vip, PoolUpdate::Remove(dip), t).unwrap();
+                t = t + sr_types::Duration::from_millis(50);
+                sw.request_update(vip, PoolUpdate::Add(dip), t).unwrap();
+                sw.advance(t + sr_types::Duration::from_millis(50));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cuckoo, bench_primitives, bench_dataplane
+}
+criterion_main!(benches);

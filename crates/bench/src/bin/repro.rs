@@ -1,0 +1,444 @@
+//! `repro` — regenerate every table and figure of the SilkRoad evaluation.
+//!
+//! ```text
+//! cargo run --release -p sr-bench --bin repro -- all
+//! cargo run --release -p sr-bench --bin repro -- fig16 [--full]
+//! ```
+//!
+//! `--full` runs the simulation-backed figures at paper scale (2.77 M new
+//! connections/min for one hour per data point) — expect long runtimes.
+
+use sr_bench::report::{mb, pct, Table};
+use sr_bench::{extras, fig_memory, fig_meta, fig_pcc, fig_version, tables, Scale};
+use sr_types::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let cmds: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let cmd = cmds.first().copied().unwrap_or("help");
+
+    let all = [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "meters", "digests", "cost", "ablations",
+        "pipeline", "latency",
+    ];
+    match cmd {
+        "all" => {
+            for c in all {
+                run(c, scale);
+                println!();
+            }
+        }
+        "help" | "-h" | "--help" => {
+            println!("usage: repro <target> [--full]");
+            println!("targets: all {}", all.join(" "));
+        }
+        c if all.contains(&c) => run(c, scale),
+        other => {
+            eprintln!("unknown target '{other}' — try: repro help");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(cmd: &str, scale: Scale) {
+    match cmd {
+        "table1" => println!("{}", tables::table1().render()),
+        "table2" => println!("{}", tables::table2_table(1_000_000).render()),
+        "fig2" => {
+            let fleet = fig_meta::default_fleet();
+            println!("{}", fig_meta::fig2_table(&fig_meta::fig2(&fleet)).render());
+        }
+        "fig3" => {
+            let mut t = Table::new(
+                "Fig 3 — root causes of DIP additions/removals",
+                &["cause", "paper share", "generated share"],
+            );
+            for r in fig_meta::fig3(scale.seed) {
+                t.row(vec![
+                    r.cause.name().to_string(),
+                    pct(r.target_share),
+                    pct(r.generated_share),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig4" => {
+            let mut t = Table::new(
+                "Fig 4 — DIP downtime duration by root cause (minutes)",
+                &["cause", "p50", "p90", "p99"],
+            );
+            for r in fig_meta::fig4(scale.seed) {
+                t.row(vec![
+                    r.cause.name().to_string(),
+                    format!("{:.1}", r.p50_min),
+                    format!("{:.1}", r.p90_min),
+                    format!("{:.1}", r.p99_min),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig5" => {
+            let freqs = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+            let points = fig_pcc::fig5(scale, &freqs);
+            let mut a = Table::new(
+                "Fig 5a — traffic handled in SLBs (Duet migrate-back dilemma)",
+                &["upd/min", "Duet-10min", "Duet-1min", "Duet-PCC"],
+            );
+            let mut b = Table::new(
+                "Fig 5b — connections with PCC violations",
+                &["upd/min", "Duet-10min", "Duet-1min", "Duet-PCC"],
+            );
+            for &f in &freqs {
+                let find = |label: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.updates_per_min == f && p.system == label)
+                        .expect("point exists")
+                };
+                a.row(vec![
+                    format!("{f:.0}"),
+                    pct(find("Duet-10min").metrics.software_traffic_fraction()),
+                    pct(find("Duet-1min").metrics.software_traffic_fraction()),
+                    pct(find("Duet-PCC").metrics.software_traffic_fraction()),
+                ]);
+                b.row(vec![
+                    format!("{f:.0}"),
+                    pct(find("Duet-10min").metrics.violation_fraction()),
+                    pct(find("Duet-1min").metrics.violation_fraction()),
+                    pct(find("Duet-PCC").metrics.violation_fraction()),
+                ]);
+            }
+            println!("{}", a.render());
+            println!("{}", b.render());
+        }
+        "fig6" => {
+            let mut t = Table::new(
+                "Fig 6 — active connections per ToR switch across clusters",
+                &["kind", "p50", "p90", "max"],
+            );
+            for r in fig_meta::fig6(&fig_meta::default_fleet()) {
+                t.row(vec![
+                    r.kind.name().to_string(),
+                    format!("{:.2}M", r.p50 / 1e6),
+                    format!("{:.2}M", r.p90 / 1e6),
+                    format!("{:.2}M", r.max / 1e6),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig8" => {
+            let mut t = Table::new(
+                "Fig 8 — new connections per VIP per minute across clusters",
+                &["kind", "p50", "p90", "max"],
+            );
+            for r in fig_meta::fig8(&fig_meta::default_fleet()) {
+                t.row(vec![
+                    r.kind.name().to_string(),
+                    format!("{:.0}K", r.p50 / 1e3),
+                    format!("{:.0}K", r.p90 / 1e3),
+                    format!("{:.1}M", r.max / 1e6),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig12" => {
+            let mut t = Table::new(
+                "Fig 12 — SilkRoad SRAM usage per ToR switch (MB)",
+                &["kind", "p50", "p90", "max"],
+            );
+            for r in fig_memory::fig12(&fig_meta::default_fleet()) {
+                t.row(vec![
+                    r.kind.name().to_string(),
+                    format!("{:.1}", r.p50),
+                    format!("{:.1}", r.p90),
+                    format!("{:.1}", r.max),
+                ]);
+            }
+            println!("{}", t.render());
+            let fleet = fig_meta::default_fleet();
+            println!(
+                "clusters fitting 100 MB SRAM: {}/{}",
+                fig_memory::clusters_fitting(&fleet, 100.0),
+                fleet.len()
+            );
+        }
+        "fig13" => {
+            let mut t = Table::new(
+                "Fig 13 — SLBs replaced by one SilkRoad",
+                &["kind", "p50", "p90", "max"],
+            );
+            for r in fig_memory::fig13(&fig_meta::default_fleet()) {
+                t.row(vec![
+                    r.kind.name().to_string(),
+                    format!("{:.1}", r.p50),
+                    format!("{:.1}", r.p90),
+                    format!("{:.0}", r.max),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig14" => {
+            let fleet = fig_meta::default_fleet();
+            let digest = fig_memory::fig14(&fleet, fig_memory::Fig14Design::DigestOnly);
+            let version = fig_memory::fig14(&fleet, fig_memory::Fig14Design::DigestVersion);
+            let mut t = Table::new(
+                "Fig 14 — ConnTable memory saving vs naive layout",
+                &[
+                    "kind",
+                    "digest-only p50",
+                    "digest+version p50",
+                    "digest+version max",
+                ],
+            );
+            for (d, v) in digest.iter().zip(&version) {
+                t.row(vec![
+                    d.kind.name().to_string(),
+                    pct(d.p50),
+                    pct(v.p50),
+                    pct(v.max),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig15" => {
+            let mut t = Table::new(
+                "Fig 15 — versions needed per 10-min window, before/after reuse",
+                &["updates", "naive versions", "with reuse"],
+            );
+            for p in fig_version::fig15(&[1.0, 5.0, 10.0, 20.0, 33.0], 16, scale.seed) {
+                t.row(vec![
+                    p.updates.to_string(),
+                    p.versions_naive.to_string(),
+                    p.versions_with_reuse.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig16" => {
+            let freqs = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+            let points = fig_pcc::fig16(scale, &freqs);
+            let mut t = Table::new(
+                format!(
+                    "Fig 16 — PCC violations vs update frequency ({:.0}K conns/min, {} min)",
+                    2770.0 * scale.rate_factor,
+                    scale.minutes
+                ),
+                &["upd/min", "Duet-10min", "SilkRoad-noTT", "SilkRoad"],
+            );
+            for &f in &freqs {
+                let find = |label: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.updates_per_min == f && p.system.contains(label))
+                        .expect("point exists")
+                };
+                t.row(vec![
+                    format!("{f:.0}"),
+                    pct(find("Duet").metrics.violation_fraction()),
+                    pct(find("noTT").metrics.violation_fraction()),
+                    pct(find("SilkRoad(").metrics.violation_fraction()),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig17" => {
+            let factors = [0.1, 0.25, 0.5, 1.0, 1.5, 2.0];
+            let points = fig_pcc::fig17(scale, &factors);
+            let mut t = Table::new(
+                "Fig 17 — PCC violations/min vs arrival rate (10 upd/min)",
+                &["rate x", "Duet-10min", "SilkRoad-noTT", "SilkRoad"],
+            );
+            for &f in &factors {
+                let find = |label: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.rate_factor == f && p.system.contains(label))
+                        .expect("point exists")
+                };
+                t.row(vec![
+                    format!("{f:.2}"),
+                    format!("{:.2}", find("Duet").metrics.violations_per_min()),
+                    format!("{:.2}", find("noTT").metrics.violations_per_min()),
+                    format!("{:.2}", find("SilkRoad(").metrics.violations_per_min()),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "fig18" => {
+            let sizes = [8usize, 64, 256];
+            let timeouts = [
+                Duration::from_micros(500),
+                Duration::from_millis(1),
+                Duration::from_millis(5),
+            ];
+            let points = fig_pcc::fig18(scale, &sizes, &timeouts);
+            let mut t = Table::new(
+                "Fig 18 — PCC violations vs TransitTable size (10 upd/min)",
+                &["TransitTable", "timeout 0.5ms", "timeout 1ms", "timeout 5ms"],
+            );
+            for &s in &sizes {
+                let find = |to: Duration| {
+                    points
+                        .iter()
+                        .find(|p| p.transit_bytes == s && p.timeout == to)
+                        .expect("point exists")
+                };
+                t.row(vec![
+                    format!("{s} B"),
+                    find(timeouts[0]).metrics.pcc_violations.to_string(),
+                    find(timeouts[1]).metrics.pcc_violations.to_string(),
+                    find(timeouts[2]).metrics.pcc_violations.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "meters" => {
+            let mut t = Table::new(
+                "§5.2 — trTCM marking accuracy at 10 Gbps offered",
+                &["CIR Gbps", "EIR Gbps", "avg error"],
+            );
+            for p in extras::meter_accuracy() {
+                t.row(vec![
+                    format!("{:.0}", p.cir_gbps),
+                    format!("{:.0}", p.eir_gbps),
+                    pct(p.avg_error()),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "digests" => {
+            let conns = if scale.rate_factor >= 1.0 {
+                2_770_000
+            } else {
+                60_000
+            };
+            let mut t = Table::new(
+                format!("§6.1 — digest size vs false positives ({conns} conns/min)"),
+                &[
+                    "digest",
+                    "false hits",
+                    "SYN repairs",
+                    "fp rate",
+                    "ConnTable SRAM",
+                ],
+            );
+            for p in extras::digest_tradeoff(conns, scale.seed) {
+                t.row(vec![
+                    format!("{}-bit", p.digest_bits),
+                    p.false_hits.to_string(),
+                    p.syn_repairs.to_string(),
+                    pct(p.false_hit_fraction()),
+                    mb(p.conn_table_bytes),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "cost" => {
+            let c = extras::cost_comparison();
+            println!("== §6.1 — cost/power of SilkRoad vs SLB ==");
+            println!("power saving factor: {:.0}x (paper ~500x)", c.power_factor);
+            println!("capex saving factor: {:.0}x (paper ~250x)", c.capex_factor);
+        }
+        "latency" => {
+            let mut t = Table::new(
+                "§2.2/§5.2 — per-packet LB processing latency (10 upd/min)",
+                &["system", "p50", "p99"],
+            );
+            for p in extras::latency_comparison(scale) {
+                t.row(vec![p.system, format!("{}", p.p50), format!("{}", p.p99)]);
+            }
+            println!("{}", t.render());
+        }
+        "pipeline" => {
+            use sr_asic::PipelineProgram;
+            let base = PipelineProgram::baseline_switch_p4().resource_usage();
+            let silk = PipelineProgram::silkroad(1_000_000, 4, 16, 6, 1_000, 4_000, 144, 256, 4)
+                .resource_usage();
+            let mut t = Table::new(
+                "Pipeline resource report — switch.p4 baseline vs SilkRoad addition",
+                &["resource", "switch.p4", "SilkRoad", "added %"],
+            );
+            let rows: [(&str, f64, f64); 7] = [
+                ("crossbar bits", base.crossbar_bits, silk.crossbar_bits),
+                ("SRAM bytes", base.sram_bytes, silk.sram_bytes),
+                ("TCAM bytes", base.tcam_bytes, silk.tcam_bytes),
+                ("VLIW actions", base.vliw_actions, silk.vliw_actions),
+                ("hash bits", base.hash_bits, silk.hash_bits),
+                ("stateful ALUs", base.stateful_alus, silk.stateful_alus),
+                ("PHV bits", base.phv_bits, silk.phv_bits),
+            ];
+            for (name, b, s_) in rows {
+                t.row(vec![
+                    name.to_string(),
+                    format!("{b:.0}"),
+                    format!("{s_:.0}"),
+                    if b > 0.0 {
+                        format!("{:.1}%", 100.0 * s_ / b)
+                    } else {
+                        "-".to_string()
+                    },
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "ablations" => {
+            use sr_bench::ablations;
+            let mut t = Table::new(
+                "Ablation — cuckoo geometry vs achievable load factor",
+                &["stages", "ways", "load factor", "avg moves/insert"],
+            );
+            for p in ablations::cuckoo_geometry(scale.seed) {
+                t.row(vec![
+                    p.stages.to_string(),
+                    p.ways.to_string(),
+                    format!("{:.1}%", 100.0 * p.load_factor),
+                    format!("{:.3}", p.avg_moves),
+                ]);
+            }
+            println!("{}", t.render());
+
+            let mut t = Table::new(
+                "Ablation — switch-CPU insertion rate (12 VIPs, 50 upd/min)",
+                &["inserts/s", "noTT violations", "SilkRoad violations"],
+            );
+            // Keep the slow point *above* the arrival rate: below it the
+            // backlog grows without bound and both designs break (the
+            // bloom-saturation regime the fig18 discussion covers).
+            let arrivals = 2_770_000.0 * scale.rate_factor / 60.0;
+            let rates = [
+                (arrivals * 1.2) as u64,
+                (arrivals * 10.0) as u64,
+                200_000,
+            ];
+            for p in ablations::insertion_rate_sweep(scale, &rates) {
+                t.row(vec![
+                    p.insertions_per_sec.to_string(),
+                    p.no_tt.pcc_violations.to_string(),
+                    p.with_tt.pcc_violations.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+
+            let mut t = Table::new(
+                "Ablation — §7 per-stage digest widths (16-bit average)",
+                &["layout", "fill", "false hits / 400K probes"],
+            );
+            for p in ablations::digest_layouts(scale.seed) {
+                t.row(vec![
+                    p.label.to_string(),
+                    format!("{:.0}%", 100.0 * p.fill),
+                    p.false_hits.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        other => unreachable!("unknown target {other}"),
+    }
+}

@@ -1,0 +1,264 @@
+//! Figures 2, 3, 4, 6 and 8 — the workload-characterisation figures.
+//!
+//! These reproduce the measurement-study plots from the synthetic fleet,
+//! demonstrating that the generator matches the published marginals the
+//! simulation figures depend on.
+
+use crate::report::Table;
+use sr_workload::dists::percentile;
+use sr_workload::{
+    synthesize_fleet, ClusterKind, ClusterSpec, FleetConfig, UpdateCause, UpdatePlanConfig,
+    UpdatePlanner,
+};
+use sr_types::Duration;
+
+/// Fig 2 row: share of clusters with more than `threshold` updates/min.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Row {
+    /// Updates-per-minute threshold.
+    pub threshold: f64,
+    /// Fraction of clusters whose *median* minute exceeds it.
+    pub median_exceeds: f64,
+    /// Fraction of clusters whose *p99* minute exceeds it.
+    pub p99_exceeds: f64,
+    /// Fraction of Backends whose p99 minute exceeds it.
+    pub backend_p99_exceeds: f64,
+}
+
+/// Compute Fig 2 from a fleet.
+pub fn fig2(fleet: &[ClusterSpec]) -> Vec<Fig2Row> {
+    let total = fleet.len() as f64;
+    let backends: Vec<&ClusterSpec> = fleet
+        .iter()
+        .filter(|c| c.kind == ClusterKind::Backend)
+        .collect();
+    [1.0, 2.0, 5.0, 10.0, 16.0, 20.0, 50.0, 100.0]
+        .iter()
+        .map(|&threshold| Fig2Row {
+            threshold,
+            median_exceeds: fleet
+                .iter()
+                .filter(|c| c.updates_per_min_median > threshold)
+                .count() as f64
+                / total,
+            p99_exceeds: fleet
+                .iter()
+                .filter(|c| c.updates_per_min_p99 > threshold)
+                .count() as f64
+                / total,
+            backend_p99_exceeds: backends
+                .iter()
+                .filter(|c| c.updates_per_min_p99 > threshold)
+                .count() as f64
+                / backends.len().max(1) as f64,
+        })
+        .collect()
+}
+
+/// Fig 3 row: one root cause's share of DIP changes.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig3Row {
+    /// Cause.
+    pub cause: UpdateCause,
+    /// Target share (the paper's measured distribution).
+    pub target_share: f64,
+    /// Share measured in a generated month of updates.
+    pub generated_share: f64,
+}
+
+/// Compute Fig 3: target vs generated cause mix.
+pub fn fig3(seed: u64) -> Vec<Fig3Row> {
+    let events = UpdatePlanner::new(UpdatePlanConfig::dedicated(
+        200,
+        40,
+        30.0,
+        Duration::from_mins(24 * 60), // one synthetic day
+        seed,
+    ))
+    .generate();
+    let total = events.len().max(1) as f64;
+    UpdateCause::ALL
+        .iter()
+        .map(|&cause| Fig3Row {
+            cause,
+            target_share: cause.share(),
+            generated_share: events.iter().filter(|e| e.cause == cause).count() as f64 / total,
+        })
+        .collect()
+}
+
+/// Fig 4 row: downtime percentiles for one cause, minutes.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4Row {
+    /// Cause.
+    pub cause: UpdateCause,
+    /// Median downtime, minutes.
+    pub p50_min: f64,
+    /// 90th percentile.
+    pub p90_min: f64,
+    /// 99th percentile.
+    pub p99_min: f64,
+}
+
+/// Compute Fig 4 by sampling each cause's downtime distribution.
+pub fn fig4(seed: u64) -> Vec<Fig4Row> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    UpdateCause::ALL
+        .iter()
+        .filter(|c| c.has_downtime())
+        .map(|&cause| {
+            let mut mins: Vec<f64> = (0..20_000)
+                .map(|_| cause.sample_downtime(&mut rng).as_secs_f64() / 60.0)
+                .collect();
+            mins.sort_by(f64::total_cmp);
+            Fig4Row {
+                cause,
+                p50_min: percentile(&mins, 50.0),
+                p90_min: percentile(&mins, 90.0),
+                p99_min: percentile(&mins, 99.0),
+            }
+        })
+        .collect()
+}
+
+/// Fig 6 / Fig 8 row: a distribution summary for one cluster kind.
+#[derive(Clone, Copy, Debug)]
+pub struct KindCdfRow {
+    /// Cluster kind.
+    pub kind: ClusterKind,
+    /// Median across clusters.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+fn kind_cdf(fleet: &[ClusterSpec], f: impl Fn(&ClusterSpec) -> f64) -> Vec<KindCdfRow> {
+    [ClusterKind::PoP, ClusterKind::Frontend, ClusterKind::Backend]
+        .iter()
+        .map(|&kind| {
+            let mut xs: Vec<f64> = fleet
+                .iter()
+                .filter(|c| c.kind == kind)
+                .map(&f)
+                .collect();
+            xs.sort_by(f64::total_cmp);
+            KindCdfRow {
+                kind,
+                p50: percentile(&xs, 50.0),
+                p90: percentile(&xs, 90.0),
+                max: *xs.last().unwrap_or(&0.0),
+            }
+        })
+        .collect()
+}
+
+/// Fig 6: active connections per ToR (p99 minute) across clusters.
+pub fn fig6(fleet: &[ClusterSpec]) -> Vec<KindCdfRow> {
+    kind_cdf(fleet, |c| c.conns_per_tor_p99 as f64)
+}
+
+/// Fig 8: new connections per VIP per minute across clusters.
+pub fn fig8(fleet: &[ClusterSpec]) -> Vec<KindCdfRow> {
+    kind_cdf(fleet, |c| c.new_conns_per_vip_min as f64)
+}
+
+/// The default fleet used by every fleet-based figure.
+pub fn default_fleet() -> Vec<ClusterSpec> {
+    synthesize_fleet(FleetConfig::default())
+}
+
+/// Render Fig 2 as a table.
+pub fn fig2_table(rows: &[Fig2Row]) -> Table {
+    let mut t = Table::new(
+        "Fig 2 — clusters with more than X DIP-pool updates per minute",
+        &[">X upd/min", "median-minute", "p99-minute", "Backends p99"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}", r.threshold),
+            format!("{:.0}%", 100.0 * r.median_exceeds),
+            format!("{:.0}%", 100.0 * r.p99_exceeds),
+            format!("{:.0}%", 100.0 * r.backend_p99_exceeds),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper_anchors() {
+        let rows = fig2(&default_fleet());
+        let at = |x: f64| rows.iter().find(|r| r.threshold == x).unwrap();
+        // Paper: 32% of clusters >10 at p99; 3% >50.
+        assert!((0.20..0.55).contains(&at(10.0).p99_exceeds));
+        assert!((0.01..0.15).contains(&at(50.0).p99_exceeds));
+        // Half of Backends above 16 at p99.
+        assert!((0.3..0.7).contains(&at(16.0).backend_p99_exceeds));
+        // Monotone decreasing in threshold.
+        for w in rows.windows(2) {
+            assert!(w[0].p99_exceeds >= w[1].p99_exceeds);
+        }
+    }
+
+    #[test]
+    fn fig3_generated_matches_target() {
+        for r in fig3(1) {
+            assert!(
+                (r.generated_share - r.target_share).abs() < 0.04,
+                "{:?}: {} vs {}",
+                r.cause,
+                r.generated_share,
+                r.target_share
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_upgrade_anchors() {
+        let rows = fig4(2);
+        let upgrade = rows
+            .iter()
+            .find(|r| r.cause == UpdateCause::Upgrade)
+            .unwrap();
+        assert!((2.5..3.5).contains(&upgrade.p50_min), "{}", upgrade.p50_min);
+        assert!((60.0..160.0).contains(&upgrade.p99_min), "{}", upgrade.p99_min);
+        // Failures take longer than upgrades at the median.
+        let failure = rows
+            .iter()
+            .find(|r| r.cause == UpdateCause::Failure)
+            .unwrap();
+        assert!(failure.p50_min > upgrade.p50_min);
+    }
+
+    #[test]
+    fn fig6_ordering() {
+        let rows = fig6(&default_fleet());
+        let get = |k| rows.iter().find(|r| r.kind == k).unwrap().max;
+        assert!(get(ClusterKind::Backend) > get(ClusterKind::PoP) * 0.8);
+        assert!(get(ClusterKind::Frontend) < get(ClusterKind::PoP) / 10.0);
+        assert!(get(ClusterKind::Backend) <= 15_000_000.0);
+    }
+
+    #[test]
+    fn fig8_backends_reach_tens_of_millions() {
+        let rows = fig8(&default_fleet());
+        let backend = rows
+            .iter()
+            .find(|r| r.kind == ClusterKind::Backend)
+            .unwrap();
+        assert!(backend.max > 10_000_000.0, "{}", backend.max);
+    }
+
+    #[test]
+    fn fig2_table_renders() {
+        let t = fig2_table(&fig2(&default_fleet()));
+        assert!(t.render().contains("Fig 2"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// A printable table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with sensible precision.
+pub fn pct(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x < 0.0001 {
+        format!("{:.5}%", 100.0 * x)
+    } else if x < 0.01 {
+        format!("{:.3}%", 100.0 * x)
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+/// Format a byte count as MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.0), "0");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.001), "0.100%");
+        assert_eq!(pct(0.00001), "0.00100%");
+        assert_eq!(mb(14 << 20), "14.0 MB");
+    }
+}

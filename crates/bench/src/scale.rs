@@ -1,0 +1,68 @@
+//! Experiment scale control.
+//!
+//! The paper's PCC experiments replay one hour of a 2.77 M-connections-per-
+//! minute trace per data point — ~166 M connections. The default scale
+//! keeps every *rate* and *ratio* intact but shrinks the arrival volume and
+//! window so the whole figure regenerates in minutes on a laptop;
+//! `--full` restores paper scale.
+
+/// Scaling knobs shared by the simulation-backed figures.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Multiplier on the reference arrival rate (1.0 = 2.77 M conns/min).
+    pub rate_factor: f64,
+    /// Trace window, minutes (paper: 60).
+    pub minutes: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Quick default: 0.5 % of the reference rate for 12 minutes
+    /// (~166 K connections per data point). The window must straddle the
+    /// 10-minute Duet migration boundary or Duet-10min shows no
+    /// migrations at all.
+    pub fn quick() -> Scale {
+        Scale {
+            rate_factor: 0.005,
+            minutes: 12,
+            seed: 0x5ca1e,
+        }
+    }
+
+    /// Paper scale.
+    pub fn full() -> Scale {
+        Scale {
+            rate_factor: 1.0,
+            minutes: 60,
+            seed: 0x5ca1e,
+        }
+    }
+
+    /// A scale for in-tree tests: small enough for debug builds, still
+    /// straddling the 10-minute migration boundary.
+    pub fn test() -> Scale {
+        Scale {
+            rate_factor: 0.0012,
+            minutes: 12,
+            seed: 0x5ca1e,
+        }
+    }
+
+    /// Expected connections per data point at this scale.
+    pub fn expected_conns(&self) -> f64 {
+        2_770_000.0 * self.rate_factor * self.minutes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert!((Scale::full().expected_conns() - 166_200_000.0).abs() < 1e3);
+        assert!(Scale::quick().expected_conns() < 200_000.0);
+        assert!(Scale::test().expected_conns() < 50_000.0);
+    }
+}

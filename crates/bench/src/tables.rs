@@ -1,0 +1,81 @@
+//! Tables 1 and 2.
+
+use crate::report::Table;
+use sr_asic::resources::{SilkRoadGeometry, ASIC_GENERATIONS};
+use sr_asic::{ResourceModel, ResourcePercent};
+
+/// Render Table 1 (ASIC SRAM/capacity trend).
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 — trend of SRAM size and switching capacity in ASICs",
+        &["ASIC generation", "Year", "Tbps", "SRAM (MB)"],
+    );
+    for g in ASIC_GENERATIONS {
+        t.row(vec![
+            g.label.to_string(),
+            g.year.to_string(),
+            format!("{:.1}", g.capacity_tbps),
+            format!("{}-{}", g.sram_mb_low, g.sram_mb_high),
+        ]);
+    }
+    t
+}
+
+/// Compute Table 2 percentages for `conn_entries` connections.
+pub fn table2(conn_entries: u64) -> ResourcePercent {
+    let mut geom = SilkRoadGeometry::table2_config();
+    geom.conn_entries = conn_entries;
+    ResourceModel::default().table2(&geom)
+}
+
+/// Render Table 2 next to the paper's published values.
+pub fn table2_table(conn_entries: u64) -> Table {
+    let p = table2(conn_entries);
+    let mut t = Table::new(
+        format!("Table 2 — additional H/W resources, {conn_entries} connection entries (% of baseline switch.p4)"),
+        &["Resource", "Model", "Paper"],
+    );
+    let rows: [(&str, f64, &str); 7] = [
+        ("Match Crossbar", p.crossbar, "37.53%"),
+        ("SRAM", p.sram, "27.92%"),
+        ("TCAM", p.tcam, "0%"),
+        ("VLIW Actions", p.vliw, "18.89%"),
+        ("Hash Bits", p.hash_bits, "34.17%"),
+        ("Stateful ALUs", p.stateful_alus, "44.44%"),
+        ("Packet Header Vector", p.phv, "0.98%"),
+    ];
+    for (name, v, paper) in rows {
+        t.row(vec![name.to_string(), format!("{v:.2}%"), paper.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_three_generations() {
+        let s = table1().render();
+        assert!(s.contains("2012") && s.contains("2016"));
+        assert!(s.contains("50-100"));
+    }
+
+    #[test]
+    fn table2_one_million_under_fifty_percent() {
+        let p = table2(1_000_000);
+        for v in [p.crossbar, p.sram, p.tcam, p.vliw, p.hash_bits, p.stateful_alus, p.phv] {
+            assert!(v < 60.0, "resource exceeds the paper's <50% headline: {v}");
+        }
+        assert!(table2_table(1_000_000).render().contains("Stateful ALUs"));
+    }
+
+    #[test]
+    fn table2_scales_only_sram_with_connections() {
+        let one = table2(1_000_000);
+        let ten = table2(10_000_000);
+        assert!(ten.sram > one.sram * 5.0);
+        assert_eq!(ten.stateful_alus, one.stateful_alus);
+        assert_eq!(ten.vliw, one.vliw);
+    }
+}

@@ -1,0 +1,191 @@
+//! SilkRoad switch configuration.
+
+use sr_asic::{LearningFilterConfig, SwitchCpuConfig};
+use sr_types::{Duration, TypeError};
+
+/// How ConnTable action data identifies the destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnMapping {
+    /// Store a DIP-pool version; the DIP is re-derived by hashing the
+    /// 5-tuple over the immutable versioned pool (the paper's design,
+    /// 6 bits of action data).
+    Version,
+    /// Store the DIP directly (the §4.2 fallback for few/long-lived
+    /// connections; larger action data, no DIPPoolTable indirection).
+    DirectDip,
+}
+
+/// Full configuration of a [`crate::SilkRoadSwitch`].
+#[derive(Clone, Debug)]
+pub struct SilkRoadConfig {
+    /// Provisioned ConnTable capacity (entries).
+    pub conn_capacity: usize,
+    /// Pipeline stages ConnTable spans (each with its own hash function —
+    /// also the relocation headroom for digest collisions).
+    pub conn_stages: usize,
+    /// Digest width in bits (paper default 16; §6.1 also evaluates 24).
+    pub digest_bits: u8,
+    /// Optional per-stage digest widths (§7: wider digests in the stages
+    /// filled first cut overall false positives). Overrides `digest_bits`
+    /// for matching when set; `digest_bits` still drives the memory model
+    /// as the nominal width.
+    pub digest_bits_per_stage: Option<Vec<u8>>,
+    /// Version-number width in bits (paper default 6 after reuse).
+    pub version_bits: u8,
+    /// Whether ConnTable stores versions or direct DIPs.
+    pub mapping: ConnMapping,
+    /// Enable the version-reuse optimisation (§4.2, Fig 15).
+    pub version_reuse: bool,
+    /// TransitTable bloom filter size in bytes (paper default 256).
+    pub transit_bytes: usize,
+    /// TransitTable hash functions.
+    pub transit_hashes: usize,
+    /// Set to zero to disable the TransitTable entirely — the paper's
+    /// "SilkRoad without TransitTable" ablation in Fig 16/17.
+    pub transit_enabled: bool,
+    /// Learning filter geometry (capacity + timeout; Fig 18 sweeps the
+    /// timeout between 500 µs and 5 ms).
+    pub learning: LearningFilterConfig,
+    /// Switch CPU insertion model (paper: 200 K insertions/s).
+    pub cpu: SwitchCpuConfig,
+    /// Extra latency added to a software-redirected SYN (digest false
+    /// positive repair, "a few milliseconds").
+    pub syn_redirect_delay: Duration,
+    /// Idle timeout after which the control plane expires a connection
+    /// entry that was never explicitly closed.
+    pub idle_timeout: Duration,
+    /// RNG seed for all hash functions in this switch.
+    pub seed: u64,
+}
+
+impl Default for SilkRoadConfig {
+    fn default() -> Self {
+        SilkRoadConfig {
+            conn_capacity: 1_000_000,
+            conn_stages: 4,
+            digest_bits: 16,
+            digest_bits_per_stage: None,
+            version_bits: 6,
+            mapping: ConnMapping::Version,
+            version_reuse: true,
+            transit_bytes: 256,
+            transit_hashes: 4,
+            transit_enabled: true,
+            learning: LearningFilterConfig::default(),
+            cpu: SwitchCpuConfig::default(),
+            syn_redirect_delay: Duration::from_millis(2),
+            idle_timeout: Duration::from_secs(120),
+            seed: 0x51_1c_0a_d0,
+        }
+    }
+}
+
+impl SilkRoadConfig {
+    /// A small configuration for unit tests and doc examples: tiny tables,
+    /// fast CPU, everything else as the paper.
+    pub fn small_test() -> SilkRoadConfig {
+        SilkRoadConfig {
+            conn_capacity: 4_096,
+            ..Default::default()
+        }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), TypeError> {
+        if !(8..=32).contains(&self.digest_bits) {
+            return Err(TypeError::OutOfRange {
+                what: "digest_bits",
+                constraint: "8..=32",
+                got: self.digest_bits as u64,
+            });
+        }
+        if let Some(bits) = &self.digest_bits_per_stage {
+            for &b in bits {
+                if !(8..=32).contains(&b) {
+                    return Err(TypeError::OutOfRange {
+                        what: "digest_bits_per_stage",
+                        constraint: "8..=32",
+                        got: b as u64,
+                    });
+                }
+            }
+            if bits.is_empty() {
+                return Err(TypeError::OutOfRange {
+                    what: "digest_bits_per_stage",
+                    constraint: "non-empty",
+                    got: 0,
+                });
+            }
+        }
+        if !(1..=16).contains(&self.version_bits) {
+            return Err(TypeError::OutOfRange {
+                what: "version_bits",
+                constraint: "1..=16",
+                got: self.version_bits as u64,
+            });
+        }
+        if self.conn_stages < 2 {
+            return Err(TypeError::OutOfRange {
+                what: "conn_stages",
+                constraint: "2..",
+                got: self.conn_stages as u64,
+            });
+        }
+        if self.conn_capacity == 0 {
+            return Err(TypeError::OutOfRange {
+                what: "conn_capacity",
+                constraint: "1..",
+                got: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of versions in the per-VIP ring.
+    pub fn version_ring_size(&self) -> u32 {
+        1u32 << self.version_bits.min(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SilkRoadConfig::default();
+        assert_eq!(c.digest_bits, 16);
+        assert_eq!(c.version_bits, 6);
+        assert_eq!(c.version_ring_size(), 64);
+        assert_eq!(c.transit_bytes, 256);
+        assert_eq!(c.cpu.insertions_per_sec, 200_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn per_stage_digest_validation() {
+        let mut c = SilkRoadConfig::default();
+        c.digest_bits_per_stage = Some(vec![24, 16, 12, 12]);
+        assert!(c.validate().is_ok());
+        c.digest_bits_per_stage = Some(vec![4]);
+        assert!(c.validate().is_err());
+        c.digest_bits_per_stage = Some(vec![]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_widths() {
+        let mut c = SilkRoadConfig::default();
+        c.digest_bits = 4;
+        assert!(c.validate().is_err());
+        c = SilkRoadConfig::default();
+        c.version_bits = 0;
+        assert!(c.validate().is_err());
+        c = SilkRoadConfig::default();
+        c.conn_stages = 1;
+        assert!(c.validate().is_err());
+        c = SilkRoadConfig::default();
+        c.conn_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

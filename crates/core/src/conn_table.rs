@@ -1,0 +1,278 @@
+//! ConnTable — the per-connection state table (§4.2).
+//!
+//! The ASIC-resident exact-match table keyed by a 16-bit digest of the
+//! 5-tuple. Action data is the DIP-pool version (6 bits) in the paper's
+//! design, or the DIP itself in the §4.2 fallback mode. The software shadow
+//! (full keys, arrival times) rides along in the entry value — the real
+//! switch keeps the same information in CPU memory.
+
+use crate::config::{ConnMapping, SilkRoadConfig};
+use sr_asic::table::{ExactMatchTable, MatchMode, TableSpec};
+use sr_hash::cuckoo::{CuckooError, InsertOutcome, LookupHit};
+use sr_types::{Dip, Nanos, PoolVersion, Vip};
+
+/// Value stored per connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnValue {
+    /// The VIP the connection targets.
+    pub vip: Vip,
+    /// The DIP-pool version the connection is pinned to (always tracked for
+    /// refcounting, even in direct-DIP mode).
+    pub version: PoolVersion,
+    /// The DIP resolved at learn time (authoritative in
+    /// [`ConnMapping::DirectDip`] mode).
+    pub dip: Dip,
+    /// First-packet arrival time (drives the 3-step update bookkeeping).
+    pub arrived: Nanos,
+}
+
+/// The ConnTable.
+pub struct ConnTable {
+    table: ExactMatchTable<ConnValue>,
+    mapping: ConnMapping,
+    /// Keys exact-hit since the last aging scan — the model of the per-entry
+    /// *hit bit* real exact-match tables provide for idle aging.
+    hit_marks: std::collections::HashSet<Box<[u8]>>,
+    /// When the last aging scan ran.
+    last_scan: Nanos,
+}
+
+impl ConnTable {
+    /// Build from the switch configuration.
+    pub fn new(cfg: &SilkRoadConfig) -> ConnTable {
+        let spec = match cfg.mapping {
+            ConnMapping::Version => TableSpec {
+                match_bits: cfg.digest_bits as u32,
+                action_bits: cfg.version_bits as u32,
+                overhead_bits: 6,
+            },
+            // Fallback: action carries a full IPv6 DIP + port.
+            ConnMapping::DirectDip => TableSpec {
+                match_bits: cfg.digest_bits as u32,
+                action_bits: 144,
+                overhead_bits: 6,
+            },
+        };
+        let match_mode = match &cfg.digest_bits_per_stage {
+            Some(bits) => MatchMode::DigestPerStage { bits: bits.clone() },
+            None => MatchMode::Digest {
+                bits: cfg.digest_bits,
+            },
+        };
+        ConnTable {
+            table: ExactMatchTable::new(
+                cfg.conn_capacity,
+                cfg.conn_stages,
+                spec,
+                match_mode,
+                cfg.seed ^ 0xc0_44,
+            ),
+            mapping: cfg.mapping,
+            hit_marks: std::collections::HashSet::new(),
+            last_scan: Nanos::ZERO,
+        }
+    }
+
+    /// The configured mapping mode.
+    pub fn mapping(&self) -> ConnMapping {
+        self.mapping
+    }
+
+    /// ASIC lookup.
+    pub fn lookup(&self, key: &[u8]) -> Option<LookupHit<'_, ConnValue>> {
+        self.table.lookup(key)
+    }
+
+    /// ASIC lookup that also sets the entry's hit bit on an exact match
+    /// (the data-plane path; plain `lookup` is for software inspection).
+    pub fn lookup_marking(&mut self, key: &[u8]) -> Option<(ConnValue, bool, Vec<u8>)> {
+        let (value, exact, resident) = {
+            let hit = self.table.lookup(key)?;
+            (*hit.value, hit.exact, hit.resident_key.to_vec())
+        };
+        if exact {
+            self.hit_marks.insert(key.into());
+        }
+        Some((value, exact, resident))
+    }
+
+    /// Idle aging (clock algorithm): expire every entry that was installed
+    /// before the previous scan and has not been exact-hit since. Returns
+    /// the expired entries; resets the hit bits.
+    pub fn aging_scan(&mut self, now: Nanos) -> Vec<(Box<[u8]>, ConnValue)> {
+        let cutoff = self.last_scan;
+        let marks = std::mem::take(&mut self.hit_marks);
+        let expired = self
+            .table
+            .retain(|k, v| v.arrived >= cutoff || marks.contains(k));
+        self.last_scan = now;
+        expired
+    }
+
+    /// Time of the last aging scan.
+    pub fn last_scan(&self) -> Nanos {
+        self.last_scan
+    }
+
+    /// Install an entry (software path; timing is modelled by the CPU).
+    pub fn install(&mut self, key: &[u8], value: ConnValue) -> Result<InsertOutcome, CuckooError> {
+        self.table.insert(key, value)
+    }
+
+    /// Remove an entry on connection close/expiry.
+    pub fn remove(&mut self, key: &[u8]) -> Result<ConnValue, CuckooError> {
+        self.hit_marks.remove(key);
+        self.table.remove(key)
+    }
+
+    /// Relocate a resident entry to another stage (digest-collision repair).
+    pub fn relocate(&mut self, key: &[u8]) -> Result<usize, CuckooError> {
+        self.table.relocate(key)
+    }
+
+    /// Stored connection count.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Provisioned capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Occupancy fraction.
+    pub fn load_factor(&self) -> f64 {
+        self.table.load_factor()
+    }
+
+    /// SRAM bytes provisioned.
+    pub fn provisioned_bytes(&self) -> u64 {
+        self.table.provisioned_bytes()
+    }
+
+    /// SRAM bytes for occupied entries.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.table.occupied_bytes()
+    }
+
+    /// Iterate entries (software side — expiry scans, version migration).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &ConnValue)> {
+        self.table.iter()
+    }
+
+    /// Remove all entries pinned to `version` of `vip`, returning them
+    /// (version-exhaustion migration to the fallback table).
+    pub fn evict_version(&mut self, vip: Vip, version: PoolVersion) -> Vec<(Box<[u8]>, ConnValue)> {
+        self.table
+            .retain(|_, v| !(v.vip == vip && v.version == version))
+    }
+
+    /// Cumulative cuckoo moves (CPU cost diagnostic).
+    pub fn total_moves(&self) -> u64 {
+        self.table.total_moves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn value(ver: u16) -> ConnValue {
+        ConnValue {
+            vip: Vip(Addr::v4(20, 0, 0, 1, 80)),
+            version: PoolVersion(ver),
+            dip: Dip(Addr::v4(10, 0, 0, 1, 20)),
+            arrived: Nanos::ZERO,
+        }
+    }
+
+    fn table() -> ConnTable {
+        ConnTable::new(&SilkRoadConfig::small_test())
+    }
+
+    #[test]
+    fn install_lookup_remove() {
+        let mut t = table();
+        t.install(b"conn-1", value(3)).unwrap();
+        let hit = t.lookup(b"conn-1").unwrap();
+        assert!(hit.exact);
+        assert_eq!(hit.value.version, PoolVersion(3));
+        assert_eq!(t.len(), 1);
+        let removed = t.remove(b"conn-1").unwrap();
+        assert_eq!(removed.version, PoolVersion(3));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn evict_version_filters_precisely() {
+        let mut t = table();
+        let other_vip = Vip(Addr::v4(20, 0, 0, 2, 80));
+        t.install(b"a", value(1)).unwrap();
+        t.install(b"b", value(2)).unwrap();
+        t.install(
+            b"c",
+            ConnValue {
+                vip: other_vip,
+                ..value(1)
+            },
+        )
+        .unwrap();
+        let evicted = t.evict_version(value(1).vip, PoolVersion(1));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(&*evicted[0].0, b"a");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn aging_expires_only_idle_entries() {
+        let mut t = table();
+        t.install(b"old-idle", value(1)).unwrap();
+        t.install(b"old-busy", value(2)).unwrap();
+        // First scan at t=1s arms the clock (nothing old enough yet).
+        assert!(t.aging_scan(Nanos::from_secs(1)).is_empty());
+        // Traffic touches only old-busy.
+        assert!(t.lookup_marking(b"old-busy").is_some());
+        // A young entry installed after the scan must survive too.
+        let mut young = value(3);
+        young.arrived = Nanos::from_secs(2);
+        t.install(b"young", young).unwrap();
+        let expired = t.aging_scan(Nanos::from_secs(120));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(&*expired[0].0, b"old-idle");
+        assert!(t.lookup(b"old-busy").is_some());
+        assert!(t.lookup(b"young").is_some());
+        // Hit bits reset: old-busy expires next time if untouched.
+        let expired = t.aging_scan(Nanos::from_secs(240));
+        let keys: Vec<&[u8]> = expired.iter().map(|(k, _)| k.as_ref()).collect();
+        assert!(keys.contains(&b"old-busy".as_ref()));
+    }
+
+    #[test]
+    fn per_stage_digest_mode_roundtrips() {
+        let mut cfg = SilkRoadConfig::small_test();
+        cfg.digest_bits_per_stage = Some(vec![24, 20, 16, 12]);
+        let mut t = ConnTable::new(&cfg);
+        for i in 0..500u32 {
+            t.install(&i.to_be_bytes(), value(1)).unwrap();
+        }
+        for i in 0..500u32 {
+            assert!(t.lookup(&i.to_be_bytes()).unwrap().exact);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_mode() {
+        let version_mode = ConnTable::new(&SilkRoadConfig::small_test());
+        let mut cfg = SilkRoadConfig::small_test();
+        cfg.mapping = ConnMapping::DirectDip;
+        let dip_mode = ConnTable::new(&cfg);
+        // Direct-DIP entries are far wider: more SRAM for same capacity.
+        assert!(dip_mode.provisioned_bytes() > 3 * version_mode.provisioned_bytes());
+    }
+}

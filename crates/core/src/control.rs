@@ -1,0 +1,257 @@
+//! Control-plane plumbing: learning filter → switch CPU → ConnTable.
+//!
+//! Tracks which connections are *pending* (learned but not yet installed) —
+//! the population the 3-step update protocol reasons about — and carries
+//! per-VIP outstanding counters for the step-transition checks.
+
+use sr_asic::{LearningFilter, LearningFilterConfig, SwitchCpu, SwitchCpuConfig};
+use sr_types::{Dip, Nanos, PoolVersion, Vip};
+use std::collections::{HashMap, HashSet};
+
+/// Metadata captured when the data plane learns a new connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LearnMeta {
+    /// The VIP the connection targets.
+    pub vip: Vip,
+    /// The pool version the data plane selected at first-packet time.
+    pub version: PoolVersion,
+    /// The DIP that version's pool hashed the connection to.
+    pub dip: Dip,
+}
+
+/// A pending ConnTable insertion travelling through the CPU queue.
+#[derive(Clone, Debug)]
+pub struct InstallJob {
+    /// Connection key (canonical 5-tuple bytes).
+    pub key: Box<[u8]>,
+    /// Learn-time metadata.
+    pub meta: LearnMeta,
+    /// First-packet arrival time.
+    pub arrived: Nanos,
+}
+
+/// An install that finished its CPU processing.
+#[derive(Clone, Debug)]
+pub struct CompletedInstall {
+    /// The job.
+    pub job: InstallJob,
+    /// When the entry became visible in ConnTable.
+    pub completed_at: Nanos,
+}
+
+/// The control plane.
+pub struct ControlPlane {
+    /// The hardware learning filter.
+    pub learning: LearningFilter<LearnMeta>,
+    /// The management CPU.
+    pub cpu: SwitchCpu<InstallJob>,
+    /// Keys anywhere in the learn→install pipeline.
+    in_flight: HashSet<Box<[u8]>>,
+    /// Per-VIP count of in-flight (pending) connections.
+    outstanding: HashMap<Vip, u64>,
+    /// Connections closed before their install completed.
+    closed_early: HashSet<Box<[u8]>>,
+}
+
+impl ControlPlane {
+    /// Build from filter and CPU configurations.
+    pub fn new(learning: LearningFilterConfig, cpu: SwitchCpuConfig) -> ControlPlane {
+        ControlPlane {
+            learning: LearningFilter::new(learning),
+            cpu: SwitchCpu::new(cpu),
+            in_flight: HashSet::new(),
+            outstanding: HashMap::new(),
+            closed_early: HashSet::new(),
+        }
+    }
+
+    /// Whether `key` is currently pending (filter or CPU queue).
+    pub fn is_pending(&self, key: &[u8]) -> bool {
+        self.in_flight.contains(key)
+    }
+
+    /// Pending connections for `vip`.
+    pub fn outstanding(&self, vip: Vip) -> u64 {
+        self.outstanding.get(&vip).copied().unwrap_or(0)
+    }
+
+    /// Data-plane learn: returns whether the event entered the pipeline
+    /// (false on duplicate or filter overflow — the connection stays
+    /// unlearned and retries on its next packet).
+    pub fn learn(&mut self, key: &[u8], meta: LearnMeta, now: Nanos) -> bool {
+        if self.in_flight.contains(key) {
+            return false;
+        }
+        if !self.learning.learn(key, meta, now) {
+            return false;
+        }
+        self.in_flight.insert(key.into());
+        *self.outstanding.entry(meta.vip).or_insert(0) += 1;
+        true
+    }
+
+    /// Drain the learning filter into the CPU queue if its notification is
+    /// due at `now`. Returns how many jobs were submitted.
+    pub fn drain_learning(&mut self, now: Nanos) -> usize {
+        match self.learning.drain_if_due(now) {
+            Some(batch) => {
+                let n = batch.len();
+                // The CPU starts work when notified, i.e. at the drain time.
+                for ev in batch {
+                    self.cpu.submit(
+                        InstallJob {
+                            key: ev.key,
+                            meta: ev.meta,
+                            arrived: ev.arrived,
+                        },
+                        now,
+                    );
+                }
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Pop installs whose CPU processing finished by `now`.
+    pub fn pop_installs(&mut self, now: Nanos) -> Vec<CompletedInstall> {
+        self.cpu
+            .pop_completed(now)
+            .into_iter()
+            .map(|j| CompletedInstall {
+                completed_at: j.completes_at,
+                job: j.payload,
+            })
+            .collect()
+    }
+
+    /// Mark a key's pipeline journey finished (installed, dropped, or
+    /// failed). Must be called exactly once per completed learn.
+    pub fn mark_terminal(&mut self, key: &[u8], vip: Vip) {
+        if self.in_flight.remove(key) {
+            if let Some(c) = self.outstanding.get_mut(&vip) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Note that a connection closed; if it is still pending, its eventual
+    /// install must be skipped.
+    pub fn note_close(&mut self, key: &[u8]) {
+        if self.in_flight.contains(key) {
+            self.closed_early.insert(key.into());
+        }
+    }
+
+    /// Whether `key` closed while pending (consumes the marker).
+    pub fn take_closed_early(&mut self, key: &[u8]) -> bool {
+        self.closed_early.remove(key)
+    }
+
+    /// The next instant at which control-plane work becomes due.
+    pub fn next_wakeup(&self) -> Option<Nanos> {
+        match (self.learning.notify_deadline(), self.cpu.next_completion()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::{Addr, Duration};
+
+    fn meta() -> LearnMeta {
+        LearnMeta {
+            vip: Vip(Addr::v4(20, 0, 0, 1, 80)),
+            version: PoolVersion(0),
+            dip: Dip(Addr::v4(10, 0, 0, 1, 20)),
+        }
+    }
+
+    fn cp() -> ControlPlane {
+        ControlPlane::new(
+            LearningFilterConfig {
+                capacity: 8,
+                timeout: Duration::from_millis(1),
+            },
+            SwitchCpuConfig {
+                insertions_per_sec: 200_000,
+            },
+        )
+    }
+
+    #[test]
+    fn learn_to_install_pipeline() {
+        let mut c = cp();
+        assert!(c.learn(b"k1", meta(), Nanos::ZERO));
+        assert!(!c.learn(b"k1", meta(), Nanos::ZERO), "duplicate learn");
+        assert!(c.is_pending(b"k1"));
+        assert_eq!(c.outstanding(meta().vip), 1);
+
+        // Nothing drains before the filter timeout.
+        assert_eq!(c.drain_learning(Nanos::from_micros(500)), 0);
+        assert_eq!(c.drain_learning(Nanos::from_millis(1)), 1);
+
+        // CPU takes 5 µs after the drain.
+        let done = c.pop_installs(Nanos::from_millis(1) + Duration::from_micros(5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(&*done[0].job.key, b"k1");
+        assert_eq!(done[0].job.arrived, Nanos::ZERO);
+
+        c.mark_terminal(b"k1", meta().vip);
+        assert!(!c.is_pending(b"k1"));
+        assert_eq!(c.outstanding(meta().vip), 0);
+    }
+
+    #[test]
+    fn close_while_pending() {
+        let mut c = cp();
+        c.learn(b"k1", meta(), Nanos::ZERO);
+        c.note_close(b"k1");
+        assert!(c.take_closed_early(b"k1"));
+        assert!(!c.take_closed_early(b"k1"), "marker must be consumed");
+        // Closing a non-pending key leaves no marker.
+        c.note_close(b"k2");
+        assert!(!c.take_closed_early(b"k2"));
+    }
+
+    #[test]
+    fn wakeup_is_min_of_deadlines() {
+        let mut c = cp();
+        assert_eq!(c.next_wakeup(), None);
+        c.learn(b"k1", meta(), Nanos::from_micros(100));
+        // Only the filter deadline exists.
+        assert_eq!(
+            c.next_wakeup(),
+            Some(Nanos::from_micros(100) + Duration::from_millis(1))
+        );
+        c.drain_learning(Nanos::from_millis(2));
+        // Now only the CPU completion exists.
+        assert_eq!(
+            c.next_wakeup(),
+            Some(Nanos::from_millis(2) + Duration::from_micros(5))
+        );
+    }
+
+    #[test]
+    fn overflow_rejects_learn_without_tracking() {
+        let mut c = cp();
+        for i in 0..8u32 {
+            assert!(c.learn(&i.to_be_bytes(), meta(), Nanos::ZERO));
+        }
+        assert!(!c.learn(b"overflow", meta(), Nanos::ZERO));
+        assert!(!c.is_pending(b"overflow"));
+        assert_eq!(c.outstanding(meta().vip), 8);
+    }
+
+    #[test]
+    fn mark_terminal_is_idempotent() {
+        let mut c = cp();
+        c.learn(b"k1", meta(), Nanos::ZERO);
+        c.mark_terminal(b"k1", meta().vip);
+        c.mark_terminal(b"k1", meta().vip);
+        assert_eq!(c.outstanding(meta().vip), 0);
+    }
+}

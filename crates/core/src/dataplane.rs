@@ -1,0 +1,81 @@
+//! Data-plane result types.
+//!
+//! The per-packet pipeline itself lives in [`crate::switch`] (it needs
+//! mutable access to every table); this module defines what it returns.
+
+use sr_types::{Dip, PoolVersion};
+
+/// Which path a packet took through the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataPath {
+    /// Forwarded entirely in the ASIC via a ConnTable hit.
+    AsicConnTable,
+    /// Forwarded entirely in the ASIC via the VIPTable miss path (first
+    /// packets and pending connections).
+    AsicVipTable,
+    /// Redirected through switch software: a SYN that falsely hit an
+    /// existing ConnTable entry (digest collision, §4.2) or falsely hit
+    /// TransitTable in step 2 (§4.3). Repaired, then forwarded; costs the
+    /// configured extra delay.
+    SoftwareRedirect,
+    /// Dropped: destination is a VIP with an empty pool.
+    Dropped,
+    /// Not VIP traffic: passed through to regular forwarding.
+    NotVip,
+}
+
+/// Outcome of processing one packet.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardDecision {
+    /// The chosen backend, if any.
+    pub dip: Option<Dip>,
+    /// Path taken.
+    pub path: DataPath,
+    /// The pool version used to resolve the DIP (None for `NotVip`/drops
+    /// and for direct-DIP ConnTable hits).
+    pub version: Option<PoolVersion>,
+    /// Whether the decision came from a ConnTable hit.
+    pub conn_table_hit: bool,
+    /// Whether the ConnTable hit was a digest false positive (simulator
+    /// visibility only — the ASIC cannot know).
+    pub false_hit: bool,
+}
+
+impl ForwardDecision {
+    /// A non-VIP passthrough decision.
+    pub fn not_vip() -> ForwardDecision {
+        ForwardDecision {
+            dip: None,
+            path: DataPath::NotVip,
+            version: None,
+            conn_table_hit: false,
+            false_hit: false,
+        }
+    }
+
+    /// A drop decision (empty pool).
+    pub fn dropped() -> ForwardDecision {
+        ForwardDecision {
+            dip: None,
+            path: DataPath::Dropped,
+            version: None,
+            conn_table_hit: false,
+            false_hit: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let n = ForwardDecision::not_vip();
+        assert_eq!(n.path, DataPath::NotVip);
+        assert!(n.dip.is_none());
+        let d = ForwardDecision::dropped();
+        assert_eq!(d.path, DataPath::Dropped);
+        assert!(!d.conn_table_hit);
+    }
+}

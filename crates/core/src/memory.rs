@@ -1,0 +1,250 @@
+//! Analytic SRAM model — Figures 12 and 14 (§6.1).
+//!
+//! The simulation figures need memory numbers for connection counts far
+//! beyond what is practical to instantiate entry-by-entry (up to 15 M per
+//! ToR). This module computes them exactly the way the paper does: entry
+//! layouts × word packing, for the three designs compared in Fig 14:
+//!
+//! * **naive** — full 5-tuple key, full DIP+port action;
+//! * **digest** — 16-bit digest key, full DIP+port action;
+//! * **digest + version** — 16-bit digest key, 6-bit version action, plus
+//!   the DIPPoolTable indirection.
+
+use sr_asic::sram::SramSpec;
+use sr_types::AddrFamily;
+
+/// Which ConnTable design to cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryDesign {
+    /// Full key + full action.
+    Naive,
+    /// Digest key + full action.
+    DigestOnly {
+        /// Digest width in bits.
+        digest_bits: u8,
+    },
+    /// Digest key + version action + DIPPoolTable.
+    DigestVersion {
+        /// Digest width in bits.
+        digest_bits: u8,
+        /// Version width in bits.
+        version_bits: u8,
+    },
+}
+
+/// Inputs to the memory model.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryInputs {
+    /// Active connections to store.
+    pub connections: u64,
+    /// VIPs served.
+    pub vips: u64,
+    /// Total DIP-pool members across all live `(VIP, version)` pools.
+    pub total_pool_members: u64,
+    /// Live `(VIP, version)` rows.
+    pub pool_rows: u64,
+    /// Address family (sizes keys and DIP actions).
+    pub family: AddrFamily,
+}
+
+/// Byte breakdown of a design's SRAM demand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// ConnTable bytes.
+    pub conn_table: u64,
+    /// VIPTable bytes.
+    pub vip_table: u64,
+    /// DIPPoolTable bytes (zero unless versioned).
+    pub dip_pool_table: u64,
+    /// TransitTable bytes.
+    pub transit: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.conn_table + self.vip_table + self.dip_pool_table + self.transit
+    }
+
+    /// Total mebibytes.
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Per-entry packing overhead bits (instruction + next-table address, §6).
+const OVERHEAD_BITS: u32 = 6;
+
+fn conn_entry_bits(design: MemoryDesign, family: AddrFamily) -> u32 {
+    let key_bits = 8 * family.five_tuple_bytes() as u32;
+    let action_full = 8 * family.dip_action_bytes() as u32;
+    match design {
+        MemoryDesign::Naive => key_bits + action_full + OVERHEAD_BITS,
+        MemoryDesign::DigestOnly { digest_bits } => digest_bits as u32 + action_full + OVERHEAD_BITS,
+        MemoryDesign::DigestVersion {
+            digest_bits,
+            version_bits,
+        } => digest_bits as u32 + version_bits as u32 + OVERHEAD_BITS,
+    }
+}
+
+/// Compute the SRAM demand of a design on the given inputs.
+pub fn cost(design: MemoryDesign, inputs: &MemoryInputs) -> MemoryBreakdown {
+    let conn_spec = SramSpec {
+        entry_bits: conn_entry_bits(design, inputs.family),
+    };
+    let conn_table = conn_spec.bytes_for(inputs.connections);
+
+    // VIPTable: VIP (addr+port+proto) -> version/action.
+    let vip_key_bits = 8 * (inputs.family.addr_bytes() as u32 + 2) + 8;
+    let vip_spec = SramSpec {
+        entry_bits: vip_key_bits + 2 * 6 + OVERHEAD_BITS,
+    };
+    let vip_table = vip_spec.bytes_for(inputs.vips);
+
+    // DIPPoolTable exists only in the versioned design: one row header per
+    // (VIP, version) plus one member word per pool member (DIP + port).
+    let dip_pool_table = match design {
+        MemoryDesign::DigestVersion { version_bits, .. } => {
+            let row_spec = SramSpec {
+                entry_bits: 32 + version_bits as u32 + OVERHEAD_BITS,
+            };
+            let member_spec = SramSpec {
+                entry_bits: 8 * inputs.family.dip_action_bytes() as u32,
+            };
+            row_spec.bytes_for(inputs.pool_rows) + member_spec.bytes_for(inputs.total_pool_members)
+        }
+        _ => 0,
+    };
+
+    let transit = match design {
+        MemoryDesign::DigestVersion { .. } => 256,
+        _ => 0,
+    };
+
+    MemoryBreakdown {
+        conn_table,
+        vip_table,
+        dip_pool_table,
+        transit,
+    }
+}
+
+/// Fractional memory saving of `design` relative to the naive layout
+/// (Fig 14's y-axis): `1 - design/naive`.
+pub fn saving_vs_naive(design: MemoryDesign, inputs: &MemoryInputs) -> f64 {
+    let naive = cost(MemoryDesign::Naive, inputs).total() as f64;
+    let d = cost(design, inputs).total() as f64;
+    if naive <= 0.0 {
+        0.0
+    } else {
+        1.0 - d / naive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs_v6(conns: u64) -> MemoryInputs {
+        MemoryInputs {
+            connections: conns,
+            vips: 1000,
+            total_pool_members: 4187 * 4, // ~peak Backend, few live versions
+            pool_rows: 4000,
+            family: AddrFamily::V6,
+        }
+    }
+
+    #[test]
+    fn naive_ten_million_ipv6_exceeds_sram() {
+        // §1 footnote: 10M naive IPv6 entries take a few hundred MB.
+        let b = cost(MemoryDesign::Naive, &inputs_v6(10_000_000));
+        assert!(b.total_mb() > 400.0, "naive total {} MB", b.total_mb());
+    }
+
+    #[test]
+    fn versioned_ten_million_fits() {
+        let b = cost(
+            MemoryDesign::DigestVersion {
+                digest_bits: 16,
+                version_bits: 6,
+            },
+            &inputs_v6(10_000_000),
+        );
+        assert!(b.total_mb() < 50.0, "versioned total {} MB", b.total_mb());
+    }
+
+    #[test]
+    fn entry_bits_match_paper() {
+        assert_eq!(
+            conn_entry_bits(
+                MemoryDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6
+                },
+                AddrFamily::V6
+            ),
+            28
+        );
+        // Naive IPv6: 37B key + 18B action + 6b overhead = 446 bits.
+        assert_eq!(conn_entry_bits(MemoryDesign::Naive, AddrFamily::V6), 446);
+    }
+
+    #[test]
+    fn savings_ordering_matches_fig14() {
+        // digest+version saves more than digest-only; both save >40% for
+        // IPv6 (the paper: all clusters saved at least ~40%).
+        let i = inputs_v6(5_000_000);
+        let s_digest = saving_vs_naive(MemoryDesign::DigestOnly { digest_bits: 16 }, &i);
+        let s_ver = saving_vs_naive(
+            MemoryDesign::DigestVersion {
+                digest_bits: 16,
+                version_bits: 6,
+            },
+            &i,
+        );
+        assert!(s_ver > s_digest, "version {s_ver} vs digest {s_digest}");
+        assert!(s_digest > 0.3, "digest-only saving {s_digest}");
+        assert!(s_ver > 0.85, "digest+version saving {s_ver}");
+    }
+
+    #[test]
+    fn ipv4_savings_smaller_but_positive() {
+        let i = MemoryInputs {
+            family: AddrFamily::V4,
+            ..inputs_v6(5_000_000)
+        };
+        let s = saving_vs_naive(MemoryDesign::DigestOnly { digest_bits: 16 }, &i);
+        assert!(s > 0.2 && s < 0.9, "ipv4 digest saving {s}");
+    }
+
+    #[test]
+    fn pool_table_only_in_versioned_design() {
+        let i = inputs_v6(1_000_000);
+        assert_eq!(cost(MemoryDesign::Naive, &i).dip_pool_table, 0);
+        assert_eq!(
+            cost(MemoryDesign::DigestOnly { digest_bits: 16 }, &i).dip_pool_table,
+            0
+        );
+        assert!(
+            cost(
+                MemoryDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6
+                },
+                &i
+            )
+            .dip_pool_table
+                > 0
+        );
+    }
+
+    #[test]
+    fn bigger_digest_costs_more() {
+        let i = inputs_v6(2_770_000);
+        let m16 = cost(MemoryDesign::DigestVersion { digest_bits: 16, version_bits: 6 }, &i);
+        let m24 = cost(MemoryDesign::DigestVersion { digest_bits: 24, version_bits: 6 }, &i);
+        assert!(m24.total() > m16.total());
+    }
+}

@@ -1,0 +1,273 @@
+//! DIP pools and DIPPoolTable (§4.2).
+//!
+//! A [`DipPool`] is the member list behind one `(VIP, version)` pair. Pools
+//! use **positional hashing**: a connection's DIP is
+//! `members[scale(hash(5-tuple), len)]`, so a pool's mapping is a pure
+//! function of its member vector. Once a version has live connections its
+//! pool never changes — with the single documented exception of *version
+//! reuse*, which substitutes a dead (removed) DIP in place, leaving every
+//! live connection's slot untouched.
+
+use sr_hash::{ecmp_select, HashFn};
+use sr_types::{Dip, FiveTuple, PoolVersion, Vip};
+use std::collections::HashMap;
+
+/// One operator-requested DIP-pool change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolUpdate {
+    /// Add a DIP (provisioning, or a rebooted DIP returning).
+    Add(Dip),
+    /// Remove a DIP (failure, upgrade reboot, preemption, removal).
+    Remove(Dip),
+}
+
+/// An immutable-membership DIP pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DipPool {
+    members: Vec<Dip>,
+}
+
+impl DipPool {
+    /// Build a pool from a member list.
+    pub fn new(members: Vec<Dip>) -> DipPool {
+        DipPool { members }
+    }
+
+    /// The member list.
+    pub fn members(&self) -> &[Dip] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `dip` is a member.
+    pub fn contains(&self, dip: &Dip) -> bool {
+        self.members.contains(dip)
+    }
+
+    /// Select the DIP for a connection by positional hashing.
+    pub fn select(&self, tuple: &FiveTuple, hasher: &HashFn) -> Option<Dip> {
+        let idx = ecmp_select(hasher.hash(&tuple.key_bytes()), self.members.len())?;
+        Some(self.members[idx])
+    }
+
+    /// Pool with `dip` appended (the `Add` derivation).
+    pub fn with_added(&self, dip: Dip) -> DipPool {
+        let mut members = self.members.clone();
+        members.push(dip);
+        DipPool { members }
+    }
+
+    /// Pool with `dip` removed, order of the rest preserved (the `Remove`
+    /// derivation). Returns the removed slot index if present.
+    pub fn with_removed(&self, dip: Dip) -> (DipPool, Option<usize>) {
+        match self.members.iter().position(|d| *d == dip) {
+            Some(i) => {
+                let mut members = self.members.clone();
+                members.remove(i);
+                (DipPool { members }, Some(i))
+            }
+            None => (self.clone(), None),
+        }
+    }
+
+    /// Whether two pools contain exactly the same members, regardless of
+    /// slot order. Slot order changes the positional mapping, but any live
+    /// pool with the right member *set* is a valid version-reuse target:
+    /// new connections simply hash over its (consistent) order.
+    pub fn same_members(&self, other: &DipPool) -> bool {
+        if self.members.len() != other.members.len() {
+            return false;
+        }
+        let mut a = self.members.clone();
+        let mut b = other.members.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// In-place substitution `old -> new` (version reuse; see module docs).
+    /// Returns whether a substitution happened.
+    pub fn substitute(&mut self, old: Dip, new: Dip) -> bool {
+        let mut hit = false;
+        for m in &mut self.members {
+            if *m == old {
+                *m = new;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// DIPPoolTable: `(VIP, version) -> DipPool`.
+///
+/// "DIPPoolTable is similar to an ECMP table that maps ECMP group ID to a
+/// set of ECMP members." Pools are owned here; the version allocator tracks
+/// their lifecycle.
+#[derive(Default, Debug)]
+pub struct DipPoolTable {
+    pools: HashMap<(Vip, PoolVersion), DipPool>,
+}
+
+impl DipPoolTable {
+    /// Empty table.
+    pub fn new() -> DipPoolTable {
+        DipPoolTable::default()
+    }
+
+    /// Install a pool for `(vip, version)`.
+    pub fn insert(&mut self, vip: Vip, version: PoolVersion, pool: DipPool) {
+        self.pools.insert((vip, version), pool);
+    }
+
+    /// Fetch a pool.
+    pub fn get(&self, vip: Vip, version: PoolVersion) -> Option<&DipPool> {
+        self.pools.get(&(vip, version))
+    }
+
+    /// Fetch a pool mutably (version-reuse substitution only).
+    pub fn get_mut(&mut self, vip: Vip, version: PoolVersion) -> Option<&mut DipPool> {
+        self.pools.get_mut(&(vip, version))
+    }
+
+    /// Remove a destroyed version's pool.
+    pub fn remove(&mut self, vip: Vip, version: PoolVersion) -> Option<DipPool> {
+        self.pools.remove(&(vip, version))
+    }
+
+    /// Rows currently stored (memory accounting).
+    pub fn rows(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Total members across pools (memory accounting: one action-member
+    /// word per member).
+    pub fn total_members(&self) -> usize {
+        self.pools.values().map(|p| p.len()).sum()
+    }
+
+    /// Iterate pools of one VIP.
+    pub fn pools_of(&self, vip: Vip) -> impl Iterator<Item = (PoolVersion, &DipPool)> {
+        self.pools
+            .iter()
+            .filter(move |((v, _), _)| *v == vip)
+            .map(|((_, ver), p)| (*ver, p))
+    }
+
+    /// Apply `substitute(old, new)` to every pool of `vip` (version reuse
+    /// propagation — only ever called with `old` being a dead DIP).
+    pub fn substitute_everywhere(&mut self, vip: Vip, old: Dip, new: Dip) -> usize {
+        let mut n = 0;
+        for ((v, _), pool) in self.pools.iter_mut() {
+            if *v == vip && pool.substitute(old, new) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn conn(p: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, p), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    #[test]
+    fn select_is_deterministic_and_in_pool() {
+        let pool = DipPool::new(vec![dip(1), dip(2), dip(3)]);
+        let h = HashFn::new(1);
+        for p in 0..100 {
+            let d = pool.select(&conn(p), &h).unwrap();
+            assert!(pool.contains(&d));
+            assert_eq!(pool.select(&conn(p), &h), Some(d));
+        }
+    }
+
+    #[test]
+    fn empty_pool_selects_none() {
+        let pool = DipPool::new(vec![]);
+        assert_eq!(pool.select(&conn(1), &HashFn::new(0)), None);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn derivations() {
+        let pool = DipPool::new(vec![dip(1), dip(2)]);
+        let added = pool.with_added(dip(3));
+        assert_eq!(added.len(), 3);
+        let (removed, slot) = added.with_removed(dip(2));
+        assert_eq!(slot, Some(1));
+        assert_eq!(removed.members(), &[dip(1), dip(3)]);
+        let (same, slot) = pool.with_removed(dip(9));
+        assert_eq!(slot, None);
+        assert_eq!(same, pool);
+    }
+
+    #[test]
+    fn substitution_preserves_other_slots() {
+        // The version-reuse invariant: substituting a dead member must not
+        // move any connection that hashes to a surviving member.
+        let mut pool = DipPool::new(vec![dip(1), dip(2), dip(3)]);
+        let h = HashFn::new(7);
+        let before: Vec<(u16, Dip)> = (0..500)
+            .map(|p| (p, pool.select(&conn(p), &h).unwrap()))
+            .collect();
+        assert!(pool.substitute(dip(2), dip(9)));
+        for (p, d) in before {
+            let after = pool.select(&conn(p), &h).unwrap();
+            if d == dip(2) {
+                assert_eq!(after, dip(9));
+            } else {
+                assert_eq!(after, d, "live connection moved by substitution");
+            }
+        }
+    }
+
+    #[test]
+    fn table_roundtrip_and_accounting() {
+        let mut t = DipPoolTable::new();
+        t.insert(vip(), PoolVersion(0), DipPool::new(vec![dip(1), dip(2)]));
+        t.insert(vip(), PoolVersion(1), DipPool::new(vec![dip(1)]));
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.total_members(), 3);
+        assert_eq!(t.get(vip(), PoolVersion(0)).unwrap().len(), 2);
+        assert_eq!(t.pools_of(vip()).count(), 2);
+        assert!(t.remove(vip(), PoolVersion(1)).is_some());
+        assert_eq!(t.rows(), 1);
+        assert!(t.get(vip(), PoolVersion(1)).is_none());
+    }
+
+    #[test]
+    fn substitute_everywhere_touches_all_versions() {
+        let mut t = DipPoolTable::new();
+        t.insert(vip(), PoolVersion(0), DipPool::new(vec![dip(1), dip(2)]));
+        t.insert(vip(), PoolVersion(1), DipPool::new(vec![dip(2)]));
+        t.insert(vip(), PoolVersion(2), DipPool::new(vec![dip(3)]));
+        let n = t.substitute_everywhere(vip(), dip(2), dip(8));
+        assert_eq!(n, 2);
+        assert!(t.get(vip(), PoolVersion(0)).unwrap().contains(&dip(8)));
+        assert!(t.get(vip(), PoolVersion(1)).unwrap().contains(&dip(8)));
+        assert!(!t.get(vip(), PoolVersion(2)).unwrap().contains(&dip(8)));
+    }
+}

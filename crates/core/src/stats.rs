@@ -1,0 +1,96 @@
+//! Switch-level statistics counters.
+
+use std::fmt;
+
+/// Counters exported by a [`crate::SilkRoadSwitch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets resolved by a ConnTable hit.
+    pub conn_table_hits: u64,
+    /// Packets resolved through the VIPTable miss path.
+    pub vip_table_misses: u64,
+    /// ConnTable hits that were digest false positives (any packet type).
+    pub digest_false_hits: u64,
+    /// SYNs redirected to software for digest-collision repair.
+    pub syn_repairs: u64,
+    /// Resident entries relocated to another stage during repair.
+    pub relocations: u64,
+    /// SYNs redirected because they falsely matched TransitTable in step 2.
+    pub transit_syn_redirects: u64,
+    /// Learn events accepted into the pipeline.
+    pub learns: u64,
+    /// ConnTable entries successfully installed.
+    pub installs: u64,
+    /// Installs skipped because the connection closed first.
+    pub installs_skipped_closed: u64,
+    /// Installs that failed because ConnTable was full (connection served
+    /// via the software/fallback path instead).
+    pub conn_table_overflows: u64,
+    /// Connections currently in the fallback (direct-DIP) software table.
+    pub fallback_entries: u64,
+    /// DIP-pool updates requested.
+    pub updates_requested: u64,
+    /// Updates that were no-ops (removing an absent DIP etc.).
+    pub updates_noop: u64,
+    /// Updates fully completed (t_finish reached).
+    pub updates_completed: u64,
+    /// Updates queued behind an in-flight update at request time.
+    pub updates_queued: u64,
+    /// Version-ring exhaustion events (fallback migrations).
+    pub version_exhaustions: u64,
+    /// Connections migrated to the fallback table on exhaustion.
+    pub exhaustion_migrations: u64,
+    /// Connections closed/expired.
+    pub closes: u64,
+    /// Connections expired by idle-aging scans.
+    pub idle_expired: u64,
+    /// Packets dropped by per-VIP meters (DDoS/flash-crowd policing).
+    pub metered_drops: u64,
+}
+
+impl fmt::Display for SwitchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "packets:            {}", self.packets)?;
+        writeln!(
+            f,
+            "  conn-table hits:  {} ({} false, {} SYN repairs, {} relocations)",
+            self.conn_table_hits, self.digest_false_hits, self.syn_repairs, self.relocations
+        )?;
+        writeln!(
+            f,
+            "  vip-table misses: {} ({} transit SYN redirects)",
+            self.vip_table_misses, self.transit_syn_redirects
+        )?;
+        writeln!(
+            f,
+            "learns/installs:    {}/{} ({} skipped-closed, {} overflows)",
+            self.learns, self.installs, self.installs_skipped_closed, self.conn_table_overflows
+        )?;
+        writeln!(
+            f,
+            "updates:            {} requested, {} completed, {} queued, {} noop",
+            self.updates_requested, self.updates_completed, self.updates_queued, self.updates_noop
+        )?;
+        write!(
+            f,
+            "versions:           {} exhaustions ({} migrated); closes: {} (+{} idle-aged)",
+            self.version_exhaustions, self.exhaustion_migrations, self.closes, self.idle_expired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_displays() {
+        let s = SwitchStats::default();
+        assert_eq!(s.packets, 0);
+        let text = s.to_string();
+        assert!(text.contains("packets:"));
+        assert!(text.contains("updates:"));
+    }
+}

@@ -1,0 +1,1012 @@
+//! The SilkRoad switch: data plane + control plane glued together.
+//!
+//! [`SilkRoadSwitch`] is the crate's main entry point. It is driven by two
+//! kinds of calls:
+//!
+//! * **data plane** — [`SilkRoadSwitch::process_packet`] runs the full
+//!   per-packet pipeline (ConnTable → VIPTable/TransitTable → DIPPoolTable)
+//!   and returns the forwarding decision;
+//! * **control plane** — [`SilkRoadSwitch::request_update`] applies DIP-pool
+//!   changes through the 3-step PCC protocol, and
+//!   [`SilkRoadSwitch::advance`] runs the software side (learning-filter
+//!   drains, CPU insertions, update-phase transitions) up to a point in
+//!   simulated time.
+//!
+//! Every public method takes `now`; the switch never consults a real clock.
+
+use crate::config::{ConnMapping, SilkRoadConfig};
+use crate::conn_table::{ConnTable, ConnValue};
+use crate::control::{CompletedInstall, ControlPlane, LearnMeta};
+use crate::dataplane::{DataPath, ForwardDecision};
+use crate::memory::MemoryBreakdown;
+use crate::pool::PoolUpdate;
+use crate::stats::SwitchStats;
+use crate::transit::TransitTable;
+use crate::update::{ActiveUpdate, Transition, UpdatePhase, UpdateState};
+use crate::version::VersionManager;
+use crate::vip_table::{VersionView, VipTable};
+use sr_asic::{Meter, MeterColor, MeterConfig};
+use sr_hash::cuckoo::CuckooError;
+use sr_hash::HashFn;
+use sr_types::{Dip, FiveTuple, Nanos, PacketMeta, PoolVersion, TypeError, Vip};
+use std::collections::HashMap;
+
+/// Per-VIP control-plane state.
+struct VipState {
+    manager: VersionManager,
+    update: UpdateState,
+}
+
+/// A SilkRoad switch instance.
+pub struct SilkRoadSwitch {
+    cfg: SilkRoadConfig,
+    /// Hash used to select a DIP within a versioned pool (one generic hash
+    /// unit, shared by every VIP).
+    select_hash: HashFn,
+    vip_table: VipTable,
+    vips: HashMap<Vip, VipState>,
+    conn_table: ConnTable,
+    transit: TransitTable,
+    control: ControlPlane,
+    /// Software fallback table: connections that could not live in
+    /// ConnTable (overflow, version exhaustion) pinned directly to a DIP.
+    fallback: HashMap<Box<[u8]>, (Vip, Dip)>,
+    /// Per-VIP rate limiters (§5.2 performance isolation): red-marked
+    /// packets are dropped before any table lookup.
+    meters: HashMap<Vip, Meter>,
+    stats: SwitchStats,
+}
+
+impl SilkRoadSwitch {
+    /// Build a switch. Panics on invalid configuration (validate first for
+    /// graceful handling).
+    pub fn new(cfg: SilkRoadConfig) -> SilkRoadSwitch {
+        cfg.validate().expect("invalid SilkRoadConfig");
+        SilkRoadSwitch {
+            select_hash: HashFn::new(cfg.seed ^ 0x5e1ec7),
+            vip_table: VipTable::new(),
+            vips: HashMap::new(),
+            conn_table: ConnTable::new(&cfg),
+            transit: TransitTable::new(
+                cfg.transit_bytes,
+                cfg.transit_hashes,
+                cfg.seed,
+                cfg.transit_enabled,
+            ),
+            control: ControlPlane::new(cfg.learning, cfg.cpu),
+            fallback: HashMap::new(),
+            meters: HashMap::new(),
+            stats: SwitchStats::default(),
+            cfg,
+        }
+    }
+
+    /// Attach a rate-limiting meter to a VIP (§5.2: "SilkRoad associates a
+    /// meter (rate-limiter) to a VIP to detect and drop excessive traffic").
+    /// Red-marked packets are dropped before any table processing.
+    pub fn attach_meter(&mut self, vip: Vip, cfg: MeterConfig) {
+        self.meters.insert(vip, Meter::new(cfg));
+    }
+
+    /// Detach a VIP's meter.
+    pub fn detach_meter(&mut self, vip: Vip) {
+        self.meters.remove(&vip);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SilkRoadConfig {
+        &self.cfg
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &SwitchStats {
+        &self.stats
+    }
+
+    /// Installed connection count (ConnTable only).
+    pub fn conn_count(&self) -> usize {
+        self.conn_table.len()
+    }
+
+    /// The current update phase of a VIP.
+    pub fn update_phase(&self, vip: Vip) -> Option<UpdatePhase> {
+        self.vips.get(&vip).map(|s| s.update.phase)
+    }
+
+    /// The current pool version of a VIP.
+    pub fn current_version(&self, vip: Vip) -> Option<PoolVersion> {
+        self.vips.get(&vip).map(|s| s.manager.current_version())
+    }
+
+    /// The live DIPs of a VIP's newest pool.
+    pub fn current_dips(&self, vip: Vip) -> Option<Vec<Dip>> {
+        self.vips
+            .get(&vip)
+            .map(|s| s.manager.current_pool().members().to_vec())
+    }
+
+    /// Version-manager counters of a VIP: (allocations, reuses,
+    /// pool_changes, live_versions).
+    pub fn version_counters(&self, vip: Vip) -> Option<(u64, u64, u64, usize)> {
+        self.vips.get(&vip).map(|s| {
+            (
+                s.manager.allocations,
+                s.manager.reuses,
+                s.manager.pool_changes,
+                s.manager.live_versions(),
+            )
+        })
+    }
+
+    /// TransitTable diagnostics: (recorded, checks, hits, size_bytes).
+    pub fn transit_counters(&self) -> (u64, u64, u64, usize) {
+        (
+            self.transit.recorded,
+            self.transit.checks,
+            self.transit.hits,
+            self.transit.size_bytes(),
+        )
+    }
+
+    /// Actual SRAM footprint right now.
+    pub fn memory(&self) -> MemoryBreakdown {
+        let (rows, members) = self.vips.values().fold((0u64, 0u64), |(r, m), s| {
+            (
+                r + s.manager.live_versions() as u64,
+                m + s.manager.total_pool_members() as u64,
+            )
+        });
+        let member_bytes = members * 14; // one 112-bit word per member
+        let row_bytes = rows * 14;
+        MemoryBreakdown {
+            conn_table: self.conn_table.occupied_bytes(),
+            vip_table: self.vip_table.len() as u64 * 28,
+            dip_pool_table: row_bytes + member_bytes,
+            transit: self.transit.size_bytes() as u64,
+        }
+    }
+
+    /// Register a VIP with its initial DIP pool.
+    pub fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) -> Result<(), TypeError> {
+        if self.vips.contains_key(&vip) {
+            return Err(TypeError::InvalidState {
+                what: "VIP already registered",
+            });
+        }
+        let manager = VersionManager::new(
+            vip,
+            crate::pool::DipPool::new(dips),
+            self.cfg.version_bits,
+            self.cfg.version_reuse,
+        );
+        self.vip_table.insert(vip, manager.current_version());
+        self.vips.insert(
+            vip,
+            VipState {
+                manager,
+                update: UpdateState::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Deregister a VIP (drops all its state; connections to it become
+    /// non-VIP traffic).
+    pub fn remove_vip(&mut self, vip: Vip) -> Result<(), TypeError> {
+        self.vips
+            .remove(&vip)
+            .ok_or(TypeError::NotFound { what: "VIP" })?;
+        self.vip_table.remove(vip);
+        Ok(())
+    }
+
+    /// Earliest instant at which [`SilkRoadSwitch::advance`] has work to do.
+    pub fn next_wakeup(&self) -> Option<Nanos> {
+        self.control.next_wakeup()
+    }
+
+    /// Run the control plane up to `now` (inclusive), in event order.
+    pub fn advance(&mut self, now: Nanos) {
+        loop {
+            let Some(t) = self.control.next_wakeup() else {
+                break;
+            };
+            if t > now {
+                break;
+            }
+            self.control.drain_learning(t);
+            let installs = self.control.pop_installs(t);
+            for inst in installs {
+                self.handle_install(inst);
+            }
+        }
+    }
+
+    /// Process one packet at `now`.
+    pub fn process_packet(&mut self, pkt: &PacketMeta, now: Nanos) -> ForwardDecision {
+        self.advance(now);
+        self.stats.packets += 1;
+        let dst = pkt.tuple.dst;
+        let Some(view) = self.vip_table.lookup(&dst) else {
+            return ForwardDecision::not_vip();
+        };
+        // Per-VIP policing happens at the front of the pipeline.
+        if let Some(meter) = self.meters.get_mut(&Vip(dst)) {
+            if meter.mark(now, pkt.len) == MeterColor::Red {
+                self.stats.metered_drops += 1;
+                return ForwardDecision::dropped();
+            }
+        }
+        let key = pkt.tuple.key_bytes();
+
+        // 1. ConnTable (the marking lookup also sets the entry's hit bit,
+        //    which drives idle aging).
+        if let Some((value, exact, resident)) = self.conn_table.lookup_marking(&key) {
+            if exact || !pkt.flags.is_syn() {
+                self.stats.conn_table_hits += 1;
+                if !exact {
+                    self.stats.digest_false_hits += 1;
+                }
+                let (dip, version) = self.resolve_value(&pkt.tuple, &value);
+                return ForwardDecision {
+                    dip,
+                    path: DataPath::AsicConnTable,
+                    version,
+                    conn_table_hit: true,
+                    false_hit: !exact,
+                };
+            }
+            // SYN falsely hitting a resident entry: software repair (§4.2).
+            self.stats.conn_table_hits += 1;
+            self.stats.digest_false_hits += 1;
+            self.stats.syn_repairs += 1;
+            if self.conn_table.relocate(&resident).is_ok() {
+                self.stats.relocations += 1;
+            }
+            let mut d = self.miss_path(pkt, view, &key, now);
+            d.path = DataPath::SoftwareRedirect;
+            return d;
+        }
+
+        // 2. Fallback table (overflow / version-exhaustion connections).
+        if let Some(&(_, dip)) = self.fallback.get(key.as_slice()) {
+            self.stats.conn_table_hits += 1;
+            return ForwardDecision {
+                dip: Some(dip),
+                path: DataPath::AsicConnTable,
+                version: None,
+                conn_table_hit: true,
+                false_hit: false,
+            };
+        }
+
+        // 3. VIPTable miss path.
+        self.miss_path(pkt, view, &key, now)
+    }
+
+    /// Resolve a ConnTable value to a DIP per the configured mapping mode.
+    fn resolve_value(
+        &self,
+        tuple: &FiveTuple,
+        value: &ConnValue,
+    ) -> (Option<Dip>, Option<PoolVersion>) {
+        match self.cfg.mapping {
+            ConnMapping::DirectDip => (Some(value.dip), None),
+            ConnMapping::Version => {
+                let dip = self
+                    .vips
+                    .get(&value.vip)
+                    .and_then(|s| s.manager.pool(value.version))
+                    .and_then(|p| p.select(tuple, &self.select_hash))
+                    // The pool should outlive its connections (refcounts);
+                    // the learn-time DIP is the defensive fallback.
+                    .or(Some(value.dip));
+                (dip, Some(value.version))
+            }
+        }
+    }
+
+    fn miss_path(
+        &mut self,
+        pkt: &PacketMeta,
+        view: VersionView,
+        key: &[u8],
+        now: Nanos,
+    ) -> ForwardDecision {
+        self.stats.vip_table_misses += 1;
+        let vip = Vip(pkt.tuple.dst);
+        let mut software = false;
+
+        let version = match view {
+            VersionView::Stable(v) => {
+                // Step 1 of an in-flight update: remember this connection.
+                let recording = self
+                    .vips
+                    .get(&vip)
+                    .map(|s| s.update.phase == UpdatePhase::Recording)
+                    .unwrap_or(false);
+                if recording {
+                    self.transit.record(key);
+                }
+                v
+            }
+            VersionView::Updating { old, new } => {
+                if self.transit.check(key) {
+                    if pkt.flags.is_syn() {
+                        // A SYN matching TransitTable in step 2 is redirected
+                        // to software (§4.3): software distinguishes a real
+                        // pending connection (old version) from a bloom
+                        // false positive (new version).
+                        self.stats.transit_syn_redirects += 1;
+                        software = true;
+                        if self.control.is_pending(key) {
+                            old
+                        } else {
+                            new
+                        }
+                    } else {
+                        old
+                    }
+                } else {
+                    new
+                }
+            }
+        };
+
+        let Some(state) = self.vips.get(&vip) else {
+            return ForwardDecision::dropped();
+        };
+        let Some(pool) = state.manager.pool(version) else {
+            return ForwardDecision::dropped();
+        };
+        let Some(dip) = pool.select(&pkt.tuple, &self.select_hash) else {
+            return ForwardDecision::dropped();
+        };
+
+        // Learn the connection (dedup inside the control plane).
+        if !self.control.is_pending(key)
+            && self
+                .control
+                .learn(key, LearnMeta { vip, version, dip }, now)
+        {
+            self.stats.learns += 1;
+        }
+
+        ForwardDecision {
+            dip: Some(dip),
+            path: if software {
+                DataPath::SoftwareRedirect
+            } else {
+                DataPath::AsicVipTable
+            },
+            version: Some(version),
+            conn_table_hit: false,
+            false_hit: false,
+        }
+    }
+
+    /// The connection identified by `tuple` closed (FIN/RST observed or the
+    /// flow ended). Frees its ConnTable entry and version reference.
+    pub fn close_connection(&mut self, tuple: &FiveTuple, now: Nanos) {
+        self.advance(now);
+        self.stats.closes += 1;
+        let key = tuple.key_bytes();
+        match self.conn_table.remove(&key) {
+            Ok(value) => {
+                if let Some(state) = self.vips.get_mut(&value.vip) {
+                    state.manager.conn_removed(value.version);
+                }
+            }
+            Err(_) => {
+                if self.fallback.remove(key.as_slice()).is_some() {
+                    self.stats.fallback_entries = self.stats.fallback_entries.saturating_sub(1);
+                } else {
+                    // Still pending: skip its install when it completes.
+                    self.control.note_close(&key);
+                }
+            }
+        }
+    }
+
+    /// Request a DIP-pool update. Queued behind any in-flight update for the
+    /// same VIP.
+    pub fn request_update(
+        &mut self,
+        vip: Vip,
+        op: PoolUpdate,
+        now: Nanos,
+    ) -> Result<(), TypeError> {
+        self.advance(now);
+        self.stats.updates_requested += 1;
+        let state = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(TypeError::NotFound { what: "VIP" })?;
+        if !state.update.is_idle() {
+            state.update.queue.push_back(op);
+            self.stats.updates_queued += 1;
+            return Ok(());
+        }
+        self.start_update(vip, op, now);
+        Ok(())
+    }
+
+    fn start_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos) {
+        let prepared = {
+            let state = self.vips.get_mut(&vip).expect("caller checked");
+            match state.manager.prepare(op) {
+                Ok(Some(p)) => Some(p),
+                Ok(None) => None,
+                Err(_) => {
+                    // Version-ring exhaustion: migrate the least-referenced
+                    // version's connections to the fallback table and retry.
+                    self.handle_exhaustion(vip);
+                    let state = self.vips.get_mut(&vip).expect("still there");
+                    match state.manager.prepare(op) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            // Still exhausted (everything pinned): drop the
+                            // update. Counted; the operator would retry.
+                            return;
+                        }
+                    }
+                }
+            }
+        };
+        let Some(prepared) = prepared else {
+            self.stats.updates_noop += 1;
+            return;
+        };
+
+        let pending = self.control.outstanding(vip);
+        let state = self.vips.get_mut(&vip).expect("caller checked");
+        let old = state.manager.current_version();
+        state.manager.retain(old);
+        state.manager.retain(prepared.new_version);
+        state.update.begin(ActiveUpdate {
+            op,
+            requested_at: now,
+            executed_at: None,
+            old_version: old,
+            new_version: prepared.new_version,
+            reused: prepared.reused,
+            pending_before_req: pending,
+            pending_recorded: 0,
+        });
+        if self.transit.enabled() {
+            self.transit.acquire();
+            if pending == 0 {
+                // Step 1 is empty: flip immediately.
+                self.execute_update(vip, now);
+            }
+        } else {
+            // Ablation (`SilkRoad without TransitTable`): no step 1 — the
+            // update executes at request time, pending connections be
+            // damned. This is Fig 16/17's middle line.
+            self.execute_update(vip, now);
+        }
+    }
+
+    fn execute_update(&mut self, vip: Vip, t_exec: Nanos) {
+        let outstanding = self.control.outstanding(vip);
+        let (old, new, done) = {
+            let state = self.vips.get_mut(&vip).expect("active update");
+            let active = *state.update.active.as_ref().expect("active update");
+            let done = state.update.execute(t_exec, outstanding);
+            state.manager.commit(active.new_version);
+            (active.old_version, active.new_version, done)
+        };
+        self.vip_table.begin_transition(vip, old, new);
+        if done {
+            self.finish_update(vip, t_exec);
+        }
+    }
+
+    fn finish_update(&mut self, vip: Vip, t_finish: Nanos) {
+        let next = {
+            let state = self.vips.get_mut(&vip).expect("active update");
+            let (done, next) = state.update.finish();
+            state.manager.release(done.old_version);
+            state.manager.release(done.new_version);
+            next
+        };
+        self.vip_table.finish_transition(vip);
+        if self.transit.enabled() {
+            self.transit.release();
+        }
+        self.stats.updates_completed += 1;
+        if let Some(op) = next {
+            self.start_update(vip, op, t_finish);
+        }
+    }
+
+    /// Run an idle-aging scan (clock algorithm over per-entry hit bits):
+    /// every entry installed before the previous scan and not hit since is
+    /// expired, releasing its version reference. Operators schedule this on
+    /// the order of `config.idle_timeout`; the simulator closes connections
+    /// explicitly instead (it only materialises a sample of each flow's
+    /// packets, so hit bits would be incomplete).
+    pub fn expire_idle(&mut self, now: Nanos) -> usize {
+        let expired = self.conn_table.aging_scan(now);
+        let n = expired.len();
+        for (_, value) in expired {
+            if let Some(state) = self.vips.get_mut(&value.vip) {
+                state.manager.conn_removed(value.version);
+            }
+        }
+        self.stats.idle_expired += n as u64;
+        n
+    }
+
+    /// Apply health-checker verdicts (§7): a `Down` removes the DIP from
+    /// its pool, an `Up` re-adds it — both through the normal 3-step PCC
+    /// update path, where version reuse absorbs the flap.
+    pub fn apply_health_events(
+        &mut self,
+        events: &[crate::health::HealthEvent],
+        now: Nanos,
+    ) -> Result<(), TypeError> {
+        for e in events {
+            match *e {
+                crate::health::HealthEvent::Down(vip, dip) => {
+                    self.request_update(vip, PoolUpdate::Remove(dip), now)?;
+                }
+                crate::health::HealthEvent::Up(vip, dip) => {
+                    self.request_update(vip, PoolUpdate::Add(dip), now)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Version-ring exhaustion (§4.2 footnote): move the connections of the
+    /// least-referenced non-current version into the fallback table so the
+    /// version can be destroyed and its number recycled.
+    fn handle_exhaustion(&mut self, vip: Vip) {
+        self.stats.version_exhaustions += 1;
+        let victim = {
+            let state = self.vips.get(&vip).expect("caller checked");
+            state.manager.victim_version()
+        };
+        let Some(victim) = victim else { return };
+        let evicted = self.conn_table.evict_version(vip, victim);
+        let state = self.vips.get_mut(&vip).expect("caller checked");
+        for (key, value) in evicted {
+            state.manager.conn_removed(victim);
+            self.fallback.insert(key, (vip, value.dip));
+            self.stats.fallback_entries += 1;
+            self.stats.exhaustion_migrations += 1;
+        }
+    }
+
+    fn handle_install(&mut self, inst: CompletedInstall) {
+        let CompletedInstall { job, completed_at } = inst;
+        let vip = job.meta.vip;
+        self.control.mark_terminal(&job.key, vip);
+
+        if self.control.take_closed_early(&job.key) {
+            self.stats.installs_skipped_closed += 1;
+        } else if self.vips.contains_key(&vip) {
+            // Install-time collision pre-check: if another resident already
+            // aliases this digest+bucket, relocate it first so the new
+            // entry's packets do not shadow-match (§4.2).
+            if let Some(hit) = self.conn_table.lookup(&job.key) {
+                if !hit.exact {
+                    let resident: Vec<u8> = hit.resident_key.to_vec();
+                    if self.conn_table.relocate(&resident).is_ok() {
+                        self.stats.relocations += 1;
+                    }
+                }
+            }
+            let value = ConnValue {
+                vip,
+                version: job.meta.version,
+                dip: job.meta.dip,
+                arrived: job.arrived,
+            };
+            match self.conn_table.install(&job.key, value) {
+                Ok(_) => {
+                    self.stats.installs += 1;
+                    if let Some(state) = self.vips.get_mut(&vip) {
+                        state.manager.conn_installed(job.meta.version);
+                    }
+                }
+                Err(CuckooError::Full) => {
+                    self.fallback.insert(job.key.clone(), (vip, job.meta.dip));
+                    self.stats.conn_table_overflows += 1;
+                    self.stats.fallback_entries += 1;
+                }
+                Err(_) => {}
+            }
+        }
+
+        // Drive the 3-step update machine.
+        let transition = self
+            .vips
+            .get_mut(&vip)
+            .map(|s| s.update.on_install())
+            .unwrap_or(Transition::None);
+        match transition {
+            Transition::Execute => self.execute_update(vip, completed_at),
+            Transition::Finish => self.finish_update(vip, completed_at),
+            Transition::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn conn(p: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, p), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn switch() -> SilkRoadSwitch {
+        let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
+        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        sw
+    }
+
+    /// Drive the control plane until quiescent.
+    fn settle(sw: &mut SilkRoadSwitch, upto_ms: u64) -> Nanos {
+        let t = Nanos::from_millis(upto_ms);
+        sw.advance(t);
+        t
+    }
+
+    #[test]
+    fn non_vip_traffic_passes_through() {
+        let mut sw = switch();
+        let other = FiveTuple::tcp(Addr::v4(1, 1, 1, 1, 1), Addr::v4(9, 9, 9, 9, 443));
+        let d = sw.process_packet(&PacketMeta::syn(other), Nanos::ZERO);
+        assert_eq!(d.path, DataPath::NotVip);
+    }
+
+    #[test]
+    fn first_packet_selects_and_learns() {
+        let mut sw = switch();
+        let d = sw.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert_eq!(d.path, DataPath::AsicVipTable);
+        assert!(d.dip.is_some());
+        assert!(!d.conn_table_hit);
+        assert_eq!(sw.stats().learns, 1);
+        // After the learning timeout + CPU time the entry is installed.
+        settle(&mut sw, 10);
+        assert_eq!(sw.conn_count(), 1);
+        let d2 = sw.process_packet(&PacketMeta::data(conn(1), 1460), Nanos::from_millis(10));
+        assert!(d2.conn_table_hit);
+        assert_eq!(d2.dip, d.dip);
+    }
+
+    #[test]
+    fn duplicate_vip_rejected() {
+        let mut sw = switch();
+        assert!(sw.add_vip(vip(), vec![dip(1)]).is_err());
+        assert!(sw.remove_vip(vip()).is_ok());
+        assert!(sw.remove_vip(vip()).is_err());
+    }
+
+    #[test]
+    fn update_unknown_vip_rejected() {
+        let mut sw = switch();
+        let unknown = Vip(Addr::v4(99, 0, 0, 1, 80));
+        assert!(sw
+            .request_update(unknown, PoolUpdate::Add(dip(9)), Nanos::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn installed_connection_survives_update() {
+        let mut sw = switch();
+        let d1 = sw.process_packet(&PacketMeta::syn(conn(7)), Nanos::ZERO);
+        settle(&mut sw, 10);
+        // Update: remove a different DIP (forces a new pool).
+        let victim = sw
+            .current_dips(vip())
+            .unwrap()
+            .into_iter()
+            .find(|d| Some(*d) != d1.dip)
+            .unwrap();
+        sw.request_update(vip(), PoolUpdate::Remove(victim), Nanos::from_millis(10))
+            .unwrap();
+        settle(&mut sw, 30);
+        assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Idle));
+        let d2 = sw.process_packet(&PacketMeta::data(conn(7), 100), Nanos::from_millis(30));
+        assert_eq!(d2.dip, d1.dip, "installed connection remapped by update");
+    }
+
+    #[test]
+    fn pending_connection_protected_by_transit_table() {
+        let mut sw = switch();
+        // Packet at t=0; entry not installed before ~1ms (filter timeout).
+        let d1 = sw.process_packet(&PacketMeta::syn(conn(42)), Nanos::ZERO);
+        // Update requested immediately after: the connection is pending.
+        sw.request_update(vip(), PoolUpdate::Remove(dip(1)), Nanos::from_micros(10))
+            .unwrap();
+        // While pending and mid-update, a data packet must still go to d1.
+        let d2 = sw.process_packet(
+            &PacketMeta::data(conn(42), 100),
+            Nanos::from_micros(20),
+        );
+        assert_eq!(d2.dip, d1.dip, "pending connection broke PCC");
+        // After everything settles, still d1.
+        settle(&mut sw, 50);
+        let d3 = sw.process_packet(&PacketMeta::data(conn(42), 100), Nanos::from_millis(50));
+        assert_eq!(d3.dip, d1.dip);
+        assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Idle));
+    }
+
+    #[test]
+    fn without_transit_table_update_is_immediate() {
+        let mut cfg = SilkRoadConfig::small_test();
+        cfg.transit_enabled = false;
+        let mut sw = SilkRoadSwitch::new(cfg);
+        sw.add_vip(vip(), vec![dip(1), dip(2)]).unwrap();
+        sw.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        sw.request_update(vip(), PoolUpdate::Remove(dip(1)), Nanos::from_micros(5))
+            .unwrap();
+        // The flip happened at request time even though a connection is
+        // pending: the VIP is already Draining (or Idle if drained).
+        assert_ne!(sw.update_phase(vip()), Some(UpdatePhase::Recording));
+    }
+
+    #[test]
+    fn new_connections_use_new_pool_after_update() {
+        let mut sw = switch();
+        sw.request_update(vip(), PoolUpdate::Remove(dip(2)), Nanos::ZERO)
+            .unwrap();
+        settle(&mut sw, 10);
+        for p in 0..200 {
+            let d = sw.process_packet(&PacketMeta::syn(conn(p)), Nanos::from_millis(10));
+            assert_ne!(d.dip, Some(dip(2)), "new connection sent to removed DIP");
+        }
+    }
+
+    #[test]
+    fn updates_queue_behind_active_one() {
+        let mut sw = switch();
+        // Make a connection pending so the first update sits in step 1.
+        sw.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        sw.request_update(vip(), PoolUpdate::Remove(dip(1)), Nanos::from_micros(1))
+            .unwrap();
+        sw.request_update(vip(), PoolUpdate::Remove(dip(2)), Nanos::from_micros(2))
+            .unwrap();
+        assert_eq!(sw.stats().updates_queued, 1);
+        settle(&mut sw, 50);
+        assert_eq!(sw.stats().updates_completed, 2);
+        let dips = sw.current_dips(vip()).unwrap();
+        assert!(!dips.contains(&dip(1)) && !dips.contains(&dip(2)));
+    }
+
+    #[test]
+    fn close_frees_entry_and_version() {
+        let mut sw = switch();
+        sw.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO);
+        settle(&mut sw, 10);
+        assert_eq!(sw.conn_count(), 1);
+        sw.close_connection(&conn(5), Nanos::from_millis(10));
+        assert_eq!(sw.conn_count(), 0);
+        assert_eq!(sw.stats().closes, 1);
+    }
+
+    #[test]
+    fn close_while_pending_skips_install() {
+        let mut sw = switch();
+        sw.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO);
+        sw.close_connection(&conn(5), Nanos::from_micros(10));
+        settle(&mut sw, 10);
+        assert_eq!(sw.conn_count(), 0);
+        assert_eq!(sw.stats().installs_skipped_closed, 1);
+    }
+
+    #[test]
+    fn noop_update_counted() {
+        let mut sw = switch();
+        sw.request_update(vip(), PoolUpdate::Remove(dip(99)), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(sw.stats().updates_noop, 1);
+        assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Idle));
+    }
+
+    #[test]
+    fn memory_reflects_connections() {
+        let mut sw = switch();
+        let m0 = sw.memory();
+        for p in 0..100 {
+            sw.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO);
+        }
+        settle(&mut sw, 20);
+        let m1 = sw.memory();
+        assert!(m1.conn_table > m0.conn_table);
+        assert_eq!(m1.transit, 256);
+    }
+
+    #[test]
+    fn rolling_reboot_reuses_versions_end_to_end() {
+        let mut sw = switch();
+        // Live connections keep the original version referenced, which is
+        // what makes reuse matter (and possible).
+        for p in 0..50 {
+            sw.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO);
+        }
+        let mut t = Nanos::from_millis(10);
+        sw.advance(t);
+        let mut port = 1000u16;
+        for _ in 0..20 {
+            sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t).unwrap();
+            t = t + sr_types::Duration::from_millis(20);
+            // Connections arriving while the DIP is down pin the
+            // removal-shaped version, as production traffic would.
+            for _ in 0..3 {
+                sw.process_packet(&PacketMeta::syn(conn(port)), t);
+                port += 1;
+            }
+            t = t + sr_types::Duration::from_millis(20);
+            sw.advance(t);
+            sw.request_update(vip(), PoolUpdate::Add(dip(1)), t).unwrap();
+            t = t + sr_types::Duration::from_millis(20);
+            sw.advance(t);
+        }
+        let (allocs, reuses, changes, live) = sw.version_counters(vip()).unwrap();
+        assert_eq!(changes, 40);
+        assert!(reuses >= 19, "reuses {reuses}");
+        assert!(allocs <= 5, "allocations {allocs}");
+        assert!(live <= 4, "live versions {live}");
+    }
+
+    #[test]
+    fn direct_dip_mode_works() {
+        let mut cfg = SilkRoadConfig::small_test();
+        cfg.mapping = ConnMapping::DirectDip;
+        let mut sw = SilkRoadSwitch::new(cfg);
+        sw.add_vip(vip(), vec![dip(1), dip(2)]).unwrap();
+        let d1 = sw.process_packet(&PacketMeta::syn(conn(3)), Nanos::ZERO);
+        sw.advance(Nanos::from_millis(10));
+        let d2 = sw.process_packet(&PacketMeta::data(conn(3), 100), Nanos::from_millis(10));
+        assert!(d2.conn_table_hit);
+        assert_eq!(d1.dip, d2.dip);
+        assert_eq!(d2.version, None, "direct mode exposes no version");
+    }
+
+    #[test]
+    fn meter_polices_a_hot_vip_without_touching_others() {
+        use sr_asic::MeterConfig;
+        let mut sw = switch();
+        let quiet_vip = Vip(Addr::v4(20, 0, 0, 2, 80));
+        sw.add_vip(quiet_vip, vec![dip(9)]).unwrap();
+        // 1 Mbit/s committed on the hot VIP, nothing on the quiet one.
+        sw.attach_meter(
+            vip(),
+            MeterConfig {
+                cir_bps: 125_000,
+                cbs: 3_000,
+                eir_bps: 0,
+                ebs: 0,
+            },
+        );
+        // Flood the hot VIP at ~10x its committed rate.
+        let mut t = Nanos::ZERO;
+        let mut dropped = 0;
+        for i in 0..200u16 {
+            let d = sw.process_packet(&PacketMeta::data(conn(i), 1500), t);
+            if d.path == DataPath::Dropped {
+                dropped += 1;
+            }
+            t = t + sr_types::Duration::from_millis(1);
+        }
+        assert!(dropped > 100, "meter barely dropped: {dropped}");
+        assert_eq!(sw.stats().metered_drops, dropped);
+        // The quiet VIP is untouched — hardware isolation.
+        let q = FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 7), quiet_vip.0);
+        let d = sw.process_packet(&PacketMeta::syn(q), t);
+        assert!(d.dip.is_some());
+        sw.detach_meter(vip());
+        let d = sw.process_packet(&PacketMeta::data(conn(9), 1500), t);
+        assert_ne!(d.path, DataPath::Dropped);
+    }
+
+    #[test]
+    fn health_events_drive_updates() {
+        use crate::health::{HealthChecker, HealthConfig};
+        let mut sw = switch();
+        let mut hc = HealthChecker::new(HealthConfig {
+            interval: sr_types::Duration::from_secs(1),
+            probe_bytes: 100,
+            fail_threshold: 2,
+            rise_threshold: 1,
+        });
+        for d in sw.current_dips(vip()).unwrap() {
+            hc.watch(vip(), d, Nanos::ZERO);
+        }
+        // Live connections pin the pre-failure version so the recovery can
+        // reuse it.
+        for p in 0..30 {
+            sw.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO);
+        }
+        sw.advance(Nanos::from_millis(100));
+        // dip(2) stops answering; after two probe rounds it is removed.
+        let mut t = Nanos::ZERO;
+        for s in 1..=4u64 {
+            t = Nanos::from_secs(s);
+            let events = hc.poll(t, |_, d| d != dip(2));
+            sw.apply_health_events(&events, t).unwrap();
+        }
+        sw.advance(t + sr_types::Duration::from_millis(50));
+        assert!(!sw.current_dips(vip()).unwrap().contains(&dip(2)));
+        // It recovers; one healthy round re-adds it.
+        for s in 5..=7u64 {
+            t = Nanos::from_secs(s);
+            let events = hc.poll(t, |_, _| true);
+            sw.apply_health_events(&events, t).unwrap();
+        }
+        sw.advance(t + sr_types::Duration::from_millis(50));
+        assert!(sw.current_dips(vip()).unwrap().contains(&dip(2)));
+        // The flap reused a version instead of burning two.
+        let (_, reuses, _, _) = sw.version_counters(vip()).unwrap();
+        assert!(reuses >= 1);
+    }
+
+    #[test]
+    fn syn_digest_collision_repaired_in_software() {
+        // Install one connection, then search the client space for a SYN
+        // that falsely hits its digest — the §4.2 repair must kick in:
+        // redirect to software, relocate the resident, and leave both
+        // connections resolving consistently ever after. An 8-bit digest
+        // makes the collision findable in a bounded search.
+        let mut cfg = SilkRoadConfig::small_test();
+        cfg.digest_bits = 8;
+        let mut sw = SilkRoadSwitch::new(cfg);
+        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        let resident = conn(1);
+        let d_res = sw.process_packet(&PacketMeta::syn(resident), Nanos::ZERO).dip;
+        sw.advance(Nanos::from_millis(10));
+        assert_eq!(sw.conn_count(), 1);
+
+        let mut collider = None;
+        for i in 0..400_000u32 {
+            let probe = FiveTuple::tcp(
+                Addr::v4_indexed(7, i / 60_000, 1024 + (i % 60_000) as u16),
+                Addr::v4(20, 0, 0, 1, 80),
+            );
+            let d = sw.process_packet(&PacketMeta::syn(probe), Nanos::from_millis(10));
+            if d.path == DataPath::SoftwareRedirect {
+                collider = Some(probe);
+                break;
+            }
+            // Keep the table small: drop the learn before it installs.
+            sw.close_connection(&probe, Nanos::from_millis(10));
+        }
+        let collider = collider.expect("no digest collision in 400K probes");
+        assert_eq!(sw.stats().syn_repairs, 1);
+        assert_eq!(sw.stats().relocations, 1);
+
+        // After the repair both connections are stable and exact.
+        sw.advance(Nanos::from_millis(30));
+        let r1 = sw.process_packet(&PacketMeta::data(resident, 100), Nanos::from_millis(30));
+        assert!(r1.conn_table_hit && !r1.false_hit, "{r1:?}");
+        assert_eq!(r1.dip, d_res);
+        let r2 = sw.process_packet(&PacketMeta::data(collider, 100), Nanos::from_millis(30));
+        assert!(!r2.false_hit, "collider still false-hitting: {r2:?}");
+        let r2b = sw.process_packet(&PacketMeta::data(collider, 100), Nanos::from_millis(31));
+        assert_eq!(r2.dip, r2b.dip);
+    }
+
+    #[test]
+    fn empty_pool_drops() {
+        let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
+        sw.add_vip(vip(), vec![]).unwrap();
+        let d = sw.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert_eq!(d.path, DataPath::Dropped);
+        assert!(d.dip.is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! TransitTable — the pending-connection bloom filter (§4.3).
+//!
+//! During a DIP-pool update, connections that arrived but whose ConnTable
+//! entry is not yet installed ("pending connections") must keep mapping to
+//! the *old* pool version. TransitTable remembers them in a bloom filter on
+//! transactional memory: write-only during step 1 (Recording), read-only
+//! during step 2 (Draining), cleared at step 3.
+//!
+//! One filter is shared by all VIPs under concurrent update (the paper's
+//! 256 bytes is a global budget); it can therefore only be cleared when no
+//! update is in flight anywhere.
+
+use sr_hash::BloomFilter;
+
+/// The TransitTable.
+pub struct TransitTable {
+    bloom: BloomFilter,
+    enabled: bool,
+    /// How many VIP updates are currently in step 1 or 2 (gates clearing).
+    active_users: usize,
+    /// Stats: keys recorded since last clear.
+    pub recorded: u64,
+    /// Stats: membership checks served.
+    pub checks: u64,
+    /// Stats: checks that returned true.
+    pub hits: u64,
+    /// Stats: clears performed.
+    pub clears: u64,
+}
+
+impl TransitTable {
+    /// Create a TransitTable of `bytes` with `k` hashes. `enabled = false`
+    /// models the paper's "SilkRoad without TransitTable" ablation.
+    pub fn new(bytes: usize, k: usize, seed: u64, enabled: bool) -> TransitTable {
+        TransitTable {
+            bloom: BloomFilter::new(bytes, k, seed ^ 0x7a_b1e),
+            enabled,
+            active_users: 0,
+            recorded: 0,
+            checks: 0,
+            hits: 0,
+            clears: 0,
+        }
+    }
+
+    /// Whether the table participates in updates.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Filter size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bloom.size_bytes()
+    }
+
+    /// A VIP update entered step 1 — hold the filter open.
+    pub fn acquire(&mut self) {
+        self.active_users += 1;
+    }
+
+    /// A VIP update finished step 3. When the last user releases, the
+    /// filter clears.
+    pub fn release(&mut self) {
+        debug_assert!(self.active_users > 0);
+        self.active_users = self.active_users.saturating_sub(1);
+        if self.active_users == 0 && self.enabled {
+            self.bloom.clear();
+            self.clears += 1;
+        }
+    }
+
+    /// Updates currently holding the filter.
+    pub fn active_users(&self) -> usize {
+        self.active_users
+    }
+
+    /// Record a pending connection (step 1, write-only phase).
+    pub fn record(&mut self, key: &[u8]) {
+        if self.enabled {
+            self.bloom.insert(key);
+            self.recorded += 1;
+        }
+    }
+
+    /// Check membership (step 2, read-only phase). Always false when
+    /// disabled.
+    pub fn check(&mut self, key: &[u8]) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.checks += 1;
+        let hit = self.bloom.contains(key);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Current fill ratio (diagnostic).
+    pub fn fill_ratio(&self) -> f64 {
+        self.bloom.fill_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_check_roundtrip() {
+        let mut t = TransitTable::new(256, 4, 0, true);
+        t.acquire();
+        t.record(b"pending-1");
+        assert!(t.check(b"pending-1"));
+        assert_eq!(t.recorded, 1);
+        assert_eq!(t.hits, 1);
+    }
+
+    #[test]
+    fn disabled_table_is_inert() {
+        let mut t = TransitTable::new(256, 4, 0, false);
+        t.acquire();
+        t.record(b"pending-1");
+        assert!(!t.check(b"pending-1"));
+        assert_eq!(t.recorded, 0);
+    }
+
+    #[test]
+    fn clears_only_when_all_users_release() {
+        let mut t = TransitTable::new(256, 4, 0, true);
+        t.acquire(); // update A
+        t.acquire(); // update B
+        t.record(b"x");
+        t.release(); // A finishes; B still active
+        assert!(t.check(b"x"), "cleared while another update active");
+        t.release();
+        assert_eq!(t.clears, 1);
+        assert!(!t.check(b"x"));
+        assert_eq!(t.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn small_filter_false_positives_exist() {
+        let mut t = TransitTable::new(8, 2, 1, true);
+        t.acquire();
+        for i in 0..200u32 {
+            t.record(&i.to_be_bytes());
+        }
+        let fp = (10_000..10_200u32)
+            .filter(|i| t.check(&i.to_be_bytes()))
+            .count();
+        assert!(fp > 0, "an 8-byte filter holding 200 keys must alias");
+    }
+}

@@ -1,0 +1,253 @@
+//! The 3-step PCC update protocol (§4.3, Fig 9).
+//!
+//! Per-VIP state machine:
+//!
+//! ```text
+//!            request_update              pending(< t_req) drained
+//!   Idle ────────────────────▶ Recording ────────────────────────▶ Draining
+//!    ▲                        (step 1: bloom                       (step 2: flip done,
+//!    │                         write-only)                          bloom read-only)
+//!    └────────────────────────────────────────────────────────────────┘
+//!                     pending(< t_exec) drained (step 3: clear)
+//! ```
+//!
+//! * **step 1** (`Recording`, `t_req → t_exec`): every new connection to the
+//!   VIP is recorded in TransitTable; the VIPTable still serves the old
+//!   version. The step ends when every connection that arrived *before*
+//!   `t_req` has its ConnTable entry installed.
+//! * **step 2** (`Draining`, `t_exec → t_finish`): VIPTable serves both
+//!   versions; ConnTable misses take the old version iff TransitTable hits.
+//!   Ends when every connection that arrived before `t_exec` is installed.
+//! * **step 3** (`t_finish`): TransitTable cleared (when no other VIP is
+//!   mid-update), old version unpinned.
+//!
+//! Updates for a VIP already mid-update queue and run back-to-back.
+
+use crate::pool::PoolUpdate;
+use sr_types::{Nanos, PoolVersion};
+use std::collections::VecDeque;
+
+/// Which step a VIP's update is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdatePhase {
+    /// No update in flight.
+    Idle,
+    /// Step 1: recording new connections, old version still current.
+    Recording,
+    /// Step 2: flipped; TransitTable consulted on ConnTable miss.
+    Draining,
+}
+
+/// An in-flight update.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveUpdate {
+    /// The operation being applied (kept for logging/ablation).
+    pub op: PoolUpdate,
+    /// `t_req`.
+    pub requested_at: Nanos,
+    /// `t_exec` (set on entering step 2).
+    pub executed_at: Option<Nanos>,
+    /// Version serving before the flip.
+    pub old_version: PoolVersion,
+    /// Version serving after the flip (prepared at `t_req`).
+    pub new_version: PoolVersion,
+    /// Whether the new version was a reuse (no allocation).
+    pub reused: bool,
+    /// Connections that arrived before `t_req` and are not yet installed.
+    pub pending_before_req: u64,
+    /// Connections recorded in TransitTable (arrived in `[t_req, t_exec)`)
+    /// not yet installed. Valid in step 2.
+    pub pending_recorded: u64,
+}
+
+/// Per-VIP update controller state.
+#[derive(Debug)]
+pub struct UpdateState {
+    /// Current phase.
+    pub phase: UpdatePhase,
+    /// The active update's bookkeeping (`None` iff `phase == Idle`).
+    pub active: Option<ActiveUpdate>,
+    /// Updates requested while one is in flight.
+    pub queue: VecDeque<PoolUpdate>,
+    /// Completed updates (for stats).
+    pub completed: u64,
+}
+
+impl Default for UpdateState {
+    fn default() -> Self {
+        UpdateState {
+            phase: UpdatePhase::Idle,
+            active: None,
+            queue: VecDeque::new(),
+            completed: 0,
+        }
+    }
+}
+
+impl UpdateState {
+    /// Fresh idle state.
+    pub fn new() -> UpdateState {
+        UpdateState::default()
+    }
+
+    /// Whether an update can start immediately (nothing in flight).
+    pub fn is_idle(&self) -> bool {
+        self.phase == UpdatePhase::Idle
+    }
+
+    /// Enter step 1.
+    pub fn begin(&mut self, update: ActiveUpdate) {
+        debug_assert!(self.is_idle());
+        self.phase = UpdatePhase::Recording;
+        self.active = Some(update);
+    }
+
+    /// Record an install completion; returns the transition the switch must
+    /// perform, if any.
+    ///
+    /// The pending counters are snapshots of the control plane's
+    /// outstanding count taken at `t_req`/`t_exec`. Because the learning
+    /// filter and the CPU queue are both FIFO, installs complete in arrival
+    /// order, so the first `pending` completions after a snapshot are
+    /// exactly the snapshot's connections — each completion decrements
+    /// unconditionally.
+    pub fn on_install(&mut self) -> Transition {
+        let Some(active) = self.active.as_mut() else {
+            return Transition::None;
+        };
+        match self.phase {
+            UpdatePhase::Recording => {
+                if active.pending_before_req > 0 {
+                    active.pending_before_req -= 1;
+                    if active.pending_before_req == 0 {
+                        return Transition::Execute;
+                    }
+                }
+                Transition::None
+            }
+            UpdatePhase::Draining => {
+                if active.pending_recorded > 0 {
+                    active.pending_recorded -= 1;
+                    if active.pending_recorded == 0 {
+                        return Transition::Finish;
+                    }
+                }
+                Transition::None
+            }
+            UpdatePhase::Idle => Transition::None,
+        }
+    }
+
+    /// Move to step 2 at `t_exec`; `outstanding` is the number of pending
+    /// (recorded) connections at this instant. Returns whether step 2 can
+    /// complete immediately (no pending connections at all).
+    pub fn execute(&mut self, t_exec: Nanos, outstanding: u64) -> bool {
+        let active = self.active.as_mut().expect("execute without active update");
+        active.executed_at = Some(t_exec);
+        active.pending_recorded = outstanding;
+        self.phase = UpdatePhase::Draining;
+        outstanding == 0
+    }
+
+    /// Step 3: clear the active update. Returns it for stats, plus the next
+    /// queued op if any.
+    pub fn finish(&mut self) -> (ActiveUpdate, Option<PoolUpdate>) {
+        let done = self.active.take().expect("finish without active update");
+        self.phase = UpdatePhase::Idle;
+        self.completed += 1;
+        (done, self.queue.pop_front())
+    }
+}
+
+/// Transition requested by [`UpdateState::on_install`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Stay in the current phase.
+    None,
+    /// All pre-`t_req` connections installed: perform the `t_exec` flip.
+    Execute,
+    /// All recorded connections installed: perform step 3.
+    Finish,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::{Addr, Dip};
+
+    fn op() -> PoolUpdate {
+        PoolUpdate::Add(Dip(Addr::v4(10, 0, 0, 9, 20)))
+    }
+
+    fn active(t_req: u64, pending: u64) -> ActiveUpdate {
+        ActiveUpdate {
+            op: op(),
+            requested_at: Nanos::from_millis(t_req),
+            executed_at: None,
+            old_version: PoolVersion(0),
+            new_version: PoolVersion(1),
+            reused: false,
+            pending_before_req: pending,
+            pending_recorded: 0,
+        }
+    }
+
+    #[test]
+    fn full_cycle() {
+        let mut s = UpdateState::new();
+        assert!(s.is_idle());
+        s.begin(active(10, 2));
+        assert_eq!(s.phase, UpdatePhase::Recording);
+
+        // Two installs (FIFO: necessarily the pre-t_req ones) end step 1.
+        assert_eq!(s.on_install(), Transition::None);
+        assert_eq!(s.on_install(), Transition::Execute);
+
+        // Step 2 with 1 recorded pending connection.
+        assert!(!s.execute(Nanos::from_millis(12), 1));
+        assert_eq!(s.phase, UpdatePhase::Draining);
+        // The recorded connection installs: step 3.
+        assert_eq!(s.on_install(), Transition::Finish);
+
+        let (done, next) = s.finish();
+        assert_eq!(done.new_version, PoolVersion(1));
+        assert!(next.is_none());
+        assert!(s.is_idle());
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn zero_pending_executes_immediately() {
+        let mut s = UpdateState::new();
+        s.begin(active(10, 0));
+        // The switch checks pending_before_req == 0 itself at t_req; model
+        // that by executing immediately with zero outstanding.
+        assert!(s.execute(Nanos::from_millis(10), 0));
+    }
+
+    #[test]
+    fn queueing() {
+        let mut s = UpdateState::new();
+        s.begin(active(0, 0));
+        s.queue.push_back(op());
+        s.execute(Nanos::ZERO, 0);
+        let (_, next) = s.finish();
+        assert_eq!(next, Some(op()));
+    }
+
+    #[test]
+    fn idle_install_is_noop() {
+        let mut s = UpdateState::new();
+        assert_eq!(s.on_install(), Transition::None);
+    }
+
+    #[test]
+    fn extra_installs_in_draining_do_not_underflow() {
+        let mut s = UpdateState::new();
+        s.begin(active(10, 0));
+        s.execute(Nanos::from_millis(10), 1);
+        assert_eq!(s.on_install(), Transition::Finish);
+        // A straggler completion after the counter hit zero is ignored.
+        assert_eq!(s.on_install(), Transition::None);
+    }
+}

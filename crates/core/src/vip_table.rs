@@ -1,0 +1,135 @@
+//! VIPTable — the data-plane VIP → version mapping (§4.2, §4.3).
+//!
+//! The ASIC-visible part of per-VIP state: which pool version new
+//! connections should use. While a 3-step update is in flight the entry
+//! carries *both* versions ("all the packets that miss ConnTable retrieve
+//! both old and new versions from VIPTable and then are checked by
+//! TransitTable").
+
+use sr_types::{Addr, PoolVersion, Vip};
+use std::collections::HashMap;
+
+/// Data-plane version state of one VIP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VersionView {
+    /// No update in flight: all new connections use this version.
+    Stable(PoolVersion),
+    /// Step 2 of an update: ConnTable misses consult TransitTable — hit ⇒
+    /// `old`, miss ⇒ `new`.
+    Updating {
+        /// Version before the flip.
+        old: PoolVersion,
+        /// Version after the flip.
+        new: PoolVersion,
+    },
+}
+
+impl VersionView {
+    /// The version a brand-new connection (not in TransitTable) gets.
+    pub fn newest(&self) -> PoolVersion {
+        match *self {
+            VersionView::Stable(v) => v,
+            VersionView::Updating { new, .. } => new,
+        }
+    }
+}
+
+/// The VIPTable.
+#[derive(Default, Debug)]
+pub struct VipTable {
+    entries: HashMap<Addr, VersionView>,
+}
+
+impl VipTable {
+    /// Empty table.
+    pub fn new() -> VipTable {
+        VipTable::default()
+    }
+
+    /// Register a VIP at its initial version.
+    pub fn insert(&mut self, vip: Vip, version: PoolVersion) {
+        self.entries.insert(vip.0, VersionView::Stable(version));
+    }
+
+    /// Deregister a VIP.
+    pub fn remove(&mut self, vip: Vip) -> Option<VersionView> {
+        self.entries.remove(&vip.0)
+    }
+
+    /// Data-plane lookup by packet destination address.
+    pub fn lookup(&self, dst: &Addr) -> Option<VersionView> {
+        self.entries.get(dst).copied()
+    }
+
+    /// Whether `dst` is a registered VIP.
+    pub fn contains(&self, dst: &Addr) -> bool {
+        self.entries.contains_key(dst)
+    }
+
+    /// Number of VIPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no VIPs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `t_exec` flip: enter step 2, exposing both versions.
+    pub fn begin_transition(&mut self, vip: Vip, old: PoolVersion, new: PoolVersion) {
+        self.entries
+            .insert(vip.0, VersionView::Updating { old, new });
+    }
+
+    /// The `t_finish` step: collapse to the new version only.
+    pub fn finish_transition(&mut self, vip: Vip) {
+        if let Some(view) = self.entries.get_mut(&vip.0) {
+            *view = VersionView::Stable(view.newest());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut t = VipTable::new();
+        assert!(t.is_empty());
+        t.insert(vip(), PoolVersion(0));
+        assert_eq!(t.lookup(&vip().0), Some(VersionView::Stable(PoolVersion(0))));
+        assert!(t.contains(&vip().0));
+        assert_eq!(t.len(), 1);
+        t.remove(vip());
+        assert!(t.lookup(&vip().0).is_none());
+    }
+
+    #[test]
+    fn transition_flip() {
+        let mut t = VipTable::new();
+        t.insert(vip(), PoolVersion(0));
+        t.begin_transition(vip(), PoolVersion(0), PoolVersion(1));
+        match t.lookup(&vip().0).unwrap() {
+            VersionView::Updating { old, new } => {
+                assert_eq!(old, PoolVersion(0));
+                assert_eq!(new, PoolVersion(1));
+            }
+            other => panic!("unexpected view {other:?}"),
+        }
+        assert_eq!(t.lookup(&vip().0).unwrap().newest(), PoolVersion(1));
+        t.finish_transition(vip());
+        assert_eq!(t.lookup(&vip().0), Some(VersionView::Stable(PoolVersion(1))));
+    }
+
+    #[test]
+    fn unknown_destination_is_not_vip_traffic() {
+        let t = VipTable::new();
+        assert!(t.lookup(&Addr::v4(8, 8, 8, 8, 53)).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Compact connection digests (§4.2).
+//!
+//! SilkRoad stores an n-bit hash digest of the 5-tuple in ConnTable instead
+//! of the full key: 16 bits instead of 37 bytes for IPv6. Two connections
+//! that land in the same cuckoo bucket *and* share a digest produce a false
+//! positive, which the switch software repairs by relocating the resident
+//! entry to a different pipeline stage.
+
+use crate::hasher::HashFn;
+
+/// An n-bit digest function (8..=32 bits).
+#[derive(Clone, Copy, Debug)]
+pub struct DigestFn {
+    hash: HashFn,
+    bits: u8,
+}
+
+impl DigestFn {
+    /// Create a digest function of `bits` width (clamped to 8..=32).
+    pub fn new(seed: u64, bits: u8) -> DigestFn {
+        DigestFn {
+            hash: HashFn::new(seed ^ 0xd16e_57),
+            bits: bits.clamp(8, 32),
+        }
+    }
+
+    /// The digest width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of distinct digest values.
+    pub fn space(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Compute the digest of a key.
+    pub fn digest(&self, key: &[u8]) -> u32 {
+        let h = self.hash.hash(key);
+        // Take high bits: the low bits of the same hash are often consumed
+        // by bucket addressing, and reusing them would correlate digest
+        // collisions with bucket collisions.
+        (h >> (64 - self.bits)) as u32
+    }
+
+    /// Analytic false-positive probability for a lookup against one resident
+    /// entry that shares the bucket: `2^-bits`.
+    pub fn collision_probability(&self) -> f64 {
+        1.0 / self.space() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_fits_width() {
+        let d = DigestFn::new(1, 16);
+        for i in 0u32..1000 {
+            assert!(d.digest(&i.to_be_bytes()) < 1 << 16);
+        }
+    }
+
+    #[test]
+    fn width_clamped() {
+        assert_eq!(DigestFn::new(0, 4).bits(), 8);
+        assert_eq!(DigestFn::new(0, 60).bits(), 32);
+        assert_eq!(DigestFn::new(0, 24).bits(), 24);
+    }
+
+    #[test]
+    fn deterministic_and_seeded() {
+        let a = DigestFn::new(5, 16);
+        let b = DigestFn::new(6, 16);
+        assert_eq!(a.digest(b"conn"), a.digest(b"conn"));
+        assert_ne!(a.digest(b"conn"), b.digest(b"conn"));
+    }
+
+    #[test]
+    fn collision_rate_matches_theory() {
+        // With 12-bit digests and n random keys, expected pairwise collision
+        // rate between a probe and a fixed resident is 2^-12.
+        let d = DigestFn::new(9, 12);
+        let n = 200_000u32;
+        let mut counts = vec![0u32; 1 << 12];
+        for i in 0..n {
+            counts[d.digest(&i.to_be_bytes()) as usize] += 1;
+        }
+        // Chi-square-ish sanity: each of 4096 cells expects ~48.8.
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 110 && min > 10, "digest skew: min={min} max={max}");
+        assert!((d.collision_probability() - 1.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space() {
+        assert_eq!(DigestFn::new(0, 16).space(), 65536);
+    }
+}

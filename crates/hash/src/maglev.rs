@@ -1,0 +1,183 @@
+//! Maglev consistent hashing (Eisenbud et al., NSDI 2016).
+//!
+//! The software-load-balancer baseline (`sr-baselines::slb`) selects DIPs
+//! with Maglev's permutation-filled lookup table: each backend fills table
+//! slots in its own permutation order, giving near-perfect balance and
+//! minimal disruption when the backend set changes. This is the
+//! "consistent hashing" the paper credits SLBs with (§8, Related work).
+
+use crate::hasher::HashFn;
+
+/// A Maglev lookup table over an ordered set of backends.
+///
+/// ```
+/// use sr_hash::maglev::MaglevTable;
+/// let backends: Vec<Vec<u8>> = (0..4).map(|i| format!("dip-{i}").into_bytes()).collect();
+/// let t = MaglevTable::build(&backends, 4099, 1);
+/// let b = t.select(b"flow").unwrap();
+/// assert!(b < 4);
+/// assert_eq!(t.select(b"flow"), Some(b)); // deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct MaglevTable {
+    /// `table[slot] = backend index`, or `usize::MAX` when no backends.
+    table: Vec<usize>,
+    backends: usize,
+    select: HashFn,
+}
+
+/// Smallest prime ≥ 100×typical pool size used by default; callers can pass
+/// their own size (must be ≥ 1; primality improves balance but is not
+/// required for correctness).
+pub const DEFAULT_TABLE_SIZE: usize = 65_537;
+
+impl MaglevTable {
+    /// Build the lookup table for `backend_keys` (one stable identity byte
+    /// string per backend, e.g. the DIP's canonical encoding).
+    pub fn build(backend_keys: &[Vec<u8>], table_size: usize, seed: u64) -> MaglevTable {
+        let m = table_size.max(1);
+        let n = backend_keys.len();
+        let select = HashFn::new(seed ^ 0x5e1ec7);
+        if n == 0 {
+            return MaglevTable {
+                table: vec![usize::MAX; m],
+                backends: 0,
+                select,
+            };
+        }
+        let h_offset = HashFn::new(seed ^ 0x0ff5e7);
+        let h_skip = HashFn::new(seed ^ 0x5817);
+        let mut offset = Vec::with_capacity(n);
+        let mut skip = Vec::with_capacity(n);
+        for k in backend_keys {
+            offset.push((h_offset.hash(k) % m as u64) as usize);
+            skip.push((h_skip.hash(k) % (m as u64 - 1).max(1) + 1) as usize);
+        }
+        let mut next = vec![0usize; n];
+        let mut table = vec![usize::MAX; m];
+        let mut filled = 0usize;
+        'fill: loop {
+            for b in 0..n {
+                // Find backend b's next preferred slot that is still free.
+                loop {
+                    let slot = (offset[b] + next[b] * skip[b]) % m;
+                    next[b] += 1;
+                    if table[slot] == usize::MAX {
+                        table[slot] = b;
+                        filled += 1;
+                        break;
+                    }
+                }
+                if filled == m {
+                    break 'fill;
+                }
+            }
+        }
+        MaglevTable {
+            table,
+            backends: n,
+            select,
+        }
+    }
+
+    /// Number of backends.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Table size.
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Select a backend index for a flow key, or `None` if no backends.
+    pub fn select(&self, flow_key: &[u8]) -> Option<usize> {
+        if self.backends == 0 {
+            return None;
+        }
+        let slot = (self.select.hash(flow_key) % self.table.len() as u64) as usize;
+        Some(self.table[slot])
+    }
+
+    /// Fraction of table slots owned by each backend (balance diagnostic).
+    pub fn ownership(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.backends];
+        for &b in &self.table {
+            if b != usize::MAX {
+                counts[b] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.table.len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("dip-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_pool_selects_none() {
+        let t = MaglevTable::build(&[], 101, 0);
+        assert_eq!(t.select(b"flow"), None);
+    }
+
+    #[test]
+    fn selection_in_range_and_deterministic() {
+        let t = MaglevTable::build(&keys(5), 101, 0);
+        for i in 0..100u32 {
+            let k = i.to_be_bytes();
+            let a = t.select(&k).unwrap();
+            assert!(a < 5);
+            assert_eq!(t.select(&k), Some(a));
+        }
+    }
+
+    #[test]
+    fn balance_is_tight() {
+        // Maglev's headline property: each backend owns ~1/n of the table.
+        let n = 10;
+        let t = MaglevTable::build(&keys(n), 10_007, 0);
+        for share in t.ownership() {
+            assert!((share - 0.1).abs() < 0.02, "share {share}");
+        }
+    }
+
+    #[test]
+    fn minimal_disruption_on_removal() {
+        // Removing one of 10 backends should remap only ~1/10 of flows
+        // (plus a small Maglev reshuffle factor), not ~all like hash-mod.
+        let n = 10;
+        let before = MaglevTable::build(&keys(n), 10_007, 0);
+        let mut fewer = keys(n);
+        fewer.remove(3);
+        let after = MaglevTable::build(&fewer, 10_007, 0);
+
+        let flows = 20_000u32;
+        let mut moved = 0;
+        for i in 0..flows {
+            let k = i.to_be_bytes();
+            let a = before.select(&k).unwrap();
+            let b = after.select(&k).unwrap();
+            // Map index in `after` back to original identity.
+            let b_orig = if b >= 3 { b + 1 } else { b };
+            if a != 3 && a != b_orig {
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / flows as f64;
+        assert!(frac < 0.25, "disruption too large: {frac}");
+    }
+
+    #[test]
+    fn table_fully_filled() {
+        let t = MaglevTable::build(&keys(3), 101, 9);
+        assert!(t.ownership().iter().sum::<f64>() > 0.999);
+    }
+}

@@ -1,0 +1,210 @@
+//! Resilient hashing (§7, "Handle DIP failures").
+//!
+//! Fixed-function switches offer "resilient ECMP": a fixed-size indirection
+//! table maps hash buckets to members. When a member fails, only that
+//! member's buckets are remapped (to surviving members); all other flows
+//! keep their assignment. The paper suggests this as an alternative to
+//! allocating a new DIP-pool version on failure.
+
+use crate::hasher::HashFn;
+
+/// A resilient-hashing indirection table.
+#[derive(Clone, Debug)]
+pub struct ResilientTable {
+    /// `slots[i] = member index`, `usize::MAX` when unassigned.
+    slots: Vec<usize>,
+    /// Liveness per member.
+    alive: Vec<bool>,
+    select: HashFn,
+    redistribute: HashFn,
+}
+
+impl ResilientTable {
+    /// Build a table of `slots` buckets over `members` initially-live
+    /// members, assigned round-robin from a hashed start (balanced and
+    /// deterministic).
+    pub fn new(members: usize, slots: usize, seed: u64) -> ResilientTable {
+        let slots_n = slots.max(members.max(1));
+        let mut slot_vec = vec![usize::MAX; slots_n];
+        if members > 0 {
+            for (i, s) in slot_vec.iter_mut().enumerate() {
+                *s = i % members;
+            }
+        }
+        ResilientTable {
+            slots: slot_vec,
+            alive: vec![true; members],
+            select: HashFn::new(seed ^ 0x7e51),
+            redistribute: HashFn::new(seed ^ 0x7e52),
+        }
+    }
+
+    /// Number of member positions (live or dead).
+    pub fn members(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of live members.
+    pub fn live_members(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Select the member for a flow key, or `None` if no live members.
+    pub fn select(&self, flow_key: &[u8]) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = (self.select.hash(flow_key) % self.slots.len() as u64) as usize;
+        let m = self.slots[slot];
+        if m == usize::MAX {
+            None
+        } else {
+            Some(m)
+        }
+    }
+
+    /// Mark a member failed, remapping *only its slots* onto live members.
+    /// Returns the number of remapped slots.
+    pub fn fail_member(&mut self, member: usize) -> usize {
+        if member >= self.alive.len() || !self.alive[member] {
+            return 0;
+        }
+        self.alive[member] = false;
+        let live: Vec<usize> = (0..self.alive.len()).filter(|&m| self.alive[m]).collect();
+        let mut remapped = 0;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if *s == member {
+                *s = if live.is_empty() {
+                    usize::MAX
+                } else {
+                    // Deterministic per-slot spread across survivors.
+                    live[(self.redistribute.hash_u64(i as u64) % live.len() as u64) as usize]
+                };
+                remapped += 1;
+            }
+        }
+        remapped
+    }
+
+    /// Revive a member (e.g. a DIP finishing its rolling reboot), giving it
+    /// back approximately its fair share of slots. Only slots are taken from
+    /// over-loaded members, so unaffected flows stay put.
+    pub fn revive_member(&mut self, member: usize) -> usize {
+        if member >= self.alive.len() || self.alive[member] {
+            return 0;
+        }
+        self.alive[member] = true;
+        let live = self.live_members();
+        let fair = self.slots.len() / live;
+        // Count current ownership.
+        let mut owned = vec![0usize; self.alive.len()];
+        for &s in &self.slots {
+            if s != usize::MAX {
+                owned[s] += 1;
+            }
+        }
+        let mut taken = 0;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if taken >= fair {
+                break;
+            }
+            match *s {
+                usize::MAX => {
+                    *s = member;
+                    taken += 1;
+                }
+                owner if owner != member && owned[owner] > fair => {
+                    // Take deterministically-spread slots from the rich.
+                    if self.redistribute.hash_u64(i as u64) % 2 == 0 {
+                        owned[owner] -= 1;
+                        *s = member;
+                        taken += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        taken
+    }
+
+    /// Ownership share per member (diagnostic).
+    pub fn ownership(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.alive.len()];
+        for &s in &self.slots {
+            if s != usize::MAX {
+                counts[s] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.slots.len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_in_range() {
+        let t = ResilientTable::new(4, 256, 0);
+        for i in 0..100u32 {
+            let m = t.select(&i.to_be_bytes()).unwrap();
+            assert!(m < 4);
+        }
+    }
+
+    #[test]
+    fn failure_only_moves_failed_members_flows() {
+        let mut t = ResilientTable::new(8, 1024, 1);
+        let flows: Vec<Vec<u8>> = (0..5000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let before: Vec<usize> = flows.iter().map(|f| t.select(f).unwrap()).collect();
+        t.fail_member(3);
+        for (f, &b) in flows.iter().zip(&before) {
+            let a = t.select(f).unwrap();
+            if b != 3 {
+                assert_eq!(a, b, "flow moved although its member survived");
+            } else {
+                assert_ne!(a, 3, "flow still routed to failed member");
+            }
+        }
+    }
+
+    #[test]
+    fn all_members_fail() {
+        let mut t = ResilientTable::new(2, 16, 0);
+        t.fail_member(0);
+        t.fail_member(1);
+        assert_eq!(t.select(b"x"), None);
+        assert_eq!(t.live_members(), 0);
+    }
+
+    #[test]
+    fn double_fail_is_noop() {
+        let mut t = ResilientTable::new(4, 64, 0);
+        assert!(t.fail_member(1) > 0);
+        assert_eq!(t.fail_member(1), 0);
+        assert_eq!(t.fail_member(99), 0);
+    }
+
+    #[test]
+    fn revive_restores_share() {
+        let mut t = ResilientTable::new(4, 1024, 7);
+        t.fail_member(2);
+        assert_eq!(t.ownership()[2], 0.0);
+        let taken = t.revive_member(2);
+        assert!(taken > 0);
+        let share = t.ownership()[2];
+        assert!(share > 0.1, "revived member owns only {share}");
+        assert_eq!(t.revive_member(2), 0, "double revive should be a no-op");
+    }
+
+    #[test]
+    fn initial_balance() {
+        let t = ResilientTable::new(4, 1024, 0);
+        for share in t.ownership() {
+            assert!((share - 0.25).abs() < 0.01);
+        }
+    }
+}

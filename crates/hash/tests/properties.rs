@@ -1,0 +1,124 @@
+//! Property-based tests for the hashing substrate.
+
+use proptest::prelude::*;
+use sr_hash::cuckoo::{CuckooConfig, CuckooTable, MatchMode};
+use sr_hash::maglev::MaglevTable;
+use sr_hash::resilient::ResilientTable;
+use sr_hash::{ecmp_select, BloomFilter, DigestFn, HashFn};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_deterministic_any_input(bytes in proptest::collection::vec(any::<u8>(), 0..256), seed: u64) {
+        let f = HashFn::new(seed);
+        prop_assert_eq!(f.hash(&bytes), f.hash(&bytes));
+    }
+
+    #[test]
+    fn ecmp_select_always_in_range(h: u64, n in 1usize..10_000) {
+        let i = ecmp_select(h, n).unwrap();
+        prop_assert!(i < n);
+    }
+
+    #[test]
+    fn digest_fits_declared_width(key: u64, seed: u64, bits in 8u8..=32) {
+        let d = DigestFn::new(seed, bits);
+        let v = d.digest(&key.to_be_bytes()) as u64;
+        prop_assert!(v < d.space());
+    }
+
+    #[test]
+    fn bloom_inserted_keys_always_found(
+        keys in proptest::collection::hash_set(any::<u32>(), 1..100),
+        bytes in 8usize..512,
+        k in 1usize..8,
+        seed: u64,
+    ) {
+        let mut f = BloomFilter::new(bytes, k, seed);
+        for key in &keys {
+            f.insert(&key.to_be_bytes());
+        }
+        for key in &keys {
+            prop_assert!(f.contains(&key.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn cuckoo_relocate_preserves_contents(
+        keys in proptest::collection::hash_set(any::<u32>(), 2..60),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut t: CuckooTable<u32> = CuckooTable::new(CuckooConfig {
+            stages: 4,
+            words_per_stage: 32,
+            entries_per_word: 4,
+            match_mode: MatchMode::FullKey,
+            seed: 7,
+            max_bfs_depth: 8,
+            max_bfs_nodes: 4096,
+        });
+        let keys: Vec<u32> = keys.into_iter().collect();
+        for k in &keys {
+            t.insert(&k.to_be_bytes(), *k).unwrap();
+        }
+        let victim = keys[pick.index(keys.len())];
+        t.relocate(&victim.to_be_bytes()).unwrap();
+        for k in &keys {
+            let hit = t.lookup(&k.to_be_bytes()).expect("key lost after relocate");
+            prop_assert_eq!(*hit.value, *k);
+            prop_assert!(hit.exact);
+        }
+        prop_assert_eq!(t.len(), keys.len());
+    }
+
+    #[test]
+    fn maglev_stable_under_irrelevant_order(
+        n in 2usize..12,
+        flows in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        // Same backend set, same seed => identical assignments, regardless
+        // of how many times we build.
+        let keys: Vec<Vec<u8>> = (0..n).map(|i| format!("b{i}").into_bytes()).collect();
+        let a = MaglevTable::build(&keys, 4099, 3);
+        let b = MaglevTable::build(&keys, 4099, 3);
+        for f in &flows {
+            prop_assert_eq!(a.select(&f.to_be_bytes()), b.select(&f.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn resilient_failure_never_routes_to_failed(
+        members in 2usize..16,
+        fail in any::<prop::sample::Index>(),
+        flows in proptest::collection::vec(any::<u64>(), 1..80),
+    ) {
+        let mut t = ResilientTable::new(members, 1024, 5);
+        let failed = fail.index(members);
+        t.fail_member(failed);
+        for f in &flows {
+            let m = t.select(&f.to_be_bytes()).unwrap();
+            prop_assert_ne!(m, failed);
+        }
+    }
+
+    #[test]
+    fn resilient_unrelated_flows_pinned(
+        members in 3usize..12,
+        fail in any::<prop::sample::Index>(),
+        flows in proptest::collection::vec(any::<u64>(), 1..80),
+    ) {
+        let mut t = ResilientTable::new(members, 2048, 9);
+        let before: Vec<usize> = flows
+            .iter()
+            .map(|f| t.select(&f.to_be_bytes()).unwrap())
+            .collect();
+        let failed = fail.index(members);
+        t.fail_member(failed);
+        for (f, b) in flows.iter().zip(before) {
+            if b != failed {
+                prop_assert_eq!(t.select(&f.to_be_bytes()), Some(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! VIP-to-layer assignment (§5.3).
+//!
+//! "The adaptive VIP assignment problem can be formulated as a bin-packing
+//! problem... The objective is to find the VIP-to-layer assignment that
+//! minimizes the maximum SRAM utilization across switches while not
+//! exceeding the forwarding capacity and SRAM budget at each switch."
+//!
+//! Assigning a VIP to a layer splits its traffic and connection state
+//! evenly (via ECMP) across that layer's SilkRoad-enabled switches. We use
+//! greedy first-fit-decreasing: VIPs in decreasing memory order, each
+//! placed on the feasible layer that minimizes the resulting maximum SRAM
+//! utilization. Bin-packing is NP-hard; FFD is the standard 11/9-OPT
+//! heuristic and matches the paper's "can be formulated as" framing.
+
+use crate::topo::{Layer, Topology};
+use sr_types::{TypeError, VipId};
+use std::collections::HashMap;
+
+/// One VIP's resource demand.
+#[derive(Clone, Copy, Debug)]
+pub struct VipDemand {
+    /// VIP id.
+    pub vip: VipId,
+    /// Peak traffic, Gbit/s.
+    pub traffic_gbps: f64,
+    /// ConnTable bytes its connections need.
+    pub memory_bytes: u64,
+}
+
+/// The result of an assignment.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Chosen layer per VIP.
+    pub layer_of: HashMap<VipId, Layer>,
+    /// SRAM utilization per layer (fraction of per-switch budget used on
+    /// each switch of that layer).
+    pub sram_utilization: HashMap<Layer, f64>,
+    /// Traffic utilization per layer.
+    pub traffic_utilization: HashMap<Layer, f64>,
+}
+
+impl Assignment {
+    /// The maximum per-switch SRAM utilization — the objective value.
+    pub fn max_sram_utilization(&self) -> f64 {
+        self.sram_utilization
+            .values()
+            .fold(0.0f64, |a, b| a.max(*b))
+    }
+}
+
+struct LayerState {
+    layer: Layer,
+    switches: f64,
+    sram_budget: f64,
+    capacity_gbps: f64,
+    used_sram: f64,
+    used_gbps: f64,
+}
+
+impl LayerState {
+    fn utilization_with(&self, mem: f64) -> f64 {
+        (self.used_sram + mem) / (self.switches * self.sram_budget)
+    }
+
+    fn fits(&self, mem: f64, gbps: f64) -> bool {
+        self.used_sram + mem <= self.switches * self.sram_budget
+            && self.used_gbps + gbps <= self.switches * self.capacity_gbps
+    }
+}
+
+/// Assign every VIP to a layer. Fails if some VIP fits no layer.
+pub fn assign_vips(topo: &Topology, demands: &[VipDemand]) -> Result<Assignment, TypeError> {
+    let mut layers: Vec<LayerState> = Layer::ALL
+        .iter()
+        .filter_map(|&layer| {
+            let enabled = topo.enabled_at(layer);
+            if enabled.is_empty() {
+                return None;
+            }
+            // Homogeneous per-layer budgets: take the minimum to stay safe
+            // with heterogeneous switches.
+            let sram = enabled.iter().map(|s| s.sram_budget).min().unwrap_or(0);
+            let cap = enabled
+                .iter()
+                .map(|s| s.capacity_gbps)
+                .fold(f64::INFINITY, f64::min);
+            Some(LayerState {
+                layer,
+                switches: enabled.len() as f64,
+                sram_budget: sram as f64,
+                capacity_gbps: cap,
+                used_sram: 0.0,
+                used_gbps: 0.0,
+            })
+        })
+        .collect();
+    if layers.is_empty() {
+        return Err(TypeError::InvalidState {
+            what: "no SilkRoad-enabled switches",
+        });
+    }
+
+    let mut order: Vec<&VipDemand> = demands.iter().collect();
+    order.sort_by(|a, b| b.memory_bytes.cmp(&a.memory_bytes));
+
+    let mut layer_of = HashMap::new();
+    for d in order {
+        let mem = d.memory_bytes as f64;
+        let best = layers
+            .iter_mut()
+            .filter(|l| l.fits(mem, d.traffic_gbps))
+            .min_by(|a, b| {
+                a.utilization_with(mem)
+                    .total_cmp(&b.utilization_with(mem))
+            });
+        match best {
+            Some(l) => {
+                l.used_sram += mem;
+                l.used_gbps += d.traffic_gbps;
+                layer_of.insert(d.vip, l.layer);
+            }
+            None => {
+                return Err(TypeError::CapacityExceeded {
+                    what: "no layer can host VIP",
+                })
+            }
+        }
+    }
+
+    let mut sram_utilization = HashMap::new();
+    let mut traffic_utilization = HashMap::new();
+    for l in &layers {
+        sram_utilization.insert(l.layer, l.used_sram / (l.switches * l.sram_budget));
+        traffic_utilization.insert(l.layer, l.used_gbps / (l.switches * l.capacity_gbps));
+    }
+    Ok(Assignment {
+        layer_of,
+        sram_utilization,
+        traffic_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(i: u32, gbps: f64, mem_mb: u64) -> VipDemand {
+        VipDemand {
+            vip: VipId(i),
+            traffic_gbps: gbps,
+            memory_bytes: mem_mb << 20,
+        }
+    }
+
+    #[test]
+    fn all_vips_assigned_and_balanced() {
+        let topo = Topology::clos(16, 8, 4, 50 << 20, 6400.0);
+        let demands: Vec<VipDemand> = (0..100).map(|i| demand(i, 5.0, 10)).collect();
+        let a = assign_vips(&topo, &demands).unwrap();
+        assert_eq!(a.layer_of.len(), 100);
+        // Total memory 1000 MB over 28 switches x 50 MB = 71% if evenly
+        // spread; max layer utilization must be sane.
+        assert!(a.max_sram_utilization() <= 1.0);
+        assert!(a.max_sram_utilization() > 0.5);
+    }
+
+    #[test]
+    fn big_vip_lands_on_wide_layer() {
+        // A huge VIP only fits the ToR layer (most aggregate SRAM).
+        let topo = Topology::clos(32, 2, 2, 10 << 20, 6400.0);
+        let demands = vec![demand(0, 1.0, 200)]; // 200 MB: needs ≥20 switches
+        let a = assign_vips(&topo, &demands).unwrap();
+        assert_eq!(a.layer_of[&VipId(0)], Layer::ToR);
+    }
+
+    #[test]
+    fn infeasible_demand_rejected() {
+        let topo = Topology::clos(2, 2, 2, 1 << 20, 100.0);
+        let demands = vec![demand(0, 1.0, 1000)];
+        assert!(assign_vips(&topo, &demands).is_err());
+    }
+
+    #[test]
+    fn capacity_constraint_enforced() {
+        let topo = Topology::clos(2, 0, 0, 1 << 30, 10.0); // tiny capacity
+        let demands = vec![demand(0, 100.0, 1)];
+        assert!(assign_vips(&topo, &demands).is_err());
+    }
+
+    #[test]
+    fn incremental_deployment_respected() {
+        let mut topo = Topology::clos(4, 0, 0, 10 << 20, 1000.0);
+        for s in topo.switches_mut() {
+            s.silkroad_enabled = false;
+        }
+        let demands = vec![demand(0, 1.0, 1)];
+        assert!(assign_vips(&topo, &demands).is_err());
+        // Enable one switch: fits again.
+        topo.switches_mut()[0].silkroad_enabled = true;
+        assert!(assign_vips(&topo, &demands).is_ok());
+    }
+
+    #[test]
+    fn spreads_to_minimize_max_utilization() {
+        // Two layers with equal budget; 2 equal VIPs should not pile onto
+        // one layer.
+        let topo = Topology::clos(4, 4, 0, 10 << 20, 6400.0);
+        let demands = vec![demand(0, 1.0, 20), demand(1, 1.0, 20)];
+        let a = assign_vips(&topo, &demands).unwrap();
+        assert_ne!(a.layer_of[&VipId(0)], a.layer_of[&VipId(1)]);
+    }
+}

@@ -1,0 +1,332 @@
+//! A live fabric of SilkRoad switches (§5.3 + §7 end-to-end).
+//!
+//! [`SilkRoadFabric`] instantiates one [`SilkRoadSwitch`] per
+//! SilkRoad-enabled switch in a [`Topology`], assigns each VIP to a layer,
+//! and sprays that VIP's connections across the layer's switches with
+//! *resilient* hashing (so a switch failure only re-sprays the failed
+//! switch's flows). All switches share one configuration seed, so they
+//! compute identical VIPTable-path mappings — which is exactly why §7's
+//! failover preserves PCC for connections on the latest pool version: the
+//! takeover switch's miss path reproduces the failed switch's decision.
+
+use crate::topo::{Layer, Topology};
+use silkroad::{ForwardDecision, PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use sr_hash::resilient::ResilientTable;
+use sr_types::{Dip, FiveTuple, Nanos, PacketMeta, SwitchId, TypeError, Vip};
+use std::collections::HashMap;
+
+struct LayerState {
+    members: Vec<SwitchId>,
+    spray: ResilientTable,
+}
+
+/// The fabric.
+///
+/// ```
+/// use sr_netwide::{Layer, SilkRoadFabric, Topology};
+/// use silkroad::SilkRoadConfig;
+/// use sr_types::{Addr, Dip, Nanos, PacketMeta, FiveTuple, Vip};
+///
+/// let topo = Topology::clos(4, 2, 2, 50 << 20, 6400.0);
+/// let mut fabric = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
+/// let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+/// fabric.assign_vip(vip, vec![Dip(Addr::v4(10, 0, 0, 1, 20))], Layer::ToR).unwrap();
+/// let conn = FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 999), vip.0);
+/// let (switch, decision) = fabric.process_packet(&PacketMeta::syn(conn), Nanos::ZERO).unwrap();
+/// assert!(decision.dip.is_some());
+/// assert_eq!(fabric.switch_for(&conn), Some(switch));
+/// ```
+pub struct SilkRoadFabric {
+    switches: HashMap<SwitchId, SilkRoadSwitch>,
+    layers: HashMap<Layer, LayerState>,
+    layer_of_vip: HashMap<Vip, Layer>,
+    /// Switch failures so far.
+    pub failures: u64,
+}
+
+impl SilkRoadFabric {
+    /// Build the fabric: one switch per SilkRoad-enabled position. Every
+    /// switch uses the same `cfg` (and crucially the same seed).
+    pub fn new(topo: &Topology, cfg: &SilkRoadConfig) -> SilkRoadFabric {
+        let mut switches = HashMap::new();
+        let mut layers = HashMap::new();
+        for layer in Layer::ALL {
+            let members: Vec<SwitchId> =
+                topo.enabled_at(layer).iter().map(|s| s.id).collect();
+            if members.is_empty() {
+                continue;
+            }
+            for id in &members {
+                switches.insert(*id, SilkRoadSwitch::new(cfg.clone()));
+            }
+            let spray = ResilientTable::new(members.len(), members.len() * 64, cfg.seed);
+            layers.insert(layer, LayerState { members, spray });
+        }
+        SilkRoadFabric {
+            switches,
+            layers,
+            layer_of_vip: HashMap::new(),
+            failures: 0,
+        }
+    }
+
+    /// Number of live switches.
+    pub fn live_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Assign a VIP to a layer: it is registered on every switch of that
+    /// layer ("each switch announces routes for all the VIPs").
+    pub fn assign_vip(&mut self, vip: Vip, dips: Vec<Dip>, layer: Layer) -> Result<(), TypeError> {
+        let state = self.layers.get(&layer).ok_or(TypeError::NotFound {
+            what: "layer has no SilkRoad switches",
+        })?;
+        for id in &state.members {
+            if let Some(sw) = self.switches.get_mut(id) {
+                sw.add_vip(vip, dips.clone())?;
+            }
+        }
+        self.layer_of_vip.insert(vip, layer);
+        Ok(())
+    }
+
+    /// The switch a connection's packets land on right now.
+    pub fn switch_for(&self, tuple: &FiveTuple) -> Option<SwitchId> {
+        let layer = self.layer_of_vip.get(&Vip(tuple.dst))?;
+        let state = self.layers.get(layer)?;
+        let member = state.spray.select(&tuple.key_bytes())?;
+        let id = state.members[member];
+        self.switches.contains_key(&id).then_some(id)
+    }
+
+    /// Process a packet on whichever switch ECMP sprays it to.
+    pub fn process_packet(
+        &mut self,
+        pkt: &PacketMeta,
+        now: Nanos,
+    ) -> Option<(SwitchId, ForwardDecision)> {
+        let id = self.switch_for(&pkt.tuple)?;
+        let sw = self.switches.get_mut(&id)?;
+        Some((id, sw.process_packet(pkt, now)))
+    }
+
+    /// Apply a DIP-pool update to every switch serving the VIP (the paper:
+    /// "all the switches use the same latest VIPTable").
+    pub fn request_update(
+        &mut self,
+        vip: Vip,
+        op: PoolUpdate,
+        now: Nanos,
+    ) -> Result<(), TypeError> {
+        let layer = self
+            .layer_of_vip
+            .get(&vip)
+            .ok_or(TypeError::NotFound { what: "VIP" })?;
+        let members = self.layers[layer].members.clone();
+        for id in members {
+            if let Some(sw) = self.switches.get_mut(&id) {
+                sw.request_update(vip, op, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run every switch's control plane up to `now`.
+    pub fn advance(&mut self, now: Nanos) {
+        for sw in self.switches.values_mut() {
+            sw.advance(now);
+        }
+    }
+
+    /// A connection ended; tell the switch that owns it.
+    pub fn close_connection(&mut self, tuple: &FiveTuple, now: Nanos) {
+        if let Some(id) = self.switch_for(tuple) {
+            if let Some(sw) = self.switches.get_mut(&id) {
+                sw.close_connection(tuple, now);
+            }
+        }
+    }
+
+    /// Kill a switch: its ConnTable is lost and its flows re-spray onto the
+    /// layer's survivors (resilient hashing: only its flows move).
+    pub fn fail_switch(&mut self, id: SwitchId) -> bool {
+        if self.switches.remove(&id).is_none() {
+            return false;
+        }
+        self.failures += 1;
+        for state in self.layers.values_mut() {
+            if let Some(member) = state.members.iter().position(|m| *m == id) {
+                state.spray.fail_member(member);
+            }
+        }
+        true
+    }
+
+    /// Borrow one switch (stats, memory).
+    pub fn switch(&self, id: SwitchId) -> Option<&SilkRoadSwitch> {
+        self.switches.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::{Addr, Duration};
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dips() -> Vec<Dip> {
+        (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+    }
+
+    fn conn(i: u32) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn fabric() -> SilkRoadFabric {
+        let topo = Topology::clos(4, 2, 2, 50 << 20, 6400.0);
+        let mut f = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
+        f.assign_vip(vip(), dips(), Layer::ToR).unwrap();
+        f
+    }
+
+    #[test]
+    fn spraying_is_deterministic_and_spread() {
+        let mut f = fabric();
+        let mut per_switch: HashMap<SwitchId, u32> = HashMap::new();
+        for i in 0..400 {
+            let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), Nanos::ZERO).unwrap();
+            assert!(d.dip.is_some());
+            *per_switch.entry(id).or_insert(0) += 1;
+            // Same connection always lands on the same switch.
+            assert_eq!(f.switch_for(&conn(i)), Some(id));
+        }
+        assert_eq!(per_switch.len(), 4, "should use all 4 ToR switches");
+    }
+
+    #[test]
+    fn updates_reach_every_switch_consistently() {
+        let mut f = fabric();
+        let mut t = Nanos::ZERO;
+        let mut assigned = Vec::new();
+        for i in 0..400 {
+            assigned.push(f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap().1.dip);
+            t = t + Duration::from_micros(50);
+        }
+        t = t + Duration::from_millis(50);
+        f.advance(t);
+        f.request_update(vip(), PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 3, 20))), t)
+            .unwrap();
+        t = t + Duration::from_millis(50);
+        f.advance(t);
+        // Installed connections keep their mapping on their own switch.
+        for (i, before) in assigned.iter().enumerate() {
+            let (_, d) = f
+                .process_packet(&PacketMeta::data(conn(i as u32), 800), t)
+                .unwrap();
+            assert_eq!(d.dip, *before, "conn {i} moved during fabric-wide update");
+        }
+        // New connections avoid the removed DIP on every switch.
+        for i in 1000..1200 {
+            let (_, d) = f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap();
+            assert_ne!(d.dip, Some(Dip(Addr::v4(10, 0, 0, 3, 20))));
+        }
+    }
+
+    #[test]
+    fn switch_failure_preserves_latest_version_conns() {
+        let mut f = fabric();
+        let mut t = Nanos::ZERO;
+        // Install a population, all on the (only) current version.
+        let mut before = HashMap::new();
+        for i in 0..600u32 {
+            let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap();
+            before.insert(i, (id, d.dip.unwrap()));
+            t = t + Duration::from_micros(20);
+        }
+        t = t + Duration::from_millis(50);
+        f.advance(t);
+
+        // Kill the switch hosting conn 0.
+        let victim = before[&0].0;
+        assert!(f.fail_switch(victim));
+        assert!(!f.fail_switch(victim), "double failure is a no-op");
+        assert_eq!(f.live_switches(), 7);
+
+        let mut moved_switch = 0;
+        for i in 0..600u32 {
+            let (id0, dip0) = before[&i];
+            let (id1, d) = f
+                .process_packet(&PacketMeta::data(conn(i), 800), t)
+                .unwrap();
+            if id0 == victim {
+                moved_switch += 1;
+                assert_ne!(id1, victim);
+                // Latest-version connection: the takeover switch's miss
+                // path computes the same DIP — PCC preserved (§7).
+                assert_eq!(d.dip, Some(dip0), "conn {i} remapped after failover");
+            } else {
+                assert_eq!(id1, id0, "resilient spray moved an unaffected flow");
+                assert_eq!(d.dip, Some(dip0));
+            }
+        }
+        assert!(moved_switch > 50, "victim hosted too few flows: {moved_switch}");
+    }
+
+    #[test]
+    fn old_version_conns_are_at_risk_on_failover() {
+        let mut f = fabric();
+        let mut t = Nanos::ZERO;
+        // Install a population, then update the pool so these become
+        // old-version connections.
+        let mut before = HashMap::new();
+        for i in 0..600u32 {
+            let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap();
+            before.insert(i, (id, d.dip.unwrap()));
+            t = t + Duration::from_micros(20);
+        }
+        t = t + Duration::from_millis(50);
+        f.advance(t);
+        f.request_update(vip(), PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 5, 20))), t)
+            .unwrap();
+        t = t + Duration::from_millis(50);
+        f.advance(t);
+
+        let victim = before[&0].0;
+        f.fail_switch(victim);
+        let mut remapped = 0;
+        let mut survived = 0;
+        for i in 0..600u32 {
+            let (id0, dip0) = before[&i];
+            if id0 != victim {
+                continue;
+            }
+            let (_, d) = f
+                .process_packet(&PacketMeta::data(conn(i), 800), t)
+                .unwrap();
+            if d.dip == Some(dip0) {
+                survived += 1;
+            } else {
+                remapped += 1;
+            }
+        }
+        // Old-version connections on the failed switch may break (their
+        // state is gone and the new pool hashes differently) — but most
+        // survive because most hash positions coincide.
+        assert!(remapped > 0, "expected some §7 failover breakage");
+        assert!(survived > remapped, "survived {survived} vs remapped {remapped}");
+    }
+
+    #[test]
+    fn unknown_vip_and_empty_layer() {
+        let topo = Topology::clos(2, 0, 0, 1 << 20, 100.0);
+        let mut f = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
+        assert!(f
+            .assign_vip(vip(), dips(), Layer::Core)
+            .is_err(), "no Core switches exist");
+        let other = FiveTuple::tcp(Addr::v4(1, 1, 1, 1, 1), Addr::v4(9, 9, 9, 9, 53));
+        assert!(f.process_packet(&PacketMeta::syn(other), Nanos::ZERO).is_none());
+    }
+}

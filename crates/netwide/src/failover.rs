@@ -1,0 +1,99 @@
+//! Switch-failure handling (§7, "Handle switch failures").
+//!
+//! "If a SilkRoad switch fails, the existing connections on this switch get
+//! redirected to other switches via ECMP and get load balanced there
+//! because all the switches use the same latest VIPTable. Thus if a
+//! connection was using the latest version of VIPTable at the failed
+//! switch, it would get the same VIPTable at the new switch and thus ensure
+//! PCC. However, since we lose the ConnTable at the failed switch, those
+//! connections that used an old DIP pool version may break PCC."
+//!
+//! This module quantifies that: given the per-version connection breakdown
+//! of a failed switch, how many connections survive re-spraying.
+
+use sr_hash::HashFn;
+use sr_types::{FiveTuple, PoolVersion};
+
+/// Impact of one switch failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Connections that were on the failed switch.
+    pub affected: u64,
+    /// Connections pinned to the newest version — PCC preserved after
+    /// re-ECMP (the surviving switch computes the same mapping).
+    pub preserved: u64,
+    /// Connections pinned to older versions — their state is lost and the
+    /// new switch maps them with the newest version: potential breakage.
+    pub at_risk: u64,
+}
+
+impl FailoverReport {
+    /// Fraction of affected connections at risk.
+    pub fn at_risk_fraction(&self) -> f64 {
+        if self.affected == 0 {
+            0.0
+        } else {
+            self.at_risk as f64 / self.affected as f64
+        }
+    }
+}
+
+/// Analyse a failed switch's connection population: `conns_by_version` maps
+/// pool versions to connection counts, `newest` is the VIP's current
+/// version.
+pub fn switch_failure_impact(
+    conns_by_version: &[(PoolVersion, u64)],
+    newest: PoolVersion,
+) -> FailoverReport {
+    let mut r = FailoverReport::default();
+    for (v, n) in conns_by_version {
+        r.affected += n;
+        if *v == newest {
+            r.preserved += n;
+        } else {
+            r.at_risk += n;
+        }
+    }
+    r
+}
+
+/// Re-spray a failed switch's flows across `survivors` switches via ECMP
+/// (used by the failover example/bench to pick the takeover switch).
+pub fn respray_switch(tuple: &FiveTuple, survivors: usize, seed: u64) -> Option<usize> {
+    sr_hash::ecmp_select(HashFn::new(seed ^ 0xfa11).hash(&tuple.key_bytes()), survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    #[test]
+    fn latest_version_conns_survive() {
+        let newest = PoolVersion(3);
+        let r = switch_failure_impact(
+            &[(PoolVersion(3), 900), (PoolVersion(2), 80), (PoolVersion(1), 20)],
+            newest,
+        );
+        assert_eq!(r.affected, 1000);
+        assert_eq!(r.preserved, 900);
+        assert_eq!(r.at_risk, 100);
+        assert!((r.at_risk_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population() {
+        let r = switch_failure_impact(&[], PoolVersion(0));
+        assert_eq!(r, FailoverReport::default());
+        assert_eq!(r.at_risk_fraction(), 0.0);
+    }
+
+    #[test]
+    fn respray_is_deterministic_and_in_range() {
+        let t = FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 99), Addr::v4(20, 0, 0, 1, 80));
+        let a = respray_switch(&t, 7, 1).unwrap();
+        assert!(a < 7);
+        assert_eq!(respray_switch(&t, 7, 1), Some(a));
+        assert_eq!(respray_switch(&t, 0, 1), None);
+    }
+}

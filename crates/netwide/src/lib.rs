@@ -1,0 +1,30 @@
+//! Network-wide SilkRoad deployment (§5.3, §7).
+//!
+//! A single SilkRoad handles one switch's worth of connections; a data
+//! center deploys it across a Clos fabric and must decide **which layer
+//! serves each VIP** ("rather than blindly serving a VIP traffic at the
+//! first hop switch, we can decide which layer (e.g., ToR, aggregation,
+//! and core) to handle a specific VIP and thus split traffic across
+//! multiple switches").
+//!
+//! * [`topo`] — the Clos fabric model with per-switch SRAM budgets;
+//! * [`assign`] — the VIP-to-layer assignment as a greedy bin-packing that
+//!   minimizes the maximum SRAM utilization subject to forwarding capacity,
+//!   with incremental-deployment support (only SilkRoad-enabled switches
+//!   count);
+//! * [`failover`] — the §7 switch-failure analysis: connections on the
+//!   newest pool version survive re-ECMP to surviving switches, old-version
+//!   connections are the PCC casualties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod fabric;
+pub mod failover;
+pub mod topo;
+
+pub use assign::{assign_vips, Assignment, VipDemand};
+pub use fabric::SilkRoadFabric;
+pub use failover::{switch_failure_impact, FailoverReport};
+pub use topo::{Layer, Switch, Topology};

@@ -1,0 +1,137 @@
+//! The Clos fabric model.
+
+use sr_types::SwitchId;
+
+/// Fabric layer a switch sits at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Top-of-rack.
+    ToR,
+    /// Aggregation.
+    Agg,
+    /// Core / spine.
+    Core,
+}
+
+impl Layer {
+    /// All layers.
+    pub const ALL: [Layer; 3] = [Layer::ToR, Layer::Agg, Layer::Core];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::ToR => "ToR",
+            Layer::Agg => "Agg",
+            Layer::Core => "Core",
+        }
+    }
+}
+
+/// One switch.
+#[derive(Clone, Copy, Debug)]
+pub struct Switch {
+    /// Fabric-unique id.
+    pub id: SwitchId,
+    /// Layer.
+    pub layer: Layer,
+    /// SRAM budget the operator allows load balancing to use, bytes.
+    pub sram_budget: u64,
+    /// Forwarding capacity, Gbit/s.
+    pub capacity_gbps: f64,
+    /// Whether SilkRoad is enabled here (incremental deployment).
+    pub silkroad_enabled: bool,
+}
+
+/// A Clos fabric.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    switches: Vec<Switch>,
+}
+
+impl Topology {
+    /// Build a fabric from explicit switches.
+    pub fn new(switches: Vec<Switch>) -> Topology {
+        Topology { switches }
+    }
+
+    /// A regular 3-layer Clos: `tors`/`aggs`/`cores` switches with the
+    /// given per-switch SRAM budget (bytes) and capacity (Gbit/s).
+    pub fn clos(
+        tors: u32,
+        aggs: u32,
+        cores: u32,
+        sram_budget: u64,
+        capacity_gbps: f64,
+    ) -> Topology {
+        let mut switches = Vec::new();
+        let mut id = 0u32;
+        for (n, layer) in [(tors, Layer::ToR), (aggs, Layer::Agg), (cores, Layer::Core)] {
+            for _ in 0..n {
+                switches.push(Switch {
+                    id: SwitchId(id),
+                    layer,
+                    sram_budget,
+                    capacity_gbps,
+                    silkroad_enabled: true,
+                });
+                id += 1;
+            }
+        }
+        Topology { switches }
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// Mutable switch access (enable/disable SilkRoad, budgets).
+    pub fn switches_mut(&mut self) -> &mut [Switch] {
+        &mut self.switches
+    }
+
+    /// SilkRoad-enabled switches of one layer.
+    pub fn enabled_at(&self, layer: Layer) -> Vec<&Switch> {
+        self.switches
+            .iter()
+            .filter(|s| s.layer == layer && s.silkroad_enabled)
+            .collect()
+    }
+
+    /// Number of SilkRoad-enabled switches of one layer.
+    pub fn enabled_count(&self, layer: Layer) -> usize {
+        self.enabled_at(layer).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clos_builds_layers() {
+        let t = Topology::clos(8, 4, 2, 50 << 20, 6400.0);
+        assert_eq!(t.switches().len(), 14);
+        assert_eq!(t.enabled_count(Layer::ToR), 8);
+        assert_eq!(t.enabled_count(Layer::Agg), 4);
+        assert_eq!(t.enabled_count(Layer::Core), 2);
+        // Unique ids.
+        let mut ids: Vec<u32> = t.switches().iter().map(|s| s.id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn incremental_deployment_filters() {
+        let mut t = Topology::clos(4, 2, 2, 1 << 20, 100.0);
+        t.switches_mut()[0].silkroad_enabled = false;
+        assert_eq!(t.enabled_count(Layer::ToR), 3);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(Layer::ToR.name(), "ToR");
+        assert_eq!(Layer::Core.name(), "Core");
+        assert_eq!(Layer::ALL.len(), 3);
+    }
+}

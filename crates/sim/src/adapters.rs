@@ -1,0 +1,583 @@
+//! [`LoadBalancer`] adapters for every system under test.
+
+use crate::lb::{LoadBalancer, PacketVerdict, ASIC_LATENCY};
+use silkroad::{DataPath, PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use sr_baselines::{DuetConfig, DuetLb, EcmpLb, MigrationPolicy, SlbConfig, SoftwareLb};
+use sr_hash::HashFn;
+use sr_types::{Dip, Duration, FiveTuple, Nanos, PacketMeta, Vip};
+use std::collections::{HashMap, HashSet};
+
+/// Per-packet software (SLB server) processing latency: the paper's
+/// 50 µs – 1 ms batching range, drawn deterministically per packet.
+fn slb_latency(key: &[u8], salt: u64) -> Duration {
+    let h = HashFn::new(0x1a7e).hash_u64(HashFn::new(salt).hash(key));
+    Duration::from_micros(50 + h % 950)
+}
+
+// ---------------------------------------------------------------- SilkRoad
+
+/// SilkRoad behind the harness interface.
+pub struct SilkRoadAdapter {
+    switch: SilkRoadSwitch,
+}
+
+impl SilkRoadAdapter {
+    /// Wrap a fresh switch.
+    pub fn new(cfg: SilkRoadConfig) -> SilkRoadAdapter {
+        SilkRoadAdapter {
+            switch: SilkRoadSwitch::new(cfg),
+        }
+    }
+
+    /// The wrapped switch (stats access).
+    pub fn switch(&self) -> &SilkRoadSwitch {
+        &self.switch
+    }
+}
+
+impl LoadBalancer for SilkRoadAdapter {
+    fn name(&self) -> &'static str {
+        if self.switch.config().transit_enabled {
+            "silkroad"
+        } else {
+            "silkroad-no-transit"
+        }
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) {
+        self.switch.add_vip(vip, dips).expect("fresh VIP");
+    }
+
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos) {
+        let _ = self.switch.request_update(vip, op, now);
+    }
+
+    fn packet(&mut self, pkt: &PacketMeta, now: Nanos) -> PacketVerdict {
+        let d = self.switch.process_packet(pkt, now);
+        let in_software = d.path == DataPath::SoftwareRedirect;
+        PacketVerdict {
+            dip: d.dip,
+            in_software,
+            latency: if in_software {
+                self.switch.config().syn_redirect_delay
+            } else {
+                ASIC_LATENCY
+            },
+        }
+    }
+
+    fn conn_closed(&mut self, _vip: Vip, tuple: &FiveTuple, now: Nanos) {
+        self.switch.close_connection(tuple, now);
+    }
+
+    fn tick(&mut self, now: Nanos) -> Vec<Vip> {
+        self.switch.advance(now);
+        Vec::new()
+    }
+
+    fn next_wakeup(&self) -> Option<Nanos> {
+        self.switch.next_wakeup()
+    }
+}
+
+// -------------------------------------------------------------------- Duet
+
+/// Duet behind the harness interface. Tracks pool membership (Duet's
+/// `update_pool` takes whole member lists), per-VIP redirect intervals for
+/// the SLB-load accounting, and — for the Migrate-PCC policy — the set of
+/// *old* connections (alive at some update) that must terminate before the
+/// VIP may return to the switch, which is exactly the paper's criterion
+/// ("we wait until all the old connections have terminated").
+pub struct DuetAdapter {
+    duet: DuetLb,
+    policy: MigrationPolicy,
+    pools: HashMap<Vip, Vec<Dip>>,
+    /// Live connections per VIP (first packet seen, not yet closed).
+    live: HashMap<Vip, HashSet<Box<[u8]>>>,
+    /// Connections that were alive at this VIP's most recent update.
+    old_conns: HashMap<Vip, HashSet<Box<[u8]>>>,
+    /// Closed redirect intervals per VIP; an open redirect is
+    /// `(start, Nanos::MAX)`.
+    redirects: HashMap<Vip, Vec<(Nanos, Nanos)>>,
+}
+
+impl DuetAdapter {
+    /// Wrap a fresh Duet instance.
+    pub fn new(cfg: DuetConfig) -> DuetAdapter {
+        DuetAdapter {
+            duet: DuetLb::new(cfg),
+            policy: cfg.policy,
+            pools: HashMap::new(),
+            live: HashMap::new(),
+            old_conns: HashMap::new(),
+            redirects: HashMap::new(),
+        }
+    }
+
+    /// The wrapped instance.
+    pub fn duet(&self) -> &DuetLb {
+        &self.duet
+    }
+
+    fn close_redirect_interval(&mut self, vip: Vip, now: Nanos) {
+        if let Some(iv) = self.redirects.get_mut(&vip) {
+            if let Some(last) = iv.last_mut() {
+                if last.1 == Nanos::MAX {
+                    last.1 = now;
+                }
+            }
+        }
+    }
+}
+
+impl LoadBalancer for DuetAdapter {
+    fn name(&self) -> &'static str {
+        "duet"
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) {
+        self.duet.add_vip(vip, dips.clone()).expect("fresh VIP");
+        self.pools.insert(vip, dips);
+    }
+
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos) {
+        let Some(pool) = self.pools.get_mut(&vip) else {
+            return;
+        };
+        match op {
+            PoolUpdate::Add(d) => {
+                if !pool.contains(&d) {
+                    pool.push(d);
+                }
+            }
+            PoolUpdate::Remove(d) => pool.retain(|x| *x != d),
+        }
+        let was_redirected = self.duet.is_redirected(vip);
+        let _ = self.duet.update_pool(vip, pool.clone(), now);
+        if !was_redirected && self.duet.is_redirected(vip) {
+            self.redirects
+                .entry(vip)
+                .or_default()
+                .push((now, Nanos::MAX));
+        }
+        // Everything alive right now predates the new pool.
+        let live = self.live.entry(vip).or_default();
+        self.old_conns
+            .entry(vip)
+            .or_default()
+            .extend(live.iter().cloned());
+    }
+
+    fn packet(&mut self, pkt: &PacketMeta, now: Nanos) -> PacketVerdict {
+        let vip = Vip(pkt.tuple.dst);
+        if pkt.flags.is_syn() {
+            self.live
+                .entry(vip)
+                .or_default()
+                .insert(pkt.tuple.key_bytes().into());
+        }
+        let in_software = self.duet.is_redirected(vip);
+        PacketVerdict {
+            dip: self.duet.process_packet(pkt, now),
+            in_software,
+            latency: if in_software {
+                slb_latency(&pkt.tuple.key_bytes(), now.0)
+            } else {
+                ASIC_LATENCY
+            },
+        }
+    }
+
+    fn conn_closed(&mut self, vip: Vip, tuple: &FiveTuple, _now: Nanos) {
+        let key = tuple.key_bytes();
+        self.duet.close_connection(vip, &key);
+        if let Some(l) = self.live.get_mut(&vip) {
+            l.remove(key.as_slice());
+        }
+        if let Some(o) = self.old_conns.get_mut(&vip) {
+            o.remove(key.as_slice());
+        }
+    }
+
+    fn tick(&mut self, now: Nanos) -> Vec<Vip> {
+        let migrated = if self.policy == MigrationPolicy::WaitPcc {
+            // Flow-level Migrate-PCC: a VIP returns to the switch only when
+            // every connection that predates its latest update has ended.
+            let candidates: Vec<Vip> = self
+                .pools
+                .keys()
+                .filter(|vip| {
+                    self.duet.is_redirected(**vip)
+                        && self
+                            .old_conns
+                            .get(vip)
+                            .map(|o| o.is_empty())
+                            .unwrap_or(true)
+                })
+                .copied()
+                .collect();
+            candidates
+                .into_iter()
+                .filter(|vip| self.duet.force_migrate(*vip))
+                .collect()
+        } else {
+            self.duet.tick(now)
+        };
+        for vip in &migrated {
+            self.close_redirect_interval(*vip, now);
+        }
+        migrated
+    }
+
+    fn next_wakeup(&self) -> Option<Nanos> {
+        self.duet.next_wakeup()
+    }
+
+    fn software_share(&self, vip: Vip, from: Nanos, to: Nanos) -> f64 {
+        let span = to.since(from).0 as f64;
+        if span <= 0.0 {
+            return if self.duet.is_redirected(vip) { 1.0 } else { 0.0 };
+        }
+        let Some(intervals) = self.redirects.get(&vip) else {
+            return 0.0;
+        };
+        let mut overlap = 0u128;
+        for (s, e) in intervals {
+            let s = (*s).max(from);
+            let e = (*e).min(to);
+            if e > s {
+                overlap += (e.0 - s.0) as u128;
+            }
+        }
+        (overlap as f64 / span).min(1.0)
+    }
+}
+
+// --------------------------------------------------------------------- SLB
+
+/// A pure software-LB tier behind the harness interface.
+pub struct SlbAdapter {
+    slb: SoftwareLb,
+    pools: HashMap<Vip, Vec<Dip>>,
+}
+
+impl SlbAdapter {
+    /// Wrap a fresh SLB.
+    pub fn new(cfg: SlbConfig) -> SlbAdapter {
+        SlbAdapter {
+            slb: SoftwareLb::new(cfg),
+            pools: HashMap::new(),
+        }
+    }
+
+    /// The wrapped SLB.
+    pub fn slb(&self) -> &SoftwareLb {
+        &self.slb
+    }
+}
+
+impl LoadBalancer for SlbAdapter {
+    fn name(&self) -> &'static str {
+        "slb"
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) {
+        self.slb.add_vip(vip, dips.clone()).expect("fresh VIP");
+        self.pools.insert(vip, dips);
+    }
+
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos) {
+        let _ = now;
+        let Some(pool) = self.pools.get_mut(&vip) else {
+            return;
+        };
+        match op {
+            PoolUpdate::Add(d) => {
+                if !pool.contains(&d) {
+                    pool.push(d);
+                }
+            }
+            PoolUpdate::Remove(d) => pool.retain(|x| *x != d),
+        }
+        let _ = self.slb.update_pool(vip, pool.clone());
+    }
+
+    fn packet(&mut self, pkt: &PacketMeta, now: Nanos) -> PacketVerdict {
+        PacketVerdict {
+            dip: self.slb.process_packet(pkt, now),
+            in_software: true,
+            latency: slb_latency(&pkt.tuple.key_bytes(), now.0),
+        }
+    }
+
+    fn conn_closed(&mut self, _vip: Vip, tuple: &FiveTuple, _now: Nanos) {
+        self.slb.close_connection(&tuple.key_bytes());
+    }
+
+    fn tick(&mut self, _now: Nanos) -> Vec<Vip> {
+        Vec::new()
+    }
+
+    fn next_wakeup(&self) -> Option<Nanos> {
+        None
+    }
+
+    fn software_share(&self, _vip: Vip, _from: Nanos, _to: Nanos) -> f64 {
+        1.0
+    }
+}
+
+// -------------------------------------------------------------------- ECMP
+
+/// Stateless ECMP behind the harness interface.
+pub struct EcmpAdapter {
+    ecmp: EcmpLb,
+    pools: HashMap<Vip, Vec<Dip>>,
+}
+
+impl EcmpAdapter {
+    /// Wrap a fresh ECMP balancer.
+    pub fn new(seed: u64) -> EcmpAdapter {
+        EcmpAdapter {
+            ecmp: EcmpLb::new(seed),
+            pools: HashMap::new(),
+        }
+    }
+}
+
+impl LoadBalancer for EcmpAdapter {
+    fn name(&self) -> &'static str {
+        "ecmp"
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) {
+        self.ecmp.add_vip(vip, dips.clone()).expect("fresh VIP");
+        self.pools.insert(vip, dips);
+    }
+
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, _now: Nanos) {
+        let Some(pool) = self.pools.get_mut(&vip) else {
+            return;
+        };
+        match op {
+            PoolUpdate::Add(d) => {
+                if !pool.contains(&d) {
+                    pool.push(d);
+                }
+            }
+            PoolUpdate::Remove(d) => pool.retain(|x| *x != d),
+        }
+        let _ = self.ecmp.update_pool(vip, pool.clone());
+    }
+
+    fn packet(&mut self, pkt: &PacketMeta, _now: Nanos) -> PacketVerdict {
+        PacketVerdict {
+            dip: self.ecmp.process_packet(pkt),
+            in_software: false,
+            latency: ASIC_LATENCY,
+        }
+    }
+
+    fn conn_closed(&mut self, _vip: Vip, _tuple: &FiveTuple, _now: Nanos) {}
+
+    fn tick(&mut self, _now: Nanos) -> Vec<Vip> {
+        Vec::new()
+    }
+
+    fn next_wakeup(&self) -> Option<Nanos> {
+        None
+    }
+}
+
+// ------------------------------------------------------------------ Hybrid
+
+/// §7 "Combine with SLB solutions": operators split VIPs between SilkRoad
+/// (high traffic volume) and an SLB tier (huge connection counts). Unlike
+/// Duet, assignments are static — no VIP ever migrates during an update, so
+/// PCC is preserved on both sides.
+pub struct HybridAdapter {
+    silkroad: SilkRoadAdapter,
+    slb: SlbAdapter,
+    /// VIPs served by the SLB tier.
+    slb_vips: std::collections::HashSet<Vip>,
+}
+
+impl HybridAdapter {
+    /// Build with an explicit SLB-side VIP set.
+    pub fn new(
+        silk_cfg: SilkRoadConfig,
+        slb_cfg: SlbConfig,
+        slb_vips: std::collections::HashSet<Vip>,
+    ) -> HybridAdapter {
+        HybridAdapter {
+            silkroad: SilkRoadAdapter::new(silk_cfg),
+            slb: SlbAdapter::new(slb_cfg),
+            slb_vips,
+        }
+    }
+
+    /// The switch half.
+    pub fn switch(&self) -> &SilkRoadSwitch {
+        self.silkroad.switch()
+    }
+
+    fn on_slb(&self, vip: Vip) -> bool {
+        self.slb_vips.contains(&vip)
+    }
+}
+
+impl LoadBalancer for HybridAdapter {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) {
+        if self.on_slb(vip) {
+            self.slb.add_vip(vip, dips);
+        } else {
+            self.silkroad.add_vip(vip, dips);
+        }
+    }
+
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos) {
+        if self.on_slb(vip) {
+            self.slb.apply_update(vip, op, now);
+        } else {
+            self.silkroad.apply_update(vip, op, now);
+        }
+    }
+
+    fn packet(&mut self, pkt: &PacketMeta, now: Nanos) -> PacketVerdict {
+        if self.on_slb(Vip(pkt.tuple.dst)) {
+            self.slb.packet(pkt, now)
+        } else {
+            self.silkroad.packet(pkt, now)
+        }
+    }
+
+    fn conn_closed(&mut self, vip: Vip, tuple: &FiveTuple, now: Nanos) {
+        if self.on_slb(vip) {
+            self.slb.conn_closed(vip, tuple, now);
+        } else {
+            self.silkroad.conn_closed(vip, tuple, now);
+        }
+    }
+
+    fn tick(&mut self, now: Nanos) -> Vec<Vip> {
+        self.silkroad.tick(now)
+    }
+
+    fn next_wakeup(&self) -> Option<Nanos> {
+        self.silkroad.next_wakeup()
+    }
+
+    fn software_share(&self, vip: Vip, from: Nanos, to: Nanos) -> f64 {
+        if self.on_slb(vip) {
+            1.0
+        } else {
+            self.silkroad.software_share(vip, from, to)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn conn(p: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, p), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn exercise(lb: &mut dyn LoadBalancer) {
+        lb.add_vip(vip(), vec![dip(1), dip(2), dip(3)]);
+        let v = lb.packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert!(v.dip.is_some(), "{}", lb.name());
+        lb.apply_update(vip(), PoolUpdate::Remove(dip(3)), Nanos::from_millis(1));
+        lb.tick(Nanos::from_millis(20));
+        let v2 = lb.packet(&PacketMeta::data(conn(1), 100), Nanos::from_millis(20));
+        assert!(v2.dip.is_some());
+        lb.packet(&PacketMeta::fin(conn(1)), Nanos::from_millis(30));
+        lb.conn_closed(vip(), &conn(1), Nanos::from_millis(30));
+    }
+
+    #[test]
+    fn all_adapters_exercise() {
+        exercise(&mut SilkRoadAdapter::new(SilkRoadConfig::small_test()));
+        exercise(&mut DuetAdapter::new(DuetConfig::default()));
+        exercise(&mut SlbAdapter::new(SlbConfig::default()));
+        exercise(&mut EcmpAdapter::new(7));
+    }
+
+    #[test]
+    fn slb_is_always_software() {
+        let mut a = SlbAdapter::new(SlbConfig::default());
+        a.add_vip(vip(), vec![dip(1)]);
+        assert!(a.packet(&PacketMeta::syn(conn(1)), Nanos::ZERO).in_software);
+        assert_eq!(a.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn duet_redirect_intervals_feed_share() {
+        let mut a = DuetAdapter::new(DuetConfig {
+            policy: sr_baselines::MigrationPolicy::Periodic(sr_types::Duration::from_secs(10)),
+            seed: 1,
+        });
+        a.add_vip(vip(), vec![dip(1), dip(2)]);
+        assert_eq!(
+            a.software_share(vip(), Nanos::ZERO, Nanos::from_secs(20)),
+            0.0
+        );
+        // Redirect from t=2s until the 10s boundary.
+        a.apply_update(vip(), PoolUpdate::Remove(dip(2)), Nanos::from_secs(2));
+        let migrated = a.tick(Nanos::from_secs(10));
+        assert_eq!(migrated, vec![vip()]);
+        let share = a.software_share(vip(), Nanos::ZERO, Nanos::from_secs(20));
+        assert!((share - 0.4).abs() < 1e-9, "share {share}");
+    }
+
+    #[test]
+    fn hybrid_routes_by_vip() {
+        let mut slb_vips = std::collections::HashSet::new();
+        let slb_vip = Vip(Addr::v4(20, 0, 0, 2, 80));
+        slb_vips.insert(slb_vip);
+        let mut h = HybridAdapter::new(
+            SilkRoadConfig::small_test(),
+            SlbConfig::default(),
+            slb_vips,
+        );
+        h.add_vip(vip(), vec![dip(1), dip(2)]);
+        h.add_vip(slb_vip, vec![dip(3), dip(4)]);
+        // Switch-side VIP: hardware path.
+        let v = h.packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert!(v.dip.is_some());
+        assert!(!v.in_software);
+        // SLB-side VIP: software path, and traffic accounting agrees.
+        let slb_conn = FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 99), slb_vip.0);
+        let v2 = h.packet(&PacketMeta::syn(slb_conn), Nanos::ZERO);
+        assert!(v2.dip.is_some());
+        assert!(v2.in_software);
+        assert_eq!(h.software_share(slb_vip, Nanos::ZERO, Nanos::from_secs(1)), 1.0);
+        assert_eq!(h.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)), 0.0);
+        // Updates route too; both sides keep PCC.
+        h.apply_update(slb_vip, PoolUpdate::Remove(dip(4)), Nanos::from_millis(1));
+        let v3 = h.packet(&PacketMeta::data(slb_conn, 100), Nanos::from_millis(2));
+        assert_eq!(v3.dip, v2.dip);
+    }
+
+    #[test]
+    fn silkroad_adapter_reports_software_redirects_only() {
+        let mut a = SilkRoadAdapter::new(SilkRoadConfig::small_test());
+        a.add_vip(vip(), vec![dip(1), dip(2)]);
+        let v = a.packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
+        assert!(!v.in_software);
+    }
+}

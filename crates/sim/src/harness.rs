@@ -1,0 +1,529 @@
+//! The discrete-event harness.
+//!
+//! Replays one [`TraceIter`] against one [`LoadBalancer`], measuring PCC
+//! violations and software load. See the crate docs for the probing model.
+
+use crate::lb::{LoadBalancer, PacketVerdict};
+use crate::metrics::RunMetrics;
+use silkroad::PoolUpdate;
+use sr_types::{Dip, Duration, Nanos, PacketMeta, Vip};
+use sr_workload::trace::{dip_addr, vip_addr};
+use sr_workload::updates::DipOp;
+use sr_workload::{ConnSpec, TraceConfig, TraceEvent, TraceIter};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Harness tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Extra early probes per connection after the SYN, one packet-gap
+    /// apart — covers the pending-insertion window.
+    pub early_probes: u32,
+    /// Periodic balancer tick (drives policies with no self-scheduled
+    /// wakeups, e.g. Duet's Migrate-PCC).
+    pub periodic_tick: Duration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            early_probes: 2,
+            periodic_tick: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, Debug)]
+enum Ev {
+    /// Connection close (FIN + teardown).
+    Close(u64),
+    /// A mid-life packet of connection `0` (field); `1` = remaining early
+    /// chain length after this probe.
+    Probe(u64, u32),
+    /// Balancer-scheduled wakeup.
+    Wakeup,
+    /// Harness periodic tick.
+    Tick,
+}
+
+#[derive(PartialEq, Eq, Debug)]
+struct QueuedEvent {
+    at: Nanos,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct ConnState {
+    spec: ConnSpec,
+    assigned: Option<Dip>,
+    violated: bool,
+    dropped: bool,
+    /// The connection's assigned DIP was removed from the pool: the
+    /// connection is dead regardless of the balancer, so a later remap is
+    /// not a PCC violation (the paper's accounting — a broken connection is
+    /// one moved *between live DIPs*).
+    doomed: bool,
+}
+
+/// The harness. Owns the run state; borrow the balancer for the run.
+///
+/// ```
+/// use sr_sim::{Harness, HarnessConfig, SilkRoadAdapter};
+/// use silkroad::SilkRoadConfig;
+/// use sr_workload::TraceConfig;
+/// use sr_types::Duration;
+///
+/// let mut trace = TraceConfig::pop_scaled(0.0005, 1); // tiny doc-sized run
+/// trace.updates_per_min = 5.0;
+/// let mut lb = SilkRoadAdapter::new(SilkRoadConfig::default());
+/// let metrics = Harness::new(trace, HarnessConfig::default()).run(&mut lb);
+/// assert_eq!(metrics.pcc_violations, 0);
+/// assert!(metrics.conns_total > 0);
+/// ```
+pub struct Harness {
+    cfg: HarnessConfig,
+    trace_cfg: TraceConfig,
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    event_seq: u64,
+    conns: HashMap<u64, ConnState>,
+    /// Live connections per VIP index (lazily compacted).
+    per_vip: HashMap<u32, Vec<u64>>,
+    /// VIP address -> index (for balancer-reported remaps).
+    vip_index: HashMap<Vip, u32>,
+    /// DIP address -> index within its VIP (doomed-connection checks).
+    dip_index: HashMap<Dip, u32>,
+    /// Current pool membership per VIP (no-op update filtering and
+    /// doomed-connection checks).
+    membership: Vec<HashSet<u32>>,
+    next_wakeup_scheduled: Option<Nanos>,
+    metrics: RunMetrics,
+}
+
+impl Harness {
+    /// Build a harness for one trace configuration.
+    pub fn new(trace_cfg: TraceConfig, cfg: HarnessConfig) -> Harness {
+        Harness {
+            cfg,
+            trace_cfg,
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            conns: HashMap::new(),
+            per_vip: HashMap::new(),
+            vip_index: HashMap::new(),
+            dip_index: HashMap::new(),
+            membership: Vec::new(),
+            next_wakeup_scheduled: None,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    fn push(&mut self, at: Nanos, ev: Ev) {
+        self.event_seq += 1;
+        self.heap.push(Reverse(QueuedEvent {
+            at,
+            seq: self.event_seq,
+            ev,
+        }));
+    }
+
+    /// Run the trace to completion and return the metrics.
+    pub fn run(mut self, lb: &mut dyn LoadBalancer) -> RunMetrics {
+        // Register every VIP with its full initial pool.
+        let family = self.trace_cfg.family;
+        for v in 0..self.trace_cfg.vips {
+            let dips: Vec<Dip> = (0..self.trace_cfg.dips_per_vip)
+                .map(|d| dip_addr(family, v, d))
+                .collect();
+            let vip = vip_addr(family, v);
+            for (i, d) in dips.iter().enumerate() {
+                self.dip_index.insert(*d, i as u32);
+            }
+            lb.add_vip(vip, dips);
+            self.vip_index.insert(vip, v);
+            self.membership
+                .push((0..self.trace_cfg.dips_per_vip).collect());
+        }
+        self.metrics.sim_secs = self.trace_cfg.duration.as_secs_f64();
+
+        let mut trace = TraceIter::new(self.trace_cfg).peekable();
+        self.push(Nanos::ZERO + self.cfg.periodic_tick, Ev::Tick);
+
+        loop {
+            let trace_at = trace.peek().map(|e| e.at());
+            let heap_at = self.heap.peek().map(|qe| qe.0.at);
+            match (trace_at, heap_at) {
+                (None, None) => break,
+                (Some(t), h) if h.map_or(true, |h| t <= h) => {
+                    let ev = trace.next().expect("peeked");
+                    match ev {
+                        TraceEvent::ConnOpen(c) => self.on_open(c, lb),
+                        TraceEvent::Update(u) => self.on_update(u, lb),
+                    }
+                    self.schedule_lb_wakeup(t, lb);
+                }
+                (_, Some(_)) => {
+                    let Reverse(qe) = self.heap.pop().expect("peeked");
+                    let at = qe.at;
+                    let more_coming = trace.peek().is_some();
+                    self.dispatch(qe, lb, more_coming);
+                    // Once the trace is drained and every connection is
+                    // closed, stop feeding balancer wakeups — otherwise a
+                    // periodic policy (Duet) keeps the run alive forever.
+                    if more_coming || !self.conns.is_empty() {
+                        self.schedule_lb_wakeup(at, lb);
+                    }
+                }
+                // (Some, None) with a false guard cannot happen: the guard
+                // is always true when the heap is empty.
+                (Some(_), None) => unreachable!(),
+            }
+        }
+        self.metrics
+    }
+
+    fn dispatch(&mut self, qe: QueuedEvent, lb: &mut dyn LoadBalancer, trace_active: bool) {
+        let now = qe.at;
+        match qe.ev {
+            Ev::Close(seq) => self.on_close(seq, now, lb),
+            Ev::Probe(seq, chain) => self.on_probe(seq, chain, now, lb),
+            Ev::Wakeup => {
+                if self.next_wakeup_scheduled == Some(now) {
+                    self.next_wakeup_scheduled = None;
+                }
+                let remapped = lb.tick(now);
+                self.probe_remapped(remapped, now);
+            }
+            Ev::Tick => {
+                let remapped = lb.tick(now);
+                self.probe_remapped(remapped, now);
+                if trace_active || !self.conns.is_empty() {
+                    self.push(now + self.cfg.periodic_tick, Ev::Tick);
+                }
+            }
+        }
+    }
+
+    fn schedule_lb_wakeup(&mut self, _now: Nanos, lb: &mut dyn LoadBalancer) {
+        if let Some(w) = lb.next_wakeup() {
+            let need = match self.next_wakeup_scheduled {
+                Some(s) => w < s,
+                None => true,
+            };
+            if need {
+                self.next_wakeup_scheduled = Some(w);
+                self.push(w, Ev::Wakeup);
+            }
+        }
+    }
+
+    fn on_open(&mut self, c: ConnSpec, lb: &mut dyn LoadBalancer) {
+        self.metrics.conns_total += 1;
+        let verdict = lb.packet(&PacketMeta::syn(c.tuple), c.opened);
+        let mut state = ConnState {
+            spec: c,
+            assigned: None,
+            violated: false,
+            dropped: false,
+            doomed: false,
+        };
+        self.observe(&mut state, verdict);
+        let seq = c.seq.0;
+        self.push(c.closes(), Ev::Close(seq));
+        if self.cfg.early_probes > 0 {
+            let first = c.opened + c.pkt_gap;
+            if first < c.closes() {
+                self.push(first, Ev::Probe(seq, self.cfg.early_probes - 1));
+            }
+        }
+        self.per_vip.entry(c.vip.0).or_default().push(seq);
+        self.conns.insert(seq, state);
+    }
+
+    fn observe(&mut self, state: &mut ConnState, verdict: PacketVerdict) {
+        self.metrics.probes += 1;
+        self.metrics.latency.record(verdict.latency);
+        match verdict.dip {
+            None => {
+                if !state.dropped {
+                    state.dropped = true;
+                    self.metrics.drops += 1;
+                }
+            }
+            Some(d) => match state.assigned {
+                None => {
+                    state.assigned = Some(d);
+                    // Assigned to a DIP whose removal was already
+                    // requested (the balancer may still be draining the
+                    // update): the connection dies with that server — an
+                    // administrative death, not a PCC violation.
+                    let vip_idx = state.spec.vip.0 as usize;
+                    if let Some(idx) = self.dip_index.get(&d) {
+                        if !self.membership[vip_idx].contains(idx) {
+                            state.doomed = true;
+                        }
+                    }
+                }
+                Some(a) => {
+                    if a != d && !state.violated && !state.doomed {
+                        state.violated = true;
+                        self.metrics.pcc_violations += 1;
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_probe(&mut self, seq: u64, chain: u32, now: Nanos, lb: &mut dyn LoadBalancer) {
+        let Some(mut state) = self.conns.remove(&seq) else {
+            return;
+        };
+        let verdict = lb.packet(&PacketMeta::data(state.spec.tuple, 800), now);
+        self.observe(&mut state, verdict);
+        if chain > 0 {
+            let next = now + state.spec.pkt_gap;
+            if next < state.spec.closes() {
+                self.push(next, Ev::Probe(seq, chain - 1));
+            }
+        }
+        self.conns.insert(seq, state);
+    }
+
+    fn on_close(&mut self, seq: u64, now: Nanos, lb: &mut dyn LoadBalancer) {
+        let Some(mut state) = self.conns.remove(&seq) else {
+            return;
+        };
+        let verdict = lb.packet(&PacketMeta::fin(state.spec.tuple), now);
+        self.observe(&mut state, verdict);
+        let vip = vip_addr(self.trace_cfg.family, state.spec.vip.0);
+        lb.conn_closed(vip, &state.spec.tuple, now);
+        self.metrics.conns_completed += 1;
+        let bytes = state.spec.bytes();
+        self.metrics.total_bytes += bytes;
+        let share = lb.software_share(vip, state.spec.opened, now);
+        self.metrics.software_bytes += (bytes as f64 * share) as u64;
+    }
+
+    fn on_update(&mut self, u: sr_workload::UpdateEvent, lb: &mut dyn LoadBalancer) {
+        let vidx = u.vip.0;
+        let members = &mut self.membership[vidx as usize];
+        // Filter no-ops and never empty a pool (operators keep capacity up).
+        let effective = match u.op {
+            DipOp::Remove => members.len() > 1 && members.remove(&u.dip.0),
+            DipOp::Add => members.insert(u.dip.0),
+        };
+        if !effective {
+            return;
+        }
+        self.metrics.updates += 1;
+        let family = self.trace_cfg.family;
+        let vip = vip_addr(family, vidx);
+        let dip = dip_addr(family, vidx, u.dip.0);
+        let op = match u.op {
+            DipOp::Remove => PoolUpdate::Remove(dip),
+            DipOp::Add => PoolUpdate::Add(dip),
+        };
+        lb.apply_update(vip, op, u.at);
+        if let PoolUpdate::Remove(removed) = op {
+            self.doom_conns(vidx, removed);
+        }
+        self.probe_vip_conns(vidx, u.at);
+    }
+
+    /// Mark live connections assigned to a just-removed DIP as dead.
+    fn doom_conns(&mut self, vip_idx: u32, removed: Dip) {
+        let Some(list) = self.per_vip.get(&vip_idx) else {
+            return;
+        };
+        for seq in list {
+            if let Some(state) = self.conns.get_mut(seq) {
+                if state.assigned == Some(removed) {
+                    state.doomed = true;
+                }
+            }
+        }
+    }
+
+    fn probe_remapped(&mut self, remapped: Vec<Vip>, now: Nanos) {
+        for vip in remapped {
+            if let Some(&idx) = self.vip_index.get(&vip) {
+                self.probe_vip_conns(idx, now);
+            }
+        }
+    }
+
+    /// Schedule a probe for every live connection of a VIP at its natural
+    /// next packet time after `after`.
+    fn probe_vip_conns(&mut self, vip_idx: u32, after: Nanos) {
+        let mut to_push: Vec<(Nanos, u64)> = Vec::new();
+        {
+            let conns = &self.conns;
+            let Some(list) = self.per_vip.get_mut(&vip_idx) else {
+                return;
+            };
+            list.retain(|seq| conns.contains_key(seq));
+            for seq in list.iter() {
+                let state = &conns[seq];
+                let c = &state.spec;
+                if state.violated {
+                    continue; // already counted; probing again changes nothing
+                }
+                let gap = c.pkt_gap.0.max(1);
+                let since_open = after.since(c.opened).0;
+                let k = since_open / gap + 1;
+                let p = c.opened + Duration(gap.saturating_mul(k));
+                if p < c.closes() {
+                    to_push.push((p, *seq));
+                }
+            }
+        }
+        for (p, seq) in to_push {
+            self.push(p, Ev::Probe(seq, 0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{DuetAdapter, EcmpAdapter, SilkRoadAdapter, SlbAdapter};
+    use silkroad::SilkRoadConfig;
+    use sr_baselines::{DuetConfig, MigrationPolicy, SlbConfig};
+    use sr_types::AddrFamily;
+
+    fn trace(upm: f64, mins: u64) -> TraceConfig {
+        TraceConfig {
+            vips: 8,
+            dips_per_vip: 6,
+            new_conns_per_min: 3000.0,
+            median_flow_secs: 10.0,
+            flow_sigma: 1.0,
+            median_rate_bps: 100_000.0,
+            rate_sigma: 0.5,
+            updates_per_min: upm,
+            shared_dip_upgrades: false,
+            duration: Duration::from_mins(mins),
+            family: AddrFamily::V4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn slb_never_violates_and_is_all_software() {
+        let mut lb = SlbAdapter::new(SlbConfig::default());
+        let m = Harness::new(trace(20.0, 2), HarnessConfig::default()).run(&mut lb);
+        assert!(m.conns_total > 50);
+        assert_eq!(m.pcc_violations, 0, "SLB must be PCC-safe");
+        assert!(m.software_traffic_fraction() > 0.99);
+        assert!(m.updates > 5);
+    }
+
+    #[test]
+    fn silkroad_never_violates() {
+        let mut cfg = SilkRoadConfig::default();
+        cfg.conn_capacity = 50_000;
+        let mut lb = SilkRoadAdapter::new(cfg);
+        let m = Harness::new(trace(30.0, 2), HarnessConfig::default()).run(&mut lb);
+        assert!(m.conns_total > 50);
+        assert_eq!(m.pcc_violations, 0, "SilkRoad must be PCC-safe: {m}");
+        assert!(m.software_traffic_fraction() < 0.01);
+        assert_eq!(m.drops, 0);
+    }
+
+    #[test]
+    fn ecmp_violates_heavily_under_updates() {
+        let mut lb = EcmpAdapter::new(5);
+        let m = Harness::new(trace(30.0, 2), HarnessConfig::default()).run(&mut lb);
+        assert!(
+            m.violation_fraction() > 0.02,
+            "stateless ECMP should break many connections: {m}"
+        );
+    }
+
+    #[test]
+    fn duet_periodic_violates_some_but_less_than_ecmp() {
+        let mk = |policy| {
+            let mut lb = DuetAdapter::new(DuetConfig { policy, seed: 3 });
+            Harness::new(trace(30.0, 3), HarnessConfig::default()).run(&mut lb)
+        };
+        let duet = mk(MigrationPolicy::Periodic(Duration::from_mins(1)));
+        let mut ecmp = EcmpAdapter::new(5);
+        let ecmp_m = Harness::new(trace(30.0, 3), HarnessConfig::default()).run(&mut ecmp);
+        assert!(duet.pcc_violations > 0, "periodic Duet should break some: {duet}");
+        assert!(
+            duet.violation_fraction() < ecmp_m.violation_fraction(),
+            "duet {duet} vs ecmp {ecmp_m}"
+        );
+        assert!(duet.software_traffic_fraction() > 0.01);
+    }
+
+    #[test]
+    fn duet_wait_pcc_never_violates_but_loads_slb() {
+        let mut lb = DuetAdapter::new(DuetConfig {
+            policy: MigrationPolicy::WaitPcc,
+            seed: 3,
+        });
+        let m = Harness::new(trace(30.0, 2), HarnessConfig::default()).run(&mut lb);
+        assert_eq!(m.pcc_violations, 0, "{m}");
+        let mut lb10 = DuetAdapter::new(DuetConfig {
+            policy: MigrationPolicy::Periodic(Duration::from_mins(10)),
+            seed: 3,
+        });
+        let m10 = Harness::new(trace(30.0, 2), HarnessConfig::default()).run(&mut lb10);
+        // WaitPcc keeps at least as much traffic in SLBs as 10-min periodic.
+        assert!(
+            m.software_traffic_fraction() >= m10.software_traffic_fraction() * 0.8,
+            "waitpcc {m} vs periodic10 {m10}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut lb = EcmpAdapter::new(5);
+            Harness::new(trace(10.0, 1), HarnessConfig::default()).run(&mut lb)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.pcc_violations, b.pcc_violations);
+        assert_eq!(a.conns_total, b.conns_total);
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn no_updates_no_violations_anywhere() {
+        for name in ["silkroad", "duet", "ecmp", "slb"] {
+            let m = match name {
+                "silkroad" => {
+                    let mut lb = SilkRoadAdapter::new(SilkRoadConfig::small_test());
+                    Harness::new(trace(0.0, 1), HarnessConfig::default()).run(&mut lb)
+                }
+                "duet" => {
+                    let mut lb = DuetAdapter::new(DuetConfig::default());
+                    Harness::new(trace(0.0, 1), HarnessConfig::default()).run(&mut lb)
+                }
+                "ecmp" => {
+                    let mut lb = EcmpAdapter::new(5);
+                    Harness::new(trace(0.0, 1), HarnessConfig::default()).run(&mut lb)
+                }
+                _ => {
+                    let mut lb = SlbAdapter::new(SlbConfig::default());
+                    Harness::new(trace(0.0, 1), HarnessConfig::default()).run(&mut lb)
+                }
+            };
+            assert_eq!(m.pcc_violations, 0, "{name}: {m}");
+            assert_eq!(m.updates, 0, "{name}");
+        }
+    }
+}

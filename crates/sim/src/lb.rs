@@ -1,0 +1,87 @@
+//! The load-balancer interface the harness drives.
+
+use silkroad::PoolUpdate;
+use sr_types::{Dip, Duration, FiveTuple, Nanos, PacketMeta, Vip};
+
+/// ASIC pipeline latency (§5.2: "sub-microsecond processing latency").
+pub const ASIC_LATENCY: Duration = Duration::from_nanos(600);
+
+/// Result of presenting one packet to a balancer.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketVerdict {
+    /// The backend chosen (None = dropped / unknown VIP).
+    pub dip: Option<Dip>,
+    /// Whether the packet was handled by software (an SLB server or the
+    /// switch CPU) rather than ASIC hardware.
+    pub in_software: bool,
+    /// Load-balancer processing latency this packet experienced.
+    pub latency: Duration,
+}
+
+/// A load balancer under test.
+pub trait LoadBalancer {
+    /// Short system name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Register a VIP with its initial pool.
+    fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>);
+
+    /// Apply one DIP-pool change.
+    fn apply_update(&mut self, vip: Vip, op: PoolUpdate, now: Nanos);
+
+    /// Process one packet.
+    fn packet(&mut self, pkt: &PacketMeta, now: Nanos) -> PacketVerdict;
+
+    /// A connection finished (the FIN was already presented via `packet`).
+    fn conn_closed(&mut self, vip: Vip, tuple: &FiveTuple, now: Nanos);
+
+    /// Run deferred control-plane work up to `now`. Returns the VIPs whose
+    /// live connections may now map differently (e.g. Duet migrate-back) —
+    /// the harness re-probes their connections.
+    fn tick(&mut self, now: Nanos) -> Vec<Vip>;
+
+    /// Next instant `tick` should run, if the balancer schedules work.
+    fn next_wakeup(&self) -> Option<Nanos>;
+
+    /// Fraction of `vip`'s traffic handled in software during
+    /// `[from, to]` — drives the Fig 5a SLB-load accounting. Defaults to
+    /// zero (pure-hardware systems).
+    fn software_share(&self, _vip: Vip, _from: Nanos, _to: Nanos) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl LoadBalancer for Null {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn add_vip(&mut self, _: Vip, _: Vec<Dip>) {}
+        fn apply_update(&mut self, _: Vip, _: PoolUpdate, _: Nanos) {}
+        fn packet(&mut self, _: &PacketMeta, _: Nanos) -> PacketVerdict {
+            PacketVerdict {
+                dip: None,
+                in_software: false,
+                latency: ASIC_LATENCY,
+            }
+        }
+        fn conn_closed(&mut self, _: Vip, _: &FiveTuple, _: Nanos) {}
+        fn tick(&mut self, _: Nanos) -> Vec<Vip> {
+            Vec::new()
+        }
+        fn next_wakeup(&self) -> Option<Nanos> {
+            None
+        }
+    }
+
+    #[test]
+    fn default_software_share_is_zero() {
+        let n = Null;
+        let vip = Vip(sr_types::Addr::v4(1, 2, 3, 4, 80));
+        assert_eq!(n.software_share(vip, Nanos::ZERO, Nanos::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Experiment output metrics.
+
+use sr_types::Duration;
+use std::fmt;
+
+/// A log-bucketed latency histogram (100 ns – ~100 ms), cheap enough to
+/// record per probe packet.
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    /// Bucket `i` counts samples in `[100ns * 2^i, 100ns * 2^(i+1))`.
+    buckets: [u64; 24],
+    count: u64,
+    sum_ns: u128,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: [0; 24],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    fn bucket_of(d: Duration) -> usize {
+        let units = (d.0 / 100).max(1);
+        (63 - units.leading_zeros() as usize).min(23)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.buckets[Self::bucket_of(d)] += 1;
+        self.count += 1;
+        self.sum_ns += d.0 as u128;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Approximate percentile (bucket lower bound), `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target {
+                return Duration(100 << i);
+            }
+        }
+        Duration(100 << 23)
+    }
+}
+
+/// Results of one harness run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Connections opened.
+    pub conns_total: u64,
+    /// Connections that completed (closed inside the run).
+    pub conns_completed: u64,
+    /// Connections that observed ≥2 distinct DIPs — PCC violations.
+    pub pcc_violations: u64,
+    /// Connections that were ever dropped (no DIP) mid-life.
+    pub drops: u64,
+    /// Total bytes carried by completed connections.
+    pub total_bytes: u64,
+    /// Bytes handled in software (SLB servers / switch CPU path).
+    pub software_bytes: u64,
+    /// DIP-pool updates applied.
+    pub updates: u64,
+    /// Probe packets presented.
+    pub probes: u64,
+    /// Simulated duration, seconds.
+    pub sim_secs: f64,
+    /// Per-packet load-balancer processing latency.
+    pub latency: LatencyHist,
+}
+
+impl RunMetrics {
+    /// Fraction of connections that broke (Fig 5b / 16 y-axis).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.conns_total == 0 {
+            0.0
+        } else {
+            self.pcc_violations as f64 / self.conns_total as f64
+        }
+    }
+
+    /// Violations per simulated minute (Fig 17 y-axis).
+    pub fn violations_per_min(&self) -> f64 {
+        if self.sim_secs <= 0.0 {
+            0.0
+        } else {
+            self.pcc_violations as f64 / (self.sim_secs / 60.0)
+        }
+    }
+
+    /// Fraction of traffic volume handled in software (Fig 5a y-axis).
+    pub fn software_traffic_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.software_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conns={} completed={} violations={} ({:.4}%) drops={} swTraffic={:.1}% updates={} probes={}",
+            self.conns_total,
+            self.conns_completed,
+            self.pcc_violations,
+            100.0 * self.violation_fraction(),
+            self.drops,
+            100.0 * self.software_traffic_fraction(),
+            self.updates,
+            self.probes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_hist_percentiles() {
+        let mut h = LatencyHist::default();
+        assert_eq!(h.percentile(50.0), Duration::ZERO);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1)); // bucket [0.8us, 1.6us)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0);
+        assert!(p50 < Duration::from_micros(2), "{p50}");
+        let p99 = h.percentile(99.0);
+        assert!(p99 >= Duration::from_micros(500), "{p99}");
+        assert!(h.mean() > Duration::from_micros(50));
+    }
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.violation_fraction(), 0.0);
+        assert_eq!(m.violations_per_min(), 0.0);
+        assert_eq!(m.software_traffic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = RunMetrics {
+            conns_total: 200,
+            pcc_violations: 3,
+            total_bytes: 1000,
+            software_bytes: 250,
+            sim_secs: 120.0,
+            ..Default::default()
+        };
+        assert!((m.violation_fraction() - 0.015).abs() < 1e-12);
+        assert!((m.violations_per_min() - 1.5).abs() < 1e-12);
+        assert!((m.software_traffic_fraction() - 0.25).abs() < 1e-12);
+        assert!(m.to_string().contains("violations=3"));
+    }
+}

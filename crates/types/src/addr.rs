@@ -1,0 +1,207 @@
+//! Network addresses: VIPs and DIPs.
+//!
+//! The paper's memory arithmetic depends on the address family: an IPv6
+//! 5-tuple key is 37 bytes and a DIP+port action is 18 bytes, versus
+//! 13 and 6 bytes for IPv4 (§4.2). We therefore carry the family explicitly.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Address family of a VIP/DIP, which determines table entry sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum AddrFamily {
+    /// 4-byte addresses; 5-tuple key = 13 B, DIP action = 6 B.
+    V4,
+    /// 16-byte addresses; 5-tuple key = 37 B, DIP action = 18 B.
+    V6,
+}
+
+impl AddrFamily {
+    /// Bytes of one bare address.
+    pub const fn addr_bytes(self) -> usize {
+        match self {
+            AddrFamily::V4 => 4,
+            AddrFamily::V6 => 16,
+        }
+    }
+
+    /// Bytes of the full 5-tuple match key (src+dst addr, src+dst port, proto).
+    pub const fn five_tuple_bytes(self) -> usize {
+        2 * self.addr_bytes() + 2 + 2 + 1
+    }
+
+    /// Bytes of a DIP + port action datum.
+    pub const fn dip_action_bytes(self) -> usize {
+        self.addr_bytes() + 2
+    }
+}
+
+/// An IP address + L4 port endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// The IP address.
+    pub ip: IpAddr,
+    /// The L4 port.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Construct an IPv4 endpoint.
+    pub const fn v4(a: u8, b: u8, c: u8, d: u8, port: u16) -> Addr {
+        Addr {
+            ip: IpAddr::V4(Ipv4Addr::new(a, b, c, d)),
+            port,
+        }
+    }
+
+    /// Construct an IPv6 endpoint from eight 16-bit segments.
+    #[allow(clippy::too_many_arguments)]
+    pub const fn v6(s: [u16; 8], port: u16) -> Addr {
+        Addr {
+            ip: IpAddr::V6(Ipv6Addr::new(
+                s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+            )),
+            port,
+        }
+    }
+
+    /// Synthesize a distinct IPv4 endpoint from an index (test/workload helper).
+    pub fn v4_indexed(base: u8, idx: u32, port: u16) -> Addr {
+        let b = idx.to_be_bytes();
+        Addr::v4(base, b[1], b[2], b[3], port)
+    }
+
+    /// Synthesize a distinct IPv6 endpoint from an index (test/workload helper).
+    pub fn v6_indexed(base: u16, idx: u32, port: u16) -> Addr {
+        Addr::v6(
+            [0xfd00, base, 0, 0, 0, 0, (idx >> 16) as u16, idx as u16],
+            port,
+        )
+    }
+
+    /// Address family of this endpoint.
+    pub fn family(&self) -> AddrFamily {
+        match self.ip {
+            IpAddr::V4(_) => AddrFamily::V4,
+            IpAddr::V6(_) => AddrFamily::V6,
+        }
+    }
+
+    /// Canonical byte encoding: address octets followed by the big-endian
+    /// port. Used as hash input so that simulation hashes are reproducible
+    /// across platforms.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self.ip {
+            IpAddr::V4(ip) => out.extend_from_slice(&ip.octets()),
+            IpAddr::V6(ip) => out.extend_from_slice(&ip.octets()),
+        }
+        out.extend_from_slice(&self.port.to_be_bytes());
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ip {
+            IpAddr::V4(ip) => write!(f, "{}:{}", ip, self.port),
+            IpAddr::V6(ip) => write!(f, "[{}]:{}", ip, self.port),
+        }
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A virtual IP — the externally visible service endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vip(pub Addr);
+
+/// A direct IP — one backend server endpoint in a VIP's DIP pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dip(pub Addr);
+
+impl Vip {
+    /// Address family of the VIP.
+    pub fn family(&self) -> AddrFamily {
+        self.0.family()
+    }
+}
+
+impl Dip {
+    /// Address family of the DIP.
+    pub fn family(&self) -> AddrFamily {
+        self.0.family()
+    }
+}
+
+impl fmt::Display for Vip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VIP {}", self.0)
+    }
+}
+
+impl fmt::Debug for Vip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VIP({})", self.0)
+    }
+}
+
+impl fmt::Display for Dip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIP {}", self.0)
+    }
+}
+
+impl fmt::Debug for Dip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIP({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_sizes_match_paper() {
+        // §4.2: IPv6 5-tuple is 37 bytes, DIP+port action is 18 bytes.
+        assert_eq!(AddrFamily::V6.five_tuple_bytes(), 37);
+        assert_eq!(AddrFamily::V6.dip_action_bytes(), 18);
+        // IPv4 for comparison.
+        assert_eq!(AddrFamily::V4.five_tuple_bytes(), 13);
+        assert_eq!(AddrFamily::V4.dip_action_bytes(), 6);
+    }
+
+    #[test]
+    fn indexed_addresses_are_distinct() {
+        let a = Addr::v4_indexed(10, 1, 80);
+        let b = Addr::v4_indexed(10, 2, 80);
+        assert_ne!(a, b);
+        let c = Addr::v6_indexed(1, 1, 80);
+        let d = Addr::v6_indexed(1, 2, 80);
+        assert_ne!(c, d);
+        assert_eq!(c.family(), AddrFamily::V6);
+    }
+
+    #[test]
+    fn encode_is_family_length() {
+        let mut buf = Vec::new();
+        Addr::v4(1, 2, 3, 4, 80).encode_into(&mut buf);
+        assert_eq!(buf.len(), 6);
+        assert_eq!(&buf, &[1, 2, 3, 4, 0, 80]);
+
+        buf.clear();
+        Addr::v6_indexed(0, 7, 443).encode_into(&mut buf);
+        assert_eq!(buf.len(), 18);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::v4(20, 0, 0, 1, 80).to_string(), "20.0.0.1:80");
+        let v6 = Addr::v6([0xfd00, 0, 0, 0, 0, 0, 0, 1], 443);
+        assert_eq!(v6.to_string(), "[fd00::1]:443");
+        assert_eq!(Vip(Addr::v4(20, 0, 0, 1, 80)).to_string(), "VIP 20.0.0.1:80");
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared error type for configuration-level failures.
+//!
+//! Hot data-plane paths never return these; they are for construction-time
+//! validation (table sizing, version-width bounds, topology wiring).
+
+use std::fmt;
+
+/// Errors raised while constructing or configuring simulation components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A numeric parameter was outside its valid range.
+    OutOfRange {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint, e.g. "1..=16".
+        constraint: &'static str,
+        /// The offending value.
+        got: u64,
+    },
+    /// A referenced entity does not exist.
+    NotFound {
+        /// Entity kind, e.g. "VIP".
+        what: &'static str,
+    },
+    /// A capacity limit was exceeded.
+    CapacityExceeded {
+        /// What filled up, e.g. "ConnTable".
+        what: &'static str,
+    },
+    /// An operation was attempted in an invalid state.
+    InvalidState {
+        /// Description of the violated precondition.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::OutOfRange {
+                what,
+                constraint,
+                got,
+            } => {
+                write!(f, "{what} out of range (must be {constraint}, got {got})")
+            }
+            TypeError::NotFound { what } => write!(f, "{what} not found"),
+            TypeError::CapacityExceeded { what } => write!(f, "{what} capacity exceeded"),
+            TypeError::InvalidState { what } => write!(f, "invalid state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::OutOfRange {
+            what: "digest_bits",
+            constraint: "8..=32",
+            got: 64,
+        };
+        assert_eq!(
+            e.to_string(),
+            "digest_bits out of range (must be 8..=32, got 64)"
+        );
+        assert_eq!(
+            TypeError::NotFound { what: "VIP" }.to_string(),
+            "VIP not found"
+        );
+        assert_eq!(
+            TypeError::CapacityExceeded { what: "ConnTable" }.to_string(),
+            "ConnTable capacity exceeded"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TypeError::NotFound { what: "x" });
+    }
+}

@@ -1,0 +1,132 @@
+//! Lightweight identifier newtypes.
+//!
+//! The simulator refers to entities by dense integer ids; the id types are
+//! distinct so that a `VipId` can never be passed where a `DipId` is meant.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{self}")
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a VIP within a cluster.
+    VipId,
+    "vip"
+);
+id_type!(
+    /// Identifies a DIP (backend server endpoint) within a cluster.
+    DipId,
+    "dip"
+);
+id_type!(
+    /// Identifies a cluster in the fleet.
+    ClusterId,
+    "cluster"
+);
+id_type!(
+    /// Identifies a switch in a topology.
+    SwitchId,
+    "sw"
+);
+
+/// Monotone per-simulation connection sequence number. 64-bit: paper-scale
+/// traces run to hundreds of millions of connections.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ConnSeq(pub u64);
+
+impl fmt::Display for ConnSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+impl fmt::Debug for ConnSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A DIP-pool version number as stored in ConnTable action data.
+///
+/// The paper uses a 6-bit field (64 versions, ring-buffer reuse); we keep
+/// the width configurable but bound it to 16 bits so a version always fits
+/// in the action-data arithmetic of the memory model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PoolVersion(pub u16);
+
+impl PoolVersion {
+    /// First version ever assigned to a VIP.
+    pub const FIRST: PoolVersion = PoolVersion(0);
+
+    /// Next version in the ring of size `2^bits`.
+    pub fn next_in_ring(self, bits: u8) -> PoolVersion {
+        let ring = 1u32 << bits.min(16);
+        PoolVersion((((self.0 as u32) + 1) % ring) as u16)
+    }
+}
+
+impl fmt::Display for PoolVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl fmt::Debug for PoolVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(VipId(3).to_string(), "vip3");
+        assert_eq!(DipId(7).to_string(), "dip7");
+        assert_eq!(ClusterId(0).to_string(), "cluster0");
+        assert_eq!(SwitchId(12).to_string(), "sw12");
+        assert_eq!(ConnSeq(9).to_string(), "conn9");
+    }
+
+    #[test]
+    fn version_ring_wraps() {
+        let mut v = PoolVersion::FIRST;
+        for _ in 0..63 {
+            v = v.next_in_ring(6);
+        }
+        assert_eq!(v, PoolVersion(63));
+        assert_eq!(v.next_in_ring(6), PoolVersion(0));
+    }
+
+    #[test]
+    fn version_ring_respects_width() {
+        assert_eq!(PoolVersion(1).next_in_ring(1), PoolVersion(0));
+        assert_eq!(PoolVersion(0).next_in_ring(1), PoolVersion(1));
+    }
+}

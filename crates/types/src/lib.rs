@@ -1,0 +1,32 @@
+//! Common types shared by every crate of the SilkRoad reproduction.
+//!
+//! The vocabulary follows the paper:
+//!
+//! * a **VIP** (virtual IP) is the `address:port` a service is reachable at;
+//! * a **DIP** (direct IP) is one backend server in the VIP's *DIP pool*;
+//! * a **connection** is identified by its L4 [`FiveTuple`];
+//! * **PCC** (per-connection consistency) means every packet of a connection
+//!   is delivered to the same DIP, even across DIP-pool updates.
+//!
+//! Everything here is deliberately simulation-friendly: time is a plain
+//! nanosecond counter ([`Nanos`]), addresses support both IPv4 and IPv6
+//! (entry sizes differ, which matters for the paper's memory results), and
+//! all types are `Copy` where possible so the hot simulation paths never
+//! allocate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod error;
+pub mod ids;
+pub mod packet;
+pub mod time;
+pub mod tuple;
+
+pub use addr::{Addr, AddrFamily, Dip, Vip};
+pub use error::TypeError;
+pub use ids::{ClusterId, ConnSeq, DipId, PoolVersion, SwitchId, VipId};
+pub use packet::{PacketMeta, TcpFlags};
+pub use time::{Duration, Nanos};
+pub use tuple::{FiveTuple, Protocol};

@@ -1,0 +1,146 @@
+//! Per-packet metadata as seen by a load balancer's data plane.
+//!
+//! The simulation is flow-level, but PCC hinges on *which packets arrive
+//! while table state is in flux*, so the data-plane API is per-packet: the
+//! simulator materialises only the packets that matter (first packet,
+//! packets inside update/insertion windows, periodic keepalives).
+
+use crate::tuple::FiveTuple;
+use std::fmt;
+
+/// TCP flag bits relevant to the load balancer.
+///
+/// SilkRoad inspects SYN to detect digest false positives (§4.2): a SYN that
+/// *hits* ConnTable indicates a new connection colliding with an existing
+/// entry, and is redirected to switch software.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags (mid-stream data packet).
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// SYN bit.
+    pub const SYN: TcpFlags = TcpFlags(1 << 1);
+    /// FIN bit.
+    pub const FIN: TcpFlags = TcpFlags(1 << 0);
+    /// ACK bit.
+    pub const ACK: TcpFlags = TcpFlags(1 << 4);
+    /// RST bit.
+    pub const RST: TcpFlags = TcpFlags(1 << 2);
+
+    /// Whether the SYN bit is set.
+    pub fn is_syn(self) -> bool {
+        self.0 & Self::SYN.0 != 0
+    }
+
+    /// Whether the FIN bit is set.
+    pub fn is_fin(self) -> bool {
+        self.0 & Self::FIN.0 != 0
+    }
+
+    /// Whether the RST bit is set.
+    pub fn is_rst(self) -> bool {
+        self.0 & Self::RST.0 != 0
+    }
+
+    /// Union of two flag sets.
+    pub fn with(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        if self.is_syn() {
+            s.push('S');
+        }
+        if self.is_fin() {
+            s.push('F');
+        }
+        if self.is_rst() {
+            s.push('R');
+        }
+        if self.0 & Self::ACK.0 != 0 {
+            s.push('A');
+        }
+        if s.is_empty() {
+            s.push('.');
+        }
+        write!(f, "[{s}]")
+    }
+}
+
+/// Metadata of one packet presented to a load balancer.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketMeta {
+    /// Connection identity.
+    pub tuple: FiveTuple,
+    /// TCP flags (all-zero for UDP).
+    pub flags: TcpFlags,
+    /// Wire length in bytes, for throughput accounting.
+    pub len: u32,
+}
+
+impl PacketMeta {
+    /// A connection-opening SYN packet (the paper's 52-byte minimum frame).
+    pub fn syn(tuple: FiveTuple) -> PacketMeta {
+        PacketMeta {
+            tuple,
+            flags: TcpFlags::SYN,
+            len: 52,
+        }
+    }
+
+    /// A mid-stream data packet.
+    pub fn data(tuple: FiveTuple, len: u32) -> PacketMeta {
+        PacketMeta {
+            tuple,
+            flags: TcpFlags::ACK,
+            len,
+        }
+    }
+
+    /// A connection-closing FIN packet.
+    pub fn fin(tuple: FiveTuple) -> PacketMeta {
+        PacketMeta {
+            tuple,
+            flags: TcpFlags::FIN.with(TcpFlags::ACK),
+            len: 52,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn tup() -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 1, 1, 1, 1000), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    #[test]
+    fn flag_predicates() {
+        assert!(TcpFlags::SYN.is_syn());
+        assert!(!TcpFlags::SYN.is_fin());
+        assert!(TcpFlags::FIN.with(TcpFlags::ACK).is_fin());
+        assert!(TcpFlags::RST.is_rst());
+        assert!(!TcpFlags::NONE.is_syn());
+    }
+
+    #[test]
+    fn packet_constructors() {
+        assert!(PacketMeta::syn(tup()).flags.is_syn());
+        assert!(PacketMeta::fin(tup()).flags.is_fin());
+        assert!(!PacketMeta::data(tup(), 1460).flags.is_syn());
+        assert_eq!(PacketMeta::syn(tup()).len, 52);
+    }
+
+    #[test]
+    fn flags_debug() {
+        assert_eq!(format!("{:?}", TcpFlags::SYN), "[S]");
+        assert_eq!(format!("{:?}", TcpFlags::NONE), "[.]");
+        assert_eq!(format!("{:?}", TcpFlags::FIN.with(TcpFlags::ACK)), "[FA]");
+    }
+}

@@ -1,0 +1,127 @@
+//! L4 connection identity: the 5-tuple.
+
+use crate::addr::{Addr, AddrFamily};
+use std::fmt;
+
+/// L4 protocol carried in the 5-tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Protocol {
+    /// TCP (protocol number 6). All load-balanced paper traffic is TCP.
+    Tcp,
+    /// UDP (protocol number 17). Supported for completeness.
+    Udp,
+}
+
+impl Protocol {
+    /// IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+}
+
+/// The classic connection 5-tuple: source endpoint, destination endpoint
+/// (the VIP for inbound traffic), and protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Client source endpoint.
+    pub src: Addr,
+    /// Destination endpoint — the VIP before NAT, the DIP after.
+    pub dst: Addr,
+    /// L4 protocol.
+    pub proto: Protocol,
+}
+
+impl FiveTuple {
+    /// Construct a TCP 5-tuple.
+    pub const fn tcp(src: Addr, dst: Addr) -> FiveTuple {
+        FiveTuple {
+            src,
+            dst,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    /// The address family. Mixed-family tuples do not occur in practice;
+    /// the destination side (the VIP) is authoritative for sizing.
+    pub fn family(&self) -> AddrFamily {
+        self.dst.family()
+    }
+
+    /// Canonical byte encoding used as hash input everywhere (connection
+    /// digests, cuckoo hash functions, bloom filters, ECMP). Stable across
+    /// platforms so that experiment outputs are reproducible.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.family().five_tuple_bytes());
+        self.src.encode_into(&mut out);
+        self.dst.encode_into(&mut out);
+        out.push(self.proto.number());
+        out
+    }
+
+    /// Byte length of the match key for this tuple's family.
+    pub fn key_len(&self) -> usize {
+        self.family().five_tuple_bytes()
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.proto {
+            Protocol::Tcp => "TCP",
+            Protocol::Udp => "UDP",
+        };
+        write!(f, "{} -> {} {}", self.src, self.dst, p)
+    }
+}
+
+impl fmt::Debug for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(src_port: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, src_port), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    #[test]
+    fn key_bytes_length_matches_family() {
+        assert_eq!(t(1234).key_bytes().len(), 13);
+        assert_eq!(t(1234).key_len(), 13);
+        let v6 = FiveTuple::tcp(Addr::v6_indexed(0, 1, 999), Addr::v6_indexed(1, 2, 80));
+        assert_eq!(v6.key_bytes().len(), 37);
+    }
+
+    #[test]
+    fn key_bytes_distinguish_tuples() {
+        assert_ne!(t(1).key_bytes(), t(2).key_bytes());
+        let udp = FiveTuple {
+            proto: Protocol::Udp,
+            ..t(1)
+        };
+        assert_ne!(t(1).key_bytes(), udp.key_bytes());
+    }
+
+    #[test]
+    fn key_bytes_deterministic() {
+        assert_eq!(t(42).key_bytes(), t(42).key_bytes());
+    }
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(Protocol::Tcp.number(), 6);
+        assert_eq!(Protocol::Udp.number(), 17);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(t(1234).to_string(), "1.2.3.4:1234 -> 20.0.0.1:80 TCP");
+    }
+}

@@ -1,0 +1,343 @@
+//! Cluster fleet synthesis (§3.1, §6).
+//!
+//! The paper studies "about a hundred clusters" of three kinds. Each kind
+//! has a distinct traffic personality that drives every evaluation figure:
+//!
+//! * **PoPs** — user-facing, many short TCP connections, moderate volume,
+//!   IPv4; up to ~11 M active connections per ToR.
+//! * **Frontends** — few but fat persistent connections from PoPs (PoPs
+//!   "merge many user-facing TCP connections to a few persistent
+//!   connections"), small connection counts, IPv4.
+//! * **Backends** — volume-centric service-to-service traffic, persistent
+//!   connections, IPv6, the largest connection counts (up to 15 M/ToR) and
+//!   the most frequent updates ("a continuous evolution of backend
+//!   services").
+
+use crate::dists::{log_uniform, lognormal_median, sigma_for_p99};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sr_types::{AddrFamily, ClusterId};
+
+/// Cluster kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClusterKind {
+    /// Point of presence (user-facing edge).
+    PoP,
+    /// Frontend serving PoPs.
+    Frontend,
+    /// Backend services.
+    Backend,
+}
+
+impl ClusterKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterKind::PoP => "PoP",
+            ClusterKind::Frontend => "Frontend",
+            ClusterKind::Backend => "Backend",
+        }
+    }
+}
+
+/// A synthesized cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Fleet-unique id.
+    pub id: ClusterId,
+    /// Kind.
+    pub kind: ClusterKind,
+    /// Address family of its VIP traffic ("Most Backends use IPv6 ... most
+    /// PoPs and Frontends use IPv4").
+    pub family: AddrFamily,
+    /// Top-of-rack switches.
+    pub tors: u32,
+    /// VIPs hosted.
+    pub vips: u32,
+    /// DIPs per VIP (average).
+    pub dips_per_vip: u32,
+    /// Active connections per ToR in the *median* minute (Fig 6).
+    pub conns_per_tor_median: u64,
+    /// Active connections per ToR in the *99th-percentile* minute — the
+    /// provisioning target for Fig 12.
+    pub conns_per_tor_p99: u64,
+    /// New connections per VIP per minute at peak (Fig 8).
+    pub new_conns_per_vip_min: u64,
+    /// DIP-pool updates per minute in the cluster's median minute (Fig 2).
+    pub updates_per_min_median: f64,
+    /// Updates per minute in the 99th-percentile minute (Fig 2).
+    pub updates_per_min_p99: f64,
+    /// Peak throughput per ToR switch, Gbit/s (Fig 13 sizing).
+    pub peak_gbps: f64,
+    /// Peak packet rate per ToR switch, packets/s (Fig 13 sizing).
+    pub peak_pps: f64,
+    /// Median flow duration, seconds (drives PCC exposure windows).
+    pub median_flow_secs: f64,
+    /// Live pool versions per VIP at steady state (DIPPoolTable sizing).
+    pub live_versions_per_vip: u32,
+}
+
+impl ClusterSpec {
+    /// Total active connections at the p99 minute, cluster-wide.
+    pub fn total_conns_p99(&self) -> u64 {
+        self.conns_per_tor_p99 * self.tors as u64
+    }
+
+    /// Total DIPs in the cluster.
+    pub fn total_dips(&self) -> u64 {
+        self.vips as u64 * self.dips_per_vip as u64
+    }
+}
+
+/// Fleet synthesis parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of PoP clusters.
+    pub pops: u32,
+    /// Number of Frontend clusters.
+    pub frontends: u32,
+    /// Number of Backend clusters.
+    pub backends: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        // "about a hundred clusters"
+        FleetConfig {
+            pops: 28,
+            frontends: 24,
+            backends: 44,
+            seed: 0xf1ee7,
+        }
+    }
+}
+
+/// Synthesize the fleet.
+pub fn synthesize_fleet(cfg: FleetConfig) -> Vec<ClusterSpec> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for _ in 0..cfg.pops {
+        out.push(synth_one(ClusterId(id), ClusterKind::PoP, &mut rng));
+        id += 1;
+    }
+    for _ in 0..cfg.frontends {
+        out.push(synth_one(ClusterId(id), ClusterKind::Frontend, &mut rng));
+        id += 1;
+    }
+    for _ in 0..cfg.backends {
+        out.push(synth_one(ClusterId(id), ClusterKind::Backend, &mut rng));
+        id += 1;
+    }
+    out
+}
+
+fn synth_one(id: ClusterId, kind: ClusterKind, rng: &mut SmallRng) -> ClusterSpec {
+    match kind {
+        ClusterKind::PoP => {
+            // Fig 6/12: median cluster ~4M conns/ToR (14 MB), peak ~9M (32 MB).
+            let conns_p99 = log_uniform(rng, 1.2e6, 9.2e6);
+            let tors = rng.gen_range(8..=32);
+            // The §3.2 reference PoP: 149 VIPs, 18.7K new conns/min/VIP,
+            // 2.77M new conns/min/ToR at peak.
+            let vips = rng.gen_range(80..=240);
+            let new_per_vip = log_uniform(rng, 4e3, 9e5);
+            let updates_p99 = fig2_updates_p99(rng, kind);
+            // Per-ToR: one SilkRoad replaces 2-3 SLBs in PoPs (Fig 13).
+            let gbps = log_uniform(rng, 12.0, 60.0);
+            ClusterSpec {
+                id,
+                kind,
+                family: AddrFamily::V4,
+                tors,
+                vips,
+                dips_per_vip: rng.gen_range(8..=60),
+                conns_per_tor_median: (conns_p99 * rng.gen_range(0.35..0.6)) as u64,
+                conns_per_tor_p99: conns_p99 as u64,
+                new_conns_per_vip_min: new_per_vip as u64,
+                updates_per_min_median: updates_p99 * rng.gen_range(0.02..0.15),
+                updates_per_min_p99: updates_p99,
+                peak_gbps: gbps,
+                // Short user-facing flows: small packets dominate.
+                peak_pps: gbps * 1e9 / 8.0 / 420.0,
+                median_flow_secs: lognormal_median(rng, 8.0, 0.4),
+                live_versions_per_vip: rng.gen_range(2..=8),
+            }
+        }
+        ClusterKind::Frontend => {
+            // Few persistent connections: <2 MB of ConnTable SRAM.
+            let conns_p99 = log_uniform(rng, 4e4, 5.5e5);
+            let tors = rng.gen_range(8..=24);
+            let vips = rng.gen_range(20..=120);
+            let updates_p99 = fig2_updates_p99(rng, kind);
+            // Large volume per connection (ratio 11 SLBs per SilkRoad in
+            // the median, Fig 13); per-ToR.
+            let gbps = log_uniform(rng, 60.0, 400.0);
+            ClusterSpec {
+                id,
+                kind,
+                family: AddrFamily::V4,
+                tors,
+                vips,
+                dips_per_vip: rng.gen_range(10..=80),
+                conns_per_tor_median: (conns_p99 * rng.gen_range(0.4..0.7)) as u64,
+                conns_per_tor_p99: conns_p99 as u64,
+                new_conns_per_vip_min: log_uniform(rng, 50.0, 5e3) as u64,
+                updates_per_min_median: updates_p99 * rng.gen_range(0.02..0.1),
+                updates_per_min_p99: updates_p99,
+                peak_gbps: gbps,
+                peak_pps: gbps * 1e9 / 8.0 / 1100.0,
+                median_flow_secs: lognormal_median(rng, 300.0, 0.5),
+                live_versions_per_vip: rng.gen_range(2..=6),
+            }
+        }
+        ClusterKind::Backend => {
+            // Fig 6/12: median ~4.3M conns/ToR (15 MB), peak 15M (58 MB).
+            let conns_p99 = log_uniform(rng, 8e5, 1.5e7);
+            let tors = rng.gen_range(16..=64);
+            let vips = rng.gen_range(100..=600);
+            let updates_p99 = fig2_updates_p99(rng, kind);
+            // Volume-centric with a heavy tail: the peak Backend ToR needs
+            // hundreds of SLBs (Fig 13 peak 277).
+            let gbps = lognormal_median(rng, 35.0, sigma_for_p99(35.0, 2800.0)).min(5600.0);
+            ClusterSpec {
+                id,
+                kind,
+                family: AddrFamily::V6,
+                tors,
+                vips,
+                dips_per_vip: rng.gen_range(8..=120),
+                conns_per_tor_median: (conns_p99 * rng.gen_range(0.25..0.5)) as u64,
+                conns_per_tor_p99: conns_p99 as u64,
+                new_conns_per_vip_min: log_uniform(rng, 1e3, 5e7) as u64,
+                updates_per_min_median: updates_p99 * rng.gen_range(0.05..0.25),
+                updates_per_min_p99: updates_p99,
+                peak_gbps: gbps,
+                peak_pps: gbps * 1e9 / 8.0 / 900.0,
+                // The §3.2 cache-style traffic: median 4.5 minutes.
+                median_flow_secs: lognormal_median(rng, 200.0, 0.6),
+                live_versions_per_vip: rng.gen_range(2..=8),
+            }
+        }
+    }
+}
+
+/// Sample a cluster's p99-minute update rate so the fleet reproduces Fig 2:
+/// overall 32 % of clusters above 10/min and 3 % above 50/min at p99;
+/// "half of the Backends have more than 16"; some PoPs/Frontends exceed 100
+/// (shared-DIP bursts).
+fn fig2_updates_p99(rng: &mut SmallRng, kind: ClusterKind) -> f64 {
+    match kind {
+        ClusterKind::Backend => {
+            // Median 16, heavy tail to ~60.
+            lognormal_median(rng, 16.0, sigma_for_p99(16.0, 60.0))
+        }
+        ClusterKind::PoP | ClusterKind::Frontend => {
+            // Mostly quiet, but 10% burst beyond 100 (a shared DIP flaps
+            // every VIP at once).
+            if rng.gen_bool(0.10) {
+                log_uniform(rng, 60.0, 150.0)
+            } else {
+                log_uniform(rng, 0.3, 8.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dists::percentile;
+
+    fn fleet() -> Vec<ClusterSpec> {
+        synthesize_fleet(FleetConfig::default())
+    }
+
+    #[test]
+    fn fleet_size_and_determinism() {
+        let f = fleet();
+        assert_eq!(f.len(), 96);
+        let g = fleet();
+        assert_eq!(f[17].conns_per_tor_p99, g[17].conns_per_tor_p99);
+        // Distinct ids.
+        let mut ids: Vec<u32> = f.iter().map(|c| c.id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 96);
+    }
+
+    #[test]
+    fn kinds_have_paper_families() {
+        for c in fleet() {
+            match c.kind {
+                ClusterKind::Backend => assert_eq!(c.family, AddrFamily::V6),
+                _ => assert_eq!(c.family, AddrFamily::V4),
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_connection_ranges() {
+        let f = fleet();
+        let max_pop = f
+            .iter()
+            .filter(|c| c.kind == ClusterKind::PoP)
+            .map(|c| c.conns_per_tor_p99)
+            .max()
+            .unwrap();
+        let max_backend = f
+            .iter()
+            .filter(|c| c.kind == ClusterKind::Backend)
+            .map(|c| c.conns_per_tor_p99)
+            .max()
+            .unwrap();
+        let max_frontend = f
+            .iter()
+            .filter(|c| c.kind == ClusterKind::Frontend)
+            .map(|c| c.conns_per_tor_p99)
+            .max()
+            .unwrap();
+        // "the most loaded clusters have around 10M connections" (PoPs),
+        // Backends up to 15M, Frontends far fewer.
+        assert!((6_000_000..=11_000_000).contains(&max_pop), "pop {max_pop}");
+        assert!((9_000_000..=15_000_000).contains(&max_backend), "backend {max_backend}");
+        assert!(max_frontend < 600_000, "frontend {max_frontend}");
+    }
+
+    #[test]
+    fn fig2_update_rate_shape() {
+        let f = fleet();
+        let over10 = f.iter().filter(|c| c.updates_per_min_p99 > 10.0).count();
+        let over50 = f.iter().filter(|c| c.updates_per_min_p99 > 50.0).count();
+        let frac10 = over10 as f64 / f.len() as f64;
+        let frac50 = over50 as f64 / f.len() as f64;
+        // Paper: 32% over 10, 3% over 50. Allow sampling slack.
+        assert!((0.2..0.55).contains(&frac10), "frac10 {frac10}");
+        assert!((0.01..0.15).contains(&frac50), "frac50 {frac50}");
+        // Half the Backends above ~16 at p99.
+        let mut backend_rates: Vec<f64> = f
+            .iter()
+            .filter(|c| c.kind == ClusterKind::Backend)
+            .map(|c| c.updates_per_min_p99)
+            .collect();
+        backend_rates.sort_by(f64::total_cmp);
+        let med = percentile(&backend_rates, 50.0);
+        assert!((10.0..25.0).contains(&med), "backend median {med}");
+    }
+
+    #[test]
+    fn median_below_p99() {
+        for c in fleet() {
+            assert!(c.updates_per_min_median <= c.updates_per_min_p99);
+            assert!(c.conns_per_tor_median <= c.conns_per_tor_p99);
+        }
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let c = &fleet()[0];
+        assert_eq!(c.total_conns_p99(), c.conns_per_tor_p99 * c.tors as u64);
+        assert_eq!(c.total_dips(), (c.vips * c.dips_per_vip) as u64);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sampling primitives.
+//!
+//! Implemented on top of plain `rand` uniforms (no `rand_distr` dependency)
+//! so the whole workload layer needs only one external crate. All samplers
+//! take `&mut impl Rng`, and every generator in this crate seeds its own
+//! `SmallRng`, keeping experiments reproducible.
+
+use rand::Rng;
+
+/// Exponential sample with the given rate (events per unit). Returns the
+/// inter-event gap in the same unit. Rate must be positive.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Standard normal sample (Box–Muller).
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal sample parameterised by its *median* and the log-space
+/// standard deviation `sigma` (a natural way to express the paper's
+/// "median 3 min, p99 100 min" style distributions).
+pub fn lognormal_median<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    debug_assert!(median > 0.0 && sigma >= 0.0);
+    (median.ln() + sigma * std_normal(rng)).exp()
+}
+
+/// The sigma that makes a log-normal with the given median hit `p99` at its
+/// 99th percentile (z₀.₉₉ ≈ 2.3263).
+pub fn sigma_for_p99(median: f64, p99: f64) -> f64 {
+    debug_assert!(p99 >= median && median > 0.0);
+    (p99 / median).ln() / 2.3263
+}
+
+/// A log-uniform sample in `[lo, hi]` — used where the paper's CDFs span
+/// orders of magnitude with roughly straight lines on a log axis.
+pub fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(0.0 < lo && lo <= hi);
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// Empirical percentile (nearest-rank) of a data set. `p` in `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 50_000;
+        let rate = 4.0;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| std_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_median() {
+        let mut r = rng();
+        let n = 50_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal_median(&mut r, 3.0, 1.5)).collect();
+        xs.sort_by(f64::total_cmp);
+        let med = xs[n / 2];
+        assert!((med - 3.0).abs() < 0.15, "median {med}");
+    }
+
+    #[test]
+    fn sigma_for_p99_roundtrip() {
+        // The paper's downtime: median 3 min, p99 100 min.
+        let sigma = sigma_for_p99(3.0, 100.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|_| lognormal_median(&mut r, 3.0, sigma))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        let p99 = percentile(&xs, 99.0);
+        assert!((p99 / 100.0 - 1.0).abs() < 0.25, "p99 {p99}");
+    }
+
+    #[test]
+    fn log_uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = log_uniform(&mut r, 0.1, 1000.0);
+            assert!((0.1..=1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic production workloads.
+//!
+//! The paper's evaluation uses traffic and operation traces from "a large
+//! web service provider" — about a hundred clusters of three kinds (PoPs,
+//! Frontends, Backends). Those traces are proprietary; this crate
+//! synthesizes a fleet and traces whose *published marginal distributions*
+//! match the paper:
+//!
+//! | Paper figure | What we calibrate |
+//! |---|---|
+//! | Fig 2 | DIP-pool updates/min per cluster (median & p99 minute) |
+//! | Fig 3 | root-cause mix of DIP changes (82.7 % service upgrades) |
+//! | Fig 4 | DIP downtime: median 3 min, p99 100 min, provisioning ≈ 0 |
+//! | Fig 6 | active connections per ToR (PoPs ≤ ~11 M, Backends ≤ 15 M) |
+//! | Fig 8 | new connections per VIP-minute (up to ~50 M) |
+//!
+//! Everything is seeded and deterministic. Traces are *iterators*, not
+//! vectors: paper-scale runs stream hundreds of millions of events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dists;
+pub mod trace;
+pub mod updates;
+
+pub use cluster::{synthesize_fleet, ClusterKind, ClusterSpec, FleetConfig};
+pub use trace::{ConnSpec, TraceConfig, TraceEvent, TraceIter};
+pub use updates::{DipOp, UpdateCause, UpdateEvent, UpdatePlanConfig, UpdatePlanner};

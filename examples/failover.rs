@@ -1,0 +1,123 @@
+//! Failure handling (§7): DIP health-check failures handled through
+//! version reuse, and a SilkRoad switch failure with ECMP re-spray.
+//!
+//! ```text
+//! cargo run --example failover
+//! ```
+
+use silkroad::{PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use sr_netwide::failover::{respray_switch, switch_failure_impact};
+use sr_netwide::{Layer, SilkRoadFabric, Topology};
+use sr_types::{Addr, Dip, Duration, FiveTuple, Nanos, PacketMeta, PoolVersion, Vip};
+use std::collections::HashMap;
+
+fn main() {
+    // --- Part 1: DIP failure -> remove, health restored -> re-add. -------
+    let mut sw = SilkRoadSwitch::new(SilkRoadConfig::default());
+    let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+    let dips: Vec<Dip> = (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect();
+    sw.add_vip(vip, dips).unwrap();
+
+    let mut t = Nanos::ZERO;
+    let conns: Vec<FiveTuple> = (0..2000)
+        .map(|i| FiveTuple::tcp(Addr::v4_indexed(1, i, 40_000), vip.0))
+        .collect();
+    let mut before = Vec::new();
+    for c in &conns {
+        before.push(sw.process_packet(&PacketMeta::syn(*c), t).dip.unwrap());
+        t = t + Duration::from_micros(20);
+    }
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+
+    // BFD declares 10.0.0.2 dead; the control plane removes it.
+    let failed = Dip(Addr::v4(10, 0, 0, 2, 20));
+    sw.request_update(vip, PoolUpdate::Remove(failed), t).unwrap();
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+
+    // The server comes back; re-adding redeems the pre-failure version.
+    sw.request_update(vip, PoolUpdate::Add(failed), t).unwrap();
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+
+    let (allocs, reuses, _, live) = sw.version_counters(vip).unwrap();
+    println!("DIP failure + recovery: {allocs} versions allocated, {reuses} reused, {live} live");
+
+    let mut moved = 0;
+    for (c, b) in conns.iter().zip(&before) {
+        let after = sw.process_packet(&PacketMeta::data(*c, 800), t).dip.unwrap();
+        if after != *b {
+            moved += 1;
+        }
+    }
+    let to_failed = before.iter().filter(|d| **d == failed).count();
+    println!(
+        "connections moved: {moved} of {} (only the {to_failed} that were on the failed DIP may move)",
+        conns.len()
+    );
+    assert!(moved <= to_failed);
+
+    // --- Part 2: SilkRoad switch failure. --------------------------------
+    // A switch dies holding 1M connections, 5% of them on old pool
+    // versions (an update was recently in flight).
+    let report = switch_failure_impact(
+        &[
+            (PoolVersion(7), 950_000),
+            (PoolVersion(6), 40_000),
+            (PoolVersion(5), 10_000),
+        ],
+        PoolVersion(7),
+    );
+    println!(
+        "\nswitch failure: {} connections re-sprayed, {} keep PCC (latest version), {} at risk ({:.1}%)",
+        report.affected,
+        report.preserved,
+        report.at_risk,
+        100.0 * report.at_risk_fraction()
+    );
+
+    // The re-spray spreads flows evenly over the survivors.
+    let survivors = 7;
+    let mut counts = vec![0u32; survivors];
+    for c in &conns {
+        counts[respray_switch(c, survivors, 9).unwrap()] += 1;
+    }
+    println!("re-spray across {survivors} survivors: {counts:?}");
+    let max = *counts.iter().max().unwrap() as f64;
+    let min = *counts.iter().min().unwrap() as f64;
+    assert!(max / min < 1.5, "re-spray too skewed");
+
+    // --- Part 3: the same failure, live, on a fabric of switches. --------
+    let topo = Topology::clos(4, 2, 2, 50 << 20, 6400.0);
+    let mut fabric = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
+    fabric
+        .assign_vip(vip, (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(), Layer::ToR)
+        .unwrap();
+    let mut t = Nanos::ZERO;
+    let mut placed: HashMap<u32, _> = HashMap::new();
+    for i in 0..1000u32 {
+        let c = FiveTuple::tcp(Addr::v4_indexed(2, i, 40_000), vip.0);
+        let (id, d) = fabric.process_packet(&PacketMeta::syn(c), t).unwrap();
+        placed.insert(i, (c, id, d.dip.unwrap()));
+        t = t + Duration::from_micros(20);
+    }
+    t = t + Duration::from_millis(50);
+    fabric.advance(t);
+    let victim = placed[&0].1;
+    fabric.fail_switch(victim);
+    let (mut kept, mut on_victim) = (0u32, 0u32);
+    for (c, id, dip) in placed.values() {
+        let (_, d) = fabric.process_packet(&PacketMeta::data(*c, 800), t).unwrap();
+        if *id == victim {
+            on_victim += 1;
+        }
+        if d.dip == Some(*dip) {
+            kept += 1;
+        }
+    }
+    println!(
+        "\nlive fabric: killed {victim}; {on_victim} flows re-sprayed, {kept}/1000 kept their DIP"
+    );
+    assert_eq!(kept, 1000, "latest-version flows must survive a switch failure");
+}

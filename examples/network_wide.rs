@@ -1,0 +1,93 @@
+//! Network-wide deployment (§5.3): assign VIPs to fabric layers so the
+//! per-switch SRAM budget is respected and utilization is balanced, then
+//! rebalance after shrinking the budget (incremental deployment).
+//!
+//! ```text
+//! cargo run --example network_wide
+//! ```
+
+use silkroad::memory::{cost, MemoryDesign, MemoryInputs};
+use sr_netwide::{assign_vips, Layer, Topology, VipDemand};
+use sr_types::{AddrFamily, VipId};
+use sr_workload::{synthesize_fleet, ClusterKind, FleetConfig};
+
+fn main() {
+    // Take one synthetic PoP cluster as the deployment target.
+    let fleet = synthesize_fleet(FleetConfig::default());
+    let cluster = fleet
+        .iter()
+        .find(|c| c.kind == ClusterKind::PoP)
+        .expect("fleet has PoPs");
+    println!(
+        "deploying {} VIPs ({} conns/ToR p99) over a Clos fabric",
+        cluster.vips, cluster.conns_per_tor_p99
+    );
+
+    // Per-VIP demand: connections split VIP-proportionally, memory via the
+    // paper's 28-bit-entry model.
+    let conns_per_vip = cluster.conns_per_tor_p99 * cluster.tors as u64 / cluster.vips as u64;
+    let demands: Vec<VipDemand> = (0..cluster.vips)
+        .map(|i| {
+            let mem = cost(
+                MemoryDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6,
+                },
+                &MemoryInputs {
+                    connections: conns_per_vip,
+                    vips: 1,
+                    total_pool_members: (cluster.dips_per_vip * cluster.live_versions_per_vip)
+                        as u64,
+                    pool_rows: cluster.live_versions_per_vip as u64,
+                    family: AddrFamily::V4,
+                },
+            )
+            .total();
+            VipDemand {
+                vip: VipId(i),
+                traffic_gbps: cluster.peak_gbps / cluster.vips as f64,
+                memory_bytes: mem,
+            }
+        })
+        .collect();
+
+    // A fabric where every switch grants 50 MB to load balancing.
+    let topo = Topology::clos(cluster.tors, 8, 4, 50 << 20, 6400.0);
+    let a = assign_vips(&topo, &demands).expect("fits");
+    println!("\nfull deployment (50 MB/switch):");
+    for layer in Layer::ALL {
+        let n = demands
+            .iter()
+            .filter(|d| a.layer_of.get(&d.vip) == Some(&layer))
+            .count();
+        println!(
+            "  {:<4}: {:>3} VIPs, SRAM {:>5.1}%, traffic {:>5.1}%",
+            layer.name(),
+            n,
+            100.0 * a.sram_utilization.get(&layer).copied().unwrap_or(0.0),
+            100.0 * a.traffic_utilization.get(&layer).copied().unwrap_or(0.0),
+        );
+    }
+    println!("  max SRAM utilization: {:.1}%", 100.0 * a.max_sram_utilization());
+
+    // Incremental deployment: SilkRoad only on half the ToRs and the cores.
+    let mut partial = Topology::clos(cluster.tors, 8, 4, 50 << 20, 6400.0);
+    for (i, s) in partial.switches_mut().iter_mut().enumerate() {
+        if s.layer == Layer::ToR && i % 2 == 1 {
+            s.silkroad_enabled = false;
+        }
+        if s.layer == Layer::Agg {
+            s.silkroad_enabled = false;
+        }
+    }
+    match assign_vips(&partial, &demands) {
+        Ok(b) => {
+            println!(
+                "\nincremental deployment (half the ToRs, no Aggs): max SRAM {:.1}%",
+                100.0 * b.max_sram_utilization()
+            );
+            assert!(b.max_sram_utilization() >= a.max_sram_utilization());
+        }
+        Err(e) => println!("\nincremental deployment infeasible: {e}"),
+    }
+}

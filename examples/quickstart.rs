@@ -1,0 +1,81 @@
+//! Quickstart: one SilkRoad switch, one VIP, per-connection consistency
+//! across a DIP-pool update.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use silkroad::{PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use sr_types::{Addr, Dip, Duration, FiveTuple, Nanos, PacketMeta, Vip};
+
+fn main() {
+    // A switch with the paper's parameters: 16-bit digests, 6-bit
+    // versions, 256-byte TransitTable, 200K insertions/s switch CPU.
+    let mut sw = SilkRoadSwitch::new(SilkRoadConfig::default());
+
+    // Register a service: VIP 20.0.0.1:80 backed by three DIPs.
+    let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+    let dips: Vec<Dip> = (1..=3).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect();
+    sw.add_vip(vip, dips.clone()).unwrap();
+    println!("VIP {} -> {:?}", vip, dips);
+
+    // Ten clients connect.
+    let conns: Vec<FiveTuple> = (0..10)
+        .map(|i| FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 40_000 + i), vip.0))
+        .collect();
+    let mut t = Nanos::ZERO;
+    let mut assigned = Vec::new();
+    for c in &conns {
+        let d = sw.process_packet(&PacketMeta::syn(*c), t);
+        println!("  {} -> {}", c, d.dip.unwrap());
+        assigned.push(d.dip.unwrap());
+        t = t + Duration::from_micros(50);
+    }
+
+    // Let the switch CPU install the ConnTable entries.
+    t = t + Duration::from_millis(10);
+    sw.advance(t);
+    println!(
+        "installed {} connections ({} learns)",
+        sw.conn_count(),
+        sw.stats().learns
+    );
+
+    // Operators add a DIP (scale-out) and remove another (upgrade reboot).
+    sw.request_update(vip, PoolUpdate::Add(Dip(Addr::v4(10, 0, 0, 4, 20))), t)
+        .unwrap();
+    sw.request_update(vip, PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 2, 20))), t)
+        .unwrap();
+    t = t + Duration::from_millis(50);
+    sw.advance(t);
+    println!("after updates: pool = {:?}", sw.current_dips(vip).unwrap());
+
+    // Per-connection consistency: every established connection still maps
+    // to the DIP it started on — even the ones on the removed DIP (their
+    // server is gone, but the mapping never flapped to a *different live*
+    // server mid-stream).
+    let mut consistent = 0;
+    for (c, before) in conns.iter().zip(&assigned) {
+        let after = sw
+            .process_packet(&PacketMeta::data(*c, 1460), t)
+            .dip
+            .unwrap();
+        if after == *before {
+            consistent += 1;
+        }
+    }
+    println!("PCC check: {consistent}/{} connections unmoved", conns.len());
+
+    // New connections only ever see the new pool.
+    let fresh = FiveTuple::tcp(Addr::v4(5, 6, 7, 8, 50_000), vip.0);
+    let d = sw.process_packet(&PacketMeta::syn(fresh), t).dip.unwrap();
+    println!("new connection -> {d} (never the removed DIP)");
+    assert_ne!(d, Dip(Addr::v4(10, 0, 0, 2, 20)));
+
+    println!("\nswitch statistics:\n{}", sw.stats());
+    let m = sw.memory();
+    println!(
+        "SRAM: conn-table {}B, pools {}B, transit {}B",
+        m.conn_table, m.dip_pool_table, m.transit
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the SilkRoad reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). Downstream users depend on the individual crates; this
+//! crate just re-exports them under one roof for convenience.
+
+pub use silkroad;
+pub use sr_asic;
+pub use sr_baselines;
+pub use sr_hash;
+pub use sr_netwide;
+pub use sr_sim;
+pub use sr_types;
+pub use sr_workload;

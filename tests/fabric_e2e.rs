@@ -1,0 +1,146 @@
+//! End-to-end fabric test: trace-driven traffic over a Clos of SilkRoad
+//! switches, with fabric-wide updates and a mid-run switch failure.
+
+use silkroad::{PoolUpdate, SilkRoadConfig};
+use sr_netwide::{Layer, SilkRoadFabric, Topology};
+use sr_types::{Dip, Duration, Nanos, PacketMeta, SwitchId};
+use sr_workload::trace::{dip_addr, vip_addr};
+use sr_workload::updates::DipOp;
+use sr_workload::{TraceConfig, TraceEvent, TraceIter};
+use std::collections::{HashMap, HashSet};
+
+fn trace() -> TraceConfig {
+    TraceConfig {
+        vips: 6,
+        dips_per_vip: 8,
+        new_conns_per_min: 6_000.0,
+        median_flow_secs: 30.0,
+        flow_sigma: 0.8,
+        median_rate_bps: 200_000.0,
+        rate_sigma: 0.5,
+        updates_per_min: 10.0,
+        shared_dip_upgrades: false,
+        duration: Duration::from_mins(4),
+        family: sr_types::AddrFamily::V4,
+        seed: 77,
+    }
+}
+
+#[test]
+fn fabric_under_trace_updates_and_failure() {
+    let cfg = trace();
+    let topo = Topology::clos(6, 3, 2, 50 << 20, 6400.0);
+    let mut silk_cfg = SilkRoadConfig::default();
+    silk_cfg.conn_capacity = 50_000;
+    let mut fabric = SilkRoadFabric::new(&topo, &silk_cfg);
+
+    // Spread VIPs over layers like the §5.3 assignment would.
+    let mut membership: Vec<HashSet<u32>> = Vec::new();
+    for v in 0..cfg.vips {
+        let layer = match v % 3 {
+            0 => Layer::ToR,
+            1 => Layer::Agg,
+            _ => Layer::Core,
+        };
+        let dips: Vec<Dip> = (0..cfg.dips_per_vip)
+            .map(|d| dip_addr(cfg.family, v, d))
+            .collect();
+        fabric
+            .assign_vip(vip_addr(cfg.family, v), dips, layer)
+            .unwrap();
+        membership.push((0..cfg.dips_per_vip).collect());
+    }
+
+    // conn seq -> (tuple, first dip, doomed)
+    let mut assigned: HashMap<u64, (sr_types::FiveTuple, Dip, bool)> = HashMap::new();
+    let mut removed_dips: HashSet<Dip> = HashSet::new();
+    let mut failed: Option<SwitchId> = None;
+    let mut owner: HashMap<u64, SwitchId> = HashMap::new();
+    let half = Nanos::ZERO + Duration::from_mins(2);
+    let mut violations = 0u64;
+    let mut checked = 0u64;
+
+    for ev in TraceIter::new(cfg) {
+        let now = ev.at();
+        // Fail one switch at half time.
+        if failed.is_none() && now >= half {
+            let victim = fabric.switch_for(&assigned.values().next().unwrap().0);
+            let victim = victim.expect("some flow placed");
+            assert!(fabric.fail_switch(victim));
+            failed = Some(victim);
+        }
+        match ev {
+            TraceEvent::ConnOpen(c) => {
+                if let Some((id, d)) = fabric.process_packet(&PacketMeta::syn(c.tuple), now) {
+                    if let Some(dip) = d.dip {
+                        let doomed = removed_dips.contains(&dip);
+                        assigned.insert(c.seq.0, (c.tuple, dip, doomed));
+                        owner.insert(c.seq.0, id);
+                    }
+                }
+            }
+            TraceEvent::Update(u) => {
+                // Keep pools non-empty and effective (mirrors the harness).
+                let members = &mut membership[u.vip.0 as usize];
+                let effective = match u.op {
+                    DipOp::Remove => members.len() > 1 && members.remove(&u.dip.0),
+                    DipOp::Add => members.insert(u.dip.0),
+                };
+                if !effective {
+                    continue;
+                }
+                let dip = dip_addr(cfg.family, u.vip.0, u.dip.0);
+                let op = match u.op {
+                    DipOp::Remove => {
+                        removed_dips.insert(dip);
+                        PoolUpdate::Remove(dip)
+                    }
+                    DipOp::Add => {
+                        removed_dips.remove(&dip);
+                        PoolUpdate::Add(dip)
+                    }
+                };
+                fabric.request_update(vip_addr(cfg.family, u.vip.0), op, now).unwrap();
+                if let PoolUpdate::Remove(d) = op {
+                    for (_, (_, a, doomed)) in assigned.iter_mut() {
+                        if *a == d {
+                            *doomed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Periodically re-probe a sample of live connections.
+        if assigned.len() % 97 == 0 {
+            fabric.advance(now);
+            for (seq, (tuple, first, doomed)) in assigned.iter() {
+                if *doomed || seq % 13 != 0 {
+                    continue;
+                }
+                // Connections that lived on the failed switch with an old
+                // version are legitimate §7 casualties — skip those that
+                // were on the victim.
+                if failed.is_some() && owner.get(seq) == failed.as_ref() {
+                    continue;
+                }
+                if let Some((_, d)) = fabric.process_packet(&PacketMeta::data(*tuple, 800), now) {
+                    checked += 1;
+                    if let Some(dip) = d.dip {
+                        if dip != *first {
+                            violations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(assigned.len() > 10_000, "too few connections: {}", assigned.len());
+    assert!(checked > 5_000, "too few checks: {checked}");
+    assert_eq!(
+        violations, 0,
+        "fabric broke {violations} of {checked} checked connections"
+    );
+    assert_eq!(fabric.failures, 1);
+    assert_eq!(fabric.live_switches(), 10);
+}

@@ -1,0 +1,174 @@
+//! Integration tests tying the analytic memory model to the live switch,
+//! and the network-wide assignment to the workload fleet.
+
+use silkroad::memory::{cost, MemoryDesign, MemoryInputs};
+use silkroad::{SilkRoadConfig, SilkRoadSwitch};
+use sr_netwide::{assign_vips, switch_failure_impact, Layer, Topology, VipDemand};
+use sr_types::{Addr, AddrFamily, Dip, Duration, FiveTuple, Nanos, PacketMeta, PoolVersion, Vip, VipId};
+use sr_workload::{synthesize_fleet, ClusterKind, FleetConfig};
+
+#[test]
+fn live_switch_memory_matches_analytic_model() {
+    // Install a known population and compare the switch's occupied
+    // ConnTable bytes against the 28-bit entry model.
+    let mut cfg = SilkRoadConfig::default();
+    cfg.conn_capacity = 50_000;
+    let mut sw = SilkRoadSwitch::new(cfg);
+    let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+    sw.add_vip(vip, (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
+        .unwrap();
+    let n = 10_000u32;
+    for i in 0..n {
+        let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
+        sw.process_packet(&PacketMeta::syn(c), Nanos::ZERO);
+    }
+    sw.advance(Nanos::from_secs(2));
+    assert_eq!(sw.conn_count(), n as usize);
+
+    let analytic = cost(
+        MemoryDesign::DigestVersion {
+            digest_bits: 16,
+            version_bits: 6,
+        },
+        &MemoryInputs {
+            connections: n as u64,
+            vips: 1,
+            total_pool_members: 8,
+            pool_rows: 1,
+            family: AddrFamily::V4,
+        },
+    );
+    let live = sw.memory();
+    // Same model, same numbers (whole-word rounding only).
+    let diff = (live.conn_table as f64 - analytic.conn_table as f64).abs();
+    assert!(
+        diff / (analytic.conn_table as f64) < 0.01,
+        "live {} vs analytic {}",
+        live.conn_table,
+        analytic.conn_table
+    );
+}
+
+#[test]
+fn fleet_vips_pack_into_a_fabric() {
+    // Deploy a mid-sized PoP cluster's VIPs across a 50 MB/switch fabric.
+    let fleet = synthesize_fleet(FleetConfig::default());
+    let c = fleet
+        .iter()
+        .filter(|c| c.kind == ClusterKind::PoP)
+        .min_by_key(|c| c.conns_per_tor_p99)
+        .unwrap();
+    let conns_per_vip = c.total_conns_p99() / c.vips as u64;
+    let demands: Vec<VipDemand> = (0..c.vips)
+        .map(|i| VipDemand {
+            vip: VipId(i),
+            traffic_gbps: c.peak_gbps / c.vips as f64,
+            memory_bytes: conns_per_vip * 4, // 28 bits + packing ≈ 3.5 B
+        })
+        .collect();
+    let topo = Topology::clos(c.tors, 8, 4, 50 << 20, 6400.0);
+    let a = assign_vips(&topo, &demands).expect("smallest PoP must fit");
+    assert_eq!(a.layer_of.len(), c.vips as usize);
+    assert!(a.max_sram_utilization() <= 1.0);
+}
+
+#[test]
+fn failure_impact_consistent_with_switch_population() {
+    // Build a population on a switch with an update mid-stream, then check
+    // the failover arithmetic on its version breakdown.
+    let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
+    let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
+    sw.add_vip(vip, (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
+        .unwrap();
+    let mut t = Nanos::ZERO;
+    for i in 0..200u32 {
+        let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
+        sw.process_packet(&PacketMeta::syn(c), t);
+        t = t + Duration::from_micros(50);
+    }
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+    sw.request_update(
+        vip,
+        silkroad::PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 2, 20))),
+        t,
+    )
+    .unwrap();
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+    // Old connections reference the old version; new ones the new version.
+    for i in 200..300u32 {
+        let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
+        sw.process_packet(&PacketMeta::syn(c), t);
+    }
+    t = t + Duration::from_millis(20);
+    sw.advance(t);
+
+    let newest = sw.current_version(vip).unwrap();
+    // 200 old conns at risk, 100 new ones preserved.
+    let report = switch_failure_impact(
+        &[(PoolVersion(0), 200), (newest, 100)],
+        newest,
+    );
+    assert_eq!(report.at_risk, 200);
+    assert_eq!(report.preserved, 100);
+}
+
+#[test]
+fn fig12_style_memory_spans_generations() {
+    // The largest Backend in the fleet fits a 2016 ASIC but not a 2012 one.
+    let fleet = synthesize_fleet(FleetConfig::default());
+    let biggest = fleet
+        .iter()
+        .max_by_key(|c| c.conns_per_tor_p99)
+        .unwrap();
+    let mb = cost(
+        MemoryDesign::DigestVersion {
+            digest_bits: 16,
+            version_bits: 6,
+        },
+        &MemoryInputs {
+            connections: biggest.conns_per_tor_p99,
+            vips: biggest.vips as u64,
+            total_pool_members: biggest.total_dips() * biggest.live_versions_per_vip as u64,
+            pool_rows: (biggest.vips * biggest.live_versions_per_vip) as u64,
+            family: biggest.family,
+        },
+    )
+    .total_mb();
+    assert!(mb > 20.0, "peak cluster suspiciously small: {mb} MB");
+    assert!(mb < 100.0, "peak cluster must fit a 2016 ASIC: {mb} MB");
+}
+
+#[test]
+fn all_layer_assignment_respects_budget_scaling() {
+    // Shrinking the budget strictly increases max utilization until
+    // infeasible.
+    let demands: Vec<VipDemand> = (0..50)
+        .map(|i| VipDemand {
+            vip: VipId(i),
+            traffic_gbps: 2.0,
+            memory_bytes: 4 << 20,
+        })
+        .collect();
+    let mut last = 0.0;
+    let mut became_infeasible = false;
+    for budget_mb in [64u64, 16, 4, 1] {
+        let topo = Topology::clos(8, 4, 2, budget_mb << 20, 6400.0);
+        match assign_vips(&topo, &demands) {
+            Ok(a) => {
+                assert!(a.max_sram_utilization() >= last);
+                last = a.max_sram_utilization();
+                assert_eq!(
+                    a.layer_of.values().filter(|l| **l == Layer::ToR).count()
+                        + a.layer_of.values().filter(|l| **l != Layer::ToR).count(),
+                    50
+                );
+            }
+            Err(_) => {
+                became_infeasible = true;
+            }
+        }
+    }
+    assert!(became_infeasible, "1 MB budget should not fit 200 MB of VIPs");
+}

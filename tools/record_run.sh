@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Record a reference `repro` run into EXPERIMENTS.md (replaces everything
+# after the "## Recorded quick-scale run" heading).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=$(cargo run --release -p sr-bench --bin repro -- all)
+python3 - "$out" <<'PY'
+import sys, re
+out = sys.argv[1]
+path = "EXPERIMENTS.md"
+text = open(path).read()
+marker = "## Recorded quick-scale run"
+head = text.split(marker)[0]
+block = f"{marker}\n\nRegenerate with `cargo run --release -p sr-bench --bin repro -- all`.\n\n```text\n{out}\n```\n"
+open(path, "w").write(head + block)
+print("EXPERIMENTS.md updated")
+PY
