@@ -32,10 +32,9 @@ impl Default for SwitchCpuConfig {
 impl SwitchCpuConfig {
     /// Time one insertion occupies the CPU.
     pub fn job_cost(&self) -> Duration {
-        if self.insertions_per_sec == 0 {
-            Duration::MAX
-        } else {
-            Duration::from_nanos(1_000_000_000 / self.insertions_per_sec)
+        match 1_000_000_000u64.checked_div(self.insertions_per_sec) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::MAX,
         }
     }
 }

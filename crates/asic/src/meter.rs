@@ -128,7 +128,7 @@ impl Meter {
                 MeterColor::Yellow => y += pkt_len as u64,
                 MeterColor::Red => r += pkt_len as u64,
             }
-            t = t + gap;
+            t += gap;
         }
         (g, y, r)
     }

@@ -241,7 +241,7 @@ impl DuetLb {
                     // Fast-forward to the first boundary after `now` (a
                     // per-boundary loop would crawl across idle gaps).
                     let periods = now.since(self.next_migration).div_duration(p) + 1;
-                    self.next_migration = self.next_migration + Duration(p.0 * periods);
+                    self.next_migration += Duration(p.0 * periods);
                 }
             }
             MigrationPolicy::WaitPcc => {

@@ -103,8 +103,10 @@ fn bench_dataplane(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
 
     fn setup(conns: u64) -> (SilkRoadSwitch, Vec<FiveTuple>) {
-        let mut cfg = SilkRoadConfig::default();
-        cfg.conn_capacity = (conns as usize * 2).max(4096);
+        let cfg = SilkRoadConfig {
+            conn_capacity: (conns as usize * 2).max(4096),
+            ..Default::default()
+        };
         let mut sw = SilkRoadSwitch::new(cfg);
         let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
         let dips = (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect();
@@ -156,9 +158,9 @@ fn bench_dataplane(c: &mut Criterion) {
         b.iter_batched(
             || (),
             |()| {
-                t = t + sr_types::Duration::from_millis(50);
+                t += sr_types::Duration::from_millis(50);
                 sw.request_update(vip, PoolUpdate::Remove(dip), t).unwrap();
-                t = t + sr_types::Duration::from_millis(50);
+                t += sr_types::Duration::from_millis(50);
                 sw.request_update(vip, PoolUpdate::Add(dip), t).unwrap();
                 sw.advance(t + sr_types::Duration::from_millis(50));
             },

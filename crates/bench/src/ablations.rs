@@ -8,6 +8,7 @@
 //! * **Per-stage digest widths** (§7) — false-positive reduction from
 //!   spending more digest bits in the stages that fill first.
 
+use crate::exec::Exec;
 use crate::scale::Scale;
 use sr_hash::cuckoo::{CuckooConfig, CuckooTable, MatchMode};
 use sr_sim::{run_scenario, RunMetrics, Scenario, SystemKind};
@@ -28,9 +29,9 @@ pub struct CuckooPoint {
 }
 
 /// Fill tables of several geometries to failure.
-pub fn cuckoo_geometry(seed: u64) -> Vec<CuckooPoint> {
-    let mut out = Vec::new();
-    for &(stages, ways) in &[(2usize, 1usize), (2, 4), (4, 1), (4, 4), (8, 4)] {
+pub fn cuckoo_geometry(exec: &Exec, seed: u64) -> Vec<CuckooPoint> {
+    let geometries = vec![(2usize, 1usize), (2, 4), (4, 1), (4, 4), (8, 4)];
+    exec.run(geometries, |(stages, ways)| {
         let slots = 32_768;
         let cfg = CuckooConfig {
             stages,
@@ -50,14 +51,13 @@ pub fn cuckoo_geometry(seed: u64) -> Vec<CuckooPoint> {
             }
             inserted += 1;
         }
-        out.push(CuckooPoint {
+        CuckooPoint {
             stages,
             ways,
             load_factor: inserted as f64 / total as f64,
             avg_moves: t.total_moves() as f64 / inserted.max(1) as f64,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// One insertion-rate measurement.
@@ -75,7 +75,7 @@ pub struct InsertRatePoint {
 /// concentrated 12-VIP workload (updates must actually overlap pending
 /// connections of *their* VIP; spreading the same arrivals over 149 VIPs
 /// dilutes the overlap to nothing).
-pub fn insertion_rate_sweep(scale: Scale, rates: &[u64]) -> Vec<InsertRatePoint> {
+pub fn insertion_rate_sweep(exec: &Exec, scale: Scale, rates: &[u64]) -> Vec<InsertRatePoint> {
     let mut t = TraceConfig::pop_scaled(scale.rate_factor, scale.minutes);
     t.vips = 12;
     t.dips_per_vip = 8;
@@ -83,25 +83,34 @@ pub fn insertion_rate_sweep(scale: Scale, rates: &[u64]) -> Vec<InsertRatePoint>
     t.seed = scale.seed;
     // Chatty flows so pending windows contain packets.
     t.median_rate_bps = 2_000_000.0;
+    // One job per (rate, design): both designs of a rate run concurrently.
+    let mut jobs = Vec::new();
+    for &r in rates {
+        jobs.push((r, false));
+        jobs.push((r, true));
+    }
+    let runs = exec.run(jobs, |(r, with_tt)| {
+        let sys = if with_tt {
+            SystemKind::SilkRoad {
+                transit_bytes: 256,
+                learning_timeout: Duration::from_millis(1),
+                insertions_per_sec: r,
+            }
+        } else {
+            SystemKind::SilkRoadNoTransit {
+                learning_timeout: Duration::from_millis(1),
+                insertions_per_sec: r,
+            }
+        };
+        run_scenario(Scenario::new(t, sys))
+    });
     rates
         .iter()
-        .map(|&r| InsertRatePoint {
+        .zip(runs.chunks_exact(2))
+        .map(|(&r, pair)| InsertRatePoint {
             insertions_per_sec: r,
-            no_tt: run_scenario(Scenario::new(
-                t,
-                SystemKind::SilkRoadNoTransit {
-                    learning_timeout: Duration::from_millis(1),
-                    insertions_per_sec: r,
-                },
-            )),
-            with_tt: run_scenario(Scenario::new(
-                t,
-                SystemKind::SilkRoad {
-                    transit_bytes: 256,
-                    learning_timeout: Duration::from_millis(1),
-                    insertions_per_sec: r,
-                },
-            )),
+            no_tt: pair[0].clone(),
+            with_tt: pair[1].clone(),
         })
         .collect()
 }
@@ -123,8 +132,8 @@ pub struct DigestLayoutPoint {
 /// false positives are far below the uniform layout; as the narrow stages
 /// fill, the advantage fades (and eventually inverts) — exactly the
 /// scale-up trade the paper describes.
-pub fn digest_layouts(seed: u64) -> Vec<DigestLayoutPoint> {
-    let layouts: [(&str, MatchMode); 2] = [
+pub fn digest_layouts(exec: &Exec, seed: u64) -> Vec<DigestLayoutPoint> {
+    let layouts: Vec<(&'static str, MatchMode)> = vec![
         ("uniform 16b", MatchMode::Digest { bits: 16 }),
         (
             "mixed 22/18/14/10",
@@ -133,8 +142,7 @@ pub fn digest_layouts(seed: u64) -> Vec<DigestLayoutPoint> {
             },
         ),
     ];
-    let mut out = Vec::new();
-    for (label, mode) in layouts {
+    let per_layout = exec.run(layouts, |(label, mode)| {
         let mut t: CuckooTable<u32> = CuckooTable::new(CuckooConfig {
             stages: 4,
             words_per_stage: 2048,
@@ -146,6 +154,7 @@ pub fn digest_layouts(seed: u64) -> Vec<DigestLayoutPoint> {
         });
         let total = t.config().total_slots();
         let mut inserted = 0u32;
+        let mut points = Vec::new();
         for &fill in &[0.2f64, 0.5, 0.9] {
             let target = (total as f64 * fill) as u32;
             while inserted < target {
@@ -160,14 +169,15 @@ pub fn digest_layouts(seed: u64) -> Vec<DigestLayoutPoint> {
                     }
                 }
             }
-            out.push(DigestLayoutPoint {
+            points.push(DigestLayoutPoint {
                 label,
                 fill,
                 false_hits,
             });
         }
-    }
-    out
+        points
+    });
+    per_layout.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -176,7 +186,7 @@ mod tests {
 
     #[test]
     fn more_ways_pack_tighter() {
-        let points = cuckoo_geometry(1);
+        let points = cuckoo_geometry(&Exec::available(), 1);
         let get = |s, w| {
             points
                 .iter()
@@ -199,7 +209,7 @@ mod tests {
         // the arrival rate instead grows the backlog without bound and
         // saturates the 256-B bloom across back-to-back updates — Fig 18's
         // failure regime, where both designs break.)
-        let points = insertion_rate_sweep(Scale::test(), &[200, 200_000]);
+        let points = insertion_rate_sweep(&Exec::available(), Scale::test(), &[200, 200_000]);
         let slow = &points[0];
         let fast = &points[1];
         assert!(
@@ -215,7 +225,7 @@ mod tests {
 
     #[test]
     fn wider_early_digests_win_when_lightly_loaded() {
-        let points = digest_layouts(7);
+        let points = digest_layouts(&Exec::available(), 7);
         let get = |label: &str, fill: f64| {
             points
                 .iter()

@@ -2,25 +2,73 @@
 //!
 //! ```text
 //! cargo run --release -p sr-bench --bin repro -- all
-//! cargo run --release -p sr-bench --bin repro -- fig16 [--full]
+//! cargo run --release -p sr-bench --bin repro -- fig16 [--full] [--jobs N]
 //! ```
 //!
 //! `--full` runs the simulation-backed figures at paper scale (2.77 M new
 //! connections/min for one hour per data point) — expect long runtimes.
+//!
+//! `--jobs N` fans each figure's independent simulation jobs across N
+//! worker threads (default: available cores). Results are reduced in job
+//! order, so stdout is byte-identical for every N; per-figure wall-clock
+//! goes to stderr, which is the only output that differs.
 
 use sr_bench::report::{mb, pct, Table};
-use sr_bench::{extras, fig_memory, fig_meta, fig_pcc, fig_version, tables, Scale};
+use sr_bench::{extras, fig_memory, fig_meta, fig_pcc, fig_version, tables, Exec, Scale};
 use sr_types::Duration;
+
+/// Parse `--jobs N` / `--jobs=N`; `None` means "not given".
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--jobs needs a value");
+                std::process::exit(2);
+            });
+            return Some(parse_jobs_value(v));
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return Some(parse_jobs_value(v));
+        }
+    }
+    None
+}
+
+fn parse_jobs_value(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--jobs wants a positive integer, got '{v}'");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::full() } else { Scale::quick() };
-    let cmds: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let exec = match parse_jobs(&args) {
+        Some(n) => Exec::new(n),
+        None => Exec::available(),
+    };
+    let mut cmds: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--jobs" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        cmds.push(a.as_str());
+    }
     let cmd = cmds.first().copied().unwrap_or("help");
 
     let all = [
@@ -31,15 +79,15 @@ fn main() {
     match cmd {
         "all" => {
             for c in all {
-                run(c, scale);
+                run_timed(c, scale, &exec);
                 println!();
             }
         }
         "help" | "-h" | "--help" => {
-            println!("usage: repro <target> [--full]");
+            println!("usage: repro <target> [--full] [--jobs N]");
             println!("targets: all {}", all.join(" "));
         }
-        c if all.contains(&c) => run(c, scale),
+        c if all.contains(&c) => run_timed(c, scale, &exec),
         other => {
             eprintln!("unknown target '{other}' — try: repro help");
             std::process::exit(2);
@@ -47,7 +95,21 @@ fn main() {
     }
 }
 
-fn run(cmd: &str, scale: Scale) {
+/// Run one target and report its wall-clock on stderr (stdout must stay
+/// byte-identical across `--jobs` settings; timing is the one thing that
+/// legitimately differs).
+fn run_timed(cmd: &str, scale: Scale, exec: &Exec) {
+    let t0 = std::time::Instant::now();
+    run(cmd, scale, exec);
+    eprintln!(
+        "[{cmd}: {:.2}s, {} worker{}]",
+        t0.elapsed().as_secs_f64(),
+        exec.workers(),
+        if exec.workers() == 1 { "" } else { "s" }
+    );
+}
+
+fn run(cmd: &str, scale: Scale, exec: &Exec) {
     match cmd {
         "table1" => println!("{}", tables::table1().render()),
         "table2" => println!("{}", tables::table2_table(1_000_000).render()),
@@ -86,7 +148,7 @@ fn run(cmd: &str, scale: Scale) {
         }
         "fig5" => {
             let freqs = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0];
-            let points = fig_pcc::fig5(scale, &freqs);
+            let points = fig_pcc::fig5(exec, scale, &freqs);
             let mut a = Table::new(
                 "Fig 5a — traffic handled in SLBs (Duet migrate-back dilemma)",
                 &["upd/min", "Duet-10min", "Duet-1min", "Duet-PCC"],
@@ -153,7 +215,7 @@ fn run(cmd: &str, scale: Scale) {
                 "Fig 12 — SilkRoad SRAM usage per ToR switch (MB)",
                 &["kind", "p50", "p90", "max"],
             );
-            for r in fig_memory::fig12(&fig_meta::default_fleet()) {
+            for r in fig_memory::fig12(exec, &fig_meta::default_fleet()) {
                 t.row(vec![
                     r.kind.name().to_string(),
                     format!("{:.1}", r.p50),
@@ -174,7 +236,7 @@ fn run(cmd: &str, scale: Scale) {
                 "Fig 13 — SLBs replaced by one SilkRoad",
                 &["kind", "p50", "p90", "max"],
             );
-            for r in fig_memory::fig13(&fig_meta::default_fleet()) {
+            for r in fig_memory::fig13(exec, &fig_meta::default_fleet()) {
                 t.row(vec![
                     r.kind.name().to_string(),
                     format!("{:.1}", r.p50),
@@ -186,8 +248,8 @@ fn run(cmd: &str, scale: Scale) {
         }
         "fig14" => {
             let fleet = fig_meta::default_fleet();
-            let digest = fig_memory::fig14(&fleet, fig_memory::Fig14Design::DigestOnly);
-            let version = fig_memory::fig14(&fleet, fig_memory::Fig14Design::DigestVersion);
+            let digest = fig_memory::fig14(exec, &fleet, fig_memory::Fig14Design::DigestOnly);
+            let version = fig_memory::fig14(exec, &fleet, fig_memory::Fig14Design::DigestVersion);
             let mut t = Table::new(
                 "Fig 14 — ConnTable memory saving vs naive layout",
                 &[
@@ -212,7 +274,7 @@ fn run(cmd: &str, scale: Scale) {
                 "Fig 15 — versions needed per 10-min window, before/after reuse",
                 &["updates", "naive versions", "with reuse"],
             );
-            for p in fig_version::fig15(&[1.0, 5.0, 10.0, 20.0, 33.0], 16, scale.seed) {
+            for p in fig_version::fig15(exec, &[1.0, 5.0, 10.0, 20.0, 33.0], 16, scale.seed) {
                 t.row(vec![
                     p.updates.to_string(),
                     p.versions_naive.to_string(),
@@ -223,7 +285,7 @@ fn run(cmd: &str, scale: Scale) {
         }
         "fig16" => {
             let freqs = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0];
-            let points = fig_pcc::fig16(scale, &freqs);
+            let points = fig_pcc::fig16(exec, scale, &freqs);
             let mut t = Table::new(
                 format!(
                     "Fig 16 — PCC violations vs update frequency ({:.0}K conns/min, {} min)",
@@ -250,7 +312,7 @@ fn run(cmd: &str, scale: Scale) {
         }
         "fig17" => {
             let factors = [0.1, 0.25, 0.5, 1.0, 1.5, 2.0];
-            let points = fig_pcc::fig17(scale, &factors);
+            let points = fig_pcc::fig17(exec, scale, &factors);
             let mut t = Table::new(
                 "Fig 17 — PCC violations/min vs arrival rate (10 upd/min)",
                 &["rate x", "Duet-10min", "SilkRoad-noTT", "SilkRoad"],
@@ -278,7 +340,7 @@ fn run(cmd: &str, scale: Scale) {
                 Duration::from_millis(1),
                 Duration::from_millis(5),
             ];
-            let points = fig_pcc::fig18(scale, &sizes, &timeouts);
+            let points = fig_pcc::fig18(exec, scale, &sizes, &timeouts);
             let mut t = Table::new(
                 "Fig 18 — PCC violations vs TransitTable size (10 upd/min)",
                 &["TransitTable", "timeout 0.5ms", "timeout 1ms", "timeout 5ms"],
@@ -304,7 +366,7 @@ fn run(cmd: &str, scale: Scale) {
                 "§5.2 — trTCM marking accuracy at 10 Gbps offered",
                 &["CIR Gbps", "EIR Gbps", "avg error"],
             );
-            for p in extras::meter_accuracy() {
+            for p in extras::meter_accuracy(exec) {
                 t.row(vec![
                     format!("{:.0}", p.cir_gbps),
                     format!("{:.0}", p.eir_gbps),
@@ -329,7 +391,7 @@ fn run(cmd: &str, scale: Scale) {
                     "ConnTable SRAM",
                 ],
             );
-            for p in extras::digest_tradeoff(conns, scale.seed) {
+            for p in extras::digest_tradeoff(exec, conns, scale.seed) {
                 t.row(vec![
                     format!("{}-bit", p.digest_bits),
                     p.false_hits.to_string(),
@@ -351,7 +413,7 @@ fn run(cmd: &str, scale: Scale) {
                 "§2.2/§5.2 — per-packet LB processing latency (10 upd/min)",
                 &["system", "p50", "p99"],
             );
-            for p in extras::latency_comparison(scale) {
+            for p in extras::latency_comparison(exec, scale) {
                 t.row(vec![p.system, format!("{}", p.p50), format!("{}", p.p99)]);
             }
             println!("{}", t.render());
@@ -394,7 +456,7 @@ fn run(cmd: &str, scale: Scale) {
                 "Ablation — cuckoo geometry vs achievable load factor",
                 &["stages", "ways", "load factor", "avg moves/insert"],
             );
-            for p in ablations::cuckoo_geometry(scale.seed) {
+            for p in ablations::cuckoo_geometry(exec, scale.seed) {
                 t.row(vec![
                     p.stages.to_string(),
                     p.ways.to_string(),
@@ -417,7 +479,7 @@ fn run(cmd: &str, scale: Scale) {
                 (arrivals * 10.0) as u64,
                 200_000,
             ];
-            for p in ablations::insertion_rate_sweep(scale, &rates) {
+            for p in ablations::insertion_rate_sweep(exec, scale, &rates) {
                 t.row(vec![
                     p.insertions_per_sec.to_string(),
                     p.no_tt.pcc_violations.to_string(),
@@ -430,7 +492,7 @@ fn run(cmd: &str, scale: Scale) {
                 "Ablation — §7 per-stage digest widths (16-bit average)",
                 &["layout", "fill", "false hits / 400K probes"],
             );
-            for p in ablations::digest_layouts(scale.seed) {
+            for p in ablations::digest_layouts(exec, scale.seed) {
                 t.row(vec![
                     p.label.to_string(),
                     format!("{:.0}%", 100.0 * p.fill),

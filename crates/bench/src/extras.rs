@@ -1,6 +1,7 @@
 //! The remaining §5/§6 experiments: meter accuracy, digest-size
 //! false-positive tradeoffs, and the cost/power comparison.
 
+use crate::exec::Exec;
 use silkroad::{SilkRoadConfig, SilkRoadSwitch};
 use sr_asic::{Meter, MeterConfig};
 use sr_baselines::CostModel;
@@ -33,10 +34,10 @@ impl MeterPoint {
 
 /// §5.2: offer 10 Gbps to a VIP meter across threshold settings and
 /// measure marking accuracy (paper: <1 % average error).
-pub fn meter_accuracy() -> Vec<MeterPoint> {
+pub fn meter_accuracy(exec: &Exec) -> Vec<MeterPoint> {
     let offered = 10.0;
-    let mut out = Vec::new();
-    for (cir, eir) in [(2.0, 2.0), (4.0, 4.0), (6.0, 2.0), (8.0, 4.0), (3.0, 6.0)] {
+    let settings = vec![(2.0, 2.0), (4.0, 4.0), (6.0, 2.0), (8.0, 4.0), (3.0, 6.0)];
+    exec.run(settings, |(cir, eir)| {
         let mut m = Meter::new(MeterConfig::gbps(cir, eir, 1.0));
         let (g, y, r) = m.measure_cbr(
             Nanos::ZERO,
@@ -48,16 +49,15 @@ pub fn meter_accuracy() -> Vec<MeterPoint> {
         let ideal_g = (cir / offered).min(1.0);
         let ideal_y = ((eir) / offered).min(1.0 - ideal_g);
         let ideal_r = 1.0 - ideal_g - ideal_y;
-        out.push(MeterPoint {
+        MeterPoint {
             cir_gbps: cir,
             eir_gbps: eir,
             offered_gbps: offered,
             green_err: (g as f64 / total - ideal_g).abs(),
             yellow_err: (y as f64 / total - ideal_y).abs(),
             red_err: (r as f64 / total - ideal_r).abs(),
-        });
-    }
-    out
+        }
+    })
 }
 
 /// One digest-size measurement (§6.1).
@@ -89,13 +89,14 @@ impl DigestPoint {
 /// §6.1: drive the same connection load through 16-bit and 24-bit digest
 /// ConnTables and count false positives (paper: 0.01 % vs 0.00004 % per
 /// minute at 2.77 M new connections/min).
-pub fn digest_tradeoff(conns_target: u64, seed: u64) -> Vec<DigestPoint> {
-    let mut out = Vec::new();
-    for bits in [16u8, 24] {
-        let mut cfg = SilkRoadConfig::default();
-        cfg.digest_bits = bits;
-        cfg.conn_capacity = (conns_target as usize * 2).max(4096);
-        cfg.seed = seed;
+pub fn digest_tradeoff(exec: &Exec, conns_target: u64, seed: u64) -> Vec<DigestPoint> {
+    exec.run(vec![16u8, 24], |bits| {
+        let cfg = SilkRoadConfig {
+            digest_bits: bits,
+            conn_capacity: (conns_target as usize * 2).max(4096),
+            seed,
+            ..Default::default()
+        };
         let mut sw = SilkRoadSwitch::new(cfg);
 
         let mut trace_cfg = TraceConfig::pop_reference();
@@ -126,15 +127,14 @@ pub fn digest_tradeoff(conns_target: u64, seed: u64) -> Vec<DigestPoint> {
             }
         }
         sw.advance(Nanos::from_mins(2));
-        out.push(DigestPoint {
+        DigestPoint {
             digest_bits: bits,
             conns,
             false_hits: sw.stats().digest_false_hits,
             syn_repairs: sw.stats().syn_repairs,
             conn_table_bytes: sw.memory().conn_table,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// One latency measurement (§2.2/§2.3: SLBs add 50 µs – 1 ms; Duet keeps
@@ -151,28 +151,25 @@ pub struct LatencyPoint {
 
 /// Compare per-packet load-balancer latency across systems under the same
 /// updating workload.
-pub fn latency_comparison(scale: crate::Scale) -> Vec<LatencyPoint> {
+pub fn latency_comparison(exec: &Exec, scale: crate::Scale) -> Vec<LatencyPoint> {
     use sr_baselines::MigrationPolicy;
     use sr_sim::{run_scenario, Scenario, SystemKind};
     let mut trace = sr_workload::TraceConfig::pop_scaled(scale.rate_factor, scale.minutes);
     trace.updates_per_min = 10.0;
     trace.seed = scale.seed;
-    let systems = [
+    let systems = vec![
         SystemKind::silkroad_default(),
         SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(10))),
         SystemKind::Slb,
     ];
-    systems
-        .into_iter()
-        .map(|sys| {
-            let m = run_scenario(Scenario::new(trace, sys));
-            LatencyPoint {
-                system: sys.label(),
-                p50: m.latency.percentile(50.0),
-                p99: m.latency.percentile(99.0),
-            }
-        })
-        .collect()
+    exec.run(systems, |sys| {
+        let m = run_scenario(Scenario::new(trace, sys));
+        LatencyPoint {
+            system: sys.label(),
+            p50: m.latency.percentile(50.0),
+            p99: m.latency.percentile(99.0),
+        }
+    })
 }
 
 /// The §6.1 cost comparison.
@@ -199,7 +196,7 @@ mod tests {
 
     #[test]
     fn meter_error_below_one_percent() {
-        for p in meter_accuracy() {
+        for p in meter_accuracy(&Exec::available()) {
             assert!(
                 p.avg_error() < 0.01,
                 "avg marking error {} at CIR {} EIR {}",
@@ -212,7 +209,7 @@ mod tests {
 
     #[test]
     fn digest_16_vs_24() {
-        let points = digest_tradeoff(30_000, 3);
+        let points = digest_tradeoff(&Exec::available(), 30_000, 3);
         let p16 = points.iter().find(|p| p.digest_bits == 16).unwrap();
         let p24 = points.iter().find(|p| p.digest_bits == 24).unwrap();
         // More digest bits: fewer false hits, more memory.
@@ -230,7 +227,7 @@ mod tests {
 
     #[test]
     fn latency_ordering_matches_paper() {
-        let points = latency_comparison(crate::Scale::test());
+        let points = latency_comparison(&Exec::available(), crate::Scale::test());
         let get = |label: &str| {
             points
                 .iter()

@@ -4,6 +4,7 @@
 //! counts feed the `silkroad::memory` model (Fig 12, 14) and the
 //! `sr_baselines::cost` model (Fig 13).
 
+use crate::exec::Exec;
 use silkroad::memory::{cost, saving_vs_naive, MemoryDesign, MemoryInputs};
 use sr_baselines::CostModel;
 use sr_workload::dists::percentile;
@@ -22,11 +23,16 @@ pub struct KindSummary {
     pub max: f64,
 }
 
-fn summarize(fleet: &[ClusterSpec], f: impl Fn(&ClusterSpec) -> f64) -> Vec<KindSummary> {
+fn summarize(
+    exec: &Exec,
+    fleet: &[ClusterSpec],
+    f: impl Fn(&ClusterSpec) -> f64 + Sync,
+) -> Vec<KindSummary> {
     [ClusterKind::PoP, ClusterKind::Frontend, ClusterKind::Backend]
         .iter()
         .map(|&kind| {
-            let mut xs: Vec<f64> = fleet.iter().filter(|c| c.kind == kind).map(&f).collect();
+            let clusters: Vec<&ClusterSpec> = fleet.iter().filter(|c| c.kind == kind).collect();
+            let mut xs: Vec<f64> = exec.run(clusters, &f);
             xs.sort_by(f64::total_cmp);
             KindSummary {
                 kind,
@@ -51,8 +57,8 @@ pub fn cluster_memory_inputs(c: &ClusterSpec) -> MemoryInputs {
 }
 
 /// Fig 12: SilkRoad SRAM usage per ToR switch (MB) across clusters.
-pub fn fig12(fleet: &[ClusterSpec]) -> Vec<KindSummary> {
-    summarize(fleet, |c| {
+pub fn fig12(exec: &Exec, fleet: &[ClusterSpec]) -> Vec<KindSummary> {
+    summarize(exec, fleet, |c| {
         cost(
             MemoryDesign::DigestVersion {
                 digest_bits: 16,
@@ -66,9 +72,9 @@ pub fn fig12(fleet: &[ClusterSpec]) -> Vec<KindSummary> {
 
 /// Fig 13: SLBs replaced by one SilkRoad. Sized per ToR switch — the
 /// deployment unit on both sides is "the load one switch position sees".
-pub fn fig13(fleet: &[ClusterSpec]) -> Vec<KindSummary> {
+pub fn fig13(exec: &Exec, fleet: &[ClusterSpec]) -> Vec<KindSummary> {
     let model = CostModel::default();
-    summarize(fleet, |c| {
+    summarize(exec, fleet, |c| {
         model
             .size(c.peak_pps, c.peak_gbps * 1e9, c.conns_per_tor_p99 as f64)
             .replacement_ratio()
@@ -85,7 +91,7 @@ pub enum Fig14Design {
 }
 
 /// Fig 14: memory saving vs the naive layout, per cluster kind.
-pub fn fig14(fleet: &[ClusterSpec], design: Fig14Design) -> Vec<KindSummary> {
+pub fn fig14(exec: &Exec, fleet: &[ClusterSpec], design: Fig14Design) -> Vec<KindSummary> {
     let d = match design {
         Fig14Design::DigestOnly => MemoryDesign::DigestOnly { digest_bits: 16 },
         Fig14Design::DigestVersion => MemoryDesign::DigestVersion {
@@ -93,7 +99,7 @@ pub fn fig14(fleet: &[ClusterSpec], design: Fig14Design) -> Vec<KindSummary> {
             version_bits: 6,
         },
     };
-    summarize(fleet, |c| saving_vs_naive(d, &cluster_memory_inputs(c)))
+    summarize(exec, fleet, |c| saving_vs_naive(d, &cluster_memory_inputs(c)))
 }
 
 /// How many clusters fit within a given per-switch SRAM budget (Fig 12's
@@ -123,7 +129,7 @@ mod tests {
     #[test]
     fn fig12_matches_paper_anchors() {
         let fleet = default_fleet();
-        let rows = fig12(&fleet);
+        let rows = fig12(&Exec::available(), &fleet);
         let get = |k| *rows.iter().find(|r| r.kind == k).unwrap();
         // Paper: PoPs 14 MB median / 32 MB peak; Backends 15 MB / 58 MB;
         // Frontends < 2 MB.
@@ -148,7 +154,7 @@ mod tests {
 
     #[test]
     fn fig13_matches_paper_anchors() {
-        let rows = fig13(&default_fleet());
+        let rows = fig13(&Exec::available(), &default_fleet());
         let get = |k| *rows.iter().find(|r| r.kind == k).unwrap();
         // PoPs: one SilkRoad replaces 2-3 SLBs; Frontends ~11 median;
         // Backends 3 median, up to 277 peak.
@@ -164,8 +170,8 @@ mod tests {
     #[test]
     fn fig14_matches_paper_anchors() {
         let fleet = default_fleet();
-        let digest = fig14(&fleet, Fig14Design::DigestOnly);
-        let version = fig14(&fleet, Fig14Design::DigestVersion);
+        let digest = fig14(&Exec::available(), &fleet, Fig14Design::DigestOnly);
+        let version = fig14(&Exec::available(), &fleet, Fig14Design::DigestVersion);
         for (d, v) in digest.iter().zip(&version) {
             // Version design always saves at least as much as digest-only.
             assert!(v.p50 >= d.p50, "{:?}", d.kind);

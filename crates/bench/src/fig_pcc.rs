@@ -1,5 +1,10 @@
 //! Figures 5, 16, 17 and 18 — the simulation-backed PCC figures.
+//!
+//! Each figure builds a flat list of independent (data point, system)
+//! jobs and fans them across [`Exec`]; results come back in job order, so
+//! the rendered tables do not depend on the worker count.
 
+use crate::exec::Exec;
 use crate::scale::Scale;
 use sr_baselines::MigrationPolicy;
 use sr_sim::{run_scenario, RunMetrics, Scenario, SystemKind};
@@ -27,18 +32,18 @@ pub struct PccPoint {
 /// Fig 5: the Duet dilemma. For each update frequency, runs Migrate-10min,
 /// Migrate-1min and Migrate-PCC and reports SLB load (5a) and broken
 /// connections (5b).
-pub fn fig5(scale: Scale, freqs: &[f64]) -> Vec<PccPoint> {
+pub fn fig5(exec: &Exec, scale: Scale, freqs: &[f64]) -> Vec<PccPoint> {
     let systems = [
         SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(10))),
         SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(1))),
         SystemKind::Duet(MigrationPolicy::WaitPcc),
     ];
-    sweep(scale, freqs, &systems)
+    sweep(exec, scale, freqs, &systems)
 }
 
 /// Fig 16: PCC violations vs update frequency for Duet-10min,
 /// SilkRoad-without-TransitTable, and SilkRoad.
-pub fn fig16(scale: Scale, freqs: &[f64]) -> Vec<PccPoint> {
+pub fn fig16(exec: &Exec, scale: Scale, freqs: &[f64]) -> Vec<PccPoint> {
     let systems = [
         SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(10))),
         SystemKind::SilkRoadNoTransit {
@@ -47,22 +52,21 @@ pub fn fig16(scale: Scale, freqs: &[f64]) -> Vec<PccPoint> {
         },
         SystemKind::silkroad_default(),
     ];
-    sweep(scale, freqs, &systems)
+    sweep(exec, scale, freqs, &systems)
 }
 
-fn sweep(scale: Scale, freqs: &[f64], systems: &[SystemKind]) -> Vec<PccPoint> {
-    let mut out = Vec::new();
+fn sweep(exec: &Exec, scale: Scale, freqs: &[f64], systems: &[SystemKind]) -> Vec<PccPoint> {
+    let mut jobs = Vec::new();
     for &f in freqs {
         for &sys in systems {
-            let metrics = run_scenario(Scenario::new(base_trace(scale, f), sys));
-            out.push(PccPoint {
-                system: sys.label(),
-                updates_per_min: f,
-                metrics,
-            });
+            jobs.push((f, sys));
         }
     }
-    out
+    exec.run(jobs, |(f, sys)| PccPoint {
+        system: sys.label(),
+        updates_per_min: f,
+        metrics: run_scenario(Scenario::new(base_trace(scale, f), sys)),
+    })
 }
 
 /// Fig 17 point: a system at an arrival-rate factor.
@@ -77,7 +81,7 @@ pub struct Fig17Point {
 }
 
 /// Fig 17: PCC violations vs new-connection arrival rate at 10 updates/min.
-pub fn fig17(scale: Scale, factors: &[f64]) -> Vec<Fig17Point> {
+pub fn fig17(exec: &Exec, scale: Scale, factors: &[f64]) -> Vec<Fig17Point> {
     let systems = [
         SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(10))),
         SystemKind::SilkRoadNoTransit {
@@ -86,20 +90,21 @@ pub fn fig17(scale: Scale, factors: &[f64]) -> Vec<Fig17Point> {
         },
         SystemKind::silkroad_default(),
     ];
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &f in factors {
-        let mut s = scale;
-        s.rate_factor *= f;
         for &sys in &systems {
-            let metrics = run_scenario(Scenario::new(base_trace(s, 10.0), sys));
-            out.push(Fig17Point {
-                system: sys.label(),
-                rate_factor: f,
-                metrics,
-            });
+            jobs.push((f, sys));
         }
     }
-    out
+    exec.run(jobs, |(f, sys)| {
+        let mut s = scale;
+        s.rate_factor *= f;
+        Fig17Point {
+            system: sys.label(),
+            rate_factor: f,
+            metrics: run_scenario(Scenario::new(base_trace(s, 10.0), sys)),
+        }
+    })
 }
 
 /// Fig 18 point: TransitTable size × learning-filter timeout.
@@ -115,24 +120,30 @@ pub struct Fig18Point {
 
 /// Fig 18: violations vs TransitTable size for several learning timeouts,
 /// at 10 updates/min.
-pub fn fig18(scale: Scale, sizes: &[usize], timeouts: &[Duration]) -> Vec<Fig18Point> {
-    let mut out = Vec::new();
+pub fn fig18(
+    exec: &Exec,
+    scale: Scale,
+    sizes: &[usize],
+    timeouts: &[Duration],
+) -> Vec<Fig18Point> {
+    let mut jobs = Vec::new();
     for &timeout in timeouts {
         for &bytes in sizes {
-            let sys = SystemKind::SilkRoad {
-                transit_bytes: bytes,
-                learning_timeout: timeout,
-                insertions_per_sec: 200_000,
-            };
-            let metrics = run_scenario(Scenario::new(base_trace(scale, 10.0), sys));
-            out.push(Fig18Point {
-                transit_bytes: bytes,
-                timeout,
-                metrics,
-            });
+            jobs.push((timeout, bytes));
         }
     }
-    out
+    exec.run(jobs, |(timeout, bytes)| {
+        let sys = SystemKind::SilkRoad {
+            transit_bytes: bytes,
+            learning_timeout: timeout,
+            insertions_per_sec: 200_000,
+        };
+        Fig18Point {
+            transit_bytes: bytes,
+            timeout,
+            metrics: run_scenario(Scenario::new(base_trace(scale, 10.0), sys)),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -141,7 +152,7 @@ mod tests {
 
     #[test]
     fn fig16_ordering_holds() {
-        let points = fig16(Scale::test(), &[30.0]);
+        let points = fig16(&Exec::available(), Scale::test(), &[30.0]);
         let get = |label: &str| {
             points
                 .iter()
@@ -158,7 +169,7 @@ mod tests {
 
     #[test]
     fn fig5_dilemma_holds() {
-        let points = fig5(Scale::test(), &[30.0]);
+        let points = fig5(&Exec::available(), Scale::test(), &[30.0]);
         let get = |label: &str| {
             points
                 .iter()
@@ -187,6 +198,7 @@ mod tests {
     #[test]
     fn fig18_bigger_filter_never_worse() {
         let points = fig18(
+            &Exec::available(),
             Scale::test(),
             &[8, 256],
             &[Duration::from_millis(5)],

@@ -12,6 +12,7 @@
 //! "to cover the lifetime for most of the connections", i.e. versions stay
 //! referenced within a window).
 
+use crate::exec::Exec;
 use silkroad::pool::{DipPool, PoolUpdate};
 use silkroad::version::VersionManager;
 use sr_types::{Addr, Dip, Duration, Vip};
@@ -33,11 +34,10 @@ pub struct Fig15Point {
 /// Sweep update rates and measure versions needed per 10-minute window.
 /// `version_bits` is made wide (12) so the count is not clipped by ring
 /// exhaustion — the figure is about how many versions *would* be needed.
-pub fn fig15(rates_per_min: &[f64], dips: u32, seed: u64) -> Vec<Fig15Point> {
+pub fn fig15(exec: &Exec, rates_per_min: &[f64], dips: u32, seed: u64) -> Vec<Fig15Point> {
     let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
     let window = Duration::from_mins(10);
-    let mut out = Vec::new();
-    for &rate in rates_per_min {
+    let mut out = exec.run(rates_per_min.to_vec(), |rate| {
         let events = UpdatePlanner::new(UpdatePlanConfig::dedicated(
             1,
             dips,
@@ -68,15 +68,15 @@ pub fn fig15(rates_per_min: &[f64], dips: u32, seed: u64) -> Vec<Fig15Point> {
         drive(&mut with_reuse);
         drive(&mut naive);
 
-        out.push(Fig15Point {
+        Fig15Point {
             // The two managers can disagree slightly on which events are
             // no-ops (reuse substitutes membership); report the naive
             // manager's count — it matches "updates applied" exactly.
             updates: naive.pool_changes,
             versions_naive: naive.allocations,
             versions_with_reuse: with_reuse.allocations,
-        });
-    }
+        }
+    });
     out.sort_by_key(|p| p.updates);
     out
 }
@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn reuse_reduces_versions() {
-        let points = fig15(&[5.0, 33.0], 16, 7);
+        let points = fig15(&Exec::available(), &[5.0, 33.0], 16, 7);
         for p in &points {
             assert!(
                 p.versions_with_reuse <= p.versions_naive,
@@ -108,14 +108,14 @@ mod tests {
     #[test]
     fn six_bits_suffice_with_reuse_at_paper_rates() {
         // The paper: up to 51 versions with reuse -> 6 bits.
-        let points = fig15(&[33.0], 16, 7);
+        let points = fig15(&Exec::sequential(), &[33.0], 16, 7);
         let hot = &points[0];
         assert!(hot.versions_with_reuse <= 64, "{hot:?}");
     }
 
     #[test]
     fn naive_tracks_update_count() {
-        let points = fig15(&[10.0], 16, 3);
+        let points = fig15(&Exec::sequential(), &[10.0], 16, 3);
         let p = &points[0];
         // One allocation per pool change plus the initial version.
         assert_eq!(p.versions_naive, p.updates + 1, "{p:?}");

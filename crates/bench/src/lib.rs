@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod exec;
 pub mod extras;
 pub mod fig_memory;
 pub mod fig_meta;
@@ -21,4 +22,5 @@ pub mod report;
 pub mod scale;
 pub mod tables;
 
+pub use exec::Exec;
 pub use scale::Scale;

@@ -164,8 +164,10 @@ mod tests {
 
     #[test]
     fn per_stage_digest_validation() {
-        let mut c = SilkRoadConfig::default();
-        c.digest_bits_per_stage = Some(vec![24, 16, 12, 12]);
+        let mut c = SilkRoadConfig {
+            digest_bits_per_stage: Some(vec![24, 16, 12, 12]),
+            ..Default::default()
+        };
         assert!(c.validate().is_ok());
         c.digest_bits_per_stage = Some(vec![4]);
         assert!(c.validate().is_err());
@@ -175,17 +177,26 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_widths() {
-        let mut c = SilkRoadConfig::default();
-        c.digest_bits = 4;
-        assert!(c.validate().is_err());
-        c = SilkRoadConfig::default();
-        c.version_bits = 0;
-        assert!(c.validate().is_err());
-        c = SilkRoadConfig::default();
-        c.conn_stages = 1;
-        assert!(c.validate().is_err());
-        c = SilkRoadConfig::default();
-        c.conn_capacity = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            SilkRoadConfig {
+                digest_bits: 4,
+                ..Default::default()
+            },
+            SilkRoadConfig {
+                version_bits: 0,
+                ..Default::default()
+            },
+            SilkRoadConfig {
+                conn_stages: 1,
+                ..Default::default()
+            },
+            SilkRoadConfig {
+                conn_capacity: 0,
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 }

@@ -156,7 +156,7 @@ impl HealthChecker {
         let mut events = Vec::new();
         for t in &mut self.targets {
             while t.next_probe <= now {
-                t.next_probe = t.next_probe + self.cfg.interval;
+                t.next_probe += self.cfg.interval;
                 self.probes_sent += 1;
                 let alive = responder(t.vip, t.dip);
                 match (t.verdict, alive) {

@@ -75,6 +75,31 @@ impl MemoryBreakdown {
 /// Per-entry packing overhead bits (instruction + next-table address, §6).
 const OVERHEAD_BITS: u32 = 6;
 
+/// SRAM layout of one VIPTable row for `family`: VIP key (addr + port +
+/// proto) plus old/new version actions. Shared by the analytic model and
+/// the live switch's [`crate::SilkRoadSwitch::memory`] accounting so the
+/// two can never drift apart.
+pub(crate) fn vip_row_spec(family: AddrFamily) -> SramSpec {
+    let vip_key_bits = 8 * (family.addr_bytes() as u32 + 2) + 8;
+    SramSpec {
+        entry_bits: vip_key_bits + 2 * 6 + OVERHEAD_BITS,
+    }
+}
+
+/// SRAM layout of one DIPPoolTable row header: (VIP index, version) key.
+pub(crate) fn pool_row_spec(version_bits: u8) -> SramSpec {
+    SramSpec {
+        entry_bits: 32 + version_bits as u32 + OVERHEAD_BITS,
+    }
+}
+
+/// SRAM layout of one DIPPoolTable member (DIP + port action datum).
+pub(crate) fn pool_member_spec(family: AddrFamily) -> SramSpec {
+    SramSpec {
+        entry_bits: 8 * family.dip_action_bytes() as u32,
+    }
+}
+
 fn conn_entry_bits(design: MemoryDesign, family: AddrFamily) -> u32 {
     let key_bits = 8 * family.five_tuple_bytes() as u32;
     let action_full = 8 * family.dip_action_bytes() as u32;
@@ -96,23 +121,14 @@ pub fn cost(design: MemoryDesign, inputs: &MemoryInputs) -> MemoryBreakdown {
     let conn_table = conn_spec.bytes_for(inputs.connections);
 
     // VIPTable: VIP (addr+port+proto) -> version/action.
-    let vip_key_bits = 8 * (inputs.family.addr_bytes() as u32 + 2) + 8;
-    let vip_spec = SramSpec {
-        entry_bits: vip_key_bits + 2 * 6 + OVERHEAD_BITS,
-    };
-    let vip_table = vip_spec.bytes_for(inputs.vips);
+    let vip_table = vip_row_spec(inputs.family).bytes_for(inputs.vips);
 
     // DIPPoolTable exists only in the versioned design: one row header per
     // (VIP, version) plus one member word per pool member (DIP + port).
     let dip_pool_table = match design {
         MemoryDesign::DigestVersion { version_bits, .. } => {
-            let row_spec = SramSpec {
-                entry_bits: 32 + version_bits as u32 + OVERHEAD_BITS,
-            };
-            let member_spec = SramSpec {
-                entry_bits: 8 * inputs.family.dip_action_bytes() as u32,
-            };
-            row_spec.bytes_for(inputs.pool_rows) + member_spec.bytes_for(inputs.total_pool_members)
+            pool_row_spec(version_bits).bytes_for(inputs.pool_rows)
+                + pool_member_spec(inputs.family).bytes_for(inputs.total_pool_members)
         }
         _ => 0,
     };

@@ -37,6 +37,18 @@ struct VipState {
     update: UpdateState,
 }
 
+/// A fallback-table connection: pinned directly to a DIP, with the same
+/// hit-bit bookkeeping the ConnTable keeps so idle aging covers it too.
+struct FallbackConn {
+    #[allow(dead_code)] // diagnostic: which VIP the pin belongs to
+    vip: Vip,
+    dip: Dip,
+    /// When the connection entered the fallback table.
+    arrived: Nanos,
+    /// Hit since the last aging scan.
+    hit: bool,
+}
+
 /// A SilkRoad switch instance.
 pub struct SilkRoadSwitch {
     cfg: SilkRoadConfig,
@@ -50,7 +62,7 @@ pub struct SilkRoadSwitch {
     control: ControlPlane,
     /// Software fallback table: connections that could not live in
     /// ConnTable (overflow, version exhaustion) pinned directly to a DIP.
-    fallback: HashMap<Box<[u8]>, (Vip, Dip)>,
+    fallback: HashMap<Box<[u8]>, FallbackConn>,
     /// Per-VIP rate limiters (§5.2 performance isolation): red-marked
     /// packets are dropped before any table lookup.
     meters: HashMap<Vip, Meter>,
@@ -148,20 +160,32 @@ impl SilkRoadSwitch {
         )
     }
 
-    /// Actual SRAM footprint right now.
+    /// Actual SRAM footprint right now. Word layouts come from the same
+    /// `crate::memory` specs as the analytic Fig 12/14 model; entry widths
+    /// that depend on address size use each VIP's own family, so v4 and v6
+    /// VIPs are costed separately.
     pub fn memory(&self) -> MemoryBreakdown {
-        let (rows, members) = self.vips.values().fold((0u64, 0u64), |(r, m), s| {
-            (
-                r + s.manager.live_versions() as u64,
-                m + s.manager.total_pool_members() as u64,
-            )
-        });
-        let member_bytes = members * 14; // one 112-bit word per member
-        let row_bytes = rows * 14;
+        use sr_types::AddrFamily;
+        let families = [AddrFamily::V4, AddrFamily::V6];
+        let mut vips = [0u64; 2];
+        let mut members = [0u64; 2];
+        let mut rows = 0u64;
+        for (vip, s) in &self.vips {
+            let f = (vip.family() == AddrFamily::V6) as usize;
+            vips[f] += 1;
+            members[f] += s.manager.total_pool_members() as u64;
+            rows += s.manager.live_versions() as u64;
+        }
+        let mut vip_table = 0u64;
+        let mut dip_pool_table = crate::memory::pool_row_spec(self.cfg.version_bits).bytes_for(rows);
+        for (i, family) in families.into_iter().enumerate() {
+            vip_table += crate::memory::vip_row_spec(family).bytes_for(vips[i]);
+            dip_pool_table += crate::memory::pool_member_spec(family).bytes_for(members[i]);
+        }
         MemoryBreakdown {
             conn_table: self.conn_table.occupied_bytes(),
-            vip_table: self.vip_table.len() as u64 * 28,
-            dip_pool_table: row_bytes + member_bytes,
+            vip_table,
+            dip_pool_table,
             transit: self.transit.size_bytes() as u64,
         }
     }
@@ -207,10 +231,7 @@ impl SilkRoadSwitch {
 
     /// Run the control plane up to `now` (inclusive), in event order.
     pub fn advance(&mut self, now: Nanos) {
-        loop {
-            let Some(t) = self.control.next_wakeup() else {
-                break;
-            };
+        while let Some(t) = self.control.next_wakeup() {
             if t > now {
                 break;
             }
@@ -269,10 +290,13 @@ impl SilkRoadSwitch {
         }
 
         // 2. Fallback table (overflow / version-exhaustion connections).
-        if let Some(&(_, dip)) = self.fallback.get(key.as_slice()) {
+        // Hits set the entry's hit bit, same as ConnTable: fallback pins
+        // age out through `expire_idle` when their connection goes quiet.
+        if let Some(entry) = self.fallback.get_mut(key.as_slice()) {
+            entry.hit = true;
             self.stats.conn_table_hits += 1;
             return ForwardDecision {
-                dip: Some(dip),
+                dip: Some(entry.dip),
                 path: DataPath::AsicConnTable,
                 version: None,
                 conn_table_hit: true,
@@ -527,13 +551,25 @@ impl SilkRoadSwitch {
     /// explicitly instead (it only materialises a sample of each flow's
     /// packets, so hit bits would be incomplete).
     pub fn expire_idle(&mut self, now: Nanos) -> usize {
+        let cutoff = self.conn_table.last_scan();
         let expired = self.conn_table.aging_scan(now);
-        let n = expired.len();
+        let mut n = expired.len();
         for (_, value) in expired {
             if let Some(state) = self.vips.get_mut(&value.vip) {
                 state.manager.conn_removed(value.version);
             }
         }
+        // Fallback pins age on the same clock: entries that arrived before
+        // the previous scan and were not hit since are expired.
+        let before = self.fallback.len();
+        self.fallback.retain(|_, e| {
+            let keep = e.arrived >= cutoff || e.hit;
+            e.hit = false;
+            keep
+        });
+        let fb_expired = (before - self.fallback.len()) as u64;
+        self.stats.fallback_entries = self.stats.fallback_entries.saturating_sub(fb_expired);
+        n += fb_expired as usize;
         self.stats.idle_expired += n as u64;
         n
     }
@@ -573,7 +609,15 @@ impl SilkRoadSwitch {
         let state = self.vips.get_mut(&vip).expect("caller checked");
         for (key, value) in evicted {
             state.manager.conn_removed(victim);
-            self.fallback.insert(key, (vip, value.dip));
+            self.fallback.insert(
+                key,
+                FallbackConn {
+                    vip,
+                    dip: value.dip,
+                    arrived: value.arrived,
+                    hit: false,
+                },
+            );
             self.stats.fallback_entries += 1;
             self.stats.exhaustion_migrations += 1;
         }
@@ -612,7 +656,15 @@ impl SilkRoadSwitch {
                     }
                 }
                 Err(CuckooError::Full) => {
-                    self.fallback.insert(job.key.clone(), (vip, job.meta.dip));
+                    self.fallback.insert(
+                        job.key.clone(),
+                        FallbackConn {
+                            vip,
+                            dip: job.meta.dip,
+                            arrived: job.arrived,
+                            hit: false,
+                        },
+                    );
                     self.stats.conn_table_overflows += 1;
                     self.stats.fallback_entries += 1;
                 }
@@ -832,6 +884,42 @@ mod tests {
     }
 
     #[test]
+    fn fallback_entries_age_on_clock_scan() {
+        let mut sw = switch();
+        // Pin two connections directly into the fallback table (the paths
+        // that populate it — ConnTable overflow and version exhaustion —
+        // are exercised by their own tests).
+        for p in [1u16, 2] {
+            sw.fallback.insert(
+                conn(p).key_bytes().into(),
+                FallbackConn {
+                    vip: vip(),
+                    dip: dip(3),
+                    arrived: Nanos::ZERO,
+                    hit: false,
+                },
+            );
+            sw.stats.fallback_entries += 1;
+        }
+        // First scan only starts the clock: both entries arrived in the
+        // current epoch and are kept.
+        assert_eq!(sw.expire_idle(Nanos::from_millis(100)), 0);
+        assert_eq!(sw.stats().fallback_entries, 2);
+        // Traffic on conn(1) resolves through the fallback pin and marks it.
+        let d = sw.process_packet(&PacketMeta::data(conn(1), 100), Nanos::from_millis(150));
+        assert_eq!(d.dip, Some(dip(3)));
+        assert!(d.conn_table_hit);
+        // Second scan: the quiet pin expires, the busy one survives.
+        assert_eq!(sw.expire_idle(Nanos::from_millis(200)), 1);
+        assert_eq!(sw.stats().fallback_entries, 1);
+        assert!(sw.fallback.contains_key(conn(1).key_bytes().as_slice()));
+        // Third scan with no traffic in between: the survivor goes too.
+        assert_eq!(sw.expire_idle(Nanos::from_millis(300)), 1);
+        assert_eq!(sw.stats().fallback_entries, 0);
+        assert!(sw.fallback.is_empty());
+    }
+
+    #[test]
     fn rolling_reboot_reuses_versions_end_to_end() {
         let mut sw = switch();
         // Live connections keep the original version referenced, which is
@@ -844,17 +932,17 @@ mod tests {
         let mut port = 1000u16;
         for _ in 0..20 {
             sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t).unwrap();
-            t = t + sr_types::Duration::from_millis(20);
+            t += sr_types::Duration::from_millis(20);
             // Connections arriving while the DIP is down pin the
             // removal-shaped version, as production traffic would.
             for _ in 0..3 {
                 sw.process_packet(&PacketMeta::syn(conn(port)), t);
                 port += 1;
             }
-            t = t + sr_types::Duration::from_millis(20);
+            t += sr_types::Duration::from_millis(20);
             sw.advance(t);
             sw.request_update(vip(), PoolUpdate::Add(dip(1)), t).unwrap();
-            t = t + sr_types::Duration::from_millis(20);
+            t += sr_types::Duration::from_millis(20);
             sw.advance(t);
         }
         let (allocs, reuses, changes, live) = sw.version_counters(vip()).unwrap();
@@ -902,7 +990,7 @@ mod tests {
             if d.path == DataPath::Dropped {
                 dropped += 1;
             }
-            t = t + sr_types::Duration::from_millis(1);
+            t += sr_types::Duration::from_millis(1);
         }
         assert!(dropped > 100, "meter barely dropped: {dropped}");
         assert_eq!(sw.stats().metered_drops, dropped);

@@ -173,13 +173,27 @@ pub struct CuckooTable<V> {
     len: usize,
     /// Cumulative count of BFS-driven entry moves (for CPU-cost stats).
     total_moves: u64,
+    /// Software-side index of resident keys by collision class (digest mode
+    /// only). Stage digests are prefixes of one shared hash, so any two keys
+    /// that alias at *any* stage share the narrowest-width digest; indexing
+    /// by it makes "who could this entry shadow?" an O(class) question.
+    alias: Option<AliasIndex>,
+    /// Cumulative count of relocations performed by the resident-shadowing
+    /// repair (see [`CuckooTable::shadow_repairs`]).
+    shadow_repairs: u64,
+}
+
+/// Resident keys grouped by narrowest-stage digest (see `CuckooTable.alias`).
+struct AliasIndex {
+    digest: DigestFn,
+    classes: std::collections::HashMap<u32, Vec<Box<[u8]>>>,
 }
 
 impl<V: Clone> CuckooTable<V> {
     /// Build an empty table.
     pub fn new(cfg: CuckooConfig) -> CuckooTable<V> {
         let stage_hash = HashFn::family(cfg.seed, cfg.stages);
-        let digests = match &cfg.match_mode {
+        let digests: Option<Vec<DigestFn>> = match &cfg.match_mode {
             MatchMode::Digest { bits } => Some(
                 (0..cfg.stages)
                     .map(|_| DigestFn::new(cfg.seed ^ 0xd1e5, *bits))
@@ -199,6 +213,13 @@ impl<V: Clone> CuckooTable<V> {
             ),
             MatchMode::FullKey => None,
         };
+        let alias = digests.as_ref().map(|ds| AliasIndex {
+            digest: DigestFn::new(
+                cfg.seed ^ 0xd1e5,
+                ds.iter().map(|d| d.bits()).min().unwrap_or(16),
+            ),
+            classes: std::collections::HashMap::new(),
+        });
         let per_stage = cfg.words_per_stage * cfg.entries_per_word;
         CuckooTable {
             stage_hash,
@@ -207,6 +228,8 @@ impl<V: Clone> CuckooTable<V> {
             slots: (0..cfg.stages).map(|_| vec![None; per_stage]).collect(),
             len: 0,
             total_moves: 0,
+            alias,
+            shadow_repairs: 0,
             cfg,
         }
     }
@@ -323,14 +346,93 @@ impl<V: Clone> CuckooTable<V> {
             match_field: 0,
             value,
         };
-        self.insert_entry(entry, None)
+        let mut touched: Vec<Box<[u8]>> = Vec::new();
+        let out = self.insert_entry(entry, None, &mut touched)?;
+        self.alias_add(key);
+        touched.push(key.into());
+        self.repair_shadowed(touched);
+        Ok(out)
+    }
+
+    /// Record a resident key in its collision class.
+    fn alias_add(&mut self, key: &[u8]) {
+        if let Some(a) = &mut self.alias {
+            a.classes
+                .entry(a.digest.digest(key))
+                .or_default()
+                .push(key.into());
+        }
+    }
+
+    /// Drop a key from its collision class.
+    fn alias_remove(&mut self, key: &[u8]) {
+        if let Some(a) = &mut self.alias {
+            let class = a.digest.digest(key);
+            if let Some(members) = a.classes.get_mut(&class) {
+                members.retain(|k| k.as_ref() != key);
+                if members.is_empty() {
+                    a.classes.remove(&class);
+                }
+            }
+        }
+    }
+
+    /// Restore the invariant that every *resident* key's own lookup is an
+    /// exact hit. Placing or moving an entry can shadow a digest-colliding
+    /// resident probed later in the pipeline; the switch software holds the
+    /// full keys, detects this at insertion time (§4.2), and relocates the
+    /// shadowing entry. `touched` is the set of keys that just changed
+    /// position; only their collision classes can have new shadowing.
+    fn repair_shadowed(&mut self, touched: Vec<Box<[u8]>>) {
+        if self.alias.is_none() {
+            return; // full-key mode has no false hits
+        }
+        // Bounds the (astronomically unlikely) case of keys aliasing in
+        // every stage, where relocation cannot separate them.
+        let mut budget = 64usize;
+        let mut work: VecDeque<Box<[u8]>> = touched.into();
+        while let Some(k) = work.pop_front() {
+            let members = {
+                let a = self.alias.as_ref().expect("checked above");
+                match a.classes.get(&a.digest.digest(&k)) {
+                    Some(m) => m.clone(),
+                    None => continue,
+                }
+            };
+            for resident in members {
+                let shadower = match self.lookup(&resident) {
+                    Some(hit) if !hit.exact => Box::<[u8]>::from(hit.resident_key),
+                    _ => continue,
+                };
+                if budget == 0 {
+                    return;
+                }
+                budget -= 1;
+                let mut moved: Vec<Box<[u8]>> = Vec::new();
+                if self.relocate_raw(&shadower, &mut moved).is_ok() {
+                    self.shadow_repairs += 1;
+                    work.extend(moved);
+                    work.push_back(shadower);
+                }
+                // On failure (table too full to separate them) the false
+                // hit persists, as it would on a real switch out of room.
+            }
+        }
+    }
+
+    /// Relocations performed by the resident-shadowing repair.
+    pub fn shadow_repairs(&self) -> u64 {
+        self.shadow_repairs
     }
 
     /// Insert `entry`, optionally excluding one stage (used by relocation).
+    /// Keys of residents displaced by the BFS unwind are appended to
+    /// `moved`.
     fn insert_entry(
         &mut self,
         entry: Entry<V>,
         exclude_stage: Option<usize>,
+        moved_keys: &mut Vec<Box<[u8]>>,
     ) -> Result<InsertOutcome, CuckooError> {
         // Fast path: a free slot in one of the candidate words. Stage order
         // doubles as a preference order (wider digests first in the
@@ -440,6 +542,7 @@ impl<V: Clone> CuckooTable<V> {
                 if dest.0 != src.0 {
                     m.match_field = self.match_field_at(dest.0, &m.key);
                 }
+                moved_keys.push(m.key.clone());
                 self.slots[dest.0][dest.1] = Some(m);
                 moves += 1;
             }
@@ -468,6 +571,7 @@ impl<V: Clone> CuckooTable<V> {
             Some((stage, slot)) => {
                 let e = self.slots[stage][slot].take().expect("occupied");
                 self.len -= 1;
+                self.alias_remove(key);
                 Ok(e.value)
             }
             None => Err(CuckooError::NotFound),
@@ -481,10 +585,24 @@ impl<V: Clone> CuckooTable<V> {
     ///
     /// Returns the stage the entry moved to.
     pub fn relocate(&mut self, key: &[u8]) -> Result<usize, CuckooError> {
+        let mut touched: Vec<Box<[u8]>> = Vec::new();
+        let stage = self.relocate_raw(key, &mut touched)?;
+        touched.push(key.into());
+        self.repair_shadowed(touched);
+        Ok(stage)
+    }
+
+    /// [`CuckooTable::relocate`] without the shadowing repair — the repair
+    /// itself relocates entries through this to avoid recursion.
+    fn relocate_raw(
+        &mut self,
+        key: &[u8],
+        moved_keys: &mut Vec<Box<[u8]>>,
+    ) -> Result<usize, CuckooError> {
         let (stage, slot) = self.find_exact(key).ok_or(CuckooError::NotFound)?;
         let entry = self.slots[stage][slot].take().expect("occupied");
         self.len -= 1;
-        match self.insert_entry(entry.clone(), Some(stage)) {
+        match self.insert_entry(entry.clone(), Some(stage), moved_keys) {
             Ok(out) => Ok(out.stage),
             Err(e) => {
                 // Roll back: put the entry where it was.
@@ -518,6 +636,9 @@ impl<V: Clone> CuckooTable<V> {
                     }
                 }
             }
+        }
+        for (key, _) in &removed {
+            self.alias_remove(key);
         }
         removed
     }
@@ -771,6 +892,48 @@ mod tests {
             mixed < uniform,
             "mixed {mixed} should beat uniform {uniform}"
         );
+    }
+
+    #[test]
+    fn residents_never_shadow_each_other() {
+        // Narrow digests + heavy load: without the insertion-time repair,
+        // some resident's probe sequence would find a digest-colliding
+        // entry in an earlier stage first (a false hit on its OWN key,
+        // observed as a mid-life DIP flip by the simulator). The repair
+        // must keep every resident's lookup exact through inserts, BFS
+        // moves, relocations, and removals.
+        let mut t: CuckooTable<u32> = CuckooTable::new(CuckooConfig {
+            stages: 4,
+            words_per_stage: 64,
+            entries_per_word: 4,
+            match_mode: MatchMode::Digest { bits: 8 },
+            seed: 12,
+            max_bfs_depth: 8,
+            max_bfs_nodes: 4096,
+        });
+        let n = (t.config().total_slots() * 8 / 10) as u32;
+        for i in 0..n {
+            t.insert(&key(i), i).unwrap();
+        }
+        // Churn: delete a third, reinsert under new keys, relocate some.
+        for i in (0..n).step_by(3) {
+            t.remove(&key(i)).unwrap();
+        }
+        for i in n..n + n / 3 {
+            let _ = t.insert(&key(i), i);
+        }
+        for i in (1..n).step_by(7) {
+            let _ = t.relocate(&key(i));
+        }
+        assert!(
+            t.shadow_repairs() > 0,
+            "population too small to exercise the repair"
+        );
+        let keys: Vec<Box<[u8]>> = t.iter().map(|(k, _)| k.into()).collect();
+        for k in keys {
+            let hit = t.lookup(&k).expect("resident present");
+            assert!(hit.exact, "resident key shadowed by a digest collision");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ impl DigestFn {
     /// Create a digest function of `bits` width (clamped to 8..=32).
     pub fn new(seed: u64, bits: u8) -> DigestFn {
         DigestFn {
-            hash: HashFn::new(seed ^ 0xd16e_57),
+            hash: HashFn::new(seed ^ 0x00d1_6e57),
             bits: bits.clamp(8, 32),
         }
     }

@@ -113,14 +113,13 @@ impl ResilientTable {
                     *s = member;
                     taken += 1;
                 }
-                owner if owner != member && owned[owner] > fair => {
+                owner if owner != member && owned[owner] > fair
                     // Take deterministically-spread slots from the rich.
-                    if self.redistribute.hash_u64(i as u64) % 2 == 0 {
+                    && self.redistribute.hash_u64(i as u64).is_multiple_of(2) => {
                         owned[owner] -= 1;
                         *s = member;
                         taken += 1;
                     }
-                }
                 _ => {}
             }
         }

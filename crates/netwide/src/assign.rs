@@ -101,7 +101,7 @@ pub fn assign_vips(topo: &Topology, demands: &[VipDemand]) -> Result<Assignment,
     }
 
     let mut order: Vec<&VipDemand> = demands.iter().collect();
-    order.sort_by(|a, b| b.memory_bytes.cmp(&a.memory_bytes));
+    order.sort_by_key(|d| std::cmp::Reverse(d.memory_bytes));
 
     let mut layer_of = HashMap::new();
     for d in order {

@@ -213,13 +213,13 @@ mod tests {
         let mut assigned = Vec::new();
         for i in 0..400 {
             assigned.push(f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap().1.dip);
-            t = t + Duration::from_micros(50);
+            t += Duration::from_micros(50);
         }
-        t = t + Duration::from_millis(50);
+        t += Duration::from_millis(50);
         f.advance(t);
         f.request_update(vip(), PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 3, 20))), t)
             .unwrap();
-        t = t + Duration::from_millis(50);
+        t += Duration::from_millis(50);
         f.advance(t);
         // Installed connections keep their mapping on their own switch.
         for (i, before) in assigned.iter().enumerate() {
@@ -244,9 +244,9 @@ mod tests {
         for i in 0..600u32 {
             let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap();
             before.insert(i, (id, d.dip.unwrap()));
-            t = t + Duration::from_micros(20);
+            t += Duration::from_micros(20);
         }
-        t = t + Duration::from_millis(50);
+        t += Duration::from_millis(50);
         f.advance(t);
 
         // Kill the switch hosting conn 0.
@@ -285,13 +285,13 @@ mod tests {
         for i in 0..600u32 {
             let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap();
             before.insert(i, (id, d.dip.unwrap()));
-            t = t + Duration::from_micros(20);
+            t += Duration::from_micros(20);
         }
-        t = t + Duration::from_millis(50);
+        t += Duration::from_millis(50);
         f.advance(t);
         f.request_update(vip(), PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 5, 20))), t)
             .unwrap();
-        t = t + Duration::from_millis(50);
+        t += Duration::from_millis(50);
         f.advance(t);
 
         let victim = before[&0].0;

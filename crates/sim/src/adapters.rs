@@ -7,6 +7,19 @@ use sr_hash::HashFn;
 use sr_types::{Dip, Duration, FiveTuple, Nanos, PacketMeta, Vip};
 use std::collections::{HashMap, HashSet};
 
+// The parallel experiment driver (sr-bench's `Exec`) fans scenarios across
+// worker threads, so every adapter — and thus every wrapped system — must
+// stay `Send`. Assert it at compile time so a stray `Rc`/`RefCell` in a
+// balancer is caught here, not in a cryptic spawn error two crates away.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SilkRoadAdapter>();
+    assert_send::<DuetAdapter>();
+    assert_send::<SlbAdapter>();
+    assert_send::<EcmpAdapter>();
+    assert_send::<HybridAdapter>();
+};
+
 /// Per-packet software (SLB server) processing latency: the paper's
 /// 50 µs – 1 ms batching range, drawn deterministically per packet.
 fn slb_latency(key: &[u8], salt: u64) -> Duration {

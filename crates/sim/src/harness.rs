@@ -165,7 +165,7 @@ impl Harness {
             let heap_at = self.heap.peek().map(|qe| qe.0.at);
             match (trace_at, heap_at) {
                 (None, None) => break,
-                (Some(t), h) if h.map_or(true, |h| t <= h) => {
+                (Some(t), h) if h.is_none_or(|h| t <= h) => {
                     let ev = trace.next().expect("peeked");
                     match ev {
                         TraceEvent::ConnOpen(c) => self.on_open(c, lb),
@@ -431,8 +431,10 @@ mod tests {
 
     #[test]
     fn silkroad_never_violates() {
-        let mut cfg = SilkRoadConfig::default();
-        cfg.conn_capacity = 50_000;
+        let cfg = SilkRoadConfig {
+            conn_capacity: 50_000,
+            ..Default::default()
+        };
         let mut lb = SilkRoadAdapter::new(cfg);
         let m = Harness::new(trace(30.0, 2), HarnessConfig::default()).run(&mut lb);
         assert!(m.conns_total > 50);

@@ -6,6 +6,7 @@ use std::fmt;
 /// A log-bucketed latency histogram (100 ns – ~100 ms), cheap enough to
 /// record per probe packet.
 #[derive(Clone, Debug)]
+#[derive(Default)]
 pub struct LatencyHist {
     /// Bucket `i` counts samples in `[100ns * 2^i, 100ns * 2^(i+1))`.
     buckets: [u64; 24],
@@ -13,15 +14,6 @@ pub struct LatencyHist {
     sum_ns: u128,
 }
 
-impl Default for LatencyHist {
-    fn default() -> Self {
-        LatencyHist {
-            buckets: [0; 24],
-            count: 0,
-            sum_ns: 0,
-        }
-    }
-}
 
 impl LatencyHist {
     fn bucket_of(d: Duration) -> usize {

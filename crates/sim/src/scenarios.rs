@@ -96,17 +96,18 @@ fn silkroad_cfg(
     insertions_per_sec: u64,
     expected_conns: f64,
 ) -> SilkRoadConfig {
-    let mut cfg = SilkRoadConfig::default();
-    cfg.transit_bytes = transit_bytes;
-    cfg.transit_enabled = transit_enabled;
-    cfg.learning = LearningFilterConfig {
-        capacity: 2048,
-        timeout: learning_timeout,
-    };
-    cfg.cpu = SwitchCpuConfig { insertions_per_sec };
-    // Provision ConnTable for the live-connection population with headroom.
-    cfg.conn_capacity = ((expected_conns * 0.2).max(20_000.0) as usize).min(12_000_000);
-    cfg
+    SilkRoadConfig {
+        transit_bytes,
+        transit_enabled,
+        learning: LearningFilterConfig {
+            capacity: 2048,
+            timeout: learning_timeout,
+        },
+        cpu: SwitchCpuConfig { insertions_per_sec },
+        // Provision ConnTable for the live-connection population with headroom.
+        conn_capacity: ((expected_conns * 0.2).max(20_000.0) as usize).min(12_000_000),
+        ..Default::default()
+    }
 }
 
 /// Run one scenario to completion.

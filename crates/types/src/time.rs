@@ -122,11 +122,7 @@ impl Duration {
 
     /// Integer division of spans (how many `rhs` fit in `self`).
     pub fn div_duration(self, rhs: Duration) -> u64 {
-        if rhs.0 == 0 {
-            0
-        } else {
-            self.0 / rhs.0
-        }
+        self.0.checked_div(rhs.0).unwrap_or(0)
     }
 
     /// Multiply the span by an integer, saturating.

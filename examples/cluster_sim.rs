@@ -28,8 +28,10 @@ fn main() {
         minutes
     );
 
-    let mut cfg = SilkRoadConfig::default();
-    cfg.conn_capacity = ((trace.expected_conns() * 0.2) as usize).max(50_000);
+    let cfg = SilkRoadConfig {
+        conn_capacity: ((trace.expected_conns() * 0.2) as usize).max(50_000),
+        ..Default::default()
+    };
     let mut lb = SilkRoadAdapter::new(cfg);
     let metrics = Harness::new(trace, HarnessConfig::default()).run(&mut lb);
 

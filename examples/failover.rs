@@ -25,20 +25,20 @@ fn main() {
     let mut before = Vec::new();
     for c in &conns {
         before.push(sw.process_packet(&PacketMeta::syn(*c), t).dip.unwrap());
-        t = t + Duration::from_micros(20);
+        t += Duration::from_micros(20);
     }
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
 
     // BFD declares 10.0.0.2 dead; the control plane removes it.
     let failed = Dip(Addr::v4(10, 0, 0, 2, 20));
     sw.request_update(vip, PoolUpdate::Remove(failed), t).unwrap();
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
 
     // The server comes back; re-adding redeems the pre-failure version.
     sw.request_update(vip, PoolUpdate::Add(failed), t).unwrap();
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
 
     let (allocs, reuses, _, live) = sw.version_counters(vip).unwrap();
@@ -100,9 +100,9 @@ fn main() {
         let c = FiveTuple::tcp(Addr::v4_indexed(2, i, 40_000), vip.0);
         let (id, d) = fabric.process_packet(&PacketMeta::syn(c), t).unwrap();
         placed.insert(i, (c, id, d.dip.unwrap()));
-        t = t + Duration::from_micros(20);
+        t += Duration::from_micros(20);
     }
-    t = t + Duration::from_millis(50);
+    t += Duration::from_millis(50);
     fabric.advance(t);
     let victim = placed[&0].1;
     fabric.fail_switch(victim);

@@ -40,8 +40,10 @@ fn main() {
         trace.updates_per_min
     );
 
-    let mut cfg = SilkRoadConfig::default();
-    cfg.conn_capacity = 50_000;
+    let cfg = SilkRoadConfig {
+        conn_capacity: 50_000,
+        ..Default::default()
+    };
     let mut lb = HybridAdapter::new(cfg, SlbConfig::default(), slb_vips.clone());
     let m = Harness::new(trace, HarnessConfig::default()).run(&mut lb);
 

@@ -29,11 +29,11 @@ fn main() {
         let d = sw.process_packet(&PacketMeta::syn(*c), t);
         println!("  {} -> {}", c, d.dip.unwrap());
         assigned.push(d.dip.unwrap());
-        t = t + Duration::from_micros(50);
+        t += Duration::from_micros(50);
     }
 
     // Let the switch CPU install the ConnTable entries.
-    t = t + Duration::from_millis(10);
+    t += Duration::from_millis(10);
     sw.advance(t);
     println!(
         "installed {} connections ({} learns)",
@@ -46,7 +46,7 @@ fn main() {
         .unwrap();
     sw.request_update(vip, PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 2, 20))), t)
         .unwrap();
-    t = t + Duration::from_millis(50);
+    t += Duration::from_millis(50);
     sw.advance(t);
     println!("after updates: pool = {:?}", sw.current_dips(vip).unwrap());
 

@@ -30,8 +30,10 @@ fn trace() -> TraceConfig {
 fn fabric_under_trace_updates_and_failure() {
     let cfg = trace();
     let topo = Topology::clos(6, 3, 2, 50 << 20, 6400.0);
-    let mut silk_cfg = SilkRoadConfig::default();
-    silk_cfg.conn_capacity = 50_000;
+    let silk_cfg = SilkRoadConfig {
+        conn_capacity: 50_000,
+        ..Default::default()
+    };
     let mut fabric = SilkRoadFabric::new(&topo, &silk_cfg);
 
     // Spread VIPs over layers like the §5.3 assignment would.
@@ -111,7 +113,7 @@ fn fabric_under_trace_updates_and_failure() {
             }
         }
         // Periodically re-probe a sample of live connections.
-        if assigned.len() % 97 == 0 {
+        if assigned.len().is_multiple_of(97) {
             fabric.advance(now);
             for (seq, (tuple, first, doomed)) in assigned.iter() {
                 if *doomed || seq % 13 != 0 {

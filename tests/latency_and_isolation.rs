@@ -79,7 +79,7 @@ fn meter_isolates_victim_vip_from_a_flash_crowd() {
     let q = FiveTuple::tcp(Addr::v4(9, 9, 9, 9, 1000), quiet.0);
     let mut t = Nanos::ZERO;
     let q_dip = sw.process_packet(&PacketMeta::syn(q), t).dip.unwrap();
-    t = t + Duration::from_millis(10);
+    t += Duration::from_millis(10);
     sw.advance(t);
 
     // Flash crowd: ~100 Mbit/s at the hot VIP for one second.
@@ -97,7 +97,7 @@ fn meter_isolates_victim_vip_from_a_flash_crowd() {
             assert_eq!(dq.dip, Some(q_dip), "quiet VIP disturbed at {t}");
             quiet_ok += 1;
         }
-        t = t + Duration::from_micros(125);
+        t += Duration::from_micros(125);
     }
     assert!(hot_drops > 5_000, "meter too lax: {hot_drops}");
     assert_eq!(quiet_ok, 80);
@@ -107,7 +107,7 @@ fn meter_isolates_victim_vip_from_a_flash_crowd() {
     // quiet VIP remains untouched.
     sw.request_update(hot, PoolUpdate::Remove(Dip(Addr::v4(10, 0, 0, 1, 20))), t)
         .unwrap();
-    t = t + Duration::from_millis(50);
+    t += Duration::from_millis(50);
     sw.advance(t);
     assert_eq!(
         sw.update_phase(hot),

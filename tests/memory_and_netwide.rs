@@ -11,8 +11,10 @@ use sr_workload::{synthesize_fleet, ClusterKind, FleetConfig};
 fn live_switch_memory_matches_analytic_model() {
     // Install a known population and compare the switch's occupied
     // ConnTable bytes against the 28-bit entry model.
-    let mut cfg = SilkRoadConfig::default();
-    cfg.conn_capacity = 50_000;
+    let cfg = SilkRoadConfig {
+        conn_capacity: 50_000,
+        ..Default::default()
+    };
     let mut sw = SilkRoadSwitch::new(cfg);
     let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
     sw.add_vip(vip, (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
@@ -84,9 +86,9 @@ fn failure_impact_consistent_with_switch_population() {
     for i in 0..200u32 {
         let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
         sw.process_packet(&PacketMeta::syn(c), t);
-        t = t + Duration::from_micros(50);
+        t += Duration::from_micros(50);
     }
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
     sw.request_update(
         vip,
@@ -94,14 +96,14 @@ fn failure_impact_consistent_with_switch_population() {
         t,
     )
     .unwrap();
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
     // Old connections reference the old version; new ones the new version.
     for i in 200..300u32 {
         let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
         sw.process_packet(&PacketMeta::syn(c), t);
     }
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
 
     let newest = sw.current_version(vip).unwrap();

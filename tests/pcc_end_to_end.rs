@@ -31,8 +31,10 @@ fn trace(updates_per_min: f64, median_flow_secs: f64, seed: u64) -> TraceConfig 
 }
 
 fn run_silkroad(t: TraceConfig) -> RunMetrics {
-    let mut cfg = SilkRoadConfig::default();
-    cfg.conn_capacity = 100_000;
+    let cfg = SilkRoadConfig {
+        conn_capacity: 100_000,
+        ..Default::default()
+    };
     let mut lb = SilkRoadAdapter::new(cfg);
     Harness::new(t, HarnessConfig::default()).run(&mut lb)
 }
@@ -137,9 +139,11 @@ fn software_load_ordering() {
 fn no_transit_table_reintroduces_violations_under_stress() {
     // Slow the CPU so pending windows stretch; without the TransitTable the
     // update flips immediately and pending connections re-hash.
-    let mut cfg = SilkRoadConfig::default();
-    cfg.conn_capacity = 100_000;
-    cfg.transit_enabled = false;
+    let mut cfg = SilkRoadConfig {
+        conn_capacity: 100_000,
+        transit_enabled: false,
+        ..Default::default()
+    };
     cfg.cpu.insertions_per_sec = 2_000;
     cfg.learning.timeout = Duration::from_millis(5);
     let mut no_tt = SilkRoadAdapter::new(cfg.clone());

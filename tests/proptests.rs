@@ -202,7 +202,7 @@ proptest! {
                     }
                 }
                 SwitchOp::AdvanceMs(ms) => {
-                    t = t + Duration::from_millis(ms as u64);
+                    t += Duration::from_millis(ms as u64);
                     sw.advance(t);
                 }
                 SwitchOp::Update(is_add, d) => {
@@ -232,5 +232,42 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Deterministic replay of the counterexample proptest once shrank to
+/// (see `proptests.proptest-regressions`): two updates land back-to-back
+/// while a connection is still pending, then its data packets must keep
+/// resolving to the first DIP it was given. Kept as a plain test so the
+/// regression is exercised on every run, not only when proptest replays
+/// its seed file.
+#[test]
+fn pinned_counterexample_update_update_while_pending() {
+    // ops = [Update(false, 5), Packet(0), Update(true, 5),
+    //        Update(false, 1), Packet(11), AdvanceMs(2), Packet(11)]
+    let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
+    sw.add_vip(vip(), (1..=6).map(dip).collect()).unwrap();
+    let t0 = Nanos::ZERO;
+
+    sw.request_update(vip(), PoolUpdate::Remove(dip(6)), t0).unwrap();
+    let _ = sw.process_packet(&PacketMeta::syn(conn(0)), t0);
+    sw.request_update(vip(), PoolUpdate::Add(dip(6)), t0).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t0).unwrap();
+
+    let first = sw.process_packet(&PacketMeta::syn(conn(11)), t0);
+    let assigned = first.dip.expect("SYN must be assigned a DIP");
+
+    let t1 = t0 + Duration::from_millis(2);
+    sw.advance(t1);
+    let again = sw.process_packet(&PacketMeta::data(conn(11), 800), t1);
+    // dip(2)'s removal was requested before conn 11 arrived; if the switch
+    // assigned it anyway the connection is administratively dead and the
+    // PCC claim does not apply.
+    if assigned != dip(2) && !again.false_hit {
+        assert_eq!(
+            again.dip,
+            Some(assigned),
+            "PCC violated replaying the pinned counterexample"
+        );
     }
 }

@@ -38,9 +38,9 @@ fn update_storm_queues_and_completes() {
             sw.request_update(vip(), PoolUpdate::Remove(d), t).unwrap();
             sw.request_update(vip(), PoolUpdate::Add(d), t).unwrap();
         }
-        t = t + Duration::from_micros(200);
+        t += Duration::from_micros(200);
     }
-    t = t + Duration::from_secs(1);
+    t += Duration::from_secs(1);
     sw.advance(t);
     assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Idle));
     let s = sw.stats();
@@ -67,7 +67,7 @@ fn version_exhaustion_falls_back() {
         for i in 0..20 {
             sw.process_packet(&PacketMeta::syn(conn(round * 100 + i)), t);
         }
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
         sw.advance(t);
         let d = dip(1 + (round % 3) as u8);
         let op = if round % 2 == 0 {
@@ -76,7 +76,7 @@ fn version_exhaustion_falls_back() {
             PoolUpdate::Add(d)
         };
         sw.request_update(vip(), op, t).unwrap();
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
         sw.advance(t);
     }
     let s = sw.stats();
@@ -99,9 +99,9 @@ fn conn_table_overflow_spills_to_software() {
     let mut t = Nanos::ZERO;
     for i in 0..600u32 {
         sw.process_packet(&PacketMeta::syn(conn(i)), t);
-        t = t + Duration::from_micros(100);
+        t += Duration::from_micros(100);
     }
-    t = t + Duration::from_secs(1);
+    t += Duration::from_secs(1);
     sw.advance(t);
     let s = sw.stats();
     assert!(s.conn_table_overflows > 0, "{s}");
@@ -128,12 +128,12 @@ fn direct_dip_mode_full_protocol() {
     let mut assigned = Vec::new();
     for i in 0..100u32 {
         assigned.push(sw.process_packet(&PacketMeta::syn(conn(i)), t).dip.unwrap());
-        t = t + Duration::from_micros(100);
+        t += Duration::from_micros(100);
     }
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
     sw.request_update(vip(), PoolUpdate::Remove(dip(3)), t).unwrap();
-    t = t + Duration::from_millis(20);
+    t += Duration::from_millis(20);
     sw.advance(t);
     // Installed connections keep their stored DIP even after the version
     // that created them is gone.
@@ -157,7 +157,7 @@ fn updates_during_recording_and_draining_queue() {
     // Request another mid-flight: must queue, not corrupt the state machine.
     sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t).unwrap();
     assert_eq!(sw.stats().updates_queued, 1);
-    t = t + Duration::from_secs(2);
+    t += Duration::from_secs(2);
     sw.advance(t);
     assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Idle));
     assert_eq!(sw.stats().updates_completed, 2);
@@ -178,7 +178,7 @@ fn transit_table_stats_track_protocol() {
     for i in 100..130u32 {
         sw.process_packet(&PacketMeta::syn(conn(i)), t + Duration::from_micros(10));
     }
-    t = t + Duration::from_millis(50);
+    t += Duration::from_millis(50);
     sw.advance(t);
     let (recorded, _, _, size) = sw.transit_counters();
     assert!(recorded > 0, "step 1 never recorded");

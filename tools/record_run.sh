@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Record a reference `repro` run into EXPERIMENTS.md (replaces everything
 # after the "## Recorded quick-scale run" heading).
+#
+# JOBS=N overrides the worker count (default: all cores). Tables are
+# byte-identical for any JOBS value; only the wall-clock changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out=$(cargo run --release -p sr-bench --bin repro -- all)
+jobs="${JOBS:-$(nproc)}"
+out=$(cargo run --release -p sr-bench --bin repro -- all --jobs "$jobs")
 python3 - "$out" <<'PY'
 import sys, re
 out = sys.argv[1]
@@ -11,7 +15,7 @@ path = "EXPERIMENTS.md"
 text = open(path).read()
 marker = "## Recorded quick-scale run"
 head = text.split(marker)[0]
-block = f"{marker}\n\nRegenerate with `cargo run --release -p sr-bench --bin repro -- all`.\n\n```text\n{out}\n```\n"
+block = f"{marker}\n\nRegenerate with `cargo run --release -p sr-bench --bin repro -- all` (add `--jobs N` to bound the worker pool; output is identical).\n\n```text\n{out}\n```\n"
 open(path, "w").write(head + block)
 print("EXPERIMENTS.md updated")
 PY

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): release build, full test
+# suite, and a warning-free clippy pass over every workspace crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release
+
+echo "== tests"
+cargo test -q
+
+echo "== clippy (-D warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

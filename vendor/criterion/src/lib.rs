@@ -1,0 +1,305 @@
+//! Vendored, dependency-free stand-in for the `criterion` 0.5 API subset
+//! this workspace's benches use. The build environment has no registry
+//! access, so the workspace pins these path crates instead of crates.io.
+//!
+//! It is a real (if simple) benchmark runner: each target is warmed up,
+//! then timed over a fixed measurement window, and a mean-time-per-iteration
+//! line is printed. Statistical machinery (outlier analysis, HTML reports)
+//! is intentionally absent. Name filters passed on the command line are
+//! honoured so `cargo bench -- cuckoo` works.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched iteration sizes its batches. All variants behave the same
+/// here: one setup per timed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (recorded, used to print a
+/// rate next to the timing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let end = start + self.measurement_time;
+        let mut iters = 0u64;
+        while Instant::now() < end {
+            // Amortise the clock read over a small burst.
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` product per batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let window_start = Instant::now();
+        while window_start.elapsed() < self.measurement_time {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed += t0.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.elapsed = timed;
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// End the group (explicit in the real API; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this runner is time-budgeted, so the
+    /// sample count only scales the measurement window slightly.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        let n = n.max(10) as u64;
+        self.measurement_time = Duration::from_millis(250 + 10 * n);
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|flt| id.contains(flt.as_str())) {
+            return;
+        }
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{id:<40} (no iterations recorded)");
+            return;
+        }
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                format!("  {:>12.0} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                format!("  {:>12.0} B/s", per_sec)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<40} {:>12.1} ns/iter ({} iters){rate}",
+            ns_per_iter, b.iters_done
+        );
+    }
+}
+
+/// Define a benchmark group entry point, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        c.filters.clear();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.filters.clear();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        let mut total = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || 7u64,
+                |x| {
+                    total += x;
+                    black_box(total)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.filters = vec!["only-this".to_string()];
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            ran = true;
+            b.iter(|| black_box(1));
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,806 @@
+//! Vendored, dependency-free stand-in for the subset of `proptest` 1.x this
+//! workspace's property tests use. The build environment has no registry
+//! access, so the workspace pins these path crates instead of crates.io.
+//!
+//! What is kept: the [`proptest!`] macro (with `#![proptest_config(..)]`,
+//! `name in strategy` and `name: Type` parameters), `prop_assert*!`,
+//! weighted and unweighted [`prop_oneof!`], [`strategy::Strategy`] with
+//! `prop_map`, range/tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`] / [`collection::hash_set`], and
+//! [`sample::Index`]. Case seeds are derived deterministically from the
+//! source file and test name, and any `cc` entries in the sibling
+//! `*.proptest-regressions` file are absorbed as extra seeds.
+//!
+//! What is intentionally absent: shrinking. On failure the harness reports
+//! the generated inputs and the case seed instead of minimising them.
+
+pub mod strategy {
+    //! The strategy trait and combinators.
+
+    use crate::runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A generator of test values.
+    ///
+    /// Object-safe so heterogeneous [`prop_oneof!`](crate::prop_oneof) arms
+    /// can be boxed behind `dyn Strategy`.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone + Debug>(pub V);
+
+    impl<V: Clone + Debug> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies of one value type — what
+    /// [`prop_oneof!`](crate::prop_oneof) builds.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Build from `(weight, strategy)` arms; weights must not all be 0.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs a positive weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Box a strategy into a weighted [`Union`] arm (used by
+    /// [`prop_oneof!`](crate::prop_oneof) to unify heterogeneous arm types).
+    pub fn union_arm<V, S>(weight: u32, s: S) -> (u32, Box<dyn Strategy<Value = V>>)
+    where
+        V: Debug,
+        S: Strategy<Value = V> + 'static,
+    {
+        (weight, Box::new(s))
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical whole-domain strategy per type.
+
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+    use rand::RngCore;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Produce one uniformly-drawn value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_value(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::new(rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    /// An index into a collection whose length is unknown at generation
+    /// time: resolve with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Wrap a raw draw.
+        pub fn new(raw: u64) -> Index {
+            Index(raw)
+        }
+
+        /// Resolve against a collection of length `len` (> 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+
+    /// A size constraint for generated collections: `[min, max]` inclusive.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` of values from `element`, sized within `size` when the
+    /// element domain allows (draws are capped, so a tiny domain may yield
+    /// fewer than `min` elements — same caveat as upstream).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod runner {
+    //! Case scheduling, seeding, and failure reporting.
+
+    use std::path::{Path, PathBuf};
+
+    /// The RNG driving generation (re-exported so strategies can name it).
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The inputs were rejected (skipped, not failed).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Locate the source file on disk. `file!()` is workspace-root-relative
+    /// while tests run from the package directory, so walk `manifest_dir`
+    /// and its ancestors.
+    fn resolve_source(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+        let rel = Path::new(source_file);
+        if rel.is_absolute() {
+            return rel.exists().then(|| rel.to_path_buf());
+        }
+        let mut dir = Some(Path::new(manifest_dir));
+        while let Some(d) = dir {
+            let candidate = d.join(rel);
+            if candidate.exists() {
+                return Some(candidate);
+            }
+            dir = d.parent();
+        }
+        None
+    }
+
+    /// Extra seeds from a sibling `*.proptest-regressions` file. Each `cc`
+    /// line's digest is hashed into a seed so persisted counterexamples
+    /// keep being exercised (without upstream's generator, the original
+    /// inputs cannot be reconstructed byte-for-byte — known-failing inputs
+    /// should also be pinned as explicit regression tests).
+    fn regression_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+        let Some(src) = resolve_source(manifest_dir, source_file) else {
+            return Vec::new();
+        };
+        let reg = src.with_extension("proptest-regressions");
+        let Ok(contents) = std::fs::read_to_string(&reg) else {
+            return Vec::new();
+        };
+        contents
+            .lines()
+            .filter_map(|line| {
+                let mut it = line.split_whitespace();
+                (it.next() == Some("cc")).then(|| it.next()).flatten()
+            })
+            .map(|digest| fnv1a(digest.as_bytes()))
+            .collect()
+    }
+
+    /// The deterministic seed schedule for one test: persisted-regression
+    /// seeds first, then `cfg.cases` fresh seeds derived from the source
+    /// path and test name.
+    pub fn case_seeds(
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+        cfg: &ProptestConfig,
+    ) -> Vec<u64> {
+        let mut seeds = regression_seeds(manifest_dir, source_file);
+        let base = fnv1a(source_file.as_bytes()) ^ fnv1a(test_name.as_bytes()).rotate_left(17);
+        seeds.extend((0..cfg.cases as u64).map(|i| splitmix64(base.wrapping_add(i))));
+        seeds
+    }
+
+    /// Drive every case of one property test. `f` returns the formatted
+    /// inputs plus the (panic-caught) body outcome.
+    pub fn run_cases<F>(
+        cfg: ProptestConfig,
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+        f: F,
+    ) where
+        F: Fn(&mut TestRng) -> (String, std::thread::Result<Result<(), TestCaseError>>),
+    {
+        use rand::SeedableRng;
+        let seeds = case_seeds(manifest_dir, source_file, test_name, &cfg);
+        let total = seeds.len();
+        for (i, seed) in seeds.into_iter().enumerate() {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let (desc, outcome) = f(&mut rng);
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                    "[{test_name}] case {i}/{total} failed (seed {seed:#018x}): {msg}\n    \
+                     inputs: {desc}"
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "[{test_name}] case {i}/{total} panicked (seed {seed:#018x})\n    \
+                         inputs: {desc}"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::runner::{ProptestConfig, TestCaseError};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Module-style access (`prop::sample::Index` etc.).
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+/// Assert a condition inside a `proptest!` body (fails the case, with its
+/// inputs reported, rather than panicking bare).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm($weight as u32, $arm)),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $arm),+]
+    };
+}
+
+/// Define property tests. Supports `#![proptest_config(expr)]`, doc
+/// comments and attributes (including `#[test]`), and parameters in both
+/// `name in strategy` and `name: Type` forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ [$crate::runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run_cases(
+                $cfg,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng| $crate::__proptest_bind!(__rng, $body, $($params)*),
+            );
+        }
+        $crate::__proptest_items!{ [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    // Terminal: wrap the body, catching panics so inputs can be reported.
+    ($rng:ident, $body:block $(,)?) => {{
+        let __desc = ::std::string::String::new();
+        $crate::__proptest_finish!(__desc, $body)
+    }};
+    // `name in strategy` binding.
+    ($rng:ident, $body:block, $var:ident in $strat:expr, $($rest:tt)*) => {{
+        let $var = $crate::strategy::Strategy::generate(&($strat), $rng);
+        let mut __chunk = ::std::format!("{} = {:?}; ", stringify!($var), &$var);
+        let (__tail_desc, __outcome) = $crate::__proptest_bind!($rng, $body, $($rest)*);
+        __chunk.push_str(&__tail_desc);
+        (__chunk, __outcome)
+    }};
+    ($rng:ident, $body:block, $var:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $body, $var in $strat,)
+    };
+    // `name: Type` binding (the whole-domain strategy for the type).
+    ($rng:ident, $body:block, $var:ident : $ty:ty, $($rest:tt)*) => {{
+        let $var: $ty = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        let mut __chunk = ::std::format!("{} = {:?}; ", stringify!($var), &$var);
+        let (__tail_desc, __outcome) = $crate::__proptest_bind!($rng, $body, $($rest)*);
+        __chunk.push_str(&__tail_desc);
+        (__chunk, __outcome)
+    }};
+    ($rng:ident, $body:block, $var:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $body, $var: $ty,)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_finish {
+    ($desc:ident, $body:block) => {{
+        let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+            move || -> ::std::result::Result<(), $crate::runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        ));
+        ($desc, __outcome)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both binding forms, tuples, ranges, and collections.
+        #[test]
+        fn surface_smoke(
+            seed: u64,
+            flag: bool,
+            small in 0u8..6,
+            wide in 8usize..=32,
+            frac in 0.25f64..0.75,
+            pair in (any::<u16>(), 1u32..10),
+            keys in crate::collection::vec(any::<u32>(), 1..20),
+            set in crate::collection::hash_set(any::<u64>(), 2..9),
+            pick in any::<crate::sample::Index>(),
+        ) {
+            let _ = seed;
+            let _ = flag;
+            prop_assert!(small < 6);
+            prop_assert!((8..=32).contains(&wide));
+            prop_assert!((0.25..0.75).contains(&frac));
+            prop_assert!(pair.1 >= 1 && pair.1 < 10);
+            prop_assert!(!keys.is_empty() && keys.len() < 20);
+            prop_assert!(!set.is_empty());
+            prop_assert!(pick.index(keys.len()) < keys.len());
+            prop_assert_eq!(small as usize + 1, small as usize + 1, "ctx {}", small);
+            prop_assert_ne!(wide, 0);
+        }
+
+        #[test]
+        fn oneof_weighted_and_not(choice in sample_op(), n in 1u32..5) {
+            let tag = match choice {
+                Op::A(_) => 0,
+                Op::B => 1,
+            };
+            prop_assert!(tag <= 1);
+            prop_assert!(n >= 1);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        A(u8),
+        B,
+    }
+
+    fn sample_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u8..10).prop_map(Op::A),
+            1 => (0u8..1).prop_map(|_| Op::B),
+        ]
+    }
+
+    #[test]
+    fn unweighted_oneof_parses() {
+        use crate::runner::TestRng;
+        use rand::SeedableRng;
+        let s = prop_oneof![(0u8..3).prop_map(Op::A), (0u8..1).prop_map(|_| Op::B)];
+        let mut rng = TestRng::seed_from_u64(1);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Op::A(v) => {
+                    assert!(v < 3);
+                    saw_a = true;
+                }
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_absorb_regressions() {
+        let cfg = ProptestConfig::with_cases(8);
+        let a = crate::runner::case_seeds(env!("CARGO_MANIFEST_DIR"), file!(), "t", &cfg);
+        let b = crate::runner::case_seeds(env!("CARGO_MANIFEST_DIR"), file!(), "t", &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8); // no regressions file for this source
+        let other = crate::runner::case_seeds(env!("CARGO_MANIFEST_DIR"), file!(), "u", &cfg);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::runner::run_cases(
+                ProptestConfig::with_cases(4),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                "always_fails",
+                |__rng| {
+                    crate::__proptest_bind!(__rng, { prop_assert!(false, "boom"); }, x in 0u8..4,)
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("x = "), "{msg}");
+    }
+}
