@@ -121,6 +121,76 @@ impl<V: Clone> ExactMatchTable<V> {
         self.inner.lookup(key)
     }
 
+    /// [`ExactMatchTable::lookup`] from precomputed hashes (the hash-once
+    /// packet path): `stage_hashes[i]` is `stage_fns()[i]` over the key,
+    /// `match_hash` is `match_fn()` over the key.
+    pub fn lookup_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<LookupHit<'_, V>> {
+        self.inner.lookup_pre(key, stage_hashes, match_hash)
+    }
+
+    /// Data-plane lookup that sets the entry's hit bit on an exact match.
+    pub fn lookup_marking(&mut self, key: &[u8]) -> Option<LookupHit<'_, V>> {
+        self.inner.lookup_marking(key)
+    }
+
+    /// Warm the match-field words a prehashed probe will read (pure loads,
+    /// no side effects) — see [`CuckooTable::prefetch_words_pre`].
+    pub fn prefetch_words_pre(&self, stage_hashes: &[u64]) {
+        self.inner.prefetch_words_pre(stage_hashes);
+    }
+
+    /// Warm the entry a prehashed probe would dereference — see
+    /// [`CuckooTable::prefetch_entry_pre`].
+    pub fn prefetch_entry_pre(&self, stage_hashes: &[u64], match_hash: u64) {
+        self.inner.prefetch_entry_pre(stage_hashes, match_hash);
+    }
+
+    /// [`ExactMatchTable::lookup_marking`] from precomputed hashes.
+    pub fn lookup_marking_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<LookupHit<'_, V>> {
+        self.inner.lookup_marking_pre(key, stage_hashes, match_hash)
+    }
+
+    /// The table's layout generation — see [`CuckooTable::epoch`].
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// First half of a split probe — see [`CuckooTable::locate_pre`].
+    pub fn locate_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<(u32, u32)> {
+        self.inner.locate_pre(key, stage_hashes, match_hash)
+    }
+
+    /// Second half of a split probe — see
+    /// [`CuckooTable::lookup_marking_at`].
+    pub fn lookup_marking_at(&mut self, stage: u32, slot: u32, key: &[u8]) -> LookupHit<'_, V> {
+        self.inner.lookup_marking_at(stage, slot, key)
+    }
+
+    /// Per-stage bucket-hash functions (for assembling a hash-once list).
+    pub fn stage_fns(&self) -> &[sr_hash::HashFn] {
+        self.inner.stage_fns()
+    }
+
+    /// The match-field hash function (shared digest hash or fingerprint).
+    pub fn match_fn(&self) -> sr_hash::HashFn {
+        self.inner.match_fn()
+    }
+
     /// Software-path exact lookup with mutation.
     pub fn lookup_exact_mut(&mut self, key: &[u8]) -> Option<&mut V> {
         self.inner.lookup_exact_mut(key)
@@ -149,6 +219,15 @@ impl<V: Clone> ExactMatchTable<V> {
     /// Expiry scan: drop entries failing the predicate.
     pub fn retain<F: FnMut(&[u8], &V) -> bool>(&mut self, pred: F) -> Vec<(Box<[u8]>, V)> {
         self.inner.retain(pred)
+    }
+
+    /// Clock-algorithm aging sweep over per-entry hit bits: survivors get
+    /// their bit cleared, non-survivors are removed and returned.
+    pub fn retain_hits<F: FnMut(&[u8], &V, bool) -> bool>(
+        &mut self,
+        pred: F,
+    ) -> Vec<(Box<[u8]>, V)> {
+        self.inner.retain_hits(pred)
     }
 
     /// Cumulative BFS move count.

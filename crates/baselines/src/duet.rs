@@ -162,12 +162,12 @@ impl DuetLb {
 
     /// Process one packet.
     pub fn process_packet(&mut self, pkt: &PacketMeta, _now: Nanos) -> Option<Dip> {
-        let key = pkt.tuple.key_bytes();
+        let key = pkt.tuple.tuple_key();
         let v = self.vips.get_mut(&pkt.tuple.dst)?;
         if !v.redirected {
             self.stats.switch_packets += 1;
             self.stats.switch_bytes += pkt.len as u64;
-            return Self::select(&self.hash, &key, &v.switch_pool);
+            return Self::select(&self.hash, key.as_slice(), &v.switch_pool);
         }
         // SLB path.
         self.stats.slb_packets += 1;
@@ -182,8 +182,8 @@ impl DuetLb {
         } else {
             &v.switch_pool
         };
-        let dip = Self::select(&self.hash, &key, pool)?;
-        v.conns.insert(key.into(), dip);
+        let dip = Self::select(&self.hash, key.as_slice(), pool)?;
+        v.conns.insert(key.as_slice().into(), dip);
         Some(dip)
     }
 

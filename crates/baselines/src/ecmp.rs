@@ -53,7 +53,7 @@ impl EcmpLb {
     pub fn process_packet(&mut self, pkt: &PacketMeta) -> Option<Dip> {
         self.packets += 1;
         let pool = self.vips.get(&pkt.tuple.dst)?;
-        ecmp_select(self.hash.hash(&pkt.tuple.key_bytes()), pool.len()).map(|i| pool[i])
+        ecmp_select(self.hash.hash(pkt.tuple.tuple_key().as_slice()), pool.len()).map(|i| pool[i])
     }
 }
 

@@ -124,14 +124,14 @@ impl SoftwareLb {
     pub fn process_packet(&mut self, pkt: &PacketMeta, _now: Nanos) -> Option<Dip> {
         self.stats.packets += 1;
         self.stats.bytes += pkt.len as u64;
-        let key = pkt.tuple.key_bytes();
+        let key = pkt.tuple.tuple_key();
         if let Some(d) = self.conn_table.get(key.as_slice()) {
             return Some(*d);
         }
         let pool = self.vips.get(&pkt.tuple.dst)?;
-        let idx = pool.maglev.select(&key)?;
+        let idx = pool.maglev.select(key.as_slice())?;
         let dip = pool.dips[idx];
-        self.conn_table.insert(key.into(), dip);
+        self.conn_table.insert(key.as_slice().into(), dip);
         self.stats.connections += 1;
         Some(dip)
     }

@@ -9,7 +9,7 @@
 use crate::config::{ConnMapping, SilkRoadConfig};
 use sr_asic::table::{ExactMatchTable, MatchMode, TableSpec};
 use sr_hash::cuckoo::{CuckooError, InsertOutcome, LookupHit};
-use sr_types::{Dip, Nanos, PoolVersion, Vip};
+use sr_types::{Dip, Nanos, PoolVersion, TupleKey, Vip};
 
 /// Value stored per connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,9 +30,6 @@ pub struct ConnValue {
 pub struct ConnTable {
     table: ExactMatchTable<ConnValue>,
     mapping: ConnMapping,
-    /// Keys exact-hit since the last aging scan — the model of the per-entry
-    /// *hit bit* real exact-match tables provide for idle aging.
-    hit_marks: std::collections::HashSet<Box<[u8]>>,
     /// When the last aging scan ran.
     last_scan: Nanos,
 }
@@ -68,7 +65,6 @@ impl ConnTable {
                 cfg.seed ^ 0xc0_44,
             ),
             mapping: cfg.mapping,
-            hit_marks: std::collections::HashSet::new(),
             last_scan: Nanos::ZERO,
         }
     }
@@ -85,15 +81,92 @@ impl ConnTable {
 
     /// ASIC lookup that also sets the entry's hit bit on an exact match
     /// (the data-plane path; plain `lookup` is for software inspection).
-    pub fn lookup_marking(&mut self, key: &[u8]) -> Option<(ConnValue, bool, Vec<u8>)> {
-        let (value, exact, resident) = {
-            let hit = self.table.lookup(key)?;
-            (*hit.value, hit.exact, hit.resident_key.to_vec())
+    ///
+    /// Returns `(value, exact, resident)` where `resident` carries the
+    /// resident entry's key *only on a false hit* (the repair path needs it
+    /// to relocate the resident); exact hits allocate nothing.
+    pub fn lookup_marking(&mut self, key: &[u8]) -> Option<(ConnValue, bool, Option<TupleKey>)> {
+        let hit = self.table.lookup_marking(key)?;
+        let resident = if hit.exact {
+            None
+        } else {
+            Some(TupleKey::from_bytes(hit.resident_key))
         };
-        if exact {
-            self.hit_marks.insert(key.into());
-        }
-        Some((value, exact, resident))
+        Some((*hit.value, hit.exact, resident))
+    }
+
+    /// [`ConnTable::lookup_marking`] from precomputed hashes (the hash-once
+    /// packet path): `stage_hashes[i]` is `stage_fns()[i]` over the key,
+    /// `match_hash` is `match_fn()` over the key.
+    pub fn lookup_marking_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<(ConnValue, bool, Option<TupleKey>)> {
+        let hit = self.table.lookup_marking_pre(key, stage_hashes, match_hash)?;
+        let resident = if hit.exact {
+            None
+        } else {
+            Some(TupleKey::from_bytes(hit.resident_key))
+        };
+        Some((*hit.value, hit.exact, resident))
+    }
+
+    /// Warm the cache lines a prehashed lookup will touch: the per-stage
+    /// match-field words, then (optionally) the candidate entry itself.
+    /// Plain reads with no side effects — the batch path issues these a few
+    /// packets ahead so the probes' random-access misses overlap.
+    pub fn prefetch_words(&self, stage_hashes: &[u64]) {
+        self.table.prefetch_words_pre(stage_hashes);
+    }
+
+    /// Warm the entry a prehashed lookup would dereference (run after
+    /// [`ConnTable::prefetch_words`] has had time to land).
+    pub fn prefetch_entry(&self, stage_hashes: &[u64], match_hash: u64) {
+        self.table.prefetch_entry_pre(stage_hashes, match_hash);
+    }
+
+    /// The table's layout generation: coordinates from [`ConnTable::locate`]
+    /// are valid only while this is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// First half of a split marking lookup: the `(stage, slot)` a prehashed
+    /// probe would hit, with the entry's cache line already warming. No side
+    /// effects; resolve with [`ConnTable::lookup_marking_at`] while the
+    /// epoch is unchanged.
+    pub fn locate(&self, key: &[u8], stage_hashes: &[u64], match_hash: u64) -> Option<(u32, u32)> {
+        self.table.locate_pre(key, stage_hashes, match_hash)
+    }
+
+    /// Second half of a split marking lookup — same result and side effects
+    /// (hit bit on exact match) as [`ConnTable::lookup_marking_pre`] at the
+    /// located coordinates.
+    pub fn lookup_marking_at(
+        &mut self,
+        stage: u32,
+        slot: u32,
+        key: &[u8],
+    ) -> (ConnValue, bool, Option<TupleKey>) {
+        let hit = self.table.lookup_marking_at(stage, slot, key);
+        let resident = if hit.exact {
+            None
+        } else {
+            Some(TupleKey::from_bytes(hit.resident_key))
+        };
+        (*hit.value, hit.exact, resident)
+    }
+
+    /// Per-stage bucket-hash functions (for assembling a hash-once list).
+    pub fn stage_fns(&self) -> &[sr_hash::HashFn] {
+        self.table.stage_fns()
+    }
+
+    /// The match-field hash function (shared digest hash or fingerprint).
+    pub fn match_fn(&self) -> sr_hash::HashFn {
+        self.table.match_fn()
     }
 
     /// Idle aging (clock algorithm): expire every entry that was installed
@@ -101,10 +174,9 @@ impl ConnTable {
     /// the expired entries; resets the hit bits.
     pub fn aging_scan(&mut self, now: Nanos) -> Vec<(Box<[u8]>, ConnValue)> {
         let cutoff = self.last_scan;
-        let marks = std::mem::take(&mut self.hit_marks);
         let expired = self
             .table
-            .retain(|k, v| v.arrived >= cutoff || marks.contains(k));
+            .retain_hits(|_, v, hit| v.arrived >= cutoff || hit);
         self.last_scan = now;
         expired
     }
@@ -121,7 +193,6 @@ impl ConnTable {
 
     /// Remove an entry on connection close/expiry.
     pub fn remove(&mut self, key: &[u8]) -> Result<ConnValue, CuckooError> {
-        self.hit_marks.remove(key);
         self.table.remove(key)
     }
 

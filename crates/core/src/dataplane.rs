@@ -1,9 +1,140 @@
-//! Data-plane result types.
+//! Data-plane result types and the hash-once key pipeline.
 //!
 //! The per-packet pipeline itself lives in [`crate::switch`] (it needs
-//! mutable access to every table); this module defines what it returns.
+//! mutable access to every table); this module defines what it returns,
+//! plus the [`KeyHasher`]/[`HashedKey`] pair that lets the switch hash a
+//! packet's 5-tuple key exactly once and derive every table's hash values
+//! from that single pass.
 
-use sr_types::{Dip, PoolVersion};
+use sr_hash::{hash_all, HashFn};
+use sr_types::{Dip, FiveTuple, PoolVersion, TupleKey};
+
+/// Upper bound on the hash functions the packet path evaluates *eagerly*
+/// (ConnTable stages + digest + ECMP select). The paper's switch uses
+/// 4 + 1 + 1; the bound is kept tight because [`HashedKey`] lives on the
+/// hot path's stack.
+pub const MAX_PACKET_HASHES: usize = 8;
+
+/// Upper bound on the TransitTable bloom ways hashed lazily on the miss
+/// path (the paper uses 4).
+pub const MAX_BLOOM_HASHES: usize = 8;
+
+/// The switch's per-packet hash-function list, split by when each value is
+/// needed. The eager list — ConnTable stage bucket hashes, the ConnTable
+/// match-field (digest) hash, the ECMP select hash — is everything a
+/// steady-state ConnTable hit consumes; [`KeyHasher::hash_tuple`] evaluates
+/// it in one multi-accumulator pass per packet ([`sr_hash::hash_all`]).
+/// The TransitTable bloom hashes are only read on the VIPTable miss path,
+/// so [`KeyHasher::bloom_hashes`] computes them on demand there and hit
+/// packets never pay for them.
+///
+/// Both passes are bit-identical to calling each `HashFn` separately — so
+/// every experiment number is unchanged by the hash-once path.
+pub struct KeyHasher {
+    fns: Vec<HashFn>,
+    bloom_fns: Vec<HashFn>,
+    conn_stages: usize,
+}
+
+impl KeyHasher {
+    /// Assemble the layout. Panics if either function count exceeds its
+    /// bound ([`MAX_PACKET_HASHES`] / [`MAX_BLOOM_HASHES`] — far beyond any
+    /// paper configuration).
+    pub fn new(conn_stage_fns: &[HashFn], conn_match_fn: HashFn, select_fn: HashFn, bloom_fns: &[HashFn]) -> KeyHasher {
+        let mut fns = Vec::with_capacity(conn_stage_fns.len() + 2);
+        fns.extend_from_slice(conn_stage_fns);
+        fns.push(conn_match_fn);
+        fns.push(select_fn);
+        assert!(
+            fns.len() <= MAX_PACKET_HASHES,
+            "packet path needs {} eager hash functions; MAX_PACKET_HASHES is {}",
+            fns.len(),
+            MAX_PACKET_HASHES
+        );
+        assert!(
+            bloom_fns.len() <= MAX_BLOOM_HASHES,
+            "miss path needs {} bloom hash functions; MAX_BLOOM_HASHES is {}",
+            bloom_fns.len(),
+            MAX_BLOOM_HASHES
+        );
+        KeyHasher {
+            fns,
+            bloom_fns: bloom_fns.to_vec(),
+            conn_stages: conn_stage_fns.len(),
+        }
+    }
+
+    /// Encode the tuple's inline key and evaluate every eager hash function
+    /// over it in one pass. No heap allocation.
+    pub fn hash_tuple(&self, tuple: &FiveTuple) -> HashedKey {
+        let key = tuple.tuple_key();
+        let mut vals = [0u64; MAX_PACKET_HASHES];
+        hash_all(&self.fns, key.as_slice(), &mut vals[..self.fns.len()]);
+        HashedKey {
+            key,
+            vals,
+            conn_stages: self.conn_stages as u8,
+        }
+    }
+
+    /// Evaluate the TransitTable bloom hashes over an already-encoded key —
+    /// the miss path's lazy second pass. Bit-identical to running each
+    /// bloom `HashFn` standalone; no heap allocation.
+    pub fn bloom_hashes(&self, key: &TupleKey) -> BloomHashes {
+        let mut vals = [0u64; MAX_BLOOM_HASHES];
+        hash_all(&self.bloom_fns, key.as_slice(), &mut vals[..self.bloom_fns.len()]);
+        BloomHashes {
+            vals,
+            n: self.bloom_fns.len() as u8,
+        }
+    }
+}
+
+/// One packet key plus the precomputed outputs of the eager
+/// [`KeyHasher`] layout over it.
+#[derive(Clone, Copy)]
+pub struct HashedKey {
+    key: TupleKey,
+    vals: [u64; MAX_PACKET_HASHES],
+    conn_stages: u8,
+}
+
+impl HashedKey {
+    /// The inline key bytes.
+    pub fn key(&self) -> &TupleKey {
+        &self.key
+    }
+
+    /// Per-stage ConnTable bucket hashes.
+    pub fn conn_stage_hashes(&self) -> &[u64] {
+        &self.vals[..self.conn_stages as usize]
+    }
+
+    /// The ConnTable match-field (digest) hash.
+    pub fn conn_match_hash(&self) -> u64 {
+        self.vals[self.conn_stages as usize]
+    }
+
+    /// The ECMP/DIP-select hash.
+    pub fn select_hash(&self) -> u64 {
+        self.vals[self.conn_stages as usize + 1]
+    }
+}
+
+/// The miss path's lazily computed TransitTable bloom hashes
+/// ([`KeyHasher::bloom_hashes`]).
+#[derive(Clone, Copy)]
+pub struct BloomHashes {
+    vals: [u64; MAX_BLOOM_HASHES],
+    n: u8,
+}
+
+impl BloomHashes {
+    /// One output per configured bloom way.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.vals[..self.n as usize]
+    }
+}
 
 /// Which path a packet took through the switch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

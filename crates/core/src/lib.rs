@@ -66,7 +66,7 @@ pub mod version;
 pub mod vip_table;
 
 pub use config::{ConnMapping, SilkRoadConfig};
-pub use dataplane::{DataPath, ForwardDecision};
+pub use dataplane::{BloomHashes, DataPath, ForwardDecision, HashedKey, KeyHasher};
 pub use health::{HealthChecker, HealthConfig, HealthEvent};
 pub use pool::{DipPool, PoolUpdate};
 pub use stats::SwitchStats;

@@ -10,7 +10,7 @@
 
 use sr_hash::{ecmp_select, HashFn};
 use sr_types::{Dip, FiveTuple, PoolVersion, Vip};
-use std::collections::HashMap;
+use sr_hash::FxHashMap;
 
 /// One operator-requested DIP-pool change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,7 +55,13 @@ impl DipPool {
 
     /// Select the DIP for a connection by positional hashing.
     pub fn select(&self, tuple: &FiveTuple, hasher: &HashFn) -> Option<Dip> {
-        let idx = ecmp_select(hasher.hash(&tuple.key_bytes()), self.members.len())?;
+        self.select_hashed(hasher.hash(tuple.tuple_key().as_slice()))
+    }
+
+    /// [`DipPool::select`] from an already-computed select hash (the
+    /// hash-once packet path).
+    pub fn select_hashed(&self, hash: u64) -> Option<Dip> {
+        let idx = ecmp_select(hash, self.members.len())?;
         Some(self.members[idx])
     }
 
@@ -115,7 +121,7 @@ impl DipPool {
 /// their lifecycle.
 #[derive(Default, Debug)]
 pub struct DipPoolTable {
-    pools: HashMap<(Vip, PoolVersion), DipPool>,
+    pools: FxHashMap<(Vip, PoolVersion), DipPool>,
 }
 
 impl DipPoolTable {

@@ -1,9 +1,11 @@
 //! Switch-level statistics counters.
 
+use sr_types::Vip;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Counters exported by a [`crate::SilkRoadSwitch`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SwitchStats {
     /// Packets processed.
     pub packets: u64,
@@ -48,6 +50,16 @@ pub struct SwitchStats {
     pub idle_expired: u64,
     /// Packets dropped by per-VIP meters (DDoS/flash-crowd policing).
     pub metered_drops: u64,
+    /// Live fallback-pinned connections per VIP (which VIPs are paying the
+    /// software-path cost; entries are removed when their count hits 0).
+    pub fallback_pins_by_vip: HashMap<Vip, u64>,
+}
+
+impl SwitchStats {
+    /// Live fallback-pinned connections for one VIP.
+    pub fn fallback_pins(&self, vip: Vip) -> u64 {
+        self.fallback_pins_by_vip.get(&vip).copied().unwrap_or(0)
+    }
 }
 
 impl fmt::Display for SwitchStats {

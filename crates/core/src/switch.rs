@@ -17,7 +17,7 @@
 use crate::config::{ConnMapping, SilkRoadConfig};
 use crate::conn_table::{ConnTable, ConnValue};
 use crate::control::{CompletedInstall, ControlPlane, LearnMeta};
-use crate::dataplane::{DataPath, ForwardDecision};
+use crate::dataplane::{DataPath, ForwardDecision, HashedKey, KeyHasher};
 use crate::memory::MemoryBreakdown;
 use crate::pool::PoolUpdate;
 use crate::stats::SwitchStats;
@@ -27,9 +27,8 @@ use crate::version::VersionManager;
 use crate::vip_table::{VersionView, VipTable};
 use sr_asic::{Meter, MeterColor, MeterConfig};
 use sr_hash::cuckoo::CuckooError;
-use sr_hash::HashFn;
-use sr_types::{Dip, FiveTuple, Nanos, PacketMeta, PoolVersion, TypeError, Vip};
-use std::collections::HashMap;
+use sr_hash::{FxHashMap, HashFn};
+use sr_types::{Dip, FiveTuple, Nanos, PacketMeta, PoolVersion, TupleKey, TypeError, Vip};
 
 /// Per-VIP control-plane state.
 struct VipState {
@@ -40,7 +39,7 @@ struct VipState {
 /// A fallback-table connection: pinned directly to a DIP, with the same
 /// hit-bit bookkeeping the ConnTable keeps so idle aging covers it too.
 struct FallbackConn {
-    #[allow(dead_code)] // diagnostic: which VIP the pin belongs to
+    /// Which VIP the pin belongs to (per-VIP pin accounting).
     vip: Vip,
     dip: Dip,
     /// When the connection entered the fallback table.
@@ -49,23 +48,46 @@ struct FallbackConn {
     hit: bool,
 }
 
+/// Inline member bound for [`ResolveMemo`] — covers the pool sizes the
+/// experiments sweep; larger pools just skip the memo.
+const MEMO_DIPS: usize = 16;
+
+/// One-entry DIP-resolve memo: the members of the last `(vip, version)`
+/// pool consulted by the hit path, copied inline. The ASIC resolves a
+/// ConnTable value with a single indexed read of the versioned pool
+/// registers; this memo plays that role in the model, sparing the two map
+/// probes (VIP state, then pool) per steady-state hit. Pools are immutable
+/// between control-plane events, and every packet entry point runs
+/// [`SilkRoadSwitch::advance`] first — clearing the memo there means it
+/// can never survive a control-plane mutation.
+struct ResolveMemo {
+    vip: Vip,
+    version: PoolVersion,
+    len: u8,
+    dips: [Dip; MEMO_DIPS],
+}
+
 /// A SilkRoad switch instance.
 pub struct SilkRoadSwitch {
     cfg: SilkRoadConfig,
-    /// Hash used to select a DIP within a versioned pool (one generic hash
-    /// unit, shared by every VIP).
-    select_hash: HashFn,
+    /// Every hash function the packet path consumes, evaluated in one pass
+    /// per packet (bucket hashes, digest, ECMP select, bloom indexes).
+    hasher: KeyHasher,
     vip_table: VipTable,
-    vips: HashMap<Vip, VipState>,
+    vips: FxHashMap<Vip, VipState>,
     conn_table: ConnTable,
     transit: TransitTable,
     control: ControlPlane,
     /// Software fallback table: connections that could not live in
     /// ConnTable (overflow, version exhaustion) pinned directly to a DIP.
-    fallback: HashMap<Box<[u8]>, FallbackConn>,
+    /// Keyed by the inline tuple key so steady-state probes allocate
+    /// nothing.
+    fallback: FxHashMap<TupleKey, FallbackConn>,
     /// Per-VIP rate limiters (§5.2 performance isolation): red-marked
     /// packets are dropped before any table lookup.
-    meters: HashMap<Vip, Meter>,
+    meters: FxHashMap<Vip, Meter>,
+    /// See [`ResolveMemo`]. Cleared by [`SilkRoadSwitch::advance`].
+    resolve_memo: Option<ResolveMemo>,
     stats: SwitchStats,
 }
 
@@ -74,22 +96,50 @@ impl SilkRoadSwitch {
     /// graceful handling).
     pub fn new(cfg: SilkRoadConfig) -> SilkRoadSwitch {
         cfg.validate().expect("invalid SilkRoadConfig");
+        // The DIP-select hash: one generic hash unit, shared by every VIP.
+        let select_hash = HashFn::new(cfg.seed ^ 0x5e1ec7);
+        let conn_table = ConnTable::new(&cfg);
+        let transit = TransitTable::new(
+            cfg.transit_bytes,
+            cfg.transit_hashes,
+            cfg.seed,
+            cfg.transit_enabled,
+        );
+        let hasher = KeyHasher::new(
+            conn_table.stage_fns(),
+            conn_table.match_fn(),
+            select_hash,
+            transit.hash_fns(),
+        );
         SilkRoadSwitch {
-            select_hash: HashFn::new(cfg.seed ^ 0x5e1ec7),
+            hasher,
             vip_table: VipTable::new(),
-            vips: HashMap::new(),
-            conn_table: ConnTable::new(&cfg),
-            transit: TransitTable::new(
-                cfg.transit_bytes,
-                cfg.transit_hashes,
-                cfg.seed,
-                cfg.transit_enabled,
-            ),
+            vips: FxHashMap::default(),
+            conn_table,
+            transit,
             control: ControlPlane::new(cfg.learning, cfg.cpu),
-            fallback: HashMap::new(),
-            meters: HashMap::new(),
+            fallback: FxHashMap::default(),
+            meters: FxHashMap::default(),
+            resolve_memo: None,
             stats: SwitchStats::default(),
             cfg,
+        }
+    }
+
+    /// Record a new fallback pin in the stats (global + per-VIP).
+    fn note_fallback_insert(stats: &mut SwitchStats, vip: Vip) {
+        stats.fallback_entries += 1;
+        *stats.fallback_pins_by_vip.entry(vip).or_insert(0) += 1;
+    }
+
+    /// Record a fallback pin going away (close or idle expiry).
+    fn note_fallback_remove(stats: &mut SwitchStats, vip: Vip) {
+        stats.fallback_entries = stats.fallback_entries.saturating_sub(1);
+        if let Some(n) = stats.fallback_pins_by_vip.get_mut(&vip) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                stats.fallback_pins_by_vip.remove(&vip);
+            }
         }
     }
 
@@ -231,6 +281,9 @@ impl SilkRoadSwitch {
 
     /// Run the control plane up to `now` (inclusive), in event order.
     pub fn advance(&mut self, now: Nanos) {
+        // Any control-plane activity may edit pools; drop the resolve memo
+        // before it can be consulted again.
+        self.resolve_memo = None;
         while let Some(t) = self.control.next_wakeup() {
             if t > now {
                 break;
@@ -246,53 +299,226 @@ impl SilkRoadSwitch {
     /// Process one packet at `now`.
     pub fn process_packet(&mut self, pkt: &PacketMeta, now: Nanos) -> ForwardDecision {
         self.advance(now);
+        self.process_packet_inner(pkt, now)
+    }
+
+    /// Process a batch of packets sharing one timestamp. The control plane
+    /// advances once for the whole batch instead of per packet — the
+    /// line-rate entry point for the simulator and benchmarks.
+    pub fn process_batch(&mut self, pkts: &[PacketMeta], now: Nanos) -> Vec<ForwardDecision> {
+        let mut out = Vec::with_capacity(pkts.len());
+        self.process_batch_into(pkts, now, &mut out);
+        out
+    }
+
+    /// [`SilkRoadSwitch::process_batch`] appending into a caller-owned
+    /// buffer, so a driver can recycle one allocation across batches.
+    ///
+    /// Packets run in three passes per small chunk: hash every key (pure
+    /// compute), locate every packet's ConnTable slot (match-field plane
+    /// only, leaving each winning entry's cache-line load in flight), then
+    /// run the real pipeline, resolving the located slots. Splitting the
+    /// probe this way overlaps the per-packet chain of dependent random
+    /// reads across the chunk. The first two passes have no side effects,
+    /// and located coordinates are reused only while the ConnTable's layout
+    /// epoch is unchanged (a mid-chunk SYN repair relocates entries; the
+    /// rest of that chunk falls back to the fused probe) — so results and
+    /// stats are identical to the per-packet path, packet for packet.
+    pub fn process_batch_into(
+        &mut self,
+        pkts: &[PacketMeta],
+        now: Nanos,
+        out: &mut Vec<ForwardDecision>,
+    ) {
+        /// Chunk length: enough split probes in flight to overlap their
+        /// entry loads without spilling the chunk's [`HashedKey`]s out of
+        /// L1.
+        const CHUNK: usize = 8;
+        self.advance(now);
+        out.reserve(pkts.len());
+        let mut chunks = pkts.chunks_exact(CHUNK);
+        for chunk in chunks.by_ref() {
+            // Pass 1: hash every key in the chunk.
+            let hashed: [HashedKey; CHUNK] =
+                std::array::from_fn(|i| self.hasher.hash_tuple(&chunk[i].tuple));
+            // Pass 2: locate every packet's candidate ConnTable slot.
+            let epoch = self.conn_table.epoch();
+            let located: [Option<(u32, u32)>; CHUNK] = std::array::from_fn(|i| {
+                let h = &hashed[i];
+                self.conn_table
+                    .locate(h.key().as_slice(), h.conn_stage_hashes(), h.conn_match_hash())
+            });
+            // Pass 3: the real pipeline, resolving warm slots.
+            for (i, pkt) in chunk.iter().enumerate() {
+                let d = if self.conn_table.epoch() == epoch {
+                    self.process_packet_located(pkt, &hashed[i], located[i], now)
+                } else {
+                    self.process_packet_hashed(pkt, &hashed[i], now)
+                };
+                out.push(d);
+            }
+        }
+        for pkt in chunks.remainder() {
+            out.push(self.process_packet_inner(pkt, now));
+        }
+    }
+
+    /// The per-packet pipeline, after the control plane has advanced.
+    /// Steady-state ConnTable hits allocate nothing: the key lives inline
+    /// on the stack and every hash is derived from one pass over it.
+    fn process_packet_inner(&mut self, pkt: &PacketMeta, now: Nanos) -> ForwardDecision {
+        match self.admit(pkt, now) {
+            Ok(view) => {
+                // Hash once; every table downstream consumes precomputed
+                // values.
+                let hashed = self.hasher.hash_tuple(&pkt.tuple);
+                self.dispatch(pkt, view, &hashed, now)
+            }
+            Err(d) => d,
+        }
+    }
+
+    /// [`SilkRoadSwitch::process_packet_inner`] with the key hashes already
+    /// computed (the batch pipeline hashes in its warm-up pass).
+    #[inline]
+    fn process_packet_hashed(
+        &mut self,
+        pkt: &PacketMeta,
+        hashed: &HashedKey,
+        now: Nanos,
+    ) -> ForwardDecision {
+        match self.admit(pkt, now) {
+            Ok(view) => self.dispatch(pkt, view, hashed, now),
+            Err(d) => d,
+        }
+    }
+
+    /// [`SilkRoadSwitch::process_packet_hashed`] with the ConnTable slot
+    /// already located by the batch pipeline's locate pass. `located` is
+    /// only consulted for admitted packets, matching the fused path's
+    /// behaviour of not probing for dropped or non-VIP traffic.
+    #[inline]
+    fn process_packet_located(
+        &mut self,
+        pkt: &PacketMeta,
+        hashed: &HashedKey,
+        located: Option<(u32, u32)>,
+        now: Nanos,
+    ) -> ForwardDecision {
+        match self.admit(pkt, now) {
+            Ok(view) => {
+                if let Some((stage, slot)) = located {
+                    let (value, exact, resident) =
+                        self.conn_table
+                            .lookup_marking_at(stage, slot, hashed.key().as_slice());
+                    return self.on_conn_hit(pkt, view, hashed, value, exact, resident, now);
+                }
+                self.post_conn(pkt, view, hashed, now)
+            }
+            Err(d) => d,
+        }
+    }
+
+    /// The pre-hash front of the pipeline: VIP-table admission and per-VIP
+    /// policing. `Err` carries the early decision for non-VIP or red-marked
+    /// packets.
+    #[inline]
+    fn admit(&mut self, pkt: &PacketMeta, now: Nanos) -> Result<VersionView, ForwardDecision> {
         self.stats.packets += 1;
         let dst = pkt.tuple.dst;
         let Some(view) = self.vip_table.lookup(&dst) else {
-            return ForwardDecision::not_vip();
+            return Err(ForwardDecision::not_vip());
         };
-        // Per-VIP policing happens at the front of the pipeline.
+        // Per-VIP policing happens at the front of the pipeline. The
+        // emptiness check keeps unpoliced deployments from paying a map
+        // probe per packet.
+        if self.meters.is_empty() {
+            return Ok(view);
+        }
         if let Some(meter) = self.meters.get_mut(&Vip(dst)) {
             if meter.mark(now, pkt.len) == MeterColor::Red {
                 self.stats.metered_drops += 1;
-                return ForwardDecision::dropped();
+                return Err(ForwardDecision::dropped());
             }
         }
-        let key = pkt.tuple.key_bytes();
+        Ok(view)
+    }
 
+    /// The table pipeline on an admitted packet with precomputed hashes.
+    fn dispatch(
+        &mut self,
+        pkt: &PacketMeta,
+        view: VersionView,
+        hashed: &HashedKey,
+        now: Nanos,
+    ) -> ForwardDecision {
         // 1. ConnTable (the marking lookup also sets the entry's hit bit,
         //    which drives idle aging).
-        if let Some((value, exact, resident)) = self.conn_table.lookup_marking(&key) {
-            if exact || !pkt.flags.is_syn() {
-                self.stats.conn_table_hits += 1;
-                if !exact {
-                    self.stats.digest_false_hits += 1;
-                }
-                let (dip, version) = self.resolve_value(&pkt.tuple, &value);
-                return ForwardDecision {
-                    dip,
-                    path: DataPath::AsicConnTable,
-                    version,
-                    conn_table_hit: true,
-                    false_hit: !exact,
-                };
-            }
-            // SYN falsely hitting a resident entry: software repair (§4.2).
+        if let Some((value, exact, resident)) = self.conn_table.lookup_marking_pre(
+            hashed.key().as_slice(),
+            hashed.conn_stage_hashes(),
+            hashed.conn_match_hash(),
+        ) {
+            return self.on_conn_hit(pkt, view, hashed, value, exact, resident, now);
+        }
+        self.post_conn(pkt, view, hashed, now)
+    }
+
+    /// A ConnTable match-field hit: forward by the stored value, or run the
+    /// SYN false-hit repair (§4.2).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn on_conn_hit(
+        &mut self,
+        pkt: &PacketMeta,
+        view: VersionView,
+        hashed: &HashedKey,
+        value: ConnValue,
+        exact: bool,
+        resident: Option<TupleKey>,
+        now: Nanos,
+    ) -> ForwardDecision {
+        if exact || !pkt.flags.is_syn() {
             self.stats.conn_table_hits += 1;
-            self.stats.digest_false_hits += 1;
-            self.stats.syn_repairs += 1;
-            if self.conn_table.relocate(&resident).is_ok() {
+            if !exact {
+                self.stats.digest_false_hits += 1;
+            }
+            let (dip, version) = self.resolve_value(hashed.select_hash(), &value);
+            return ForwardDecision {
+                dip,
+                path: DataPath::AsicConnTable,
+                version,
+                conn_table_hit: true,
+                false_hit: !exact,
+            };
+        }
+        // SYN falsely hitting a resident entry: software repair (§4.2).
+        self.stats.conn_table_hits += 1;
+        self.stats.digest_false_hits += 1;
+        self.stats.syn_repairs += 1;
+        if let Some(resident) = resident {
+            if self.conn_table.relocate(resident.as_slice()).is_ok() {
                 self.stats.relocations += 1;
             }
-            let mut d = self.miss_path(pkt, view, &key, now);
-            d.path = DataPath::SoftwareRedirect;
-            return d;
         }
+        let mut d = self.miss_path(pkt, view, hashed, now);
+        d.path = DataPath::SoftwareRedirect;
+        d
+    }
 
+    /// Steps 2–3 of the pipeline, after the ConnTable probe missed.
+    #[inline]
+    fn post_conn(
+        &mut self,
+        pkt: &PacketMeta,
+        view: VersionView,
+        hashed: &HashedKey,
+        now: Nanos,
+    ) -> ForwardDecision {
         // 2. Fallback table (overflow / version-exhaustion connections).
         // Hits set the entry's hit bit, same as ConnTable: fallback pins
         // age out through `expire_idle` when their connection goes quiet.
-        if let Some(entry) = self.fallback.get_mut(key.as_slice()) {
+        if let Some(entry) = self.fallback.get_mut(hashed.key().as_slice()) {
             entry.hit = true;
             self.stats.conn_table_hits += 1;
             return ForwardDecision {
@@ -305,27 +531,59 @@ impl SilkRoadSwitch {
         }
 
         // 3. VIPTable miss path.
-        self.miss_path(pkt, view, &key, now)
+        self.miss_path(pkt, view, hashed, now)
     }
 
     /// Resolve a ConnTable value to a DIP per the configured mapping mode.
+    /// `select_hash` is the precomputed DIP-select hash of the packet's key.
+    #[inline]
     fn resolve_value(
-        &self,
-        tuple: &FiveTuple,
+        &mut self,
+        select_hash: u64,
         value: &ConnValue,
     ) -> (Option<Dip>, Option<PoolVersion>) {
         match self.cfg.mapping {
             ConnMapping::DirectDip => (Some(value.dip), None),
             ConnMapping::Version => {
-                let dip = self
+                if let Some(m) = &self.resolve_memo {
+                    if m.vip == value.vip && m.version == value.version {
+                        let dip = sr_hash::ecmp_select(select_hash, m.len as usize)
+                            .map(|i| m.dips[i])
+                            // Empty pool: fall back to the learn-time DIP,
+                            // same as the uncached path below.
+                            .or(Some(value.dip));
+                        return (dip, Some(value.version));
+                    }
+                }
+                let resolved = self
                     .vips
                     .get(&value.vip)
                     .and_then(|s| s.manager.pool(value.version))
-                    .and_then(|p| p.select(tuple, &self.select_hash))
+                    .map(|p| {
+                        let members = p.members();
+                        let memo = if members.len() <= MEMO_DIPS {
+                            let mut dips = [value.dip; MEMO_DIPS];
+                            dips[..members.len()].copy_from_slice(members);
+                            Some((members.len() as u8, dips))
+                        } else {
+                            None
+                        };
+                        (p.select_hashed(select_hash), memo)
+                    });
+                let Some((selected, memo)) = resolved else {
                     // The pool should outlive its connections (refcounts);
                     // the learn-time DIP is the defensive fallback.
-                    .or(Some(value.dip));
-                (dip, Some(value.version))
+                    return (Some(value.dip), Some(value.version));
+                };
+                if let Some((len, dips)) = memo {
+                    self.resolve_memo = Some(ResolveMemo {
+                        vip: value.vip,
+                        version: value.version,
+                        len,
+                        dips,
+                    });
+                }
+                (selected.or(Some(value.dip)), Some(value.version))
             }
         }
     }
@@ -334,11 +592,12 @@ impl SilkRoadSwitch {
         &mut self,
         pkt: &PacketMeta,
         view: VersionView,
-        key: &[u8],
+        hashed: &HashedKey,
         now: Nanos,
     ) -> ForwardDecision {
         self.stats.vip_table_misses += 1;
         let vip = Vip(pkt.tuple.dst);
+        let key = hashed.key().as_slice();
         let mut software = false;
 
         let version = match view {
@@ -350,12 +609,16 @@ impl SilkRoadSwitch {
                     .map(|s| s.update.phase == UpdatePhase::Recording)
                     .unwrap_or(false);
                 if recording {
-                    self.transit.record(key);
+                    // Bloom hashes are computed lazily here — hit packets
+                    // never reach the miss path, so they never pay for them.
+                    let bloom = self.hasher.bloom_hashes(hashed.key());
+                    self.transit.record_hashed(bloom.as_slice());
                 }
                 v
             }
             VersionView::Updating { old, new } => {
-                if self.transit.check(key) {
+                let bloom = self.hasher.bloom_hashes(hashed.key());
+                if self.transit.check_hashed(bloom.as_slice()) {
                     if pkt.flags.is_syn() {
                         // A SYN matching TransitTable in step 2 is redirected
                         // to software (§4.3): software distinguishes a real
@@ -383,7 +646,7 @@ impl SilkRoadSwitch {
         let Some(pool) = state.manager.pool(version) else {
             return ForwardDecision::dropped();
         };
-        let Some(dip) = pool.select(&pkt.tuple, &self.select_hash) else {
+        let Some(dip) = pool.select_hashed(hashed.select_hash()) else {
             return ForwardDecision::dropped();
         };
 
@@ -414,19 +677,19 @@ impl SilkRoadSwitch {
     pub fn close_connection(&mut self, tuple: &FiveTuple, now: Nanos) {
         self.advance(now);
         self.stats.closes += 1;
-        let key = tuple.key_bytes();
-        match self.conn_table.remove(&key) {
+        let key = tuple.tuple_key();
+        match self.conn_table.remove(key.as_slice()) {
             Ok(value) => {
                 if let Some(state) = self.vips.get_mut(&value.vip) {
                     state.manager.conn_removed(value.version);
                 }
             }
             Err(_) => {
-                if self.fallback.remove(key.as_slice()).is_some() {
-                    self.stats.fallback_entries = self.stats.fallback_entries.saturating_sub(1);
+                if let Some(fb) = self.fallback.remove(key.as_slice()) {
+                    Self::note_fallback_remove(&mut self.stats, fb.vip);
                 } else {
                     // Still pending: skip its install when it completes.
-                    self.control.note_close(&key);
+                    self.control.note_close(key.as_slice());
                 }
             }
         }
@@ -561,15 +824,18 @@ impl SilkRoadSwitch {
         }
         // Fallback pins age on the same clock: entries that arrived before
         // the previous scan and were not hit since are expired.
-        let before = self.fallback.len();
-        self.fallback.retain(|_, e| {
+        let fallback = &mut self.fallback;
+        let stats = &mut self.stats;
+        let before = fallback.len();
+        fallback.retain(|_, e| {
             let keep = e.arrived >= cutoff || e.hit;
             e.hit = false;
+            if !keep {
+                Self::note_fallback_remove(stats, e.vip);
+            }
             keep
         });
-        let fb_expired = (before - self.fallback.len()) as u64;
-        self.stats.fallback_entries = self.stats.fallback_entries.saturating_sub(fb_expired);
-        n += fb_expired as usize;
+        n += before - fallback.len();
         self.stats.idle_expired += n as u64;
         n
     }
@@ -610,7 +876,7 @@ impl SilkRoadSwitch {
         for (key, value) in evicted {
             state.manager.conn_removed(victim);
             self.fallback.insert(
-                key,
+                TupleKey::from_bytes(&key),
                 FallbackConn {
                     vip,
                     dip: value.dip,
@@ -618,7 +884,7 @@ impl SilkRoadSwitch {
                     hit: false,
                 },
             );
-            self.stats.fallback_entries += 1;
+            Self::note_fallback_insert(&mut self.stats, vip);
             self.stats.exhaustion_migrations += 1;
         }
     }
@@ -634,12 +900,13 @@ impl SilkRoadSwitch {
             // Install-time collision pre-check: if another resident already
             // aliases this digest+bucket, relocate it first so the new
             // entry's packets do not shadow-match (§4.2).
-            if let Some(hit) = self.conn_table.lookup(&job.key) {
-                if !hit.exact {
-                    let resident: Vec<u8> = hit.resident_key.to_vec();
-                    if self.conn_table.relocate(&resident).is_ok() {
-                        self.stats.relocations += 1;
-                    }
+            let resident = match self.conn_table.lookup(&job.key) {
+                Some(hit) if !hit.exact => Some(TupleKey::from_bytes(hit.resident_key)),
+                _ => None,
+            };
+            if let Some(resident) = resident {
+                if self.conn_table.relocate(resident.as_slice()).is_ok() {
+                    self.stats.relocations += 1;
                 }
             }
             let value = ConnValue {
@@ -657,7 +924,7 @@ impl SilkRoadSwitch {
                 }
                 Err(CuckooError::Full) => {
                     self.fallback.insert(
-                        job.key.clone(),
+                        TupleKey::from_bytes(&job.key),
                         FallbackConn {
                             vip,
                             dip: job.meta.dip,
@@ -666,7 +933,7 @@ impl SilkRoadSwitch {
                         },
                     );
                     self.stats.conn_table_overflows += 1;
-                    self.stats.fallback_entries += 1;
+                    Self::note_fallback_insert(&mut self.stats, vip);
                 }
                 Err(_) => {}
             }
@@ -891,7 +1158,7 @@ mod tests {
         // are exercised by their own tests).
         for p in [1u16, 2] {
             sw.fallback.insert(
-                conn(p).key_bytes().into(),
+                conn(p).tuple_key(),
                 FallbackConn {
                     vip: vip(),
                     dip: dip(3),
@@ -899,12 +1166,13 @@ mod tests {
                     hit: false,
                 },
             );
-            sw.stats.fallback_entries += 1;
+            SilkRoadSwitch::note_fallback_insert(&mut sw.stats, vip());
         }
         // First scan only starts the clock: both entries arrived in the
         // current epoch and are kept.
         assert_eq!(sw.expire_idle(Nanos::from_millis(100)), 0);
         assert_eq!(sw.stats().fallback_entries, 2);
+        assert_eq!(sw.stats().fallback_pins(vip()), 2);
         // Traffic on conn(1) resolves through the fallback pin and marks it.
         let d = sw.process_packet(&PacketMeta::data(conn(1), 100), Nanos::from_millis(150));
         assert_eq!(d.dip, Some(dip(3)));
@@ -912,10 +1180,16 @@ mod tests {
         // Second scan: the quiet pin expires, the busy one survives.
         assert_eq!(sw.expire_idle(Nanos::from_millis(200)), 1);
         assert_eq!(sw.stats().fallback_entries, 1);
+        assert_eq!(sw.stats().fallback_pins(vip()), 1);
         assert!(sw.fallback.contains_key(conn(1).key_bytes().as_slice()));
         // Third scan with no traffic in between: the survivor goes too.
         assert_eq!(sw.expire_idle(Nanos::from_millis(300)), 1);
         assert_eq!(sw.stats().fallback_entries, 0);
+        assert_eq!(sw.stats().fallback_pins(vip()), 0);
+        assert!(
+            sw.stats().fallback_pins_by_vip.is_empty(),
+            "zeroed VIPs must leave the pin map"
+        );
         assert!(sw.fallback.is_empty());
     }
 

@@ -74,10 +74,24 @@ impl TransitTable {
         self.active_users
     }
 
+    /// The filter's k hash functions, in the order the `_hashed` variants
+    /// expect their outputs (for assembling a hash-once list).
+    pub fn hash_fns(&self) -> &[sr_hash::HashFn] {
+        self.bloom.hash_fns()
+    }
+
     /// Record a pending connection (step 1, write-only phase).
     pub fn record(&mut self, key: &[u8]) {
         if self.enabled {
             self.bloom.insert(key);
+            self.recorded += 1;
+        }
+    }
+
+    /// [`TransitTable::record`] from precomputed bloom hashes.
+    pub fn record_hashed(&mut self, hashes: &[u64]) {
+        if self.enabled {
+            self.bloom.insert_hashed(hashes);
             self.recorded += 1;
         }
     }
@@ -90,6 +104,19 @@ impl TransitTable {
         }
         self.checks += 1;
         let hit = self.bloom.contains(key);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// [`TransitTable::check`] from precomputed bloom hashes.
+    pub fn check_hashed(&mut self, hashes: &[u64]) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.checks += 1;
+        let hit = self.bloom.contains_hashed(hashes);
         if hit {
             self.hits += 1;
         }

@@ -19,7 +19,8 @@
 
 use crate::pool::{DipPool, DipPoolTable, PoolUpdate};
 use sr_types::{Dip, PoolVersion, TypeError, Vip};
-use std::collections::{HashMap, VecDeque};
+use sr_hash::FxHashMap;
+use std::collections::VecDeque;
 
 /// Outcome of preparing an update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +39,7 @@ pub struct VersionManager {
     reuse_enabled: bool,
     free: VecDeque<PoolVersion>,
     /// Refcount per live version: installed connections + explicit pins.
-    refs: HashMap<PoolVersion, u64>,
+    refs: FxHashMap<PoolVersion, u64>,
     pools: DipPoolTable,
     current: PoolVersion,
     /// Versions newly allocated (Fig 15 "after reuse" ≈ allocations + 1).
@@ -64,7 +65,7 @@ impl VersionManager {
             ring_bits,
             reuse_enabled,
             free,
-            refs: HashMap::from([(PoolVersion(0), 0)]),
+            refs: FxHashMap::from_iter([(PoolVersion(0), 0)]),
             pools,
             current: PoolVersion(0),
             allocations: 1, // version 0

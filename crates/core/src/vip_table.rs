@@ -6,8 +6,8 @@
 //! both old and new versions from VIPTable and then are checked by
 //! TransitTable").
 
+use sr_hash::FxHashMap;
 use sr_types::{Addr, PoolVersion, Vip};
-use std::collections::HashMap;
 
 /// Data-plane version state of one VIP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +37,7 @@ impl VersionView {
 /// The VIPTable.
 #[derive(Default, Debug)]
 pub struct VipTable {
-    entries: HashMap<Addr, VersionView>,
+    entries: FxHashMap<Addr, VersionView>,
 }
 
 impl VipTable {

@@ -56,16 +56,22 @@ impl BloomFilter {
         self.inserted
     }
 
-    fn bit_positions<'a>(&'a self, key: &'a [u8]) -> impl Iterator<Item = usize> + 'a {
-        self.hashes
-            .iter()
-            .map(move |h| ((h.hash(key) as u128 * self.nbits as u128) >> 64) as usize)
+    /// The k hash functions, in the order [`BloomFilter::insert_hashed`] and
+    /// [`BloomFilter::contains_hashed`] expect their outputs.
+    pub fn hash_fns(&self) -> &[HashFn] {
+        &self.hashes
+    }
+
+    /// Map one 64-bit hash output to its bit index (multiply-shift scaling,
+    /// same rationale as `ecmp_select`).
+    fn bit_of(&self, h: u64) -> usize {
+        ((h as u128 * self.nbits as u128) >> 64) as usize
     }
 
     /// Insert a key.
     pub fn insert(&mut self, key: &[u8]) {
-        let positions: Vec<usize> = self.bit_positions(key).collect();
-        for p in positions {
+        for i in 0..self.hashes.len() {
+            let p = self.bit_of(self.hashes[i].hash(key));
             self.bits[p / 64] |= 1u64 << (p % 64);
         }
         self.inserted += 1;
@@ -74,8 +80,34 @@ impl BloomFilter {
     /// Query membership. May return true for keys never inserted (false
     /// positive); never returns false for an inserted key.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.bit_positions(key)
-            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+        self.hashes.iter().all(|h| {
+            let p = self.bit_of(h.hash(key));
+            self.bits[p / 64] & (1u64 << (p % 64)) != 0
+        })
+    }
+
+    /// [`BloomFilter::insert`] from precomputed hashes: `hashes[i]` must be
+    /// the output of `self.hash_fns()[i]` over the key.
+    ///
+    /// # Panics
+    /// If `hashes.len() != self.k()`.
+    pub fn insert_hashed(&mut self, hashes: &[u64]) {
+        assert_eq!(hashes.len(), self.hashes.len(), "insert_hashed: wrong k");
+        for &h in hashes {
+            let p = self.bit_of(h);
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// [`BloomFilter::contains`] from precomputed hashes (same contract as
+    /// [`BloomFilter::insert_hashed`]).
+    pub fn contains_hashed(&self, hashes: &[u64]) -> bool {
+        assert_eq!(hashes.len(), self.hashes.len(), "contains_hashed: wrong k");
+        hashes.iter().all(|&h| {
+            let p = self.bit_of(h);
+            self.bits[p / 64] & (1u64 << (p % 64)) != 0
+        })
     }
 
     /// Reset to empty (step 3 of the PCC update protocol).
@@ -166,6 +198,27 @@ mod tests {
         assert_eq!(f.size_bytes(), 1);
         assert_eq!(f.k(), 1);
         assert_eq!(BloomFilter::new(256, 4, 0).size_bytes(), 256);
+    }
+
+    #[test]
+    fn hashed_variants_match_byte_variants() {
+        let mut a = BloomFilter::new(256, 4, 9);
+        let mut b = BloomFilter::new(256, 4, 9);
+        let mut hashes = vec![0u64; a.k()];
+        for i in 0..200u32 {
+            let k = key(i);
+            a.insert(&k);
+            crate::hasher::hash_all(b.hash_fns(), &k, &mut hashes);
+            b.insert_hashed(&hashes);
+        }
+        for i in 0..1000u32 {
+            let k = key(i);
+            crate::hasher::hash_all(a.hash_fns(), &k, &mut hashes);
+            assert_eq!(a.contains(&k), b.contains(&k), "filters diverged at {i}");
+            assert_eq!(a.contains(&k), a.contains_hashed(&hashes));
+        }
+        assert_eq!(a.inserted(), b.inserted());
+        assert_eq!(a.fill_ratio(), b.fill_ratio());
     }
 
     #[test]

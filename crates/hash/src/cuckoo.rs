@@ -28,6 +28,78 @@ use crate::digest::DigestFn;
 use crate::hasher::HashFn;
 use std::collections::VecDeque;
 
+/// Sentinel in the match-field plane for a vacant slot. Digest-mode match
+/// fields are at most 32 bits wide, so they can never collide with it;
+/// full-key fingerprints are clamped one below it by [`stored_mf`], which
+/// is safe because full-key mode always verifies the stored key bytes on a
+/// match-field hit.
+const EMPTY_MF: u64 = u64::MAX;
+
+/// Sentinel in the 16-bit match-field *plane* for a vacant slot.
+/// [`plane_mf`] clamps stored values one below it.
+const EMPTY_PLANE: u16 = u16::MAX;
+
+/// The 16-bit plane image of a match field: a prefilter, not the decision.
+/// A probe compares plane lanes first and confirms any lane hit against the
+/// entry's full [`stored_mf`] value, so the accept set is exactly the full
+/// comparison's — equal fields always have equal plane images, and unequal
+/// plane images imply unequal fields. Sixteen bits keep the scanned plane
+/// four times denser than `u64` lanes (the paper's ConnTable digests are
+/// 16 bits anyway), so the hot probe loop stays cache-resident.
+fn plane_mf(mf: u64) -> u16 {
+    let t = stored_mf(mf) as u16;
+    if t == EMPTY_PLANE {
+        EMPTY_PLANE - 1
+    } else {
+        t
+    }
+}
+
+/// Longest key the table stores, in bytes. Covers a v6 5-tuple key
+/// (37 bytes) with headroom. Keys are kept inline in the slot array so the
+/// verify-on-hit compare reads the same cache lines as the entry itself
+/// instead of chasing a per-entry heap pointer.
+pub const MAX_KEY_LEN: usize = 40;
+
+/// Stage-count bound for the probe's stack-resident word-index array
+/// (tables with more stages fall back to the serial walk; the paper's
+/// configurations use 2–4).
+const MAX_PROBE_STAGES: usize = 8;
+
+/// A key stored inline in its slot (no heap indirection).
+#[derive(Clone, Copy, Debug)]
+struct InlineKey {
+    len: u8,
+    buf: [u8; MAX_KEY_LEN],
+}
+
+impl InlineKey {
+    fn new(key: &[u8]) -> InlineKey {
+        assert!(
+            key.len() <= MAX_KEY_LEN,
+            "cuckoo keys are at most {MAX_KEY_LEN} bytes, got {}",
+            key.len()
+        );
+        let mut buf = [0u8; MAX_KEY_LEN];
+        buf[..key.len()].copy_from_slice(key);
+        InlineKey {
+            len: key.len() as u8,
+            buf,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+/// The canonical stored form of a match field: what a plane-lane hit is
+/// confirmed against, and the domain [`plane_mf`] projects into.
+fn stored_mf(mf: u64) -> u64 {
+    mf.min(EMPTY_MF - 1)
+}
+
 /// How entries are matched against probe keys.
 #[derive(Clone, Debug)]
 pub enum MatchMode {
@@ -102,12 +174,18 @@ impl CuckooConfig {
 struct Entry<V> {
     /// Full key, kept by the *software shadow* of the table — the paper:
     /// "The switch software has complete 5-tuple information for each
-    /// entry". The ASIC itself matches only on `match_field`.
-    key: Box<[u8]>,
+    /// entry". The ASIC itself matches only on `match_field`. Stored
+    /// inline (max [`MAX_KEY_LEN`] bytes) so a probe's verify compare
+    /// stays within the entry's own cache lines.
+    key: InlineKey,
     /// What the ASIC compares: the full-key bytes hashed down to a digest,
     /// or a 64-bit fingerprint of the full key in `FullKey` mode (the model
     /// compares `key` exactly in that mode; the fingerprint accelerates it).
     match_field: u64,
+    /// Per-entry hit bit, as real exact-match tables provide for idle
+    /// aging: set by marking lookups, read and cleared by
+    /// [`CuckooTable::retain_hits`].
+    hit: bool,
     value: V,
 }
 
@@ -170,9 +248,22 @@ pub struct CuckooTable<V> {
     fingerprint: HashFn,
     /// `slots[stage][word * entries_per_word + way]`
     slots: Vec<Vec<Option<Entry<V>>>>,
+    /// Dense match-field plane mirroring `slots`: the ASIC's view of a
+    /// word is its packed match fields, compared in parallel against the
+    /// probe field. Keeping them in their own flat array means a probe
+    /// touches one cache line per stage instead of `entries_per_word` full
+    /// entry structs; the entry itself is only dereferenced on a
+    /// match-field hit (and the hit confirmed against the full field — see
+    /// [`plane_mf`]). `EMPTY_PLANE` marks vacant slots.
+    mfs: Vec<Vec<u16>>,
     len: usize,
     /// Cumulative count of BFS-driven entry moves (for CPU-cost stats).
     total_moves: u64,
+    /// Layout generation: bumped by every mutation that can move, add, or
+    /// remove entries. A pipelined caller that located a slot with
+    /// [`CuckooTable::locate_pre`] compares epochs to detect that its
+    /// coordinates may have gone stale before resolving them.
+    epoch: u64,
     /// Software-side index of resident keys by collision class (digest mode
     /// only). Stage digests are prefixes of one shared hash, so any two keys
     /// that alias at *any* stage share the narrowest-width digest; indexing
@@ -226,8 +317,10 @@ impl<V: Clone> CuckooTable<V> {
             digests,
             fingerprint: HashFn::new(cfg.seed ^ 0xf19e),
             slots: (0..cfg.stages).map(|_| vec![None; per_stage]).collect(),
+            mfs: (0..cfg.stages).map(|_| vec![EMPTY_PLANE; per_stage]).collect(),
             len: 0,
             total_moves: 0,
+            epoch: 0,
             alias,
             shadow_repairs: 0,
             cfg,
@@ -260,9 +353,41 @@ impl<V: Clone> CuckooTable<V> {
     }
 
     fn word_of(&self, stage: usize, key: &[u8]) -> usize {
-        let h = self.stage_hash[stage].hash(key);
-        // Multiply-shift scaling, same rationale as `ecmp_select`.
+        self.word_from(self.stage_hash[stage].hash(key))
+    }
+
+    /// Map a stage-hash output to its word index (multiply-shift scaling,
+    /// same rationale as `ecmp_select`).
+    fn word_from(&self, h: u64) -> usize {
         ((h as u128 * self.cfg.words_per_stage as u128) >> 64) as usize
+    }
+
+    /// The per-stage bucket-hash functions, in stage order. A prehashed
+    /// probe ([`CuckooTable::lookup_pre`]) supplies one output per function.
+    pub fn stage_fns(&self) -> &[HashFn] {
+        &self.stage_hash
+    }
+
+    /// The single hash function behind the match field: the shared digest
+    /// hash in digest mode (every stage truncates the same 64-bit value to
+    /// its own width), or the fingerprint in full-key mode.
+    pub fn match_fn(&self) -> HashFn {
+        match &self.digests {
+            Some(ds) => {
+                debug_assert!(ds.windows(2).all(|w| w[0].hash_fn() == w[1].hash_fn()));
+                ds[0].hash_fn()
+            }
+            None => self.fingerprint,
+        }
+    }
+
+    /// The ASIC-visible match field at a stage, from the precomputed output
+    /// of [`CuckooTable::match_fn`] over the key.
+    fn match_field_from(&self, stage: usize, match_hash: u64) -> u64 {
+        match &self.digests {
+            Some(ds) => ds[stage].digest_of(match_hash) as u64,
+            None => match_hash,
+        }
     }
 
     /// The ASIC-visible match field for a key *at a given stage*. In digest
@@ -286,29 +411,263 @@ impl<V: Clone> CuckooTable<V> {
         word * e..(word + 1) * e
     }
 
-    /// Probe the table the way the ASIC does: check the hashed word of each
-    /// stage in pipeline order; first match-field equality wins.
-    pub fn lookup(&self, key: &[u8]) -> Option<LookupHit<'_, V>> {
+    /// Scan one word for a match-field hit; returns `(slot, exact)`. The
+    /// scan reads the dense match-field plane — the ASIC compares a word's
+    /// packed fields in parallel — and dereferences a full entry only on
+    /// field equality. Full-key clamping (see [`stored_mf`]) can alias two
+    /// fingerprints at the plane level; the key comparison disambiguates.
+    fn probe_word(&self, stage: usize, word: usize, mf: u64, key: &[u8]) -> Option<(usize, bool)> {
+        let probe64 = stored_mf(mf);
+        let probe = plane_mf(mf);
+        let mfs = &self.mfs[stage];
+        for slot in self.slot_range(word) {
+            if mfs[slot] != probe {
+                continue;
+            }
+            let e = self.slots[stage][slot]
+                .as_ref()
+                .expect("match field set on vacant slot");
+            // The plane lane is a 16-bit prefilter; confirm on the full
+            // stored field before accepting (see `plane_mf`).
+            if stored_mf(e.match_field) != probe64 {
+                continue;
+            }
+            let exact = e.key.as_slice() == key;
+            if exact || self.is_digest_mode() {
+                return Some((slot, exact));
+            }
+        }
+        None
+    }
+
+    /// Pipeline-order probe; returns `(stage, slot, exact)` of the first
+    /// match-field hit, hashing the key once per stage.
+    fn probe(&self, key: &[u8]) -> Option<(usize, usize, bool)> {
         for stage in 0..self.cfg.stages {
             let mf = self.match_field_at(stage, key);
             let word = self.word_of(stage, key);
+            if let Some((slot, exact)) = self.probe_word(stage, word, mf, key) {
+                return Some((stage, slot, exact));
+            }
+        }
+        None
+    }
+
+    /// [`CuckooTable::probe`] from precomputed hashes: `stage_hashes[i]`
+    /// must be `self.stage_fns()[i]` over the key, `match_hash` the output
+    /// of [`CuckooTable::match_fn`]. No hashing happens here.
+    fn probe_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<(usize, usize, bool)> {
+        debug_assert_eq!(stage_hashes.len(), self.cfg.stages);
+        // Resolve every stage's word index first and touch its match-field
+        // word before any comparisons: the loads are independent, so their
+        // cache misses overlap instead of serializing stage by stage the
+        // way the comparison loop below would force on its own.
+        let mut words = [0usize; MAX_PROBE_STAGES];
+        if self.cfg.stages <= MAX_PROBE_STAGES {
+            for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+                let w = self.word_from(h);
+                words[stage] = w;
+                std::hint::black_box(self.mfs[stage][w * self.cfg.entries_per_word]);
+            }
+            for (stage, &word) in words.iter().enumerate().take(self.cfg.stages) {
+                let mf = self.match_field_from(stage, match_hash);
+                if let Some((slot, exact)) = self.probe_word(stage, word, mf, key) {
+                    return Some((stage, slot, exact));
+                }
+            }
+            return None;
+        }
+        for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+            let mf = self.match_field_from(stage, match_hash);
+            let word = self.word_from(h);
+            if let Some((slot, exact)) = self.probe_word(stage, word, mf, key) {
+                return Some((stage, slot, exact));
+            }
+        }
+        None
+    }
+
+    fn hit_at(&self, stage: usize, slot: usize, exact: bool) -> LookupHit<'_, V> {
+        let e = self.slots[stage][slot].as_ref().expect("occupied");
+        LookupHit {
+            value: &e.value,
+            resident_key: e.key.as_slice(),
+            exact,
+            stage,
+        }
+    }
+
+    /// Probe the table the way the ASIC does: check the hashed word of each
+    /// stage in pipeline order; first match-field equality wins.
+    pub fn lookup(&self, key: &[u8]) -> Option<LookupHit<'_, V>> {
+        let (stage, slot, exact) = self.probe(key)?;
+        Some(self.hit_at(stage, slot, exact))
+    }
+
+    /// [`CuckooTable::lookup`] with all hashing done by the caller — the
+    /// hash-once packet path. Produces identical results to `lookup` when
+    /// the precomputed hashes honour the `probe_pre` contract.
+    pub fn lookup_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<LookupHit<'_, V>> {
+        let (stage, slot, exact) = self.probe_pre(key, stage_hashes, match_hash)?;
+        Some(self.hit_at(stage, slot, exact))
+    }
+
+    /// Data-plane lookup: additionally sets the matched entry's hit bit on
+    /// an exact match (the per-entry hit bit that drives idle aging).
+    pub fn lookup_marking(&mut self, key: &[u8]) -> Option<LookupHit<'_, V>> {
+        let (stage, slot, exact) = self.probe(key)?;
+        if exact {
+            self.slots[stage][slot].as_mut().expect("occupied").hit = true;
+        }
+        Some(self.hit_at(stage, slot, exact))
+    }
+
+    /// Warm the match-field words a prehashed probe will read: one plain
+    /// load per stage, kept observable with [`std::hint::black_box`] so the
+    /// optimizer cannot drop it. A batched caller issues these for several
+    /// packets ahead of their probes, turning the per-packet chain of
+    /// dependent cache misses into overlapping independent ones.
+    pub fn prefetch_words_pre(&self, stage_hashes: &[u64]) {
+        for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+            let base = self.word_from(h) * self.cfg.entries_per_word;
+            std::hint::black_box(self.mfs[stage][base]);
+        }
+    }
+
+    /// Warm the entry a prehashed probe would dereference: replays the
+    /// match-field scan (cheap once [`CuckooTable::prefetch_words_pre`] has
+    /// pulled the words in) and touches the winning slot's entry, whose
+    /// inline key the real probe will compare. Pure reads — no hit-bit or
+    /// stats side effects.
+    pub fn prefetch_entry_pre(&self, stage_hashes: &[u64], match_hash: u64) {
+        for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+            let mf = self.match_field_from(stage, match_hash);
+            let probe64 = stored_mf(mf);
+            let probe = plane_mf(mf);
+            let word = self.word_from(h);
             for slot in self.slot_range(word) {
-                if let Some(e) = &self.slots[stage][slot] {
-                    if e.match_field == mf {
-                        let exact = e.key.as_ref() == key;
-                        if exact || self.is_digest_mode() {
-                            return Some(LookupHit {
-                                value: &e.value,
-                                resident_key: &e.key,
-                                exact,
-                                stage,
-                            });
+                if self.mfs[stage][slot] == probe {
+                    if let Some(e) = &self.slots[stage][slot] {
+                        std::hint::black_box(e.key.len);
+                        if stored_mf(e.match_field) != probe64 {
+                            continue;
                         }
                     }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// [`CuckooTable::lookup_marking`] from precomputed hashes.
+    pub fn lookup_marking_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<LookupHit<'_, V>> {
+        let (stage, slot, exact) = self.probe_pre(key, stage_hashes, match_hash)?;
+        if exact {
+            self.slots[stage][slot].as_mut().expect("occupied").hit = true;
+        }
+        Some(self.hit_at(stage, slot, exact))
+    }
+
+    /// The table's current layout generation (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// First half of a split probe: find the `(stage, slot)` a prehashed
+    /// probe would hit, scanning only the match-field plane, and touch the
+    /// winning entry's first cache line so its load is in flight by the
+    /// time [`CuckooTable::lookup_marking_at`] dereferences it. No side
+    /// effects — a pipelined caller runs `locate_pre` for a whole chunk of
+    /// packets, then resolves each, overlapping the entries' cache misses.
+    ///
+    /// In digest mode the slot choice depends only on the match-field
+    /// plane, exactly like [`CuckooTable::probe_pre`]; full-key mode also
+    /// needs the key compare to skip fingerprint aliases, so it falls back
+    /// to the fused probe. Coordinates are only valid while
+    /// [`CuckooTable::epoch`] is unchanged.
+    pub fn locate_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<(u32, u32)> {
+        if !self.is_digest_mode() {
+            return self
+                .probe_pre(key, stage_hashes, match_hash)
+                .map(|(stage, slot, _)| (stage as u32, slot as u32));
+        }
+        debug_assert_eq!(stage_hashes.len(), self.cfg.stages);
+        let mut words = [0usize; MAX_PROBE_STAGES];
+        if self.cfg.stages <= MAX_PROBE_STAGES {
+            // Same independent-load warm-up as `probe_pre`.
+            for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+                let w = self.word_from(h);
+                words[stage] = w;
+                std::hint::black_box(self.mfs[stage][w * self.cfg.entries_per_word]);
+            }
+        } else {
+            for (stage, &h) in stage_hashes.iter().enumerate().take(self.cfg.stages) {
+                words[stage] = self.word_from(h);
+            }
+        }
+        for (stage, &word) in words.iter().enumerate().take(self.cfg.stages) {
+            let mf = self.match_field_from(stage, match_hash);
+            let probe64 = stored_mf(mf);
+            let probe = plane_mf(mf);
+            let mfs = &self.mfs[stage];
+            for slot in self.slot_range(word) {
+                if mfs[slot] == probe {
+                    let e = self.slots[stage][slot]
+                        .as_ref()
+                        .expect("match field set on vacant slot");
+                    // Plane lanes are a prefilter; confirm on the full
+                    // stored field (see `plane_mf`).
+                    if stored_mf(e.match_field) != probe64 {
+                        continue;
+                    }
+                    // Touch both ends of the entry: it is wider than one
+                    // cache line, and the resolve half reads the key,
+                    // the value, and the hit flag.
+                    std::hint::black_box(e.key.len);
+                    std::hint::black_box(e.key.buf[MAX_KEY_LEN - 1]);
+                    std::hint::black_box(e.hit);
+                    return Some((stage as u32, slot as u32));
                 }
             }
         }
         None
+    }
+
+    /// Second half of a split probe: resolve coordinates returned by
+    /// [`CuckooTable::locate_pre`] — dereference the entry, compare the
+    /// full key for exactness, and set the hit bit on an exact match,
+    /// producing the same result the fused marking lookup would have.
+    /// Callers must verify the epoch is unchanged since `locate_pre`.
+    pub fn lookup_marking_at(&mut self, stage: u32, slot: u32, key: &[u8]) -> LookupHit<'_, V> {
+        let (stage, slot) = (stage as usize, slot as usize);
+        let e = self.slots[stage][slot]
+            .as_mut()
+            .expect("located slot must be occupied at unchanged epoch");
+        let exact = e.key.as_slice() == key;
+        if exact {
+            e.hit = true;
+        }
+        self.hit_at(stage, slot, exact)
     }
 
     /// Look up with mutable access to the value (exact-key match only —
@@ -323,7 +682,7 @@ impl<V: Clone> CuckooTable<V> {
             let word = self.word_of(stage, key);
             for slot in self.slot_range(word) {
                 if let Some(e) = &self.slots[stage][slot] {
-                    if e.key.as_ref() == key {
+                    if e.key.as_slice() == key {
                         return Some((stage, slot));
                     }
                 }
@@ -341,13 +700,22 @@ impl<V: Clone> CuckooTable<V> {
             return Err(CuckooError::Duplicate);
         }
         let entry = Entry {
-            key: key.into(),
+            key: InlineKey::new(key),
             // Placeholder; `insert_entry` stamps the landing stage's field.
             match_field: 0,
+            hit: false,
             value,
         };
+        if self.alias.is_none() {
+            // Full-key mode has no shadowing to repair, so nothing needs
+            // the moved-key list.
+            let out = self.insert_entry(entry, None, None).map_err(|(e, _)| e)?;
+            return Ok(out);
+        }
         let mut touched: Vec<Box<[u8]>> = Vec::new();
-        let out = self.insert_entry(entry, None, &mut touched)?;
+        let out = self
+            .insert_entry(entry, None, Some(&mut touched))
+            .map_err(|(e, _)| e)?;
         self.alias_add(key);
         touched.push(key.into());
         self.repair_shadowed(touched);
@@ -427,13 +795,17 @@ impl<V: Clone> CuckooTable<V> {
 
     /// Insert `entry`, optionally excluding one stage (used by relocation).
     /// Keys of residents displaced by the BFS unwind are appended to
-    /// `moved`.
+    /// `moved_keys` when the caller supplied a list (only the digest-mode
+    /// shadowing repair wants them; materialising the clones otherwise is
+    /// wasted work). On failure the entry is handed back so the caller can
+    /// restore it without having cloned it up front.
     fn insert_entry(
         &mut self,
         entry: Entry<V>,
         exclude_stage: Option<usize>,
-        moved_keys: &mut Vec<Box<[u8]>>,
-    ) -> Result<InsertOutcome, CuckooError> {
+        mut moved_keys: Option<&mut Vec<Box<[u8]>>>,
+    ) -> Result<InsertOutcome, (CuckooError, Entry<V>)> {
+        self.epoch += 1;
         // Fast path: a free slot in one of the candidate words. Stage order
         // doubles as a preference order (wider digests first in the
         // per-stage mode).
@@ -441,11 +813,12 @@ impl<V: Clone> CuckooTable<V> {
             if Some(stage) == exclude_stage {
                 continue;
             }
-            let word = self.word_of(stage, &entry.key);
+            let word = self.word_of(stage, entry.key.as_slice());
             for slot in self.slot_range(word) {
                 if self.slots[stage][slot].is_none() {
                     let mut entry = entry;
-                    entry.match_field = self.match_field_at(stage, &entry.key);
+                    entry.match_field = self.match_field_at(stage, entry.key.as_slice());
+                    self.mfs[stage][slot] = plane_mf(entry.match_field);
                     self.slots[stage][slot] = Some(entry);
                     self.len += 1;
                     return Ok(InsertOutcome { moves: 0, stage });
@@ -469,7 +842,7 @@ impl<V: Clone> CuckooTable<V> {
             if Some(stage) == exclude_stage {
                 continue;
             }
-            let word = self.word_of(stage, &entry.key);
+            let word = self.word_of(stage, entry.key.as_slice());
             for slot in self.slot_range(word) {
                 if visited.insert((stage, slot)) {
                     nodes.push(Node {
@@ -487,25 +860,24 @@ impl<V: Clone> CuckooTable<V> {
             if nodes.len() > self.cfg.max_bfs_nodes {
                 break;
             }
-            let resident_key = {
-                let n = &nodes[ni];
-                match &self.slots[n.stage][n.slot] {
-                    Some(e) => e.key.clone(),
-                    // Shouldn't happen (fast path would have used it), but a
-                    // concurrent delete could free it: use directly.
-                    None => {
-                        found = Some((ni, nodes[ni].stage, nodes[ni].slot));
-                        break 'bfs;
-                    }
+            let (from_stage, from_slot) = (nodes[ni].stage, nodes[ni].slot);
+            // Borrow the resident's key in place — the BFS only reads the
+            // table, so no clone is needed to keep probing with it.
+            let resident_key: &[u8] = match &self.slots[from_stage][from_slot] {
+                Some(e) => e.key.as_slice(),
+                // Shouldn't happen (fast path would have used it), but a
+                // concurrent delete could free it: use directly.
+                None => {
+                    found = Some((ni, from_stage, from_slot));
+                    break 'bfs;
                 }
             };
-            let from_stage = nodes[ni].stage;
             // Where can this resident move? Any other stage's candidate word.
             for alt_stage in 0..self.cfg.stages {
                 if alt_stage == from_stage {
                     continue;
                 }
-                let word = self.word_of(alt_stage, &resident_key);
+                let word = self.word_of(alt_stage, resident_key);
                 for slot in self.slot_range(word) {
                     if self.slots[alt_stage][slot].is_none() {
                         found = Some((ni, alt_stage, slot));
@@ -525,7 +897,7 @@ impl<V: Clone> CuckooTable<V> {
 
         let (mut ni, free_stage, free_slot) = match found {
             Some(f) => f,
-            None => return Err(CuckooError::Full),
+            None => return Err((CuckooError::Full, entry)),
         };
 
         // Unwind the path: move the chain of residents one hop each,
@@ -535,14 +907,18 @@ impl<V: Clone> CuckooTable<V> {
         loop {
             let src = (nodes[ni].stage, nodes[ni].slot);
             let moved = self.slots[src.0][src.1].take();
+            self.mfs[src.0][src.1] = EMPTY_PLANE;
             if let Some(mut m) = moved {
                 debug_assert!(self.slots[dest.0][dest.1].is_none());
                 // Moving across stages re-stamps the stage's match field
                 // (stages may use different digest widths).
                 if dest.0 != src.0 {
-                    m.match_field = self.match_field_at(dest.0, &m.key);
+                    m.match_field = self.match_field_at(dest.0, m.key.as_slice());
                 }
-                moved_keys.push(m.key.clone());
+                if let Some(mv) = moved_keys.as_deref_mut() {
+                    mv.push(m.key.as_slice().into());
+                }
+                self.mfs[dest.0][dest.1] = plane_mf(m.match_field);
                 self.slots[dest.0][dest.1] = Some(m);
                 moves += 1;
             }
@@ -555,7 +931,8 @@ impl<V: Clone> CuckooTable<V> {
         debug_assert!(self.slots[dest.0][dest.1].is_none());
         let landed = dest.0;
         let mut entry = entry;
-        entry.match_field = self.match_field_at(landed, &entry.key);
+        entry.match_field = self.match_field_at(landed, entry.key.as_slice());
+        self.mfs[dest.0][dest.1] = plane_mf(entry.match_field);
         self.slots[dest.0][dest.1] = Some(entry);
         self.len += 1;
         self.total_moves += moves as u64;
@@ -567,9 +944,11 @@ impl<V: Clone> CuckooTable<V> {
 
     /// Remove an entry by exact key.
     pub fn remove(&mut self, key: &[u8]) -> Result<V, CuckooError> {
+        self.epoch += 1;
         match self.find_exact(key) {
             Some((stage, slot)) => {
                 let e = self.slots[stage][slot].take().expect("occupied");
+                self.mfs[stage][slot] = EMPTY_PLANE;
                 self.len -= 1;
                 self.alias_remove(key);
                 Ok(e.value)
@@ -601,11 +980,14 @@ impl<V: Clone> CuckooTable<V> {
     ) -> Result<usize, CuckooError> {
         let (stage, slot) = self.find_exact(key).ok_or(CuckooError::NotFound)?;
         let entry = self.slots[stage][slot].take().expect("occupied");
+        self.mfs[stage][slot] = EMPTY_PLANE;
         self.len -= 1;
-        match self.insert_entry(entry.clone(), Some(stage), moved_keys) {
+        match self.insert_entry(entry, Some(stage), Some(moved_keys)) {
             Ok(out) => Ok(out.stage),
-            Err(e) => {
-                // Roll back: put the entry where it was.
+            Err((e, entry)) => {
+                // Roll back: the failed insert hands the entry back, so it
+                // goes where it was without ever having been cloned.
+                self.mfs[stage][slot] = plane_mf(entry.match_field);
                 self.slots[stage][slot] = Some(entry);
                 self.len += 1;
                 Err(e)
@@ -619,19 +1001,51 @@ impl<V: Clone> CuckooTable<V> {
         self.slots
             .iter()
             .flat_map(|s| s.iter())
-            .filter_map(|e| e.as_ref().map(|e| (e.key.as_ref(), &e.value)))
+            .filter_map(|e| e.as_ref().map(|e| (e.key.as_slice(), &e.value)))
     }
 
     /// Remove every entry for which `pred` returns false, returning the
     /// removed (key, value) pairs. Used for idle-connection expiry.
     pub fn retain<F: FnMut(&[u8], &V) -> bool>(&mut self, mut pred: F) -> Vec<(Box<[u8]>, V)> {
+        self.epoch += 1;
         let mut removed = Vec::new();
-        for stage in &mut self.slots {
-            for slot in stage.iter_mut() {
+        for (stage, stage_mfs) in self.slots.iter_mut().zip(self.mfs.iter_mut()) {
+            for (slot, mf) in stage.iter_mut().zip(stage_mfs.iter_mut()) {
                 if let Some(e) = slot {
-                    if !pred(&e.key, &e.value) {
+                    if !pred(e.key.as_slice(), &e.value) {
                         let e = slot.take().expect("occupied");
-                        removed.push((e.key, e.value));
+                        *mf = EMPTY_PLANE;
+                        removed.push((Box::<[u8]>::from(e.key.as_slice()), e.value));
+                        self.len -= 1;
+                    }
+                }
+            }
+        }
+        for (key, _) in &removed {
+            self.alias_remove(key);
+        }
+        removed
+    }
+
+    /// Clock-algorithm aging sweep: `pred` sees each entry's key, value, and
+    /// current hit bit, and decides whether it survives. Survivors get their
+    /// hit bit cleared (arming the next sweep); non-survivors are removed
+    /// and returned.
+    pub fn retain_hits<F: FnMut(&[u8], &V, bool) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> Vec<(Box<[u8]>, V)> {
+        self.epoch += 1;
+        let mut removed = Vec::new();
+        for (stage, stage_mfs) in self.slots.iter_mut().zip(self.mfs.iter_mut()) {
+            for (slot, mf) in stage.iter_mut().zip(stage_mfs.iter_mut()) {
+                if let Some(e) = slot {
+                    if pred(e.key.as_slice(), &e.value, e.hit) {
+                        e.hit = false;
+                    } else {
+                        let e = slot.take().expect("occupied");
+                        *mf = EMPTY_PLANE;
+                        removed.push((Box::<[u8]>::from(e.key.as_slice()), e.value));
                         self.len -= 1;
                     }
                 }
@@ -934,6 +1348,83 @@ mod tests {
             let hit = t.lookup(&k).expect("resident present");
             assert!(hit.exact, "resident key shadowed by a digest collision");
         }
+    }
+
+    #[test]
+    fn lookup_pre_matches_lookup() {
+        for mode in [
+            MatchMode::FullKey,
+            MatchMode::Digest { bits: 8 },
+            MatchMode::DigestPerStage {
+                bits: vec![24, 16, 12, 8],
+            },
+        ] {
+            let mut t = small(mode);
+            let n = (t.config().total_slots() * 8 / 10) as u32;
+            for i in 0..n {
+                let _ = t.insert(&key(i), i);
+            }
+            let stage_fns = t.stage_fns().to_vec();
+            let match_fn = t.match_fn();
+            let mut hashes = vec![0u64; stage_fns.len()];
+            // Probe residents and strangers alike: stage, exactness, value
+            // must agree with the byte-hashing path.
+            for i in 0..n * 2 {
+                let k = key(i);
+                crate::hasher::hash_all(&stage_fns, &k, &mut hashes);
+                let mh = match_fn.hash(&k);
+                let a = t.lookup(&k);
+                let b = t.lookup_pre(&k, &hashes, mh);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.exact, y.exact);
+                        assert_eq!(x.stage, y.stage);
+                        assert_eq!(x.value, y.value);
+                        assert_eq!(x.resident_key, y.resident_key);
+                    }
+                    (a, b) => panic!("lookup {a:?} != lookup_pre {b:?} for {i}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hit_bits_mark_and_age() {
+        let mut t = small(MatchMode::FullKey);
+        for i in 0..10 {
+            t.insert(&key(i), i).unwrap();
+        }
+        // Mark only even keys.
+        for i in (0..10).step_by(2) {
+            assert!(t.lookup_marking(&key(i)).unwrap().exact);
+        }
+        // Plain lookup must not mark.
+        let _ = t.lookup(&key(1));
+        let removed = t.retain_hits(|_, _, hit| hit);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(t.len(), 5);
+        assert!(t.lookup(&key(1)).is_none());
+        assert!(t.lookup(&key(2)).is_some());
+        // Bits were cleared: a second sweep with the same predicate removes
+        // everything left.
+        let removed = t.retain_hits(|_, _, hit| hit);
+        assert_eq!(removed.len(), 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn marking_pre_sets_hit_bit() {
+        let mut t = small(MatchMode::Digest { bits: 16 });
+        t.insert(&key(3), 3).unwrap();
+        let stage_fns = t.stage_fns().to_vec();
+        let match_fn = t.match_fn();
+        let k = key(3);
+        let mut hashes = vec![0u64; stage_fns.len()];
+        crate::hasher::hash_all(&stage_fns, &k, &mut hashes);
+        let hit = t.lookup_marking_pre(&k, &hashes, match_fn.hash(&k)).unwrap();
+        assert!(hit.exact);
+        assert!(t.retain_hits(|_, _, hit| hit).is_empty(), "marked entry aged out");
     }
 
     #[test]

@@ -36,11 +36,25 @@ impl DigestFn {
 
     /// Compute the digest of a key.
     pub fn digest(&self, key: &[u8]) -> u32 {
-        let h = self.hash.hash(key);
+        self.digest_of(self.hash.hash(key))
+    }
+
+    /// Derive the digest from an already-computed 64-bit hash of the key
+    /// (the output of [`DigestFn::hash_fn`] over the same bytes). The
+    /// hash-once packet path computes that hash a single time and feeds it
+    /// to every stage's digest.
+    pub fn digest_of(&self, h: u64) -> u32 {
         // Take high bits: the low bits of the same hash are often consumed
         // by bucket addressing, and reusing them would correlate digest
         // collisions with bucket collisions.
         (h >> (64 - self.bits)) as u32
+    }
+
+    /// The underlying 64-bit hash function whose output [`DigestFn::digest_of`]
+    /// truncates. Digest functions built from the same seed share it
+    /// regardless of width.
+    pub fn hash_fn(&self) -> HashFn {
+        self.hash
     }
 
     /// Analytic false-positive probability for a lookup against one resident
@@ -97,5 +111,24 @@ mod tests {
     #[test]
     fn space() {
         assert_eq!(DigestFn::new(0, 16).space(), 65536);
+    }
+
+    #[test]
+    fn digest_of_matches_digest() {
+        for bits in [8u8, 12, 16, 24, 32] {
+            let d = DigestFn::new(7, bits);
+            for i in 0u32..500 {
+                let key = i.to_be_bytes();
+                let h = d.hash_fn().hash(&key);
+                assert_eq!(d.digest_of(h), d.digest(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_shares_hash_fn_across_widths() {
+        // The per-stage hash-once derivation relies on this: one 64-bit
+        // hash serves every stage width.
+        assert_eq!(DigestFn::new(3, 16).hash_fn(), DigestFn::new(3, 24).hash_fn());
     }
 }

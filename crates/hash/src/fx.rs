@@ -1,0 +1,134 @@
+//! A fast, deterministic hasher for software-side maps on the packet path.
+//!
+//! The data plane consults several small `HashMap`s per packet (VIPTable,
+//! per-VIP meters, per-VIP state for version resolution). `std`'s default
+//! SipHash is keyed for HashDoS resistance, which these maps do not need:
+//! their keys are operator-configured VIPs, not attacker-controlled
+//! 5-tuples, and the tables hold at most a few thousand entries. A
+//! multiply-rotate hash (the `FxHash` construction from the Firefox/rustc
+//! lineage) cuts the per-lookup cost several-fold.
+//!
+//! Determinism is also a feature here: iteration order no longer varies
+//! run-to-run, though nothing in the repo may *depend* on map order (the
+//! repro figures were already byte-stable under `RandomState`'s per-process
+//! random keys, which proves order independence).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash construction (a 64-bit odd constant with
+/// well-mixed bits; the golden-ratio-derived value used by rustc).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A non-cryptographic multiply-rotate hasher.
+///
+/// Not HashDoS-resistant — only use for maps whose keys are not
+/// attacker-controlled (VIPs, versions, internal identifiers).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "c" != "a" + "bc".
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — for hot, trusted-key maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`] — for hot, trusted-key sets.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(b"hello"), hash_of(b"hello"));
+        assert_ne!(hash_of(b"hello"), hash_of(b"hellp"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        // Chunk-boundary discrimination.
+        assert_ne!(hash_of(b"12345678"), hash_of(b"1234567"));
+        assert_ne!(hash_of(b"123456789"), hash_of(b"12345678"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

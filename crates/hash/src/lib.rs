@@ -19,6 +19,7 @@
 pub mod bloom;
 pub mod cuckoo;
 pub mod digest;
+pub mod fx;
 pub mod hasher;
 pub mod maglev;
 pub mod resilient;
@@ -26,7 +27,8 @@ pub mod resilient;
 pub use bloom::BloomFilter;
 pub use cuckoo::{CuckooConfig, CuckooTable, InsertOutcome, LookupHit, MatchMode};
 pub use digest::DigestFn;
-pub use hasher::HashFn;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hasher::{hash_all, HashFn};
 
 /// Stateless ECMP member selection: map a flow hash onto one of `n` members.
 ///

@@ -94,7 +94,7 @@ impl SilkRoadFabric {
     pub fn switch_for(&self, tuple: &FiveTuple) -> Option<SwitchId> {
         let layer = self.layer_of_vip.get(&Vip(tuple.dst))?;
         let state = self.layers.get(layer)?;
-        let member = state.spray.select(&tuple.key_bytes())?;
+        let member = state.spray.select(tuple.tuple_key().as_slice())?;
         let id = state.members[member];
         self.switches.contains_key(&id).then_some(id)
     }

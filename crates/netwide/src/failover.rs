@@ -60,7 +60,7 @@ pub fn switch_failure_impact(
 /// Re-spray a failed switch's flows across `survivors` switches via ECMP
 /// (used by the failover example/bench to pick the takeover switch).
 pub fn respray_switch(tuple: &FiveTuple, survivors: usize, seed: u64) -> Option<usize> {
-    sr_hash::ecmp_select(HashFn::new(seed ^ 0xfa11).hash(&tuple.key_bytes()), survivors)
+    sr_hash::ecmp_select(HashFn::new(seed ^ 0xfa11).hash(tuple.tuple_key().as_slice()), survivors)
 }
 
 #[cfg(test)]

@@ -194,7 +194,7 @@ impl LoadBalancer for DuetAdapter {
             dip: self.duet.process_packet(pkt, now),
             in_software,
             latency: if in_software {
-                slb_latency(&pkt.tuple.key_bytes(), now.0)
+                slb_latency(pkt.tuple.tuple_key().as_slice(), now.0)
             } else {
                 ASIC_LATENCY
             },
@@ -202,8 +202,8 @@ impl LoadBalancer for DuetAdapter {
     }
 
     fn conn_closed(&mut self, vip: Vip, tuple: &FiveTuple, _now: Nanos) {
-        let key = tuple.key_bytes();
-        self.duet.close_connection(vip, &key);
+        let key = tuple.tuple_key();
+        self.duet.close_connection(vip, key.as_slice());
         if let Some(l) = self.live.get_mut(&vip) {
             l.remove(key.as_slice());
         }
@@ -319,12 +319,12 @@ impl LoadBalancer for SlbAdapter {
         PacketVerdict {
             dip: self.slb.process_packet(pkt, now),
             in_software: true,
-            latency: slb_latency(&pkt.tuple.key_bytes(), now.0),
+            latency: slb_latency(pkt.tuple.tuple_key().as_slice(), now.0),
         }
     }
 
     fn conn_closed(&mut self, _vip: Vip, tuple: &FiveTuple, _now: Nanos) {
-        self.slb.close_connection(&tuple.key_bytes());
+        self.slb.close_connection(tuple.tuple_key().as_slice());
     }
 
     fn tick(&mut self, _now: Nanos) -> Vec<Vip> {

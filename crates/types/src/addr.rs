@@ -97,6 +97,24 @@ impl Addr {
         }
         out.extend_from_slice(&self.port.to_be_bytes());
     }
+
+    /// Encode into a fixed buffer starting at `at`, returning the number of
+    /// bytes written. Same byte layout as [`Addr::encode_into`] but without
+    /// touching the heap; `out` must have at least 18 bytes of headroom.
+    pub fn encode_to(&self, out: &mut [u8], at: usize) -> usize {
+        let n = match self.ip {
+            IpAddr::V4(ip) => {
+                out[at..at + 4].copy_from_slice(&ip.octets());
+                4
+            }
+            IpAddr::V6(ip) => {
+                out[at..at + 16].copy_from_slice(&ip.octets());
+                16
+            }
+        };
+        out[at + n..at + n + 2].copy_from_slice(&self.port.to_be_bytes());
+        n + 2
+    }
 }
 
 impl fmt::Display for Addr {

@@ -1,0 +1,197 @@
+//! Inline, fixed-size connection match keys.
+//!
+//! The data plane hashes and compares a connection's canonical key bytes on
+//! every packet. Building that key as a heap `Vec<u8>` (as
+//! [`FiveTuple::key_bytes`] does) costs an allocation per packet, which is
+//! the opposite of the line-rate story the paper tells. [`TupleKey`] holds
+//! the same bytes inline: a 37-byte buffer (the IPv6 worst case from §4.2)
+//! plus a length, `Copy`, and borrowable as `&[u8]` everywhere a key slice
+//! is accepted.
+
+use crate::tuple::FiveTuple;
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum 5-tuple key length: the IPv6 encoding (2×16 B addresses,
+/// 2×2 B ports, 1 B protocol).
+pub const MAX_KEY_LEN: usize = 37;
+
+/// A 5-tuple match key stored inline on the stack.
+///
+/// Byte content is identical to [`FiveTuple::key_bytes`] for the same
+/// tuple — src endpoint, dst endpoint, protocol number — so the two
+/// representations hash identically and may be mixed freely.
+///
+/// Equality, ordering, and hashing all delegate to the encoded byte slice,
+/// and `Borrow<[u8]>` is implemented consistently with `Hash`/`Eq`, so a
+/// `HashMap<TupleKey, V>` can be probed with a plain `&[u8]` key without
+/// re-encoding.
+#[derive(Clone, Copy)]
+pub struct TupleKey {
+    buf: [u8; MAX_KEY_LEN],
+    len: u8,
+}
+
+impl TupleKey {
+    /// Encode a 5-tuple into an inline key. No heap allocation.
+    pub fn new(tuple: &FiveTuple) -> TupleKey {
+        let mut buf = [0u8; MAX_KEY_LEN];
+        let mut at = tuple.src.encode_to(&mut buf, 0);
+        at += tuple.dst.encode_to(&mut buf, at);
+        buf[at] = tuple.proto.number();
+        TupleKey {
+            buf,
+            len: (at + 1) as u8,
+        }
+    }
+
+    /// Build a key from raw canonical bytes (13 or 37 of them).
+    ///
+    /// # Panics
+    /// If `bytes` is longer than [`MAX_KEY_LEN`].
+    pub fn from_bytes(bytes: &[u8]) -> TupleKey {
+        assert!(bytes.len() <= MAX_KEY_LEN, "key longer than MAX_KEY_LEN");
+        let mut buf = [0u8; MAX_KEY_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        TupleKey {
+            buf,
+            len: bytes.len() as u8,
+        }
+    }
+
+    /// The encoded key bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Encoded length in bytes (13 for IPv4, 37 for IPv6).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the key is empty (never true for keys built from tuples).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl PartialEq for TupleKey {
+    fn eq(&self, other: &TupleKey) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TupleKey {}
+
+impl Hash for TupleKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match the `Hash` impl for `[u8]` so `Borrow<[u8]>` probes
+        // find the same buckets.
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for TupleKey {
+    fn partial_cmp(&self, other: &TupleKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TupleKey {
+    fn cmp(&self, other: &TupleKey) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Borrow<[u8]> for TupleKey {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for TupleKey {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&FiveTuple> for TupleKey {
+    fn from(t: &FiveTuple) -> TupleKey {
+        TupleKey::new(t)
+    }
+}
+
+impl fmt::Debug for TupleKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TupleKey(")?;
+        for b in self.as_slice() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FiveTuple {
+    /// The inline, allocation-free form of [`FiveTuple::key_bytes`].
+    pub fn tuple_key(&self) -> TupleKey {
+        TupleKey::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::tuple::Protocol;
+
+    fn v4(port: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(1, 2, 3, 4, port), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn v6(port: u16) -> FiveTuple {
+        FiveTuple::tcp(Addr::v6_indexed(0, 9, port), Addr::v6_indexed(1, 2, 80))
+    }
+
+    #[test]
+    fn matches_key_bytes_both_families() {
+        for t in [v4(1234), v6(4321)] {
+            assert_eq!(t.tuple_key().as_slice(), &t.key_bytes()[..]);
+            assert_eq!(t.tuple_key().len(), t.key_len());
+        }
+        let udp = FiveTuple {
+            proto: Protocol::Udp,
+            ..v4(9)
+        };
+        assert_eq!(udp.tuple_key().as_slice(), &udp.key_bytes()[..]);
+    }
+
+    #[test]
+    fn hashmap_probe_by_slice() {
+        use std::collections::HashMap;
+        let mut m: HashMap<TupleKey, u32> = HashMap::new();
+        m.insert(v4(1).tuple_key(), 7);
+        m.insert(v6(2).tuple_key(), 8);
+        assert_eq!(m.get(v4(1).key_bytes().as_slice()), Some(&7));
+        assert_eq!(m.get(v6(2).key_bytes().as_slice()), Some(&8));
+        assert_eq!(m.get(v4(3).key_bytes().as_slice()), None);
+    }
+
+    #[test]
+    fn equality_ignores_buffer_tail() {
+        let a = TupleKey::from_bytes(&[1, 2, 3]);
+        let mut long = [0u8; 37];
+        long[..3].copy_from_slice(&[1, 2, 3]);
+        let b = TupleKey::from_bytes(&long);
+        assert_ne!(a, b); // different lengths
+        assert_eq!(a, TupleKey::from_bytes(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn roundtrip_from_bytes() {
+        let t = v6(77);
+        let k = TupleKey::from_bytes(&t.key_bytes());
+        assert_eq!(k, t.tuple_key());
+        assert!(!k.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 pub mod addr;
 pub mod error;
 pub mod ids;
+pub mod key;
 pub mod packet;
 pub mod time;
 pub mod tuple;
@@ -27,6 +28,7 @@ pub mod tuple;
 pub use addr::{Addr, AddrFamily, Dip, Vip};
 pub use error::TypeError;
 pub use ids::{ClusterId, ConnSeq, DipId, PoolVersion, SwitchId, VipId};
+pub use key::{TupleKey, MAX_KEY_LEN};
 pub use packet::{PacketMeta, TcpFlags};
 pub use time::{Duration, Nanos};
 pub use tuple::{FiveTuple, Protocol};

@@ -1,0 +1,150 @@
+//! Allocation-regression harness for the packet hot path.
+//!
+//! The steady-state data plane — established connections resolving through
+//! ConnTable hits — must never touch the heap: the 5-tuple key lives inline
+//! on the stack ([`sr_types::TupleKey`]) and every table hash is derived
+//! from one pass over it ([`silkroad::KeyHasher`]). This test installs a
+//! counting global allocator and asserts **zero** allocations per packet,
+//! so the property cannot silently regress.
+//!
+//! The counter is thread-local: the cargo test harness and any sibling
+//! tests run on other threads and must not pollute the measurement.
+
+use silkroad::{DataPath, ForwardDecision, SilkRoadConfig, SilkRoadSwitch};
+use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Passes everything through to the system allocator, counting the calls
+/// made by the current thread.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_so_far() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Build a switch with `n` established connections resolving through
+/// ConnTable, using `client(i)` for the client side of each tuple.
+fn established(vip_addr: Addr, dips: Vec<Dip>, n: u32, client: impl Fn(u32) -> Addr) -> (SilkRoadSwitch, Vec<FiveTuple>) {
+    let cfg = SilkRoadConfig {
+        conn_capacity: (n as usize) * 2,
+        ..Default::default()
+    };
+    let mut sw = SilkRoadSwitch::new(cfg);
+    sw.add_vip(Vip(vip_addr), dips).unwrap();
+    let tuples: Vec<FiveTuple> = (0..n).map(|i| FiveTuple::tcp(client(i), vip_addr)).collect();
+    for t in &tuples {
+        sw.process_packet(&PacketMeta::syn(*t), Nanos::ZERO);
+    }
+    // Let the learning filter drain and the CPU install every entry.
+    sw.advance(Nanos::from_secs(10));
+    (sw, tuples)
+}
+
+/// Run `packets` through the switch and return (decisions-ok, allocations).
+fn measure(
+    sw: &mut SilkRoadSwitch,
+    tuples: &[FiveTuple],
+    now: Nanos,
+    per_packet: bool,
+) -> (u64, u64) {
+    let mut hits = 0u64;
+    let before = allocs_so_far();
+    if per_packet {
+        for t in tuples {
+            let d = sw.process_packet(&PacketMeta::data(*t, 800), now);
+            hits += (d.path == DataPath::AsicConnTable) as u64;
+        }
+    } else {
+        let pkts: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
+        let mut out: Vec<ForwardDecision> = Vec::with_capacity(pkts.len());
+        let before = allocs_so_far();
+        sw.process_batch_into(&pkts, now, &mut out);
+        let allocs = allocs_so_far() - before;
+        return (
+            out.iter()
+                .filter(|d| d.path == DataPath::AsicConnTable)
+                .count() as u64,
+            allocs,
+        );
+    }
+    (hits, allocs_so_far() - before)
+}
+
+fn v4_dips() -> Vec<Dip> {
+    (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+}
+
+fn v6_dips() -> Vec<Dip> {
+    (1..=16u32)
+        .map(|i| Dip(Addr::v6_indexed(0x0d1b, i, 20)))
+        .collect()
+}
+
+#[test]
+fn conn_table_hit_path_is_allocation_free() {
+    const N: u32 = 4096;
+    let vip_addr = Addr::v4(20, 0, 0, 1, 80);
+    let (mut sw, tuples) =
+        established(vip_addr, v4_dips(), N, |i| Addr::v4_indexed(100, i, 1024));
+    assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
+
+    // Warm one pass (hit bits flip, any one-time laziness settles).
+    measure(&mut sw, &tuples, Nanos::from_secs(20), true);
+
+    // Per-packet entry point: zero heap allocations per packet.
+    let (hits, allocs) = measure(&mut sw, &tuples, Nanos::from_secs(21), true);
+    assert_eq!(hits, N as u64, "steady state lost ConnTable hits");
+    assert_eq!(
+        allocs, 0,
+        "process_packet allocated {allocs} times over {N} steady-state packets"
+    );
+
+    // Batched entry point with a recycled output buffer: also zero.
+    let (hits, allocs) = measure(&mut sw, &tuples, Nanos::from_secs(22), false);
+    assert_eq!(hits, N as u64);
+    assert_eq!(
+        allocs, 0,
+        "process_batch_into allocated {allocs} times over {N} packets"
+    );
+}
+
+#[test]
+fn conn_table_hit_path_is_allocation_free_v6() {
+    const N: u32 = 2048;
+    let vip_addr = Addr::v6_indexed(0x0a0a, 1, 443);
+    let (mut sw, tuples) =
+        established(vip_addr, v6_dips(), N, |i| Addr::v6_indexed(0xc11e, i, 1024));
+    assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
+
+    measure(&mut sw, &tuples, Nanos::from_secs(20), true);
+    let (hits, allocs) = measure(&mut sw, &tuples, Nanos::from_secs(21), true);
+    assert_eq!(hits, N as u64, "steady state lost ConnTable hits");
+    assert_eq!(
+        allocs, 0,
+        "v6 hit path allocated {allocs} times over {N} packets"
+    );
+}

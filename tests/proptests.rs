@@ -271,3 +271,106 @@ fn pinned_counterexample_update_update_while_pending() {
         );
     }
 }
+
+// ------------------------------------------------- hot-path key equivalence
+
+/// Expand two 64-bit halves into eight IPv6 segments.
+fn v6_segs(hi: u64, lo: u64) -> [u16; 8] {
+    let mut s = [0u16; 8];
+    for i in 0..4 {
+        s[i] = (hi >> (48 - 16 * i)) as u16;
+        s[4 + i] = (lo >> (48 - 16 * i)) as u16;
+    }
+    s
+}
+
+fn proto_of(udp: bool) -> sr_types::Protocol {
+    if udp {
+        sr_types::Protocol::Udp
+    } else {
+        sr_types::Protocol::Tcp
+    }
+}
+
+/// Any v4 or v6 5-tuple, arbitrary addresses/ports/protocol.
+fn any_tuple() -> impl Strategy<Value = FiveTuple> {
+    let v4 = (
+        (any::<u32>(), any::<u16>()),
+        (any::<u32>(), any::<u16>()),
+        any::<bool>(),
+    )
+        .prop_map(|((s, sp), (d, dp), udp)| {
+            let s = s.to_be_bytes();
+            let d = d.to_be_bytes();
+            FiveTuple {
+                src: Addr::v4(s[0], s[1], s[2], s[3], sp),
+                dst: Addr::v4(d[0], d[1], d[2], d[3], dp),
+                proto: proto_of(udp),
+            }
+        });
+    let v6 = (
+        (any::<u64>(), any::<u64>(), any::<u16>()),
+        (any::<u64>(), any::<u64>(), any::<u16>()),
+        any::<bool>(),
+    )
+        .prop_map(|((sh, sl, sp), (dh, dl, dp), udp)| FiveTuple {
+            src: Addr::v6(v6_segs(sh, sl), sp),
+            dst: Addr::v6(v6_segs(dh, dl), dp),
+            proto: proto_of(udp),
+        });
+    prop_oneof![v4, v6]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The inline stack key encodes exactly the same bytes as the heap
+    /// `key_bytes()` encoding, for both families and both protocols.
+    #[test]
+    fn tuple_key_matches_key_bytes(t in any_tuple()) {
+        let key = t.tuple_key();
+        prop_assert_eq!(key.as_slice(), &t.key_bytes()[..]);
+        prop_assert_eq!(key.len(), t.key_len());
+    }
+
+    /// Every hash the packet path derives from one `KeyHasher` pass is
+    /// bit-identical to running the corresponding standalone `HashFn` over
+    /// the key bytes — the invariant that keeps all experiment outputs
+    /// byte-for-byte stable across the hash-once refactor.
+    #[test]
+    fn hashed_key_matches_standalone_hashes(t in any_tuple(), seed in any::<u64>()) {
+        use silkroad::conn_table::ConnTable;
+        use silkroad::transit::TransitTable;
+        use silkroad::KeyHasher;
+        use sr_hash::HashFn;
+
+        let cfg = SilkRoadConfig { seed, ..SilkRoadConfig::small_test() };
+        let conn_table = ConnTable::new(&cfg);
+        let transit = TransitTable::new(
+            cfg.transit_bytes,
+            cfg.transit_hashes,
+            cfg.seed,
+            cfg.transit_enabled,
+        );
+        let select = HashFn::new(cfg.seed ^ 0x5e1ec7);
+        let hasher = KeyHasher::new(
+            conn_table.stage_fns(),
+            conn_table.match_fn(),
+            select,
+            transit.hash_fns(),
+        );
+
+        let hashed = hasher.hash_tuple(&t);
+        let key = t.key_bytes();
+        prop_assert_eq!(hashed.key().as_slice(), &key[..]);
+        for (i, f) in conn_table.stage_fns().iter().enumerate() {
+            prop_assert_eq!(hashed.conn_stage_hashes()[i], f.hash(&key));
+        }
+        prop_assert_eq!(hashed.conn_match_hash(), conn_table.match_fn().hash(&key));
+        prop_assert_eq!(hashed.select_hash(), select.hash(&key));
+        let bloom = hasher.bloom_hashes(hashed.key());
+        for (i, f) in transit.hash_fns().iter().enumerate() {
+            prop_assert_eq!(bloom.as_slice()[i], f.hash(&key));
+        }
+    }
+}

@@ -13,4 +13,12 @@ cargo test -q
 echo "== clippy (-D warnings)"
 cargo clippy --workspace -- -D warnings
 
+# The allocation gate only means something with optimizations on: debug
+# builds allocate in places release code does not (and vice versa).
+echo "== alloc regression (release)"
+cargo test --test alloc_regression --release
+
+echo "== benches compile"
+cargo bench --workspace --no-run
+
 echo "verify: OK"
