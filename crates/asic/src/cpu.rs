@@ -101,7 +101,11 @@ impl<P> SwitchCpu<P> {
     }
 
     /// Submit a batch in order; returns the completion time of the last job.
-    pub fn submit_batch<I: IntoIterator<Item = P>>(&mut self, jobs: I, now: Nanos) -> Option<Nanos> {
+    pub fn submit_batch<I: IntoIterator<Item = P>>(
+        &mut self,
+        jobs: I,
+        now: Nanos,
+    ) -> Option<Nanos> {
         let mut last = None;
         for j in jobs {
             last = Some(self.submit(j, now));
@@ -130,7 +134,10 @@ impl<P> SwitchCpu<P> {
 
     /// Whether all submitted jobs have completed by `now`.
     pub fn drained(&self, now: Nanos) -> bool {
-        self.queue.front().map(|j| j.completes_at > now).unwrap_or(true)
+        self.queue
+            .front()
+            .map(|j| j.completes_at > now)
+            .unwrap_or(true)
     }
 }
 

@@ -19,10 +19,16 @@
 //! [`resources`] adds the chip-level resource-accounting model used to
 //! regenerate Table 1 (SRAM growth across ASIC generations) and Table 2
 //! (SilkRoad's additional resource usage over the baseline switch.p4).
+//!
+//! [`check`] adds `srcheck`, the pipeline-layout verifier: it validates a
+//! [`PipelineProgram`]'s physical placement against a [`ChipSpec`]'s
+//! per-stage budgets the way an RMT compiler back end would, and rejects
+//! unplaceable layouts with structured diagnostics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod cpu;
 pub mod learning;
 pub mod meter;
@@ -32,11 +38,12 @@ pub mod resources;
 pub mod sram;
 pub mod table;
 
+pub use check::{check_program, CheckReport, ChipSpec, Diagnostic, Rule, Severity, StageUsage};
 pub use cpu::{CpuJob, SwitchCpu, SwitchCpuConfig};
 pub use learning::{LearnEvent, LearningFilter, LearningFilterConfig};
 pub use meter::{Meter, MeterColor, MeterConfig};
-pub use pipeline::{MatchKind, PipelineProgram, RegisterDecl, TableDecl};
+pub use pipeline::{MatchKind, PipelineProgram, RegisterDecl, TableDecl, TableDependency};
 pub use register::RegisterArray;
-pub use resources::{AsicGeneration, ResourceModel, ResourcePercent, ResourceUsage};
-pub use sram::{SramSpec, WORD_BITS};
+pub use resources::{AsicGeneration, RatioError, ResourceModel, ResourcePercent, ResourceUsage};
+pub use sram::{SramError, SramSpec, WORD_BITS};
 pub use table::{ExactMatchTable, TableSpec};

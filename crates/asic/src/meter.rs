@@ -147,12 +147,7 @@ mod tests {
             eir_bps: 0,
             ebs: 0,
         });
-        let (g, y, r) = m.measure_cbr(
-            Nanos::ZERO,
-            500_000_000,
-            1000,
-            Duration::from_millis(100),
-        );
+        let (g, y, r) = m.measure_cbr(Nanos::ZERO, 500_000_000, 1000, Duration::from_millis(100));
         assert!(y == 0 && r == 0, "y={y} r={r}");
         assert!(g > 0);
     }
@@ -166,12 +161,7 @@ mod tests {
             eir_bps: 1_000_000_000,
             ebs: 10_000,
         });
-        let (g, y, r) = m.measure_cbr(
-            Nanos::ZERO,
-            1_500_000_000,
-            1000,
-            Duration::from_millis(200),
-        );
+        let (g, y, r) = m.measure_cbr(Nanos::ZERO, 1_500_000_000, 1000, Duration::from_millis(200));
         let total = (g + y + r) as f64;
         assert!(r as f64 / total < 0.02, "unexpected red {r}");
         let gf = g as f64 / total;
@@ -187,12 +177,7 @@ mod tests {
             eir_bps: 500_000_000,
             ebs: 10_000,
         });
-        let (g, y, r) = m.measure_cbr(
-            Nanos::ZERO,
-            3_000_000_000,
-            1000,
-            Duration::from_millis(200),
-        );
+        let (g, y, r) = m.measure_cbr(Nanos::ZERO, 3_000_000_000, 1000, Duration::from_millis(200));
         let total = (g + y + r) as f64;
         let rf = r as f64 / total;
         assert!((rf - 0.5).abs() < 0.05, "red fraction {rf}");

@@ -40,6 +40,8 @@ pub struct TableDecl {
     pub action_bits: u32,
     /// Provisioned entries.
     pub entries: u64,
+    /// First physical pipeline stage the table occupies (0-based).
+    pub first_stage: u32,
     /// Physical stages the table spans (exact tables replicate their key
     /// and hash per stage).
     pub stages: u32,
@@ -83,6 +85,11 @@ impl TableDecl {
     pub fn crossbar_bits(&self) -> u32 {
         self.key_bits * self.stages.max(1)
     }
+
+    /// Last physical stage the table occupies (inclusive).
+    pub fn last_stage(&self) -> u32 {
+        self.first_stage + self.stages.max(1) - 1
+    }
 }
 
 /// One register-array declaration.
@@ -99,6 +106,16 @@ pub struct RegisterDecl {
     pub alus: u32,
     /// Hash bits used to index the array.
     pub index_hash_bits: u32,
+    /// First physical pipeline stage the array occupies (0-based).
+    pub first_stage: u32,
+    /// Physical stages the array spans. A group of independent arrays
+    /// (counters, meters) may spread; a *transactional* array may not.
+    pub stages: u32,
+    /// Whether accesses are transactional (one-cycle
+    /// read-check-modify-write, §4.1). A transactional array must fit a
+    /// single stage — the ALU cannot see state in another stage within one
+    /// packet time. The TransitTable bloom filter requires this.
+    pub transactional: bool,
 }
 
 impl RegisterDecl {
@@ -106,6 +123,23 @@ impl RegisterDecl {
     pub fn sram_bytes(&self) -> u64 {
         (self.cells * self.width_bits as u64).div_ceil(8)
     }
+
+    /// Last physical stage the array occupies (inclusive).
+    pub fn last_stage(&self) -> u32 {
+        self.first_stage + self.stages.max(1) - 1
+    }
+}
+
+/// An ordering constraint between two pipeline units: `after` consumes a
+/// result (match outcome, metadata write, register verdict) produced by
+/// `before`, so `after` must start in a strictly later physical stage —
+/// RMT's "match dependency", the tightest of its dependency classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableDependency {
+    /// The producing unit (table or register name).
+    pub before: &'static str,
+    /// The consuming unit.
+    pub after: &'static str,
 }
 
 /// A full pipeline program.
@@ -117,6 +151,10 @@ pub struct PipelineProgram {
     pub tables: Vec<TableDecl>,
     /// Register arrays.
     pub registers: Vec<RegisterDecl>,
+    /// Ordering constraints between units ([`TableDependency`]); the
+    /// pipeline verifier checks they are realizable in the declared
+    /// placement and acyclic.
+    pub deps: Vec<TableDependency>,
     /// Metadata bits carried between stages (PHV).
     pub metadata_bits: u32,
     /// Extra hash bits for non-table units (ECMP/LAG selectors, learning).
@@ -132,7 +170,11 @@ impl PipelineProgram {
         let tcam: u64 = self.tables.iter().map(|t| t.tcam_bytes()).sum();
         let vliw: u32 = self.tables.iter().map(|t| t.action_slots).sum();
         let hash: u32 = self.tables.iter().map(|t| t.hash_bits()).sum::<u32>()
-            + self.registers.iter().map(|r| r.index_hash_bits).sum::<u32>()
+            + self
+                .registers
+                .iter()
+                .map(|r| r.index_hash_bits)
+                .sum::<u32>()
             + self.selector_hash_bits;
         let salu: u32 = self.registers.iter().map(|r| r.alus).sum();
         ResourceUsage {
@@ -159,6 +201,7 @@ impl PipelineProgram {
                     stored_key_bits: 60,
                     action_bits: 16,
                     entries: 320_000,
+                    first_stage: 0,
                     stages: 2,
                     action_slots: 6,
                 },
@@ -169,6 +212,7 @@ impl PipelineProgram {
                     stored_key_bits: 60,
                     action_bits: 20,
                     entries: 320_000,
+                    first_stage: 2,
                     stages: 2,
                     action_slots: 8,
                 },
@@ -179,6 +223,7 @@ impl PipelineProgram {
                     stored_key_bits: 44,
                     action_bits: 20,
                     entries: 260_000,
+                    first_stage: 4,
                     stages: 2,
                     action_slots: 10,
                 },
@@ -189,6 +234,7 @@ impl PipelineProgram {
                     stored_key_bits: 140,
                     action_bits: 20,
                     entries: 120_000,
+                    first_stage: 4,
                     stages: 2,
                     action_slots: 10,
                 },
@@ -199,6 +245,7 @@ impl PipelineProgram {
                     stored_key_bits: 44,
                     action_bits: 20,
                     entries: 120_000,
+                    first_stage: 6,
                     stages: 1,
                     action_slots: 8,
                 },
@@ -209,6 +256,7 @@ impl PipelineProgram {
                     stored_key_bits: 140,
                     action_bits: 20,
                     entries: 16_000,
+                    first_stage: 7,
                     stages: 1,
                     action_slots: 8,
                 },
@@ -219,6 +267,7 @@ impl PipelineProgram {
                     stored_key_bits: 240,
                     action_bits: 24,
                     entries: 12_000,
+                    first_stage: 8,
                     stages: 1,
                     action_slots: 12,
                 },
@@ -229,6 +278,7 @@ impl PipelineProgram {
                     stored_key_bits: 16,
                     action_bits: 96, // rewrite info
                     entries: 65_536,
+                    first_stage: 8,
                     stages: 1,
                     action_slots: 14,
                 },
@@ -239,6 +289,7 @@ impl PipelineProgram {
                     stored_key_bits: 24,
                     action_bits: 64,
                     entries: 32_768,
+                    first_stage: 9,
                     stages: 1,
                     action_slots: 14,
                 },
@@ -249,7 +300,44 @@ impl PipelineProgram {
                 width_bits: 64,
                 alus: 18,
                 index_hash_bits: 0,
+                first_stage: 4,
+                stages: 6,
+                // Independent counter/meter arrays spread across stages;
+                // no cross-array transaction is needed.
+                transactional: false,
             }],
+            deps: vec![
+                // L2 learn feeds the L2 forward decision.
+                TableDependency {
+                    before: "smac",
+                    after: "dmac",
+                },
+                // Route resolution feeds nexthop, which feeds rewrite.
+                TableDependency {
+                    before: "ipv4_host",
+                    after: "nexthop",
+                },
+                TableDependency {
+                    before: "ipv6_host",
+                    after: "nexthop",
+                },
+                TableDependency {
+                    before: "ipv4_lpm",
+                    after: "nexthop",
+                },
+                TableDependency {
+                    before: "ipv6_lpm",
+                    after: "nexthop",
+                },
+                TableDependency {
+                    before: "nexthop",
+                    after: "rewrite+qos",
+                },
+                TableDependency {
+                    before: "acl",
+                    after: "rewrite+qos",
+                },
+            ],
             // Parsed headers + bridge metadata in flight.
             metadata_bits: 3_250,
             // ECMP/LAG selectors + MAC learning digests.
@@ -281,6 +369,7 @@ impl PipelineProgram {
                     stored_key_bits: digest_bits,
                     action_bits: version_bits,
                     entries: conn_entries,
+                    first_stage: 0,
                     stages: conn_stages,
                     action_slots: 4,
                 },
@@ -291,6 +380,7 @@ impl PipelineProgram {
                     stored_key_bits: 152,
                     action_bits: 2 * version_bits,
                     entries: vips,
+                    first_stage: conn_stages + 1,
                     stages: 1,
                     action_slots: 3,
                 },
@@ -301,6 +391,7 @@ impl PipelineProgram {
                     stored_key_bits: 32 + version_bits,
                     action_bits: dip_action_bits,
                     entries: dip_pool_rows,
+                    first_stage: conn_stages + 2,
                     stages: 1,
                     action_slots: 6,
                 },
@@ -311,6 +402,7 @@ impl PipelineProgram {
                     stored_key_bits: 16,
                     action_bits: 8,
                     entries: 4_096,
+                    first_stage: conn_stages + 3,
                     stages: 1,
                     action_slots: 4,
                 },
@@ -321,7 +413,29 @@ impl PipelineProgram {
                 width_bits: 1,
                 alus: 2 * transit_hashes, // set path + test path per hash way
                 index_hash_bits: 11 * transit_hashes,
+                first_stage: conn_stages,
+                stages: 1,
+                // One-cycle read-check-modify-write membership (§4.3): must
+                // live in a single stage.
+                transactional: true,
             }],
+            deps: vec![
+                // The paper's miss-path order (§4.3): ConnTable lookup →
+                // TransitTable membership verdict → VIPTable version read →
+                // DIPPoolTable resolution.
+                TableDependency {
+                    before: "ConnTable",
+                    after: "TransitTable",
+                },
+                TableDependency {
+                    before: "TransitTable",
+                    after: "VIPTable",
+                },
+                TableDependency {
+                    before: "VIPTable",
+                    after: "DIPPoolTable",
+                },
+            ],
             // digest(16) + old/new version(12) + transit flag + DIP select
             // hash carried in PHV.
             metadata_bits: 32,
@@ -340,8 +454,14 @@ mod tests {
         let u = PipelineProgram::baseline_switch_p4().resource_usage();
         // switch.p4-class programs use ~10-20 MB of table SRAM, a couple MB
         // of TCAM, dozens of VLIW slots, and O(1kb) crossbar/hash.
-        assert!((8.0..25.0).contains(&bytes_to_mb(u.sram_bytes as u64)), "{u:?}");
-        assert!((1.0..5.0).contains(&bytes_to_mb(u.tcam_bytes as u64)), "{u:?}");
+        assert!(
+            (8.0..25.0).contains(&bytes_to_mb(u.sram_bytes as u64)),
+            "{u:?}"
+        );
+        assert!(
+            (1.0..5.0).contains(&bytes_to_mb(u.tcam_bytes as u64)),
+            "{u:?}"
+        );
         assert!((60.0..120.0).contains(&u.vliw_actions), "{u:?}");
         assert!((250.0..1500.0).contains(&u.hash_bits), "{u:?}");
         assert!((800.0..2500.0).contains(&u.crossbar_bits), "{u:?}");
@@ -391,6 +511,7 @@ mod tests {
             stored_key_bits: 16,
             action_bits: 6,
             entries: 1_000_000,
+            first_stage: 0,
             stages: 4,
             action_slots: 4,
         };

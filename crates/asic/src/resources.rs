@@ -76,7 +76,63 @@ pub struct ResourceUsage {
     pub phv_bits: f64,
 }
 
+/// Why a resource ratio cannot be computed meaningfully.
+///
+/// [`ResourceUsage::percent_of`] keeps its forgiving semantics (0/0 → 0,
+/// x/0 → ∞) for report rendering; [`ResourceUsage::try_percent_of`] instead
+/// refuses inputs that would silently turn a Table 2 row into nonsense —
+/// negative or non-finite usage numbers, which can only come from upstream
+/// overflow or a bug in a demand model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RatioError {
+    /// A usage number is negative, NaN, or infinite.
+    NonFinite {
+        /// Which resource class carried the bad value.
+        resource: &'static str,
+    },
+}
+
+impl std::fmt::Display for RatioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatioError::NonFinite { resource } => {
+                write!(f, "non-finite or negative usage for resource '{resource}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RatioError {}
+
 impl ResourceUsage {
+    /// The usage numbers as named fields, for validation and reporting.
+    fn named_fields(&self) -> [(&'static str, f64); 7] {
+        [
+            ("crossbar", self.crossbar_bits),
+            ("sram", self.sram_bytes),
+            ("tcam", self.tcam_bytes),
+            ("vliw", self.vliw_actions),
+            ("hash_bits", self.hash_bits),
+            ("stateful_alus", self.stateful_alus),
+            ("phv", self.phv_bits),
+        ]
+    }
+
+    /// [`ResourceUsage::percent_of`] with typed failure when either side
+    /// carries a negative or non-finite number (the signature of upstream
+    /// overflow — e.g. a saturated [`crate::sram::SramSpec::bytes_for`]
+    /// cast through `f64`).
+    pub fn try_percent_of(&self, base: &ResourceUsage) -> Result<ResourcePercent, RatioError> {
+        for side in [self, base] {
+            for (resource, v) in side.named_fields() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(RatioError::NonFinite { resource });
+                }
+            }
+        }
+        Ok(self.percent_of(base))
+    }
+
     /// Element-wise ratio `self / base` expressed as percentages, with 0/0
     /// treated as 0 (e.g. TCAM, which SilkRoad does not touch).
     pub fn percent_of(&self, base: &ResourceUsage) -> ResourcePercent {
@@ -278,7 +334,9 @@ mod tests {
         assert_eq!(ASIC_GENERATIONS[0].year, 2012);
         assert_eq!(ASIC_GENERATIONS[2].sram_mb_high, 100);
         // "growing by five times over the past four years"
-        assert!(ASIC_GENERATIONS[2].sram_mb_low as f64 / ASIC_GENERATIONS[0].sram_mb_low as f64 >= 5.0);
+        assert!(
+            ASIC_GENERATIONS[2].sram_mb_low as f64 / ASIC_GENERATIONS[0].sram_mb_low as f64 >= 5.0
+        );
     }
 
     #[test]
@@ -287,15 +345,31 @@ mod tests {
         // hash 34.17, sALU 44.44, PHV 0.98 (percent).
         let m = ResourceModel::default();
         let p = m.table2(&SilkRoadGeometry::table2_config());
-        assert!((20.0..60.0).contains(&p.crossbar), "crossbar {}", p.crossbar);
+        assert!(
+            (20.0..60.0).contains(&p.crossbar),
+            "crossbar {}",
+            p.crossbar
+        );
         assert!((20.0..40.0).contains(&p.sram), "sram {}", p.sram);
         assert_eq!(p.tcam, 0.0);
         assert!((10.0..30.0).contains(&p.vliw), "vliw {}", p.vliw);
         assert!((20.0..50.0).contains(&p.hash_bits), "hash {}", p.hash_bits);
-        assert!((30.0..60.0).contains(&p.stateful_alus), "salu {}", p.stateful_alus);
+        assert!(
+            (30.0..60.0).contains(&p.stateful_alus),
+            "salu {}",
+            p.stateful_alus
+        );
         assert!(p.phv < 2.0, "phv {}", p.phv);
         // All additional usage below 50%, the paper's headline for Table 2.
-        for v in [p.crossbar, p.sram, p.tcam, p.vliw, p.hash_bits, p.stateful_alus, p.phv] {
+        for v in [
+            p.crossbar,
+            p.sram,
+            p.tcam,
+            p.vliw,
+            p.hash_bits,
+            p.stateful_alus,
+            p.phv,
+        ] {
             assert!(v < 60.0);
         }
     }
@@ -323,6 +397,30 @@ mod tests {
         assert!(big.demand().sram_bytes > small.demand().sram_bytes * 50.0);
         // Non-SRAM resources are geometry-fixed, not per-connection.
         assert_eq!(big.demand().stateful_alus, small.demand().stateful_alus);
+    }
+
+    #[test]
+    fn try_percent_of_rejects_non_finite_usage() {
+        let good = ResourceModel::default().baseline;
+        assert!(good.try_percent_of(&good).is_ok());
+        let bad = ResourceUsage {
+            sram_bytes: f64::NAN,
+            ..good
+        };
+        assert_eq!(
+            bad.try_percent_of(&good).unwrap_err(),
+            RatioError::NonFinite { resource: "sram" }
+        );
+        let neg = ResourceUsage {
+            hash_bits: -1.0,
+            ..good
+        };
+        assert_eq!(
+            good.try_percent_of(&neg).unwrap_err(),
+            RatioError::NonFinite {
+                resource: "hash_bits"
+            }
+        );
     }
 
     #[test]

@@ -10,6 +10,38 @@
 /// SRAM word width in bits, as in RMT and the paper's §6 simulations.
 pub const WORD_BITS: u32 = 112;
 
+/// Why an SRAM sizing request cannot be answered exactly.
+///
+/// The infallible helpers ([`SramSpec::words_for`], [`SramSpec::bytes_for`])
+/// paper over these cases (zero-width treated as maximally packed,
+/// overflow saturated to `u64::MAX`) so existing report code keeps working;
+/// callers that must not silently produce nonsense — the `srcheck` pipeline
+/// verifier, the Table 2 model — use the `try_*` variants and surface the
+/// error as a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SramError {
+    /// The entry layout has zero bits: packing is undefined.
+    ZeroWidth,
+    /// The word/byte count does not fit in `u64`.
+    Overflow {
+        /// The entry count that overflowed the computation.
+        entries: u64,
+    },
+}
+
+impl std::fmt::Display for SramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SramError::ZeroWidth => write!(f, "zero-width SRAM entry"),
+            SramError::Overflow { entries } => {
+                write!(f, "SRAM size overflows u64 for {entries} entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SramError {}
+
 /// Description of an SRAM allocation request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SramSpec {
@@ -28,24 +60,50 @@ impl SramSpec {
         WORD_BITS / self.entry_bits // 0 if entry wider than a word
     }
 
-    /// Words needed to store `n` entries.
-    pub fn words_for(&self, n: u64) -> u64 {
+    /// Words needed to store `n` entries, with typed failure on degenerate
+    /// layouts (zero-width entries) and arithmetic overflow.
+    pub fn try_words_for(&self, n: u64) -> Result<u64, SramError> {
         if n == 0 {
-            return 0;
+            return Ok(0);
+        }
+        if self.entry_bits == 0 {
+            return Err(SramError::ZeroWidth);
         }
         let per_word = self.entries_per_word();
         if per_word >= 1 {
-            n.div_ceil(per_word as u64)
+            Ok(n.div_ceil(per_word as u64))
         } else {
             // Wide entry: each entry occupies multiple whole words.
             let words_per_entry = (self.entry_bits as u64).div_ceil(WORD_BITS as u64);
-            n * words_per_entry
+            n.checked_mul(words_per_entry)
+                .ok_or(SramError::Overflow { entries: n })
         }
     }
 
-    /// Bytes of SRAM needed to store `n` entries (whole words).
+    /// Bytes of SRAM needed to store `n` entries (whole words), with typed
+    /// failure on zero-width layouts and overflow.
+    pub fn try_bytes_for(&self, n: u64) -> Result<u64, SramError> {
+        let words = self.try_words_for(n)?;
+        words
+            .checked_mul(WORD_BITS as u64 / 8)
+            .ok_or(SramError::Overflow { entries: n })
+    }
+
+    /// Words needed to store `n` entries. Infallible: a zero-width entry is
+    /// treated as maximally packed and overflow saturates to `u64::MAX` —
+    /// use [`SramSpec::try_words_for`] where nonsense must not pass silently.
+    pub fn words_for(&self, n: u64) -> u64 {
+        match self.try_words_for(n) {
+            Ok(w) => w,
+            Err(SramError::ZeroWidth) => n.div_ceil(WORD_BITS as u64),
+            Err(SramError::Overflow { .. }) => u64::MAX,
+        }
+    }
+
+    /// Bytes of SRAM needed to store `n` entries (whole words). Saturating;
+    /// see [`SramSpec::words_for`] for the degenerate-input policy.
     pub fn bytes_for(&self, n: u64) -> u64 {
-        self.words_for(n) * (WORD_BITS as u64) / 8
+        self.words_for(n).saturating_mul(WORD_BITS as u64 / 8)
     }
 
     /// Packing efficiency: useful bits / allocated bits.
@@ -113,5 +171,36 @@ mod tests {
         let spec = SramSpec { entry_bits: 0 };
         assert!(spec.entries_per_word() > 0);
         let _ = spec.words_for(10);
+    }
+
+    #[test]
+    fn try_variants_reject_zero_width_and_overflow() {
+        let zero = SramSpec { entry_bits: 0 };
+        assert_eq!(zero.try_words_for(10), Err(SramError::ZeroWidth));
+        assert_eq!(zero.try_words_for(0), Ok(0));
+
+        let wide = SramSpec {
+            entry_bits: u32::MAX,
+        };
+        let err = wide.try_words_for(u64::MAX).unwrap_err();
+        assert!(matches!(err, SramError::Overflow { .. }));
+        // The saturating path caps instead of wrapping.
+        assert_eq!(wide.words_for(u64::MAX), u64::MAX);
+        assert_eq!(wide.bytes_for(u64::MAX), u64::MAX);
+
+        // Byte conversion can overflow even when the word count fits.
+        let spec = SramSpec {
+            entry_bits: WORD_BITS,
+        };
+        assert!(matches!(
+            spec.try_bytes_for(u64::MAX / 2),
+            Err(SramError::Overflow { .. })
+        ));
+
+        // Well-formed requests agree with the infallible helpers.
+        let ok = SramSpec { entry_bits: 28 };
+        assert_eq!(ok.try_words_for(5), Ok(ok.words_for(5)));
+        assert_eq!(ok.try_bytes_for(1_000_000), Ok(ok.bytes_for(1_000_000)));
+        assert_eq!(format!("{}", SramError::ZeroWidth), "zero-width SRAM entry");
     }
 }

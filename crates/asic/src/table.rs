@@ -7,8 +7,8 @@
 //! Table 2 resource model and the Fig 12/14 memory results.
 
 use crate::sram::SramSpec;
-use sr_hash::cuckoo::{CuckooError, CuckooConfig, CuckooTable, InsertOutcome, LookupHit};
 pub use sr_hash::cuckoo::MatchMode;
+use sr_hash::cuckoo::{CuckooConfig, CuckooError, CuckooTable, InsertOutcome, LookupHit};
 
 /// On-chip layout of one table entry.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +48,12 @@ impl TableSpec {
     /// SRAM bytes to hold `n` entries.
     pub fn bytes_for(&self, n: u64) -> u64 {
         self.sram().bytes_for(n)
+    }
+
+    /// [`TableSpec::bytes_for`] with typed failure on zero-width layouts
+    /// and overflow (see [`crate::sram::SramError`]).
+    pub fn try_bytes_for(&self, n: u64) -> Result<u64, crate::sram::SramError> {
+        self.sram().try_bytes_for(n)
     }
 }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sr_asic::{
-    LearningFilter, LearningFilterConfig, Meter, MeterColor, MeterConfig, RegisterArray,
-    SwitchCpu, SwitchCpuConfig,
+    LearningFilter, LearningFilterConfig, Meter, MeterColor, MeterConfig, RegisterArray, SwitchCpu,
+    SwitchCpuConfig,
 };
 use sr_types::{Duration, Nanos};
 

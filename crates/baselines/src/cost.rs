@@ -104,7 +104,13 @@ mod tests {
         let m = CostModel::default();
         // Packet-bound: 24 Mpps needs 2 SLBs, 1 SilkRoad.
         let d = m.size(24e6, 0.0, 1e6);
-        assert_eq!(d, Deployment { slbs: 2, silkroads: 1 });
+        assert_eq!(
+            d,
+            Deployment {
+                slbs: 2,
+                silkroads: 1
+            }
+        );
         // Connection-bound: 15M conns need 2 SilkRoads.
         let d = m.size(1e6, 0.0, 15e6);
         assert_eq!(d.silkroads, 2);
@@ -118,6 +124,12 @@ mod tests {
     #[test]
     fn minimum_one_unit() {
         let m = CostModel::default();
-        assert_eq!(m.size(0.0, 0.0, 0.0), Deployment { slbs: 1, silkroads: 1 });
+        assert_eq!(
+            m.size(0.0, 0.0, 0.0),
+            Deployment {
+                slbs: 1,
+                silkroads: 1
+            }
+        );
     }
 }

@@ -288,7 +288,8 @@ mod tests {
             policy,
             seed: 0xd0e7,
         });
-        d.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        d.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)])
+            .unwrap();
         d
     }
 
@@ -307,7 +308,8 @@ mod tests {
     #[test]
     fn update_redirects_to_slb() {
         let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(10)));
-        d.update_pool(vip(), vec![dip(1), dip(2), dip(3)], Nanos::ZERO).unwrap();
+        d.update_pool(vip(), vec![dip(1), dip(2), dip(3)], Nanos::ZERO)
+            .unwrap();
         assert!(d.is_redirected(vip()));
         d.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO);
         assert_eq!(d.stats().slb_packets, 1);
@@ -318,9 +320,12 @@ mod tests {
     fn old_connections_keep_old_mapping_while_redirected() {
         let mut d = duet(MigrationPolicy::Periodic(Duration::from_mins(10)));
         // Old connection established at the switch.
-        let before = d.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO).unwrap();
+        let before = d
+            .process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO)
+            .unwrap();
         // Update removes a DIP; VIP redirects.
-        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1)).unwrap();
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1))
+            .unwrap();
         // Old connection's next (non-SYN) packet at the SLB: must keep its
         // pre-update DIP (warm-up semantics).
         let after = d
@@ -337,12 +342,14 @@ mod tests {
             .map(|p| {
                 (
                     p,
-                    d.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap(),
+                    d.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO)
+                        .unwrap(),
                 )
             })
             .collect();
         // Remove a DIP; redirect; old conns keep mapping at SLB.
-        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(5)).unwrap();
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(5))
+            .unwrap();
         for (p, dd) in &assigned {
             let at_slb = d
                 .process_packet(&PacketMeta::data(conn(*p), 100), Nanos::from_secs(6))
@@ -373,8 +380,11 @@ mod tests {
     fn wait_pcc_never_migrates_early() {
         let mut d = duet(MigrationPolicy::WaitPcc);
         let key5 = conn(5).key_bytes();
-        let before = d.process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO).unwrap();
-        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1)).unwrap();
+        let before = d
+            .process_packet(&PacketMeta::syn(conn(5)), Nanos::ZERO)
+            .unwrap();
+        d.update_pool(vip(), vec![dip(2), dip(3), dip(4)], Nanos::from_secs(1))
+            .unwrap();
         // Register the old connection at the SLB.
         let at_slb = d
             .process_packet(&PacketMeta::data(conn(5), 100), Nanos::from_secs(1))

@@ -86,13 +86,16 @@ mod tests {
     #[test]
     fn pool_change_moves_connections() {
         let mut e = EcmpLb::new(1);
-        e.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        e.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)])
+            .unwrap();
         let before: Vec<Dip> = (0..1000)
             .map(|p| e.process_packet(&PacketMeta::syn(conn(p))).unwrap())
             .collect();
         e.update_pool(vip(), vec![dip(1), dip(2), dip(3)]).unwrap();
         let moved = (0..1000)
-            .filter(|p| e.process_packet(&PacketMeta::data(conn(*p), 1)).unwrap() != before[*p as usize])
+            .filter(|p| {
+                e.process_packet(&PacketMeta::data(conn(*p), 1)).unwrap() != before[*p as usize]
+            })
             .count();
         // Far more than the 1/4 a consistent scheme would move.
         assert!(moved > 250, "moved {moved}");

@@ -183,9 +183,13 @@ mod tests {
     #[test]
     fn connection_stickiness() {
         let mut s = slb();
-        let d1 = s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO).unwrap();
+        let d1 = s
+            .process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO)
+            .unwrap();
         for _ in 0..10 {
-            let d = s.process_packet(&PacketMeta::data(conn(1), 100), Nanos::ZERO).unwrap();
+            let d = s
+                .process_packet(&PacketMeta::data(conn(1), 100), Nanos::ZERO)
+                .unwrap();
             assert_eq!(d, d1);
         }
         assert_eq!(s.stats().connections, 1);
@@ -196,11 +200,19 @@ mod tests {
     fn pcc_across_updates() {
         let mut s = slb();
         let assigned: Vec<(u16, Dip)> = (0..200)
-            .map(|p| (p, s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap()))
+            .map(|p| {
+                (
+                    p,
+                    s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO)
+                        .unwrap(),
+                )
+            })
             .collect();
         s.update_pool(vip(), vec![dip(1), dip(3)]).unwrap();
         for (p, d) in assigned {
-            let after = s.process_packet(&PacketMeta::data(conn(p), 100), Nanos::ZERO).unwrap();
+            let after = s
+                .process_packet(&PacketMeta::data(conn(p), 100), Nanos::ZERO)
+                .unwrap();
             assert_eq!(after, d, "SLB broke PCC for port {p}");
         }
     }
@@ -210,7 +222,9 @@ mod tests {
         let mut s = slb();
         s.update_pool(vip(), vec![dip(1), dip(3)]).unwrap();
         for p in 1000..1200 {
-            let d = s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO).unwrap();
+            let d = s
+                .process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO)
+                .unwrap();
             assert_ne!(d, dip(2));
         }
     }
@@ -229,7 +243,10 @@ mod tests {
     #[test]
     fn unknown_vip_unhandled() {
         let mut s = SoftwareLb::new(SlbConfig::default());
-        assert_eq!(s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO), None);
+        assert_eq!(
+            s.process_packet(&PacketMeta::syn(conn(1)), Nanos::ZERO),
+            None
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use silkroad::{PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
 use sr_asic::{Meter, MeterConfig};
 use sr_hash::cuckoo::{CuckooConfig, CuckooTable};
-use sr_hash::{BloomFilter, DigestFn, HashFn};
 use sr_hash::maglev::MaglevTable;
+use sr_hash::{BloomFilter, DigestFn, HashFn};
 use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
 
 fn key(i: u64) -> [u8; 13] {
@@ -150,8 +150,7 @@ fn bench_dataplane(c: &mut Criterion) {
     g.throughput(Throughput::Elements(BATCH as u64));
     g.bench_function("process_batch_hit_100k_resident", |b| {
         let (mut sw, tuples) = setup(100_000);
-        let pkts: Vec<PacketMeta> =
-            tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
+        let pkts: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
         let mut out = Vec::with_capacity(BATCH);
         let mut off = 0usize;
         b.iter(|| {
@@ -166,11 +165,12 @@ fn bench_dataplane(c: &mut Criterion) {
         let (mut sw, tuples) = setup_with(
             100_000,
             Addr::v6_indexed(0x0a0a, 1, 443),
-            (1..=16u32).map(|i| Dip(Addr::v6_indexed(0x0d1b, i, 20))).collect(),
+            (1..=16u32)
+                .map(|i| Dip(Addr::v6_indexed(0x0d1b, i, 20)))
+                .collect(),
             |i| Addr::v6_indexed(0xc11e, i as u32, 1024),
         );
-        let pkts: Vec<PacketMeta> =
-            tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
+        let pkts: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
         let mut out = Vec::with_capacity(BATCH);
         let mut off = 0usize;
         b.iter(|| {

@@ -72,9 +72,27 @@ fn main() {
     let cmd = cmds.first().copied().unwrap_or("help");
 
     let all = [
-        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "meters", "digests", "cost", "ablations",
-        "pipeline", "latency",
+        "table1",
+        "table2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "meters",
+        "digests",
+        "cost",
+        "ablations",
+        "pipeline",
+        "latency",
     ];
     match cmd {
         "all" => {
@@ -85,8 +103,12 @@ fn main() {
         }
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
-            println!("targets: all {}", all.join(" "));
+            println!("targets: all {} check", all.join(" "));
         }
+        // `check` is deliberately not part of `all`: it is the srcheck
+        // verification gate (placement reports + pass/fail exit code), not
+        // an evaluation figure.
+        "check" => run_check(),
         c if all.contains(&c) => run_timed(c, scale, &exec),
         other => {
             eprintln!("unknown target '{other}' — try: repro help");
@@ -95,10 +117,38 @@ fn main() {
     }
 }
 
+/// `repro check` — run the srcheck pipeline-layout verifier over both
+/// reference programs and print their full placement reports. Exits
+/// non-zero if any layout is rejected, so `tools/verify.sh` can gate on it.
+fn run_check() {
+    use sr_asic::{ChipSpec, PipelineProgram};
+    let chip = ChipSpec::tofino_class();
+    let programs = [
+        PipelineProgram::baseline_switch_p4(),
+        PipelineProgram::silkroad(1_000_000, 4, 16, 6, 1_000, 4_000, 144, 256, 4),
+    ];
+    let mut rejected = 0;
+    for prog in programs {
+        let report = prog.check(&chip);
+        println!("{}", report.render());
+        println!();
+        if !report.is_placeable() {
+            rejected += 1;
+        }
+    }
+    if rejected > 0 {
+        eprintln!("repro check: {rejected} program(s) rejected");
+        std::process::exit(1);
+    }
+}
+
 /// Run one target and report its wall-clock on stderr (stdout must stay
 /// byte-identical across `--jobs` settings; timing is the one thing that
 /// legitimately differs).
 fn run_timed(cmd: &str, scale: Scale, exec: &Exec) {
+    // Wall-clock is banned in the model (clippy.toml) but fine here: the
+    // timing goes to stderr only, never into the byte-stable stdout.
+    #[allow(clippy::disallowed_methods)]
     let t0 = std::time::Instant::now();
     run(cmd, scale, exec);
     eprintln!(
@@ -343,7 +393,12 @@ fn run(cmd: &str, scale: Scale, exec: &Exec) {
             let points = fig_pcc::fig18(exec, scale, &sizes, &timeouts);
             let mut t = Table::new(
                 "Fig 18 — PCC violations vs TransitTable size (10 upd/min)",
-                &["TransitTable", "timeout 0.5ms", "timeout 1ms", "timeout 5ms"],
+                &[
+                    "TransitTable",
+                    "timeout 0.5ms",
+                    "timeout 1ms",
+                    "timeout 5ms",
+                ],
             );
             for &s in &sizes {
                 let find = |to: Duration| {
@@ -474,11 +529,7 @@ fn run(cmd: &str, scale: Scale, exec: &Exec) {
             // backlog grows without bound and both designs break (the
             // bloom-saturation regime the fig18 discussion covers).
             let arrivals = 2_770_000.0 * scale.rate_factor / 60.0;
-            let rates = [
-                (arrivals * 1.2) as u64,
-                (arrivals * 10.0) as u64,
-                200_000,
-            ];
+            let rates = [(arrivals * 1.2) as u64, (arrivals * 10.0) as u64, 200_000];
             for p in ablations::insertion_rate_sweep(exec, scale, &rates) {
                 t.row(vec![
                     p.insertions_per_sec.to_string(),

@@ -63,7 +63,8 @@ impl Exec {
         if self.workers == 1 || n <= 1 {
             return inputs.into_iter().map(job).collect();
         }
-        let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().collect());
+        let queue: Mutex<VecDeque<(usize, I)>> =
+            Mutex::new(inputs.into_iter().enumerate().collect());
         let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
             for _ in 0..self.workers.min(n) {
@@ -97,6 +98,9 @@ mod tests {
     use sr_types::Duration;
 
     #[test]
+    // Real sleeps are banned workspace-wide (clippy.toml); this test needs
+    // them precisely to force out-of-order completion.
+    #[allow(clippy::disallowed_methods)]
     fn results_keep_submission_order() {
         // Jobs finish out of order (later jobs are cheaper) but the
         // output order must match the input order.

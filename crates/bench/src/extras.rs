@@ -222,7 +222,11 @@ mod tests {
         assert!(p24.conn_table_bytes > p16.conn_table_bytes);
         // The false-hit rate at 16 bits stays tiny (paper: 0.01%). Allow an
         // order of magnitude of slack at this reduced population.
-        assert!(p16.false_hit_fraction() < 0.002, "{}", p16.false_hit_fraction());
+        assert!(
+            p16.false_hit_fraction() < 0.002,
+            "{}",
+            p16.false_hit_fraction()
+        );
     }
 
     #[test]
@@ -249,7 +253,15 @@ mod tests {
     #[test]
     fn cost_factors_match_paper() {
         let c = cost_comparison();
-        assert!((450.0..650.0).contains(&c.power_factor), "{}", c.power_factor);
-        assert!((200.0..300.0).contains(&c.capex_factor), "{}", c.capex_factor);
+        assert!(
+            (450.0..650.0).contains(&c.power_factor),
+            "{}",
+            c.power_factor
+        );
+        assert!(
+            (200.0..300.0).contains(&c.capex_factor),
+            "{}",
+            c.capex_factor
+        );
     }
 }

@@ -28,20 +28,24 @@ fn summarize(
     fleet: &[ClusterSpec],
     f: impl Fn(&ClusterSpec) -> f64 + Sync,
 ) -> Vec<KindSummary> {
-    [ClusterKind::PoP, ClusterKind::Frontend, ClusterKind::Backend]
-        .iter()
-        .map(|&kind| {
-            let clusters: Vec<&ClusterSpec> = fleet.iter().filter(|c| c.kind == kind).collect();
-            let mut xs: Vec<f64> = exec.run(clusters, &f);
-            xs.sort_by(f64::total_cmp);
-            KindSummary {
-                kind,
-                p50: percentile(&xs, 50.0),
-                p90: percentile(&xs, 90.0),
-                max: *xs.last().unwrap_or(&0.0),
-            }
-        })
-        .collect()
+    [
+        ClusterKind::PoP,
+        ClusterKind::Frontend,
+        ClusterKind::Backend,
+    ]
+    .iter()
+    .map(|&kind| {
+        let clusters: Vec<&ClusterSpec> = fleet.iter().filter(|c| c.kind == kind).collect();
+        let mut xs: Vec<f64> = exec.run(clusters, &f);
+        xs.sort_by(f64::total_cmp);
+        KindSummary {
+            kind,
+            p50: percentile(&xs, 50.0),
+            p90: percentile(&xs, 90.0),
+            max: *xs.last().unwrap_or(&0.0),
+        }
+    })
+    .collect()
 }
 
 /// The memory-model inputs for one cluster's worst-loaded ToR.
@@ -99,7 +103,9 @@ pub fn fig14(exec: &Exec, fleet: &[ClusterSpec], design: Fig14Design) -> Vec<Kin
             version_bits: 6,
         },
     };
-    summarize(exec, fleet, |c| saving_vs_naive(d, &cluster_memory_inputs(c)))
+    summarize(exec, fleet, |c| {
+        saving_vs_naive(d, &cluster_memory_inputs(c))
+    })
 }
 
 /// How many clusters fit within a given per-switch SRAM budget (Fig 12's

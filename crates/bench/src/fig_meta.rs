@@ -5,12 +5,12 @@
 //! simulation figures depend on.
 
 use crate::report::Table;
+use sr_types::Duration;
 use sr_workload::dists::percentile;
 use sr_workload::{
     synthesize_fleet, ClusterKind, ClusterSpec, FleetConfig, UpdateCause, UpdatePlanConfig,
     UpdatePlanner,
 };
-use sr_types::Duration;
 
 /// Fig 2 row: share of clusters with more than `threshold` updates/min.
 #[derive(Clone, Copy, Debug)]
@@ -137,23 +137,23 @@ pub struct KindCdfRow {
 }
 
 fn kind_cdf(fleet: &[ClusterSpec], f: impl Fn(&ClusterSpec) -> f64) -> Vec<KindCdfRow> {
-    [ClusterKind::PoP, ClusterKind::Frontend, ClusterKind::Backend]
-        .iter()
-        .map(|&kind| {
-            let mut xs: Vec<f64> = fleet
-                .iter()
-                .filter(|c| c.kind == kind)
-                .map(&f)
-                .collect();
-            xs.sort_by(f64::total_cmp);
-            KindCdfRow {
-                kind,
-                p50: percentile(&xs, 50.0),
-                p90: percentile(&xs, 90.0),
-                max: *xs.last().unwrap_or(&0.0),
-            }
-        })
-        .collect()
+    [
+        ClusterKind::PoP,
+        ClusterKind::Frontend,
+        ClusterKind::Backend,
+    ]
+    .iter()
+    .map(|&kind| {
+        let mut xs: Vec<f64> = fleet.iter().filter(|c| c.kind == kind).map(&f).collect();
+        xs.sort_by(f64::total_cmp);
+        KindCdfRow {
+            kind,
+            p50: percentile(&xs, 50.0),
+            p90: percentile(&xs, 90.0),
+            max: *xs.last().unwrap_or(&0.0),
+        }
+    })
+    .collect()
 }
 
 /// Fig 6: active connections per ToR (p99 minute) across clusters.
@@ -228,7 +228,11 @@ mod tests {
             .find(|r| r.cause == UpdateCause::Upgrade)
             .unwrap();
         assert!((2.5..3.5).contains(&upgrade.p50_min), "{}", upgrade.p50_min);
-        assert!((60.0..160.0).contains(&upgrade.p99_min), "{}", upgrade.p99_min);
+        assert!(
+            (60.0..160.0).contains(&upgrade.p99_min),
+            "{}",
+            upgrade.p99_min
+        );
         // Failures take longer than upgrades at the median.
         let failure = rows
             .iter()

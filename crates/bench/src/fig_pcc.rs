@@ -120,12 +120,7 @@ pub struct Fig18Point {
 
 /// Fig 18: violations vs TransitTable size for several learning timeouts,
 /// at 10 updates/min.
-pub fn fig18(
-    exec: &Exec,
-    scale: Scale,
-    sizes: &[usize],
-    timeouts: &[Duration],
-) -> Vec<Fig18Point> {
+pub fn fig18(exec: &Exec, scale: Scale, sizes: &[usize], timeouts: &[Duration]) -> Vec<Fig18Point> {
     let mut jobs = Vec::new();
     for &timeout in timeouts {
         for &bytes in sizes {

@@ -47,7 +47,9 @@ pub fn fig15(exec: &Exec, rates_per_min: &[f64], dips: u32, seed: u64) -> Vec<Fi
         ))
         .generate();
 
-        let pool: Vec<Dip> = (0..dips).map(|i| Dip(Addr::v4(10, 0, 0, i as u8, 20))).collect();
+        let pool: Vec<Dip> = (0..dips)
+            .map(|i| Dip(Addr::v4(10, 0, 0, i as u8, 20)))
+            .collect();
         let mut with_reuse = VersionManager::new(vip, DipPool::new(pool.clone()), 12, true);
         let mut naive = VersionManager::new(vip, DipPool::new(pool), 12, false);
 

@@ -45,7 +45,11 @@ pub fn table2_table(conn_entries: u64) -> Table {
         ("Packet Header Vector", p.phv, "0.98%"),
     ];
     for (name, v, paper) in rows {
-        t.row(vec![name.to_string(), format!("{v:.2}%"), paper.to_string()]);
+        t.row(vec![
+            name.to_string(),
+            format!("{v:.2}%"),
+            paper.to_string(),
+        ]);
     }
     t
 }
@@ -64,7 +68,15 @@ mod tests {
     #[test]
     fn table2_one_million_under_fifty_percent() {
         let p = table2(1_000_000);
-        for v in [p.crossbar, p.sram, p.tcam, p.vliw, p.hash_bits, p.stateful_alus, p.phv] {
+        for v in [
+            p.crossbar,
+            p.sram,
+            p.tcam,
+            p.vliw,
+            p.hash_bits,
+            p.stateful_alus,
+            p.phv,
+        ] {
             assert!(v < 60.0, "resource exceeds the paper's <50% headline: {v}");
         }
         assert!(table2_table(1_000_000).render().contains("Stateful ALUs"));

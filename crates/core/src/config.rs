@@ -145,6 +145,77 @@ impl SilkRoadConfig {
     pub fn version_ring_size(&self) -> u32 {
         1u32 << self.version_bits.min(16)
     }
+
+    /// The physical pipeline layout this configuration provisions, as the
+    /// layout verifier ([`sr_asic::check`]) sees it.
+    ///
+    /// The ConnTable's placement span auto-widens beyond `conn_stages` when
+    /// its SRAM demand cannot pack into that many stages: an RMT compiler
+    /// spreads one logical table across extra physical stages while the
+    /// logical hash ways stay fixed, so a wider span changes placement, not
+    /// behaviour. The span is capped at the chip's stage count — a table
+    /// that still overflows per-stage SRAM at full width is genuinely
+    /// unplaceable and the verifier rejects it.
+    pub fn pipeline_program(&self) -> sr_asic::PipelineProgram {
+        let chip = sr_asic::ChipSpec::tofino_class();
+        let entry_bits = match self.mapping {
+            // Mirrors `ConnTable::new`'s on-chip entry layouts.
+            ConnMapping::Version => self.digest_bits as u32 + self.version_bits as u32 + 6,
+            ConnMapping::DirectDip => self.digest_bits as u32 + 144 + 6,
+        };
+        let sram = sr_asic::SramSpec { entry_bits };
+        let mut span = self.conn_stages as u32;
+        loop {
+            let per_stage = (self.conn_capacity as u64).div_ceil(span as u64);
+            let blocks = sram
+                .words_for(per_stage)
+                .div_ceil(chip.sram_block_words as u64);
+            if blocks <= chip.sram_blocks_per_stage as u64 || span >= chip.stages {
+                break;
+            }
+            span += 1;
+        }
+        // VIP/DIP-pool provisioning uses the paper-scale reference sizes;
+        // both tables are placement-trivial next to the ConnTable.
+        let mut prog = sr_asic::PipelineProgram::silkroad(
+            self.conn_capacity as u64,
+            span,
+            self.digest_bits as u32,
+            self.version_bits as u32,
+            1_000,
+            4_000,
+            144,
+            self.transit_bytes as u64,
+            self.transit_hashes as u32,
+        );
+        if self.mapping == ConnMapping::DirectDip {
+            prog.tables[0].action_bits = 144;
+        }
+        if !self.transit_enabled {
+            // The Fig 16/17 ablation: no bloom filter, and the miss path
+            // chains ConnTable straight into the VIP lookup.
+            prog.registers.clear();
+            prog.deps = vec![
+                sr_asic::TableDependency {
+                    before: "ConnTable",
+                    after: "VIPTable",
+                },
+                sr_asic::TableDependency {
+                    before: "VIPTable",
+                    after: "DIPPoolTable",
+                },
+            ];
+        }
+        prog
+    }
+
+    /// Run the pipeline-layout verifier over [`SilkRoadConfig::pipeline_program`]
+    /// on the Tofino-class chip. [`crate::SilkRoadSwitch::new`] refuses
+    /// configurations whose report has errors.
+    pub fn check_layout(&self) -> sr_asic::CheckReport {
+        self.pipeline_program()
+            .check(&sr_asic::ChipSpec::tofino_class())
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +244,50 @@ mod tests {
         assert!(c.validate().is_err());
         c.digest_bits_per_stage = Some(vec![]);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_layout_is_placeable() {
+        let report = SilkRoadConfig::default().check_layout();
+        assert!(report.is_placeable(), "{}", report.render());
+    }
+
+    #[test]
+    fn big_conn_table_widens_span_and_stays_placeable() {
+        // The Fig 13 cluster-scale sims provision up to 12M connections;
+        // that cannot pack into 4 stages, so the placement span widens.
+        let cfg = SilkRoadConfig {
+            conn_capacity: 12_000_000,
+            ..Default::default()
+        };
+        let prog = cfg.pipeline_program();
+        assert!(prog.tables[0].stages > 4, "{:?}", prog.tables[0]);
+        let report = cfg.check_layout();
+        assert!(report.is_placeable(), "{}", report.render());
+    }
+
+    #[test]
+    fn absurd_conn_table_is_refused() {
+        // 80M connections overflow per-stage SRAM even spanning the whole
+        // pipeline — srcheck must reject the layout.
+        let cfg = SilkRoadConfig {
+            conn_capacity: 80_000_000,
+            ..Default::default()
+        };
+        let report = cfg.check_layout();
+        assert!(!report.is_placeable());
+    }
+
+    #[test]
+    fn transit_ablation_drops_register_from_layout() {
+        let cfg = SilkRoadConfig {
+            transit_enabled: false,
+            ..Default::default()
+        };
+        let prog = cfg.pipeline_program();
+        assert!(prog.registers.is_empty());
+        let report = cfg.check_layout();
+        assert!(report.is_placeable(), "{}", report.render());
     }
 
     #[test]

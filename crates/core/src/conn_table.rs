@@ -104,7 +104,9 @@ impl ConnTable {
         stage_hashes: &[u64],
         match_hash: u64,
     ) -> Option<(ConnValue, bool, Option<TupleKey>)> {
-        let hit = self.table.lookup_marking_pre(key, stage_hashes, match_hash)?;
+        let hit = self
+            .table
+            .lookup_marking_pre(key, stage_hashes, match_hash)?;
         let resident = if hit.exact {
             None
         } else {

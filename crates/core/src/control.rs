@@ -5,8 +5,8 @@
 //! per-VIP outstanding counters for the step-transition checks.
 
 use sr_asic::{LearningFilter, LearningFilterConfig, SwitchCpu, SwitchCpuConfig};
+use sr_hash::{FxHashMap, FxHashSet};
 use sr_types::{Dip, Nanos, PoolVersion, Vip};
-use std::collections::{HashMap, HashSet};
 
 /// Metadata captured when the data plane learns a new connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,11 +46,11 @@ pub struct ControlPlane {
     /// The management CPU.
     pub cpu: SwitchCpu<InstallJob>,
     /// Keys anywhere in the learn→install pipeline.
-    in_flight: HashSet<Box<[u8]>>,
+    in_flight: FxHashSet<Box<[u8]>>,
     /// Per-VIP count of in-flight (pending) connections.
-    outstanding: HashMap<Vip, u64>,
+    outstanding: FxHashMap<Vip, u64>,
     /// Connections closed before their install completed.
-    closed_early: HashSet<Box<[u8]>>,
+    closed_early: FxHashSet<Box<[u8]>>,
 }
 
 impl ControlPlane {
@@ -59,9 +59,9 @@ impl ControlPlane {
         ControlPlane {
             learning: LearningFilter::new(learning),
             cpu: SwitchCpu::new(cpu),
-            in_flight: HashSet::new(),
-            outstanding: HashMap::new(),
-            closed_early: HashSet::new(),
+            in_flight: FxHashSet::default(),
+            outstanding: FxHashMap::default(),
+            closed_early: FxHashSet::default(),
         }
     }
 

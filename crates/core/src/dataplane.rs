@@ -40,7 +40,12 @@ impl KeyHasher {
     /// Assemble the layout. Panics if either function count exceeds its
     /// bound ([`MAX_PACKET_HASHES`] / [`MAX_BLOOM_HASHES`] — far beyond any
     /// paper configuration).
-    pub fn new(conn_stage_fns: &[HashFn], conn_match_fn: HashFn, select_fn: HashFn, bloom_fns: &[HashFn]) -> KeyHasher {
+    pub fn new(
+        conn_stage_fns: &[HashFn],
+        conn_match_fn: HashFn,
+        select_fn: HashFn,
+        bloom_fns: &[HashFn],
+    ) -> KeyHasher {
         let mut fns = Vec::with_capacity(conn_stage_fns.len() + 2);
         fns.extend_from_slice(conn_stage_fns);
         fns.push(conn_match_fn);
@@ -82,7 +87,11 @@ impl KeyHasher {
     /// bloom `HashFn` standalone; no heap allocation.
     pub fn bloom_hashes(&self, key: &TupleKey) -> BloomHashes {
         let mut vals = [0u64; MAX_BLOOM_HASHES];
-        hash_all(&self.bloom_fns, key.as_slice(), &mut vals[..self.bloom_fns.len()]);
+        hash_all(
+            &self.bloom_fns,
+            key.as_slice(),
+            &mut vals[..self.bloom_fns.len()],
+        );
         BloomHashes {
             vals,
             n: self.bloom_fns.len() as u8,

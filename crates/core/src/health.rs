@@ -11,8 +11,8 @@
 //! version-reuse machinery then collapses into at most a couple of pool
 //! versions per flap.
 
+use sr_hash::FxHashMap;
 use sr_types::{Dip, Duration, Nanos, Vip};
-use std::collections::HashMap;
 
 /// Health-checker configuration.
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +79,7 @@ pub struct HealthChecker {
     cfg: HealthConfig,
     targets: Vec<Target>,
     /// Index by (vip, dip) into `targets`.
-    index: HashMap<(Vip, Dip), usize>,
+    index: FxHashMap<(Vip, Dip), usize>,
     /// Probes sent (bandwidth accounting).
     pub probes_sent: u64,
 }
@@ -90,7 +90,7 @@ impl HealthChecker {
         HealthChecker {
             cfg,
             targets: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             probes_sent: 0,
         }
     }
@@ -115,9 +115,7 @@ impl HealthChecker {
         let stagger = if self.cfg.interval.0 == 0 {
             Duration::ZERO
         } else {
-            Duration(
-                (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.cfg.interval.0,
-            )
+            Duration((slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.cfg.interval.0)
         };
         self.targets.push(Target {
             vip,

@@ -105,7 +105,9 @@ fn conn_entry_bits(design: MemoryDesign, family: AddrFamily) -> u32 {
     let action_full = 8 * family.dip_action_bytes() as u32;
     match design {
         MemoryDesign::Naive => key_bits + action_full + OVERHEAD_BITS,
-        MemoryDesign::DigestOnly { digest_bits } => digest_bits as u32 + action_full + OVERHEAD_BITS,
+        MemoryDesign::DigestOnly { digest_bits } => {
+            digest_bits as u32 + action_full + OVERHEAD_BITS
+        }
         MemoryDesign::DigestVersion {
             digest_bits,
             version_bits,
@@ -259,8 +261,20 @@ mod tests {
     #[test]
     fn bigger_digest_costs_more() {
         let i = inputs_v6(2_770_000);
-        let m16 = cost(MemoryDesign::DigestVersion { digest_bits: 16, version_bits: 6 }, &i);
-        let m24 = cost(MemoryDesign::DigestVersion { digest_bits: 24, version_bits: 6 }, &i);
+        let m16 = cost(
+            MemoryDesign::DigestVersion {
+                digest_bits: 16,
+                version_bits: 6,
+            },
+            &i,
+        );
+        let m24 = cost(
+            MemoryDesign::DigestVersion {
+                digest_bits: 24,
+                version_bits: 6,
+            },
+            &i,
+        );
         assert!(m24.total() > m16.total());
     }
 }

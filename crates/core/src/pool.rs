@@ -8,9 +8,9 @@
 //! reuse*, which substitutes a dead (removed) DIP in place, leaving every
 //! live connection's slot untouched.
 
+use sr_hash::FxHashMap;
 use sr_hash::{ecmp_select, HashFn};
 use sr_types::{Dip, FiveTuple, PoolVersion, Vip};
-use sr_hash::FxHashMap;
 
 /// One operator-requested DIP-pool change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,7 +1,7 @@
 //! Switch-level statistics counters.
 
+use sr_hash::FxHashMap;
 use sr_types::Vip;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Counters exported by a [`crate::SilkRoadSwitch`].
@@ -52,7 +52,7 @@ pub struct SwitchStats {
     pub metered_drops: u64,
     /// Live fallback-pinned connections per VIP (which VIPs are paying the
     /// software-path cost; entries are removed when their count hits 0).
-    pub fallback_pins_by_vip: HashMap<Vip, u64>,
+    pub fallback_pins_by_vip: FxHashMap<Vip, u64>,
 }
 
 impl SwitchStats {

@@ -92,10 +92,18 @@ pub struct SilkRoadSwitch {
 }
 
 impl SilkRoadSwitch {
-    /// Build a switch. Panics on invalid configuration (validate first for
+    /// Build a switch. Panics on invalid configuration or on a pipeline
+    /// layout the srcheck verifier rejects (validate/check first for
     /// graceful handling).
     pub fn new(cfg: SilkRoadConfig) -> SilkRoadSwitch {
         cfg.validate().expect("invalid SilkRoadConfig");
+        let layout = cfg.check_layout();
+        if !layout.is_placeable() {
+            panic!(
+                "SilkRoadConfig is not placeable on the target pipeline:\n{}",
+                layout.render()
+            );
+        }
         // The DIP-select hash: one generic hash unit, shared by every VIP.
         let select_hash = HashFn::new(cfg.seed ^ 0x5e1ec7);
         let conn_table = ConnTable::new(&cfg);
@@ -227,7 +235,8 @@ impl SilkRoadSwitch {
             rows += s.manager.live_versions() as u64;
         }
         let mut vip_table = 0u64;
-        let mut dip_pool_table = crate::memory::pool_row_spec(self.cfg.version_bits).bytes_for(rows);
+        let mut dip_pool_table =
+            crate::memory::pool_row_spec(self.cfg.version_bits).bytes_for(rows);
         for (i, family) in families.into_iter().enumerate() {
             vip_table += crate::memory::vip_row_spec(family).bytes_for(vips[i]);
             dip_pool_table += crate::memory::pool_member_spec(family).bytes_for(members[i]);
@@ -296,6 +305,7 @@ impl SilkRoadSwitch {
         }
     }
 
+    // srlint: hot-path begin
     /// Process one packet at `now`.
     pub fn process_packet(&mut self, pkt: &PacketMeta, now: Nanos) -> ForwardDecision {
         self.advance(now);
@@ -345,8 +355,11 @@ impl SilkRoadSwitch {
             let epoch = self.conn_table.epoch();
             let located: [Option<(u32, u32)>; CHUNK] = std::array::from_fn(|i| {
                 let h = &hashed[i];
-                self.conn_table
-                    .locate(h.key().as_slice(), h.conn_stage_hashes(), h.conn_match_hash())
+                self.conn_table.locate(
+                    h.key().as_slice(),
+                    h.conn_stage_hashes(),
+                    h.conn_match_hash(),
+                )
             });
             // Pass 3: the real pipeline, resolving warm slots.
             for (i, pkt) in chunk.iter().enumerate() {
@@ -671,6 +684,7 @@ impl SilkRoadSwitch {
             false_hit: false,
         }
     }
+    // srlint: hot-path end
 
     /// The connection identified by `tuple` closed (FIN/RST observed or the
     /// flow ended). Frees its ConnTable entry and version reference.
@@ -972,7 +986,8 @@ mod tests {
 
     fn switch() -> SilkRoadSwitch {
         let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
-        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)])
+            .unwrap();
         sw
     }
 
@@ -1053,10 +1068,7 @@ mod tests {
         sw.request_update(vip(), PoolUpdate::Remove(dip(1)), Nanos::from_micros(10))
             .unwrap();
         // While pending and mid-update, a data packet must still go to d1.
-        let d2 = sw.process_packet(
-            &PacketMeta::data(conn(42), 100),
-            Nanos::from_micros(20),
-        );
+        let d2 = sw.process_packet(&PacketMeta::data(conn(42), 100), Nanos::from_micros(20));
         assert_eq!(d2.dip, d1.dip, "pending connection broke PCC");
         // After everything settles, still d1.
         settle(&mut sw, 50);
@@ -1205,7 +1217,8 @@ mod tests {
         sw.advance(t);
         let mut port = 1000u16;
         for _ in 0..20 {
-            sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t).unwrap();
+            sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t)
+                .unwrap();
             t += sr_types::Duration::from_millis(20);
             // Connections arriving while the DIP is down pin the
             // removal-shaped version, as production traffic would.
@@ -1215,7 +1228,8 @@ mod tests {
             }
             t += sr_types::Duration::from_millis(20);
             sw.advance(t);
-            sw.request_update(vip(), PoolUpdate::Add(dip(1)), t).unwrap();
+            sw.request_update(vip(), PoolUpdate::Add(dip(1)), t)
+                .unwrap();
             t += sr_types::Duration::from_millis(20);
             sw.advance(t);
         }
@@ -1328,9 +1342,12 @@ mod tests {
         let mut cfg = SilkRoadConfig::small_test();
         cfg.digest_bits = 8;
         let mut sw = SilkRoadSwitch::new(cfg);
-        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)]).unwrap();
+        sw.add_vip(vip(), vec![dip(1), dip(2), dip(3), dip(4)])
+            .unwrap();
         let resident = conn(1);
-        let d_res = sw.process_packet(&PacketMeta::syn(resident), Nanos::ZERO).dip;
+        let d_res = sw
+            .process_packet(&PacketMeta::syn(resident), Nanos::ZERO)
+            .dip;
         sw.advance(Nanos::from_millis(10));
         assert_eq!(sw.conn_count(), 1);
 

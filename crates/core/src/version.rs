@@ -18,8 +18,8 @@
 //! → ≤ 51 versions in a 10-min window).
 
 use crate::pool::{DipPool, DipPoolTable, PoolUpdate};
-use sr_types::{Dip, PoolVersion, TypeError, Vip};
 use sr_hash::FxHashMap;
+use sr_types::{Dip, PoolVersion, TypeError, Vip};
 use std::collections::VecDeque;
 
 /// Outcome of preparing an update.
@@ -185,8 +185,7 @@ impl VersionManager {
                     continue 'candidates;
                 }
             }
-            let subs: Vec<(Dip, Dip)> =
-                extra_in_v.into_iter().zip(missing).collect();
+            let subs: Vec<(Dip, Dip)> = extra_in_v.into_iter().zip(missing).collect();
             return Some((v, subs));
         }
         None
@@ -377,7 +376,11 @@ mod tests {
         m.commit(rm.new_version);
         let add = m.prepare(PoolUpdate::Add(dip(9))).unwrap().unwrap();
         assert!(add.reused);
-        assert_eq!(add.new_version, PoolVersion(0), "redeems the pre-removal version");
+        assert_eq!(
+            add.new_version,
+            PoolVersion(0),
+            "redeems the pre-removal version"
+        );
         m.commit(add.new_version);
         let pool = m.current_pool();
         assert_eq!(pool.len(), 3);
@@ -393,9 +396,15 @@ mod tests {
         // 100 remove/add cycles with reuse: version usage stays tiny.
         let mut m = mgr(true);
         for i in 0..100u8 {
-            let rm = m.prepare(PoolUpdate::Remove(dip(1 + (i % 3)))).unwrap().unwrap();
+            let rm = m
+                .prepare(PoolUpdate::Remove(dip(1 + (i % 3))))
+                .unwrap()
+                .unwrap();
             m.commit(rm.new_version);
-            let add = m.prepare(PoolUpdate::Add(dip(1 + (i % 3)))).unwrap().unwrap();
+            let add = m
+                .prepare(PoolUpdate::Add(dip(1 + (i % 3))))
+                .unwrap()
+                .unwrap();
             assert!(add.reused, "cycle {i} failed to reuse");
             m.commit(add.new_version);
         }
@@ -479,7 +488,10 @@ mod tests {
         let v0 = m.current_version();
         m.conn_installed(v0);
         m.conn_removed(v0);
-        assert!(m.pool(v0).is_some(), "current version must never be destroyed");
+        assert!(
+            m.pool(v0).is_some(),
+            "current version must never be destroyed"
+        );
     }
 
     #[test]

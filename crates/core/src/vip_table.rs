@@ -103,7 +103,10 @@ mod tests {
         let mut t = VipTable::new();
         assert!(t.is_empty());
         t.insert(vip(), PoolVersion(0));
-        assert_eq!(t.lookup(&vip().0), Some(VersionView::Stable(PoolVersion(0))));
+        assert_eq!(
+            t.lookup(&vip().0),
+            Some(VersionView::Stable(PoolVersion(0)))
+        );
         assert!(t.contains(&vip().0));
         assert_eq!(t.len(), 1);
         t.remove(vip());
@@ -124,7 +127,10 @@ mod tests {
         }
         assert_eq!(t.lookup(&vip().0).unwrap().newest(), PoolVersion(1));
         t.finish_transition(vip());
-        assert_eq!(t.lookup(&vip().0), Some(VersionView::Stable(PoolVersion(1))));
+        assert_eq!(
+            t.lookup(&vip().0),
+            Some(VersionView::Stable(PoolVersion(1)))
+        );
     }
 
     #[test]

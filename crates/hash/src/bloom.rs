@@ -62,17 +62,33 @@ impl BloomFilter {
         &self.hashes
     }
 
-    /// Map one 64-bit hash output to its bit index (multiply-shift scaling,
-    /// same rationale as `ecmp_select`).
-    fn bit_of(&self, h: u64) -> usize {
-        ((h as u128 * self.nbits as u128) >> 64) as usize
+    /// Map one 64-bit hash output to a bit index below `nbits`
+    /// (multiply-shift scaling, same rationale as `ecmp_select`). The
+    /// result is always `< nbits`, so the word accessors below never miss.
+    fn bit_index(nbits: usize, h: u64) -> usize {
+        ((h as u128 * nbits as u128) >> 64) as usize
+    }
+
+    /// Set bit `p` (hot path: `p` is in range by construction).
+    fn set_bit(&mut self, p: usize) {
+        if let Some(w) = self.bits.get_mut(p / 64) {
+            *w |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Test bit `p`.
+    fn test_bit(&self, p: usize) -> bool {
+        self.bits
+            .get(p / 64)
+            .is_some_and(|w| w & (1u64 << (p % 64)) != 0)
     }
 
     /// Insert a key.
     pub fn insert(&mut self, key: &[u8]) {
         for i in 0..self.hashes.len() {
-            let p = self.bit_of(self.hashes[i].hash(key));
-            self.bits[p / 64] |= 1u64 << (p % 64);
+            let Some(f) = self.hashes.get(i) else { break };
+            let p = Self::bit_index(self.nbits, f.hash(key));
+            self.set_bit(p);
         }
         self.inserted += 1;
     }
@@ -80,10 +96,9 @@ impl BloomFilter {
     /// Query membership. May return true for keys never inserted (false
     /// positive); never returns false for an inserted key.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.hashes.iter().all(|h| {
-            let p = self.bit_of(h.hash(key));
-            self.bits[p / 64] & (1u64 << (p % 64)) != 0
-        })
+        self.hashes
+            .iter()
+            .all(|h| self.test_bit(Self::bit_index(self.nbits, h.hash(key))))
     }
 
     /// [`BloomFilter::insert`] from precomputed hashes: `hashes[i]` must be
@@ -94,8 +109,8 @@ impl BloomFilter {
     pub fn insert_hashed(&mut self, hashes: &[u64]) {
         assert_eq!(hashes.len(), self.hashes.len(), "insert_hashed: wrong k");
         for &h in hashes {
-            let p = self.bit_of(h);
-            self.bits[p / 64] |= 1u64 << (p % 64);
+            let p = Self::bit_index(self.nbits, h);
+            self.set_bit(p);
         }
         self.inserted += 1;
     }
@@ -104,10 +119,9 @@ impl BloomFilter {
     /// [`BloomFilter::insert_hashed`]).
     pub fn contains_hashed(&self, hashes: &[u64]) -> bool {
         assert_eq!(hashes.len(), self.hashes.len(), "contains_hashed: wrong k");
-        hashes.iter().all(|&h| {
-            let p = self.bit_of(h);
-            self.bits[p / 64] & (1u64 << (p % 64)) != 0
-        })
+        hashes
+            .iter()
+            .all(|&h| self.test_bit(Self::bit_index(self.nbits, h)))
     }
 
     /// Reset to empty (step 3 of the PCC update protocol).
@@ -170,7 +184,9 @@ mod tests {
             f.insert(&key(i));
         }
         let probes = 100_000u32;
-        let fps = (1000..1000 + probes).filter(|i| f.contains(&key(*i))).count();
+        let fps = (1000..1000 + probes)
+            .filter(|i| f.contains(&key(*i)))
+            .count();
         let measured = fps as f64 / probes as f64;
         let theory = f.theoretical_fp_rate(100);
         assert!(

@@ -144,7 +144,12 @@ pub struct CuckooConfig {
 impl CuckooConfig {
     /// A table sized to hold at least `capacity` entries at ~`target_load`
     /// utilization, spread over `stages` stages.
-    pub fn for_capacity(capacity: usize, stages: usize, entries_per_word: usize, seed: u64) -> CuckooConfig {
+    pub fn for_capacity(
+        capacity: usize,
+        stages: usize,
+        entries_per_word: usize,
+        seed: u64,
+    ) -> CuckooConfig {
         let stages = stages.max(2);
         let entries_per_word = entries_per_word.max(1);
         // Size for ~95% achievable load factor (multi-way multi-stage cuckoo
@@ -277,7 +282,7 @@ pub struct CuckooTable<V> {
 /// Resident keys grouped by narrowest-stage digest (see `CuckooTable.alias`).
 struct AliasIndex {
     digest: DigestFn,
-    classes: std::collections::HashMap<u32, Vec<Box<[u8]>>>,
+    classes: crate::FxHashMap<u32, Vec<Box<[u8]>>>,
 }
 
 impl<V: Clone> CuckooTable<V> {
@@ -293,11 +298,7 @@ impl<V: Clone> CuckooTable<V> {
             MatchMode::DigestPerStage { bits } => Some(
                 (0..cfg.stages)
                     .map(|i| {
-                        let b = bits
-                            .get(i)
-                            .or(bits.last())
-                            .copied()
-                            .unwrap_or(16);
+                        let b = bits.get(i).or(bits.last()).copied().unwrap_or(16);
                         DigestFn::new(cfg.seed ^ 0xd1e5, b)
                     })
                     .collect(),
@@ -309,7 +310,7 @@ impl<V: Clone> CuckooTable<V> {
                 cfg.seed ^ 0xd1e5,
                 ds.iter().map(|d| d.bits()).min().unwrap_or(16),
             ),
-            classes: std::collections::HashMap::new(),
+            classes: crate::FxHashMap::default(),
         });
         let per_stage = cfg.words_per_stage * cfg.entries_per_word;
         CuckooTable {
@@ -317,7 +318,9 @@ impl<V: Clone> CuckooTable<V> {
             digests,
             fingerprint: HashFn::new(cfg.seed ^ 0xf19e),
             slots: (0..cfg.stages).map(|_| vec![None; per_stage]).collect(),
-            mfs: (0..cfg.stages).map(|_| vec![EMPTY_PLANE; per_stage]).collect(),
+            mfs: (0..cfg.stages)
+                .map(|_| vec![EMPTY_PLANE; per_stage])
+                .collect(),
             len: 0,
             total_moves: 0,
             epoch: 0,
@@ -411,6 +414,7 @@ impl<V: Clone> CuckooTable<V> {
         word * e..(word + 1) * e
     }
 
+    // srlint: hot-path begin
     /// Scan one word for a match-field hit; returns `(slot, exact)`. The
     /// scan reads the dense match-field plane — the ASIC compares a word's
     /// packed fields in parallel — and dereferences a full entry only on
@@ -669,6 +673,7 @@ impl<V: Clone> CuckooTable<V> {
         }
         self.hit_at(stage, slot, exact)
     }
+    // srlint: hot-path end
 
     /// Look up with mutable access to the value (exact-key match only —
     /// this is a software-side helper, not an ASIC path).
@@ -836,7 +841,7 @@ impl<V: Clone> CuckooTable<V> {
         }
         let mut nodes: Vec<Node> = Vec::new();
         let mut queue: VecDeque<(usize, usize)> = VecDeque::new(); // (node idx, depth)
-        let mut visited: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        let mut visited: crate::FxHashSet<(usize, usize)> = crate::FxHashSet::default();
 
         for stage in 0..self.cfg.stages {
             if Some(stage) == exclude_stage {
@@ -1422,9 +1427,14 @@ mod tests {
         let k = key(3);
         let mut hashes = vec![0u64; stage_fns.len()];
         crate::hasher::hash_all(&stage_fns, &k, &mut hashes);
-        let hit = t.lookup_marking_pre(&k, &hashes, match_fn.hash(&k)).unwrap();
+        let hit = t
+            .lookup_marking_pre(&k, &hashes, match_fn.hash(&k))
+            .unwrap();
         assert!(hit.exact);
-        assert!(t.retain_hits(|_, _, hit| hit).is_empty(), "marked entry aged out");
+        assert!(
+            t.retain_hits(|_, _, hit| hit).is_empty(),
+            "marked entry aged out"
+        );
     }
 
     #[test]

@@ -129,6 +129,9 @@ mod tests {
     fn same_seed_shares_hash_fn_across_widths() {
         // The per-stage hash-once derivation relies on this: one 64-bit
         // hash serves every stage width.
-        assert_eq!(DigestFn::new(3, 16).hash_fn(), DigestFn::new(3, 24).hash_fn());
+        assert_eq!(
+            DigestFn::new(3, 16).hash_fn(),
+            DigestFn::new(3, 24).hash_fn()
+        );
     }
 }

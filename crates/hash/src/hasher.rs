@@ -29,7 +29,11 @@ impl HashFn {
     /// Derive a family of `n` independent functions from a base seed.
     pub fn family(base_seed: u64, n: usize) -> Vec<HashFn> {
         (0..n)
-            .map(|i| HashFn::new(base_seed.wrapping_add(0xa076_1d64_78bd_642f_u64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                HashFn::new(
+                    base_seed.wrapping_add(0xa076_1d64_78bd_642f_u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
             .collect()
     }
 
@@ -188,7 +192,12 @@ mod tests {
     #[test]
     fn hash_all_matches_individual_hashes() {
         let fns = HashFn::family(0x51_1c, 9);
-        let keys: [&[u8]; 4] = [b"", b"x", b"13-byte-key!!", b"a-37-byte-key-like-an-ipv6-five-tuple"];
+        let keys: [&[u8]; 4] = [
+            b"",
+            b"x",
+            b"13-byte-key!!",
+            b"a-37-byte-key-like-an-ipv6-five-tuple",
+        ];
         for key in keys {
             let mut out = vec![0u64; fns.len()];
             hash_all(&fns, key, &mut out);

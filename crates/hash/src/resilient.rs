@@ -113,13 +113,15 @@ impl ResilientTable {
                     *s = member;
                     taken += 1;
                 }
-                owner if owner != member && owned[owner] > fair
+                owner
+                    if owner != member && owned[owner] > fair
                     // Take deterministically-spread slots from the rich.
-                    && self.redistribute.hash_u64(i as u64).is_multiple_of(2) => {
-                        owned[owner] -= 1;
-                        *s = member;
-                        taken += 1;
-                    }
+                    && self.redistribute.hash_u64(i as u64).is_multiple_of(2) =>
+                {
+                    owned[owner] -= 1;
+                    *s = member;
+                    taken += 1;
+                }
                 _ => {}
             }
         }

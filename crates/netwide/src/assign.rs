@@ -109,10 +109,7 @@ pub fn assign_vips(topo: &Topology, demands: &[VipDemand]) -> Result<Assignment,
         let best = layers
             .iter_mut()
             .filter(|l| l.fits(mem, d.traffic_gbps))
-            .min_by(|a, b| {
-                a.utilization_with(mem)
-                    .total_cmp(&b.utilization_with(mem))
-            });
+            .min_by(|a, b| a.utilization_with(mem).total_cmp(&b.utilization_with(mem)));
         match best {
             Some(l) => {
                 l.used_sram += mem;

@@ -51,8 +51,7 @@ impl SilkRoadFabric {
         let mut switches = HashMap::new();
         let mut layers = HashMap::new();
         for layer in Layer::ALL {
-            let members: Vec<SwitchId> =
-                topo.enabled_at(layer).iter().map(|s| s.id).collect();
+            let members: Vec<SwitchId> = topo.enabled_at(layer).iter().map(|s| s.id).collect();
             if members.is_empty() {
                 continue;
             }
@@ -197,7 +196,9 @@ mod tests {
         let mut f = fabric();
         let mut per_switch: HashMap<SwitchId, u32> = HashMap::new();
         for i in 0..400 {
-            let (id, d) = f.process_packet(&PacketMeta::syn(conn(i)), Nanos::ZERO).unwrap();
+            let (id, d) = f
+                .process_packet(&PacketMeta::syn(conn(i)), Nanos::ZERO)
+                .unwrap();
             assert!(d.dip.is_some());
             *per_switch.entry(id).or_insert(0) += 1;
             // Same connection always lands on the same switch.
@@ -212,7 +213,12 @@ mod tests {
         let mut t = Nanos::ZERO;
         let mut assigned = Vec::new();
         for i in 0..400 {
-            assigned.push(f.process_packet(&PacketMeta::syn(conn(i)), t).unwrap().1.dip);
+            assigned.push(
+                f.process_packet(&PacketMeta::syn(conn(i)), t)
+                    .unwrap()
+                    .1
+                    .dip,
+            );
             t += Duration::from_micros(50);
         }
         t += Duration::from_millis(50);
@@ -272,7 +278,10 @@ mod tests {
                 assert_eq!(d.dip, Some(dip0));
             }
         }
-        assert!(moved_switch > 50, "victim hosted too few flows: {moved_switch}");
+        assert!(
+            moved_switch > 50,
+            "victim hosted too few flows: {moved_switch}"
+        );
     }
 
     #[test]
@@ -316,17 +325,23 @@ mod tests {
         // state is gone and the new pool hashes differently) — but most
         // survive because most hash positions coincide.
         assert!(remapped > 0, "expected some §7 failover breakage");
-        assert!(survived > remapped, "survived {survived} vs remapped {remapped}");
+        assert!(
+            survived > remapped,
+            "survived {survived} vs remapped {remapped}"
+        );
     }
 
     #[test]
     fn unknown_vip_and_empty_layer() {
         let topo = Topology::clos(2, 0, 0, 1 << 20, 100.0);
         let mut f = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
-        assert!(f
-            .assign_vip(vip(), dips(), Layer::Core)
-            .is_err(), "no Core switches exist");
+        assert!(
+            f.assign_vip(vip(), dips(), Layer::Core).is_err(),
+            "no Core switches exist"
+        );
         let other = FiveTuple::tcp(Addr::v4(1, 1, 1, 1, 1), Addr::v4(9, 9, 9, 9, 53));
-        assert!(f.process_packet(&PacketMeta::syn(other), Nanos::ZERO).is_none());
+        assert!(f
+            .process_packet(&PacketMeta::syn(other), Nanos::ZERO)
+            .is_none());
     }
 }

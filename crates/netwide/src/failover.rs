@@ -60,7 +60,10 @@ pub fn switch_failure_impact(
 /// Re-spray a failed switch's flows across `survivors` switches via ECMP
 /// (used by the failover example/bench to pick the takeover switch).
 pub fn respray_switch(tuple: &FiveTuple, survivors: usize, seed: u64) -> Option<usize> {
-    sr_hash::ecmp_select(HashFn::new(seed ^ 0xfa11).hash(tuple.tuple_key().as_slice()), survivors)
+    sr_hash::ecmp_select(
+        HashFn::new(seed ^ 0xfa11).hash(tuple.tuple_key().as_slice()),
+        survivors,
+    )
 }
 
 #[cfg(test)]
@@ -72,7 +75,11 @@ mod tests {
     fn latest_version_conns_survive() {
         let newest = PoolVersion(3);
         let r = switch_failure_impact(
-            &[(PoolVersion(3), 900), (PoolVersion(2), 80), (PoolVersion(1), 20)],
+            &[
+                (PoolVersion(3), 900),
+                (PoolVersion(2), 80),
+                (PoolVersion(1), 20),
+            ],
             newest,
         );
         assert_eq!(r.affected, 1000);

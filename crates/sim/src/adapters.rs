@@ -249,7 +249,11 @@ impl LoadBalancer for DuetAdapter {
     fn software_share(&self, vip: Vip, from: Nanos, to: Nanos) -> f64 {
         let span = to.since(from).0 as f64;
         if span <= 0.0 {
-            return if self.duet.is_redirected(vip) { 1.0 } else { 0.0 };
+            return if self.duet.is_redirected(vip) {
+                1.0
+            } else {
+                0.0
+            };
         }
         let Some(intervals) = self.redirects.get(&vip) else {
             return 0.0;
@@ -535,7 +539,10 @@ mod tests {
         let mut a = SlbAdapter::new(SlbConfig::default());
         a.add_vip(vip(), vec![dip(1)]);
         assert!(a.packet(&PacketMeta::syn(conn(1)), Nanos::ZERO).in_software);
-        assert_eq!(a.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)), 1.0);
+        assert_eq!(
+            a.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)),
+            1.0
+        );
     }
 
     #[test]
@@ -562,11 +569,8 @@ mod tests {
         let mut slb_vips = std::collections::HashSet::new();
         let slb_vip = Vip(Addr::v4(20, 0, 0, 2, 80));
         slb_vips.insert(slb_vip);
-        let mut h = HybridAdapter::new(
-            SilkRoadConfig::small_test(),
-            SlbConfig::default(),
-            slb_vips,
-        );
+        let mut h =
+            HybridAdapter::new(SilkRoadConfig::small_test(), SlbConfig::default(), slb_vips);
         h.add_vip(vip(), vec![dip(1), dip(2)]);
         h.add_vip(slb_vip, vec![dip(3), dip(4)]);
         // Switch-side VIP: hardware path.
@@ -578,8 +582,14 @@ mod tests {
         let v2 = h.packet(&PacketMeta::syn(slb_conn), Nanos::ZERO);
         assert!(v2.dip.is_some());
         assert!(v2.in_software);
-        assert_eq!(h.software_share(slb_vip, Nanos::ZERO, Nanos::from_secs(1)), 1.0);
-        assert_eq!(h.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)), 0.0);
+        assert_eq!(
+            h.software_share(slb_vip, Nanos::ZERO, Nanos::from_secs(1)),
+            1.0
+        );
+        assert_eq!(
+            h.software_share(vip(), Nanos::ZERO, Nanos::from_secs(1)),
+            0.0
+        );
         // Updates route too; both sides keep PCC.
         h.apply_update(slb_vip, PoolUpdate::Remove(dip(4)), Nanos::from_millis(1));
         let v3 = h.packet(&PacketMeta::data(slb_conn, 100), Nanos::from_millis(2));

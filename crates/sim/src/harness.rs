@@ -462,7 +462,10 @@ mod tests {
         let duet = mk(MigrationPolicy::Periodic(Duration::from_mins(1)));
         let mut ecmp = EcmpAdapter::new(5);
         let ecmp_m = Harness::new(trace(30.0, 3), HarnessConfig::default()).run(&mut ecmp);
-        assert!(duet.pcc_violations > 0, "periodic Duet should break some: {duet}");
+        assert!(
+            duet.pcc_violations > 0,
+            "periodic Duet should break some: {duet}"
+        );
         assert!(
             duet.violation_fraction() < ecmp_m.violation_fraction(),
             "duet {duet} vs ecmp {ecmp_m}"

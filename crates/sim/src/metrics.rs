@@ -5,15 +5,13 @@ use std::fmt;
 
 /// A log-bucketed latency histogram (100 ns – ~100 ms), cheap enough to
 /// record per probe packet.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyHist {
     /// Bucket `i` counts samples in `[100ns * 2^i, 100ns * 2^(i+1))`.
     buckets: [u64; 24],
     count: u64,
     sum_ns: u128,
 }
-
 
 impl LatencyHist {
     fn bucket_of(d: Duration) -> usize {

@@ -183,7 +183,10 @@ mod tests {
             SystemKind::Duet(MigrationPolicy::Periodic(Duration::from_mins(10))).label(),
             "Duet-10min"
         );
-        assert_eq!(SystemKind::Duet(MigrationPolicy::WaitPcc).label(), "Duet-PCC");
+        assert_eq!(
+            SystemKind::Duet(MigrationPolicy::WaitPcc).label(),
+            "Duet-PCC"
+        );
         assert_eq!(SystemKind::Slb.label(), "SLB");
     }
 
@@ -192,7 +195,10 @@ mod tests {
         // The paper's ordering at 10+ updates/min:
         //   SilkRoad (0) < SilkRoad-noTT (tiny) < Duet-10min.
         let upm = 20.0;
-        let silkroad = run_scenario(Scenario::new(small_trace(upm), SystemKind::silkroad_default()));
+        let silkroad = run_scenario(Scenario::new(
+            small_trace(upm),
+            SystemKind::silkroad_default(),
+        ));
         let no_tt = run_scenario(Scenario::new(
             small_trace(upm),
             SystemKind::SilkRoadNoTransit {

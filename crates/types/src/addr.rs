@@ -220,6 +220,9 @@ mod tests {
         assert_eq!(Addr::v4(20, 0, 0, 1, 80).to_string(), "20.0.0.1:80");
         let v6 = Addr::v6([0xfd00, 0, 0, 0, 0, 0, 0, 1], 443);
         assert_eq!(v6.to_string(), "[fd00::1]:443");
-        assert_eq!(Vip(Addr::v4(20, 0, 0, 1, 80)).to_string(), "VIP 20.0.0.1:80");
+        assert_eq!(
+            Vip(Addr::v4(20, 0, 0, 1, 80)).to_string(),
+            "VIP 20.0.0.1:80"
+        );
     }
 }

@@ -301,7 +301,10 @@ mod tests {
         // "the most loaded clusters have around 10M connections" (PoPs),
         // Backends up to 15M, Frontends far fewer.
         assert!((6_000_000..=11_000_000).contains(&max_pop), "pop {max_pop}");
-        assert!((9_000_000..=15_000_000).contains(&max_backend), "backend {max_backend}");
+        assert!(
+            (9_000_000..=15_000_000).contains(&max_backend),
+            "backend {max_backend}"
+        );
         assert!(max_frontend < 600_000, "frontend {max_frontend}");
     }
 

@@ -310,7 +310,10 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::ConnOpen(_)))
             .count() as f64;
         let expected = small_cfg().expected_conns();
-        assert!((conns / expected - 1.0).abs() < 0.15, "{conns} vs {expected}");
+        assert!(
+            (conns / expected - 1.0).abs() < 0.15,
+            "{conns} vs {expected}"
+        );
     }
 
     #[test]
@@ -339,8 +342,14 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a: Vec<Nanos> = TraceIter::new(small_cfg()).map(|e| e.at()).take(100).collect();
-        let b: Vec<Nanos> = TraceIter::new(small_cfg()).map(|e| e.at()).take(100).collect();
+        let a: Vec<Nanos> = TraceIter::new(small_cfg())
+            .map(|e| e.at())
+            .take(100)
+            .collect();
+        let b: Vec<Nanos> = TraceIter::new(small_cfg())
+            .map(|e| e.at())
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -348,8 +357,7 @@ mod tests {
     fn zero_rates_yield_update_only_or_empty() {
         let mut cfg = small_cfg();
         cfg.new_conns_per_min = 0.0;
-        assert!(TraceIter::new(cfg)
-            .all(|e| matches!(e, TraceEvent::Update(_))));
+        assert!(TraceIter::new(cfg).all(|e| matches!(e, TraceEvent::Update(_))));
         cfg.updates_per_min = 0.0;
         assert_eq!(TraceIter::new(cfg).count(), 0);
     }

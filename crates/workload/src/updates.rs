@@ -147,7 +147,13 @@ pub struct UpdatePlanConfig {
 impl UpdatePlanConfig {
     /// A dedicated-pool (Backend-style) plan with the paper's rolling
     /// parameters.
-    pub fn dedicated(vips: u32, dips_per_vip: u32, updates_per_min: f64, window: Duration, seed: u64) -> UpdatePlanConfig {
+    pub fn dedicated(
+        vips: u32,
+        dips_per_vip: u32,
+        updates_per_min: f64,
+        window: Duration,
+        seed: u64,
+    ) -> UpdatePlanConfig {
         UpdatePlanConfig {
             vips,
             dips_per_vip,
@@ -161,7 +167,13 @@ impl UpdatePlanConfig {
     }
 
     /// A shared-DIP (PoP-style) plan.
-    pub fn shared(vips: u32, dips_per_vip: u32, updates_per_min: f64, window: Duration, seed: u64) -> UpdatePlanConfig {
+    pub fn shared(
+        vips: u32,
+        dips_per_vip: u32,
+        updates_per_min: f64,
+        window: Duration,
+        seed: u64,
+    ) -> UpdatePlanConfig {
         UpdatePlanConfig {
             shared_dips: true,
             ..UpdatePlanConfig::dedicated(vips, dips_per_vip, updates_per_min, window, seed)
@@ -232,8 +244,7 @@ impl UpdatePlanner {
             .collect();
         let z: f64 = weights.iter().map(|(_, w)| w).sum();
         let expected_events_per_initiation = 1.0 / z;
-        let initiation_rate_per_sec =
-            cfg.updates_per_min / 60.0 / expected_events_per_initiation;
+        let initiation_rate_per_sec = cfg.updates_per_min / 60.0 / expected_events_per_initiation;
 
         // Lead-in: the longest-running structure is a dedicated rolling
         // upgrade; also cover long downtimes so adds from pre-window
@@ -354,11 +365,7 @@ impl UpdatePlanner {
     }
 }
 
-fn sample_weighted(
-    rng: &mut SmallRng,
-    weights: &[(UpdateCause, f64)],
-    z: f64,
-) -> UpdateCause {
+fn sample_weighted(rng: &mut SmallRng, weights: &[(UpdateCause, f64)], z: f64) -> UpdateCause {
     let x: f64 = rng.gen_range(0.0..z);
     let mut acc = 0.0;
     for (c, w) in weights {
@@ -437,7 +444,10 @@ mod tests {
         let mut by_sec: HashMap<u64, std::collections::HashSet<u32>> = HashMap::new();
         for e in &events {
             if e.cause == UpdateCause::Upgrade && e.op == DipOp::Remove {
-                by_sec.entry(e.at.0 / 2_000_000_000).or_default().insert(e.vip.0);
+                by_sec
+                    .entry(e.at.0 / 2_000_000_000)
+                    .or_default()
+                    .insert(e.vip.0);
             }
         }
         let max_burst = by_sec.values().map(|s| s.len()).max().unwrap_or(0);

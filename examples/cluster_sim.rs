@@ -52,7 +52,10 @@ fn main() {
     use silkroad::memory::{cost, MemoryDesign, MemoryInputs};
     let live = (2_770_000.0 / 60.0 * 10.0) as u64; // full rate x 10 s flows
     let projected = cost(
-        MemoryDesign::DigestVersion { digest_bits: 16, version_bits: 6 },
+        MemoryDesign::DigestVersion {
+            digest_bits: 16,
+            version_bits: 6,
+        },
         &MemoryInputs {
             connections: live * 20, // p99 minute is far above the mean
             vips: trace.vips as u64,

@@ -32,7 +32,8 @@ fn main() {
 
     // BFD declares 10.0.0.2 dead; the control plane removes it.
     let failed = Dip(Addr::v4(10, 0, 0, 2, 20));
-    sw.request_update(vip, PoolUpdate::Remove(failed), t).unwrap();
+    sw.request_update(vip, PoolUpdate::Remove(failed), t)
+        .unwrap();
     t += Duration::from_millis(20);
     sw.advance(t);
 
@@ -46,7 +47,10 @@ fn main() {
 
     let mut moved = 0;
     for (c, b) in conns.iter().zip(&before) {
-        let after = sw.process_packet(&PacketMeta::data(*c, 800), t).dip.unwrap();
+        let after = sw
+            .process_packet(&PacketMeta::data(*c, 800), t)
+            .dip
+            .unwrap();
         if after != *b {
             moved += 1;
         }
@@ -92,7 +96,11 @@ fn main() {
     let topo = Topology::clos(4, 2, 2, 50 << 20, 6400.0);
     let mut fabric = SilkRoadFabric::new(&topo, &SilkRoadConfig::small_test());
     fabric
-        .assign_vip(vip, (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(), Layer::ToR)
+        .assign_vip(
+            vip,
+            (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+            Layer::ToR,
+        )
         .unwrap();
     let mut t = Nanos::ZERO;
     let mut placed: HashMap<u32, _> = HashMap::new();
@@ -108,7 +116,9 @@ fn main() {
     fabric.fail_switch(victim);
     let (mut kept, mut on_victim) = (0u32, 0u32);
     for (c, id, dip) in placed.values() {
-        let (_, d) = fabric.process_packet(&PacketMeta::data(*c, 800), t).unwrap();
+        let (_, d) = fabric
+            .process_packet(&PacketMeta::data(*c, 800), t)
+            .unwrap();
         if *id == victim {
             on_victim += 1;
         }
@@ -119,5 +129,8 @@ fn main() {
     println!(
         "\nlive fabric: killed {victim}; {on_victim} flows re-sprayed, {kept}/1000 kept their DIP"
     );
-    assert_eq!(kept, 1000, "latest-version flows must survive a switch failure");
+    assert_eq!(
+        kept, 1000,
+        "latest-version flows must survive a switch failure"
+    );
 }

@@ -6,9 +6,9 @@
 //! cargo run --release --example hybrid
 //! ```
 
+use silkroad::SilkRoadConfig;
 use sr_baselines::SlbConfig;
 use sr_sim::{Harness, HarnessConfig, HybridAdapter, LoadBalancer};
-use silkroad::SilkRoadConfig;
 use sr_types::{AddrFamily, Duration, Vip};
 use sr_workload::trace::vip_addr;
 use sr_workload::TraceConfig;

@@ -68,7 +68,10 @@ fn main() {
             100.0 * a.traffic_utilization.get(&layer).copied().unwrap_or(0.0),
         );
     }
-    println!("  max SRAM utilization: {:.1}%", 100.0 * a.max_sram_utilization());
+    println!(
+        "  max SRAM utilization: {:.1}%",
+        100.0 * a.max_sram_utilization()
+    );
 
     // Incremental deployment: SilkRoad only on half the ToRs and the cores.
     let mut partial = Topology::clos(cluster.tors, 8, 4, 50 << 20, 6400.0);

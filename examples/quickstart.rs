@@ -64,7 +64,10 @@ fn main() {
             consistent += 1;
         }
     }
-    println!("PCC check: {consistent}/{} connections unmoved", conns.len());
+    println!(
+        "PCC check: {consistent}/{} connections unmoved",
+        conns.len()
+    );
 
     // New connections only ever see the new pool.
     let fresh = FiveTuple::tcp(Addr::v4(5, 6, 7, 8, 50_000), vip.0);

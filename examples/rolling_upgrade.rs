@@ -11,10 +11,10 @@
 //! cargo run --release --example rolling_upgrade
 //! ```
 
+use silkroad::SilkRoadConfig;
 use sr_baselines::{DuetConfig, MigrationPolicy};
 use sr_sim::adapters::{DuetAdapter, SilkRoadAdapter};
 use sr_sim::{Harness, HarnessConfig, LoadBalancer};
-use silkroad::SilkRoadConfig;
 use sr_types::{AddrFamily, Duration};
 use sr_workload::TraceConfig;
 

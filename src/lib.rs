@@ -4,6 +4,8 @@
 //! tests (`tests/`). Downstream users depend on the individual crates; this
 //! crate just re-exports them under one roof for convenience.
 
+#![forbid(unsafe_code)]
+
 pub use silkroad;
 pub use sr_asic;
 pub use sr_baselines;

@@ -48,14 +48,21 @@ fn allocs_so_far() -> u64 {
 
 /// Build a switch with `n` established connections resolving through
 /// ConnTable, using `client(i)` for the client side of each tuple.
-fn established(vip_addr: Addr, dips: Vec<Dip>, n: u32, client: impl Fn(u32) -> Addr) -> (SilkRoadSwitch, Vec<FiveTuple>) {
+fn established(
+    vip_addr: Addr,
+    dips: Vec<Dip>,
+    n: u32,
+    client: impl Fn(u32) -> Addr,
+) -> (SilkRoadSwitch, Vec<FiveTuple>) {
     let cfg = SilkRoadConfig {
         conn_capacity: (n as usize) * 2,
         ..Default::default()
     };
     let mut sw = SilkRoadSwitch::new(cfg);
     sw.add_vip(Vip(vip_addr), dips).unwrap();
-    let tuples: Vec<FiveTuple> = (0..n).map(|i| FiveTuple::tcp(client(i), vip_addr)).collect();
+    let tuples: Vec<FiveTuple> = (0..n)
+        .map(|i| FiveTuple::tcp(client(i), vip_addr))
+        .collect();
     for t in &tuples {
         sw.process_packet(&PacketMeta::syn(*t), Nanos::ZERO);
     }
@@ -108,8 +115,7 @@ fn v6_dips() -> Vec<Dip> {
 fn conn_table_hit_path_is_allocation_free() {
     const N: u32 = 4096;
     let vip_addr = Addr::v4(20, 0, 0, 1, 80);
-    let (mut sw, tuples) =
-        established(vip_addr, v4_dips(), N, |i| Addr::v4_indexed(100, i, 1024));
+    let (mut sw, tuples) = established(vip_addr, v4_dips(), N, |i| Addr::v4_indexed(100, i, 1024));
     assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
 
     // Warm one pass (hit bits flip, any one-time laziness settles).
@@ -136,8 +142,9 @@ fn conn_table_hit_path_is_allocation_free() {
 fn conn_table_hit_path_is_allocation_free_v6() {
     const N: u32 = 2048;
     let vip_addr = Addr::v6_indexed(0x0a0a, 1, 443);
-    let (mut sw, tuples) =
-        established(vip_addr, v6_dips(), N, |i| Addr::v6_indexed(0xc11e, i, 1024));
+    let (mut sw, tuples) = established(vip_addr, v6_dips(), N, |i| {
+        Addr::v6_indexed(0xc11e, i, 1024)
+    });
     assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
 
     measure(&mut sw, &tuples, Nanos::from_secs(20), true);

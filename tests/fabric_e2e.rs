@@ -102,7 +102,9 @@ fn fabric_under_trace_updates_and_failure() {
                         PoolUpdate::Add(dip)
                     }
                 };
-                fabric.request_update(vip_addr(cfg.family, u.vip.0), op, now).unwrap();
+                fabric
+                    .request_update(vip_addr(cfg.family, u.vip.0), op, now)
+                    .unwrap();
                 if let PoolUpdate::Remove(d) = op {
                     for (_, (_, a, doomed)) in assigned.iter_mut() {
                         if *a == d {
@@ -137,7 +139,11 @@ fn fabric_under_trace_updates_and_failure() {
         }
     }
 
-    assert!(assigned.len() > 10_000, "too few connections: {}", assigned.len());
+    assert!(
+        assigned.len() > 10_000,
+        "too few connections: {}",
+        assigned.len()
+    );
     assert!(checked > 5_000, "too few checks: {checked}");
     assert_eq!(
         violations, 0,

@@ -60,10 +60,16 @@ fn meter_isolates_victim_vip_from_a_flash_crowd() {
     let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
     let hot = Vip(Addr::v4(20, 0, 0, 1, 80));
     let quiet = Vip(Addr::v4(20, 0, 0, 2, 80));
-    sw.add_vip(hot, (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
-        .unwrap();
-    sw.add_vip(quiet, (5..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
-        .unwrap();
+    sw.add_vip(
+        hot,
+        (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+    )
+    .unwrap();
+    sw.add_vip(
+        quiet,
+        (5..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+    )
+    .unwrap();
     // Police the hot VIP at ~10 Mbit/s committed.
     sw.attach_meter(
         hot,

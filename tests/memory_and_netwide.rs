@@ -4,7 +4,9 @@
 use silkroad::memory::{cost, MemoryDesign, MemoryInputs};
 use silkroad::{SilkRoadConfig, SilkRoadSwitch};
 use sr_netwide::{assign_vips, switch_failure_impact, Layer, Topology, VipDemand};
-use sr_types::{Addr, AddrFamily, Dip, Duration, FiveTuple, Nanos, PacketMeta, PoolVersion, Vip, VipId};
+use sr_types::{
+    Addr, AddrFamily, Dip, Duration, FiveTuple, Nanos, PacketMeta, PoolVersion, Vip, VipId,
+};
 use sr_workload::{synthesize_fleet, ClusterKind, FleetConfig};
 
 #[test]
@@ -17,8 +19,11 @@ fn live_switch_memory_matches_analytic_model() {
     };
     let mut sw = SilkRoadSwitch::new(cfg);
     let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
-    sw.add_vip(vip, (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
-        .unwrap();
+    sw.add_vip(
+        vip,
+        (1..=8).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+    )
+    .unwrap();
     let n = 10_000u32;
     for i in 0..n {
         let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
@@ -80,8 +85,11 @@ fn failure_impact_consistent_with_switch_population() {
     // the failover arithmetic on its version breakdown.
     let mut sw = SilkRoadSwitch::new(SilkRoadConfig::small_test());
     let vip = Vip(Addr::v4(20, 0, 0, 1, 80));
-    sw.add_vip(vip, (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect())
-        .unwrap();
+    sw.add_vip(
+        vip,
+        (1..=4).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+    )
+    .unwrap();
     let mut t = Nanos::ZERO;
     for i in 0..200u32 {
         let c = FiveTuple::tcp(Addr::v4_indexed(1, i, 30_000), vip.0);
@@ -108,10 +116,7 @@ fn failure_impact_consistent_with_switch_population() {
 
     let newest = sw.current_version(vip).unwrap();
     // 200 old conns at risk, 100 new ones preserved.
-    let report = switch_failure_impact(
-        &[(PoolVersion(0), 200), (newest, 100)],
-        newest,
-    );
+    let report = switch_failure_impact(&[(PoolVersion(0), 200), (newest, 100)], newest);
     assert_eq!(report.at_risk, 200);
     assert_eq!(report.preserved, 100);
 }
@@ -120,10 +125,7 @@ fn failure_impact_consistent_with_switch_population() {
 fn fig12_style_memory_spans_generations() {
     // The largest Backend in the fleet fits a 2016 ASIC but not a 2012 one.
     let fleet = synthesize_fleet(FleetConfig::default());
-    let biggest = fleet
-        .iter()
-        .max_by_key(|c| c.conns_per_tor_p99)
-        .unwrap();
+    let biggest = fleet.iter().max_by_key(|c| c.conns_per_tor_p99).unwrap();
     let mb = cost(
         MemoryDesign::DigestVersion {
             digest_bits: 16,
@@ -172,5 +174,8 @@ fn all_layer_assignment_respects_budget_scaling() {
             }
         }
     }
-    assert!(became_infeasible, "1 MB budget should not fit 200 MB of VIPs");
+    assert!(
+        became_infeasible,
+        "1 MB budget should not fit 200 MB of VIPs"
+    );
 }

@@ -6,10 +6,10 @@
 //! * stateless ECMP is strictly worst;
 //! * removing the TransitTable re-introduces (few) violations.
 
+use silkroad::SilkRoadConfig;
 use sr_baselines::{DuetConfig, MigrationPolicy, SlbConfig};
 use sr_sim::adapters::{DuetAdapter, EcmpAdapter, SilkRoadAdapter, SlbAdapter};
 use sr_sim::{Harness, HarnessConfig, RunMetrics};
-use silkroad::SilkRoadConfig;
 use sr_types::{AddrFamily, Duration};
 use sr_workload::TraceConfig;
 
@@ -98,7 +98,10 @@ fn system_ordering_on_violations() {
         let mut lb = EcmpAdapter::new(5);
         Harness::new(t, HarnessConfig::default()).run(&mut lb)
     };
-    assert!(silkroad.violation_fraction() <= DIGEST_FP_BUDGET, "{silkroad}");
+    assert!(
+        silkroad.violation_fraction() <= DIGEST_FP_BUDGET,
+        "{silkroad}"
+    );
     assert_eq!(slb.pcc_violations, 0, "{slb}");
     assert!(
         duet.pcc_violations > silkroad.pcc_violations.max(1) * 10,

@@ -249,10 +249,13 @@ fn pinned_counterexample_update_update_while_pending() {
     sw.add_vip(vip(), (1..=6).map(dip).collect()).unwrap();
     let t0 = Nanos::ZERO;
 
-    sw.request_update(vip(), PoolUpdate::Remove(dip(6)), t0).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(6)), t0)
+        .unwrap();
     let _ = sw.process_packet(&PacketMeta::syn(conn(0)), t0);
-    sw.request_update(vip(), PoolUpdate::Add(dip(6)), t0).unwrap();
-    sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t0).unwrap();
+    sw.request_update(vip(), PoolUpdate::Add(dip(6)), t0)
+        .unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t0)
+        .unwrap();
 
     let first = sw.process_packet(&PacketMeta::syn(conn(11)), t0);
     let assigned = first.dip.expect("SYN must be assigned a DIP");

@@ -132,7 +132,8 @@ fn direct_dip_mode_full_protocol() {
     }
     t += Duration::from_millis(20);
     sw.advance(t);
-    sw.request_update(vip(), PoolUpdate::Remove(dip(3)), t).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(3)), t)
+        .unwrap();
     t += Duration::from_millis(20);
     sw.advance(t);
     // Installed connections keep their stored DIP even after the version
@@ -152,10 +153,12 @@ fn updates_during_recording_and_draining_queue() {
     for i in 0..50u32 {
         sw.process_packet(&PacketMeta::syn(conn(i)), t);
     }
-    sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t)
+        .unwrap();
     assert_eq!(sw.update_phase(vip()), Some(UpdatePhase::Recording));
     // Request another mid-flight: must queue, not corrupt the state machine.
-    sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(2)), t)
+        .unwrap();
     assert_eq!(sw.stats().updates_queued, 1);
     t += Duration::from_secs(2);
     sw.advance(t);
@@ -173,7 +176,8 @@ fn transit_table_stats_track_protocol() {
     for i in 0..30u32 {
         sw.process_packet(&PacketMeta::syn(conn(i)), t);
     }
-    sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t).unwrap();
+    sw.request_update(vip(), PoolUpdate::Remove(dip(1)), t)
+        .unwrap();
     // New arrivals during step 1 are recorded.
     for i in 100..130u32 {
         sw.process_packet(&PacketMeta::syn(conn(i)), t + Duration::from_micros(10));

@@ -1,0 +1,419 @@
+//! `srlint` — the workspace's source-level lint gate.
+//!
+//! Complements `srcheck` (the pipeline-*layout* verifier in `sr-asic`):
+//! where srcheck rejects programs the chip cannot place, srlint rejects
+//! *source* that violates the repo's hot-path and hygiene policies —
+//! things `cargo clippy` cannot express per-region:
+//!
+//! * **no-panic** — no `panic!`/`todo!`/`unimplemented!`/`unreachable!`/
+//!   `.unwrap()`/`.expect(` in hot-path code. The packet path must be
+//!   total: a panicking data plane is a dropped line card.
+//! * **no-index** — no slice/array indexing (`x[i]`) in hot-path code;
+//!   every index is a bounds-check branch and a potential panic.
+//! * **no-std-hashmap** — `sr-core` and `sr-hash` must use the workspace's
+//!   `FxHash` maps, not `std::collections::HashMap`/`HashSet` (SipHash
+//!   costs ~4x on short keys; see `sr_hash::FxHashMap`).
+//! * **forbid-unsafe** / **crate-docs** — every first-party crate root
+//!   carries `#![forbid(unsafe_code)]` and starts with `//!` docs.
+//!
+//! Hot-path scope is the two whole-file modules `crates/core/src/dataplane.rs`
+//! and `crates/hash/src/bloom.rs`, plus any region bracketed by
+//! `// srlint: hot-path begin` / `// srlint: hot-path end` markers
+//! (the `SilkRoadSwitch` batch path, the cuckoo probe functions). Code from
+//! `#[cfg(test)]` onward is exempt.
+//!
+//! Intentional exceptions live in `tools/srlint/allow.list`, keyed by
+//! `path<TAB>rule<TAB>trimmed-line-content` — content-keyed, so an entry
+//! survives line-number churn but dies with the code it excuses.
+//!
+//! Exit status: 0 clean, 1 violations, 2 usage/io error. Run from the
+//! workspace root (or pass the root as the first argument).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+/// Files treated as hot-path in their entirety (workspace-relative).
+const HOT_FILES: [&str; 2] = ["crates/core/src/dataplane.rs", "crates/hash/src/bloom.rs"];
+
+/// Crates (workspace-relative source prefixes) under the FxHash policy.
+const FXHASH_CRATES: [&str; 2] = ["crates/core/src/", "crates/hash/src/"];
+
+/// Source directories scanned (first-party only; `vendor/` is exempt).
+const SCAN_DIRS: [&str; 3] = ["src", "crates", "tools"];
+
+/// Panic-family patterns banned in hot-path code.
+const PANIC_PATTERNS: [&str; 6] = [
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+    "unreachable!(",
+    ".unwrap()",
+    ".expect(",
+];
+
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    content: String,
+    message: String,
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    if root == "--help" || root == "-h" {
+        eprintln!("usage: srlint [workspace-root]");
+        std::process::exit(2);
+    }
+    let root = PathBuf::from(root);
+    let allow_path = root.join("tools/srlint/allow.list");
+    let allow = match load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("srlint: cannot read {}: {e}", allow_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in SCAN_DIRS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut allowed = 0usize;
+    let mut used_allow: Vec<bool> = vec![false; allow.len()];
+    for file in &files {
+        let rel = match file.strip_prefix(&root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => file.to_string_lossy().into_owned(),
+        };
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("srlint: cannot read {rel}: {e}");
+                std::process::exit(2);
+            }
+        };
+        for v in lint_source(&rel, &text) {
+            match allow
+                .iter()
+                .position(|(p, r, c)| *p == v.path && *r == v.rule && *c == v.content)
+            {
+                Some(i) => {
+                    used_allow[i] = true;
+                    allowed += 1;
+                }
+                None => violations.push(v),
+            }
+        }
+    }
+
+    for v in &violations {
+        println!("{}:{}: {}: {}", v.path, v.line, v.rule, v.message);
+        println!("    {}", v.content);
+    }
+    for (i, used) in used_allow.iter().enumerate() {
+        if !used {
+            let (p, r, c) = &allow[i];
+            eprintln!("srlint: note: unused allow.list entry: {p}\t{r}\t{c}");
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "srlint: clean ({} files, {} allowlisted exception{})",
+            files.len(),
+            allowed,
+            if allowed == 1 { "" } else { "s" }
+        );
+    } else {
+        println!(
+            "srlint: {} violation{} ({} files, {} allowlisted)",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            files.len(),
+            allowed
+        );
+        println!(
+            "    (intentional? add `path<TAB>rule<TAB>line-content` to tools/srlint/allow.list)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Recursively collect `.rs` files, skipping `vendor/` and `target/`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parse the allowlist: `path<TAB>rule<TAB>trimmed-line-content` per line;
+/// `#` comments and blank lines ignored. A missing file means no exceptions.
+fn load_allowlist(path: &Path) -> std::io::Result<Vec<(String, String, String)>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.splitn(3, '\t');
+        match (it.next(), it.next(), it.next()) {
+            (Some(p), Some(r), Some(c)) => {
+                out.push((p.to_string(), r.to_string(), c.trim().to_string()))
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed allow.list line (want 3 tab-separated fields): {line}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lint one file's source; pure so tests can drive it with fixtures.
+fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let is_crate_root = rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs");
+    if is_crate_root {
+        if !text.contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                path: rel.to_string(),
+                line: 1,
+                rule: "forbid-unsafe",
+                content: String::new(),
+                message: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+        if !text.starts_with("//!") {
+            out.push(Violation {
+                path: rel.to_string(),
+                line: 1,
+                rule: "crate-docs",
+                content: String::new(),
+                message: "crate root does not start with //! crate-level docs".to_string(),
+            });
+        }
+    }
+
+    let fxhash_scope = FXHASH_CRATES.iter().any(|p| rel.starts_with(p));
+    let whole_file_hot = HOT_FILES.contains(&rel);
+    let mut hot = whole_file_hot;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        match trimmed {
+            "// srlint: hot-path begin" => {
+                hot = true;
+                continue;
+            }
+            "// srlint: hot-path end" => {
+                hot = whole_file_hot;
+                continue;
+            }
+            _ => {}
+        }
+        // Test code (and everything after it — test modules close the
+        // files in this workspace) is exempt from all line rules.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_strings_and_comments(raw);
+        if fxhash_scope {
+            for ty in ["std::collections::HashMap", "std::collections::HashSet"] {
+                if code.contains(ty) {
+                    out.push(Violation {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: "no-std-hashmap",
+                        content: trimmed.to_string(),
+                        message: format!(
+                            "{ty} in an FxHash-policy crate (use sr_hash::FxHashMap/FxHashSet)"
+                        ),
+                    });
+                }
+            }
+        }
+        if hot {
+            for pat in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: "no-panic",
+                        content: trimmed.to_string(),
+                        message: format!("panicking call `{pat}..` in hot-path code"),
+                    });
+                }
+            }
+            if has_indexing(&code) {
+                out.push(Violation {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: "no-index",
+                    content: trimmed.to_string(),
+                    message: "slice/array indexing in hot-path code (get/iterators instead)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Blank out string literals and drop `//` comments so patterns inside
+/// them do not fire. Line-local; block comments are rare enough here that
+/// doc examples live in `///` lines, which this also drops.
+fn strip_strings_and_comments(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+            }
+            out.push(' ');
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(' ');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Indexing heuristic: a `[` directly preceded by an identifier character
+/// or a closing bracket is a subscript (`buf[i]`, `f()[0]`, `m[i][j]`);
+/// `&[u8]`, `#[attr]`, `: [T; N]`, and array literals are not.
+fn has_indexing(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] != b'[' {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hot_file_catches_panic_family_and_indexing() {
+        let src = "fn f(x: &[u8]) -> u8 {\n    let v = x[0];\n    x.first().copied().unwrap()\n}\n";
+        let got = rules("crates/core/src/dataplane.rs", src);
+        assert!(got.contains(&"no-index"), "{got:?}");
+        assert!(got.contains(&"no-panic"), "{got:?}");
+    }
+
+    #[test]
+    fn cold_file_is_unconstrained() {
+        let src = "fn f(x: &[u8]) -> u8 { x[0] }\n";
+        assert!(rules("crates/sim/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn marker_regions_toggle_hot_scope() {
+        let src = "fn a(x: &[u8]) -> u8 { x[0] }\n\
+                   // srlint: hot-path begin\n\
+                   fn b(x: &[u8]) -> u8 { x[1] }\n\
+                   // srlint: hot-path end\n\
+                   fn c(x: &[u8]) -> u8 { x[2] }\n";
+        let v = lint_source("crates/core/src/switch.rs", src);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| v.line).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].rule, "no-index");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "// srlint: hot-path begin\n\
+                   fn ok() {}\n\
+                   // srlint: hot-path end\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(x: &[u8]) { x[0]; None::<u8>.unwrap(); }\n\
+                   }\n";
+        assert!(rules("crates/core/src/switch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fxhash_policy_fires_only_in_policy_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules("crates/core/src/stats.rs", src), ["no-std-hashmap"]);
+        assert_eq!(rules("crates/hash/src/cuckoo.rs", src), ["no-std-hashmap"]);
+        assert!(rules("crates/sim/src/scenarios.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_hygiene() {
+        let got = rules("crates/x/src/lib.rs", "pub fn f() {}\n");
+        assert!(got.contains(&"forbid-unsafe"), "{got:?}");
+        assert!(got.contains(&"crate-docs"), "{got:?}");
+        assert!(rules(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() {\n\
+                       let s = \"call .unwrap() or x[0]\";\n\
+                       // also .expect( and y[1] in a comment\n\
+                       let _ = s;\n\
+                   }\n";
+        assert!(rules("crates/hash/src/bloom.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_index_brackets_do_not_fire() {
+        let src = "#[inline]\nfn f(x: &[u8], y: [u8; 4]) -> Vec<[u8; 2]> { vec![] }\n";
+        assert!(rules("crates/hash/src/bloom.rs", src).is_empty());
+    }
+}

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (see ROADMAP.md): release build, full test
-# suite, and a warning-free clippy pass over every workspace crate.
+# suite, formatting + warning-free clippy over every first-party crate,
+# the srlint source gate, the srcheck pipeline-layout gate, and the
+# release-mode allocation regression.
+#
+# Clippy/fmt run per first-party package rather than --workspace: the
+# vendored stand-ins under vendor/ mirror upstream APIs and are exempt
+# from clippy.toml's disallowed-methods policy and our formatting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(
+    silkroad-lb sr-types sr-hash sr-asic silkroad
+    sr-baselines sr-workload sr-sim sr-netwide sr-bench srlint
+)
+PKG_FLAGS=()
+for p in "${FIRST_PARTY[@]}"; do PKG_FLAGS+=(-p "$p"); done
 
 echo "== build (release)"
 cargo build --release
@@ -10,8 +23,17 @@ cargo build --release
 echo "== tests"
 cargo test -q
 
-echo "== clippy (-D warnings)"
-cargo clippy --workspace -- -D warnings
+echo "== fmt --check (first-party)"
+cargo fmt --check "${PKG_FLAGS[@]}"
+
+echo "== clippy (first-party, all targets, -D warnings)"
+cargo clippy "${PKG_FLAGS[@]}" --all-targets -- -D warnings
+
+echo "== srlint (hot-path + hygiene source gate)"
+cargo run -q --release -p srlint -- .
+
+echo "== srcheck (pipeline-layout gate: reference programs must place)"
+./target/release/repro check > /dev/null
 
 # The allocation gate only means something with optimizations on: debug
 # builds allocate in places release code does not (and vice versa).

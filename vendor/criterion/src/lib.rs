@@ -8,6 +8,10 @@
 //! is intentionally absent. Name filters passed on the command line are
 //! honoured so `cargo bench -- cuckoo` works.
 
+// The workspace clippy.toml bans wall-clock reads in the *model*; a
+// benchmark runner is exactly the place they belong.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
