@@ -34,7 +34,11 @@ use crate::sram::{SramError, SramSpec, WORD_BITS};
 pub struct ChipSpec {
     /// Chip label (reports).
     pub name: &'static str,
-    /// Match-action stages in the pipeline.
+    /// Independent match-action pipes on the chip. Each pipe carries its
+    /// own full set of stages and per-stage budgets; a program replicated
+    /// across pipes must fit *one* pipe's budgets.
+    pub pipes: u32,
+    /// Match-action stages in the pipeline (per pipe).
     pub stages: u32,
     /// SRAM words ([`WORD_BITS`] wide) per block — the allocation unit.
     pub sram_block_words: u32,
@@ -61,6 +65,7 @@ impl ChipSpec {
     pub fn tofino_class() -> ChipSpec {
         ChipSpec {
             name: "tofino-class (6.4T, 2016)",
+            pipes: 4,
             stages: 12,
             sram_block_words: 1024,
             sram_blocks_per_stage: 600,
@@ -144,6 +149,9 @@ pub enum Rule {
     /// SRC015 — degenerate geometry: zero-width entries/cells whose SRAM
     /// demand cannot be computed ([`SramError`]).
     ZeroWidth,
+    /// SRC016 — the program replicates across more pipes than the chip
+    /// has (or declares zero pipes).
+    PipeCount,
 }
 
 impl Rule {
@@ -165,6 +173,7 @@ impl Rule {
             Rule::DepCycle => "SRC013",
             Rule::DigestWidth => "SRC014",
             Rule::ZeroWidth => "SRC015",
+            Rule::PipeCount => "SRC016",
         }
     }
 }
@@ -227,6 +236,8 @@ pub struct StageUsage {
 pub struct CheckReport {
     /// Program name.
     pub program: &'static str,
+    /// Pipes the program replicates into (from [`PipelineProgram::pipes`]).
+    pub pipes: u32,
     /// The chip it was checked against.
     pub chip: ChipSpec,
     /// Per-stage placement (index = physical stage).
@@ -261,11 +272,13 @@ impl CheckReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== srcheck: {} on {} ({} stages, {:.1} MB SRAM) ==",
+            "== srcheck: {} on {} ({} stages, {:.1} MB SRAM/pipe, pipes {}/{}) ==",
             self.program,
             c.name,
             c.stages,
             c.sram_bytes_total() as f64 / (1024.0 * 1024.0),
+            self.pipes,
+            c.pipes,
         );
         let _ = writeln!(
             out,
@@ -331,6 +344,28 @@ pub fn check_program(prog: &PipelineProgram, chip: &ChipSpec) -> CheckReport {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut stages: Vec<StageUsage> = (0..chip.stages).map(|_| StageUsage::default()).collect();
 
+    // SRC016: the pipes dimension. Every per-stage budget below is a
+    // *per-pipe* budget (each pipe owns its own stages), so the only
+    // chip-wide pipe check is the replication count itself.
+    if prog.pipes == 0 || prog.pipes > chip.pipes {
+        diags.push(Diagnostic {
+            rule: Rule::PipeCount,
+            severity: Severity::Error,
+            unit: None,
+            stage: None,
+            measured: prog.pipes as u64,
+            budget: chip.pipes as u64,
+            message: if prog.pipes == 0 {
+                "program declares zero pipes; it must occupy at least one".to_string()
+            } else {
+                format!(
+                    "program replicates across {} pipes but the chip has {}",
+                    prog.pipes, chip.pipes
+                )
+            },
+        });
+    }
+
     for t in &prog.tables {
         let span = table_span(t, chip, &mut diags);
         accumulate_table(t, &span, chip, &mut stages, &mut diags);
@@ -361,6 +396,7 @@ pub fn check_program(prog: &PipelineProgram, chip: &ChipSpec) -> CheckReport {
 
     CheckReport {
         program: prog.name,
+        pipes: prog.pipes,
         chip: *chip,
         stages,
         diagnostics: diags,
@@ -813,6 +849,7 @@ mod tests {
             Rule::DepCycle,
             Rule::DigestWidth,
             Rule::ZeroWidth,
+            Rule::PipeCount,
         ];
         let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
         for (i, id) in ids.iter().enumerate() {

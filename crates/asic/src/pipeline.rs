@@ -159,10 +159,26 @@ pub struct PipelineProgram {
     pub metadata_bits: u32,
     /// Extra hash bits for non-table units (ECMP/LAG selectors, learning).
     pub selector_hash_bits: u32,
+    /// Pipes the program is replicated into. Each pipe carries a full
+    /// copy, so per-stage budgets are checked against a *single* pipe;
+    /// [`PipelineProgram::chip_usage`] scales to chip-wide demand.
+    pub pipes: u32,
 }
 
 impl PipelineProgram {
-    /// Derive the chip resources this program consumes.
+    /// Replicate the program across `pipes` pipes (builder style).
+    pub fn with_pipes(mut self, pipes: u32) -> PipelineProgram {
+        self.pipes = pipes;
+        self
+    }
+
+    /// Chip-wide resources: the per-pipe [`Self::resource_usage`]
+    /// replicated across every pipe the program occupies.
+    pub fn chip_usage(&self) -> ResourceUsage {
+        self.resource_usage().replicated(self.pipes)
+    }
+
+    /// Derive the chip resources this program consumes *in one pipe*.
     pub fn resource_usage(&self) -> ResourceUsage {
         let crossbar: u32 = self.tables.iter().map(|t| t.crossbar_bits()).sum();
         let sram: u64 = self.tables.iter().map(|t| t.sram_bytes()).sum::<u64>()
@@ -342,6 +358,7 @@ impl PipelineProgram {
             metadata_bits: 3_250,
             // ECMP/LAG selectors + MAC learning digests.
             selector_hash_bits: 144,
+            pipes: 1,
         }
     }
 
@@ -440,6 +457,7 @@ impl PipelineProgram {
             // hash carried in PHV.
             metadata_bits: 32,
             selector_hash_bits: 64, // the in-pool DIP selection hash
+            pipes: 1,
         }
     }
 }

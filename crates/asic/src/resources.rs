@@ -105,6 +105,22 @@ impl std::fmt::Display for RatioError {
 impl std::error::Error for RatioError {}
 
 impl ResourceUsage {
+    /// Chip-wide demand when this (per-pipe) usage is replicated across
+    /// `pipes` independent pipes. Every resource class scales linearly:
+    /// each pipe owns its own stages, SRAM, hash units, and PHV.
+    pub fn replicated(&self, pipes: u32) -> ResourceUsage {
+        let n = pipes as f64;
+        ResourceUsage {
+            crossbar_bits: self.crossbar_bits * n,
+            sram_bytes: self.sram_bytes * n,
+            tcam_bytes: self.tcam_bytes * n,
+            vliw_actions: self.vliw_actions * n,
+            hash_bits: self.hash_bits * n,
+            stateful_alus: self.stateful_alus * n,
+            phv_bits: self.phv_bits * n,
+        }
+    }
+
     /// The usage numbers as named fields, for validation and reporting.
     fn named_fields(&self) -> [(&'static str, f64); 7] {
         [
@@ -421,6 +437,16 @@ mod tests {
                 resource: "hash_bits"
             }
         );
+    }
+
+    #[test]
+    fn replicated_scales_every_field_linearly() {
+        let one = ResourceModel::default().baseline;
+        let four = one.replicated(4);
+        for ((name_a, a), (_, b)) in one.named_fields().iter().zip(four.named_fields().iter()) {
+            assert_eq!(*b, a * 4.0, "field {name_a}");
+        }
+        assert_eq!(one.replicated(1), one);
     }
 
     #[test]

@@ -130,6 +130,46 @@ fn mutation_unknown_dependency_rejected_src011() {
 }
 
 #[test]
+fn golden_silkroad_replicated_across_all_pipes_is_placeable() {
+    // The multi-pipe engine replicates the program into every pipe; the
+    // per-stage budgets are per-pipe, so a clean 1-pipe layout stays clean
+    // at the chip's full pipe count — and the chip-wide resource roll-up
+    // scales linearly with the replication factor.
+    let chip = ChipSpec::tofino_class();
+    let prog = reference_silkroad().with_pipes(chip.pipes);
+    let report = prog.check(&chip);
+    assert!(
+        report.is_placeable(),
+        "pipe-replicated SilkRoad must verify clean:\n{}",
+        report.render()
+    );
+    assert_eq!(report.pipes, chip.pipes);
+    let one = reference_silkroad().chip_usage();
+    let all = prog.chip_usage();
+    assert_eq!(all.sram_bytes, one.sram_bytes * chip.pipes as f64);
+}
+
+#[test]
+fn mutation_too_many_pipes_rejected_src016() {
+    let chip = ChipSpec::tofino_class();
+    let report = reference_silkroad().with_pipes(chip.pipes + 4).check(&chip);
+    assert!(!report.is_placeable());
+    assert!(
+        report.has_error(Rule::PipeCount),
+        "expected SRC016:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn mutation_zero_pipes_rejected_src016() {
+    let report = reference_silkroad()
+        .with_pipes(0)
+        .check(&ChipSpec::tofino_class());
+    assert!(report.has_error(Rule::PipeCount));
+}
+
+#[test]
 fn mutation_overlong_span_rejected_src001() {
     let mut prog = reference_silkroad();
     prog.tables[0].first_stage = 10;

@@ -6,7 +6,7 @@
 //! * `bloom`, `digest`, `maglev`, `meter` — supporting primitives.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use silkroad::{PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
+use silkroad::{FlowSteering, MultiPipeSwitch, PoolUpdate, SilkRoadConfig, SilkRoadSwitch};
 use sr_asic::{Meter, MeterConfig};
 use sr_hash::cuckoo::{CuckooConfig, CuckooTable};
 use sr_hash::maglev::MaglevTable;
@@ -217,9 +217,87 @@ fn bench_dataplane(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const BATCH: usize = 1024;
+
+    // SYNs arrive in sub-filter-capacity waves with an advance between
+    // each, so every flow is learned and installed (one monolithic burst
+    // would overflow the 2K learning filter and leave most of the trace
+    // on the fallback path).
+    fn setup(pipes: usize, conns: u64) -> (MultiPipeSwitch, Vec<PacketMeta>) {
+        let cfg = SilkRoadConfig {
+            conn_capacity: (conns as usize) * 2,
+            ..Default::default()
+        };
+        let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, sr_bench::Exec::sequential());
+        let vip_addr = Addr::v4(20, 0, 0, 1, 80);
+        sw.add_vip(
+            Vip(vip_addr),
+            (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+        )
+        .unwrap();
+        let syns: Vec<PacketMeta> = (0..conns)
+            .map(|i| {
+                PacketMeta::syn(FiveTuple::tcp(
+                    Addr::v4_indexed(100, (i / 60_000) as u32, 1024 + (i % 60_000) as u16),
+                    vip_addr,
+                ))
+            })
+            .collect();
+        let mut now = Nanos::ZERO;
+        for wave in syns.chunks(1_024) {
+            sw.process_batch(wave, now);
+            now = now.saturating_add(sr_types::Duration::from_millis(10));
+            sw.advance(now);
+        }
+        sw.advance(Nanos::from_secs(10));
+        let pkts = syns
+            .iter()
+            .map(|p| PacketMeta::data(p.tuple, 800))
+            .collect();
+        (sw, pkts)
+    }
+
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for pipes in [1usize, 4] {
+        g.bench_function(&format!("multipipe_batch_hit_{pipes}p"), |b| {
+            let (mut sw, pkts) = setup(pipes, 100_000);
+            let mut out = Vec::with_capacity(BATCH);
+            let mut off = 0usize;
+            b.iter(|| {
+                off = (off + BATCH) % (pkts.len() - BATCH);
+                out.clear();
+                sw.process_batch_into(&pkts[off..off + BATCH], Nanos::from_secs(20), &mut out);
+                criterion::black_box(out.len())
+            });
+        });
+    }
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("steering_pipe_for", |b| {
+        let s = FlowSteering::new(1, 4);
+        let tuples: Vec<FiveTuple> = (0..4_096u32)
+            .map(|i| {
+                FiveTuple::tcp(
+                    Addr::v4_indexed(100, i, 1024 + (i % 251) as u16),
+                    Addr::v4(20, 0, 0, 1, 80),
+                )
+            })
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % tuples.len();
+            criterion::black_box(s.pipe_for(&tuples[i]))
+        });
+    });
+
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_cuckoo, bench_primitives, bench_dataplane
+    targets = bench_cuckoo, bench_primitives, bench_dataplane, bench_engine
 }
 criterion_main!(benches);

@@ -103,12 +103,16 @@ fn main() {
         }
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
-            println!("targets: all {} check", all.join(" "));
+            println!("targets: all {} check scale", all.join(" "));
+            println!("scale options: --smoke (small trace, CI-sized)");
         }
         // `check` is deliberately not part of `all`: it is the srcheck
         // verification gate (placement reports + pass/fail exit code), not
-        // an evaluation figure.
+        // an evaluation figure. `scale` is excluded too: its output is
+        // timing-dependent, and `all`'s stdout must stay byte-identical
+        // across hosts and `--jobs` settings.
         "check" => run_check(),
+        "scale" => run_scale(args.iter().any(|a| a == "--smoke")),
         c if all.contains(&c) => run_timed(c, scale, &exec),
         other => {
             eprintln!("unknown target '{other}' — try: repro help");
@@ -138,6 +142,66 @@ fn run_check() {
     }
     if rejected > 0 {
         eprintln!("repro check: {rejected} program(s) rejected");
+        std::process::exit(1);
+    }
+}
+
+/// `repro scale [--smoke]` — the multi-pipe saturation sweep. Prints a
+/// throughput table and writes `BENCH_throughput.json` to the current
+/// directory. `--smoke` shrinks the trace for CI; the committed JSON
+/// comes from the full run.
+fn run_scale(smoke: bool) {
+    use sr_bench::saturation;
+    let (flows, passes) = if smoke { (16_384, 4) } else { (65_536, 16) };
+    let pipe_counts = [1usize, 2, 4];
+    let sweep = saturation::sweep(flows, passes, 1_024, &pipe_counts);
+    let mut t = Table::new(
+        format!("Saturation — multi-pipe aggregate throughput ({flows} flows, {passes} passes)"),
+        &[
+            "pipes",
+            "pps (modeled)",
+            "wall pps",
+            "max pipe busy",
+            "speedup",
+        ],
+    );
+    for p in &sweep.points {
+        t.row(vec![
+            p.pipes.to_string(),
+            format!("{:.2} Mpps", p.pps / 1e6),
+            format!("{:.2} Mpps", p.wall_pps / 1e6),
+            format!("{:.2} ms", p.max_pipe_busy_ns as f64 / 1e6),
+            format!("{:.2}x", sweep.speedup(p.pipes).unwrap_or(1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "decision identity across pipe counts: {}",
+        if sweep.decisions_match {
+            "OK"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let json = sweep.to_json();
+    let path = "BENCH_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !sweep.decisions_match {
+        eprintln!("repro scale: per-flow decisions diverged across pipe counts");
+        std::process::exit(1);
+    }
+    // The >=3x acceptance target applies to the full run; the CI smoke
+    // trace is small enough that we only sanity-check the direction.
+    let target = if smoke { 1.0 } else { 3.0 };
+    let speedup = sweep.speedup(4).unwrap_or(0.0);
+    if speedup < target {
+        eprintln!("repro scale: 4-pipe speedup {speedup:.2}x below the {target}x target");
         std::process::exit(1);
     }
 }

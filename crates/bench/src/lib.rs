@@ -19,6 +19,7 @@ pub mod fig_meta;
 pub mod fig_pcc;
 pub mod fig_version;
 pub mod report;
+pub mod saturation;
 pub mod scale;
 pub mod tables;
 

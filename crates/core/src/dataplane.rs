@@ -164,8 +164,9 @@ pub enum DataPath {
     NotVip,
 }
 
-/// Outcome of processing one packet.
-#[derive(Clone, Copy, Debug)]
+/// Outcome of processing one packet. `Eq` so equivalence tests can compare
+/// whole decision streams (e.g. multi-pipe vs single-pipe switches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ForwardDecision {
     /// The chosen backend, if any.
     pub dip: Option<Dip>,

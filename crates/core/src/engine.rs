@@ -1,0 +1,605 @@
+//! Multi-pipe sharded dataplane: RSS-style flow steering over N pipes.
+//!
+//! A real switching ASIC carries several independent match-action
+//! *pipes*, each with its own stages, SRAM, and stateful memory; the
+//! chip's aggregate packet rate is the sum of what each pipe drains. This
+//! module models that: a [`Pipe`] owns a full [`SilkRoadSwitch`] shard
+//! (its slice of ConnTable capacity plus its own TransitTable bloom and
+//! stats), and a [`MultiPipeSwitch`] steers every packet to one pipe by a
+//! stable symmetric hash of the 5-tuple ([`FlowSteering`]) and fans
+//! per-pipe batches out across an [`Exec`] worker pool.
+//!
+//! Invariants the steering upholds:
+//!
+//! * **Stability** — the same 5-tuple always lands on the same pipe, so
+//!   each connection's ConnTable entry, TransitTable bits, and learning
+//!   state live in exactly one shard.
+//! * **Symmetry** — the hash combines src and dst with XOR before
+//!   finalization, so both directions of a VIP flow steer identically
+//!   (v4 and v6).
+//! * **Balance** — the finalized hash is mapped to a pipe by
+//!   multiply-shift, the same unbiased scaling [`sr_hash::ecmp_select`]
+//!   uses, so a uniform trace spreads evenly across any pipe count.
+//!
+//! The control plane does *not* shard: VIP registration, DIP-pool
+//! updates (the 3-step PCC protocol), health events, meters, and idle
+//! expiry broadcast to every pipe, so all pipes hold identical VIPTable
+//! and DIPPoolTable contents and run their update state machines in
+//! lockstep. Per-pipe counters remain individually addressable through
+//! [`MultiPipeSwitch::pipe`] and are aggregated losslessly (sums of event
+//! counts, keywise map merges) by the chip-level accessors.
+
+use crate::config::SilkRoadConfig;
+use crate::dataplane::ForwardDecision;
+use crate::health::HealthEvent;
+use crate::memory::MemoryBreakdown;
+use crate::pool::PoolUpdate;
+use crate::stats::SwitchStats;
+use crate::switch::SilkRoadSwitch;
+use crate::update::UpdatePhase;
+use sr_asic::MeterConfig;
+use sr_exec::Exec;
+use sr_hash::{splitmix64, HashFn};
+use sr_types::{Dip, FiveTuple, Nanos, PacketMeta, PoolVersion, TypeError, Vip};
+
+/// Longest inline address encoding ([`sr_types::Addr::encode_to`]):
+/// 16 bytes of IPv6 plus the 2-byte port.
+const MAX_ADDR_BYTES: usize = 18;
+
+/// RSS-style flow steering: a stable, symmetric, balanced map from a
+/// 5-tuple to a pipe index.
+#[derive(Clone, Debug)]
+pub struct FlowSteering {
+    f: HashFn,
+    pipes: usize,
+}
+
+impl FlowSteering {
+    /// Steering over `pipes` pipes, seeded deterministically. Panics if
+    /// `pipes` is zero (a switch with no pipes forwards nothing).
+    pub fn new(seed: u64, pipes: usize) -> FlowSteering {
+        assert!(pipes > 0, "FlowSteering needs at least one pipe");
+        FlowSteering {
+            // A distinct stream from the switch's table hashes: steering
+            // must not correlate with ConnTable bucket placement.
+            f: HashFn::new(splitmix64(seed ^ 0x5152_5353_7465_6572)),
+            pipes,
+        }
+    }
+
+    /// Number of pipes this steering maps onto.
+    pub fn pipes(&self) -> usize {
+        self.pipes
+    }
+
+    // srlint: hot-path begin
+    /// The symmetric per-flow hash: src and dst are hashed separately and
+    /// combined with XOR, so swapping them (the reverse direction of a
+    /// VIP flow) yields the same value. Heap-free and panic-free.
+    pub fn flow_hash(&self, tuple: &FiveTuple) -> u64 {
+        let mut src = [0u8; MAX_ADDR_BYTES];
+        let mut dst = [0u8; MAX_ADDR_BYTES];
+        let ns = tuple.src.encode_to(&mut src, 0);
+        let nd = tuple.dst.encode_to(&mut dst, 0);
+        let hs = self.f.hash(src.get(..ns).unwrap_or(&[]));
+        let hd = self.f.hash(dst.get(..nd).unwrap_or(&[]));
+        splitmix64(hs ^ hd ^ tuple.proto.number() as u64)
+    }
+
+    /// The pipe a flow steers to. Multiply-shift scaling keeps the spread
+    /// unbiased for any pipe count, not just powers of two.
+    pub fn pipe_for(&self, tuple: &FiveTuple) -> usize {
+        ((self.flow_hash(tuple) as u128 * self.pipes as u128) >> 64) as usize
+    }
+    // srlint: hot-path end
+}
+
+/// One hardware pipe: a full SilkRoad switch shard with its own slice of
+/// ConnTable capacity, its own TransitTable bloom, and its own counters.
+pub struct Pipe {
+    id: usize,
+    switch: SilkRoadSwitch,
+}
+
+impl Pipe {
+    /// The pipe's index on the chip.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard's switch, for per-pipe inspection.
+    pub fn switch(&self) -> &SilkRoadSwitch {
+        &self.switch
+    }
+
+    /// Mutable access to the shard's switch — for drivers that have
+    /// already steered their traffic (e.g. the saturation benchmark times
+    /// each pipe's drain in isolation) or per-pipe fault injection.
+    /// Feeding packets whose flows steer to a *different* pipe breaks
+    /// flow-to-pipe affinity; normal traffic should go through
+    /// [`MultiPipeSwitch::process_batch_into`].
+    pub fn switch_mut(&mut self) -> &mut SilkRoadSwitch {
+        &mut self.switch
+    }
+}
+
+/// Per-pipe staging buffers for one steered batch. Retained across
+/// batches so the steady state allocates nothing.
+struct Lane {
+    /// Original position of each steered packet in the input batch.
+    idx: Vec<u32>,
+    /// The steered packets, in input order.
+    pkts: Vec<PacketMeta>,
+    /// The pipe's decisions, parallel to `pkts`.
+    out: Vec<ForwardDecision>,
+}
+
+/// A sharded SilkRoad switch: N [`Pipe`]s behind [`FlowSteering`], with
+/// broadcast control plane and aggregated counters.
+///
+/// Per-flow behaviour is identical to a single [`SilkRoadSwitch`] built
+/// from the same configuration: every pipe uses the same hash seed, and
+/// each flow's entire packet stream lands in exactly one pipe.
+pub struct MultiPipeSwitch {
+    cfg: SilkRoadConfig,
+    steering: FlowSteering,
+    pipes: Vec<Pipe>,
+    lanes: Vec<Lane>,
+    exec: Exec,
+}
+
+impl MultiPipeSwitch {
+    /// Build a switch with `pipes` pipes and a worker pool sized to match.
+    /// The total ConnTable capacity in `cfg` is sharded evenly across
+    /// pipes. Panics on an invalid configuration or an unplaceable layout
+    /// (the replicated program must verify on the Tofino-class chip,
+    /// including the SRC016 pipe-count rule).
+    pub fn new(cfg: SilkRoadConfig, pipes: usize) -> MultiPipeSwitch {
+        let exec = Exec::new(pipes.min(Exec::available().workers()));
+        MultiPipeSwitch::with_exec(cfg, pipes, exec)
+    }
+
+    /// [`MultiPipeSwitch::new`] with a caller-provided worker pool —
+    /// `Exec::sequential()` fans out inline on the caller's thread
+    /// (deterministic, zero extra threads), a wider pool drains pipes
+    /// concurrently.
+    pub fn with_exec(cfg: SilkRoadConfig, pipes: usize, exec: Exec) -> MultiPipeSwitch {
+        assert!(pipes > 0, "MultiPipeSwitch needs at least one pipe");
+        let per_pipe = SilkRoadConfig {
+            conn_capacity: cfg.conn_capacity.div_ceil(pipes),
+            ..cfg.clone()
+        };
+        // The per-pipe program must place in one pipe's budgets *and*
+        // replicate within the chip's pipe count.
+        let report = per_pipe
+            .pipeline_program()
+            .with_pipes(pipes as u32)
+            .check(&sr_asic::ChipSpec::tofino_class());
+        assert!(
+            report.is_placeable(),
+            "multi-pipe layout rejected:\n{}",
+            report.render()
+        );
+        let steering = FlowSteering::new(cfg.seed, pipes);
+        let pipes: Vec<Pipe> = (0..pipes)
+            .map(|id| Pipe {
+                id,
+                // Same seed in every pipe: hash families (digest, bucket,
+                // select, bloom) are identical chip-wide, so a flow's
+                // decision does not depend on which pipe it steers to.
+                switch: SilkRoadSwitch::new(per_pipe.clone()),
+            })
+            .collect();
+        let lanes = pipes
+            .iter()
+            .map(|_| Lane {
+                idx: Vec::new(),
+                pkts: Vec::new(),
+                out: Vec::new(),
+            })
+            .collect();
+        MultiPipeSwitch {
+            cfg,
+            steering,
+            pipes,
+            lanes,
+            exec,
+        }
+    }
+
+    /// The aggregate configuration (total capacity, before sharding).
+    pub fn config(&self) -> &SilkRoadConfig {
+        &self.cfg
+    }
+
+    /// Number of pipes.
+    pub fn pipe_count(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// One pipe, for per-pipe (lossless) counter inspection.
+    pub fn pipe(&self, id: usize) -> Option<&Pipe> {
+        self.pipes.get(id)
+    }
+
+    /// One pipe, mutably (see [`Pipe::switch_mut`] for the contract).
+    pub fn pipe_mut(&mut self, id: usize) -> Option<&mut Pipe> {
+        self.pipes.get_mut(id)
+    }
+
+    /// The steering map.
+    pub fn steering(&self) -> &FlowSteering {
+        &self.steering
+    }
+
+    // ---- data plane ----------------------------------------------------
+
+    // srlint: hot-path begin
+    /// Process one packet: steer, then run it through its pipe.
+    pub fn process_packet(&mut self, pkt: &PacketMeta, now: Nanos) -> ForwardDecision {
+        let p = self.steering.pipe_for(&pkt.tuple);
+        match self.pipes.get_mut(p) {
+            Some(pipe) => pipe.switch.process_packet(pkt, now),
+            // Unreachable: pipe_for maps into 0..pipes. Fail closed.
+            None => ForwardDecision::dropped(),
+        }
+    }
+
+    /// Process a batch, returning decisions in input order.
+    pub fn process_batch(&mut self, pkts: &[PacketMeta], now: Nanos) -> Vec<ForwardDecision> {
+        let mut out = Vec::with_capacity(pkts.len());
+        self.process_batch_into(pkts, now, &mut out);
+        out
+    }
+
+    /// [`MultiPipeSwitch::process_batch`] appending into a caller-owned
+    /// buffer. Three passes: steer every packet to its lane, fan the lanes
+    /// out across the pipes (inline when the pool is sequential or there
+    /// is one pipe; over [`Exec`] workers otherwise), then scatter each
+    /// lane's decisions back to input order. Lane buffers are retained, so
+    /// the steady state allocates nothing on the inline path.
+    pub fn process_batch_into(
+        &mut self,
+        pkts: &[PacketMeta],
+        now: Nanos,
+        out: &mut Vec<ForwardDecision>,
+    ) {
+        for lane in &mut self.lanes {
+            lane.idx.clear();
+            lane.pkts.clear();
+            lane.out.clear();
+        }
+        for (i, pkt) in pkts.iter().enumerate() {
+            let p = self.steering.pipe_for(&pkt.tuple);
+            if let Some(lane) = self.lanes.get_mut(p) {
+                lane.idx.push(i as u32);
+                lane.pkts.push(*pkt);
+            }
+        }
+        if self.exec.workers() <= 1 || self.pipes.len() <= 1 {
+            for (pipe, lane) in self.pipes.iter_mut().zip(self.lanes.iter_mut()) {
+                pipe.switch
+                    .process_batch_into(&lane.pkts, now, &mut lane.out);
+            }
+        } else {
+            let jobs: Vec<(&mut Pipe, &mut Lane)> =
+                self.pipes.iter_mut().zip(self.lanes.iter_mut()).collect();
+            self.exec.run(jobs, |(pipe, lane)| {
+                pipe.switch
+                    .process_batch_into(&lane.pkts, now, &mut lane.out);
+            });
+        }
+        let base = out.len();
+        out.resize(base + pkts.len(), ForwardDecision::dropped());
+        for lane in &self.lanes {
+            for (d, &i) in lane.out.iter().zip(lane.idx.iter()) {
+                if let Some(slot) = out.get_mut(base + i as usize) {
+                    *slot = *d;
+                }
+            }
+        }
+    }
+    // srlint: hot-path end
+
+    /// Close a connection (steered to its owning pipe).
+    pub fn close_connection(&mut self, tuple: &FiveTuple, now: Nanos) {
+        let p = self.steering.pipe_for(tuple);
+        if let Some(pipe) = self.pipes.get_mut(p) {
+            pipe.switch.close_connection(tuple, now);
+        }
+    }
+
+    // ---- control plane (broadcast) -------------------------------------
+
+    /// Register a VIP on every pipe.
+    pub fn add_vip(&mut self, vip: Vip, dips: Vec<Dip>) -> Result<(), TypeError> {
+        for pipe in &mut self.pipes {
+            pipe.switch.add_vip(vip, dips.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Remove a VIP from every pipe.
+    pub fn remove_vip(&mut self, vip: Vip) -> Result<(), TypeError> {
+        for pipe in &mut self.pipes {
+            pipe.switch.remove_vip(vip)?;
+        }
+        Ok(())
+    }
+
+    /// Request a DIP-pool update on every pipe; each pipe runs the 3-step
+    /// PCC protocol over its own shard of connections.
+    pub fn request_update(
+        &mut self,
+        vip: Vip,
+        op: PoolUpdate,
+        now: Nanos,
+    ) -> Result<(), TypeError> {
+        for pipe in &mut self.pipes {
+            pipe.switch.request_update(vip, op, now)?;
+        }
+        Ok(())
+    }
+
+    /// Apply health transitions on every pipe.
+    pub fn apply_health_events(
+        &mut self,
+        events: &[HealthEvent],
+        now: Nanos,
+    ) -> Result<(), TypeError> {
+        for pipe in &mut self.pipes {
+            pipe.switch.apply_health_events(events, now)?;
+        }
+        Ok(())
+    }
+
+    /// Attach a VIP meter on every pipe. Each pipe polices its own share
+    /// of the VIP's flows, so a chip-level rate `r` is configured as `r`
+    /// per pipe only if the caller wants per-pipe ceilings; pass the
+    /// already-divided rate for an aggregate bound.
+    pub fn attach_meter(&mut self, vip: Vip, cfg: MeterConfig) {
+        for pipe in &mut self.pipes {
+            pipe.switch.attach_meter(vip, cfg);
+        }
+    }
+
+    /// Detach a VIP's meter on every pipe.
+    pub fn detach_meter(&mut self, vip: Vip) {
+        for pipe in &mut self.pipes {
+            pipe.switch.detach_meter(vip);
+        }
+    }
+
+    /// Run every pipe's control plane up to `now`.
+    pub fn advance(&mut self, now: Nanos) {
+        for pipe in &mut self.pipes {
+            pipe.switch.advance(now);
+        }
+    }
+
+    /// Earliest pending control-plane wakeup across all pipes.
+    pub fn next_wakeup(&self) -> Option<Nanos> {
+        self.pipes
+            .iter()
+            .filter_map(|p| p.switch.next_wakeup())
+            .min()
+    }
+
+    /// Expire idle connections on every pipe; returns the total expired.
+    pub fn expire_idle(&mut self, now: Nanos) -> usize {
+        self.pipes
+            .iter_mut()
+            .map(|p| p.switch.expire_idle(now))
+            .sum()
+    }
+
+    // ---- aggregated observability --------------------------------------
+
+    /// Chip-level statistics: every pipe's counters merged losslessly
+    /// (scalar sums; per-VIP maps merged keywise).
+    pub fn stats(&self) -> SwitchStats {
+        let mut total = SwitchStats::default();
+        for pipe in &self.pipes {
+            total.merge(pipe.switch.stats());
+        }
+        total
+    }
+
+    /// Total installed connections across pipes.
+    pub fn conn_count(&self) -> usize {
+        self.pipes.iter().map(|p| p.switch.conn_count()).sum()
+    }
+
+    /// A VIP's update phase. The control plane broadcasts, so all pipes
+    /// agree; pipe 0 is authoritative.
+    pub fn update_phase(&self, vip: Vip) -> Option<UpdatePhase> {
+        self.pipes.first().and_then(|p| p.switch.update_phase(vip))
+    }
+
+    /// A VIP's current pool version (pipe 0; see [`Self::update_phase`]).
+    pub fn current_version(&self, vip: Vip) -> Option<PoolVersion> {
+        self.pipes
+            .first()
+            .and_then(|p| p.switch.current_version(vip))
+    }
+
+    /// The live DIPs of a VIP's newest pool (identical on every pipe;
+    /// borrowed from pipe 0).
+    pub fn current_dips(&self, vip: Vip) -> Option<&[Dip]> {
+        self.pipes.first().and_then(|p| p.switch.current_dips(vip))
+    }
+
+    /// Version-manager counters summed across pipes: (allocations, reuses,
+    /// pool_changes, live_versions). Each pipe allocates versions for its
+    /// own DIPPoolTable, so the sums count chip-wide events and the
+    /// summed `live_versions` is the chip-wide pool-row count. Per-pipe
+    /// values stay reachable through [`Self::pipe`].
+    pub fn version_counters(&self, vip: Vip) -> Option<(u64, u64, u64, usize)> {
+        let mut any = false;
+        let mut total = (0u64, 0u64, 0u64, 0usize);
+        for pipe in &self.pipes {
+            if let Some((a, r, c, l)) = pipe.switch.version_counters(vip) {
+                any = true;
+                total.0 += a;
+                total.1 += r;
+                total.2 += c;
+                total.3 += l;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// TransitTable counters summed across pipes: (recorded, checks, hits,
+    /// total_size_bytes).
+    pub fn transit_counters(&self) -> (u64, u64, u64, usize) {
+        let mut total = (0u64, 0u64, 0u64, 0usize);
+        for pipe in &self.pipes {
+            let (r, c, h, s) = pipe.switch.transit_counters();
+            total.0 += r;
+            total.1 += c;
+            total.2 += h;
+            total.3 += s;
+        }
+        total
+    }
+
+    /// Chip-wide SRAM footprint: the sum of every pipe's breakdown.
+    pub fn memory(&self) -> MemoryBreakdown {
+        let mut total = MemoryBreakdown::default();
+        for pipe in &self.pipes {
+            let m = pipe.switch.memory();
+            total.conn_table += m.conn_table;
+            total.vip_table += m.vip_table;
+            total.dip_pool_table += m.dip_pool_table;
+            total.transit += m.transit;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dip(i: u8) -> Dip {
+        Dip(Addr::v4(10, 0, 0, i, 20))
+    }
+
+    fn conn(i: u32) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4_indexed(1, i, 1000), vip().0)
+    }
+
+    fn engine(pipes: usize) -> MultiPipeSwitch {
+        let mut e =
+            MultiPipeSwitch::with_exec(SilkRoadConfig::small_test(), pipes, Exec::sequential());
+        e.add_vip(vip(), vec![dip(1), dip(2), dip(3)]).unwrap();
+        e
+    }
+
+    #[test]
+    fn steering_is_symmetric_per_direction() {
+        let s = FlowSteering::new(7, 4);
+        let fwd = FiveTuple::tcp(Addr::v4(1, 2, 3, 4, 1234), Addr::v4(20, 0, 0, 1, 80));
+        let rev = FiveTuple::tcp(Addr::v4(20, 0, 0, 1, 80), Addr::v4(1, 2, 3, 4, 1234));
+        assert_eq!(s.flow_hash(&fwd), s.flow_hash(&rev));
+        assert_eq!(s.pipe_for(&fwd), s.pipe_for(&rev));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pipe")]
+    fn zero_pipes_rejected() {
+        let _ = FlowSteering::new(1, 0);
+    }
+
+    #[test]
+    fn batch_decisions_match_per_packet_path() {
+        let mut a = engine(4);
+        let mut b = engine(4);
+        let pkts: Vec<PacketMeta> = (0..64).map(|i| PacketMeta::syn(conn(i))).collect();
+        let batch = a.process_batch(&pkts, Nanos::ZERO);
+        let single: Vec<ForwardDecision> = pkts
+            .iter()
+            .map(|p| b.process_packet(p, Nanos::ZERO))
+            .collect();
+        assert_eq!(batch, single);
+        assert_eq!(a.stats().packets, 64);
+    }
+
+    #[test]
+    fn broadcast_update_runs_on_every_pipe() {
+        let mut e = engine(4);
+        let pkts: Vec<PacketMeta> = (0..64).map(|i| PacketMeta::syn(conn(i))).collect();
+        e.process_batch(&pkts, Nanos::ZERO);
+        e.advance(Nanos::from_secs(1));
+        e.request_update(vip(), PoolUpdate::Add(dip(9)), Nanos::from_secs(1))
+            .unwrap();
+        e.advance(Nanos::from_secs(2));
+        assert_eq!(e.update_phase(vip()), Some(UpdatePhase::Idle));
+        for p in 0..e.pipe_count() {
+            let sw = e.pipe(p).unwrap().switch();
+            assert!(
+                sw.current_dips(vip()).unwrap().contains(&dip(9)),
+                "pipe {p}"
+            );
+            assert_eq!(sw.stats().updates_requested, 1, "pipe {p}");
+        }
+        // The aggregate view sums the broadcast events.
+        assert_eq!(e.stats().updates_requested, 4);
+    }
+
+    #[test]
+    fn counters_aggregate_losslessly() {
+        let mut e = engine(4);
+        let pkts: Vec<PacketMeta> = (0..256).map(|i| PacketMeta::syn(conn(i))).collect();
+        e.process_batch(&pkts, Nanos::ZERO);
+        e.advance(Nanos::from_secs(1));
+        let per_pipe: u64 = (0..e.pipe_count())
+            .map(|p| e.pipe(p).unwrap().switch().stats().installs)
+            .sum();
+        assert_eq!(e.stats().installs, per_pipe);
+        assert!(per_pipe > 0);
+        let conn_sum: usize = (0..e.pipe_count())
+            .map(|p| e.pipe(p).unwrap().switch().conn_count())
+            .sum();
+        assert_eq!(e.conn_count(), conn_sum);
+        let mem = e.memory();
+        assert!(mem.transit > 0 && mem.conn_table > 0);
+    }
+
+    #[test]
+    fn layout_check_covers_the_pipes_dimension() {
+        // 4 pipes fit the Tofino-class chip; more than the chip has must
+        // be rejected by SRC016 at construction.
+        let chip_pipes = sr_asic::ChipSpec::tofino_class().pipes as usize;
+        let ok = std::panic::catch_unwind(|| {
+            MultiPipeSwitch::with_exec(SilkRoadConfig::small_test(), chip_pipes, Exec::sequential())
+        });
+        assert!(ok.is_ok());
+        let too_many = std::panic::catch_unwind(|| {
+            MultiPipeSwitch::with_exec(
+                SilkRoadConfig::small_test(),
+                chip_pipes + 1,
+                Exec::sequential(),
+            )
+        });
+        assert!(too_many.is_err());
+    }
+
+    #[test]
+    fn threaded_fanout_matches_sequential() {
+        let mut seq = engine(4);
+        let mut thr = MultiPipeSwitch::with_exec(SilkRoadConfig::small_test(), 4, Exec::new(4));
+        thr.add_vip(vip(), vec![dip(1), dip(2), dip(3)]).unwrap();
+        let pkts: Vec<PacketMeta> = (0..512).map(|i| PacketMeta::syn(conn(i))).collect();
+        assert_eq!(
+            seq.process_batch(&pkts, Nanos::ZERO),
+            thr.process_batch(&pkts, Nanos::ZERO)
+        );
+        assert_eq!(seq.stats(), thr.stats());
+    }
+}

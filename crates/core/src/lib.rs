@@ -55,6 +55,7 @@ pub mod config;
 pub mod conn_table;
 pub mod control;
 pub mod dataplane;
+pub mod engine;
 pub mod health;
 pub mod memory;
 pub mod pool;
@@ -67,6 +68,7 @@ pub mod vip_table;
 
 pub use config::{ConnMapping, SilkRoadConfig};
 pub use dataplane::{BloomHashes, DataPath, ForwardDecision, HashedKey, KeyHasher};
+pub use engine::{FlowSteering, MultiPipeSwitch, Pipe};
 pub use health::{HealthChecker, HealthConfig, HealthEvent};
 pub use pool::{DipPool, PoolUpdate};
 pub use stats::SwitchStats;

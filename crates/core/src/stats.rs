@@ -60,6 +60,37 @@ impl SwitchStats {
     pub fn fallback_pins(&self, vip: Vip) -> u64 {
         self.fallback_pins_by_vip.get(&vip).copied().unwrap_or(0)
     }
+
+    /// Fold another switch's counters into this one — the lossless
+    /// aggregation the multi-pipe engine uses to present per-pipe stats as
+    /// one chip-level view. Every scalar adds; per-VIP pin counts add
+    /// keywise (a VIP's flows can pin fallback entries in several pipes).
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.packets += other.packets;
+        self.conn_table_hits += other.conn_table_hits;
+        self.vip_table_misses += other.vip_table_misses;
+        self.digest_false_hits += other.digest_false_hits;
+        self.syn_repairs += other.syn_repairs;
+        self.relocations += other.relocations;
+        self.transit_syn_redirects += other.transit_syn_redirects;
+        self.learns += other.learns;
+        self.installs += other.installs;
+        self.installs_skipped_closed += other.installs_skipped_closed;
+        self.conn_table_overflows += other.conn_table_overflows;
+        self.fallback_entries += other.fallback_entries;
+        self.updates_requested += other.updates_requested;
+        self.updates_noop += other.updates_noop;
+        self.updates_completed += other.updates_completed;
+        self.updates_queued += other.updates_queued;
+        self.version_exhaustions += other.version_exhaustions;
+        self.exhaustion_migrations += other.exhaustion_migrations;
+        self.closes += other.closes;
+        self.idle_expired += other.idle_expired;
+        self.metered_drops += other.metered_drops;
+        for (vip, pins) in &other.fallback_pins_by_vip {
+            *self.fallback_pins_by_vip.entry(*vip).or_insert(0) += pins;
+        }
+    }
 }
 
 impl fmt::Display for SwitchStats {
@@ -104,5 +135,27 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("packets:"));
         assert!(text.contains("updates:"));
+    }
+
+    #[test]
+    fn merge_adds_scalars_and_per_vip_maps() {
+        let vip = Vip(sr_types::Addr::v4(10, 0, 0, 1, 80));
+        let mut a = SwitchStats {
+            packets: 3,
+            closes: 1,
+            ..Default::default()
+        };
+        a.fallback_pins_by_vip.insert(vip, 2);
+        let mut b = SwitchStats {
+            packets: 4,
+            installs: 5,
+            ..Default::default()
+        };
+        b.fallback_pins_by_vip.insert(vip, 1);
+        a.merge(&b);
+        assert_eq!(a.packets, 7);
+        assert_eq!(a.closes, 1);
+        assert_eq!(a.installs, 5);
+        assert_eq!(a.fallback_pins(vip), 3);
     }
 }

@@ -188,11 +188,12 @@ impl SilkRoadSwitch {
         self.vips.get(&vip).map(|s| s.manager.current_version())
     }
 
-    /// The live DIPs of a VIP's newest pool.
-    pub fn current_dips(&self, vip: Vip) -> Option<Vec<Dip>> {
+    /// The live DIPs of a VIP's newest pool. Borrows from the pool table —
+    /// no per-call clone, so callers may invoke this per packet.
+    pub fn current_dips(&self, vip: Vip) -> Option<&[Dip]> {
         self.vips
             .get(&vip)
-            .map(|s| s.manager.current_pool().members().to_vec())
+            .map(|s| s.manager.current_pool().members())
     }
 
     /// Version-manager counters of a VIP: (allocations, reuses,
@@ -1048,7 +1049,8 @@ mod tests {
         let victim = sw
             .current_dips(vip())
             .unwrap()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|d| Some(*d) != d1.dip)
             .unwrap();
         sw.request_update(vip(), PoolUpdate::Remove(victim), Nanos::from_millis(10))
@@ -1301,7 +1303,7 @@ mod tests {
             fail_threshold: 2,
             rise_threshold: 1,
         });
-        for d in sw.current_dips(vip()).unwrap() {
+        for &d in sw.current_dips(vip()).unwrap() {
             hc.watch(vip(), d, Nanos::ZERO);
         }
         // Live connections pin the pre-failure version so the recovery can

@@ -28,7 +28,7 @@ pub use bloom::BloomFilter;
 pub use cuckoo::{CuckooConfig, CuckooTable, InsertOutcome, LookupHit, MatchMode};
 pub use digest::DigestFn;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use hasher::{hash_all, HashFn};
+pub use hasher::{hash_all, splitmix64, HashFn};
 
 /// Stateless ECMP member selection: map a flow hash onto one of `n` members.
 ///

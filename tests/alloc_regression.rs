@@ -10,7 +10,7 @@
 //! The counter is thread-local: the cargo test harness and any sibling
 //! tests run on other threads and must not pollute the measurement.
 
-use silkroad::{DataPath, ForwardDecision, SilkRoadConfig, SilkRoadSwitch};
+use silkroad::{DataPath, ForwardDecision, MultiPipeSwitch, SilkRoadConfig, SilkRoadSwitch};
 use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -135,6 +135,61 @@ fn conn_table_hit_path_is_allocation_free() {
     assert_eq!(
         allocs, 0,
         "process_batch_into allocated {allocs} times over {N} packets"
+    );
+}
+
+#[test]
+fn multi_pipe_steady_state_is_allocation_free() {
+    // The sharded path adds steering plus per-pipe scatter/gather on top
+    // of each pipe's batch pipeline; all of it must stay off the heap in
+    // steady state. The inline (sequential-Exec) fan-out runs on this
+    // thread, which is the path the thread-local counter can observe —
+    // and the one whose per-packet work matches the threaded fan-out.
+    const N: u32 = 4096;
+    const PIPES: usize = 4;
+    let vip_addr = Addr::v4(20, 0, 0, 1, 80);
+    let cfg = SilkRoadConfig {
+        conn_capacity: (N as usize) * 2,
+        ..Default::default()
+    };
+    let mut sw = MultiPipeSwitch::with_exec(cfg, PIPES, sr_exec::Exec::sequential());
+    sw.add_vip(Vip(vip_addr), v4_dips()).unwrap();
+    let tuples: Vec<FiveTuple> = (0..N)
+        .map(|i| FiveTuple::tcp(Addr::v4_indexed(100, i, 1024), vip_addr))
+        .collect();
+    let pkts: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::syn(*t)).collect();
+    sw.process_batch(&pkts, Nanos::ZERO);
+    sw.advance(Nanos::from_secs(10));
+    assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
+
+    let data: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::data(*t, 800)).collect();
+    let mut out: Vec<ForwardDecision> = Vec::with_capacity(data.len());
+    // Warm one pass: lane buffers grow to their steady-state capacity.
+    sw.process_batch_into(&data, Nanos::from_secs(20), &mut out);
+
+    out.clear();
+    let before = allocs_so_far();
+    sw.process_batch_into(&data, Nanos::from_secs(21), &mut out);
+    let allocs = allocs_so_far() - before;
+    let hits = out
+        .iter()
+        .filter(|d| d.path == DataPath::AsicConnTable)
+        .count() as u64;
+    assert_eq!(hits, N as u64, "steady state lost ConnTable hits");
+    assert_eq!(
+        allocs, 0,
+        "multi-pipe batch path allocated {allocs} times over {N} packets"
+    );
+
+    // The steered per-packet entry point is also allocation-free.
+    let before = allocs_so_far();
+    for t in &tuples {
+        sw.process_packet(&PacketMeta::data(*t, 800), Nanos::from_secs(22));
+    }
+    let allocs = allocs_so_far() - before;
+    assert_eq!(
+        allocs, 0,
+        "multi-pipe process_packet allocated {allocs} times over {N} packets"
     );
 }
 

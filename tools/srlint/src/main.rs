@@ -10,6 +10,10 @@
 //!   total: a panicking data plane is a dropped line card.
 //! * **no-index** — no slice/array indexing (`x[i]`) in hot-path code;
 //!   every index is a bounds-check branch and a potential panic.
+//! * **no-alloc** — no allocating constructors (`Vec::new`, `vec![`,
+//!   `format!`, `.collect()`, …) in hot-path code; the steady-state packet
+//!   path reuses caller-owned buffers (`tests/alloc_regression.rs` proves
+//!   it dynamically, this rule catches sneak-ins at review time).
 //! * **no-std-hashmap** — `sr-core` and `sr-hash` must use the workspace's
 //!   `FxHash` maps, not `std::collections::HashMap`/`HashSet` (SipHash
 //!   costs ~4x on short keys; see `sr_hash::FxHashMap`).
@@ -19,8 +23,9 @@
 //! Hot-path scope is the two whole-file modules `crates/core/src/dataplane.rs`
 //! and `crates/hash/src/bloom.rs`, plus any region bracketed by
 //! `// srlint: hot-path begin` / `// srlint: hot-path end` markers
-//! (the `SilkRoadSwitch` batch path, the cuckoo probe functions). Code from
-//! `#[cfg(test)]` onward is exempt.
+//! (the `SilkRoadSwitch` batch path, the cuckoo probe functions, and the
+//! `MultiPipeSwitch` steering/fan-out path in `crates/core/src/engine.rs`).
+//! Code from `#[cfg(test)]` onward is exempt.
 //!
 //! Intentional exceptions live in `tools/srlint/allow.list`, keyed by
 //! `path<TAB>rule<TAB>trimmed-line-content` — content-keyed, so an entry
@@ -50,6 +55,23 @@ const PANIC_PATTERNS: [&str; 6] = [
     "unreachable!(",
     ".unwrap()",
     ".expect(",
+];
+
+/// Allocating-call patterns banned in hot-path code. Setup-time
+/// allocations inside a hot region (constructors, the one warm buffer a
+/// batch entry point hands out) are excused via the allowlist.
+const ALLOC_PATTERNS: [&str; 11] = [
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    "Box::new(",
+    "String::new(",
+    "String::with_capacity(",
+    "format!(",
+    ".to_vec()",
+    ".to_string()",
+    ".to_owned()",
+    ".collect()",
 ];
 
 struct Violation {
@@ -278,6 +300,19 @@ fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
                         .to_string(),
                 });
             }
+            for pat in ALLOC_PATTERNS {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: "no-alloc",
+                        content: trimmed.to_string(),
+                        message: format!(
+                            "allocating call `{pat}..` in hot-path code (reuse a buffer)"
+                        ),
+                    });
+                }
+            }
         }
     }
     out
@@ -370,6 +405,26 @@ mod tests {
     }
 
     #[test]
+    fn hot_scope_catches_allocations() {
+        let src = "// srlint: hot-path begin\n\
+                   fn f() -> Vec<u8> {\n\
+                       let v: Vec<u8> = (0..4).collect();\n\
+                       v\n\
+                   }\n\
+                   // srlint: hot-path end\n\
+                   fn cold() -> Vec<u8> { vec![0; 4] }\n";
+        let v = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| v.line).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].rule, "no-alloc");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
     fn test_modules_are_exempt() {
         let src = "// srlint: hot-path begin\n\
                    fn ok() {}\n\
@@ -413,7 +468,7 @@ mod tests {
 
     #[test]
     fn non_index_brackets_do_not_fire() {
-        let src = "#[inline]\nfn f(x: &[u8], y: [u8; 4]) -> Vec<[u8; 2]> { vec![] }\n";
+        let src = "#[inline]\nfn f(x: &[u8], y: [u8; 4]) -> [u8; 2] { let _ = (x, y); [0; 2] }\n";
         assert!(rules("crates/hash/src/bloom.rs", src).is_empty());
     }
 }

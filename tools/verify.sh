@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(
-    silkroad-lb sr-types sr-hash sr-asic silkroad
+    silkroad-lb sr-types sr-hash sr-asic silkroad sr-exec
     sr-baselines sr-workload sr-sim sr-netwide sr-bench srlint
 )
 PKG_FLAGS=()
@@ -34,6 +34,13 @@ cargo run -q --release -p srlint -- .
 
 echo "== srcheck (pipeline-layout gate: reference programs must place)"
 ./target/release/repro check > /dev/null
+
+# Run in a scratch dir so the smoke JSON does not clobber the committed
+# full-run BENCH_throughput.json.
+echo "== repro scale --smoke (multi-pipe saturation + decision identity)"
+SCALE_TMP="$(mktemp -d)"
+( cd "$SCALE_TMP" && "$OLDPWD/target/release/repro" scale --smoke > /dev/null )
+rm -rf "$SCALE_TMP"
 
 # The allocation gate only means something with optimizations on: debug
 # builds allocate in places release code does not (and vice versa).
