@@ -295,9 +295,135 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wire(c: &mut Criterion) {
+    use sr_types::{FrameView, RewriteMode, TcpFlags};
+    use sr_wire::{build_frame, parse_frame, rewrite_frame, FrameSpec, ENCAP_HEADROOM};
+
+    let mut g = c.benchmark_group("wire");
+    const BATCH: usize = 1024;
+
+    fn frames_for(tuples: &[FiveTuple], wire_len: u32) -> Vec<Vec<u8>> {
+        tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut buf = vec![0u8; 2048];
+                let n = build_frame(
+                    &FrameSpec {
+                        tuple: *t,
+                        flags: TcpFlags::ACK,
+                        wire_len,
+                        seq: i as u64,
+                    },
+                    &mut buf,
+                )
+                .unwrap();
+                buf.truncate(n);
+                buf
+            })
+            .collect()
+    }
+
+    fn tuples(n: u32) -> Vec<FiveTuple> {
+        (0..n)
+            .map(|i| {
+                FiveTuple::tcp(
+                    Addr::v4_indexed(100, i, 1024 + (i % 251) as u16),
+                    Addr::v4(20, 0, 0, 1, 80),
+                )
+            })
+            .collect()
+    }
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("parse", |b| {
+        let frames = frames_for(&tuples(4_096), 400);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % frames.len();
+            criterion::black_box(parse_frame(&frames[i]).unwrap())
+        });
+    });
+
+    g.bench_function("rewrite", |b| {
+        let ts = tuples(4_096);
+        let frames = frames_for(&ts, 400);
+        let parsed: Vec<FrameView> = frames
+            .iter()
+            .map(|f| parse_frame(f).unwrap().view)
+            .collect();
+        let dip = Dip(Addr::v4(10, 0, 0, 1, 20));
+        let op = sr_types::RewriteOp {
+            dip,
+            mode: RewriteMode::Nat,
+        };
+        let mut out = [0u8; 2048];
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % frames.len();
+            criterion::black_box(rewrite_frame(&frames[i], &parsed[i], &op, &mut out).unwrap())
+        });
+    });
+
+    // Whole replay hot path per batch: parse 1024 frames, steer + resolve
+    // them through a 4-pipe switch, rewrite every decision. The same
+    // composition `repro replay` times end to end.
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("replay_batch", |b| {
+        let ts = tuples(32_768);
+        let frames = frames_for(&ts, 400);
+        let cfg = SilkRoadConfig {
+            conn_capacity: ts.len() * 2,
+            ..Default::default()
+        };
+        let mut sw = MultiPipeSwitch::with_exec(cfg, 4, sr_bench::Exec::sequential());
+        let vip_addr = Addr::v4(20, 0, 0, 1, 80);
+        sw.add_vip(
+            Vip(vip_addr),
+            (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+        )
+        .unwrap();
+        let mut now = Nanos::ZERO;
+        for wave in ts.chunks(1_024) {
+            let syns: Vec<PacketMeta> = wave.iter().map(|t| PacketMeta::syn(*t)).collect();
+            sw.process_batch(&syns, now);
+            now = now.saturating_add(sr_types::Duration::from_millis(10));
+            sw.advance(now);
+        }
+        sw.advance(Nanos::from_secs(10));
+
+        let mut metas: Vec<PacketMeta> = Vec::with_capacity(BATCH);
+        let mut views: Vec<FrameView> = Vec::with_capacity(BATCH);
+        let mut out: Vec<silkroad::ForwardDecision> = Vec::with_capacity(BATCH);
+        let mut rewritten = [0u8; 2048 + ENCAP_HEADROOM];
+        let mut off = 0usize;
+        b.iter(|| {
+            off = (off + BATCH) % (frames.len() - BATCH);
+            metas.clear();
+            views.clear();
+            out.clear();
+            for f in &frames[off..off + BATCH] {
+                let p = parse_frame(f).unwrap();
+                metas.push(p.meta);
+                views.push(p.view);
+            }
+            sw.process_batch_into(&metas, Nanos::from_secs(20), &mut out);
+            let mut n = 0usize;
+            for ((f, v), d) in frames[off..off + BATCH].iter().zip(&views).zip(&out) {
+                if let Some(op) = d.rewrite_op(RewriteMode::Nat) {
+                    n += rewrite_frame(f, v, &op, &mut rewritten).unwrap();
+                }
+            }
+            criterion::black_box(n)
+        });
+    });
+
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_cuckoo, bench_primitives, bench_dataplane, bench_engine
+    targets = bench_cuckoo, bench_primitives, bench_dataplane, bench_engine, bench_wire
 }
 criterion_main!(benches);

@@ -17,29 +17,31 @@ use sr_bench::report::{mb, pct, Table};
 use sr_bench::{extras, fig_memory, fig_meta, fig_pcc, fig_version, tables, Exec, Scale};
 use sr_types::Duration;
 
-/// Parse `--jobs N` / `--jobs=N`; `None` means "not given".
-fn parse_jobs(args: &[String]) -> Option<usize> {
+/// Parse `--<flag> N` / `--<flag>=N`; `None` means "not given".
+fn parse_count_flag(args: &[String], flag: &str) -> Option<usize> {
+    let bare = format!("--{flag}");
+    let eq = format!("--{flag}=");
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
+        if *a == bare {
             let v = it.next().unwrap_or_else(|| {
-                eprintln!("--jobs needs a value");
+                eprintln!("{bare} needs a value");
                 std::process::exit(2);
             });
-            return Some(parse_jobs_value(v));
+            return Some(parse_count_value(&bare, v));
         }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return Some(parse_jobs_value(v));
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(parse_count_value(&bare, v));
         }
     }
     None
 }
 
-fn parse_jobs_value(v: &str) -> usize {
+fn parse_count_value(flag: &str, v: &str) -> usize {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => n,
         _ => {
-            eprintln!("--jobs wants a positive integer, got '{v}'");
+            eprintln!("{flag} wants a positive integer, got '{v}'");
             std::process::exit(2);
         }
     }
@@ -49,7 +51,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::full() } else { Scale::quick() };
-    let exec = match parse_jobs(&args) {
+    let exec = match parse_count_flag(&args, "jobs") {
         Some(n) => Exec::new(n),
         None => Exec::available(),
     };
@@ -60,7 +62,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" {
+        if a == "--jobs" || a == "--pipes" {
             skip_next = true;
             continue;
         }
@@ -103,16 +105,36 @@ fn main() {
         }
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
-            println!("targets: all {} check scale", all.join(" "));
+            println!("targets: all {} check scale export replay", all.join(" "));
             println!("scale options: --smoke (small trace, CI-sized)");
+            println!("export usage: repro export <file.pcap> [--smoke]");
+            println!("replay usage: repro replay <file.pcap> [--pipes N] [--smoke] [--encap]");
         }
         // `check` is deliberately not part of `all`: it is the srcheck
         // verification gate (placement reports + pass/fail exit code), not
         // an evaluation figure. `scale` is excluded too: its output is
         // timing-dependent, and `all`'s stdout must stay byte-identical
-        // across hosts and `--jobs` settings.
+        // across hosts and `--jobs` settings. `export`/`replay` take a
+        // file argument and are likewise part of the verification surface,
+        // not the figure set.
         "check" => run_check(),
         "scale" => run_scale(args.iter().any(|a| a == "--smoke")),
+        "export" => run_export(
+            cmds.get(1).copied().unwrap_or_else(|| {
+                eprintln!("export needs a destination: repro export <file.pcap> [--smoke]");
+                std::process::exit(2);
+            }),
+            args.iter().any(|a| a == "--smoke"),
+        ),
+        "replay" => run_replay(
+            cmds.get(1).copied().unwrap_or_else(|| {
+                eprintln!("replay needs a capture: repro replay <file.pcap> [--pipes N]");
+                std::process::exit(2);
+            }),
+            parse_count_flag(&args, "pipes").unwrap_or(2),
+            args.iter().any(|a| a == "--smoke"),
+            args.iter().any(|a| a == "--encap"),
+        ),
         c if all.contains(&c) => run_timed(c, scale, &exec),
         other => {
             eprintln!("unknown target '{other}' — try: repro help");
@@ -202,6 +224,141 @@ fn run_scale(smoke: bool) {
     let speedup = sweep.speedup(4).unwrap_or(0.0);
     if speedup < target {
         eprintln!("repro scale: 4-pipe speedup {speedup:.2}x below the {target}x target");
+        std::process::exit(1);
+    }
+}
+
+/// `repro export <file.pcap> [--smoke]` — materialize the deterministic
+/// replay trace as a pcap capture. `--smoke` writes the small CI profile
+/// (the bytes behind `crates/bench/golden/replay_smoke.pcap`); the full
+/// profile produces the 100K+-frame capture the committed
+/// `BENCH_replay.json` replays.
+fn run_export(path: &str, smoke: bool) {
+    use sr_bench::replay::{export_profile, EXPORT_DATA_PKTS};
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("failed to create {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut writer = match sr_wire::PcapWriter::new(std::io::BufWriter::new(file)) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("failed to write pcap header: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = export_profile(smoke);
+    let stats = match sr_wire::export_trace(&cfg, EXPORT_DATA_PKTS, &mut writer, |_, _| {}) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = writer.finish().and_then(|mut w| {
+        use std::io::Write;
+        w.flush()
+    }) {
+        eprintln!("failed to flush {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path}: {} frames, {} conns, {} bytes ({})",
+        stats.frames,
+        stats.conns,
+        stats.bytes,
+        if smoke {
+            "smoke profile"
+        } else {
+            "full profile"
+        }
+    );
+}
+
+/// `repro replay <file.pcap> [--pipes N] [--smoke] [--encap]` — stream a
+/// capture through the multi-pipe switch, rewrite every forwarded frame,
+/// and write `BENCH_replay.json` to the current directory. Exits non-zero
+/// on parse errors, checksum failures, or PCC violations. The full
+/// (non-`--smoke`) run additionally requires a 100K+-frame capture, so a
+/// committed `BENCH_replay.json` always reflects paper-scale replay.
+fn run_replay(path: &str, pipes: usize, smoke: bool, encap: bool) {
+    use sr_bench::replay;
+    use sr_types::RewriteMode;
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mode = if encap {
+        RewriteMode::Encap
+    } else {
+        RewriteMode::Nat
+    };
+    let report = match replay::replay(&bytes, pipes, mode) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = Table::new(
+        format!(
+            "Replay — {path} through {pipes} pipe(s), {} mode",
+            mode.label()
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec!["frames".into(), report.frames.to_string()]);
+    t.row(vec!["connections".into(), report.conns.to_string()]);
+    t.row(vec!["VIPs".into(), report.vips.to_string()]);
+    t.row(vec!["rewritten".into(), report.rewritten.to_string()]);
+    t.row(vec!["skipped".into(), report.skipped.to_string()]);
+    t.row(vec![
+        "throughput".into(),
+        format!("{:.2} Mpps", report.pps / 1e6),
+    ]);
+    t.row(vec![
+        "bytes in/out".into(),
+        format!("{} / {}", report.bytes_in, report.bytes_out),
+    ]);
+    t.row(vec![
+        "decision digest".into(),
+        format!("{:016x}", report.decision_digest),
+    ]);
+    t.row(vec![
+        "checksum failures".into(),
+        report.checksum_failures.to_string(),
+    ]);
+    t.row(vec![
+        "PCC violations".into(),
+        report.pcc_violations.to_string(),
+    ]);
+    println!("{}", t.render());
+    let json = report.to_json();
+    let out = "BENCH_replay.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !smoke && report.frames < 100_000 {
+        eprintln!(
+            "repro replay: full run needs a 100K+-frame capture, got {} (use --smoke for small captures)",
+            report.frames
+        );
+        std::process::exit(1);
+    }
+    if !report.ok() {
+        eprintln!(
+            "repro replay: correctness failure ({} parse errors, {} checksum failures, {} PCC violations)",
+            report.parse_errors, report.checksum_failures, report.pcc_violations
+        );
         std::process::exit(1);
     }
 }

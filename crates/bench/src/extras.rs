@@ -121,7 +121,7 @@ pub fn digest_tradeoff(exec: &Exec, conns_target: u64, seed: u64) -> Vec<DigestP
                 // Second packet after installation: exercises lookups
                 // against a full table.
                 sw.process_packet(
-                    &PacketMeta::data(c.tuple, 800),
+                    &PacketMeta::data(c.tuple, c.pkt_len),
                     c.opened + Duration::from_millis(20),
                 );
             }

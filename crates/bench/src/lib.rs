@@ -18,6 +18,7 @@ pub mod fig_memory;
 pub mod fig_meta;
 pub mod fig_pcc;
 pub mod fig_version;
+pub mod replay;
 pub mod report;
 pub mod saturation;
 pub mod scale;

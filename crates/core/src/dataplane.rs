@@ -7,7 +7,7 @@
 //! from that single pass.
 
 use sr_hash::{hash_all, HashFn};
-use sr_types::{Dip, FiveTuple, PoolVersion, TupleKey};
+use sr_types::{Dip, FiveTuple, PoolVersion, RewriteMode, RewriteOp, TupleKey};
 
 /// Upper bound on the hash functions the packet path evaluates *eagerly*
 /// (ConnTable stages + digest + ECMP select). The paper's switch uses
@@ -204,6 +204,19 @@ impl ForwardDecision {
             false_hit: false,
         }
     }
+
+    /// The wire-layer operation this decision asks of the rewrite engine:
+    /// decisions that forward to a resolved DIP become a [`RewriteOp`]
+    /// carried in `mode`; drops and non-VIP passthroughs touch nothing.
+    #[inline]
+    pub fn rewrite_op(&self, mode: RewriteMode) -> Option<RewriteOp> {
+        match self.path {
+            DataPath::AsicConnTable | DataPath::AsicVipTable | DataPath::SoftwareRedirect => {
+                self.dip.map(|dip| RewriteOp { dip, mode })
+            }
+            DataPath::Dropped | DataPath::NotVip => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +231,32 @@ mod tests {
         let d = ForwardDecision::dropped();
         assert_eq!(d.path, DataPath::Dropped);
         assert!(!d.conn_table_hit);
+    }
+
+    #[test]
+    fn rewrite_op_mapping() {
+        use sr_types::Addr;
+        let dip = Dip(Addr::v4(10, 0, 0, 1, 20));
+        let fwd = ForwardDecision {
+            dip: Some(dip),
+            path: DataPath::AsicConnTable,
+            version: None,
+            conn_table_hit: true,
+            false_hit: false,
+        };
+        for mode in [RewriteMode::Nat, RewriteMode::Encap] {
+            assert_eq!(fwd.rewrite_op(mode), Some(RewriteOp { dip, mode }));
+        }
+        let redirected = ForwardDecision {
+            path: DataPath::SoftwareRedirect,
+            ..fwd
+        };
+        assert!(redirected.rewrite_op(RewriteMode::Nat).is_some());
+        assert!(ForwardDecision::dropped()
+            .rewrite_op(RewriteMode::Nat)
+            .is_none());
+        assert!(ForwardDecision::not_vip()
+            .rewrite_op(RewriteMode::Nat)
+            .is_none());
     }
 }

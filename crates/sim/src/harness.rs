@@ -289,7 +289,7 @@ impl Harness {
         let Some(mut state) = self.conns.remove(&seq) else {
             return;
         };
-        let verdict = lb.packet(&PacketMeta::data(state.spec.tuple, 800), now);
+        let verdict = lb.packet(&PacketMeta::data(state.spec.tuple, state.spec.pkt_len), now);
         self.observe(&mut state, verdict);
         if chain > 0 {
             let next = now + state.spec.pkt_gap;
@@ -411,6 +411,8 @@ mod tests {
             flow_sigma: 1.0,
             median_rate_bps: 100_000.0,
             rate_sigma: 0.5,
+            median_pkt_bytes: 800.0,
+            pkt_sigma: 0.35,
             updates_per_min: upm,
             shared_dip_upgrades: false,
             duration: Duration::from_mins(mins),

@@ -1,0 +1,131 @@
+//! Wire-facing frame-view types.
+//!
+//! The `sr-wire` crate parses real Ethernet/IP/TCP frames; the rest of the
+//! workspace only needs the *shape* of what it found — where each header
+//! starts, which family and L4 protocol the frame carries — plus the
+//! vocabulary for carrying a [`ForwardDecision`](crate) back onto the wire
+//! (rewrite vs encapsulate). Those shared types live here so `sr-core` can
+//! map decisions to rewrite operations without depending on the codec.
+
+use crate::addr::{AddrFamily, Dip};
+use crate::tuple::Protocol;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+/// Ethernet II header length (dst MAC, src MAC, EtherType).
+pub const ETH_HDR_LEN: usize = 14;
+/// IPv4 header length without options (IHL = 5).
+pub const IPV4_HDR_LEN: usize = 20;
+/// IPv6 fixed header length (extension headers unsupported).
+pub const IPV6_HDR_LEN: usize = 40;
+/// TCP header length without options (data offset = 5).
+pub const TCP_HDR_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_HDR_LEN: usize = 8;
+/// IP protocol number of IPv4-in-IPv4 encapsulation (RFC 2003).
+pub const IPPROTO_IPIP: u8 = 4;
+/// IP protocol / next-header number of an encapsulated IPv6 packet.
+pub const IPPROTO_IPV6: u8 = 41;
+
+/// Byte offsets of one parsed frame's headers, as produced by the
+/// `sr-wire` zero-copy parser.
+///
+/// All offsets are from the start of the frame. `u16` suffices: the pcap
+/// snap length (65535) bounds every capture this workspace reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameView {
+    /// Offset of the IP header (after Ethernet: 14).
+    pub l3: u16,
+    /// Offset of the L4 (TCP/UDP) header.
+    pub l4: u16,
+    /// Offset of the L4 payload.
+    pub payload: u16,
+    /// Address family of the IP header.
+    pub family: AddrFamily,
+    /// L4 protocol.
+    pub proto: Protocol,
+    /// Total frame length in bytes (Ethernet header included).
+    pub frame_len: u32,
+}
+
+impl FrameView {
+    /// Length of the IP header in bytes.
+    pub fn ip_hdr_len(&self) -> usize {
+        self.l4 as usize - self.l3 as usize
+    }
+
+    /// Length of the L4 header in bytes.
+    pub fn l4_hdr_len(&self) -> usize {
+        self.payload as usize - self.l4 as usize
+    }
+}
+
+/// How a VIP packet is carried to its DIP on the wire (§4 of the paper:
+/// the switch either NATs the destination or tunnels toward the DIP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewriteMode {
+    /// L4 NAT: rewrite the destination address and port in place, with
+    /// incremental (RFC 1624) checksum updates.
+    Nat,
+    /// IP-in-IP encapsulation: prepend an outer IP header addressed to
+    /// the DIP; the inner packet is carried unmodified.
+    Encap,
+}
+
+impl RewriteMode {
+    /// Stable lowercase label (JSON reports, CLI flags).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RewriteMode::Nat => "nat",
+            RewriteMode::Encap => "encap",
+        }
+    }
+}
+
+/// One concrete rewrite the data plane asks the wire layer to perform:
+/// carry this frame to `dip` using `mode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RewriteOp {
+    /// The chosen backend.
+    pub dip: Dip,
+    /// Rewrite vs encapsulate.
+    pub mode: RewriteMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[test]
+    fn view_header_lengths() {
+        let v = FrameView {
+            l3: 14,
+            l4: 34,
+            payload: 54,
+            family: AddrFamily::V4,
+            proto: Protocol::Tcp,
+            frame_len: 800,
+        };
+        assert_eq!(v.ip_hdr_len(), IPV4_HDR_LEN);
+        assert_eq!(v.l4_hdr_len(), TCP_HDR_LEN);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(RewriteMode::Nat.label(), "nat");
+        assert_eq!(RewriteMode::Encap.label(), "encap");
+    }
+
+    #[test]
+    fn rewrite_op_is_copy_eq() {
+        let op = RewriteOp {
+            dip: Dip(Addr::v4(10, 0, 0, 1, 20)),
+            mode: RewriteMode::Nat,
+        };
+        let op2 = op;
+        assert_eq!(op, op2);
+    }
+}

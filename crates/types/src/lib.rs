@@ -19,6 +19,7 @@
 
 pub mod addr;
 pub mod error;
+pub mod frame;
 pub mod ids;
 pub mod key;
 pub mod packet;
@@ -27,6 +28,7 @@ pub mod tuple;
 
 pub use addr::{Addr, AddrFamily, Dip, Vip};
 pub use error::TypeError;
+pub use frame::{FrameView, RewriteMode, RewriteOp};
 pub use ids::{ClusterId, ConnSeq, DipId, PoolVersion, SwitchId, VipId};
 pub use key::{TupleKey, MAX_KEY_LEN};
 pub use packet::{PacketMeta, TcpFlags};

@@ -71,8 +71,10 @@ impl fmt::Debug for TcpFlags {
     }
 }
 
-/// Metadata of one packet presented to a load balancer.
-#[derive(Clone, Copy, Debug)]
+/// Metadata of one packet presented to a load balancer. `Eq` so replay
+/// harnesses can compare parsed-from-wire packet streams against
+/// trace-generated ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PacketMeta {
     /// Connection identity.
     pub tuple: FiveTuple,

@@ -1,0 +1,227 @@
+//! Export an `sr_workload` synthetic trace as a pcap capture.
+//!
+//! Each connection becomes a SYN frame at its arrival, up to
+//! `max_data_pkts` full-size data frames spaced by the flow's packet gap,
+//! and a FIN at its close — all globally time-sorted by merging the
+//! per-flow schedules through one binary heap, so the capture replays
+//! with monotone timestamps. Frames are synthesized by
+//! [`crate::emit::build_frame`], i.e. they carry valid IP/TCP checksums
+//! and parse back to exactly the [`PacketMeta`] stream the in-memory
+//! simulator would have seen (the whole point: `repro replay` can diff
+//! its decisions against a switch fed directly from the trace).
+//!
+//! DIP-pool update events in the trace are *not* representable in a pcap
+//! (they are control-plane, not packets); they are counted and skipped.
+//! The replay driver injects its own deterministic update instead.
+
+use crate::emit::{build_frame, FrameSpec};
+use crate::pcap::PcapWriter;
+use sr_types::{Nanos, PacketMeta, TcpFlags};
+use sr_workload::{TraceConfig, TraceEvent, TraceIter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, Write};
+
+/// Counters from one export run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Frames written.
+    pub frames: u64,
+    /// Connections exported.
+    pub conns: u64,
+    /// Payload bytes written (sum of frame lengths).
+    pub bytes: u64,
+    /// Control-plane update events skipped (not representable as frames).
+    pub updates_skipped: u64,
+}
+
+/// One scheduled frame awaiting its timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Pending {
+    at: u64,
+    order: u64,
+    spec: FrameSpec,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.order).cmp(&(other.at, other.order))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Stream `cfg`'s trace into `writer` as Ethernet frames.
+///
+/// `max_data_pkts` caps the data frames per flow (SYN and FIN are always
+/// emitted), bounding the capture size for long flows. `on_frame` fires
+/// once per written frame with its timestamp and the metadata the frame
+/// encodes — replay tests use it to capture the expected packet stream
+/// without re-parsing.
+pub fn export_trace<W: Write>(
+    cfg: &TraceConfig,
+    max_data_pkts: u32,
+    writer: &mut PcapWriter<W>,
+    mut on_frame: impl FnMut(Nanos, &PacketMeta),
+) -> io::Result<ExportStats> {
+    let mut stats = ExportStats::default();
+    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut order = 0u64;
+    let mut buf = [0u8; 2048];
+
+    let flush_until = |deadline: u64,
+                       heap: &mut BinaryHeap<Reverse<Pending>>,
+                       stats: &mut ExportStats,
+                       on_frame: &mut dyn FnMut(Nanos, &PacketMeta),
+                       writer: &mut PcapWriter<W>,
+                       buf: &mut [u8]|
+     -> io::Result<()> {
+        while heap.peek().is_some_and(|Reverse(p)| p.at <= deadline) {
+            let Some(Reverse(p)) = heap.pop() else { break };
+            let n = build_frame(&p.spec, buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            let ts = Nanos(p.at);
+            writer.write_frame(ts, &buf[..n])?;
+            stats.frames += 1;
+            stats.bytes += n as u64;
+            let meta = PacketMeta {
+                tuple: p.spec.tuple,
+                flags: p.spec.flags,
+                len: n as u32,
+            };
+            on_frame(ts, &meta);
+        }
+        Ok(())
+    };
+
+    for ev in TraceIter::new(*cfg) {
+        let now = ev.at().0;
+        flush_until(now, &mut heap, &mut stats, &mut on_frame, writer, &mut buf)?;
+        match ev {
+            TraceEvent::Update(_) => stats.updates_skipped += 1,
+            TraceEvent::ConnOpen(c) => {
+                stats.conns += 1;
+                let mut push = |at: u64, flags: TcpFlags, wire_len: u32| {
+                    heap.push(Reverse(Pending {
+                        at,
+                        order,
+                        spec: FrameSpec {
+                            tuple: c.tuple,
+                            flags,
+                            wire_len,
+                            seq: c.seq.0,
+                        },
+                    }));
+                    order += 1;
+                };
+                push(c.opened.0, TcpFlags::SYN, 0);
+                let gap = c.pkt_gap.0.max(1);
+                let data_pkts = c.packets().min(u64::from(max_data_pkts));
+                for k in 0..data_pkts {
+                    let at = c.opened.0.saturating_add(gap.saturating_mul(k + 1));
+                    if at >= c.closes().0 {
+                        break;
+                    }
+                    push(at, TcpFlags::ACK, c.pkt_len);
+                }
+                push(c.closes().0, TcpFlags::FIN.with(TcpFlags::ACK), 0);
+            }
+        }
+    }
+    flush_until(
+        u64::MAX,
+        &mut heap,
+        &mut stats,
+        &mut on_frame,
+        writer,
+        &mut buf,
+    )?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_frame;
+    use crate::pcap::PcapReader;
+    use crate::rewrite::verify_checksums;
+    use sr_types::{AddrFamily, Duration};
+
+    fn tiny_cfg() -> TraceConfig {
+        TraceConfig {
+            vips: 4,
+            dips_per_vip: 3,
+            new_conns_per_min: 300.0,
+            median_flow_secs: 5.0,
+            flow_sigma: 0.8,
+            median_rate_bps: 100_000.0,
+            rate_sigma: 0.5,
+            median_pkt_bytes: 800.0,
+            pkt_sigma: 0.35,
+            updates_per_min: 2.0,
+            shared_dip_upgrades: false,
+            duration: Duration::from_secs(60),
+            family: AddrFamily::V4,
+            seed: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn export_is_sorted_valid_and_matches_callback() {
+        let mut expected: Vec<(Nanos, PacketMeta)> = Vec::new();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let stats = export_trace(&tiny_cfg(), 4, &mut w, |ts, m| expected.push((ts, *m))).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(stats.frames, expected.len() as u64);
+        assert!(stats.frames >= 3 * stats.conns.min(10), "SYN+data+FIN each");
+        assert!(stats.updates_skipped > 0);
+
+        let mut last = Nanos::ZERO;
+        let mut n = 0u64;
+        for (rec, (ts, meta)) in PcapReader::new(&bytes)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .zip(&expected)
+        {
+            assert!(rec.ts >= last, "timestamps must be monotone");
+            last = rec.ts;
+            // pcap rounds to microseconds.
+            assert_eq!(rec.ts.0, ts.0 / 1_000 * 1_000);
+            verify_checksums(rec.data).unwrap();
+            let parsed = parse_frame(rec.data).unwrap();
+            assert_eq!(parsed.meta, *meta);
+            n += 1;
+        }
+        assert_eq!(n, stats.frames);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mut w1 = PcapWriter::new(Vec::new()).unwrap();
+        let mut w2 = PcapWriter::new(Vec::new()).unwrap();
+        export_trace(&tiny_cfg(), 4, &mut w1, |_, _| {}).unwrap();
+        export_trace(&tiny_cfg(), 4, &mut w2, |_, _| {}).unwrap();
+        assert_eq!(w1.finish().unwrap(), w2.finish().unwrap());
+    }
+
+    #[test]
+    fn v6_traces_export_too() {
+        let mut cfg = tiny_cfg();
+        cfg.family = AddrFamily::V6;
+        cfg.duration = Duration::from_secs(20);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let stats = export_trace(&cfg, 2, &mut w, |_, _| {}).unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(stats.frames > 0);
+        for rec in PcapReader::new(&bytes).unwrap() {
+            let rec = rec.unwrap();
+            let parsed = parse_frame(rec.data).unwrap();
+            assert_eq!(parsed.view.family, AddrFamily::V6);
+            verify_checksums(rec.data).unwrap();
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Wire-format codec for the SilkRoad reproduction: real packets in and
+//! out of the simulated switch.
+//!
+//! The rest of the workspace models the data plane over [`PacketMeta`]
+//! abstractions; this crate closes the loop with actual bytes:
+//!
+//! * [`parse`] — zero-copy, allocation-free, panic-free parsing of
+//!   Ethernet → IPv4/IPv6 → TCP/UDP frames into [`PacketMeta`] +
+//!   [`FrameView`](sr_types::FrameView);
+//! * [`rewrite`] — applying a forwarding decision back onto the frame:
+//!   L4 NAT with RFC 1624 incremental checksum updates, or IP-in-IP
+//!   encapsulation, into a caller-provided buffer;
+//! * [`checksum`] — the one's-complement arithmetic both sides share;
+//! * [`emit`] — deterministic frame synthesis (the parser's inverse);
+//! * [`pcap`] — classic pcap reading (zero-copy) and writing, no
+//!   external dependencies;
+//! * [`export`] — turning an `sr_workload` synthetic trace into a pcap
+//!   capture that `repro replay` can stream through the switch.
+//!
+//! [`PacketMeta`]: sr_types::PacketMeta
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod emit;
+pub mod export;
+pub mod parse;
+pub mod pcap;
+pub mod rewrite;
+
+pub use emit::{build_frame, min_frame_len, FrameSpec};
+pub use export::{export_trace, ExportStats};
+pub use parse::{parse_frame, Parsed};
+pub use pcap::{PcapReader, PcapRecord, PcapWriter};
+pub use rewrite::{rewrite_frame, verify_checksums, ENCAP_HEADROOM};
+
+use std::fmt;
+
+/// Everything that can go wrong parsing, rewriting, or replaying frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ends before the header being read.
+    Truncated,
+    /// A header field has an impossible value.
+    BadHeader(&'static str),
+    /// Not IPv4 or IPv6.
+    UnsupportedEtherType(u16),
+    /// Not TCP or UDP (or a recognised tunnel).
+    UnsupportedL4(u8),
+    /// A DIP's address family differs from the frame's.
+    FamilyMismatch,
+    /// The caller-provided output buffer cannot hold the result.
+    BufferTooSmall,
+    /// Full recomputation disagrees with a stored checksum.
+    ChecksumMismatch(&'static str),
+    /// The pcap container itself is malformed.
+    BadPcap(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-header"),
+            WireError::BadHeader(what) => write!(f, "bad header: {what}"),
+            WireError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            WireError::UnsupportedL4(p) => write!(f, "unsupported L4 protocol {p}"),
+            WireError::FamilyMismatch => write!(f, "address family mismatch"),
+            WireError::BufferTooSmall => write!(f, "output buffer too small"),
+            WireError::ChecksumMismatch(what) => write!(f, "{what} checksum mismatch"),
+            WireError::BadPcap(what) => write!(f, "bad pcap: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,260 @@
+//! Zero-copy, allocation-free frame parsing.
+//!
+//! [`parse_frame`] walks Ethernet → IPv4/IPv6 → TCP/UDP headers of a raw
+//! `&[u8]` frame and yields the [`sr_types::PacketMeta`] the data plane
+//! consumes plus a [`FrameView`] of header offsets for the rewrite engine.
+//! Every read is a bounds-checked slice (`get`), so truncated or garbage
+//! input returns a [`WireError`] — the parser is total: no panics, no heap.
+//!
+//! Scope matches what the reproduction's switch load-balances: Ethernet II
+//! frames, IPv4 without the rarely-used options beyond IHL, IPv6 without
+//! extension headers, TCP and UDP. Anything else is a typed error the
+//! caller counts and skips (a real switch would pass it to regular
+//! forwarding).
+
+use crate::WireError;
+use sr_types::frame::{ETHERTYPE_IPV4, ETHERTYPE_IPV6, ETH_HDR_LEN, IPV6_HDR_LEN};
+use sr_types::{Addr, AddrFamily, FiveTuple, FrameView, PacketMeta, Protocol, TcpFlags};
+use std::net::IpAddr;
+
+/// One parsed frame: the data-plane metadata plus the header offsets the
+/// rewrite engine needs to put a decision back onto the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parsed {
+    /// Header offsets and lengths.
+    pub view: FrameView,
+    /// The per-packet metadata the switch consumes.
+    pub meta: PacketMeta,
+}
+
+// srlint: hot-path begin
+/// Read a big-endian u16 at `at`.
+#[inline]
+fn be16(b: &[u8], at: usize) -> Option<u16> {
+    let s = b.get(at..at.checked_add(2)?)?;
+    Some(u16::from_be_bytes([
+        s.first().copied()?,
+        s.get(1).copied()?,
+    ]))
+}
+
+/// Read one byte at `at`.
+#[inline]
+fn u8_at(b: &[u8], at: usize) -> Option<u8> {
+    b.get(at).copied()
+}
+
+/// Read an IPv4 address at `at`.
+#[inline]
+fn v4_at(b: &[u8], at: usize) -> Option<IpAddr> {
+    let s = b.get(at..at.checked_add(4)?)?;
+    let o: [u8; 4] = s.try_into().ok()?;
+    Some(IpAddr::from(o))
+}
+
+/// Read an IPv6 address at `at`.
+#[inline]
+fn v6_at(b: &[u8], at: usize) -> Option<IpAddr> {
+    let s = b.get(at..at.checked_add(16)?)?;
+    let o: [u8; 16] = s.try_into().ok()?;
+    Some(IpAddr::from(o))
+}
+
+/// Parse the L4 header at `l4`, returning (src port, dst port, flags,
+/// payload offset).
+#[inline]
+fn parse_l4(
+    frame: &[u8],
+    l4: usize,
+    proto: Protocol,
+) -> Result<(u16, u16, TcpFlags, usize), WireError> {
+    match proto {
+        Protocol::Tcp => {
+            let sport = be16(frame, l4).ok_or(WireError::Truncated)?;
+            let dport = be16(frame, l4 + 2).ok_or(WireError::Truncated)?;
+            let off = u8_at(frame, l4 + 12).ok_or(WireError::Truncated)? >> 4;
+            if off < 5 {
+                return Err(WireError::BadHeader("TCP data offset < 5"));
+            }
+            let flags = u8_at(frame, l4 + 13).ok_or(WireError::Truncated)?;
+            let payload = l4 + usize::from(off) * 4;
+            if frame.len() < payload {
+                return Err(WireError::Truncated);
+            }
+            Ok((sport, dport, TcpFlags(flags), payload))
+        }
+        Protocol::Udp => {
+            let sport = be16(frame, l4).ok_or(WireError::Truncated)?;
+            let dport = be16(frame, l4 + 2).ok_or(WireError::Truncated)?;
+            let payload = l4 + 8;
+            if frame.len() < payload {
+                return Err(WireError::Truncated);
+            }
+            Ok((sport, dport, TcpFlags::NONE, payload))
+        }
+    }
+}
+
+/// Parse one Ethernet frame into data-plane metadata and header offsets.
+///
+/// Allocation-free and panic-free: every header read is bounds-checked,
+/// and malformed input yields a typed [`WireError`].
+pub fn parse_frame(frame: &[u8]) -> Result<Parsed, WireError> {
+    if frame.len() > u32::MAX as usize {
+        return Err(WireError::BadHeader("frame longer than u32"));
+    }
+    let ethertype = be16(frame, 12).ok_or(WireError::Truncated)?;
+    let l3 = ETH_HDR_LEN;
+    let (family, src_ip, dst_ip, proto_num, l4) = match ethertype {
+        ETHERTYPE_IPV4 => {
+            let vihl = u8_at(frame, l3).ok_or(WireError::Truncated)?;
+            if vihl >> 4 != 4 {
+                return Err(WireError::BadHeader("IPv4 version nibble"));
+            }
+            let ihl = usize::from(vihl & 0x0f) * 4;
+            if ihl < 20 {
+                return Err(WireError::BadHeader("IPv4 IHL < 5"));
+            }
+            let total = usize::from(be16(frame, l3 + 2).ok_or(WireError::Truncated)?);
+            if total < ihl || frame.len() < l3 + total {
+                return Err(WireError::Truncated);
+            }
+            let proto = u8_at(frame, l3 + 9).ok_or(WireError::Truncated)?;
+            let src = v4_at(frame, l3 + 12).ok_or(WireError::Truncated)?;
+            let dst = v4_at(frame, l3 + 16).ok_or(WireError::Truncated)?;
+            (AddrFamily::V4, src, dst, proto, l3 + ihl)
+        }
+        ETHERTYPE_IPV6 => {
+            let ver = u8_at(frame, l3).ok_or(WireError::Truncated)?;
+            if ver >> 4 != 6 {
+                return Err(WireError::BadHeader("IPv6 version nibble"));
+            }
+            let payload_len = usize::from(be16(frame, l3 + 4).ok_or(WireError::Truncated)?);
+            if frame.len() < l3 + IPV6_HDR_LEN + payload_len {
+                return Err(WireError::Truncated);
+            }
+            let next = u8_at(frame, l3 + 6).ok_or(WireError::Truncated)?;
+            let src = v6_at(frame, l3 + 8).ok_or(WireError::Truncated)?;
+            let dst = v6_at(frame, l3 + 24).ok_or(WireError::Truncated)?;
+            (AddrFamily::V6, src, dst, next, l3 + IPV6_HDR_LEN)
+        }
+        other => return Err(WireError::UnsupportedEtherType(other)),
+    };
+    let proto = match proto_num {
+        6 => Protocol::Tcp,
+        17 => Protocol::Udp,
+        other => return Err(WireError::UnsupportedL4(other)),
+    };
+    let (sport, dport, flags, payload) = parse_l4(frame, l4, proto)?;
+    let tuple = FiveTuple {
+        src: Addr {
+            ip: src_ip,
+            port: sport,
+        },
+        dst: Addr {
+            ip: dst_ip,
+            port: dport,
+        },
+        proto,
+    };
+    Ok(Parsed {
+        view: FrameView {
+            l3: l3 as u16,
+            l4: l4 as u16,
+            payload: payload as u16,
+            family,
+            proto,
+            frame_len: frame.len() as u32,
+        },
+        meta: PacketMeta {
+            tuple,
+            flags,
+            len: frame.len() as u32,
+        },
+    })
+}
+// srlint: hot-path end
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{build_frame, FrameSpec};
+
+    fn v4_tuple() -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(100, 0, 0, 1, 4242), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn frame_of(tuple: FiveTuple, flags: TcpFlags, len: u32) -> Vec<u8> {
+        let mut buf = vec![0u8; 2048];
+        let n = build_frame(
+            &FrameSpec {
+                tuple,
+                flags,
+                wire_len: len,
+                seq: 7,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(n);
+        buf
+    }
+
+    #[test]
+    fn parses_v4_tcp_frame() {
+        let f = frame_of(v4_tuple(), TcpFlags::SYN, 54);
+        let p = parse_frame(&f).unwrap();
+        assert_eq!(p.meta.tuple, v4_tuple());
+        assert!(p.meta.flags.is_syn());
+        assert_eq!(p.meta.len, 54);
+        assert_eq!(p.view.l3, 14);
+        assert_eq!(p.view.l4, 34);
+        assert_eq!(p.view.payload, 54);
+        assert_eq!(p.view.family, AddrFamily::V4);
+    }
+
+    #[test]
+    fn parses_v6_udp_frame() {
+        let t = FiveTuple {
+            src: Addr::v6_indexed(1, 9, 5353),
+            dst: Addr::v6_indexed(2, 3, 53),
+            proto: Protocol::Udp,
+        };
+        let f = frame_of(t, TcpFlags::NONE, 200);
+        let p = parse_frame(&f).unwrap();
+        assert_eq!(p.meta.tuple, t);
+        assert_eq!(p.view.l4, 54);
+        assert_eq!(p.view.payload, 62);
+        assert_eq!(p.view.family, AddrFamily::V6);
+        assert_eq!(p.meta.len, 200);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let f = frame_of(v4_tuple(), TcpFlags::SYN, 54);
+        for cut in 0..f.len() {
+            assert!(parse_frame(&f[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unsupported_ethertype_and_l4() {
+        let mut f = frame_of(v4_tuple(), TcpFlags::SYN, 54);
+        f[12] = 0x08;
+        f[13] = 0x06; // ARP
+        assert_eq!(
+            parse_frame(&f),
+            Err(WireError::UnsupportedEtherType(0x0806))
+        );
+        let mut f = frame_of(v4_tuple(), TcpFlags::SYN, 54);
+        f[23] = 47; // GRE
+        assert_eq!(parse_frame(&f), Err(WireError::UnsupportedL4(47)));
+    }
+
+    #[test]
+    fn bad_version_nibble_rejected() {
+        let mut f = frame_of(v4_tuple(), TcpFlags::SYN, 54);
+        f[14] = 0x65;
+        assert!(matches!(parse_frame(&f), Err(WireError::BadHeader(_))));
+    }
+}

@@ -1,0 +1,262 @@
+//! Classic pcap (libpcap capture file) reader and writer, no external
+//! dependencies.
+//!
+//! Only the original format is implemented (magic `0xa1b2c3d4`,
+//! microsecond timestamps, version 2.4, LINKTYPE_ETHERNET), which every
+//! capture tool can read and write. The reader is zero-copy: it borrows
+//! record payloads straight out of the input slice, so replaying a
+//! 100 MB capture allocates nothing per frame. Both byte orders are
+//! accepted on read (the magic doubles as the endianness probe); the
+//! writer always emits little-endian.
+
+use crate::WireError;
+use sr_types::{Duration, Nanos};
+use std::io::{self, Write};
+
+/// Classic pcap magic, microsecond timestamps.
+pub const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// Global header length.
+pub const PCAP_GLOBAL_HDR_LEN: usize = 24;
+/// Per-record header length.
+pub const PCAP_RECORD_HDR_LEN: usize = 16;
+/// Snap length we write (and the largest record we accept): no frame in
+/// a classic capture exceeds 64 KiB.
+pub const PCAP_SNAPLEN: u32 = 65_535;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured frame, borrowed from the reader's input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PcapRecord<'a> {
+    /// Capture timestamp (seconds + microseconds, as nanoseconds).
+    pub ts: Nanos,
+    /// Original frame length on the wire (equals `data.len()` unless the
+    /// capture truncated the frame at the snap length).
+    pub orig_len: u32,
+    /// The captured bytes.
+    pub data: &'a [u8],
+}
+
+/// Streaming pcap writer over any [`io::Write`] sink.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    frames: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and wrap `sink`.
+    pub fn new(mut sink: W) -> io::Result<PcapWriter<W>> {
+        let mut hdr = [0u8; PCAP_GLOBAL_HDR_LEN];
+        hdr[0..4].copy_from_slice(&PCAP_MAGIC.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
+                                                        // thiszone (4) and sigfigs (4) stay zero.
+        hdr[16..20].copy_from_slice(&PCAP_SNAPLEN.to_le_bytes());
+        hdr[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        sink.write_all(&hdr)?;
+        Ok(PcapWriter { sink, frames: 0 })
+    }
+
+    /// Append one frame captured at `ts`.
+    pub fn write_frame(&mut self, ts: Nanos, frame: &[u8]) -> io::Result<()> {
+        if frame.len() > PCAP_SNAPLEN as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "frame exceeds pcap snap length",
+            ));
+        }
+        let since = ts.0;
+        let secs = (since / 1_000_000_000) as u32;
+        let usecs = ((since % 1_000_000_000) / 1_000) as u32;
+        let len = frame.len() as u32;
+        let mut hdr = [0u8; PCAP_RECORD_HDR_LEN];
+        hdr[0..4].copy_from_slice(&secs.to_le_bytes());
+        hdr[4..8].copy_from_slice(&usecs.to_le_bytes());
+        hdr[8..12].copy_from_slice(&len.to_le_bytes());
+        hdr[12..16].copy_from_slice(&len.to_le_bytes());
+        self.sink.write_all(&hdr)?;
+        self.sink.write_all(frame)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flush and return the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Zero-copy pcap reader: iterates [`PcapRecord`]s borrowed from a byte
+/// slice.
+pub struct PcapReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+    swapped: bool,
+}
+
+impl<'a> PcapReader<'a> {
+    /// Parse the global header of `buf` and position at the first record.
+    pub fn new(buf: &'a [u8]) -> Result<PcapReader<'a>, WireError> {
+        let magic_bytes = buf
+            .get(0..4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .ok_or(WireError::BadPcap("missing global header"))?;
+        let swapped = match u32::from_le_bytes(magic_bytes) {
+            PCAP_MAGIC => false,
+            m if m.swap_bytes() == PCAP_MAGIC => true,
+            _ => return Err(WireError::BadPcap("bad magic (not a classic pcap?)")),
+        };
+        if buf.len() < PCAP_GLOBAL_HDR_LEN {
+            return Err(WireError::BadPcap("truncated global header"));
+        }
+        let rd = |at: usize| read_u32(buf, at, swapped);
+        let linktype = rd(20).ok_or(WireError::BadPcap("truncated global header"))?;
+        if linktype != LINKTYPE_ETHERNET {
+            return Err(WireError::BadPcap("linktype is not Ethernet"));
+        }
+        Ok(PcapReader {
+            buf,
+            at: PCAP_GLOBAL_HDR_LEN,
+            swapped,
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+}
+
+fn read_u32(buf: &[u8], at: usize, swapped: bool) -> Option<u32> {
+    let s = buf.get(at..at.checked_add(4)?)?;
+    let v = u32::from_le_bytes(<[u8; 4]>::try_from(s).ok()?);
+    Some(if swapped { v.swap_bytes() } else { v })
+}
+
+impl<'a> Iterator for PcapReader<'a> {
+    type Item = Result<PcapRecord<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at >= self.buf.len() {
+            return None;
+        }
+        let rd = |at: usize| read_u32(self.buf, at, self.swapped);
+        let (Some(secs), Some(usecs), Some(incl), Some(orig)) = (
+            rd(self.at),
+            rd(self.at + 4),
+            rd(self.at + 8),
+            rd(self.at + 12),
+        ) else {
+            self.at = self.buf.len();
+            return Some(Err(WireError::BadPcap("truncated record header")));
+        };
+        if incl > PCAP_SNAPLEN {
+            self.at = self.buf.len();
+            return Some(Err(WireError::BadPcap("record exceeds snap length")));
+        }
+        let start = self.at + PCAP_RECORD_HDR_LEN;
+        let Some(data) = self.buf.get(start..start + incl as usize) else {
+            self.at = self.buf.len();
+            return Some(Err(WireError::BadPcap("truncated record body")));
+        };
+        self.at = start + incl as usize;
+        let ts = Nanos::ZERO
+            + Duration::from_nanos(u64::from(secs) * 1_000_000_000 + u64::from(usecs) * 1_000);
+        Some(Ok(PcapRecord {
+            ts,
+            orig_len: orig,
+            data,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frames: &[(u64, Vec<u8>)]) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for (ns, f) in frames {
+            let ts = Nanos::ZERO + Duration::from_nanos(*ns);
+            w.write_frame(ts, f).unwrap();
+        }
+        assert_eq!(w.frames(), frames.len() as u64);
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let frames = vec![
+            (0u64, vec![1u8; 60]),
+            (1_500_000_000, vec![2u8; 1500]),
+            (3_000_001_000, vec![3u8; 64]),
+        ];
+        let bytes = roundtrip(&frames);
+        assert_eq!(
+            bytes.len(),
+            PCAP_GLOBAL_HDR_LEN + frames.iter().map(|(_, f)| 16 + f.len()).sum::<usize>()
+        );
+        let got: Vec<PcapRecord> = PcapReader::new(&bytes)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 3);
+        for ((ns, f), rec) in frames.iter().zip(&got) {
+            // Timestamps round down to microseconds.
+            let us = ns / 1000 * 1000;
+            assert_eq!(rec.ts, Nanos::ZERO + Duration::from_nanos(us));
+            assert_eq!(rec.data, &f[..]);
+            assert_eq!(rec.orig_len as usize, f.len());
+        }
+    }
+
+    #[test]
+    fn big_endian_captures_are_readable() {
+        // Hand-build a big-endian capture with one 4-byte record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&PCAP_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&PCAP_SNAPLEN.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&9u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&4u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&4u32.to_be_bytes()); // orig
+        buf.extend_from_slice(&[0xaa, 0xbb, 0xcc, 0xdd]);
+        let recs: Vec<PcapRecord> = PcapReader::new(&buf).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].data, &[0xaa, 0xbb, 0xcc, 0xdd]);
+        assert_eq!(
+            recs[0].ts,
+            Nanos::ZERO + Duration::from_nanos(7 * 1_000_000_000 + 9_000)
+        );
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_errors() {
+        assert!(PcapReader::new(&[1, 2, 3]).is_err());
+        assert!(PcapReader::new(&[0u8; 24]).is_err());
+        let good = roundtrip(&[(0, vec![5u8; 100])]);
+        // Chop the record body.
+        let cut = &good[..good.len() - 10];
+        let last = PcapReader::new(cut).unwrap().last().unwrap();
+        assert!(last.is_err());
+        // A reader that errors terminates.
+        assert_eq!(PcapReader::new(cut).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let huge = vec![0u8; PCAP_SNAPLEN as usize + 1];
+        assert!(w.write_frame(Nanos::ZERO, &huge).is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! Apply a forwarding decision back onto the wire.
+//!
+//! Two carrier modes, matching §4 of the paper's discussion of how a
+//! switching-ASIC load balancer delivers a VIP packet to its DIP:
+//!
+//! * **NAT** ([`RewriteMode::Nat`]): rewrite the destination address and
+//!   port in place, patching the IPv4 header checksum and the TCP/UDP
+//!   checksum with RFC 1624 incremental updates — the frame length never
+//!   changes and no payload byte is touched.
+//! * **Encap** ([`RewriteMode::Encap`]): prepend an outer IP header whose
+//!   source is the VIP and whose destination is the DIP (IPv4-in-IPv4,
+//!   RFC 2003, or IPv6-in-IPv6); the inner packet is carried unmodified so
+//!   the DIP can see the original VIP destination.
+//!
+//! Both write into a caller-provided buffer and are allocation-free and
+//! panic-free; [`verify_checksums`] is the independent full-recompute
+//! validator the replay driver uses to check the incremental math.
+
+use crate::checksum::{checksum, combine, incremental_update, ones_sum};
+use crate::WireError;
+use sr_types::frame::{
+    ETHERTYPE_IPV4, ETHERTYPE_IPV6, ETH_HDR_LEN, IPPROTO_IPIP, IPPROTO_IPV6, IPV4_HDR_LEN,
+    IPV6_HDR_LEN,
+};
+use sr_types::{AddrFamily, FrameView, Protocol, RewriteMode, RewriteOp};
+use std::net::IpAddr;
+
+/// Largest rewrite output for a given input frame: encapsulation adds one
+/// IPv6 header at most. Size rewrite buffers as `frame_len + ENCAP_HEADROOM`.
+pub const ENCAP_HEADROOM: usize = IPV6_HDR_LEN;
+
+// srlint: hot-path begin
+#[inline]
+fn read16(b: &[u8], at: usize) -> Result<u16, WireError> {
+    let s = b.get(at..at.checked_add(2).ok_or(WireError::Truncated)?);
+    let s = s.ok_or(WireError::Truncated)?;
+    Ok(u16::from_be_bytes([
+        s.first().copied().unwrap_or(0),
+        s.get(1).copied().unwrap_or(0),
+    ]))
+}
+
+#[inline]
+fn write16(b: &mut [u8], at: usize, v: u16) -> Result<(), WireError> {
+    let end = at.checked_add(2).ok_or(WireError::Truncated)?;
+    let s = b.get_mut(at..end).ok_or(WireError::Truncated)?;
+    s.copy_from_slice(&v.to_be_bytes());
+    Ok(())
+}
+
+#[inline]
+fn copy_into(out: &mut [u8], at: usize, src: &[u8]) -> Result<(), WireError> {
+    let end = at.checked_add(src.len()).ok_or(WireError::Truncated)?;
+    let dst = out.get_mut(at..end).ok_or(WireError::BufferTooSmall)?;
+    dst.copy_from_slice(src);
+    Ok(())
+}
+
+/// Copy the IP octets of `ip` into `buf`, returning the octet count.
+#[inline]
+fn ip_octets(ip: IpAddr, buf: &mut [u8; 16]) -> usize {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            if let Some(dst) = buf.get_mut(..4) {
+                dst.copy_from_slice(&o);
+            }
+            4
+        }
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            buf.copy_from_slice(&o);
+            16
+        }
+    }
+}
+
+/// Offset of the destination IP address within the IP header.
+#[inline]
+fn dst_addr_off(view: &FrameView) -> usize {
+    match view.family {
+        AddrFamily::V4 => view.l3 as usize + 16,
+        AddrFamily::V6 => view.l3 as usize + 24,
+    }
+}
+
+/// Offset of the L4 checksum field, if the frame carries one in use.
+#[inline]
+fn l4_cksum_off(view: &FrameView) -> usize {
+    match view.proto {
+        Protocol::Tcp => view.l4 as usize + 16,
+        Protocol::Udp => view.l4 as usize + 6,
+    }
+}
+
+/// NAT rewrite in `out` (which already holds the full frame): replace the
+/// destination address + port with the DIP and patch checksums
+/// incrementally.
+#[inline]
+fn nat_in_place(out: &mut [u8], view: &FrameView, op: &RewriteOp) -> Result<(), WireError> {
+    let dip = op.dip.0;
+    let mut new_addr = [0u8; 16];
+    let addr_len = ip_octets(dip.ip, &mut new_addr);
+    let new_addr = new_addr.get(..addr_len).ok_or(WireError::Truncated)?;
+
+    let addr_off = dst_addr_off(view);
+    let addr_end = addr_off.checked_add(addr_len).ok_or(WireError::Truncated)?;
+    let mut old_addr = [0u8; 16];
+    {
+        let cur = out.get(addr_off..addr_end).ok_or(WireError::Truncated)?;
+        let dst = old_addr.get_mut(..addr_len).ok_or(WireError::Truncated)?;
+        dst.copy_from_slice(cur);
+    }
+    let old_addr = old_addr.get(..addr_len).ok_or(WireError::Truncated)?;
+
+    let port_off = view.l4 as usize + 2;
+    let old_port = read16(out, port_off)?;
+    let old_port_bytes = old_port.to_be_bytes();
+    let new_port_bytes = dip.port.to_be_bytes();
+
+    // IPv4 header checksum covers the destination address (not the port).
+    if view.family == AddrFamily::V4 {
+        let ip_ck_off = view.l3 as usize + 10;
+        let ck = read16(out, ip_ck_off)?;
+        write16(out, ip_ck_off, incremental_update(ck, old_addr, new_addr))?;
+    }
+
+    // The L4 checksum covers the pseudo-header (destination address) and
+    // the destination port. UDP checksum 0 means "not computed": skip.
+    let l4_ck_off = l4_cksum_off(view);
+    let l4_ck = read16(out, l4_ck_off)?;
+    let udp_unchecksummed = view.proto == Protocol::Udp && l4_ck == 0;
+    if !udp_unchecksummed {
+        let mut ck = incremental_update(l4_ck, old_addr, new_addr);
+        ck = incremental_update(ck, &old_port_bytes, &new_port_bytes);
+        // RFC 768: a computed 0 is transmitted as 0xffff.
+        if view.proto == Protocol::Udp && ck == 0 {
+            ck = 0xffff;
+        }
+        write16(out, l4_ck_off, ck)?;
+    }
+
+    copy_into(out, addr_off, new_addr)?;
+    write16(out, port_off, dip.port)?;
+    Ok(())
+}
+
+/// IP-in-IP encapsulation: `out` receives Ethernet + outer IP (VIP → DIP)
+/// followed by the inner packet's IP header onward, unmodified.
+#[inline]
+fn encap(
+    frame: &[u8],
+    view: &FrameView,
+    op: &RewriteOp,
+    out: &mut [u8],
+) -> Result<usize, WireError> {
+    let dip = op.dip.0;
+    let l3 = view.l3 as usize;
+    let inner = frame.get(l3..).ok_or(WireError::Truncated)?;
+    let eth = frame.get(..l3).ok_or(WireError::Truncated)?;
+
+    // Outer source is the original destination (the VIP's address): the
+    // DIP decapsulates and still sees which VIP the flow arrived on.
+    let addr_len = view.family.addr_bytes();
+    let vip_off = dst_addr_off(view);
+    let vip_end = vip_off.checked_add(addr_len).ok_or(WireError::Truncated)?;
+    let vip_bytes = frame.get(vip_off..vip_end).ok_or(WireError::Truncated)?;
+
+    let outer_hdr = match view.family {
+        AddrFamily::V4 => IPV4_HDR_LEN,
+        AddrFamily::V6 => IPV6_HDR_LEN,
+    };
+    let total = l3
+        .checked_add(outer_hdr)
+        .and_then(|n| n.checked_add(inner.len()))
+        .ok_or(WireError::Truncated)?;
+    if out.len() < total {
+        return Err(WireError::BufferTooSmall);
+    }
+
+    copy_into(out, 0, eth)?;
+    match dip.ip {
+        IpAddr::V4(d) if view.family == AddrFamily::V4 => {
+            let hdr = outer_v4(inner.len(), vip_bytes, &d.octets());
+            copy_into(out, l3, &hdr)?;
+        }
+        IpAddr::V6(d) if view.family == AddrFamily::V6 => {
+            let hdr = outer_v6(inner.len(), vip_bytes, &d.octets());
+            copy_into(out, l3, &hdr)?;
+        }
+        _ => return Err(WireError::FamilyMismatch),
+    }
+    copy_into(out, l3 + outer_hdr, inner)?;
+    Ok(total)
+}
+
+/// Build the outer IPv4 header (RFC 2003 carrier) for an encapsulated packet.
+#[inline]
+fn outer_v4(inner_len: usize, src: &[u8], dst: &[u8]) -> [u8; IPV4_HDR_LEN] {
+    let [tl0, tl1] = ((IPV4_HDR_LEN + inner_len) as u16).to_be_bytes();
+    let mut hdr = [0u8; IPV4_HDR_LEN];
+    // version 4 IHL 5 | tos | total len | id | DF | ttl 64 | proto | cksum.
+    let head = [0x45u8, 0, tl0, tl1, 0, 0, 0x40, 0, 64, IPPROTO_IPIP, 0, 0];
+    for (b, v) in hdr.iter_mut().zip(head) {
+        *b = v;
+    }
+    for (b, v) in hdr.iter_mut().skip(12).zip(src.iter().take(4)) {
+        *b = *v;
+    }
+    for (b, v) in hdr.iter_mut().skip(16).zip(dst.iter().take(4)) {
+        *b = *v;
+    }
+    let ck = checksum(&hdr).to_be_bytes();
+    for (b, v) in hdr.iter_mut().skip(10).zip(ck) {
+        *b = v;
+    }
+    hdr
+}
+
+/// Build the outer IPv6 header for an encapsulated packet.
+#[inline]
+fn outer_v6(inner_len: usize, src: &[u8], dst: &[u8]) -> [u8; IPV6_HDR_LEN] {
+    let [p0, p1] = (inner_len as u16).to_be_bytes();
+    let mut hdr = [0u8; IPV6_HDR_LEN];
+    // version 6 | flow label 0 | payload len | next header | hop limit 64.
+    let head = [0x60u8, 0, 0, 0, p0, p1, IPPROTO_IPV6, 64];
+    for (b, v) in hdr.iter_mut().zip(head) {
+        *b = v;
+    }
+    for (b, v) in hdr.iter_mut().skip(8).zip(src.iter().take(16)) {
+        *b = *v;
+    }
+    for (b, v) in hdr.iter_mut().skip(24).zip(dst.iter().take(16)) {
+        *b = *v;
+    }
+    hdr
+}
+
+/// Apply `op` to `frame`, writing the output frame into `out` and
+/// returning its length.
+///
+/// Allocation-free and panic-free. `out` must hold at least
+/// `frame.len() + ENCAP_HEADROOM` bytes (NAT uses exactly `frame.len()`).
+/// The DIP's address family must match the frame's.
+pub fn rewrite_frame(
+    frame: &[u8],
+    view: &FrameView,
+    op: &RewriteOp,
+    out: &mut [u8],
+) -> Result<usize, WireError> {
+    let dip_family = match op.dip.0.ip {
+        IpAddr::V4(_) => AddrFamily::V4,
+        IpAddr::V6(_) => AddrFamily::V6,
+    };
+    if dip_family != view.family {
+        return Err(WireError::FamilyMismatch);
+    }
+    match op.mode {
+        RewriteMode::Nat => {
+            let n = frame.len();
+            copy_into(out, 0, frame)?;
+            let dst = out.get_mut(..n).ok_or(WireError::BufferTooSmall)?;
+            nat_in_place(dst, view, op)?;
+            Ok(n)
+        }
+        RewriteMode::Encap => encap(frame, view, op, out),
+    }
+}
+// srlint: hot-path end
+
+/// One's-complement sum of the TCP/UDP pseudo-header for the IP packet at
+/// `l3` whose L4 segment spans `l4..frame.len()`.
+fn pseudo_header_sum(
+    frame: &[u8],
+    l3: usize,
+    l4: usize,
+    family: AddrFamily,
+    proto_num: u8,
+) -> Result<u16, WireError> {
+    let seg_len = frame.len().checked_sub(l4).ok_or(WireError::Truncated)? as u16;
+    let (src_off, addr_len) = match family {
+        AddrFamily::V4 => (l3 + 12, 4),
+        AddrFamily::V6 => (l3 + 8, 16),
+    };
+    let addrs = frame
+        .get(src_off..src_off + 2 * addr_len)
+        .ok_or(WireError::Truncated)?;
+    Ok(combine(&[ones_sum(addrs), u16::from(proto_num), seg_len]))
+}
+
+/// Validate every checksum in `frame` by full recomputation: the IPv4
+/// header checksum and the TCP/UDP checksum (with pseudo-header). Follows
+/// one level of IP-in-IP encapsulation (outer headers validated too).
+/// This is the replay driver's independent check on the incremental
+/// rewrite math; it shares no code path with [`rewrite_frame`]'s RFC 1624
+/// updates beyond the one's-complement primitives.
+pub fn verify_checksums(frame: &[u8]) -> Result<(), WireError> {
+    let ethertype = read16(frame, 12)?;
+    verify_ip(frame, ETH_HDR_LEN, ethertype, 0)
+}
+
+/// Validate the IP packet at `l3` (recursing through one tunnel level).
+fn verify_ip(frame: &[u8], l3: usize, ethertype: u16, depth: u8) -> Result<(), WireError> {
+    if depth > 1 {
+        return Err(WireError::BadHeader("tunnel nesting deeper than one level"));
+    }
+    let (family, proto, l4) = match ethertype {
+        ETHERTYPE_IPV4 => {
+            let vihl = *frame.get(l3).ok_or(WireError::Truncated)?;
+            let ihl = usize::from(vihl & 0x0f) * 4;
+            let hdr = frame.get(l3..l3 + ihl).ok_or(WireError::Truncated)?;
+            if ones_sum(hdr) != 0xffff {
+                return Err(WireError::ChecksumMismatch("IPv4 header"));
+            }
+            let proto = *frame.get(l3 + 9).ok_or(WireError::Truncated)?;
+            (AddrFamily::V4, proto, l3 + ihl)
+        }
+        ETHERTYPE_IPV6 => {
+            let next = *frame.get(l3 + 6).ok_or(WireError::Truncated)?;
+            (AddrFamily::V6, next, l3 + IPV6_HDR_LEN)
+        }
+        _ => return Err(WireError::UnsupportedEtherType(ethertype)),
+    };
+    match proto {
+        6 | 17 => {
+            let seg = frame.get(l4..).ok_or(WireError::Truncated)?;
+            if proto == 17 {
+                let stored = read16(frame, l4 + 6)?;
+                if stored == 0 {
+                    return Ok(()); // UDP checksum not in use.
+                }
+            }
+            let pseudo = pseudo_header_sum(frame, l3, l4, family, proto)?;
+            if combine(&[pseudo, ones_sum(seg)]) != 0xffff {
+                return Err(WireError::ChecksumMismatch(if proto == 6 {
+                    "TCP"
+                } else {
+                    "UDP"
+                }));
+            }
+            Ok(())
+        }
+        // One tunnel level: validate the inner packet too.
+        p if p == IPPROTO_IPIP => verify_ip(frame, l4, ETHERTYPE_IPV4, depth + 1),
+        p if p == IPPROTO_IPV6 => verify_ip(frame, l4, ETHERTYPE_IPV6, depth + 1),
+        other => Err(WireError::UnsupportedL4(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{build_frame, FrameSpec};
+    use crate::parse::parse_frame;
+    use sr_types::{Addr, Dip, FiveTuple, Protocol, TcpFlags};
+
+    fn build(tuple: FiveTuple, len: u32) -> Vec<u8> {
+        let mut buf = vec![0u8; 4096];
+        let n = build_frame(
+            &FrameSpec {
+                tuple,
+                flags: TcpFlags::ACK,
+                wire_len: len,
+                seq: 3,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(n);
+        buf
+    }
+
+    fn v4_tuple() -> FiveTuple {
+        FiveTuple::tcp(Addr::v4(100, 0, 0, 9, 33000), Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn v6_tuple() -> FiveTuple {
+        FiveTuple::tcp(Addr::v6_indexed(9, 1, 33000), Addr::v6_indexed(0x20, 0, 80))
+    }
+
+    #[test]
+    fn nat_rewrites_dst_and_keeps_checksums_valid() {
+        for (tuple, dip) in [
+            (v4_tuple(), Dip(Addr::v4(10, 0, 0, 7, 8080))),
+            (v6_tuple(), Dip(Addr::v6_indexed(0x10, 7, 8080))),
+        ] {
+            let frame = build(tuple, 200);
+            verify_checksums(&frame).unwrap();
+            let parsed = parse_frame(&frame).unwrap();
+            let mut out = vec![0u8; frame.len() + ENCAP_HEADROOM];
+            let op = RewriteOp {
+                dip,
+                mode: RewriteMode::Nat,
+            };
+            let n = rewrite_frame(&frame, &parsed.view, &op, &mut out).unwrap();
+            assert_eq!(n, frame.len());
+            verify_checksums(&out[..n]).unwrap();
+            let reparsed = parse_frame(&out[..n]).unwrap();
+            assert_eq!(reparsed.meta.tuple.dst, dip.0);
+            assert_eq!(reparsed.meta.tuple.src, tuple.src);
+        }
+    }
+
+    #[test]
+    fn nat_udp_zero_checksum_left_alone() {
+        let tuple = FiveTuple {
+            src: Addr::v4(100, 0, 0, 9, 5000),
+            dst: Addr::v4(20, 0, 0, 1, 53),
+            proto: Protocol::Udp,
+        };
+        let mut frame = build(tuple, 100);
+        let parsed = parse_frame(&frame).unwrap();
+        let ck_off = parsed.view.l4 as usize + 6;
+        frame[ck_off] = 0;
+        frame[ck_off + 1] = 0;
+        // The IPv4 header checksum is still intact; fix nothing else.
+        let mut out = vec![0u8; frame.len() + ENCAP_HEADROOM];
+        let op = RewriteOp {
+            dip: Dip(Addr::v4(10, 0, 0, 7, 53)),
+            mode: RewriteMode::Nat,
+        };
+        let n = rewrite_frame(&frame, &parsed.view, &op, &mut out).unwrap();
+        assert_eq!(&out[ck_off..ck_off + 2], &[0, 0], "zero cksum preserved");
+        verify_checksums(&out[..n]).unwrap();
+    }
+
+    #[test]
+    fn encap_prepends_outer_header_and_preserves_inner() {
+        for (tuple, dip, extra) in [
+            (v4_tuple(), Dip(Addr::v4(10, 0, 0, 7, 8080)), IPV4_HDR_LEN),
+            (
+                v6_tuple(),
+                Dip(Addr::v6_indexed(0x10, 7, 8080)),
+                IPV6_HDR_LEN,
+            ),
+        ] {
+            let frame = build(tuple, 150);
+            let parsed = parse_frame(&frame).unwrap();
+            let mut out = vec![0u8; frame.len() + ENCAP_HEADROOM];
+            let op = RewriteOp {
+                dip,
+                mode: RewriteMode::Encap,
+            };
+            let n = rewrite_frame(&frame, &parsed.view, &op, &mut out).unwrap();
+            assert_eq!(n, frame.len() + extra);
+            verify_checksums(&out[..n]).unwrap();
+            // Inner packet is byte-identical.
+            let l3 = parsed.view.l3 as usize;
+            assert_eq!(&out[n - (frame.len() - l3)..n], &frame[l3..]);
+        }
+    }
+
+    #[test]
+    fn family_mismatch_is_rejected() {
+        let frame = build(v4_tuple(), 100);
+        let parsed = parse_frame(&frame).unwrap();
+        let mut out = vec![0u8; frame.len() + ENCAP_HEADROOM];
+        let op = RewriteOp {
+            dip: Dip(Addr::v6_indexed(0x10, 7, 8080)),
+            mode: RewriteMode::Nat,
+        };
+        assert_eq!(
+            rewrite_frame(&frame, &parsed.view, &op, &mut out),
+            Err(WireError::FamilyMismatch)
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_fails_verification() {
+        let mut frame = build(v4_tuple(), 120);
+        verify_checksums(&frame).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff;
+        assert!(matches!(
+            verify_checksums(&frame),
+            Err(WireError::ChecksumMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn small_output_buffer_is_an_error() {
+        let frame = build(v4_tuple(), 100);
+        let parsed = parse_frame(&frame).unwrap();
+        let mut out = vec![0u8; 10];
+        let op = RewriteOp {
+            dip: Dip(Addr::v4(10, 0, 0, 7, 80)),
+            mode: RewriteMode::Nat,
+        };
+        assert_eq!(
+            rewrite_frame(&frame, &parsed.view, &op, &mut out),
+            Err(WireError::BufferTooSmall)
+        );
+    }
+}

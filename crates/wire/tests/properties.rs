@@ -1,0 +1,142 @@
+//! Property-based tests for the wire crate.
+//!
+//! Two acceptance-critical properties:
+//!
+//! 1. **RFC 1624 incremental checksum updates are exact**: for any header
+//!    words and any single-word change, [`checksum::incremental_update`]
+//!    yields the same checksum as recomputing from scratch. (The rewrite
+//!    engine relies on this to patch IP/L4 checksums without summing the
+//!    whole segment.)
+//! 2. **Parse ∘ emit is the identity**: any frame built by
+//!    [`build_frame`] parses back to exactly the spec's tuple, flags, and
+//!    wire length — across families, protocols, and sizes.
+
+use proptest::prelude::*;
+use sr_types::{Addr, FiveTuple, Protocol, TcpFlags};
+use sr_wire::checksum;
+use sr_wire::{build_frame, min_frame_len, parse_frame, verify_checksums, FrameSpec};
+
+/// Replace the even-aligned span `[at, at + new.len())` of `data` with
+/// `new` and check that the RFC 1624 incremental update of the stored
+/// checksum equals a full recompute over the changed bytes.
+fn incremental_matches_full(data: &[u8], at: usize, new: &[u8]) -> Result<(), TestCaseError> {
+    let full_old = checksum::checksum(data);
+    let mut changed = data.to_vec();
+    let old: Vec<u8> = changed[at..at + new.len()].to_vec();
+    changed[at..at + new.len()].copy_from_slice(new);
+    let full_new = checksum::checksum(&changed);
+    let inc = checksum::incremental_update(full_old, &old, new);
+    prop_assert_eq!(
+        inc,
+        full_new,
+        "incremental update diverged: len={} at={} old={:?} new={:?}",
+        data.len(),
+        at,
+        old,
+        new
+    );
+    Ok(())
+}
+
+/// Build an address of the requested family from raw entropy bits.
+fn addr_from_bits(v6: bool, lo: u64, hi: u64, port: u16) -> Addr {
+    let ip = if v6 {
+        std::net::IpAddr::from(((u128::from(hi) << 64) | u128::from(lo)).to_be_bytes())
+    } else {
+        std::net::IpAddr::from((lo as u32).to_be_bytes())
+    };
+    Addr { ip, port }
+}
+
+fn arb_spec() -> impl Strategy<Value = FrameSpec> {
+    (
+        any::<bool>(),
+        (any::<u64>(), any::<u64>(), any::<u16>()),
+        (any::<u64>(), any::<u64>(), any::<u16>()),
+        (any::<bool>(), any::<u8>(), 0u32..1600, any::<u64>()),
+    )
+        .prop_map(|(v6, s, d, rest)| {
+            let (tcp, flags, wire_len, seq) = rest;
+            FrameSpec {
+                tuple: FiveTuple {
+                    src: addr_from_bits(v6, s.0, s.1, s.2),
+                    dst: addr_from_bits(v6, d.0, d.1, d.2),
+                    proto: if tcp { Protocol::Tcp } else { Protocol::Udp },
+                },
+                flags: TcpFlags(flags),
+                wire_len,
+                seq,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// RFC 1624 incremental update == full recompute, one changed span of
+    /// 2..=18 bytes (the rewriter's range: port-only up to v6 addr+port).
+    #[test]
+    fn incremental_checksum_matches_full_recompute(
+        data in prop::collection::vec(any::<u8>(), 20..80usize).prop_map(|mut v| {
+            v.truncate(v.len() & !1); // checksummed spans are word-aligned
+            v
+        }),
+        at_raw in any::<usize>(),
+        new in prop::collection::vec(any::<u8>(), 1..=9usize)
+            .prop_map(|v| v.iter().flat_map(|&b| [b, b.wrapping_add(1)]).collect::<Vec<u8>>()),
+    ) {
+        // data is at least 20 bytes, new at most 18 — a span always fits.
+        let at = (at_raw % (data.len() - new.len() + 1)) & !1;
+        incremental_matches_full(&data, at, &new)?;
+    }
+
+    /// Chained incremental updates (several spans changed one at a time,
+    /// as the rewriter does for address then port) also stay exact.
+    #[test]
+    fn chained_incremental_updates_stay_exact(
+        data in prop::collection::vec(any::<u8>(), 8..48usize)
+            .prop_map(|mut v| { v.truncate(v.len() & !1); v }),
+        changes in prop::collection::vec((any::<usize>(), any::<u16>()), 1..6),
+    ) {
+        let mut current = data.clone();
+        let mut ck = checksum::checksum(&current);
+        for (at_raw, new) in changes {
+            let at = (at_raw % (current.len() - 1)) & !1;
+            let new = new.to_be_bytes();
+            let old = [current[at], current[at + 1]];
+            ck = checksum::incremental_update(ck, &old, &new);
+            current[at..at + 2].copy_from_slice(&new);
+        }
+        let full = checksum::checksum(&current);
+        prop_assert_eq!(ck, full);
+    }
+
+    /// parse(build(spec)) recovers the spec exactly, and the frame's
+    /// checksums verify by full recompute.
+    #[test]
+    fn emit_parse_roundtrip_is_identity(spec in arb_spec()) {
+        let mut buf = vec![0u8; 2048];
+        let n = build_frame(&spec, &mut buf).unwrap();
+        let frame = &buf[..n];
+        prop_assert_eq!(n as u32, spec.wire_len.max(min_frame_len(&spec.tuple) as u32));
+        verify_checksums(frame).unwrap();
+        let p = parse_frame(frame).unwrap();
+        prop_assert_eq!(p.meta.tuple, spec.tuple);
+        prop_assert_eq!(p.meta.len, n as u32);
+        match spec.tuple.proto {
+            Protocol::Tcp => prop_assert_eq!(p.meta.flags, spec.flags),
+            // UDP has no flags; the parser reports none.
+            Protocol::Udp => prop_assert_eq!(p.meta.flags, TcpFlags::NONE),
+        }
+        prop_assert_eq!(usize::from(p.view.frame_len as u16), n);
+    }
+
+    /// Truncating a built frame anywhere never panics and never parses.
+    #[test]
+    fn truncated_frames_error_cleanly(spec in arb_spec(), cut_raw in any::<usize>()) {
+        let mut buf = vec![0u8; 2048];
+        let n = build_frame(&spec, &mut buf).unwrap();
+        let cut = cut_raw % n;
+        prop_assert!(parse_frame(&buf[..cut]).is_err());
+    }
+}

@@ -52,8 +52,13 @@ pub struct ConnSpec {
     pub duration: Duration,
     /// Average flow rate, bits/s (constant-rate model).
     pub rate_bps: u64,
-    /// Mean gap between the flow's packets (derived from the rate with
-    /// 800-byte average packets).
+    /// The flow's packet size in bytes, drawn per flow from the trace's
+    /// lognormal packet-size model ([`TraceConfig::median_pkt_bytes`],
+    /// [`TraceConfig::pkt_sigma`]) and clamped to Ethernet norms
+    /// (64..=1500).
+    pub pkt_len: u32,
+    /// Mean gap between the flow's packets (derived from the rate and the
+    /// flow's [`pkt_len`](ConnSpec::pkt_len)).
     pub pkt_gap: Duration,
 }
 
@@ -66,6 +71,11 @@ impl ConnSpec {
     /// Total bytes the flow carries.
     pub fn bytes(&self) -> u64 {
         (self.rate_bps as f64 / 8.0 * self.duration.as_secs_f64()) as u64
+    }
+
+    /// Approximate number of data packets the flow carries.
+    pub fn packets(&self) -> u64 {
+        (self.bytes() / u64::from(self.pkt_len.max(1))).max(1)
     }
 }
 
@@ -105,6 +115,11 @@ pub struct TraceConfig {
     pub median_rate_bps: f64,
     /// Log-space sd of flow rate.
     pub rate_sigma: f64,
+    /// Median packet size, bytes (§3.2 reports ~800-byte average packets).
+    pub median_pkt_bytes: f64,
+    /// Log-space sd of the per-flow packet size (0 pins every flow to the
+    /// median, reproducing the old fixed-size model).
+    pub pkt_sigma: f64,
     /// Update events per minute (0 disables updates).
     pub updates_per_min: f64,
     /// PoP-style shared DIPs: one physical change bursts across every VIP
@@ -131,6 +146,8 @@ impl TraceConfig {
             // ~19.6 Mbps per VIP per ToR spread over its live flows.
             median_rate_bps: 40_000.0,
             rate_sigma: 1.0,
+            median_pkt_bytes: 800.0,
+            pkt_sigma: 0.35,
             updates_per_min: 10.0,
             shared_dip_upgrades: true,
             duration: Duration::from_mins(60),
@@ -232,7 +249,8 @@ impl TraceIter {
         ));
         let rate_bps =
             lognormal_median(&mut self.rng, cfg.median_rate_bps, cfg.rate_sigma).max(1_000.0);
-        let pkt_gap = Duration::from_secs_f64(800.0 * 8.0 / rate_bps);
+        let pkt_len = per_flow_pkt_len(cfg, seq);
+        let pkt_gap = Duration::from_secs_f64(f64::from(pkt_len) * 8.0 / rate_bps);
         ConnSpec {
             seq: ConnSeq(seq),
             vip: VipId(vip_idx),
@@ -240,9 +258,27 @@ impl TraceIter {
             opened: Nanos::ZERO + Duration::from_secs_f64(at_secs),
             duration,
             rate_bps: rate_bps as u64,
+            pkt_len,
             pkt_gap,
         }
     }
+}
+
+/// Draw the flow's packet size from the trace's lognormal size model.
+///
+/// Sampled from a *separate* RNG keyed by `(seed, seq)` rather than the
+/// trace's main stream, so adding the size model left every previously
+/// published arrival/duration/rate stream bit-identical.
+fn per_flow_pkt_len(cfg: &TraceConfig, seq: u64) -> u32 {
+    let key = cfg
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq.wrapping_mul(0xb5ad_4ece_da1c_e2a9))
+        ^ 0x00c0_ffee_5a1e_u64;
+    let mut rng = SmallRng::seed_from_u64(key);
+    lognormal_median(&mut rng, cfg.median_pkt_bytes, cfg.pkt_sigma)
+        .round()
+        .clamp(64.0, 1500.0) as u32
 }
 
 impl Iterator for TraceIter {
@@ -287,6 +323,8 @@ mod tests {
             flow_sigma: 1.0,
             median_rate_bps: 50_000.0,
             rate_sigma: 0.5,
+            median_pkt_bytes: 800.0,
+            pkt_sigma: 0.35,
             updates_per_min: 5.0,
             shared_dip_upgrades: false,
             duration: Duration::from_mins(5),
@@ -326,9 +364,51 @@ mod tests {
                 assert!(c.duration > Duration::ZERO);
                 assert!(c.rate_bps >= 1000);
                 assert!(c.closes() > c.opened);
+                assert!((64..=1500).contains(&c.pkt_len), "pkt_len {}", c.pkt_len);
+                assert!(c.packets() >= 1);
+                let gap = c.pkt_gap.as_secs_f64();
+                // rate_bps is truncated to u64 after the gap is computed,
+                // so allow a small relative error.
+                let expect = f64::from(c.pkt_len) * 8.0 / c.rate_bps as f64;
+                assert!((gap / expect - 1.0).abs() < 1e-3, "{gap} vs {expect}");
                 assert_eq!(c.tuple.dst, vip_addr(AddrFamily::V4, c.vip.0).0);
             }
         }
+    }
+
+    #[test]
+    fn pkt_sigma_zero_pins_sizes_to_the_median() {
+        let mut cfg = small_cfg();
+        cfg.pkt_sigma = 0.0;
+        for e in TraceIter::new(cfg).take(200) {
+            if let TraceEvent::ConnOpen(c) = e {
+                assert_eq!(c.pkt_len, 800);
+            }
+        }
+    }
+
+    #[test]
+    fn pkt_size_model_does_not_shift_main_streams() {
+        // Changing only the packet-size parameters must leave arrivals,
+        // durations, and rates bit-identical (separate RNG stream).
+        let mut wide = small_cfg();
+        wide.pkt_sigma = 1.5;
+        wide.median_pkt_bytes = 200.0;
+        let a: Vec<(Nanos, u64)> = TraceIter::new(small_cfg())
+            .filter_map(|e| match e {
+                TraceEvent::ConnOpen(c) => Some((c.opened, c.rate_bps)),
+                _ => None,
+            })
+            .take(300)
+            .collect();
+        let b: Vec<(Nanos, u64)> = TraceIter::new(wide)
+            .filter_map(|e| match e {
+                TraceEvent::ConnOpen(c) => Some((c.opened, c.rate_bps)),
+                _ => None,
+            })
+            .take(300)
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

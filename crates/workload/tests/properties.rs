@@ -16,6 +16,8 @@ fn small_trace(seed: u64, conns_per_min: f64, upm: f64, mins: u64) -> TraceConfi
         flow_sigma: 1.0,
         median_rate_bps: 100_000.0,
         rate_sigma: 0.5,
+        median_pkt_bytes: 800.0,
+        pkt_sigma: 0.35,
         updates_per_min: upm,
         shared_dip_upgrades: false,
         duration: Duration::from_mins(mins),

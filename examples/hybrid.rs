@@ -23,6 +23,8 @@ fn main() {
         flow_sigma: 1.0,
         median_rate_bps: 150_000.0,
         rate_sigma: 0.5,
+        median_pkt_bytes: 800.0,
+        pkt_sigma: 0.35,
         updates_per_min: 20.0,
         shared_dip_upgrades: false,
         duration: Duration::from_mins(6),

@@ -27,6 +27,8 @@ fn trace() -> TraceConfig {
         flow_sigma: 1.0,
         median_rate_bps: 100_000.0,
         rate_sigma: 0.5,
+        median_pkt_bytes: 800.0,
+        pkt_sigma: 0.35,
         // A rolling reboot generates a steady stream of remove/add pairs.
         updates_per_min: 12.0,
         shared_dip_upgrades: false,

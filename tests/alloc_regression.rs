@@ -193,6 +193,110 @@ fn multi_pipe_steady_state_is_allocation_free() {
     );
 }
 
+/// Full wire-path steady state: parse raw frames, steer + resolve through
+/// the multi-pipe switch, and rewrite each decision back onto the frame —
+/// all with zero heap allocations per packet. Exercised for both address
+/// families, both rewrite modes, and 1 and 4 pipes.
+fn wire_steady_state(vip_addr: Addr, dips: Vec<Dip>, pipes: usize, mode: sr_types::RewriteMode) {
+    use sr_types::FrameView;
+    use sr_wire::{build_frame, parse_frame, rewrite_frame, FrameSpec};
+    const N: u32 = 2048;
+    let cfg = SilkRoadConfig {
+        conn_capacity: (N as usize) * 2,
+        ..Default::default()
+    };
+    let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, sr_exec::Exec::sequential());
+    sw.add_vip(Vip(vip_addr), dips).unwrap();
+    let client = |i: u32| match vip_addr.ip {
+        std::net::IpAddr::V4(_) => Addr::v4_indexed(100, i, 1024),
+        std::net::IpAddr::V6(_) => Addr::v6_indexed(0xc11e, i, 1024),
+    };
+    let tuples: Vec<FiveTuple> = (0..N)
+        .map(|i| FiveTuple::tcp(client(i), vip_addr))
+        .collect();
+    let syns: Vec<PacketMeta> = tuples.iter().map(|t| PacketMeta::syn(*t)).collect();
+    sw.process_batch(&syns, Nanos::ZERO);
+    sw.advance(Nanos::from_secs(10));
+    assert_eq!(sw.conn_count(), N as usize, "warm-up did not install");
+
+    // Pre-built mid-stream data frames: the steady state re-parses these
+    // bytes every pass, exactly like a NIC ring would present them.
+    let frames: Vec<Vec<u8>> = tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut buf = vec![0u8; 2048];
+            let n = build_frame(
+                &FrameSpec {
+                    tuple: *t,
+                    flags: sr_types::TcpFlags::ACK,
+                    wire_len: 400,
+                    seq: i as u64,
+                },
+                &mut buf,
+            )
+            .unwrap();
+            buf.truncate(n);
+            buf
+        })
+        .collect();
+
+    let mut metas: Vec<PacketMeta> = Vec::with_capacity(frames.len());
+    let mut views: Vec<FrameView> = Vec::with_capacity(frames.len());
+    let mut out: Vec<ForwardDecision> = Vec::with_capacity(frames.len());
+    let mut rewritten = [0u8; 2048];
+
+    let mut pass = |now: Nanos| -> (u64, u64) {
+        let before = allocs_so_far();
+        metas.clear();
+        views.clear();
+        out.clear();
+        for f in &frames {
+            let p = parse_frame(f).unwrap();
+            metas.push(p.meta);
+            views.push(p.view);
+        }
+        sw.process_batch_into(&metas, now, &mut out);
+        let mut ok = 0u64;
+        for ((f, v), d) in frames.iter().zip(&views).zip(&out) {
+            if let Some(op) = d.rewrite_op(mode) {
+                let n = rewrite_frame(f, v, &op, &mut rewritten).unwrap();
+                ok += u64::from(n >= f.len());
+            }
+        }
+        (ok, allocs_so_far() - before)
+    };
+
+    // Warm one pass (lane buffers settle), then measure.
+    pass(Nanos::from_secs(20));
+    let (ok, allocs) = pass(Nanos::from_secs(21));
+    assert_eq!(ok, N as u64, "steady state lost rewrites");
+    assert_eq!(
+        allocs,
+        0,
+        "wire path ({pipes} pipe(s), {} mode) allocated {allocs} times over {N} packets",
+        mode.label()
+    );
+}
+
+#[test]
+fn wire_parse_steer_resolve_rewrite_is_allocation_free_v4() {
+    let vip = Addr::v4(20, 0, 0, 1, 80);
+    for pipes in [1usize, 4] {
+        wire_steady_state(vip, v4_dips(), pipes, sr_types::RewriteMode::Nat);
+        wire_steady_state(vip, v4_dips(), pipes, sr_types::RewriteMode::Encap);
+    }
+}
+
+#[test]
+fn wire_parse_steer_resolve_rewrite_is_allocation_free_v6() {
+    let vip = Addr::v6_indexed(0x0a0a, 1, 443);
+    for pipes in [1usize, 4] {
+        wire_steady_state(vip, v6_dips(), pipes, sr_types::RewriteMode::Nat);
+        wire_steady_state(vip, v6_dips(), pipes, sr_types::RewriteMode::Encap);
+    }
+}
+
 #[test]
 fn conn_table_hit_path_is_allocation_free_v6() {
     const N: u32 = 2048;

@@ -18,6 +18,8 @@ fn trace(seed: u64) -> TraceConfig {
         flow_sigma: 0.8,
         median_rate_bps: 150_000.0,
         rate_sigma: 0.5,
+        median_pkt_bytes: 800.0,
+        pkt_sigma: 0.35,
         updates_per_min: 10.0,
         shared_dip_upgrades: false,
         duration: Duration::from_mins(3),

@@ -22,6 +22,8 @@ fn trace(updates_per_min: f64, median_flow_secs: f64, seed: u64) -> TraceConfig 
         flow_sigma: 1.0,
         median_rate_bps: 200_000.0,
         rate_sigma: 0.5,
+        median_pkt_bytes: 800.0,
+        pkt_sigma: 0.35,
         updates_per_min,
         shared_dip_upgrades: false,
         duration: Duration::from_mins(12),

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(
     silkroad-lb sr-types sr-hash sr-asic silkroad sr-exec
-    sr-baselines sr-workload sr-sim sr-netwide sr-bench srlint
+    sr-baselines sr-workload sr-sim sr-netwide sr-wire sr-bench srlint
 )
 PKG_FLAGS=()
 for p in "${FIRST_PARTY[@]}"; do PKG_FLAGS+=(-p "$p"); done
@@ -41,6 +41,26 @@ echo "== repro scale --smoke (multi-pipe saturation + decision identity)"
 SCALE_TMP="$(mktemp -d)"
 ( cd "$SCALE_TMP" && "$OLDPWD/target/release/repro" scale --smoke > /dev/null )
 rm -rf "$SCALE_TMP"
+
+# Replay smoke: regenerate the smoke capture from the deterministic
+# exporter, require it byte-identical to the committed golden, replay it,
+# and require the decision digest to match the pinned value. Catches any
+# drift in the trace generator, frame synthesis, parser, or data plane.
+echo "== repro replay --smoke (wire round-trip vs golden pcap + pinned digest)"
+REPLAY_TMP="$(mktemp -d)"
+(
+    cd "$REPLAY_TMP"
+    "$OLDPWD/target/release/repro" export replay_smoke.pcap --smoke > /dev/null
+    cmp "$OLDPWD/crates/bench/golden/replay_smoke.pcap" replay_smoke.pcap
+    "$OLDPWD/target/release/repro" replay replay_smoke.pcap --pipes 2 --smoke > /dev/null
+    digest="$(sed -n 's/.*"decision_digest": "\([0-9a-f]*\)".*/\1/p' BENCH_replay.json)"
+    pinned="$(tr -d '[:space:]' < "$OLDPWD/crates/bench/golden/replay_smoke.digest")"
+    if [ "$digest" != "$pinned" ]; then
+        echo "replay smoke digest drifted: got $digest, pinned $pinned" >&2
+        exit 1
+    fi
+)
+rm -rf "$REPLAY_TMP"
 
 # The allocation gate only means something with optimizations on: debug
 # builds allocate in places release code does not (and vice versa).
