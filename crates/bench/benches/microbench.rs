@@ -230,7 +230,7 @@ fn bench_engine(c: &mut Criterion) {
             conn_capacity: (conns as usize) * 2,
             ..Default::default()
         };
-        let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, sr_bench::Exec::sequential());
+        let mut sw = MultiPipeSwitch::inline(cfg, pipes);
         let vip_addr = Addr::v4(20, 0, 0, 1, 80);
         sw.add_vip(
             Vip(vip_addr),
@@ -376,7 +376,7 @@ fn bench_wire(c: &mut Criterion) {
             conn_capacity: ts.len() * 2,
             ..Default::default()
         };
-        let mut sw = MultiPipeSwitch::with_exec(cfg, 4, sr_bench::Exec::sequential());
+        let mut sw = MultiPipeSwitch::inline(cfg, 4);
         let vip_addr = Addr::v4(20, 0, 0, 1, 80);
         sw.add_vip(
             Vip(vip_addr),

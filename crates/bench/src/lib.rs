@@ -23,6 +23,7 @@ pub mod report;
 pub mod saturation;
 pub mod scale;
 pub mod tables;
+pub mod wall;
 
 pub use exec::Exec;
 pub use scale::Scale;

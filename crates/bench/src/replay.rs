@@ -26,7 +26,6 @@
 //! for a given capture, so CI pins the smoke capture's decision digest.
 
 use silkroad::{DataPath, ForwardDecision, MultiPipeSwitch, PoolUpdate, SilkRoadConfig};
-use sr_exec::Exec;
 use sr_types::{Addr, AddrFamily, Dip, Nanos, PacketMeta, RewriteMode, Vip};
 use sr_wire::{parse_frame, rewrite_frame, verify_checksums, Parsed, PcapReader, ENCAP_HEADROOM};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -226,7 +225,7 @@ fn build_switch(cap: &Capture<'_>, pipes: usize) -> Result<MultiPipeSwitch, Stri
         transit_bytes: 4_096,
         ..Default::default()
     };
-    let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, Exec::sequential());
+    let mut sw = MultiPipeSwitch::inline(cfg, pipes);
     for (vip, dips) in &cap.vips {
         sw.add_vip(*vip, dips.clone())
             .map_err(|e| format!("add_vip: {e:?}"))?;

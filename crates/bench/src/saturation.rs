@@ -15,12 +15,15 @@
 //! pps = packets / (steer_time + max_over_pipes(busy_time))
 //! ```
 //!
-//! That equals the wall-clock rate of a host with >= N cores (the `Exec`
-//! fan-out runs the same per-pipe drains concurrently) and is reported as
-//! `pps`. The single-threaded wall-clock rate — every pipe drained back
-//! to back on one core, which is what a 1-CPU CI container can actually
-//! observe — is reported separately as `wall_pps`. Both are recorded in
-//! the JSON; the >= 3x speedup target applies to the modeled aggregate.
+//! That equals the wall-clock rate of a host with >= N cores and is
+//! reported as `pps` (with its ratio to the 1-pipe point as
+//! `modeled_speedup`). The single-threaded wall-clock rate — every pipe
+//! drained back to back on one core, which is what a 1-CPU CI container
+//! can actually observe — is reported separately as `wall_pps` (ratio:
+//! `wall_speedup`). Both are recorded in the JSON; the >= 3x speedup
+//! target applies to the modeled aggregate. *Measured* wall-clock
+//! scaling through the run-to-completion engine's worker threads is the
+//! job of `repro wall` (`BENCH_wall.json`), not this model.
 //!
 //! The sweep also cross-checks decision identity: every pipe count must
 //! produce bit-identical per-flow [`ForwardDecision`]s on the same trace
@@ -28,7 +31,6 @@
 //! update, is asserted by `tests/multi_pipe.rs`).
 
 use silkroad::{ForwardDecision, MultiPipeSwitch, SilkRoadConfig};
-use sr_exec::Exec;
 use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
 
 /// One pipe count's measurement.
@@ -66,11 +68,22 @@ pub struct ScaleSweep {
 }
 
 impl ScaleSweep {
-    /// Speedup of `pipes` over the 1-pipe point (modeled aggregate).
-    pub fn speedup(&self, pipes: usize) -> Option<f64> {
+    /// Speedup of `pipes` over the 1-pipe point in the *modeled* chip
+    /// aggregate (`pps`): what N independent hardware pipes would do.
+    pub fn modeled_speedup(&self, pipes: usize) -> Option<f64> {
         let base = self.points.iter().find(|p| p.pipes == 1)?;
         let p = self.points.iter().find(|p| p.pipes == pipes)?;
         Some(p.pps / base.pps)
+    }
+
+    /// Speedup of `pipes` over the 1-pipe point in the single-threaded
+    /// wall-clock rate (`wall_pps`). On one core this hovers near 1.0 —
+    /// that is precisely the scaling bug the run-to-completion engine
+    /// exists to fix; see `repro wall` for measured multi-core scaling.
+    pub fn wall_speedup(&self, pipes: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.pipes == 1)?;
+        let p = self.points.iter().find(|p| p.pipes == pipes)?;
+        Some(p.wall_pps / base.wall_pps)
     }
 
     /// Render as the committed `BENCH_throughput.json` document.
@@ -94,7 +107,8 @@ impl ScaleSweep {
             s.push_str(&format!(
                 "    {{\"pipes\": {}, \"packets\": {}, \"steer_ns\": {}, \
                  \"max_pipe_busy_ns\": {}, \"total_busy_ns\": {}, \"pps\": {:.0}, \
-                 \"wall_pps\": {:.0}, \"speedup_vs_1\": {:.3}}}{}\n",
+                 \"wall_pps\": {:.0}, \"modeled_speedup\": {:.3}, \
+                 \"wall_speedup\": {:.3}}}{}\n",
                 p.pipes,
                 p.packets,
                 p.steer_ns,
@@ -102,7 +116,8 @@ impl ScaleSweep {
                 p.total_busy_ns,
                 p.pps,
                 p.wall_pps,
-                self.speedup(p.pipes).unwrap_or(1.0),
+                self.modeled_speedup(p.pipes).unwrap_or(1.0),
+                self.wall_speedup(p.pipes).unwrap_or(1.0),
                 if i + 1 == self.points.len() { "" } else { "," }
             ));
         }
@@ -134,7 +149,7 @@ fn trace_cfg(flows: u32) -> SilkRoadConfig {
 /// would, which would make the installed flow sets — and therefore the
 /// steady-state decisions — depend on the pipe count.
 fn established(flows: u32, pipes: usize) -> (MultiPipeSwitch, Vec<PacketMeta>) {
-    let mut sw = MultiPipeSwitch::with_exec(trace_cfg(flows), pipes, Exec::sequential());
+    let mut sw = MultiPipeSwitch::inline(trace_cfg(flows), pipes);
     sw.add_vip(
         vip(),
         (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
@@ -275,5 +290,10 @@ mod tests {
         assert!(json.contains("\"bench\": \"scale\""));
         assert!(json.contains("\"pipes\": 2"));
         assert!(json.contains("decisions_match\": true"));
+        // The two speedup figures are distinct, honestly-named keys; the
+        // old ambiguous `speedup_vs_1` must not come back.
+        assert!(json.contains("\"modeled_speedup\""));
+        assert!(json.contains("\"wall_speedup\""));
+        assert!(!json.contains("speedup_vs_1"));
     }
 }

@@ -1,0 +1,247 @@
+//! `repro wall` — sustained wall-clock throughput of the
+//! run-to-completion engine (`BENCH_wall.json`).
+//!
+//! Where `repro scale` *models* chip scaling (serial steering plus each
+//! pipe's drain timed in isolation), this harness *measures* it: the
+//! threaded [`MultiPipeSwitch`] backend runs one resident worker per
+//! pipe (core-pinned where the OS allows), the steer thread streams
+//! batches through [`MultiPipeSwitch::stream_batch`] without waiting for
+//! completions, and the reported rate is packets over elapsed
+//! wall-clock — spawn/join, ring transfer, and adoption costs included.
+//! This is exactly the figure engine v1's per-batch fan-out could not
+//! scale: its thread spawn/join per batch swamped the per-pipe wins.
+//!
+//! Correctness rides along: every streamed decision folds into a
+//! commutative digest ([`silkroad::StreamStats`]), and the sweep
+//! hard-fails unless every pipe count produces the identical digest —
+//! decision identity checked at full speed, not on a side trace.
+//!
+//! Host honesty: wall-clock scaling needs cores. The report records
+//! `host_cores`; callers gate the ≥2.5× 4-pipe target only when the host
+//! has ≥4 cores (a 1-core CI box can only verify digests and that the
+//! engine sustains traffic).
+
+use silkroad::{EngineOptions, MultiPipeSwitch, SilkRoadConfig};
+use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
+
+/// One pipe count's measured point.
+#[derive(Clone, Debug)]
+pub struct WallPoint {
+    /// Pipes (= resident worker threads).
+    pub pipes: usize,
+    /// Packets streamed during the timed window (flows × passes).
+    pub packets: u64,
+    /// Elapsed wall-clock for the timed window, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Sustained packets/s over the wall clock.
+    pub wall_pps: f64,
+    /// Commutative decision digest of the timed window.
+    pub digest: u64,
+}
+
+/// A full wall sweep.
+#[derive(Clone, Debug)]
+pub struct WallSweep {
+    /// Flows in the trace.
+    pub flows: u32,
+    /// Steady-state passes over the trace per timed window.
+    pub passes: u32,
+    /// Packets per streamed batch.
+    pub batch: usize,
+    /// CPUs the OS reports available to this process.
+    pub host_cores: usize,
+    /// Whether worker pinning was requested (it is, always) and the
+    /// pinning probe succeeded on this host.
+    pub pinned: bool,
+    /// Whether every pipe count produced the identical decision digest.
+    pub digests_match: bool,
+    /// One point per swept pipe count.
+    pub points: Vec<WallPoint>,
+}
+
+impl WallSweep {
+    /// Measured wall-clock speedup of `pipes` over the 1-pipe point.
+    pub fn wall_speedup(&self, pipes: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.pipes == 1)?;
+        let p = self.points.iter().find(|p| p.pipes == pipes)?;
+        Some(p.wall_pps / base.wall_pps)
+    }
+
+    /// Render as the `BENCH_wall.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"wall\",\n");
+        s.push_str(&format!("  \"flows\": {},\n", self.flows));
+        s.push_str(&format!("  \"passes\": {},\n", self.passes));
+        s.push_str(&format!("  \"batch\": {},\n", self.batch));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!("  \"pinned\": {},\n", self.pinned));
+        s.push_str(&format!("  \"digests_match\": {},\n", self.digests_match));
+        s.push_str(
+            "  \"note\": \"measured wall-clock rate of the run-to-completion engine: resident \
+             per-pipe workers fed by SPSC rings, decisions folded into a commutative digest; \
+             the >=2.5x 4-pipe target applies on hosts with >=4 cores\",\n",
+        );
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"pipes\": {}, \"packets\": {}, \"elapsed_ns\": {}, \
+                 \"wall_pps\": {:.0}, \"wall_speedup\": {:.3}, \"digest\": \"{:016x}\"}}{}\n",
+                p.pipes,
+                p.packets,
+                p.elapsed_ns,
+                p.wall_pps,
+                self.wall_speedup(p.pipes).unwrap_or(1.0),
+                p.digest,
+                if i + 1 == self.points.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn vip() -> Vip {
+    Vip(Addr::v4(20, 0, 0, 1, 80))
+}
+
+fn trace_cfg(flows: u32) -> SilkRoadConfig {
+    SilkRoadConfig {
+        conn_capacity: (flows as usize) * 2,
+        // Wide digests, big transit bloom: keep the decision stream free
+        // of collision noise so the digest-identity gate is sharp (same
+        // geometry as the saturation sweep).
+        digest_bits: 24,
+        transit_bytes: 4_096,
+        ..Default::default()
+    }
+}
+
+/// Build a threaded engine with `flows` established v4 connections and
+/// return the steady-state data trace. SYNs are paced in
+/// sub-filter-capacity waves (see `saturation::established` for why).
+fn established(flows: u32, pipes: usize) -> (MultiPipeSwitch, Vec<PacketMeta>) {
+    let mut sw = MultiPipeSwitch::with_options(
+        trace_cfg(flows),
+        pipes,
+        EngineOptions {
+            threaded: true,
+            pin_cores: true,
+            ..EngineOptions::default()
+        },
+    );
+    sw.add_vip(
+        vip(),
+        (1..=16).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect(),
+    )
+    .unwrap();
+    let syns: Vec<PacketMeta> = (0..flows)
+        .map(|i| {
+            PacketMeta::syn(FiveTuple::tcp(
+                Addr::v4_indexed(100, i, 1024 + (i % 251) as u16),
+                vip().0,
+            ))
+        })
+        .collect();
+    let mut now = Nanos::ZERO;
+    for wave in syns.chunks(1_024) {
+        sw.process_batch(wave, now);
+        now = now.saturating_add(sr_types::Duration::from_millis(10));
+        sw.advance(now);
+    }
+    sw.advance(Nanos::from_secs(10));
+    let data: Vec<PacketMeta> = syns
+        .iter()
+        .map(|p| PacketMeta::data(p.tuple, 800))
+        .collect();
+    (sw, data)
+}
+
+/// Measure one pipe count: stream `passes` full-trace passes through the
+/// resident workers and time the whole window, drain included.
+/// Wall-clock reads are banned in model crates (clippy.toml) but are the
+/// entire point of this harness.
+#[allow(clippy::disallowed_methods)]
+fn measure(flows: u32, passes: u32, batch: usize, pipes: usize) -> WallPoint {
+    use std::time::Instant;
+    let (mut sw, data) = established(flows, pipes);
+    let now = Nanos::from_secs(20);
+
+    // Warm pass: batch buffers reach steady-state capacity, rings and
+    // caches settle; its fold is discarded by the drain.
+    for chunk in data.chunks(batch) {
+        sw.stream_batch(chunk, now);
+    }
+    sw.stream_drain();
+
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        for chunk in data.chunks(batch) {
+            sw.stream_batch(chunk, now);
+        }
+    }
+    let stats = sw.stream_drain();
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    WallPoint {
+        pipes,
+        packets: stats.packets,
+        elapsed_ns,
+        wall_pps: stats.packets as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        digest: stats.digest,
+    }
+}
+
+/// Probe whether thread pinning works on this host (best-effort, from a
+/// scratch thread so the caller's affinity is untouched).
+fn pin_probe() -> bool {
+    std::thread::spawn(|| sr_exec::pin_current_thread(0))
+        .join()
+        .unwrap_or(false)
+}
+
+/// Run the wall sweep over each pipe count.
+pub fn sweep(flows: u32, passes: u32, batch: usize, pipe_counts: &[usize]) -> WallSweep {
+    let mut points = Vec::with_capacity(pipe_counts.len());
+    for &pipes in pipe_counts {
+        points.push(measure(flows, passes, batch, pipes));
+    }
+    let digests_match = points
+        .windows(2)
+        .all(|w| w[0].digest == w[1].digest && w[0].packets == w[1].packets);
+    WallSweep {
+        flows,
+        passes,
+        batch,
+        host_cores: sr_exec::available_cores(),
+        pinned: pin_probe(),
+        digests_match,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_sustains_traffic_and_digests_agree() {
+        let s = sweep(2_048, 2, 256, &[1, 2]);
+        assert_eq!(s.points.len(), 2);
+        assert!(
+            s.digests_match,
+            "pipe counts produced different decision digests at full speed"
+        );
+        for p in &s.points {
+            assert_eq!(p.packets, 2 * 2_048, "streamed window lost packets");
+            assert!(p.wall_pps > 0.0);
+        }
+        assert!(s.host_cores >= 1);
+        let json = s.to_json();
+        assert!(json.contains("\"bench\": \"wall\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"wall_speedup\""));
+        assert!(json.contains("\"digests_match\": true"));
+    }
+}

@@ -1,0 +1,98 @@
+//! CLI contract for the `repro` driver: bad flags must fail fast with a
+//! usage error (exit code 2) *before* any work starts — a misspelled or
+//! nonsensical flag silently falling back to full-scale defaults is how
+//! an overnight benchmark run gets wasted.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn zero_jobs_is_a_usage_error() {
+    let out = repro(&["table1", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("positive integer"),
+        "unhelpful error: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn zero_pipes_is_a_usage_error() {
+    for args in [
+        &["replay", "x.pcap", "--pipes", "0"][..],
+        &["replay", "x.pcap", "--pipes=0"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(stderr(&out).contains("positive integer"), "args {args:?}");
+    }
+}
+
+#[test]
+fn non_numeric_counts_are_usage_errors() {
+    for args in [
+        &["table1", "--jobs", "many"][..],
+        &["table1", "--jobs=-3"][..],
+        &["replay", "x.pcap", "--pipes", "4x"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            stderr(&out).contains("positive integer"),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn missing_count_value_is_a_usage_error() {
+    let out = repro(&["table1", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("needs a value"));
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    for args in [
+        &["table1", "--job", "4"][..],
+        &["scale", "--smok"][..],
+        &["wall", "--pin"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            stderr(&out).contains("unknown flag"),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_targets_are_rejected() {
+    let out = repro(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown target"));
+}
+
+#[test]
+fn help_lists_the_verification_targets() {
+    let out = repro(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for target in ["check", "scale", "wall", "export", "replay"] {
+        assert!(stdout.contains(target), "help omits '{target}'");
+    }
+}

@@ -12,7 +12,6 @@
 
 use silkroad::{DataPath, ForwardDecision, MultiPipeSwitch, PoolUpdate, SilkRoadConfig};
 use sr_bench::replay::{self, export_profile, DIPS_PER_VIP, EXPORT_DATA_PKTS};
-use sr_exec::Exec;
 use sr_types::{Addr, Nanos, PacketMeta, RewriteMode, Vip};
 use sr_wire::{export_trace, PcapWriter};
 use std::collections::{BTreeSet, HashMap};
@@ -78,7 +77,7 @@ fn in_memory_decisions(metas: &[(Nanos, PacketMeta)], pipes: usize) -> Vec<Forwa
         transit_bytes: 4_096,
         ..Default::default()
     };
-    let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, Exec::sequential());
+    let mut sw = MultiPipeSwitch::inline(cfg, pipes);
     let vips: Vec<(Vip, Addr)> = dsts.iter().map(|a| (Vip(*a), *a)).collect();
     for (i, (vip, addr)) in vips.iter().enumerate() {
         let dips = (0..DIPS_PER_VIP)

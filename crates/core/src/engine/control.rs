@@ -1,0 +1,315 @@
+//! Epoch-versioned control-plane op log (the "RCU" half of engine v2).
+//!
+//! Engine v1 broadcast every control-plane call (VIP registration,
+//! 3-step PCC updates, health events, idle-expiry ticks) to all pipes
+//! inline under the caller, which serialized the control plane against
+//! the data plane. Engine v2 instead *publishes* each call as an
+//! immutable [`ControlOp`] appended to a [`ControlLog`]; the log's
+//! length is the **epoch**. Every batch handed to a pipe worker is
+//! stamped with the epoch observed at steer time, and a worker adopts
+//! all ops up to exactly that stamp *before* processing the batch — a
+//! batch boundary is the only place pipe state changes, so the
+//! interleaving of ops and batches is identical in every pipe and for
+//! every pipe count, which is what keeps decisions bit-identical and
+//! PCC intact under concurrent updates.
+//!
+//! RCU flavour: published entries are immutable and shared by `Arc`;
+//! readers copy the `Arc` references they need under a short lock and
+//! apply them outside it, so a worker never holds the log lock while
+//! touching its pipe. The facade truncates the log once every pipe has
+//! confirmed adoption (the "grace period"), keeping memory bounded.
+
+use crate::health::HealthEvent;
+use crate::pool::PoolUpdate;
+use crate::switch::SilkRoadSwitch;
+use parking_lot::Mutex;
+use sr_asic::MeterConfig;
+use sr_types::{Dip, FiveTuple, Nanos, TypeError, Vip};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// One published control-plane operation. Immutable once in the log.
+#[derive(Clone, Debug)]
+pub(crate) enum ControlOp {
+    /// Register a VIP with its initial DIP pool (every pipe).
+    AddVip {
+        /// The VIP.
+        vip: Vip,
+        /// Initial pool members.
+        dips: Vec<Dip>,
+    },
+    /// Remove a VIP (every pipe).
+    RemoveVip {
+        /// The VIP.
+        vip: Vip,
+    },
+    /// Start a 3-step PCC pool update (every pipe).
+    RequestUpdate {
+        /// The VIP.
+        vip: Vip,
+        /// The pool change.
+        op: PoolUpdate,
+        /// Publication time.
+        now: Nanos,
+    },
+    /// Apply health transitions (every pipe).
+    Health {
+        /// The transitions.
+        events: Vec<HealthEvent>,
+        /// Publication time.
+        now: Nanos,
+    },
+    /// Attach a VIP meter (every pipe).
+    AttachMeter {
+        /// The VIP.
+        vip: Vip,
+        /// Meter parameters.
+        cfg: MeterConfig,
+    },
+    /// Detach a VIP meter (every pipe).
+    DetachMeter {
+        /// The VIP.
+        vip: Vip,
+    },
+    /// Run the control plane forward to `now` (every pipe).
+    Advance {
+        /// Target time.
+        now: Nanos,
+    },
+    /// Run an idle-expiry scan (every pipe; counts are summed).
+    ExpireIdle {
+        /// Scan time.
+        now: Nanos,
+    },
+    /// Close one connection. Steering picked the owning pipe at publish
+    /// time; other pipes skip it (flow-to-pipe affinity means only the
+    /// owner can hold the entry).
+    CloseConn {
+        /// The connection.
+        tuple: FiveTuple,
+        /// Close time.
+        now: Nanos,
+        /// The owning pipe's index.
+        pipe: usize,
+    },
+}
+
+/// Apply one op to one pipe's switch. Returns (connections expired,
+/// result). Shared by the threaded workers and the inline backend so
+/// both interpret the op stream identically.
+pub(crate) fn apply_op(
+    pipe_id: usize,
+    sw: &mut SilkRoadSwitch,
+    op: &ControlOp,
+) -> (usize, Result<(), TypeError>) {
+    match op {
+        ControlOp::AddVip { vip, dips } => (0, sw.add_vip(*vip, dips.clone())),
+        ControlOp::RemoveVip { vip } => (0, sw.remove_vip(*vip)),
+        ControlOp::RequestUpdate { vip, op, now } => (0, sw.request_update(*vip, *op, *now)),
+        ControlOp::Health { events, now } => (0, sw.apply_health_events(events, *now)),
+        ControlOp::AttachMeter { vip, cfg } => {
+            sw.attach_meter(*vip, *cfg);
+            (0, Ok(()))
+        }
+        ControlOp::DetachMeter { vip } => {
+            sw.detach_meter(*vip);
+            (0, Ok(()))
+        }
+        ControlOp::Advance { now } => {
+            sw.advance(*now);
+            (0, Ok(()))
+        }
+        ControlOp::ExpireIdle { now } => (sw.expire_idle(*now), Ok(())),
+        ControlOp::CloseConn { tuple, now, pipe } => {
+            if *pipe == pipe_id {
+                sw.close_connection(tuple, *now);
+            }
+            (0, Ok(()))
+        }
+    }
+}
+
+/// Append-only log of published ops; `epoch() == base + len` counts
+/// every op ever published. See the module docs for the adoption
+/// protocol.
+pub(crate) struct ControlLog {
+    /// Published-op count; readable without the lock.
+    epoch: AtomicU64,
+    inner: Mutex<LogInner>,
+}
+
+struct LogInner {
+    /// Epoch of the first retained op (earlier ops were truncated after
+    /// every pipe adopted them).
+    base: u64,
+    ops: Vec<Arc<ControlOp>>,
+}
+
+impl ControlLog {
+    /// An empty log at epoch 0.
+    pub(crate) fn new() -> ControlLog {
+        ControlLog {
+            epoch: AtomicU64::new(0),
+            inner: Mutex::new(LogInner {
+                base: 0,
+                ops: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current epoch (total ops ever published).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Publish one op; returns the epoch that includes it.
+    pub(crate) fn publish(&self, op: ControlOp) -> u64 {
+        let mut g = self.inner.lock();
+        g.ops.push(Arc::new(op));
+        let e = g.base + g.ops.len() as u64;
+        self.epoch.store(e, SeqCst);
+        e
+    }
+
+    /// Copy the `Arc` refs of ops in `[from, to)` into `buf` (clamped to
+    /// what the log retains). Callers apply them *after* releasing the
+    /// internal lock — this method holds it only for the pointer copies.
+    pub(crate) fn copy_range(&self, from: u64, to: u64, buf: &mut Vec<Arc<ControlOp>>) {
+        let g = self.inner.lock();
+        let lo = from.max(g.base).saturating_sub(g.base) as usize;
+        let hi = (to.max(g.base).saturating_sub(g.base) as usize).min(g.ops.len());
+        if let Some(range) = g.ops.get(lo..hi) {
+            buf.extend(range.iter().cloned());
+        }
+    }
+
+    /// Drop every op at epoch ≤ `upto`. Only call once all adopters have
+    /// confirmed reaching `upto` (the facade does this after each
+    /// synchronous control round-trip).
+    pub(crate) fn truncate_to(&self, upto: u64) {
+        let mut g = self.inner.lock();
+        if upto <= g.base {
+            return;
+        }
+        let n = ((upto - g.base) as usize).min(g.ops.len());
+        g.ops.drain(..n);
+        g.base += n as u64;
+    }
+
+    /// Ops currently retained (post-truncation), for tests.
+    #[cfg(test)]
+    pub(crate) fn retained(&self) -> usize {
+        self.inner.lock().ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn advance_op(s: u64) -> ControlOp {
+        ControlOp::Advance {
+            now: Nanos::from_secs(s),
+        }
+    }
+
+    fn op_secs(op: &ControlOp) -> u64 {
+        match op {
+            ControlOp::Advance { now } => now.0 / 1_000_000_000,
+            _ => panic!("test publishes only Advance ops"),
+        }
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_copy_range_clamps() {
+        let log = ControlLog::new();
+        assert_eq!(log.epoch(), 0);
+        for s in 0..10 {
+            assert_eq!(log.publish(advance_op(s)), s + 1);
+        }
+        let mut buf = Vec::new();
+        log.copy_range(3, 7, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(op_secs(&buf[0]), 3);
+        assert_eq!(op_secs(&buf[3]), 6);
+        // Out-of-retention and inverted ranges yield nothing extra.
+        buf.clear();
+        log.copy_range(10, 10, &mut buf);
+        log.copy_range(7, 3, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn truncation_keeps_epochs_stable() {
+        let log = ControlLog::new();
+        for s in 0..8 {
+            log.publish(advance_op(s));
+        }
+        log.truncate_to(5);
+        assert_eq!(log.epoch(), 8);
+        assert_eq!(log.retained(), 3);
+        // Epoch-addressed reads still line up after the base moved.
+        let mut buf = Vec::new();
+        log.copy_range(5, 8, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(op_secs(&buf[0]), 5);
+        // Requests below the base are clamped, not misaligned.
+        buf.clear();
+        log.copy_range(0, 8, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(op_secs(&buf[0]), 5);
+        // Truncation is idempotent and monotonic.
+        log.truncate_to(5);
+        log.truncate_to(2);
+        assert_eq!(log.retained(), 3);
+    }
+
+    /// Satellite: publish/adopt under contention. Four adopter threads
+    /// chase a publisher; every adopter must observe every op exactly
+    /// once, in publication order, no matter how the schedules
+    /// interleave.
+    #[test]
+    fn concurrent_adopters_see_every_op_in_order() {
+        const OPS: u64 = 2_000;
+        const ADOPTERS: usize = 4;
+        let log = Arc::new(ControlLog::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for _ in 0..ADOPTERS {
+            let log = Arc::clone(&log);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut cursor = 0u64;
+                let mut buf = Vec::new();
+                let mut seen = Vec::new();
+                loop {
+                    let target = log.epoch();
+                    if cursor < target {
+                        buf.clear();
+                        log.copy_range(cursor, target, &mut buf);
+                        assert_eq!(buf.len() as u64, target - cursor, "range short");
+                        for op in &buf {
+                            seen.push(op_secs(op));
+                        }
+                        cursor = target;
+                    } else if stop.load(SeqCst) && log.epoch() == cursor {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                seen
+            }));
+        }
+        for s in 0..OPS {
+            log.publish(advance_op(s));
+        }
+        stop.store(true, SeqCst);
+        for t in threads {
+            let seen = t.join().unwrap();
+            let expect: Vec<u64> = (0..OPS).collect();
+            assert_eq!(seen, expect, "adopter lost or reordered ops");
+        }
+    }
+}

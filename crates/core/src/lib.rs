@@ -68,7 +68,7 @@ pub mod vip_table;
 
 pub use config::{ConnMapping, SilkRoadConfig};
 pub use dataplane::{BloomHashes, DataPath, ForwardDecision, HashedKey, KeyHasher};
-pub use engine::{FlowSteering, MultiPipeSwitch, Pipe};
+pub use engine::{EngineOptions, FlowSteering, MultiPipeSwitch, Pipe, StreamStats};
 pub use health::{HealthChecker, HealthConfig, HealthEvent};
 pub use pool::{DipPool, PoolUpdate};
 pub use stats::SwitchStats;

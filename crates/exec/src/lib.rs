@@ -1,21 +1,34 @@
-//! Scoped parallel execution of independent jobs.
+//! Execution primitives for the experiment driver and the packet engine.
 //!
-//! [`Exec::run`] fans a job list across a scoped thread pool and returns
-//! the results **in submission order**, keyed by each job's slot index, so
-//! anything rendered from them is byte-identical to a sequential run
-//! regardless of worker count or scheduling. Two consumers share it:
+//! Two distinct consumers, two distinct shapes:
 //!
-//! * the experiment driver (`sr-bench`), where every simulation-backed
-//!   figure is a list of independent (data point, system, seed) jobs;
-//! * the multi-pipe packet engine (`silkroad::engine`), which fans
-//!   per-pipe packet batches across workers.
+//! * **Scoped batch fan-out** — [`Exec::run`] fans a job list across a
+//!   scoped thread pool and returns the results **in submission order**,
+//!   keyed by each job's slot index, so anything rendered from them is
+//!   byte-identical to a sequential run regardless of worker count or
+//!   scheduling. The experiment driver (`sr-bench`) uses it for
+//!   simulation-backed figures: lists of independent (data point,
+//!   system, seed) jobs.
+//! * **Run-to-completion plumbing** — the multi-pipe packet engine
+//!   (`silkroad::engine`) keeps long-lived per-pipe workers fed through
+//!   bounded [`ring`] SPSC rings ([`spsc`]), padded with [`CachePadded`]
+//!   and optionally pinned to cores with [`pin_current_thread`]. The
+//!   old per-batch scoped fan-out it replaced paid a thread
+//!   spawn/join per batch and could never scale wall-clock throughput.
 //!
-//! Built on `std::thread::scope` plus a `parking_lot` work queue: no
-//! executor dependency, no `'static` bounds, and a panicking job
-//! propagates out of `run` exactly like it would sequentially.
+//! Built on `std` plus the vendored `parking_lot`: no executor
+//! dependency, no `'static` bounds in `Exec::run`, and no `unsafe`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod affinity;
+pub mod pad;
+pub mod ring;
+
+pub use affinity::{available_cores, pin_current_thread};
+pub use pad::CachePadded;
+pub use ring::{spsc, Consumer, Producer, PushError};
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;

@@ -1,0 +1,389 @@
+//! Bounded SPSC ring with blocking backpressure and graceful shutdown.
+//!
+//! The run-to-completion engine (`silkroad::engine`) feeds each pipe
+//! worker through one of these rings: the steer thread is the single
+//! producer, the pipe worker the single consumer (and a second ring
+//! carries completions back). Capacity is fixed at construction, so a
+//! slow consumer exerts backpressure on [`Producer::push`] instead of
+//! growing a queue; closing either end wakes both sides so shutdown
+//! never hangs with batches in flight.
+//!
+//! The implementation is safe Rust (the crate forbids `unsafe`): each
+//! slot is a `Mutex<Option<T>>` that is uncontended by protocol — the
+//! producer only locks a slot it owns (between `tail` claim and publish)
+//! and the consumer only locks a slot the producer has published — so
+//! every lock acquisition is a fast uncontended path. The cursors and
+//! slots are [`CachePadded`] so the two ends never false-share. Blocking
+//! uses a shared parking mutex + condvar pair; predicates are re-checked
+//! under the parking lock, and notifiers acquire it before signalling,
+//! which rules out missed wakeups.
+
+use crate::pad::CachePadded;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Why a non-blocking push failed; the rejected value is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The ring is at capacity; retry after the consumer drains.
+    Full(T),
+    /// The ring is closed; the value will never be accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The value the ring refused.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(v) | PushError::Closed(v) => v,
+        }
+    }
+}
+
+struct Shared<T> {
+    /// Ring storage. Each slot's mutex is uncontended by protocol (see
+    /// module docs); `Option` carries occupancy.
+    slots: Box<[CachePadded<Mutex<Option<T>>>]>,
+    /// Next write position (monotonic; producer-owned, consumer-read).
+    tail: CachePadded<AtomicU64>,
+    /// Next read position (monotonic; consumer-owned, producer-read).
+    head: CachePadded<AtomicU64>,
+    /// Set by [`Producer::close`] or either handle's drop; never cleared.
+    closed: AtomicBool,
+    /// Parking lot for both directions of blocking.
+    park: Mutex<()>,
+    /// Signalled after a publish (wakes a blocked consumer).
+    not_empty: Condvar,
+    /// Signalled after a take (wakes a blocked producer).
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn close(&self) {
+        self.closed.store(true, SeqCst);
+        // Acquire the parking lock before signalling so a thread between
+        // its predicate check and its wait cannot miss the wakeup.
+        let _g = self.park.lock();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(SeqCst);
+        let h = self.head.load(SeqCst);
+        t.saturating_sub(h) as usize
+    }
+}
+
+/// The sending half of an SPSC ring. Not clonable; `&mut self` methods
+/// make single-producer a compile-time property.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an SPSC ring. Not clonable; `&mut self` methods
+/// make single-consumer a compile-time property.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A bounded SPSC ring of at least one slot (`capacity` is clamped).
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(1);
+    let shared = Arc::new(Shared {
+        slots: (0..cap)
+            .map(|_| CachePadded::new(Mutex::new(None)))
+            .collect(),
+        tail: CachePadded::new(AtomicU64::new(0)),
+        head: CachePadded::new(AtomicU64::new(0)),
+        closed: AtomicBool::new(false),
+        park: Mutex::new(()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    // srlint: hot-path begin
+    /// Publish one value without blocking. On `Full` or `Closed` the
+    /// value is returned inside the error.
+    pub fn try_push(&mut self, value: T) -> Result<(), PushError<T>> {
+        let sh = &*self.shared;
+        if sh.closed.load(SeqCst) {
+            return Err(PushError::Closed(value));
+        }
+        let t = sh.tail.load(SeqCst);
+        let h = sh.head.load(SeqCst);
+        let cap = sh.slots.len() as u64;
+        if t.wrapping_sub(h) >= cap {
+            return Err(PushError::Full(value));
+        }
+        let Some(slot) = sh.slots.get((t % cap) as usize) else {
+            // Unreachable: t % cap < cap == slots.len(). Fail closed.
+            return Err(PushError::Full(value));
+        };
+        *slot.lock() = Some(value);
+        sh.tail.store(t.wrapping_add(1), SeqCst);
+        let _g = sh.park.lock();
+        sh.not_empty.notify_one();
+        Ok(())
+    }
+    // srlint: hot-path end
+
+    /// Publish one value, blocking while the ring is full
+    /// (backpressure). Returns the value if the ring closed before it
+    /// could be accepted.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let mut v = value;
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Closed(x)) => return Err(x),
+                Err(PushError::Full(x)) => v = x,
+            }
+            let sh = &*self.shared;
+            let mut g = sh.park.lock();
+            let full =
+                sh.tail.load(SeqCst).wrapping_sub(sh.head.load(SeqCst)) >= sh.slots.len() as u64;
+            if !full || sh.closed.load(SeqCst) {
+                continue;
+            }
+            sh.not_full.wait(&mut g);
+        }
+    }
+
+    /// Close the ring: queued values stay poppable, new pushes fail,
+    /// blocked peers wake. Idempotent; also runs on drop.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// Whether the ring is closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(SeqCst)
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    // srlint: hot-path begin
+    /// Take one value without blocking; `None` means currently empty
+    /// (check [`Consumer::is_closed`] to distinguish shutdown).
+    pub fn try_pop(&mut self) -> Option<T> {
+        let sh = &*self.shared;
+        let h = sh.head.load(SeqCst);
+        let t = sh.tail.load(SeqCst);
+        if h == t {
+            return None;
+        }
+        let cap = sh.slots.len() as u64;
+        let v = sh.slots.get((h % cap) as usize)?.lock().take()?;
+        sh.head.store(h.wrapping_add(1), SeqCst);
+        let _g = sh.park.lock();
+        sh.not_full.notify_one();
+        Some(v)
+    }
+    // srlint: hot-path end
+
+    /// Take one value, blocking while the ring is empty. `None` means
+    /// the ring is closed *and* fully drained — the consumer's loop
+    /// condition for graceful shutdown.
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if self.shared.closed.load(SeqCst) {
+                // One more take: a push may have raced ahead of close.
+                return self.try_pop();
+            }
+            let sh = &*self.shared;
+            let mut g = sh.park.lock();
+            let empty = sh.head.load(SeqCst) == sh.tail.load(SeqCst);
+            if !empty || sh.closed.load(SeqCst) {
+                continue;
+            }
+            sh.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Close the ring from the consumer side: the producer's next push
+    /// fails instead of blocking forever. Idempotent; also runs on drop.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// Whether the ring is closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(SeqCst)
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_wraparound() {
+        let (mut tx, mut rx) = spsc::<u32>(3);
+        assert_eq!(tx.capacity(), 3);
+        for round in 0..10u32 {
+            for i in 0..3 {
+                tx.try_push(round * 3 + i).unwrap();
+            }
+            assert!(matches!(tx.try_push(99), Err(PushError::Full(99))));
+            for i in 0..3 {
+                assert_eq!(rx.try_pop(), Some(round * 3 + i));
+            }
+            assert_eq!(rx.try_pop(), None);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let (mut tx, mut rx) = spsc::<u8>(0);
+        assert_eq!(tx.capacity(), 1);
+        tx.try_push(7).unwrap();
+        assert_eq!(rx.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.close();
+        assert!(matches!(tx.try_push(3), Err(PushError::Closed(3))));
+        // Queued values survive the close; then the ring reports done.
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_producer_closes() {
+        let (tx, mut rx) = spsc::<u32>(2);
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_consumer_fails_pushes() {
+        let (mut tx, rx) = spsc::<u32>(2);
+        drop(rx);
+        assert!(matches!(tx.push(1), Err(1)));
+    }
+
+    #[test]
+    fn blocking_transfer_is_lossless_and_ordered() {
+        // Stress the park/notify paths: a tiny ring forces both ends to
+        // block repeatedly; every item must arrive exactly once, in order.
+        const N: u64 = 20_000;
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i).expect("consumer alive");
+            }
+            // tx drops here, closing the ring.
+        });
+        let mut expected = 0;
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn backpressure_never_exceeds_capacity() {
+        const N: u64 = 5_000;
+        const CAP: usize = 4;
+        let (mut tx, mut rx) = spsc::<u64>(CAP);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                assert!(tx.len() <= CAP, "ring overfilled");
+                tx.push(i).expect("consumer alive");
+            }
+        });
+        let mut seen = 0;
+        while seen < N {
+            if let Some(v) = rx.pop() {
+                assert!(rx.len() <= CAP, "ring overfilled");
+                assert_eq!(v, seen);
+                seen += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn consumer_close_unblocks_a_full_producer() {
+        let (mut tx, rx) = spsc::<u64>(1);
+        tx.try_push(0).unwrap();
+        let producer = std::thread::spawn(move || {
+            // Blocks on the full ring until the consumer closes it.
+            tx.push(1)
+        });
+        rx.close();
+        assert!(matches!(producer.join().unwrap(), Err(1)));
+    }
+
+    #[test]
+    fn producer_close_unblocks_an_empty_consumer() {
+        let (tx, mut rx) = spsc::<u64>(1);
+        let consumer = std::thread::spawn(move || rx.pop());
+        tx.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        drop(tx);
+    }
+}

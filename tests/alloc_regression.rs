@@ -142,9 +142,10 @@ fn conn_table_hit_path_is_allocation_free() {
 fn multi_pipe_steady_state_is_allocation_free() {
     // The sharded path adds steering plus per-pipe scatter/gather on top
     // of each pipe's batch pipeline; all of it must stay off the heap in
-    // steady state. The inline (sequential-Exec) fan-out runs on this
+    // steady state. The inline backend runs the whole hot loop on this
     // thread, which is the path the thread-local counter can observe —
-    // and the one whose per-packet work matches the threaded fan-out.
+    // and it shares the steer/scatter/fold code with the per-pipe
+    // workers, so what it measures is the worker hot loop's behaviour.
     const N: u32 = 4096;
     const PIPES: usize = 4;
     let vip_addr = Addr::v4(20, 0, 0, 1, 80);
@@ -152,7 +153,7 @@ fn multi_pipe_steady_state_is_allocation_free() {
         conn_capacity: (N as usize) * 2,
         ..Default::default()
     };
-    let mut sw = MultiPipeSwitch::with_exec(cfg, PIPES, sr_exec::Exec::sequential());
+    let mut sw = MultiPipeSwitch::inline(cfg, PIPES);
     sw.add_vip(Vip(vip_addr), v4_dips()).unwrap();
     let tuples: Vec<FiveTuple> = (0..N)
         .map(|i| FiveTuple::tcp(Addr::v4_indexed(100, i, 1024), vip_addr))
@@ -205,7 +206,7 @@ fn wire_steady_state(vip_addr: Addr, dips: Vec<Dip>, pipes: usize, mode: sr_type
         conn_capacity: (N as usize) * 2,
         ..Default::default()
     };
-    let mut sw = MultiPipeSwitch::with_exec(cfg, pipes, sr_exec::Exec::sequential());
+    let mut sw = MultiPipeSwitch::inline(cfg, pipes);
     sw.add_vip(Vip(vip_addr), dips).unwrap();
     let client = |i: u32| match vip_addr.ip {
         std::net::IpAddr::V4(_) => Addr::v4_indexed(100, i, 1024),

@@ -14,7 +14,6 @@ use silkroad::{
     DataPath, ForwardDecision, MultiPipeSwitch, PoolUpdate, SilkRoadConfig, SilkRoadSwitch,
     UpdatePhase,
 };
-use sr_exec::Exec;
 use sr_types::{Addr, Dip, FiveTuple, Nanos, PacketMeta, Vip};
 
 const PIPES: usize = 4;
@@ -62,7 +61,7 @@ fn lockstep(
 
 #[test]
 fn multi_pipe_decisions_match_single_pipe_across_update() {
-    let mut multi = MultiPipeSwitch::with_exec(cfg(), PIPES, Exec::sequential());
+    let mut multi = MultiPipeSwitch::inline(cfg(), PIPES);
     let mut single = SilkRoadSwitch::new(cfg());
     multi.add_vip(vip(), dips()).unwrap();
     single.add_vip(vip(), dips()).unwrap();
@@ -165,7 +164,7 @@ fn multi_pipe_decisions_match_single_pipe_across_update() {
 
 #[test]
 fn multi_pipe_close_and_expiry_stay_in_lockstep() {
-    let mut multi = MultiPipeSwitch::with_exec(cfg(), PIPES, Exec::sequential());
+    let mut multi = MultiPipeSwitch::inline(cfg(), PIPES);
     let mut single = SilkRoadSwitch::new(cfg());
     multi.add_vip(vip(), dips()).unwrap();
     single.add_vip(vip(), dips()).unwrap();
@@ -199,4 +198,94 @@ fn multi_pipe_close_and_expiry_stay_in_lockstep() {
     assert_eq!(first.0 + second.0, 128, "all idle flows expired");
     assert_eq!(multi.conn_count(), 0);
     assert_eq!(single.conn_count(), 0);
+}
+
+/// Regression (engine v2): idle-expiry ticks landing *between* batches
+/// must not diverge decisions across pipe counts or backends. Expiry is
+/// a published control op adopted at batch boundaries, so a flow whose
+/// entry expired must take the same re-install path (and re-select the
+/// same DIP) no matter how many pipes — or worker threads — the chip
+/// runs. The monolithic switch is the oracle.
+#[test]
+fn expiry_between_batches_cannot_diverge_decisions_across_pipe_counts() {
+    const N: u32 = 192;
+
+    /// One step of the interleaved traffic/expiry scenario.
+    enum Cmd<'a> {
+        Batch(&'a [PacketMeta], Nanos),
+        Advance(Nanos),
+        Expire(Nanos),
+    }
+
+    let syns: Vec<PacketMeta> = (0..N).map(|i| PacketMeta::syn(conn(i))).collect();
+    let data: Vec<PacketMeta> = (0..N).map(|i| PacketMeta::data(conn(i), 800)).collect();
+    let keepalive: Vec<PacketMeta> = (0..N / 2).map(|i| PacketMeta::data(conn(i), 80)).collect();
+    // Establish, keep the first half warm across two aging scans (so the
+    // scans expire exactly the idle second half, *between* data batches),
+    // then send full-population data: expired flows re-learn, warm flows
+    // hit ConnTable.
+    let script = [
+        Cmd::Batch(&syns, Nanos::ZERO),
+        Cmd::Advance(Nanos::from_secs(1)),
+        Cmd::Batch(&keepalive, Nanos::from_secs(200)),
+        Cmd::Expire(Nanos::from_secs(300)),
+        Cmd::Batch(&keepalive, Nanos::from_secs(400)),
+        Cmd::Expire(Nanos::from_secs(600)),
+        Cmd::Batch(&data, Nanos::from_secs(601)),
+        Cmd::Advance(Nanos::from_secs(602)),
+        Cmd::Batch(&data, Nanos::from_secs(603)),
+    ];
+
+    fn run(
+        script: &[Cmd<'_>],
+        mut step: impl FnMut(&Cmd<'_>) -> (Vec<ForwardDecision>, usize),
+    ) -> (Vec<ForwardDecision>, usize) {
+        let mut decisions = Vec::new();
+        let mut expired = 0;
+        for cmd in script {
+            let (d, e) = step(cmd);
+            decisions.extend(d);
+            expired += e;
+        }
+        (decisions, expired)
+    }
+
+    let mut single = SilkRoadSwitch::new(cfg());
+    single.add_vip(vip(), dips()).unwrap();
+    let (oracle, oracle_expired) = run(&script, |cmd| match cmd {
+        Cmd::Batch(p, t) => (single.process_batch(p, *t), 0),
+        Cmd::Advance(t) => {
+            single.advance(*t);
+            (Vec::new(), 0)
+        }
+        Cmd::Expire(t) => (Vec::new(), single.expire_idle(*t)),
+    });
+    assert!(oracle_expired > 0, "scenario must actually expire flows");
+
+    for pipes in [1usize, 2, 4] {
+        for threaded in [false, true] {
+            let mut multi = if threaded {
+                MultiPipeSwitch::new(cfg(), pipes)
+            } else {
+                MultiPipeSwitch::inline(cfg(), pipes)
+            };
+            multi.add_vip(vip(), dips()).unwrap();
+            let (got, got_expired) = run(&script, |cmd| match cmd {
+                Cmd::Batch(p, t) => (multi.process_batch(p, *t), 0),
+                Cmd::Advance(t) => {
+                    multi.advance(*t);
+                    (Vec::new(), 0)
+                }
+                Cmd::Expire(t) => (Vec::new(), multi.expire_idle(*t)),
+            });
+            assert_eq!(
+                got_expired, oracle_expired,
+                "expiry count diverged (pipes={pipes} threaded={threaded})"
+            );
+            assert_eq!(
+                got, oracle,
+                "decisions diverged (pipes={pipes} threaded={threaded})"
+            );
+        }
+    }
 }

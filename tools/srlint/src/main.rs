@@ -23,9 +23,12 @@
 //! Hot-path scope is the two whole-file modules `crates/core/src/dataplane.rs`
 //! and `crates/hash/src/bloom.rs`, plus any region bracketed by
 //! `// srlint: hot-path begin` / `// srlint: hot-path end` markers
-//! (the `SilkRoadSwitch` batch path, the cuckoo probe functions, and the
-//! `MultiPipeSwitch` steering/fan-out path in `crates/core/src/engine.rs`).
-//! Code from `#[cfg(test)]` onward is exempt.
+//! (the `SilkRoadSwitch` batch path, the cuckoo probe functions, the
+//! `MultiPipeSwitch` steering/dispatch path in
+//! `crates/core/src/engine/mod.rs`, and the run-to-completion worker
+//! loop — steer, fold, batch apply — in
+//! `crates/core/src/engine/worker.rs`). Code from `#[cfg(test)]` onward
+//! is exempt.
 //!
 //! Intentional exceptions live in `tools/srlint/allow.list`, keyed by
 //! `path<TAB>rule<TAB>trimmed-line-content` — content-keyed, so an entry

@@ -42,6 +42,16 @@ SCALE_TMP="$(mktemp -d)"
 ( cd "$SCALE_TMP" && "$OLDPWD/target/release/repro" scale --smoke > /dev/null )
 rm -rf "$SCALE_TMP"
 
+# Wall smoke: the run-to-completion engine streams real traffic through
+# resident per-pipe workers. Hard gate: decision digests bit-identical
+# across pipe counts at full speed. The wall-clock scaling gate inside
+# applies only on >=4-core hosts (the binary skips it otherwise and says
+# so).
+echo "== repro wall --smoke (run-to-completion engine, measured)"
+WALL_TMP="$(mktemp -d)"
+( cd "$WALL_TMP" && "$OLDPWD/target/release/repro" wall --smoke > /dev/null )
+rm -rf "$WALL_TMP"
+
 # Replay smoke: regenerate the smoke capture from the deterministic
 # exporter, require it byte-identical to the committed golden, replay it,
 # and require the decision digest to match the pinned value. Catches any
