@@ -118,10 +118,10 @@ fn main() {
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
             println!(
-                "targets: all {} check scale wall export replay",
+                "targets: all {} check scale wall fleet export replay",
                 all.join(" ")
             );
-            println!("scale/wall options: --smoke (small trace, CI-sized)");
+            println!("scale/wall/fleet options: --smoke (small trace, CI-sized)");
             println!("export usage: repro export <file.pcap> [--smoke]");
             println!("replay usage: repro replay <file.pcap> [--pipes N] [--smoke] [--encap]");
         }
@@ -135,6 +135,7 @@ fn main() {
         "check" => run_check(),
         "scale" => run_scale(args.iter().any(|a| a == "--smoke")),
         "wall" => run_wall(args.iter().any(|a| a == "--smoke")),
+        "fleet" => run_fleet(args.iter().any(|a| a == "--smoke")),
         "export" => run_export(
             cmds.get(1).copied().unwrap_or_else(|| {
                 eprintln!("export needs a destination: repro export <file.pcap> [--smoke]");
@@ -326,6 +327,97 @@ fn run_wall(smoke: bool) {
     if speedup < 2.5 {
         eprintln!("repro wall: 4-pipe wall speedup {speedup:.2}x below the 2.5x target");
         std::process::exit(1);
+    }
+}
+
+/// `repro fleet [--smoke]` — the fleet-scale steady-state bench. Holds a
+/// live population across the ~100-cluster fleet under continuous DIP
+/// churn plus a mid-run update storm, and writes `BENCH_fleet.json`.
+///
+/// Gates: PCC violations must be 0 and per-connection state must stay
+/// within 64 bytes at every scale. The full run additionally requires at
+/// least 100 clusters and a held median of at least 2 M live
+/// connections — the paper-scale claim the committed JSON records.
+fn run_fleet(smoke: bool) {
+    use sr_bench::fleet;
+    let b = fleet::run(smoke);
+    let r = &b.report;
+    let mut t = Table::new(
+        format!(
+            "Fleet — {} clusters, {} epochs of {} ms, storm x{} ({})",
+            r.clusters,
+            r.epochs,
+            b.params.epoch_ms,
+            b.params.storm_factor,
+            if smoke { "smoke" } else { "full" }
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec![
+        "held (median/peak/final)".into(),
+        format!(
+            "{:.2}M / {:.2}M / {:.2}M",
+            r.held_median as f64 / 1e6,
+            r.held_peak as f64 / 1e6,
+            r.held_final as f64 / 1e6
+        ),
+    ]);
+    t.row(vec![
+        "opens".into(),
+        format!("{} ({:.0}/s)", r.opens, r.opens_per_sec),
+    ]);
+    t.row(vec!["closes".into(), r.closes.to_string()]);
+    t.row(vec!["PCC violations".into(), r.pcc_violations.to_string()]);
+    t.row(vec![
+        "updates applied/skipped".into(),
+        format!("{} / {}", r.updates_applied, r.updates_skipped),
+    ]);
+    t.row(vec![
+        "bytes/conn".into(),
+        format!("{:.1} ({} total)", r.bytes_per_conn, mb(r.state_bytes)),
+    ]);
+    t.row(vec!["control bytes".into(), mb(r.control_bytes)]);
+    t.row(vec![
+        "SRAM fit (measured)".into(),
+        format!(
+            "{}/{} clusters within {:.0} MB (max {:.1} MB)",
+            b.fit.fitting, b.fit.clusters, b.fit.budget_mb, b.fit.max_mb
+        ),
+    ]);
+    t.row(vec!["digest".into(), format!("{:016x}", r.digest)]);
+    println!("{}", t.render());
+    let json = b.to_json();
+    let path = "BENCH_fleet.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if r.pcc_violations > 0 {
+        eprintln!("repro fleet: {} PCC violations", r.pcc_violations);
+        std::process::exit(1);
+    }
+    if r.bytes_per_conn > 64.0 {
+        eprintln!(
+            "repro fleet: {:.1} bytes/conn exceeds the 64 B budget",
+            r.bytes_per_conn
+        );
+        std::process::exit(1);
+    }
+    if !smoke {
+        if r.clusters < 100 {
+            eprintln!("repro fleet: {} clusters, need >= 100", r.clusters);
+            std::process::exit(1);
+        }
+        if r.held_median < 2_000_000 {
+            eprintln!(
+                "repro fleet: held median {} below the 2M-connection target",
+                r.held_median
+            );
+            std::process::exit(1);
+        }
     }
 }
 

@@ -1,0 +1,216 @@
+//! `repro fleet` — fleet-scale steady-state bench (`BENCH_fleet.json`).
+//!
+//! Drives `sr-sim`'s fleet engine over the paper's ~100-cluster fleet:
+//! prewarm a live population to the target occupancy, stream arrivals and
+//! DIP-pool churn (with a mid-run update storm) for the simulated
+//! duration, and verify per-connection consistency on every close. The
+//! committed full profile holds 2.6 M live connections across 100
+//! clusters; the smoke profile is the same machinery CI-sized.
+//!
+//! The report folds in the measured-occupancy SRAM fit
+//! ([`sr_netwide::sram_fit`]): the engine's per-cluster peak occupancy is
+//! scaled back to paper load and pushed through the `silkroad::memory`
+//! model against the 100 MB per-switch budget — the deployment claim of
+//! Fig 12, re-derived from held state instead of the synthesis formula.
+//!
+//! Gate logic lives in the `repro` binary; this module only measures.
+
+use crate::rss::{peak_rss_bytes, rss_json};
+use sr_netwide::{sram_fit, SramFitReport};
+use sr_sim::{run_fleet, FleetParams, FleetReport};
+use sr_workload::{synthesize_fleet, FleetConfig};
+
+/// Per-switch SRAM budget the fit check uses (Fig 12's "modern ASIC").
+pub const SRAM_BUDGET_MB: f64 = 100.0;
+
+/// The fleet the bench simulates: 100 clusters (the default synthesis
+/// mix is 96; the acceptance gate wants a round "about a hundred").
+fn bench_fleet() -> FleetConfig {
+    FleetConfig {
+        pops: 30,
+        frontends: 24,
+        backends: 46,
+        seed: 0xf1ee7,
+    }
+}
+
+/// Engine parameters for the full or smoke profile.
+pub fn fleet_params(smoke: bool) -> FleetParams {
+    if smoke {
+        FleetParams {
+            fleet: bench_fleet(),
+            seed: 0x0051_1c0a,
+            target_conns: 150_000,
+            sim_secs: 10,
+            epoch_ms: 250,
+            storm_factor: 10.0,
+            workers: sr_exec::available_cores(),
+        }
+    } else {
+        FleetParams {
+            fleet: bench_fleet(),
+            seed: 0x0051_1c0a,
+            target_conns: 2_600_000,
+            sim_secs: 60,
+            epoch_ms: 100,
+            storm_factor: 10.0,
+            workers: sr_exec::available_cores(),
+        }
+    }
+}
+
+/// One fleet-bench run: the engine report plus host metadata and the
+/// measured-occupancy SRAM fit.
+#[derive(Clone, Debug)]
+pub struct FleetBench {
+    /// Whether this was the CI-sized smoke profile.
+    pub smoke: bool,
+    /// Parameters the engine ran with.
+    pub params: FleetParams,
+    /// What the engine measured.
+    pub report: FleetReport,
+    /// Measured-occupancy SRAM fit at [`SRAM_BUDGET_MB`].
+    pub fit: SramFitReport,
+    /// Cores on the host that ran the bench.
+    pub host_cores: usize,
+    /// Peak resident set of the process (`null` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Wall-clock of the engine run, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Run the bench with explicit parameters (tests use tiny fleets).
+#[allow(clippy::disallowed_methods)] // wall-clock is bench metadata
+pub fn run_with(params: FleetParams, smoke: bool) -> FleetBench {
+    let t0 = std::time::Instant::now();
+    let report = run_fleet(&params);
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let specs = synthesize_fleet(params.fleet);
+    let fit = sram_fit(&specs, &report.per_cluster_peak, SRAM_BUDGET_MB);
+    FleetBench {
+        smoke,
+        params,
+        report,
+        fit,
+        host_cores: sr_exec::available_cores(),
+        peak_rss_bytes: peak_rss_bytes(),
+        elapsed_ns,
+    }
+}
+
+/// Run the committed full or smoke profile.
+pub fn run(smoke: bool) -> FleetBench {
+    run_with(fleet_params(smoke), smoke)
+}
+
+impl FleetBench {
+    /// Render as the committed `BENCH_fleet.json` document.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"fleet\",\n");
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            rss_json(self.peak_rss_bytes)
+        ));
+        s.push_str(&format!(
+            "  \"target_conns\": {},\n",
+            self.params.target_conns
+        ));
+        s.push_str(&format!("  \"sim_secs\": {},\n", self.params.sim_secs));
+        s.push_str(&format!("  \"epoch_ms\": {},\n", self.params.epoch_ms));
+        s.push_str(&format!(
+            "  \"storm_factor\": {},\n",
+            self.params.storm_factor
+        ));
+        s.push_str(&format!("  \"clusters\": {},\n", r.clusters));
+        s.push_str(&format!("  \"workers\": {},\n", r.workers));
+        s.push_str(&format!("  \"epochs\": {},\n", r.epochs));
+        s.push_str(&format!("  \"held_median\": {},\n", r.held_median));
+        s.push_str(&format!("  \"held_peak\": {},\n", r.held_peak));
+        s.push_str(&format!("  \"held_final\": {},\n", r.held_final));
+        s.push_str(&format!("  \"opens\": {},\n", r.opens));
+        s.push_str(&format!("  \"closes\": {},\n", r.closes));
+        s.push_str(&format!("  \"opens_per_sec\": {:.0},\n", r.opens_per_sec));
+        s.push_str(&format!("  \"pcc_violations\": {},\n", r.pcc_violations));
+        s.push_str(&format!("  \"updates_applied\": {},\n", r.updates_applied));
+        s.push_str(&format!("  \"updates_skipped\": {},\n", r.updates_skipped));
+        s.push_str(&format!("  \"state_bytes\": {},\n", r.state_bytes));
+        s.push_str(&format!("  \"bytes_per_conn\": {:.2},\n", r.bytes_per_conn));
+        s.push_str(&format!("  \"control_bytes\": {},\n", r.control_bytes));
+        s.push_str(&format!("  \"digest\": \"{:016x}\",\n", r.digest));
+        s.push_str(&format!("  \"elapsed_ns\": {},\n", self.elapsed_ns));
+        s.push_str(
+            "  \"note\": \"bytes_per_conn = (flow stores + timer wheels) / held_peak; \
+             sram_fit scales measured per-cluster peaks to paper occupancy\",\n",
+        );
+        s.push_str(&format!(
+            "  \"sram_fit\": {{\"budget_mb\": {:.0}, \"clusters\": {}, \"fitting\": {}, \
+             \"median_mb\": {:.1}, \"max_mb\": {:.1}, \"scale\": {:.1}}}\n",
+            self.fit.budget_mb,
+            self.fit.clusters,
+            self.fit.fitting,
+            self.fit.median_mb,
+            self.fit.max_mb,
+            self.fit.scale
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fleet_bench_reports_sane_json() {
+        let params = FleetParams {
+            fleet: FleetConfig {
+                pops: 2,
+                frontends: 1,
+                backends: 2,
+                seed: 0xf1ee7,
+            },
+            seed: 42,
+            target_conns: 10_000,
+            sim_secs: 4,
+            epoch_ms: 250,
+            storm_factor: 10.0,
+            workers: 1,
+        };
+        let b = run_with(params, true);
+        assert_eq!(b.report.pcc_violations, 0);
+        assert_eq!(b.fit.clusters, 5);
+        assert!(b.report.bytes_per_conn <= 64.0);
+        let json = b.to_json();
+        for key in [
+            "\"bench\": \"fleet\"",
+            "\"smoke\": true",
+            "\"host_cores\"",
+            "\"peak_rss_bytes\"",
+            "\"pcc_violations\": 0",
+            "\"sram_fit\"",
+            "\"digest\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn committed_profiles_are_paper_shaped() {
+        // The full profile must satisfy the acceptance gate's shape
+        // (without running it here): 100 clusters, >= 2 M target.
+        let full = fleet_params(false);
+        let specs = synthesize_fleet(full.fleet);
+        assert_eq!(specs.len(), 100);
+        assert!(full.target_conns >= 2_000_000);
+        let smoke = fleet_params(true);
+        assert_eq!(synthesize_fleet(smoke.fleet).len(), 100);
+        assert!(smoke.target_conns < full.target_conns);
+        assert!(smoke.sim_secs < full.sim_secs);
+    }
+}

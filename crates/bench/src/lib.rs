@@ -18,8 +18,10 @@ pub mod fig_memory;
 pub mod fig_meta;
 pub mod fig_pcc;
 pub mod fig_version;
+pub mod fleet;
 pub mod replay;
 pub mod report;
+pub mod rss;
 pub mod saturation;
 pub mod scale;
 pub mod tables;

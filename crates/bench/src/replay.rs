@@ -81,6 +81,10 @@ pub struct ReplayReport {
     pub vip_table_misses: u64,
     /// SYNs redirected to software during the verification pass.
     pub syn_redirects: u64,
+    /// Cores on the host that ran the replay.
+    pub host_cores: usize,
+    /// Peak resident set of the process (`None` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl ReplayReport {
@@ -129,6 +133,11 @@ impl ReplayReport {
             self.vip_table_misses
         ));
         s.push_str(&format!("  \"syn_redirects\": {},\n", self.syn_redirects));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            crate::rss::rss_json(self.peak_rss_bytes)
+        ));
         s.push_str(&format!("  \"ok\": {}\n", self.ok()));
         s.push_str("}\n");
         s
@@ -396,6 +405,8 @@ pub fn replay(bytes: &[u8], pipes: usize, mode: RewriteMode) -> Result<ReplayRep
         conn_table_hits: stats.conn_table_hits,
         vip_table_misses: stats.vip_table_misses,
         syn_redirects: stats.syn_repairs + stats.transit_syn_redirects,
+        host_cores: sr_exec::available_cores(),
+        peak_rss_bytes: crate::rss::peak_rss_bytes(),
     })
 }
 
@@ -495,6 +506,8 @@ mod tests {
             "\"decision_digest\"",
             "\"rewrite_digest\"",
             "\"pcc_violations\": 0",
+            "\"host_cores\"",
+            "\"peak_rss_bytes\"",
             "\"ok\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -1,0 +1,54 @@
+//! Peak resident-set sampling for the `BENCH_*.json` writers.
+//!
+//! Every committed benchmark document stamps the host it ran on
+//! (`host_cores`) and the process's peak resident set
+//! (`peak_rss_bytes`), so a reader comparing two JSON files can tell a
+//! small-host run from a paper-scale one without trusting the filename.
+//!
+//! The measurement is Linux's `VmHWM` ("high-water mark") from
+//! `/proc/self/status` — the kernel's own peak-RSS counter, covering the
+//! whole process since start. There is no portable equivalent, so on
+//! other platforms the value is `None` and the JSON records `null`
+//! rather than a fabricated number.
+
+/// The process's peak resident set in bytes (`VmHWM`), or `None` where
+/// `/proc/self/status` does not exist or cannot be parsed.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Render an optional byte count as a JSON value (`null` when absent).
+pub fn rss_json(v: Option<u64>) -> String {
+    match v {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_positive_peak() {
+        // Touch a few megabytes so the high-water mark is unambiguous.
+        let buf = vec![1u8; 4 << 20];
+        assert!(buf.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let rss = peak_rss_bytes().expect("VmHWM exists on Linux");
+        assert!(rss > 4 << 20, "peak rss {rss} implausibly small");
+    }
+
+    #[test]
+    fn json_renders_null_and_numbers() {
+        assert_eq!(rss_json(None), "null");
+        assert_eq!(rss_json(Some(1024)), "1024");
+    }
+}

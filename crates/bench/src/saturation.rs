@@ -63,6 +63,10 @@ pub struct ScaleSweep {
     pub batch: usize,
     /// Whether every pipe count produced identical per-flow decisions.
     pub decisions_match: bool,
+    /// Cores on the host that ran the sweep.
+    pub host_cores: usize,
+    /// Peak resident set of the process (`None` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
     /// One point per swept pipe count.
     pub points: Vec<ScalePoint>,
 }
@@ -97,6 +101,11 @@ impl ScaleSweep {
         s.push_str(&format!(
             "  \"decisions_match\": {},\n",
             self.decisions_match
+        ));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            crate::rss::rss_json(self.peak_rss_bytes)
         ));
         s.push_str(
             "  \"note\": \"pps models N independent hardware pipes: packets / (steer + max \
@@ -268,6 +277,8 @@ pub fn sweep(flows: u32, passes: u32, batch: usize, pipe_counts: &[usize]) -> Sc
         passes,
         batch,
         decisions_match,
+        host_cores: sr_exec::available_cores(),
+        peak_rss_bytes: crate::rss::peak_rss_bytes(),
         points,
     }
 }
@@ -295,5 +306,8 @@ mod tests {
         assert!(json.contains("\"modeled_speedup\""));
         assert!(json.contains("\"wall_speedup\""));
         assert!(!json.contains("speedup_vs_1"));
+        // Host metadata rides on every committed bench document.
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
     }
 }

@@ -53,6 +53,8 @@ pub struct WallSweep {
     /// Whether worker pinning was requested (it is, always) and the
     /// pinning probe succeeded on this host.
     pub pinned: bool,
+    /// Peak resident set of the process (`None` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
     /// Whether every pipe count produced the identical decision digest.
     pub digests_match: bool,
     /// One point per swept pipe count.
@@ -77,6 +79,10 @@ impl WallSweep {
         s.push_str(&format!("  \"batch\": {},\n", self.batch));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         s.push_str(&format!("  \"pinned\": {},\n", self.pinned));
+        s.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            crate::rss::rss_json(self.peak_rss_bytes)
+        ));
         s.push_str(&format!("  \"digests_match\": {},\n", self.digests_match));
         s.push_str(
             "  \"note\": \"measured wall-clock rate of the run-to-completion engine: resident \
@@ -216,6 +222,7 @@ pub fn sweep(flows: u32, passes: u32, batch: usize, pipe_counts: &[usize]) -> Wa
         batch,
         host_cores: sr_exec::available_cores(),
         pinned: pin_probe(),
+        peak_rss_bytes: crate::rss::peak_rss_bytes(),
         digests_match,
         points,
     }
@@ -241,6 +248,7 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"bench\": \"wall\""));
         assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
         assert!(json.contains("\"wall_speedup\""));
         assert!(json.contains("\"digests_match\": true"));
     }

@@ -69,6 +69,8 @@ fn unknown_flags_are_rejected_not_ignored() {
         &["table1", "--job", "4"][..],
         &["scale", "--smok"][..],
         &["wall", "--pin"][..],
+        &["fleet", "--smok"][..],
+        &["fleet", "--workers", "4"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -92,7 +94,7 @@ fn help_lists_the_verification_targets() {
     let out = repro(&["help"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    for target in ["check", "scale", "wall", "export", "replay"] {
+    for target in ["check", "scale", "wall", "fleet", "export", "replay"] {
         assert!(stdout.contains(target), "help omits '{target}'");
     }
 }

@@ -14,7 +14,10 @@
 //!   count);
 //! * [`failover`] — the §7 switch-failure analysis: connections on the
 //!   newest pool version survive re-ECMP to surviving switches, old-version
-//!   connections are the PCC casualties.
+//!   connections are the PCC casualties;
+//! * [`plan`] — the measured-occupancy SRAM-fit check: per-cluster peak
+//!   occupancy observed by the fleet engine, scaled back to paper load,
+//!   against a per-switch SRAM budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +25,11 @@
 pub mod assign;
 pub mod fabric;
 pub mod failover;
+pub mod plan;
 pub mod topo;
 
 pub use assign::{assign_vips, Assignment, VipDemand};
 pub use fabric::SilkRoadFabric;
 pub use failover::{switch_failure_impact, FailoverReport};
+pub use plan::{sram_fit, SramFitReport};
 pub use topo::{Layer, Switch, Topology};

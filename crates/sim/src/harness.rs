@@ -11,7 +11,7 @@ use sr_workload::trace::{dip_addr, vip_addr};
 use sr_workload::updates::DipOp;
 use sr_workload::{ConnSpec, TraceConfig, TraceEvent, TraceIter};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Harness tuning.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +65,7 @@ impl PartialOrd for QueuedEvent {
     }
 }
 
+#[derive(Clone, Copy)]
 struct ConnState {
     spec: ConnSpec,
     assigned: Option<Dip>,
@@ -75,6 +76,71 @@ struct ConnState {
     /// not a PCC violation (the paper's accounting — a broken connection is
     /// one moved *between live DIPs*).
     doomed: bool,
+}
+
+/// Pool membership as a word bitset — replaces the old per-VIP
+/// `HashSet<u32>`: membership checks on the open path touch one cache
+/// line instead of hashing, and a pool of 128 DIPs costs 16 bytes.
+#[derive(Clone, Debug, Default)]
+struct DipSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl DipSet {
+    /// The full pool `{0, .., n-1}`.
+    fn full(n: u32) -> DipSet {
+        let mut s = DipSet {
+            words: vec![0; (n as usize).div_ceil(64)],
+            count: 0,
+        };
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.words
+            .get((i / 64) as usize)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Insert; `true` if newly present (HashSet::insert semantics).
+    fn insert(&mut self, i: u32) -> bool {
+        let w = (i / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let bit = 1u64 << (i % 64);
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.count += 1;
+        true
+    }
+
+    /// Remove; `true` if it was present (HashSet::remove semantics).
+    fn remove(&mut self, i: u32) -> bool {
+        let Some(word) = self.words.get_mut((i / 64) as usize) else {
+            return false;
+        };
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        self.count -= 1;
+        true
+    }
+
+    fn len(&self) -> u32 {
+        self.count
+    }
 }
 
 /// The harness. Owns the run state; borrow the balancer for the run.
@@ -97,16 +163,22 @@ pub struct Harness {
     trace_cfg: TraceConfig,
     heap: BinaryHeap<Reverse<QueuedEvent>>,
     event_seq: u64,
-    conns: HashMap<u64, ConnState>,
+    /// Connection states, slot-addressed with free-list reuse: the hot
+    /// per-packet state stays in one contiguous, recycled arena instead
+    /// of a `HashMap<u64, ConnState>` of scattered buckets.
+    slab: Vec<ConnState>,
+    slab_free: Vec<u32>,
+    /// Trace seq -> live slab slot (events address connections by seq).
+    conn_index: HashMap<u64, u32>,
     /// Live connections per VIP index (lazily compacted).
-    per_vip: HashMap<u32, Vec<u64>>,
+    per_vip: Vec<Vec<u64>>,
     /// VIP address -> index (for balancer-reported remaps).
     vip_index: HashMap<Vip, u32>,
     /// DIP address -> index within its VIP (doomed-connection checks).
     dip_index: HashMap<Dip, u32>,
     /// Current pool membership per VIP (no-op update filtering and
     /// doomed-connection checks).
-    membership: Vec<HashSet<u32>>,
+    membership: Vec<DipSet>,
     next_wakeup_scheduled: Option<Nanos>,
     metrics: RunMetrics,
 }
@@ -119,8 +191,10 @@ impl Harness {
             trace_cfg,
             heap: BinaryHeap::new(),
             event_seq: 0,
-            conns: HashMap::new(),
-            per_vip: HashMap::new(),
+            slab: Vec::new(),
+            slab_free: Vec::new(),
+            conn_index: HashMap::new(),
+            per_vip: vec![Vec::new(); trace_cfg.vips as usize],
             vip_index: HashMap::new(),
             dip_index: HashMap::new(),
             membership: Vec::new(),
@@ -138,6 +212,30 @@ impl Harness {
         }));
     }
 
+    /// Park `state` in a recycled slab slot, indexed by trace seq.
+    fn conn_insert(&mut self, seq: u64, state: ConnState) {
+        let slot = match self.slab_free.pop() {
+            Some(s) => {
+                if let Some(cell) = self.slab.get_mut(s as usize) {
+                    *cell = state;
+                }
+                s
+            }
+            None => {
+                self.slab.push(state);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.conn_index.insert(seq, slot);
+    }
+
+    /// Remove a live connection, recycling its slot.
+    fn conn_remove(&mut self, seq: u64) -> Option<ConnState> {
+        let slot = self.conn_index.remove(&seq)?;
+        self.slab_free.push(slot);
+        self.slab.get(slot as usize).copied()
+    }
+
     /// Run the trace to completion and return the metrics.
     pub fn run(mut self, lb: &mut dyn LoadBalancer) -> RunMetrics {
         // Register every VIP with its full initial pool.
@@ -153,7 +251,7 @@ impl Harness {
             lb.add_vip(vip, dips);
             self.vip_index.insert(vip, v);
             self.membership
-                .push((0..self.trace_cfg.dips_per_vip).collect());
+                .push(DipSet::full(self.trace_cfg.dips_per_vip));
         }
         self.metrics.sim_secs = self.trace_cfg.duration.as_secs_f64();
 
@@ -181,7 +279,7 @@ impl Harness {
                     // Once the trace is drained and every connection is
                     // closed, stop feeding balancer wakeups — otherwise a
                     // periodic policy (Duet) keeps the run alive forever.
-                    if more_coming || !self.conns.is_empty() {
+                    if more_coming || !self.conn_index.is_empty() {
                         self.schedule_lb_wakeup(at, lb);
                     }
                 }
@@ -208,7 +306,7 @@ impl Harness {
             Ev::Tick => {
                 let remapped = lb.tick(now);
                 self.probe_remapped(remapped, now);
-                if trace_active || !self.conns.is_empty() {
+                if trace_active || !self.conn_index.is_empty() {
                     self.push(now + self.cfg.periodic_tick, Ev::Tick);
                 }
             }
@@ -238,7 +336,13 @@ impl Harness {
             dropped: false,
             doomed: false,
         };
-        self.observe(&mut state, verdict);
+        observe(
+            &mut self.metrics,
+            &self.dip_index,
+            &self.membership,
+            &mut state,
+            verdict,
+        );
         let seq = c.seq.0;
         self.push(c.closes(), Ev::Close(seq));
         if self.cfg.early_probes > 0 {
@@ -247,65 +351,49 @@ impl Harness {
                 self.push(first, Ev::Probe(seq, self.cfg.early_probes - 1));
             }
         }
-        self.per_vip.entry(c.vip.0).or_default().push(seq);
-        self.conns.insert(seq, state);
-    }
-
-    fn observe(&mut self, state: &mut ConnState, verdict: PacketVerdict) {
-        self.metrics.probes += 1;
-        self.metrics.latency.record(verdict.latency);
-        match verdict.dip {
-            None => {
-                if !state.dropped {
-                    state.dropped = true;
-                    self.metrics.drops += 1;
-                }
-            }
-            Some(d) => match state.assigned {
-                None => {
-                    state.assigned = Some(d);
-                    // Assigned to a DIP whose removal was already
-                    // requested (the balancer may still be draining the
-                    // update): the connection dies with that server — an
-                    // administrative death, not a PCC violation.
-                    let vip_idx = state.spec.vip.0 as usize;
-                    if let Some(idx) = self.dip_index.get(&d) {
-                        if !self.membership[vip_idx].contains(idx) {
-                            state.doomed = true;
-                        }
-                    }
-                }
-                Some(a) => {
-                    if a != d && !state.violated && !state.doomed {
-                        state.violated = true;
-                        self.metrics.pcc_violations += 1;
-                    }
-                }
-            },
+        if let Some(list) = self.per_vip.get_mut(c.vip.0 as usize) {
+            list.push(seq);
         }
+        self.conn_insert(seq, state);
     }
 
     fn on_probe(&mut self, seq: u64, chain: u32, now: Nanos, lb: &mut dyn LoadBalancer) {
-        let Some(mut state) = self.conns.remove(&seq) else {
+        let Some(&slot) = self.conn_index.get(&seq) else {
             return;
         };
-        let verdict = lb.packet(&PacketMeta::data(state.spec.tuple, state.spec.pkt_len), now);
-        self.observe(&mut state, verdict);
+        let Some(spec) = self.slab.get(slot as usize).map(|s| s.spec) else {
+            return;
+        };
+        let verdict = lb.packet(&PacketMeta::data(spec.tuple, spec.pkt_len), now);
+        if let Some(state) = self.slab.get_mut(slot as usize) {
+            observe(
+                &mut self.metrics,
+                &self.dip_index,
+                &self.membership,
+                state,
+                verdict,
+            );
+        }
         if chain > 0 {
-            let next = now + state.spec.pkt_gap;
-            if next < state.spec.closes() {
+            let next = now + spec.pkt_gap;
+            if next < spec.closes() {
                 self.push(next, Ev::Probe(seq, chain - 1));
             }
         }
-        self.conns.insert(seq, state);
     }
 
     fn on_close(&mut self, seq: u64, now: Nanos, lb: &mut dyn LoadBalancer) {
-        let Some(mut state) = self.conns.remove(&seq) else {
+        let Some(mut state) = self.conn_remove(seq) else {
             return;
         };
         let verdict = lb.packet(&PacketMeta::fin(state.spec.tuple), now);
-        self.observe(&mut state, verdict);
+        observe(
+            &mut self.metrics,
+            &self.dip_index,
+            &self.membership,
+            &mut state,
+            verdict,
+        );
         let vip = vip_addr(self.trace_cfg.family, state.spec.vip.0);
         lb.conn_closed(vip, &state.spec.tuple, now);
         self.metrics.conns_completed += 1;
@@ -317,10 +405,12 @@ impl Harness {
 
     fn on_update(&mut self, u: sr_workload::UpdateEvent, lb: &mut dyn LoadBalancer) {
         let vidx = u.vip.0;
-        let members = &mut self.membership[vidx as usize];
+        let Some(members) = self.membership.get_mut(vidx as usize) else {
+            return;
+        };
         // Filter no-ops and never empty a pool (operators keep capacity up).
         let effective = match u.op {
-            DipOp::Remove => members.len() > 1 && members.remove(&u.dip.0),
+            DipOp::Remove => members.len() > 1 && members.remove(u.dip.0),
             DipOp::Add => members.insert(u.dip.0),
         };
         if !effective {
@@ -343,11 +433,14 @@ impl Harness {
 
     /// Mark live connections assigned to a just-removed DIP as dead.
     fn doom_conns(&mut self, vip_idx: u32, removed: Dip) {
-        let Some(list) = self.per_vip.get(&vip_idx) else {
+        let Some(list) = self.per_vip.get(vip_idx as usize) else {
             return;
         };
         for seq in list {
-            if let Some(state) = self.conns.get_mut(seq) {
+            let Some(&slot) = self.conn_index.get(seq) else {
+                continue;
+            };
+            if let Some(state) = self.slab.get_mut(slot as usize) {
                 if state.assigned == Some(removed) {
                     state.doomed = true;
                 }
@@ -368,13 +461,16 @@ impl Harness {
     fn probe_vip_conns(&mut self, vip_idx: u32, after: Nanos) {
         let mut to_push: Vec<(Nanos, u64)> = Vec::new();
         {
-            let conns = &self.conns;
-            let Some(list) = self.per_vip.get_mut(&vip_idx) else {
+            let conns = &self.conn_index;
+            let slab = &self.slab;
+            let Some(list) = self.per_vip.get_mut(vip_idx as usize) else {
                 return;
             };
             list.retain(|seq| conns.contains_key(seq));
             for seq in list.iter() {
-                let state = &conns[seq];
+                let Some(state) = conns.get(seq).and_then(|&s| slab.get(s as usize)) else {
+                    continue;
+                };
                 let c = &state.spec;
                 if state.violated {
                     continue; // already counted; probing again changes nothing
@@ -391,6 +487,48 @@ impl Harness {
         for (p, seq) in to_push {
             self.push(p, Ev::Probe(seq, 0));
         }
+    }
+}
+
+/// Record one packet verdict against a connection's state. A free
+/// function (not `&mut self`) so callers can hold a slab borrow.
+fn observe(
+    metrics: &mut RunMetrics,
+    dip_index: &HashMap<Dip, u32>,
+    membership: &[DipSet],
+    state: &mut ConnState,
+    verdict: PacketVerdict,
+) {
+    metrics.probes += 1;
+    metrics.latency.record(verdict.latency);
+    match verdict.dip {
+        None => {
+            if !state.dropped {
+                state.dropped = true;
+                metrics.drops += 1;
+            }
+        }
+        Some(d) => match state.assigned {
+            None => {
+                state.assigned = Some(d);
+                // Assigned to a DIP whose removal was already requested
+                // (the balancer may still be draining the update): the
+                // connection dies with that server — an administrative
+                // death, not a PCC violation.
+                let vip_idx = state.spec.vip.0 as usize;
+                if let (Some(&idx), Some(members)) = (dip_index.get(&d), membership.get(vip_idx)) {
+                    if !members.contains(idx) {
+                        state.doomed = true;
+                    }
+                }
+            }
+            Some(a) => {
+                if a != d && !state.violated && !state.doomed {
+                    state.violated = true;
+                    metrics.pcc_violations += 1;
+                }
+            }
+        },
     }
 }
 

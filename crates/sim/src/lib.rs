@@ -23,13 +23,17 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod fleet;
 pub mod harness;
 pub mod lb;
 pub mod metrics;
 pub mod scenarios;
+pub mod wheel;
 
 pub use adapters::{DuetAdapter, EcmpAdapter, HybridAdapter, SilkRoadAdapter, SlbAdapter};
+pub use fleet::{run_fleet, FleetOp, FleetParams, FleetReport};
 pub use harness::{Harness, HarnessConfig};
 pub use lb::{LoadBalancer, PacketVerdict, ASIC_LATENCY};
 pub use metrics::{LatencyHist, RunMetrics};
 pub use scenarios::{run_scenario, Scenario, SystemKind};
+pub use wheel::TimerWheel;

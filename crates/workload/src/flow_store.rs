@@ -1,0 +1,320 @@
+//! Compact SoA flow store — millions of live connections in tens of
+//! bytes each.
+//!
+//! The fleet engine holds millions of concurrent connections per run;
+//! a `HashMap<u64, BigStruct>` costs hundreds of bytes per entry once
+//! bucket overhead and padding are counted, and pointer-chasing through
+//! it wrecks cache locality on the close path. This store keeps exactly
+//! the state that cannot be regenerated from the flow's seed — 20 bytes
+//! per slot, split across three parallel arrays (structure-of-arrays, so
+//! a scan touching only close times streams one array):
+//!
+//! ```text
+//! w0: u64   close_ns:60 | flags:4      (expiry scans touch only this)
+//! w1: u64   seq:48      | vip:16
+//! w2: u32   dip:8  | version:8 | user:16
+//! ```
+//!
+//! Everything else about a flow — its duration, DIP-selection hash,
+//! packet sizes — is a pure function of `(seed, seq)` (see
+//! [`crate::stream`]), so storing `seq` stores the whole flow.
+//!
+//! Slots are recycled through an index-linked free list threaded through
+//! `w1` of free slots (a free slot's `w1` holds the next free index, so
+//! the list costs zero extra memory). Slot indices are dense `u32`s,
+//! which is what lets the timer wheel address flows with 4-byte links.
+
+/// Flag bit: the slot holds a live flow (clear = free-list member).
+pub const FLAG_LIVE: u8 = 0b0001;
+/// Flag bits callers may use freely (e.g. "probed", "doomed").
+pub const FLAG_USER_MASK: u8 = 0b1110;
+
+/// Sentinel for "no slot" in free-list links and caller-side handles.
+pub const NO_SLOT: u32 = u32::MAX;
+
+const CLOSE_BITS: u32 = 60;
+const CLOSE_MASK: u64 = (1 << CLOSE_BITS) - 1;
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// One flow, unpacked. The packed form is three words (20 bytes); this
+/// struct is the ergonomic view used at insert/remove boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Trace-unique sequence number (48 bits stored).
+    pub seq: u64,
+    /// VIP index within the flow's cluster (16 bits stored).
+    pub vip: u16,
+    /// Selected DIP index within the VIP's pool (8 bits stored).
+    pub dip: u8,
+    /// DIP-pool version the selection was made against (8 bits stored).
+    pub version: u8,
+    /// Absolute close time, nanoseconds (60 bits stored).
+    pub close_ns: u64,
+    /// User flag bits ([`FLAG_USER_MASK`]; [`FLAG_LIVE`] is managed by
+    /// the store and ignored on input).
+    pub flags: u8,
+}
+
+impl FlowRecord {
+    /// Pack into the three stored words. Fields wider than their stored
+    /// width are truncated (callers stay within the documented budgets;
+    /// the round-trip property test pins the widths).
+    pub fn pack(&self) -> (u64, u64, u32) {
+        let w0 = (self.close_ns & CLOSE_MASK) | (u64::from(self.flags & 0x0f) << CLOSE_BITS);
+        let w1 = (self.seq & SEQ_MASK) | (u64::from(self.vip) << SEQ_BITS);
+        let w2 = u32::from(self.dip) | (u32::from(self.version) << 8);
+        (w0, w1, w2)
+    }
+
+    /// Unpack from the three stored words.
+    pub fn unpack(w0: u64, w1: u64, w2: u32) -> FlowRecord {
+        FlowRecord {
+            seq: w1 & SEQ_MASK,
+            vip: (w1 >> SEQ_BITS) as u16,
+            dip: (w2 & 0xff) as u8,
+            version: ((w2 >> 8) & 0xff) as u8,
+            close_ns: w0 & CLOSE_MASK,
+            flags: ((w0 >> CLOSE_BITS) & 0x0f) as u8,
+        }
+    }
+}
+
+/// The SoA store. See the module docs for the layout.
+#[derive(Clone, Debug)]
+pub struct FlowStore {
+    w0: Vec<u64>,
+    w1: Vec<u64>,
+    w2: Vec<u32>,
+    /// Head of the index-linked free list (threaded through `w1`).
+    free_head: u32,
+    live: u64,
+}
+
+impl Default for FlowStore {
+    /// An empty store. The derive would leave `free_head` at `0` — a
+    /// phantom free slot with no backing words — so `Default` must route
+    /// through [`FlowStore::with_capacity`].
+    fn default() -> FlowStore {
+        FlowStore::with_capacity(0)
+    }
+}
+
+impl FlowStore {
+    /// An empty store (first insert allocates the initial 64 slots).
+    pub fn new() -> FlowStore {
+        FlowStore::with_capacity(0)
+    }
+
+    /// An empty store with room for `cap` flows before regrowing.
+    pub fn with_capacity(cap: usize) -> FlowStore {
+        let mut s = FlowStore {
+            w0: Vec::with_capacity(cap),
+            w1: Vec::with_capacity(cap),
+            w2: Vec::with_capacity(cap),
+            free_head: NO_SLOT,
+            live: 0,
+        };
+        s.grow_to(cap);
+        s
+    }
+
+    /// Append fresh slots up to `cap`, threading them onto the free list
+    /// in reverse so the head ends at the lowest new index (allocation
+    /// fills low indices first — friendlier to the wheel's link arrays).
+    fn grow_to(&mut self, cap: usize) {
+        let cap = cap.min(NO_SLOT as usize);
+        let old_len = self.w0.len();
+        if cap <= old_len {
+            return;
+        }
+        self.w0.resize(cap, 0);
+        self.w1.resize(cap, 0);
+        self.w2.resize(cap, 0);
+        let mut head = self.free_head;
+        for i in (old_len..cap).rev() {
+            if let Some(w) = self.w1.get_mut(i) {
+                *w = u64::from(head);
+            }
+            head = i as u32;
+        }
+        self.free_head = head;
+    }
+
+    /// Insert a flow, returning its slot index.
+    pub fn insert(&mut self, rec: FlowRecord) -> u32 {
+        if self.free_head == NO_SLOT {
+            let cap = (self.w0.len() * 2).max(64);
+            self.grow_to(cap);
+        }
+        let slot = self.free_head;
+        let i = slot as usize;
+        self.free_head = self.w1.get(i).map_or(NO_SLOT, |w| *w as u32);
+        let (w0, w1, w2) = rec.pack();
+        if let (Some(a), Some(b), Some(c)) =
+            (self.w0.get_mut(i), self.w1.get_mut(i), self.w2.get_mut(i))
+        {
+            *a = w0 | (u64::from(FLAG_LIVE) << CLOSE_BITS);
+            *b = w1;
+            *c = w2;
+        }
+        self.live += 1;
+        slot
+    }
+
+    /// The flow in `slot`, if live.
+    pub fn get(&self, slot: u32) -> Option<FlowRecord> {
+        let i = slot as usize;
+        let w0 = *self.w0.get(i)?;
+        if (w0 >> CLOSE_BITS) as u8 & FLAG_LIVE == 0 {
+            return None;
+        }
+        let mut rec = FlowRecord::unpack(w0, *self.w1.get(i)?, *self.w2.get(i)?);
+        rec.flags &= FLAG_USER_MASK; // LIVE is store-internal
+        Some(rec)
+    }
+
+    /// Set or clear user flag bits on a live slot. Returns `false` if the
+    /// slot is not live.
+    pub fn set_flags(&mut self, slot: u32, flags: u8, on: bool) -> bool {
+        let i = slot as usize;
+        let Some(w0) = self.w0.get_mut(i) else {
+            return false;
+        };
+        if (*w0 >> CLOSE_BITS) as u8 & FLAG_LIVE == 0 {
+            return false;
+        }
+        let bits = u64::from(flags & FLAG_USER_MASK) << CLOSE_BITS;
+        if on {
+            *w0 |= bits;
+        } else {
+            *w0 &= !bits;
+        }
+        true
+    }
+
+    /// Remove the flow in `slot`, returning it and recycling the slot.
+    pub fn remove(&mut self, slot: u32) -> Option<FlowRecord> {
+        let rec = self.get(slot)?;
+        let i = slot as usize;
+        if let (Some(a), Some(b)) = (self.w0.get_mut(i), self.w1.get_mut(i)) {
+            *a = 0; // clears FLAG_LIVE
+            *b = u64::from(self.free_head);
+        }
+        self.free_head = slot;
+        self.live -= 1;
+        Some(rec)
+    }
+
+    /// Live flows.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Slots allocated (live + free).
+    pub fn capacity(&self) -> usize {
+        self.w0.len()
+    }
+
+    /// Heap bytes held by the three arrays (the store's entire footprint).
+    pub fn allocated_bytes(&self) -> u64 {
+        (self.w0.capacity() * 8 + self.w1.capacity() * 8 + self.w2.capacity() * 4) as u64
+    }
+
+    /// Visit every live slot: `f(slot, record)`.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32, FlowRecord)) {
+        for (i, &w0) in self.w0.iter().enumerate() {
+            if (w0 >> CLOSE_BITS) as u8 & FLAG_LIVE != 0 {
+                let w1 = self.w1.get(i).copied().unwrap_or(0);
+                let w2 = self.w2.get(i).copied().unwrap_or(0);
+                f(i as u32, FlowRecord::unpack(w0, w1, w2));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> FlowRecord {
+        FlowRecord {
+            seq,
+            vip: (seq % 149) as u16,
+            dip: (seq % 37) as u8,
+            version: (seq % 11) as u8,
+            close_ns: seq.wrapping_mul(1_000_003) & CLOSE_MASK,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = FlowStore::with_capacity(4);
+        let a = s.insert(rec(1));
+        let b = s.insert(rec(2));
+        assert_ne!(a, b);
+        assert_eq!(s.live(), 2);
+        let got = s.get(a).unwrap();
+        assert_eq!(got.seq, 1);
+        assert_eq!(got.flags & FLAG_LIVE, 0, "LIVE is store-internal");
+        assert_eq!(s.remove(a).unwrap().seq, 1);
+        assert!(s.get(a).is_none());
+        assert!(s.remove(a).is_none(), "double remove is a no-op");
+        assert_eq!(s.live(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut s = FlowStore::with_capacity(2);
+        let a = s.insert(rec(1));
+        let _b = s.insert(rec(2));
+        s.remove(a);
+        let c = s.insert(rec(3));
+        assert_eq!(c, a, "freed slot must be reused before growth");
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    fn grows_when_full_and_keeps_contents() {
+        let mut s = FlowStore::with_capacity(2);
+        let slots: Vec<u32> = (0..100).map(|i| s.insert(rec(i))).collect();
+        assert_eq!(s.live(), 100);
+        for (i, &slot) in slots.iter().enumerate() {
+            assert_eq!(s.get(slot).unwrap().seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn user_flags_set_and_clear() {
+        let mut s = FlowStore::with_capacity(2);
+        let a = s.insert(rec(7));
+        assert!(s.set_flags(a, 0b0010, true));
+        assert_eq!(s.get(a).unwrap().flags & 0b0010, 0b0010);
+        assert!(s.set_flags(a, 0b0010, false));
+        assert_eq!(s.get(a).unwrap().flags & 0b0010, 0);
+        // LIVE cannot be touched through the user-flag API.
+        assert!(s.set_flags(a, FLAG_LIVE, false));
+        assert!(s.get(a).is_some());
+        s.remove(a);
+        assert!(!s.set_flags(a, 0b0010, true));
+    }
+
+    #[test]
+    fn for_each_live_visits_exactly_the_live_set() {
+        let mut s = FlowStore::with_capacity(8);
+        let slots: Vec<u32> = (0..6).map(|i| s.insert(rec(i))).collect();
+        s.remove(slots[1]);
+        s.remove(slots[4]);
+        let mut seen = Vec::new();
+        s.for_each_live(|slot, r| seen.push((slot, r.seq)));
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|&(_, q)| q != 1 && q != 4));
+    }
+
+    #[test]
+    fn twenty_bytes_per_slot() {
+        let s = FlowStore::with_capacity(1_000);
+        assert_eq!(s.allocated_bytes(), 20 * 1_000);
+    }
+}

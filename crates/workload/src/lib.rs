@@ -22,9 +22,13 @@
 
 pub mod cluster;
 pub mod dists;
+pub mod flow_store;
+pub mod stream;
 pub mod trace;
 pub mod updates;
 
 pub use cluster::{synthesize_fleet, ClusterKind, ClusterSpec, FleetConfig};
+pub use flow_store::{FlowRecord, FlowStore};
+pub use stream::{flow_attrs, prewarm_close_ns, FlowAttrs, FlowGen, FlowOpen, StreamConfig};
 pub use trace::{ConnSpec, TraceConfig, TraceEvent, TraceIter};
 pub use updates::{DipOp, UpdateCause, UpdateEvent, UpdatePlanConfig, UpdatePlanner};

@@ -1,0 +1,264 @@
+//! Streaming seeded flow generation — flows materialize lazily, and
+//! every per-flow attribute is regenerable from `(seed, seq)` alone.
+//!
+//! The fleet engine cannot afford to *store* millions of flows' worth of
+//! attributes, and it cannot afford to *pre-generate* them either. This
+//! module splits a flow into two independent randomness streams:
+//!
+//! * **Arrival times** come from one sequential `SmallRng` per generator
+//!   (Poisson process — inter-arrival gaps are a running sum, inherently
+//!   sequential). This is the only sequential state: 16 bytes of RNG
+//!   plus a cursor, regardless of how many flows have been emitted.
+//! * **Everything else** (VIP pick, DIP-selection hash, duration) comes
+//!   from a fresh `SmallRng` keyed by `(seed, seq)` — the
+//!   `per_flow_pkt_len` idiom from [`crate::trace`]. Any consumer can
+//!   recompute a flow's attributes at any time from its `seq`, without
+//!   replaying the stream — which is what lets the fleet engine's close
+//!   path re-derive a flow's VIP and DIP choice for its PCC check while
+//!   storing only 20 bytes ([`crate::flow_store`]).
+//!
+//! Because attributes never touch the arrival RNG, the flow sequence a
+//! generator emits is byte-identical for a fixed seed no matter how the
+//! fleet is sharded across workers: each cluster owns one generator
+//! keyed by `(fleet seed, cluster id)`, and worker assignment cannot
+//! perturb it. The determinism test below pins exactly that.
+
+use crate::dists::{exponential, lognormal_median};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sr_types::Nanos;
+
+/// Parameters of one cluster's flow stream.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Stream seed (distinct per cluster: mix the fleet seed with the
+    /// cluster id before constructing).
+    pub seed: u64,
+    /// VIPs in the cluster (the per-flow VIP pick is uniform over these).
+    pub vips: u16,
+    /// New-flow arrivals per second (Poisson).
+    pub arrivals_per_sec: f64,
+    /// Median flow duration, seconds.
+    pub median_flow_secs: f64,
+    /// Log-space sd of flow duration.
+    pub flow_sigma: f64,
+}
+
+/// Per-flow attributes, regenerable from `(seed, seq)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowAttrs {
+    /// VIP index within the cluster.
+    pub vip: u16,
+    /// DIP-selection hash: the engine maps it onto whatever pool version
+    /// is current at open time (`dip_hash % pool_size`-style), so the
+    /// *selection inputs* are reproducible even though the selected DIP
+    /// depends on pool state.
+    pub dip_hash: u64,
+    /// Flow duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Keyed RNG for flow `seq` of stream `seed` (the `per_flow_pkt_len`
+/// mixing constants, with a distinct salt per purpose).
+fn keyed_rng(seed: u64, seq: u64, salt: u64) -> SmallRng {
+    let key = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq.wrapping_mul(0xb5ad_4ece_da1c_e2a9))
+        ^ salt;
+    SmallRng::seed_from_u64(key)
+}
+
+/// Regenerate flow `seq`'s attributes. Pure function of the config's
+/// `(seed, vips, median_flow_secs, flow_sigma)` and `seq`.
+pub fn flow_attrs(cfg: &StreamConfig, seq: u64) -> FlowAttrs {
+    let mut rng = keyed_rng(cfg.seed, seq, 0x00f1_0a77_0a77_u64);
+    let vip = (rng.gen_range(0..u32::from(cfg.vips.max(1)))) as u16;
+    let dip_hash: u64 = rng.next_u64();
+    let duration_ns = duration_ns(cfg, &mut rng, 1.0);
+    FlowAttrs {
+        vip,
+        dip_hash,
+        duration_ns,
+    }
+}
+
+fn duration_ns(cfg: &StreamConfig, rng: &mut SmallRng, median_scale: f64) -> u64 {
+    let secs = lognormal_median(
+        rng,
+        (cfg.median_flow_secs * median_scale).max(1e-9),
+        cfg.flow_sigma,
+    );
+    (secs.clamp(0.0, 3.0e10) * 1e9) as u64
+}
+
+/// Residual lifetime for a flow already live at t = 0 (the steady-state
+/// prewarm population).
+///
+/// Sampling `u * duration` with durations drawn like arrivals would
+/// undercount long flows: the population alive at a random instant is
+/// *length-biased*. For a lognormal, the length-biased distribution is
+/// again lognormal with the median scaled by `e^{sigma^2}`, so the
+/// prewarm draw scales the median accordingly and then takes a uniform
+/// residual fraction — the live count then holds near target instead of
+/// sagging while fresh arrivals rebuild the tail.
+pub fn prewarm_close_ns(cfg: &StreamConfig, seq: u64) -> u64 {
+    let mut rng = keyed_rng(cfg.seed, seq, 0x00c0_1d57_a57e_u64);
+    let bias = (cfg.flow_sigma * cfg.flow_sigma).exp();
+    let d = duration_ns(cfg, &mut rng, bias);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    (d as f64 * u) as u64
+}
+
+/// One flow arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowOpen {
+    /// Stream-unique sequence number (also the regeneration key).
+    pub seq: u64,
+    /// Arrival time.
+    pub at: Nanos,
+}
+
+/// The lazy arrival stream. Constant-size state: one `SmallRng`, the
+/// next arrival time, and the sequence cursor.
+#[derive(Clone, Debug)]
+pub struct FlowGen {
+    cfg: StreamConfig,
+    rng: SmallRng,
+    next_at_secs: f64,
+    seq: u64,
+}
+
+impl FlowGen {
+    /// Build the stream. `first_seq` offsets the sequence space (the
+    /// fleet engine reserves `[0, prewarm)` for the prewarm population).
+    pub fn new(cfg: StreamConfig, first_seq: u64) -> FlowGen {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0000_a11c_0de5_eed5_u64);
+        let next_at_secs = if cfg.arrivals_per_sec > 0.0 {
+            exponential(&mut rng, cfg.arrivals_per_sec)
+        } else {
+            f64::INFINITY
+        };
+        FlowGen {
+            cfg,
+            rng,
+            next_at_secs,
+            seq: first_seq,
+        }
+    }
+
+    /// The stream's config (attribute regeneration needs it).
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Arrival time of the next flow without consuming it.
+    pub fn peek_at(&self) -> Nanos {
+        if self.next_at_secs.is_finite() {
+            Nanos((self.next_at_secs * 1e9) as u64)
+        } else {
+            Nanos::MAX
+        }
+    }
+
+    /// Consume and return the next arrival.
+    pub fn next_open(&mut self) -> FlowOpen {
+        let open = FlowOpen {
+            seq: self.seq,
+            at: self.peek_at(),
+        };
+        self.seq += 1;
+        if self.next_at_secs.is_finite() {
+            self.next_at_secs += exponential(&mut self.rng, self.cfg.arrivals_per_sec);
+        }
+        open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> StreamConfig {
+        StreamConfig {
+            seed,
+            vips: 32,
+            arrivals_per_sec: 1_000.0,
+            median_flow_secs: 10.0,
+            flow_sigma: 0.8,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_match_rate() {
+        let mut g = FlowGen::new(cfg(7), 0);
+        let mut last = Nanos::ZERO;
+        let mut n = 0u64;
+        loop {
+            let o = g.next_open();
+            if o.at > Nanos::from_secs(10) {
+                break;
+            }
+            assert!(o.at >= last);
+            last = o.at;
+            n += 1;
+        }
+        // ~10_000 expected; Poisson sd ~100.
+        assert!((9_000..=11_000).contains(&n), "{n} arrivals");
+    }
+
+    #[test]
+    fn attrs_are_pure_functions_of_seed_and_seq() {
+        let c = cfg(42);
+        for seq in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(flow_attrs(&c, seq), flow_attrs(&c, seq));
+        }
+        assert_ne!(flow_attrs(&c, 1), flow_attrs(&cfg(43), 1));
+        let a = flow_attrs(&c, 5);
+        assert!(a.vip < 32);
+        assert!(a.duration_ns > 0);
+    }
+
+    #[test]
+    fn attrs_do_not_depend_on_stream_consumption() {
+        // Regenerating attributes mid-stream must not perturb arrivals.
+        let mut g1 = FlowGen::new(cfg(9), 0);
+        let mut g2 = FlowGen::new(cfg(9), 0);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..500 {
+            a.push(g1.next_open());
+            if i % 3 == 0 {
+                let _ = flow_attrs(g2.config(), i);
+                let _ = prewarm_close_ns(g2.config(), i);
+            }
+            b.push(g2.next_open());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prewarm_residuals_are_fractions_of_biased_durations() {
+        let c = cfg(3);
+        let n = 20_000u64;
+        let mean_residual =
+            (0..n).map(|q| prewarm_close_ns(&c, q)).sum::<u64>() as f64 / n as f64 / 1e9;
+        // Equilibrium mean residual life = E[d^2] / (2 E[d]); for our
+        // lognormal (median 10, sigma 0.8) that is
+        // 10 e^{sigma^2/2} * e^{sigma^2} / 2 ~ 12.9 s.
+        let s2 = 0.8f64 * 0.8;
+        let expect = 10.0 * (s2 / 2.0).exp() * s2.exp() / 2.0;
+        assert!(
+            (mean_residual / expect - 1.0).abs() < 0.1,
+            "mean residual {mean_residual:.2}s vs {expect:.2}s"
+        );
+    }
+
+    #[test]
+    fn zero_rate_streams_never_fire() {
+        let mut c = cfg(1);
+        c.arrivals_per_sec = 0.0;
+        let mut g = FlowGen::new(c, 0);
+        assert_eq!(g.peek_at(), Nanos::MAX);
+        assert_eq!(g.next_open().at, Nanos::MAX);
+    }
+}

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use sr_types::{AddrFamily, Duration, Nanos};
 use sr_workload::{
-    synthesize_fleet, FleetConfig, TraceConfig, TraceEvent, TraceIter, UpdatePlanConfig,
-    UpdatePlanner,
+    flow_attrs, synthesize_fleet, FleetConfig, FlowGen, FlowOpen, FlowRecord, FlowStore,
+    StreamConfig, TraceConfig, TraceEvent, TraceIter, UpdatePlanConfig, UpdatePlanner,
 };
 
 fn small_trace(seed: u64, conns_per_min: f64, upm: f64, mins: u64) -> TraceConfig {
@@ -88,6 +88,131 @@ proptest! {
             last = e.at;
             prop_assert!(e.vip.0 < vips);
             prop_assert!(e.dip.0 < dips);
+        }
+    }
+
+    /// Packed flow records round-trip exactly within the stored widths,
+    /// and oversized fields truncate to the documented masks (seq: 48
+    /// bits, close_ns: 60 bits, flags: low 4 bits) rather than smearing
+    /// into neighbouring fields.
+    #[test]
+    fn flow_record_pack_roundtrip(
+        seq: u64,
+        vip: u16,
+        dip: u8,
+        version: u8,
+        close_ns: u64,
+        flags: u8,
+    ) {
+        let rec = FlowRecord { seq, vip, dip, version, close_ns, flags };
+        let (w0, w1, w2) = rec.pack();
+        let back = FlowRecord::unpack(w0, w1, w2);
+        prop_assert_eq!(back.seq, seq & ((1u64 << 48) - 1));
+        prop_assert_eq!(back.close_ns, close_ns & ((1u64 << 60) - 1));
+        prop_assert_eq!(back.flags, flags & 0x0f);
+        prop_assert_eq!(back.vip, vip);
+        prop_assert_eq!(back.dip, dip);
+        prop_assert_eq!(back.version, version);
+        // In-width records round-trip identically.
+        let tight = FlowRecord {
+            seq: back.seq,
+            close_ns: back.close_ns,
+            flags: back.flags,
+            ..rec
+        };
+        let (t0, t1, t2) = tight.pack();
+        prop_assert_eq!(FlowRecord::unpack(t0, t1, t2), tight);
+    }
+
+    /// Under arbitrary insert/remove churn the store matches a
+    /// `HashMap` model and recycles freed slots: capacity stays bounded
+    /// by the *peak* live population, not the total insert count.
+    #[test]
+    fn flow_store_churn_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1 << 40), 1..200),
+    ) {
+        let mut store = FlowStore::default();
+        let mut model: std::collections::HashMap<u32, FlowRecord> =
+            std::collections::HashMap::new();
+        let mut slots: Vec<u32> = Vec::new();
+        let mut peak_live = 0usize;
+        for (i, &(is_insert, x)) in ops.iter().enumerate() {
+            if is_insert || slots.is_empty() {
+                let rec = FlowRecord {
+                    seq: i as u64,
+                    vip: (x & 0xffff) as u16,
+                    dip: (x >> 16) as u8,
+                    version: (x >> 24) as u8,
+                    close_ns: x,
+                    flags: ((x >> 32) as u8) & sr_workload::flow_store::FLAG_USER_MASK,
+                };
+                let slot = store.insert(rec);
+                prop_assert_ne!(slot, sr_workload::flow_store::NO_SLOT);
+                prop_assert!(model.insert(slot, rec).is_none(), "live slot handed out twice");
+                slots.push(slot);
+                peak_live = peak_live.max(slots.len());
+            } else {
+                let slot = slots.swap_remove((x as usize) % slots.len());
+                let expect = model.remove(&slot).unwrap();
+                prop_assert_eq!(store.remove(slot), Some(expect));
+                prop_assert_eq!(store.get(slot), None, "removed slot still readable");
+            }
+            prop_assert_eq!(store.live(), slots.len() as u64);
+        }
+        for (&slot, &rec) in &model {
+            prop_assert_eq!(store.get(slot), Some(rec));
+        }
+        // Slot recycling: growth only happens when the free list is
+        // empty and doubles (min 64), so capacity is bounded by the
+        // peak concurrent population — not by total inserts.
+        prop_assert!(
+            store.capacity() <= (peak_live * 2).max(64),
+            "capacity {} exceeds churn bound for peak live {}",
+            store.capacity(),
+            peak_live
+        );
+    }
+
+    /// The streaming generator is a pure function of `(seed, cluster)`:
+    /// sharding the cluster set across any number of workers — each
+    /// drawing its clusters' streams independently — reproduces the
+    /// single-worker arrival sequence and per-flow attributes exactly.
+    #[test]
+    fn stream_identical_for_any_shard_count(
+        seed: u64,
+        clusters in 1usize..8,
+        draws in 1usize..40,
+    ) {
+        let cfg_for = |cluster: usize| StreamConfig {
+            seed: seed ^ (cluster as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            vips: 16,
+            arrivals_per_sec: 500.0,
+            median_flow_secs: 5.0,
+            flow_sigma: 0.8,
+        };
+        let draw_cluster = |cluster: usize| -> Vec<(FlowOpen, u16, u64)> {
+            let cfg = cfg_for(cluster);
+            let mut g = FlowGen::new(cfg, 0);
+            (0..draws)
+                .map(|_| {
+                    let open = g.next_open();
+                    let attrs = flow_attrs(&cfg, open.seq);
+                    (open, attrs.vip, attrs.dip_hash)
+                })
+                .collect()
+        };
+        let baseline: Vec<Vec<(FlowOpen, u16, u64)>> =
+            (0..clusters).map(draw_cluster).collect();
+        for workers in 1..=4usize {
+            // Round-robin sharding, each worker drawing its own
+            // clusters in ownership order — the fleet engine's layout.
+            let mut merged: Vec<Vec<(FlowOpen, u16, u64)>> = vec![Vec::new(); clusters];
+            for w in 0..workers {
+                for cluster in (w..clusters).step_by(workers) {
+                    merged[cluster] = draw_cluster(cluster);
+                }
+            }
+            prop_assert_eq!(&merged, &baseline, "shard count {} diverged", workers);
         }
     }
 

@@ -52,6 +52,14 @@ WALL_TMP="$(mktemp -d)"
 ( cd "$WALL_TMP" && "$OLDPWD/target/release/repro" wall --smoke > /dev/null )
 rm -rf "$WALL_TMP"
 
+# Fleet smoke: the sharded steady-state engine holds a live population
+# across the 100-cluster synthetic fleet. Hard gates inside the binary:
+# zero PCC violations and <= 64 bytes per held connection.
+echo "== repro fleet --smoke (fleet steady-state engine + PCC/byte gates)"
+FLEET_TMP="$(mktemp -d)"
+( cd "$FLEET_TMP" && "$OLDPWD/target/release/repro" fleet --smoke > /dev/null )
+rm -rf "$FLEET_TMP"
+
 # Replay smoke: regenerate the smoke capture from the deterministic
 # exporter, require it byte-identical to the committed golden, replay it,
 # and require the decision digest to match the pinned value. Catches any
