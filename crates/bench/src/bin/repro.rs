@@ -17,8 +17,9 @@ use sr_bench::report::{mb, pct, Table};
 use sr_bench::{extras, fig_memory, fig_meta, fig_pcc, fig_version, tables, Exec, Scale};
 use sr_types::Duration;
 
-/// Parse `--<flag> N` / `--<flag>=N`; `None` means "not given".
-fn parse_count_flag(args: &[String], flag: &str) -> Option<usize> {
+/// Parse `--<flag> V` / `--<flag>=V` as a raw string; `None` means
+/// "not given". A bare flag with no value is a usage error.
+fn parse_value_flag(args: &[String], flag: &str) -> Option<String> {
     let bare = format!("--{flag}");
     let eq = format!("--{flag}=");
     let mut it = args.iter();
@@ -28,13 +29,18 @@ fn parse_count_flag(args: &[String], flag: &str) -> Option<usize> {
                 eprintln!("{bare} needs a value");
                 std::process::exit(2);
             });
-            return Some(parse_count_value(&bare, v));
+            return Some(v.clone());
         }
         if let Some(v) = a.strip_prefix(&eq) {
-            return Some(parse_count_value(&bare, v));
+            return Some(v.to_string());
         }
     }
     None
+}
+
+/// Parse `--<flag> N` / `--<flag>=N`; `None` means "not given".
+fn parse_count_flag(args: &[String], flag: &str) -> Option<usize> {
+    parse_value_flag(args, flag).map(|v| parse_count_value(&format!("--{flag}"), &v))
 }
 
 fn parse_count_value(flag: &str, v: &str) -> usize {
@@ -58,7 +64,7 @@ fn main() {
     // Flags are a closed set: a misspelled flag must fail loudly, not
     // silently run the full-scale defaults it was meant to override.
     const BOOL_FLAGS: [&str; 4] = ["--full", "--smoke", "--encap", "--help"];
-    const COUNT_FLAGS: [&str; 2] = ["--jobs", "--pipes"];
+    const VALUE_FLAGS: [&str; 3] = ["--jobs", "--pipes", "--p4"];
     let mut cmds: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -66,13 +72,13 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if COUNT_FLAGS.contains(&a.as_str()) {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
         if a.starts_with("--") {
             let known = BOOL_FLAGS.contains(&a.as_str())
-                || COUNT_FLAGS
+                || VALUE_FLAGS
                     .iter()
                     .any(|f| a.strip_prefix(*f).is_some_and(|r| r.starts_with('=')));
             if !known {
@@ -122,6 +128,7 @@ fn main() {
                 all.join(" ")
             );
             println!("scale/wall/fleet options: --smoke (small trace, CI-sized)");
+            println!("check usage: repro check [--p4 <file.p4>]");
             println!("export usage: repro export <file.pcap> [--smoke]");
             println!("replay usage: repro replay <file.pcap> [--pipes N] [--smoke] [--encap]");
         }
@@ -132,7 +139,7 @@ fn main() {
         // across hosts and `--jobs` settings. `export`/`replay` take a
         // file argument and are likewise part of the verification surface,
         // not the figure set.
-        "check" => run_check(),
+        "check" => run_check(parse_value_flag(&args, "p4").as_deref()),
         "scale" => run_scale(args.iter().any(|a| a == "--smoke")),
         "wall" => run_wall(args.iter().any(|a| a == "--smoke")),
         "fleet" => run_fleet(args.iter().any(|a| a == "--smoke")),
@@ -160,24 +167,109 @@ fn main() {
     }
 }
 
-/// `repro check` — run the srcheck pipeline-layout verifier over both
-/// reference programs and print their full placement reports. Exits
-/// non-zero if any layout is rejected, so `tools/verify.sh` can gate on it.
-fn run_check() {
+/// Compile one P4 source through the sr-p4 front-end and print its
+/// parse -> semantic -> placement report. Returns `false` if any phase
+/// rejects the program: a syntax error, a non-empty SRC101+ diagnostic
+/// set, a lowering failure, or an unplaceable srcheck layout.
+fn check_p4(label: &str, source: &str, chip: &sr_asic::ChipSpec) -> bool {
+    println!("== P4 front-end: {label} ==");
+    let program = match sr_p4::parse(source) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("parse     : FAILED");
+            println!("{e}");
+            return false;
+        }
+    };
+    println!(
+        "parse     : OK ({} header(s), {} struct(s), {} parser(s), {} control(s))",
+        program.headers.len(),
+        program.structs.len(),
+        program.parsers.len(),
+        program.controls.len()
+    );
+    let analysis = sr_p4::analyze(&program);
+    if !analysis.is_clean() {
+        println!("semantic  : {} diagnostic(s)", analysis.diags.len());
+        println!("{}", analysis.render());
+        return false;
+    }
+    println!("semantic  : OK (0 diagnostics)");
+    let lowered = match sr_p4::lower(&program, &analysis.env) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("lowering  : FAILED");
+            println!("{e}");
+            return false;
+        }
+    };
+    println!(
+        "lowering  : OK ({} table(s), {} register(s), {} dependency edge(s))",
+        lowered.tables.len(),
+        lowered.registers.len(),
+        lowered.deps.len()
+    );
+    let report = lowered.check(chip);
+    println!("{}", report.render());
+    report.is_placeable()
+}
+
+/// `repro check [--p4 <file.p4>]` — the srcheck pipeline-layout
+/// verification gate. The default run checks the hand-built switch.p4
+/// baseline model, compiles both bundled P4 programs through the sr-p4
+/// front-end (parse -> semantic -> lower -> placement), and asserts the
+/// lowered `p4/silkroad.p4` is resource-for-resource identical to the
+/// hand-built reference. `--p4 <file>` instead compiles and checks one
+/// P4 source from disk. Exits non-zero if anything is rejected, so
+/// `tools/verify.sh` can gate on it; an unreadable `--p4` path is a
+/// usage error (exit 2).
+fn run_check(p4_path: Option<&str>) {
     use sr_asic::{ChipSpec, PipelineProgram};
     let chip = ChipSpec::tofino_class();
-    let programs = [
-        PipelineProgram::baseline_switch_p4(),
-        PipelineProgram::silkroad(1_000_000, 4, 16, 6, 1_000, 4_000, 144, 256, 4),
-    ];
+    if let Some(path) = p4_path {
+        let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        });
+        if !check_p4(path, &source, &chip) {
+            eprintln!("repro check: {path} rejected");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut rejected = 0;
-    for prog in programs {
-        let report = prog.check(&chip);
-        println!("{}", report.render());
-        println!();
-        if !report.is_placeable() {
+    // The base switch.p4 profile is a resource model with no bundled
+    // source; it still gates directly.
+    let baseline = PipelineProgram::baseline_switch_p4().check(&chip);
+    println!("{}", baseline.render());
+    println!();
+    if !baseline.is_placeable() {
+        rejected += 1;
+    }
+    // The SilkRoad programs are compiled from their checked-in P4 source.
+    for (label, source) in [
+        ("p4/silkroad.p4", sr_p4::SILKROAD_P4),
+        ("p4/charon_lb.p4", sr_p4::CHARON_P4),
+    ] {
+        if !check_p4(label, source, &chip) {
             rejected += 1;
         }
+        println!();
+    }
+    // Parity gate: the lowered bundled source must match the hand-built
+    // reference field-for-field, or the P4 text has drifted from the
+    // program the rest of the workspace evaluates.
+    let hand_built = PipelineProgram::silkroad(1_000_000, 4, 16, 6, 1_000, 4_000, 144, 256, 4);
+    match sr_p4::compile(sr_p4::SILKROAD_P4) {
+        Ok(lowered) if format!("{lowered:#?}") == format!("{hand_built:#?}") => {
+            println!("parity    : p4/silkroad.p4 == hand-built reference (IDENTICAL)");
+        }
+        Ok(_) => {
+            println!("parity    : p4/silkroad.p4 != hand-built reference (DRIFTED)");
+            rejected += 1;
+        }
+        // Compile failures were already reported (and counted) above.
+        Err(_) => {}
     }
     if rejected > 0 {
         eprintln!("repro check: {rejected} program(s) rejected");

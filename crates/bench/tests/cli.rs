@@ -83,6 +83,88 @@ fn unknown_flags_are_rejected_not_ignored() {
 }
 
 #[test]
+fn p4_flag_without_a_path_is_a_usage_error() {
+    let out = repro(&["check", "--p4"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("needs a value"));
+}
+
+#[test]
+fn p4_flag_with_an_unreadable_path_is_a_usage_error() {
+    for args in [
+        &["check", "--p4", "no_such_file.p4"][..],
+        &["check", "--p4=no_such_file.p4"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            stderr(&out).contains("failed to read"),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn misspelled_p4_flag_is_rejected() {
+    for args in [&["check", "--p"][..], &["check", "--p4file", "x.p4"][..]] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(stderr(&out).contains("unknown flag"), "args {args:?}");
+    }
+}
+
+/// A semantically broken program must fail `check --p4` with exit 1 and
+/// the SRC diagnostic on stdout — not exit 0, and not a usage error.
+#[test]
+fn semantic_diagnostics_fail_the_p4_check() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../p4/tests/fixtures/src104_undeclared_ref.p4");
+    let path = dir.to_str().expect("fixture path is utf-8");
+    let out = repro(&["check", "--p4", path]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("SRC104"), "diagnostic missing: {stdout}");
+    assert!(stderr(&out).contains("rejected"));
+}
+
+/// The bundled sources pass `check --p4` end to end: parse, semantic,
+/// lowering, and srcheck placement.
+#[test]
+fn bundled_p4_sources_pass_the_p4_check() {
+    let p4_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../p4");
+    for name in ["silkroad.p4", "charon_lb.p4"] {
+        let path = p4_dir.join(name);
+        let out = repro(&["check", "--p4", path.to_str().expect("utf-8 path")]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} stderr: {}",
+            stderr(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        for phase in ["parse     : OK", "semantic  : OK", "lowering  : OK"] {
+            assert!(stdout.contains(phase), "{name} missing '{phase}': {stdout}");
+        }
+    }
+}
+
+/// The default `repro check` is routed through the bundled P4 source and
+/// reports parity against the hand-built reference program.
+#[test]
+fn default_check_compiles_bundled_p4_and_reports_parity() {
+    let out = repro(&["check"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("p4/silkroad.p4"), "stdout: {stdout}");
+    assert!(stdout.contains("p4/charon_lb.p4"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("IDENTICAL"),
+        "parity line missing: {stdout}"
+    );
+}
+
+#[test]
 fn unknown_targets_are_rejected() {
     let out = repro(&["fig99"]);
     assert_eq!(out.status.code(), Some(2));

@@ -116,17 +116,17 @@ impl HashedKey {
 
     /// Per-stage ConnTable bucket hashes.
     pub fn conn_stage_hashes(&self) -> &[u64] {
-        &self.vals[..self.conn_stages as usize]
+        &self.vals[..usize::from(self.conn_stages)]
     }
 
     /// The ConnTable match-field (digest) hash.
     pub fn conn_match_hash(&self) -> u64 {
-        self.vals[self.conn_stages as usize]
+        self.vals[usize::from(self.conn_stages)]
     }
 
     /// The ECMP/DIP-select hash.
     pub fn select_hash(&self) -> u64 {
-        self.vals[self.conn_stages as usize + 1]
+        self.vals[usize::from(self.conn_stages) + 1]
     }
 }
 
@@ -141,7 +141,7 @@ pub struct BloomHashes {
 impl BloomHashes {
     /// One output per configured bloom way.
     pub fn as_slice(&self) -> &[u64] {
-        &self.vals[..self.n as usize]
+        &self.vals[..usize::from(self.n)]
     }
 }
 

@@ -104,7 +104,7 @@ impl FlowSteering {
         let nd = tuple.dst.encode_to(&mut dst, 0);
         let hs = self.f.hash(src.get(..ns).unwrap_or(&[]));
         let hd = self.f.hash(dst.get(..nd).unwrap_or(&[]));
-        splitmix64(hs ^ hd ^ tuple.proto.number() as u64)
+        splitmix64(hs ^ hd ^ u64::from(tuple.proto.number()))
     }
 
     /// The pipe a flow steers to. Multiply-shift scaling keeps the spread

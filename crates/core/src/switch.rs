@@ -561,7 +561,7 @@ impl SilkRoadSwitch {
             ConnMapping::Version => {
                 if let Some(m) = &self.resolve_memo {
                     if m.vip == value.vip && m.version == value.version {
-                        let dip = sr_hash::ecmp_select(select_hash, m.len as usize)
+                        let dip = sr_hash::ecmp_select(select_hash, usize::from(m.len))
                             .map(|i| m.dips[i])
                             // Empty pool: fall back to the learn-time DIP,
                             // same as the uncached path below.

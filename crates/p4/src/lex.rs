@@ -1,0 +1,385 @@
+//! Zero-dependency lexer for the P4_16 subset.
+//!
+//! Produces a flat [`Token`] stream with 1-based line/column [`Span`]s.
+//! The lexer is deliberately small: identifiers, decimal/hex integers,
+//! P4 sized literals (`16w0x0800`), the punctuation the subset grammar
+//! needs, `@` (for `@pragma` lines), and nothing else. `//` and `/* */`
+//! comments are skipped, as are preprocessor lines (`#include <core.p4>`)
+//! — the subset has no preprocessor.
+
+/// A source location (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`header`, `table`, `hdr`, …).
+    Ident(String),
+    /// Unsized integer literal (`1000000`, `0x86dd`).
+    Int(u128),
+    /// Sized integer literal `Nw<value>` (`16w0x0800` → width 16, value 0x800).
+    SizedInt {
+        /// Declared bit width.
+        width: u32,
+        /// Literal value.
+        value: u128,
+    },
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `!`
+    Bang,
+    /// `@`
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "'{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::SizedInt { width, value } => write!(f, "literal {width}w{value}"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::EqEq => write!(f, "'=='"),
+            TokenKind::NotEq => write!(f, "'!='"),
+            TokenKind::Bang => write!(f, "'!'"),
+            TokenKind::At => write!(f, "'@'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexical error (unexpected character, malformed literal).
+#[derive(Clone, Debug)]
+pub struct LexError {
+    /// Where the error is.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+/// Lex `source` into tokens (a trailing [`TokenKind::Eof`] is appended).
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = chars.len();
+
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, chars: &[char]| {
+        if chars.get(*i) == Some(&'\n') {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+
+    while i < n {
+        let c = chars[i];
+        let span = Span { line, col };
+        match c {
+            c if c.is_whitespace() => advance(&mut i, &mut line, &mut col, &chars),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < n && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, &chars);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                advance(&mut i, &mut line, &mut col, &chars);
+                advance(&mut i, &mut line, &mut col, &chars);
+                loop {
+                    if i >= n {
+                        return Err(LexError {
+                            span,
+                            message: "unterminated block comment".to_string(),
+                        });
+                    }
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        advance(&mut i, &mut line, &mut col, &chars);
+                        advance(&mut i, &mut line, &mut col, &chars);
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, &chars);
+                }
+            }
+            // Preprocessor lines (`#include <core.p4>`) are outside the
+            // subset; skip to end of line.
+            '#' => {
+                while i < n && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, &chars);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col, &chars);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    span,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let (kind, used) = lex_number(&chars[i..], span)?;
+                for _ in 0..used {
+                    advance(&mut i, &mut line, &mut col, &chars);
+                }
+                tokens.push(Token { kind, span });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '<' => TokenKind::Lt,
+                    '>' => TokenKind::Gt,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    '.' => TokenKind::Dot,
+                    '@' => TokenKind::At,
+                    '=' if chars.get(i + 1) == Some(&'=') => {
+                        advance(&mut i, &mut line, &mut col, &chars);
+                        TokenKind::EqEq
+                    }
+                    '=' => TokenKind::Eq,
+                    '!' if chars.get(i + 1) == Some(&'=') => {
+                        advance(&mut i, &mut line, &mut col, &chars);
+                        TokenKind::NotEq
+                    }
+                    '!' => TokenKind::Bang,
+                    other => {
+                        return Err(LexError {
+                            span,
+                            message: format!("unexpected character '{other}'"),
+                        })
+                    }
+                };
+                advance(&mut i, &mut line, &mut col, &chars);
+                tokens.push(Token { kind, span });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+/// Lex a number starting at `chars[0]`: `123`, `0x1f`, or the P4 sized
+/// literal `16w0x0800`. Returns the token kind and how many chars it used.
+fn lex_number(chars: &[char], span: Span) -> Result<(TokenKind, usize), LexError> {
+    let mut i = 0usize;
+    let (first, used) = lex_raw_int(chars, span)?;
+    i += used;
+    if chars.get(i) == Some(&'w') {
+        let width = u32::try_from(first).map_err(|_| LexError {
+            span,
+            message: format!("literal width {first} is out of range"),
+        })?;
+        i += 1;
+        let rest = chars.get(i..).unwrap_or(&[]);
+        if !rest.first().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(LexError {
+                span,
+                message: "sized literal needs a value after 'w'".to_string(),
+            });
+        }
+        let (value, used) = lex_raw_int(rest, span)?;
+        i += used;
+        return Ok((TokenKind::SizedInt { width, value }, i));
+    }
+    Ok((TokenKind::Int(first), i))
+}
+
+/// Lex a bare decimal or `0x` hex integer.
+fn lex_raw_int(chars: &[char], span: Span) -> Result<(u128, usize), LexError> {
+    let mut i = 0usize;
+    let mut digits = String::new();
+    let hex = chars.first() == Some(&'0') && matches!(chars.get(1), Some('x') | Some('X'));
+    if hex {
+        i += 2;
+        while chars.get(i).is_some_and(|c| c.is_ascii_hexdigit()) {
+            digits.push(chars[i]);
+            i += 1;
+        }
+        if digits.is_empty() {
+            return Err(LexError {
+                span,
+                message: "hex literal needs digits after 0x".to_string(),
+            });
+        }
+    } else {
+        while chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+            digits.push(chars[i]);
+            i += 1;
+        }
+    }
+    let radix = if hex { 16 } else { 10 };
+    match u128::from_str_radix(&digits, radix) {
+        Ok(v) => Ok((v, i)),
+        Err(_) => Err(LexError {
+            span,
+            message: format!("integer literal '{digits}' does not fit 128 bits"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punctuation() {
+        let got = kinds("header h { bit<48> dst; }");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Ident("header".into()),
+                TokenKind::Ident("h".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("bit".into()),
+                TokenKind::Lt,
+                TokenKind::Int(48),
+                TokenKind::Gt,
+                TokenKind::Ident("dst".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn sized_literals_decimal_and_hex() {
+        assert_eq!(
+            kinds("16w0x0800 1w0 6w63"),
+            vec![
+                TokenKind::SizedInt {
+                    width: 16,
+                    value: 0x0800
+                },
+                TokenKind::SizedInt { width: 1, value: 0 },
+                TokenKind::SizedInt {
+                    width: 6,
+                    value: 63
+                },
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_are_skipped() {
+        let got = kinds("#include <core.p4>\n// line\n/* block\nstill */ x");
+        assert_eq!(got, vec![TokenKind::Ident("x".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bc").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a == b != !c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Bang,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let e = lex("x $").unwrap_err();
+        assert_eq!(e.span, Span { line: 1, col: 3 });
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn malformed_sized_literal() {
+        assert!(lex("16w").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Lowering from the semantically-clean AST to [`sr_asic::PipelineProgram`].
+//!
+//! The lowering rules mirror what a Tofino-class compiler's resource report
+//! derives from P4 source (DESIGN.md §14.3):
+//!
+//! * **key_bits** — sum of the table's key-field widths.
+//! * **stored_key_bits** — the `@pragma digest <field>` field's width when
+//!   present (digest compression, §4.2 of the paper), else `key_bits`.
+//! * **action_bits** — the widest listed action's summed parameter widths
+//!   (action data is provisioned for the largest action).
+//! * **action_slots** — total statement count across the table's listed
+//!   actions (each assignment is one VLIW primitive).
+//! * **entries** — the table's `size` property (default 1024).
+//! * **first_stage / stages** — `@pragma stage F [S]` (default stage 0,
+//!   span 1).
+//! * registers: **alus** = 2 × `@pragma hash_ways` (a set path and a test
+//!   path per way; 1 ALU when direct-indexed), **index_hash_bits** =
+//!   ⌈log₂ cells⌉ × ways (0 when direct-indexed).
+//! * **metadata_bits** — summed field widths of every all-bit struct bound
+//!   by the control's parameters (the PHV-resident metadata).
+//! * **selector_hash_bits** — summed `@pragma selector_hash N` across
+//!   tables.
+//! * **deps** — one edge per applied unit from its *nearest-latest
+//!   producer*: walking the apply block in order, a unit depends on the
+//!   latest previously-applied unit among (a) the last writer of any field
+//!   it reads (table keys, register index) and (b) the tables/registers
+//!   whose results gate it via enclosing `if` conditions. This yields
+//!   RMT match-dependency chains without an SSA pass.
+//!
+//! Table and register names are interned (leaked once per distinct name,
+//! process-wide) because `sr_asic` declarations use `&'static str` names.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use sr_asic::{MatchKind, PipelineProgram, RegisterDecl, TableDecl, TableDependency};
+
+use crate::ast::*;
+use crate::sema::{stage_pragma, Env};
+
+/// An internal lowering failure. With a clean [`crate::sema::Analysis`]
+/// this cannot fire; it exists so callers that skip sema get an error
+/// instead of a panic.
+#[derive(Clone, Debug)]
+pub struct LowerError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+/// Intern a dynamic name into a `&'static str` (the `sr_asic` declaration
+/// types are `&'static str`-named). Each distinct name leaks exactly once.
+fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = pool.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(v) = guard.get(s) {
+        return v;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Lower a semantically-clean program. Call only after
+/// [`crate::sema::analyze`] reports no diagnostics.
+pub fn lower(prog: &Program, env: &Env) -> Result<PipelineProgram, LowerError> {
+    let control = prog.controls.first().ok_or_else(|| LowerError {
+        message: "program declares no control".to_string(),
+    })?;
+    let scope = Env::scope_of(&control.params);
+    let err = |message: String| LowerError { message };
+
+    let actions: HashMap<&str, &ActionDecl> = control
+        .actions
+        .iter()
+        .map(|a| (a.name.name.as_str(), a))
+        .collect();
+
+    let mut tables = Vec::new();
+    let mut selector_hash_bits = 0u32;
+    for t in &control.tables {
+        let mut key_bits = 0u32;
+        let mut kind = MatchKind::Exact;
+        for k in &t.key {
+            key_bits += env
+                .path_width(&scope, &k.field)
+                .map_err(|m| err(format!("table '{}': {m}", t.name)))?;
+            if k.match_kind.name != "exact" {
+                kind = MatchKind::Ternary;
+            }
+        }
+        let stored_key_bits = match digest_pragma(&t.pragmas) {
+            Some(path) => env
+                .path_width(&scope, path)
+                .map_err(|m| err(format!("table '{}' digest pragma: {m}", t.name)))?,
+            None => key_bits,
+        };
+        let mut action_bits = 0u32;
+        let mut action_slots = 0u32;
+        for name in &t.actions {
+            let a = actions
+                .get(name.name.as_str())
+                .ok_or_else(|| err(format!("table '{}' lists unknown action '{name}'", t.name)))?;
+            let data_bits: u32 = a
+                .params
+                .iter()
+                .map(|p| match &p.ty {
+                    TypeRef::Bits { width, .. } => *width,
+                    TypeRef::Named(_) => 0,
+                })
+                .sum();
+            action_bits = action_bits.max(data_bits);
+            action_slots += u32::try_from(a.body.len()).unwrap_or(u32::MAX);
+        }
+        let (first_stage, stages) = match stage_pragma(&t.pragmas) {
+            Some((first, _, span)) => (first, span),
+            None => (0, 1),
+        };
+        selector_hash_bits += int_pragma(&t.pragmas, "selector_hash").unwrap_or(0);
+        tables.push(TableDecl {
+            name: intern(&t.name.name),
+            kind,
+            key_bits,
+            stored_key_bits,
+            action_bits,
+            entries: t.size.map(|(v, _)| v).unwrap_or(1024),
+            first_stage,
+            stages,
+            action_slots,
+        });
+    }
+
+    let mut registers = Vec::new();
+    for r in &control.registers {
+        let ways = int_pragma(&r.pragmas, "hash_ways");
+        let (alus, index_hash_bits) = match ways {
+            Some(w) => (2 * w, log2_ceil(r.cells) * w),
+            None => (1, 0), // direct-indexed single read-modify-write path
+        };
+        let (first_stage, stages) = match stage_pragma(&r.pragmas) {
+            Some((first, _, span)) => (first, span),
+            None => (0, 1),
+        };
+        registers.push(RegisterDecl {
+            name: intern(&r.name.name),
+            cells: r.cells,
+            width_bits: r.cell_width,
+            alus,
+            index_hash_bits,
+            first_stage,
+            stages,
+            transactional: r.pragmas.iter().any(|p| p.name.name == "transactional"),
+        });
+    }
+
+    let deps = derive_deps(control, &actions);
+
+    let mut metadata_bits = 0u32;
+    for p in &control.params {
+        if let TypeRef::Named(ty) = &p.ty {
+            if let Some(bits) = env.struct_total_bits(&ty.name) {
+                metadata_bits += u32::try_from(bits).unwrap_or(u32::MAX);
+            }
+        }
+    }
+
+    Ok(PipelineProgram {
+        name: intern(&control.name.name),
+        tables,
+        registers,
+        deps,
+        metadata_bits,
+        selector_hash_bits,
+        pipes: 1,
+    })
+}
+
+/// The `@pragma digest <field>` argument, if present.
+fn digest_pragma(pragmas: &[Pragma]) -> Option<&FieldPath> {
+    pragmas.iter().find_map(|p| {
+        if p.name.name != "digest" {
+            return None;
+        }
+        match p.args.first() {
+            Some(PragmaArg::Path(path)) => Some(path),
+            _ => None,
+        }
+    })
+}
+
+/// A single-integer pragma argument (`hash_ways`, `selector_hash`).
+fn int_pragma(pragmas: &[Pragma], name: &str) -> Option<u32> {
+    pragmas.iter().find_map(|p| {
+        if p.name.name != name {
+            return None;
+        }
+        match p.args.first() {
+            Some(PragmaArg::Int(v, _)) => u32::try_from(*v).ok(),
+            _ => None,
+        }
+    })
+}
+
+/// ⌈log₂ n⌉ (0 for n ≤ 1).
+fn log2_ceil(n: u64) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    64 - (n - 1).leading_zeros()
+}
+
+/// Derive match-dependency edges from the apply block: the
+/// *nearest-latest-producer* rule described in the module docs.
+fn derive_deps(
+    control: &ControlDecl,
+    actions: &HashMap<&str, &ActionDecl>,
+) -> Vec<TableDependency> {
+    let mut walker = DepWalker {
+        actions,
+        registers: control
+            .registers
+            .iter()
+            .map(|r| r.name.name.as_str())
+            .collect(),
+        tables: control
+            .tables
+            .iter()
+            .map(|t| (t.name.name.as_str(), t))
+            .collect(),
+        order: HashMap::new(),
+        next_order: 0,
+        last_writer: HashMap::new(),
+        deps: Vec::new(),
+    };
+    walker.walk(&control.apply, &mut Vec::new());
+    walker.deps
+}
+
+struct DepWalker<'a> {
+    actions: &'a HashMap<&'a str, &'a ActionDecl>,
+    registers: std::collections::HashSet<&'a str>,
+    tables: HashMap<&'a str, &'a TableDef>,
+    /// Apply order of each unit (first application wins).
+    order: HashMap<String, usize>,
+    next_order: usize,
+    /// Dotted field path → name of the unit that last wrote it.
+    last_writer: HashMap<String, String>,
+    deps: Vec<TableDependency>,
+}
+
+impl DepWalker<'_> {
+    /// Record the application of `unit`, whose data inputs are `reads`,
+    /// under the enclosing control `producers` (outermost first).
+    fn apply_unit(&mut self, unit: &str, reads: &[String], producers: &[String]) {
+        let mut candidates: Vec<String> = reads
+            .iter()
+            .filter_map(|f| self.last_writer.get(f).cloned())
+            .collect();
+        candidates.extend(producers.iter().cloned());
+        let mut best: Option<(usize, String)> = None;
+        for name in candidates {
+            if name == unit {
+                continue;
+            }
+            if let Some(&ord) = self.order.get(&name) {
+                if best.as_ref().map(|(b, _)| ord > *b).unwrap_or(true) {
+                    best = Some((ord, name));
+                }
+            }
+        }
+        if let Some((_, before)) = best {
+            self.deps.push(TableDependency {
+                before: intern(&before),
+                after: intern(unit),
+            });
+        }
+        self.order.entry(unit.to_string()).or_insert_with(|| {
+            let o = self.next_order;
+            self.next_order += 1;
+            o
+        });
+    }
+
+    /// Fields a table writes: every assignment destination across its
+    /// listed actions.
+    fn table_writes(&self, t: &TableDef) -> Vec<String> {
+        let mut out = Vec::new();
+        for name in &t.actions {
+            if let Some(a) = self.actions.get(name.name.as_str()) {
+                for stmt in &a.body {
+                    out.push(stmt.lhs.dotted());
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_table(&mut self, name: &str, producers: &[String]) {
+        let Some(t) = self.tables.get(name).copied() else {
+            return;
+        };
+        let reads: Vec<String> = t.key.iter().map(|k| k.field.dotted()).collect();
+        self.apply_unit(name, &reads, producers);
+        for field in self.table_writes(t) {
+            self.last_writer.insert(field, name.to_string());
+        }
+    }
+
+    fn walk(&mut self, stmts: &[ApplyStmt], producers: &mut Vec<String>) {
+        for stmt in stmts {
+            match stmt {
+                ApplyStmt::Apply { target } => {
+                    self.apply_table(&target.name, producers);
+                }
+                ApplyStmt::RegisterOp { dst, reg, index } => {
+                    if self.registers.contains(reg.name.as_str()) {
+                        let reads: Vec<String> = match index {
+                            Expr::Path(p) => vec![p.dotted()],
+                            Expr::Lit(_) => Vec::new(),
+                        };
+                        self.apply_unit(&reg.name, &reads, producers);
+                        self.last_writer.insert(dst.dotted(), reg.name.clone());
+                    }
+                }
+                ApplyStmt::If { cond, then, els } => {
+                    let gate = match cond {
+                        Cond::ApplyResult { table, .. } => {
+                            // Evaluating the condition applies the table.
+                            self.apply_table(&table.name, producers);
+                            Some(table.name.clone())
+                        }
+                        Cond::Compare { lhs, rhs } => {
+                            // The branch is gated by whichever unit last
+                            // wrote a field the condition reads.
+                            let mut latest: Option<(usize, String)> = None;
+                            for e in [lhs, rhs] {
+                                if let Expr::Path(p) = e {
+                                    if let Some(w) = self.last_writer.get(&p.dotted()) {
+                                        if let Some(&ord) = self.order.get(w) {
+                                            if latest
+                                                .as_ref()
+                                                .map(|(b, _)| ord > *b)
+                                                .unwrap_or(true)
+                                            {
+                                                latest = Some((ord, w.clone()));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            latest.map(|(_, w)| w)
+                        }
+                    };
+                    let pushed = gate.is_some();
+                    if let Some(g) = gate {
+                        producers.push(g);
+                    }
+                    self.walk(then, producers);
+                    self.walk(els, producers);
+                    if pushed {
+                        producers.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    #[test]
+    fn log2_ceil_basics() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(2048), 11);
+        assert_eq!(log2_ceil(4096), 12);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("some_table");
+        let b = intern("some_table");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    const SMALL: &str = r#"
+header eth_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+struct headers_t { eth_h eth; }
+struct meta_t { bit<16> digest; bit<8> verdict; }
+
+parser p(packet_in pkt, out headers_t hdr, inout meta_t meta) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+
+control small(inout headers_t hdr, inout meta_t meta) {
+    action set_verdict(bit<8> v) { meta.verdict = v; }
+    action miss() { meta.verdict = 8w0; }
+    @pragma stage 1 2
+    @pragma digest meta.digest
+    @pragma selector_hash 16
+    table first {
+        key = { hdr.eth.dst : exact; hdr.eth.src : exact; }
+        actions = { set_verdict; miss; }
+        size = 4096;
+        default_action = miss();
+    }
+    table second {
+        key = { meta.verdict : exact; }
+        actions = { miss; }
+        size = 64;
+    }
+    @pragma stage 3
+    @pragma transactional
+    @pragma hash_ways 2
+    register<bit<8>>(1024) seen;
+    apply {
+        first.apply();
+        meta.verdict = seen.execute(meta.digest);
+        second.apply();
+    }
+}
+"#;
+
+    fn lowered() -> PipelineProgram {
+        let prog = parse(SMALL).unwrap();
+        let a = analyze(&prog);
+        assert!(a.is_clean(), "{}", a.render());
+        lower(&prog, &a.env).unwrap()
+    }
+
+    #[test]
+    fn table_resources_follow_the_rules() {
+        let p = lowered();
+        assert_eq!(p.name, "small");
+        let first = &p.tables[0];
+        assert_eq!(first.key_bits, 96);
+        assert_eq!(first.stored_key_bits, 16); // digest pragma
+        assert_eq!(first.action_bits, 8); // widest action
+        assert_eq!(first.action_slots, 2); // 1 + 1 statements
+        assert_eq!(first.entries, 4096);
+        assert_eq!(first.first_stage, 1);
+        assert_eq!(first.stages, 2);
+        let second = &p.tables[1];
+        assert_eq!(second.key_bits, 8);
+        assert_eq!(second.stored_key_bits, 8); // no digest pragma
+        assert_eq!(second.first_stage, 0); // default placement
+        assert_eq!(p.selector_hash_bits, 16);
+        assert_eq!(p.metadata_bits, 24); // meta_t only; headers_t has headers
+    }
+
+    #[test]
+    fn register_resources_follow_the_rules() {
+        let p = lowered();
+        let r = &p.registers[0];
+        assert_eq!(r.cells, 1024);
+        assert_eq!(r.width_bits, 8);
+        assert_eq!(r.alus, 4); // 2 ways x 2 paths
+        assert_eq!(r.index_hash_bits, 20); // ceil(log2 1024) x 2
+        assert_eq!(r.first_stage, 3);
+        assert!(r.transactional);
+    }
+
+    #[test]
+    fn nearest_latest_producer_dependencies() {
+        let p = lowered();
+        // `seen` reads meta.digest (unwritten) — but nothing gates it, so
+        // no edge in; `second` reads meta.verdict last written by `seen`.
+        let rendered: Vec<(String, String)> = p
+            .deps
+            .iter()
+            .map(|d| (d.before.to_string(), d.after.to_string()))
+            .collect();
+        assert_eq!(rendered, vec![("seen".to_string(), "second".to_string())]);
+    }
+
+    #[test]
+    fn gated_applies_depend_on_their_gate() {
+        let src = SMALL.replace(
+            "        first.apply();\n        meta.verdict = seen.execute(meta.digest);\n        second.apply();",
+            "        if (first.apply().miss) {\n            second.apply();\n        }",
+        );
+        let prog = parse(&src).unwrap();
+        let a = analyze(&prog);
+        // `seen` is now unused in the apply block; still clean semantically.
+        assert!(a.is_clean(), "{}", a.render());
+        let p = lower(&prog, &a.env).unwrap();
+        assert_eq!(p.deps.len(), 1);
+        assert_eq!(p.deps[0].before, "first");
+        assert_eq!(p.deps[0].after, "second");
+    }
+}

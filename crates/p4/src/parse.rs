@@ -1,0 +1,827 @@
+//! Recursive-descent parser for the P4_16 subset.
+//!
+//! Grammar (see `DESIGN.md` §14 for the prose version):
+//!
+//! ```text
+//! program    := { header | struct | parser | control }
+//! header     := 'header' NAME '{' { type NAME ';' } '}'
+//! struct     := 'struct' NAME '{' { type NAME ';' } '}'
+//! type       := 'bit' '<' INT '>' | NAME
+//! parser     := 'parser' NAME '(' params ')' '{' { state } '}'
+//! state      := 'state' NAME '{' { 'pkt' '.' 'extract' '(' path ')' ';' }
+//!                transition '}'
+//! transition := 'transition' NAME ';'
+//!             | 'transition' 'select' '(' expr ')' '{'
+//!                   { LIT ':' NAME ';' } [ 'default' ':' NAME ';' ] '}'
+//! control    := 'control' NAME '(' params ')' '{'
+//!                   { pragma* ( action | table | register ) } apply '}'
+//! action     := 'action' NAME '(' [ 'bit<'N'>' NAME {',' …} ] ')'
+//!                   '{' { path '=' expr ';' } '}'
+//! table      := 'table' NAME '{' { table_prop } '}'
+//! table_prop := 'key' '=' '{' { path ':' NAME ';' } '}' [';']
+//!             | 'actions' '=' '{' { NAME ';' } '}' [';']
+//!             | 'size' '=' INT ';'
+//!             | 'default_action' '=' NAME [ '(' [args] ')' ] ';'
+//! register   := 'register' '<' 'bit<'N'>' '>' '(' INT ')' NAME ';'
+//! apply      := 'apply' '{' { apply_stmt } '}'
+//! apply_stmt := NAME '.' 'apply' '(' ')' ';'
+//!             | path '=' NAME '.' 'execute' '(' expr ')' ';'
+//!             | 'if' '(' cond ')' '{' … '}' [ 'else' '{' … '}' ]
+//! cond       := ['!'] NAME '.' 'apply' '(' ')' '.' ('hit'|'miss')
+//!             | expr ('=='|'!=') expr
+//! pragma     := '@' 'pragma' NAME { INT | path }      (line-terminated)
+//! ```
+//!
+//! Parse errors are fatal (one error, with span); semantic errors are
+//! collected exhaustively by [`crate::sema`].
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, Span, Token, TokenKind};
+
+/// A fatal syntax error.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Where the error is.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            span: e.span,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a source string into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        // The token stream always ends with Eof, and no rule advances past
+        // it, so the index stays in range; saturate defensively anyway.
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            span: self.peek().span,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected {what}, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Ident { name, span: t.span })
+            }
+            other => self.err(format!("expected {what}, found {other}")),
+        }
+    }
+
+    /// Is the next token the given bare word?
+    fn at_word(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == word)
+    }
+
+    /// Consume a required keyword.
+    fn keyword(&mut self, word: &str) -> Result<Span, ParseError> {
+        if self.at_word(word) {
+            Ok(self.bump().span)
+        } else {
+            self.err(format!("expected '{word}', found {}", self.peek().kind))
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(u64, Span), ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                match u64::try_from(v) {
+                    Ok(v) => Ok((v, t.span)),
+                    Err(_) => self.err(format!("{what} {v} is out of range")),
+                }
+            }
+            other => self.err(format!("expected {what}, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            if self.peek().kind == TokenKind::Eof {
+                return Ok(prog);
+            }
+            if self.at_word("header") {
+                self.bump();
+                let (name, fields) = self.braced_fields("header")?;
+                prog.headers.push(HeaderDecl { name, fields });
+            } else if self.at_word("struct") {
+                self.bump();
+                let (name, fields) = self.braced_fields("struct")?;
+                prog.structs.push(StructDecl { name, fields });
+            } else if self.at_word("parser") {
+                prog.parsers.push(self.parser_decl()?);
+            } else if self.at_word("control") {
+                prog.controls.push(self.control_decl()?);
+            } else {
+                return self.err(format!(
+                    "expected 'header', 'struct', 'parser' or 'control', found {}",
+                    self.peek().kind
+                ));
+            }
+        }
+    }
+
+    /// `NAME { type NAME ; ... }` — shared by header and struct decls.
+    fn braced_fields(&mut self, what: &str) -> Result<(Ident, Vec<FieldDecl>), ParseError> {
+        let name = self.ident(&format!("{what} name"))?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut fields = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let ty = self.type_ref()?;
+            let fname = self.ident("field name")?;
+            self.expect(TokenKind::Semi, "';'")?;
+            fields.push(FieldDecl { ty, name: fname });
+        }
+        self.bump(); // }
+        Ok((name, fields))
+    }
+
+    /// `bit<N>` or a named type.
+    fn type_ref(&mut self) -> Result<TypeRef, ParseError> {
+        if self.at_word("bit") {
+            let span = self.bump().span;
+            self.expect(TokenKind::Lt, "'<'")?;
+            let (w, wspan) = self.int("bit width")?;
+            let width = u32::try_from(w)
+                .ok()
+                .filter(|w| *w > 0 && *w <= 4096)
+                .ok_or(ParseError {
+                    span: wspan,
+                    message: format!("bit width {w} outside 1..=4096"),
+                })?;
+            self.expect(TokenKind::Gt, "'>'")?;
+            Ok(TypeRef::Bits { width, span })
+        } else {
+            Ok(TypeRef::Named(self.ident("type name")?))
+        }
+    }
+
+    /// `( [dir] type name, ... )`.
+    fn params(&mut self) -> Result<Vec<Param>, ParseError> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        while self.peek().kind != TokenKind::RParen {
+            let dir = if self.at_word("in") {
+                self.bump();
+                ParamDir::In
+            } else if self.at_word("out") {
+                self.bump();
+                ParamDir::Out
+            } else if self.at_word("inout") {
+                self.bump();
+                ParamDir::InOut
+            } else {
+                ParamDir::None
+            };
+            let ty = self.type_ref()?;
+            let name = self.ident("parameter name")?;
+            params.push(Param { dir, ty, name });
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            }
+        }
+        self.bump(); // )
+        Ok(params)
+    }
+
+    fn field_path(&mut self) -> Result<FieldPath, ParseError> {
+        let mut parts = vec![self.ident("field path")?];
+        while self.peek().kind == TokenKind::Dot {
+            self.bump();
+            parts.push(self.ident("field name after '.'")?);
+        }
+        Ok(FieldPath { parts })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(Expr::Lit(Literal {
+                    width: None,
+                    value,
+                    span: t.span,
+                }))
+            }
+            TokenKind::SizedInt { width, value } => {
+                self.bump();
+                Ok(Expr::Lit(Literal {
+                    width: Some(width),
+                    value,
+                    span: t.span,
+                }))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Path(self.field_path()?)),
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    fn parser_decl(&mut self) -> Result<ParserDecl, ParseError> {
+        self.keyword("parser")?;
+        let name = self.ident("parser name")?;
+        let params = self.params()?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut states = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            states.push(self.state_decl()?);
+        }
+        self.bump(); // }
+        Ok(ParserDecl {
+            name,
+            params,
+            states,
+        })
+    }
+
+    fn state_decl(&mut self) -> Result<StateDecl, ParseError> {
+        self.keyword("state")?;
+        let name = self.ident("state name")?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut extracts = Vec::new();
+        let transition = loop {
+            if self.at_word("transition") {
+                self.bump();
+                break self.transition()?;
+            }
+            // pkt.extract(hdr.x);
+            let path = self.field_path()?;
+            let is_extract = path.parts.len() == 2 && path.parts[1].name == "extract";
+            if !is_extract {
+                return Err(ParseError {
+                    span: path.span(),
+                    message: format!(
+                        "expected 'pkt.extract(...)' or 'transition', found '{}'",
+                        path.dotted()
+                    ),
+                });
+            }
+            self.expect(TokenKind::LParen, "'('")?;
+            let target = self.field_path()?;
+            self.expect(TokenKind::RParen, "')'")?;
+            self.expect(TokenKind::Semi, "';'")?;
+            extracts.push(target);
+        };
+        self.expect(TokenKind::RBrace, "'}'")?;
+        Ok(StateDecl {
+            name,
+            extracts,
+            transition,
+        })
+    }
+
+    fn transition(&mut self) -> Result<Transition, ParseError> {
+        if self.at_word("select") {
+            self.bump();
+            self.expect(TokenKind::LParen, "'('")?;
+            let key = self.expr()?;
+            self.expect(TokenKind::RParen, "')'")?;
+            self.expect(TokenKind::LBrace, "'{'")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while self.peek().kind != TokenKind::RBrace {
+                if self.at_word("default") {
+                    self.bump();
+                    self.expect(TokenKind::Colon, "':'")?;
+                    default = Some(self.ident("state name")?);
+                    self.expect(TokenKind::Semi, "';'")?;
+                    continue;
+                }
+                let t = self.peek().clone();
+                let value = match t.kind {
+                    TokenKind::Int(value) => Literal {
+                        width: None,
+                        value,
+                        span: t.span,
+                    },
+                    TokenKind::SizedInt { width, value } => Literal {
+                        width: Some(width),
+                        value,
+                        span: t.span,
+                    },
+                    other => return self.err(format!("expected a select value, found {other}")),
+                };
+                self.bump();
+                self.expect(TokenKind::Colon, "':'")?;
+                let target = self.ident("state name")?;
+                self.expect(TokenKind::Semi, "';'")?;
+                arms.push(SelectArm { value, target });
+            }
+            self.bump(); // }
+            self.expect(TokenKind::Semi, "';'")?;
+            Ok(Transition::Select { key, arms, default })
+        } else {
+            let target = self.ident("state name")?;
+            self.expect(TokenKind::Semi, "';'")?;
+            Ok(Transition::Direct(target))
+        }
+    }
+
+    /// Pragma lines attached to the next declaration: `@pragma name args…`,
+    /// arguments running to the end of the physical line.
+    fn pragmas(&mut self) -> Result<Vec<Pragma>, ParseError> {
+        let mut out = Vec::new();
+        while self.peek().kind == TokenKind::At {
+            let at_line = self.bump().span.line;
+            self.keyword("pragma")?;
+            let name = self.ident("pragma name")?;
+            let mut args = Vec::new();
+            while self.peek().span.line == at_line {
+                match &self.peek().kind {
+                    TokenKind::Int(_) => {
+                        let (v, s) = self.int("pragma argument")?;
+                        args.push(PragmaArg::Int(v, s));
+                    }
+                    TokenKind::Ident(_) => args.push(PragmaArg::Path(self.field_path()?)),
+                    _ => break,
+                }
+            }
+            out.push(Pragma { name, args });
+        }
+        Ok(out)
+    }
+
+    fn control_decl(&mut self) -> Result<ControlDecl, ParseError> {
+        self.keyword("control")?;
+        let name = self.ident("control name")?;
+        let params = self.params()?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut actions = Vec::new();
+        let mut tables = Vec::new();
+        let mut registers = Vec::new();
+        let apply = loop {
+            let pragmas = self.pragmas()?;
+            if self.at_word("action") {
+                if let Some(p) = pragmas.first() {
+                    return Err(ParseError {
+                        span: p.name.span,
+                        message: "pragmas may precede tables and registers only".to_string(),
+                    });
+                }
+                actions.push(self.action_decl()?);
+            } else if self.at_word("table") {
+                tables.push(self.table_def(pragmas)?);
+            } else if self.at_word("register") {
+                registers.push(self.register_def(pragmas)?);
+            } else if self.at_word("apply") {
+                if let Some(p) = pragmas.first() {
+                    return Err(ParseError {
+                        span: p.name.span,
+                        message: "pragmas may precede tables and registers only".to_string(),
+                    });
+                }
+                self.bump();
+                self.expect(TokenKind::LBrace, "'{'")?;
+                let stmts = self.apply_block()?;
+                break stmts;
+            } else {
+                return self.err(format!(
+                    "expected 'action', 'table', 'register' or 'apply', found {}",
+                    self.peek().kind
+                ));
+            }
+        };
+        self.expect(TokenKind::RBrace, "'}'")?;
+        Ok(ControlDecl {
+            name,
+            params,
+            actions,
+            tables,
+            registers,
+            apply,
+        })
+    }
+
+    fn action_decl(&mut self) -> Result<ActionDecl, ParseError> {
+        self.keyword("action")?;
+        let name = self.ident("action name")?;
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        while self.peek().kind != TokenKind::RParen {
+            let ty = self.type_ref()?;
+            let pname = self.ident("parameter name")?;
+            params.push(FieldDecl { ty, name: pname });
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            }
+        }
+        self.bump(); // )
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let lhs = self.field_path()?;
+            self.expect(TokenKind::Eq, "'='")?;
+            let rhs = self.expr()?;
+            self.expect(TokenKind::Semi, "';'")?;
+            body.push(Assign { lhs, rhs });
+        }
+        self.bump(); // }
+        Ok(ActionDecl { name, params, body })
+    }
+
+    fn table_def(&mut self, pragmas: Vec<Pragma>) -> Result<TableDef, ParseError> {
+        self.keyword("table")?;
+        let name = self.ident("table name")?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut key = Vec::new();
+        let mut actions = Vec::new();
+        let mut size = None;
+        let mut default_action = None;
+        while self.peek().kind != TokenKind::RBrace {
+            if self.at_word("key") {
+                self.bump();
+                self.expect(TokenKind::Eq, "'='")?;
+                self.expect(TokenKind::LBrace, "'{'")?;
+                while self.peek().kind != TokenKind::RBrace {
+                    let field = self.field_path()?;
+                    self.expect(TokenKind::Colon, "':'")?;
+                    let match_kind = self.ident("match kind")?;
+                    self.expect(TokenKind::Semi, "';'")?;
+                    key.push(KeyEntry { field, match_kind });
+                }
+                self.bump(); // }
+                self.eat_semi();
+            } else if self.at_word("actions") {
+                self.bump();
+                self.expect(TokenKind::Eq, "'='")?;
+                self.expect(TokenKind::LBrace, "'{'")?;
+                while self.peek().kind != TokenKind::RBrace {
+                    actions.push(self.ident("action name")?);
+                    self.expect(TokenKind::Semi, "';'")?;
+                }
+                self.bump(); // }
+                self.eat_semi();
+            } else if self.at_word("size") {
+                self.bump();
+                self.expect(TokenKind::Eq, "'='")?;
+                size = Some(self.int("table size")?);
+                self.expect(TokenKind::Semi, "';'")?;
+            } else if self.at_word("default_action") {
+                self.bump();
+                self.expect(TokenKind::Eq, "'='")?;
+                let aname = self.ident("action name")?;
+                let mut args = Vec::new();
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    while self.peek().kind != TokenKind::RParen {
+                        args.push(self.expr()?);
+                        if self.peek().kind == TokenKind::Comma {
+                            self.bump();
+                        }
+                    }
+                    self.bump(); // )
+                }
+                self.expect(TokenKind::Semi, "';'")?;
+                default_action = Some(ActionCall { name: aname, args });
+            } else {
+                return self.err(format!(
+                    "expected 'key', 'actions', 'size' or 'default_action', found {}",
+                    self.peek().kind
+                ));
+            }
+        }
+        self.bump(); // }
+        Ok(TableDef {
+            pragmas,
+            name,
+            key,
+            actions,
+            size,
+            default_action,
+        })
+    }
+
+    fn register_def(&mut self, pragmas: Vec<Pragma>) -> Result<RegisterDef, ParseError> {
+        self.keyword("register")?;
+        self.expect(TokenKind::Lt, "'<'")?;
+        let ty = self.type_ref()?;
+        let (cell_width, width_span) = match ty {
+            TypeRef::Bits { width, span } => (width, span),
+            TypeRef::Named(id) => {
+                return Err(ParseError {
+                    span: id.span,
+                    message: format!("register cell type must be bit<N>, found '{}'", id.name),
+                })
+            }
+        };
+        self.expect(TokenKind::Gt, "'>'")?;
+        self.expect(TokenKind::LParen, "'('")?;
+        let (cells, _) = self.int("register size")?;
+        self.expect(TokenKind::RParen, "')'")?;
+        let name = self.ident("register name")?;
+        self.expect(TokenKind::Semi, "';'")?;
+        Ok(RegisterDef {
+            pragmas,
+            cell_width,
+            width_span,
+            cells,
+            name,
+        })
+    }
+
+    fn eat_semi(&mut self) {
+        if self.peek().kind == TokenKind::Semi {
+            self.bump();
+        }
+    }
+
+    fn apply_block(&mut self) -> Result<Vec<ApplyStmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            stmts.push(self.apply_stmt()?);
+        }
+        self.bump(); // }
+        Ok(stmts)
+    }
+
+    fn apply_stmt(&mut self) -> Result<ApplyStmt, ParseError> {
+        if self.at_word("if") {
+            self.bump();
+            self.expect(TokenKind::LParen, "'('")?;
+            let cond = self.cond()?;
+            self.expect(TokenKind::RParen, "')'")?;
+            self.expect(TokenKind::LBrace, "'{'")?;
+            let then = self.apply_block()?;
+            let els = if self.at_word("else") {
+                self.bump();
+                self.expect(TokenKind::LBrace, "'{'")?;
+                self.apply_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(ApplyStmt::If { cond, then, els });
+        }
+        let path = self.field_path()?;
+        // `X.apply();`
+        if path.parts.len() == 2 && path.parts[1].name == "apply" {
+            self.expect(TokenKind::LParen, "'('")?;
+            self.expect(TokenKind::RParen, "')'")?;
+            self.expect(TokenKind::Semi, "';'")?;
+            return Ok(ApplyStmt::Apply {
+                target: path.parts.into_iter().next().unwrap_or_else(|| Ident {
+                    name: String::new(),
+                    span: Span { line: 0, col: 0 },
+                }),
+            });
+        }
+        // `dst = reg.execute(idx);`
+        self.expect(TokenKind::Eq, "'='")?;
+        if !matches!(self.peek().kind, TokenKind::Ident(_)) {
+            return self.err(format!(
+                "apply-block assignments must call '<register>.execute(...)', found {}",
+                self.peek().kind
+            ));
+        }
+        let call = self.field_path()?;
+        if call.parts.len() != 2 || call.parts[1].name != "execute" {
+            return Err(ParseError {
+                span: call.span(),
+                message: format!(
+                    "apply-block assignments must call '<register>.execute(...)', found '{}'",
+                    call.dotted()
+                ),
+            });
+        }
+        self.expect(TokenKind::LParen, "'('")?;
+        let index = self.expr()?;
+        self.expect(TokenKind::RParen, "')'")?;
+        self.expect(TokenKind::Semi, "';'")?;
+        let reg = call.parts.into_iter().next().unwrap_or_else(|| Ident {
+            name: String::new(),
+            span: Span { line: 0, col: 0 },
+        });
+        Ok(ApplyStmt::RegisterOp {
+            dst: path,
+            reg,
+            index,
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let negated = if self.peek().kind == TokenKind::Bang {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        // `X.apply().hit|miss` starts with an ident path containing `apply`.
+        if matches!(self.peek().kind, TokenKind::Ident(_)) && matches!(self.peek2(), TokenKind::Dot)
+        {
+            let save = self.pos;
+            let path = self.field_path()?;
+            if path.parts.len() == 2 && path.parts[1].name == "apply" {
+                self.expect(TokenKind::LParen, "'('")?;
+                self.expect(TokenKind::RParen, "')'")?;
+                self.expect(TokenKind::Dot, "'.'")?;
+                let verdict = self.ident("'hit' or 'miss'")?;
+                let hit = match verdict.name.as_str() {
+                    "hit" => true,
+                    "miss" => false,
+                    other => {
+                        return Err(ParseError {
+                            span: verdict.span,
+                            message: format!("expected 'hit' or 'miss', found '{other}'"),
+                        })
+                    }
+                };
+                let table = path.parts.into_iter().next().unwrap_or_else(|| Ident {
+                    name: String::new(),
+                    span: Span { line: 0, col: 0 },
+                });
+                return Ok(Cond::ApplyResult {
+                    table,
+                    hit: hit != negated,
+                });
+            }
+            self.pos = save;
+        }
+        if negated {
+            return self.err("'!' applies to '<table>.apply().hit/miss' conditions only");
+        }
+        let lhs = self.expr()?;
+        let eq = match self.peek().kind {
+            TokenKind::EqEq => true,
+            TokenKind::NotEq => false,
+            _ => return self.err(format!("expected '==' or '!=', found {}", self.peek().kind)),
+        };
+        self.bump();
+        let _ = eq; // equality vs inequality does not matter statically
+        let rhs = self.expr()?;
+        Ok(Cond::Compare { lhs, rhs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+header eth_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+struct headers_t { eth_h eth; }
+struct meta_t { bit<16> digest; }
+
+parser p(packet_in pkt, out headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            16w0x0800 : done;
+            default : accept;
+        };
+    }
+    state done { transition accept; }
+}
+
+control c(inout headers_t hdr, inout meta_t meta) {
+    action setd(bit<16> d) { meta.digest = d; }
+    action nop() { meta.digest = 16w0; }
+    @pragma stage 0 2
+    @pragma digest meta.digest
+    table t {
+        key = { hdr.eth.dst : exact; }
+        actions = { setd; nop; }
+        size = 1024;
+        default_action = nop();
+    }
+    @pragma stage 2
+    @pragma transactional
+    register<bit<1>>(2048) r;
+    apply {
+        if (t.apply().miss) {
+            meta.digest = r.execute(hdr.eth.dst);
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn parses_the_mini_program() {
+        let prog = parse(MINI).unwrap();
+        assert_eq!(prog.headers.len(), 1);
+        assert_eq!(prog.structs.len(), 2);
+        assert_eq!(prog.parsers.len(), 1);
+        assert_eq!(prog.controls.len(), 1);
+        let c = &prog.controls[0];
+        assert_eq!(c.actions.len(), 2);
+        assert_eq!(c.tables.len(), 1);
+        assert_eq!(c.registers.len(), 1);
+        let t = &c.tables[0];
+        assert_eq!(t.pragmas.len(), 2);
+        assert_eq!(t.key.len(), 1);
+        assert_eq!(t.size.map(|(v, _)| v), Some(1024));
+        assert_eq!(c.registers[0].cells, 2048);
+        assert_eq!(c.registers[0].cell_width, 1);
+        assert_eq!(c.registers[0].pragmas.len(), 2);
+        assert_eq!(c.apply.len(), 1);
+    }
+
+    #[test]
+    fn select_arms_and_default_are_kept() {
+        let prog = parse(MINI).unwrap();
+        let state = &prog.parsers[0].states[0];
+        match &state.transition {
+            Transition::Select { arms, default, .. } => {
+                assert_eq!(arms.len(), 1);
+                assert_eq!(arms[0].target.name, "done");
+                assert_eq!(default.as_ref().map(|d| d.name.as_str()), Some("accept"));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pragma_args_stop_at_end_of_line() {
+        let prog = parse(MINI).unwrap();
+        let t = &prog.controls[0].tables[0];
+        assert_eq!(t.pragmas[0].name.name, "stage");
+        assert_eq!(t.pragmas[0].args.len(), 2);
+        assert_eq!(t.pragmas[1].name.name, "digest");
+        assert_eq!(t.pragmas[1].args.len(), 1);
+    }
+
+    #[test]
+    fn negated_apply_condition_folds_into_hit_flag() {
+        let src = MINI.replace("if (t.apply().miss)", "if (!t.apply().hit)");
+        let prog = parse(&src).unwrap();
+        match &prog.controls[0].apply[0] {
+            ApplyStmt::If {
+                cond: Cond::ApplyResult { table, hit },
+                ..
+            } => {
+                assert_eq!(table.name, "t");
+                assert!(!hit);
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_spans() {
+        let e = parse("header h { bit<48 dst; }").unwrap_err();
+        assert!(e.message.contains("expected '>'"), "{e}");
+        assert_eq!(e.span.line, 1);
+        let e = parse("table t {}").unwrap_err();
+        assert!(e.message.contains("header"), "{e}");
+    }
+
+    #[test]
+    fn apply_rejects_arbitrary_assignments() {
+        let src = MINI.replace(
+            "meta.digest = r.execute(hdr.eth.dst);",
+            "meta.digest = 16w1;",
+        );
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("execute"), "{e}");
+    }
+}

@@ -1,0 +1,1231 @@
+//! Semantic analysis over the parsed AST: the SRC101+ diagnostic catalog.
+//!
+//! Unlike the parser (which stops at the first syntax error), this pass is
+//! exhaustive: it walks the whole program and collects every diagnostic it
+//! can find, each with a stable rule id and a source span. The ids extend
+//! the srcheck catalog (SRC001–SRC016 verify pipeline *layouts*; SRC101+
+//! verify P4 *source*):
+//!
+//! | id     | rule                                                        |
+//! |--------|-------------------------------------------------------------|
+//! | SRC101 | reference to an undeclared type                             |
+//! | SRC102 | duplicate type declaration                                  |
+//! | SRC103 | duplicate instance / field / state declaration              |
+//! | SRC104 | reference to an undeclared instance, field or state         |
+//! | SRC105 | width mismatch (or a field that cannot carry a width)       |
+//! | SRC106 | unreachable parser state                                    |
+//! | SRC107 | parser transition cycle                                     |
+//! | SRC108 | action arity or argument-type error                         |
+//! | SRC109 | table references an undefined or unlisted action            |
+//! | SRC110 | placement pragma error (incl. transactional span > 1 stage) |
+//! | SRC111 | program shape (missing `start` state, parser, or control)   |
+//!
+//! The pass also builds the resolved type environment ([`Env`]) the
+//! lowering pass reuses, so widths are computed exactly once and the two
+//! passes cannot disagree.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::lex::Span;
+
+/// A semantic rule with a stable id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// SRC101 — reference to an undeclared type.
+    UnknownType,
+    /// SRC102 — duplicate type declaration.
+    DuplicateType,
+    /// SRC103 — duplicate instance/field/state declaration.
+    DuplicateInstance,
+    /// SRC104 — reference to an undeclared instance, field or state.
+    UndeclaredRef,
+    /// SRC105 — width mismatch.
+    WidthMismatch,
+    /// SRC106 — unreachable parser state.
+    UnreachableState,
+    /// SRC107 — parser transition cycle.
+    StateCycle,
+    /// SRC108 — action arity/argument-type error.
+    ActionArity,
+    /// SRC109 — table references an undefined or unlisted action.
+    UndefinedAction,
+    /// SRC110 — placement pragma error.
+    PragmaError,
+    /// SRC111 — program shape error.
+    ProgramShape,
+}
+
+impl Rule {
+    /// The stable diagnostic id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::UnknownType => "SRC101",
+            Rule::DuplicateType => "SRC102",
+            Rule::DuplicateInstance => "SRC103",
+            Rule::UndeclaredRef => "SRC104",
+            Rule::WidthMismatch => "SRC105",
+            Rule::UnreachableState => "SRC106",
+            Rule::StateCycle => "SRC107",
+            Rule::ActionArity => "SRC108",
+            Rule::UndefinedAction => "SRC109",
+            Rule::PragmaError => "SRC110",
+            Rule::ProgramShape => "SRC111",
+        }
+    }
+}
+
+/// One semantic diagnostic.
+#[derive(Clone, Debug)]
+pub struct Diag {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Where.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.rule.id(), self.span, self.message)
+    }
+}
+
+/// A resolved type: header (all-bit fields) or struct (bit or header fields).
+#[derive(Clone, Debug)]
+pub enum TypeDef {
+    /// A header: ordered `(field, width)` pairs.
+    Header {
+        /// Fields in declaration order.
+        fields: Vec<(String, u32)>,
+    },
+    /// A struct: ordered `(field, type)` pairs.
+    Struct {
+        /// Fields in declaration order.
+        fields: Vec<(String, FieldTy)>,
+    },
+}
+
+/// The resolved type of a struct field.
+#[derive(Clone, Debug)]
+pub enum FieldTy {
+    /// `bit<N>`.
+    Bits(u32),
+    /// A header instance, by header type name.
+    Header(String),
+}
+
+/// Instance scope: instance name → struct type name (from control/parser
+/// params).
+pub type Scope = HashMap<String, String>;
+
+/// The resolved type environment, shared with the lowering pass.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    /// Declared types by name.
+    pub types: HashMap<String, TypeDef>,
+}
+
+impl Env {
+    /// Build the instance scope for a parameter list (named types only;
+    /// `packet_in` and friends resolve to nothing and simply never match).
+    pub fn scope_of(params: &[Param]) -> Scope {
+        let mut scope = Scope::new();
+        for p in params {
+            if let TypeRef::Named(ty) = &p.ty {
+                scope.insert(p.name.name.clone(), ty.name.clone());
+            }
+        }
+        scope
+    }
+
+    fn struct_field(&self, ty: &str, field: &str) -> Option<&FieldTy> {
+        match self.types.get(ty) {
+            Some(TypeDef::Struct { fields }) => {
+                fields.iter().find(|(n, _)| n == field).map(|(_, t)| t)
+            }
+            _ => None,
+        }
+    }
+
+    fn header_field_width(&self, hdr: &str, field: &str) -> Option<u32> {
+        match self.types.get(hdr) {
+            Some(TypeDef::Header { fields }) => {
+                fields.iter().find(|(n, _)| n == field).map(|(_, w)| *w)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total width of a struct whose fields are all `bit<N>` (the metadata
+    /// struct); `None` if the type is unknown or carries header fields.
+    pub fn struct_total_bits(&self, ty: &str) -> Option<u64> {
+        match self.types.get(ty)? {
+            TypeDef::Struct { fields } => {
+                let mut total = 0u64;
+                for (_, t) in fields {
+                    match t {
+                        FieldTy::Bits(w) => total += u64::from(*w),
+                        FieldTy::Header(_) => return None,
+                    }
+                }
+                Some(total)
+            }
+            TypeDef::Header { .. } => None,
+        }
+    }
+
+    /// Resolve a dotted path to a bit width against an instance scope.
+    ///
+    /// Accepted shapes: `inst.field` (bit field of a struct) and
+    /// `inst.hfield.field` (bit field of a header nested in a struct).
+    pub fn path_width(&self, scope: &Scope, path: &FieldPath) -> Result<u32, String> {
+        let dotted = path.dotted();
+        let mut parts = path.parts.iter();
+        let root = parts.next().ok_or_else(|| "empty path".to_string())?;
+        let ty = scope
+            .get(&root.name)
+            .ok_or_else(|| format!("undeclared instance '{}'", root.name))?;
+        let field = parts
+            .next()
+            .ok_or_else(|| format!("'{dotted}' names an instance, not a field"))?;
+        match self.struct_field(ty, &field.name) {
+            Some(FieldTy::Bits(w)) => {
+                if parts.next().is_some() {
+                    Err(format!("'{dotted}' indexes into a bit<N> field"))
+                } else {
+                    Ok(*w)
+                }
+            }
+            Some(FieldTy::Header(hty)) => {
+                let hty = hty.clone();
+                let sub = parts
+                    .next()
+                    .ok_or_else(|| format!("'{dotted}' names a whole header, not a field"))?;
+                if parts.next().is_some() {
+                    return Err(format!("'{dotted}' is nested too deeply"));
+                }
+                self.header_field_width(&hty, &sub.name).ok_or_else(|| {
+                    format!("header '{hty}' has no field '{}' (in '{dotted}')", sub.name)
+                })
+            }
+            None => Err(format!(
+                "'{}' has no field '{}' (in '{dotted}')",
+                ty, field.name
+            )),
+        }
+    }
+
+    /// Resolve an extract target (`hdr.eth`) to its header type name.
+    pub fn header_of_path(&self, scope: &Scope, path: &FieldPath) -> Result<String, String> {
+        let dotted = path.dotted();
+        if path.parts.len() != 2 {
+            return Err(format!(
+                "extract target '{dotted}' must be 'instance.field'"
+            ));
+        }
+        let ty = scope
+            .get(&path.parts[0].name)
+            .ok_or_else(|| format!("undeclared instance '{}'", path.parts[0].name))?;
+        match self.struct_field(ty, &path.parts[1].name) {
+            Some(FieldTy::Header(h)) => Ok(h.clone()),
+            Some(FieldTy::Bits(_)) => Err(format!("'{dotted}' is a bit field, not a header")),
+            None => Err(format!(
+                "'{}' has no field '{}' (in '{dotted}')",
+                ty, path.parts[1].name
+            )),
+        }
+    }
+}
+
+/// The result of semantic analysis: diagnostics plus the environment the
+/// lowering pass consumes. Lowering must only run when `diags` is empty.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// All diagnostics, ordered by source position.
+    pub diags: Vec<Diag>,
+    /// The resolved type environment.
+    pub env: Env,
+}
+
+impl Analysis {
+    /// True when the program is semantically clean.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Render diagnostics one per line (`SRC104 12:9: message`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Analyze a parsed program.
+pub fn analyze(prog: &Program) -> Analysis {
+    let mut a = Analyzer {
+        env: Env::default(),
+        diags: Vec::new(),
+    };
+    a.collect_types(prog);
+    a.check_shape(prog);
+    for p in &prog.parsers {
+        a.check_parser(p);
+    }
+    for c in &prog.controls {
+        a.check_control(c);
+    }
+    let mut diags = a.diags;
+    diags.sort_by_key(|d| (d.span.line, d.span.col, d.rule));
+    Analysis { diags, env: a.env }
+}
+
+struct Analyzer {
+    env: Env,
+    diags: Vec<Diag>,
+}
+
+impl Analyzer {
+    fn diag(&mut self, rule: Rule, span: Span, message: impl Into<String>) {
+        self.diags.push(Diag {
+            rule,
+            span,
+            message: message.into(),
+        });
+    }
+
+    fn collect_types(&mut self, prog: &Program) {
+        // First sweep: register names so forward references resolve.
+        for h in &prog.headers {
+            if self
+                .env
+                .types
+                .insert(h.name.name.clone(), TypeDef::Header { fields: Vec::new() })
+                .is_some()
+            {
+                self.diag(
+                    Rule::DuplicateType,
+                    h.name.span,
+                    format!("type '{}' is declared more than once", h.name),
+                );
+            }
+        }
+        for s in &prog.structs {
+            if self
+                .env
+                .types
+                .insert(s.name.name.clone(), TypeDef::Struct { fields: Vec::new() })
+                .is_some()
+            {
+                self.diag(
+                    Rule::DuplicateType,
+                    s.name.span,
+                    format!("type '{}' is declared more than once", s.name),
+                );
+            }
+        }
+        // Second sweep: resolve field lists.
+        for h in &prog.headers {
+            let mut fields = Vec::new();
+            let mut seen = HashSet::new();
+            for f in &h.fields {
+                if !seen.insert(f.name.name.clone()) {
+                    self.diag(
+                        Rule::DuplicateInstance,
+                        f.name.span,
+                        format!(
+                            "field '{}' is declared more than once in '{}'",
+                            f.name, h.name
+                        ),
+                    );
+                    continue;
+                }
+                match &f.ty {
+                    TypeRef::Bits { width, .. } => fields.push((f.name.name.clone(), *width)),
+                    TypeRef::Named(ty) => self.diag(
+                        Rule::WidthMismatch,
+                        ty.span,
+                        format!(
+                            "header field '{}.{}' must have a concrete bit<N> width, found '{}'",
+                            h.name, f.name, ty.name
+                        ),
+                    ),
+                }
+            }
+            self.env
+                .types
+                .insert(h.name.name.clone(), TypeDef::Header { fields });
+        }
+        for s in &prog.structs {
+            let mut fields = Vec::new();
+            let mut seen = HashSet::new();
+            for f in &s.fields {
+                if !seen.insert(f.name.name.clone()) {
+                    self.diag(
+                        Rule::DuplicateInstance,
+                        f.name.span,
+                        format!(
+                            "field '{}' is declared more than once in '{}'",
+                            f.name, s.name
+                        ),
+                    );
+                    continue;
+                }
+                match &f.ty {
+                    TypeRef::Bits { width, .. } => {
+                        fields.push((f.name.name.clone(), FieldTy::Bits(*width)))
+                    }
+                    TypeRef::Named(ty) => match self.env.types.get(&ty.name) {
+                        Some(TypeDef::Header { .. }) => {
+                            fields.push((f.name.name.clone(), FieldTy::Header(ty.name.clone())))
+                        }
+                        Some(TypeDef::Struct { .. }) => self.diag(
+                            Rule::WidthMismatch,
+                            ty.span,
+                            format!(
+                                "struct field '{}.{}' nests struct '{}'; only headers and bit<N> \
+                                 fields are supported",
+                                s.name, f.name, ty.name
+                            ),
+                        ),
+                        None => self.diag(
+                            Rule::UnknownType,
+                            ty.span,
+                            format!("unknown type '{}' in struct '{}'", ty.name, s.name),
+                        ),
+                    },
+                }
+            }
+            self.env
+                .types
+                .insert(s.name.name.clone(), TypeDef::Struct { fields });
+        }
+    }
+
+    fn check_shape(&mut self, prog: &Program) {
+        let origin = Span { line: 1, col: 1 };
+        if prog.parsers.is_empty() {
+            self.diag(Rule::ProgramShape, origin, "program declares no parser");
+        }
+        if prog.controls.is_empty() {
+            self.diag(Rule::ProgramShape, origin, "program declares no control");
+        }
+        if let Some(extra) = prog.parsers.get(1) {
+            self.diag(
+                Rule::ProgramShape,
+                extra.name.span,
+                format!(
+                    "program declares more than one parser ('{}' is extra)",
+                    extra.name
+                ),
+            );
+        }
+        if let Some(extra) = prog.controls.get(1) {
+            self.diag(
+                Rule::ProgramShape,
+                extra.name.span,
+                format!(
+                    "program declares more than one control ('{}' is extra)",
+                    extra.name
+                ),
+            );
+        }
+    }
+
+    /// Param types must resolve (the packet stream type is builtin).
+    fn check_params(&mut self, params: &[Param]) {
+        for p in params {
+            if let TypeRef::Named(ty) = &p.ty {
+                if ty.name != "packet_in"
+                    && ty.name != "packet_out"
+                    && !self.env.types.contains_key(&ty.name)
+                {
+                    self.diag(
+                        Rule::UnknownType,
+                        ty.span,
+                        format!("unknown type '{}' in parameter '{}'", ty.name, p.name),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_parser(&mut self, p: &ParserDecl) {
+        self.check_params(&p.params);
+        let scope = Env::scope_of(&p.params);
+
+        let mut states: HashMap<&str, &StateDecl> = HashMap::new();
+        for s in &p.states {
+            if states.insert(s.name.name.as_str(), s).is_some() {
+                self.diag(
+                    Rule::DuplicateInstance,
+                    s.name.span,
+                    format!("state '{}' is declared more than once", s.name),
+                );
+            }
+        }
+        if !states.contains_key("start") {
+            self.diag(
+                Rule::ProgramShape,
+                p.name.span,
+                format!("parser '{}' has no 'start' state", p.name),
+            );
+        }
+
+        let is_terminal = |name: &str| name == "accept" || name == "reject";
+        for s in &p.states {
+            for ex in &s.extracts {
+                if let Err(msg) = self.env.header_of_path(&scope, ex) {
+                    let rule = if msg.contains("bit field") {
+                        Rule::WidthMismatch
+                    } else {
+                        Rule::UndeclaredRef
+                    };
+                    self.diag(rule, ex.span(), msg);
+                }
+            }
+            let check_target = |a: &mut Self, t: &Ident| {
+                if !is_terminal(&t.name) && !states.contains_key(t.name.as_str()) {
+                    a.diag(
+                        Rule::UndeclaredRef,
+                        t.span,
+                        format!("transition to undeclared state '{}'", t.name),
+                    );
+                }
+            };
+            match &s.transition {
+                Transition::Direct(t) => check_target(self, t),
+                Transition::Select { key, arms, default } => {
+                    let key_width = match key {
+                        Expr::Path(path) => match self.env.path_width(&scope, path) {
+                            Ok(w) => Some(w),
+                            Err(msg) => {
+                                self.diag(Rule::UndeclaredRef, path.span(), msg);
+                                None
+                            }
+                        },
+                        Expr::Lit(l) => l.width,
+                    };
+                    for arm in arms {
+                        if let (Some(kw), Some(aw)) = (key_width, arm.value.width) {
+                            if kw != aw {
+                                self.diag(
+                                    Rule::WidthMismatch,
+                                    arm.value.span,
+                                    format!(
+                                        "select arm literal is {aw} bits wide but the key is \
+                                         {kw} bits"
+                                    ),
+                                );
+                            }
+                        }
+                        if let Some(kw) = key_width {
+                            if !fits(arm.value.value, kw) {
+                                self.diag(
+                                    Rule::WidthMismatch,
+                                    arm.value.span,
+                                    format!(
+                                        "select arm value {} does not fit the {kw}-bit key",
+                                        arm.value.value
+                                    ),
+                                );
+                            }
+                        }
+                        check_target(self, &arm.target);
+                    }
+                    if let Some(d) = default {
+                        check_target(self, d);
+                    }
+                }
+            }
+        }
+
+        // Reachability from `start`, and cycle detection over the state
+        // graph (terminal states `accept`/`reject` end every path).
+        let targets = |s: &StateDecl| -> Vec<String> {
+            match &s.transition {
+                Transition::Direct(t) => vec![t.name.clone()],
+                Transition::Select { arms, default, .. } => {
+                    let mut v: Vec<String> = arms.iter().map(|a| a.target.name.clone()).collect();
+                    if let Some(d) = default {
+                        v.push(d.name.clone());
+                    }
+                    v
+                }
+            }
+        };
+        let mut reachable: HashSet<String> = HashSet::new();
+        let mut stack = vec!["start".to_string()];
+        while let Some(name) = stack.pop() {
+            if is_terminal(&name) || !reachable.insert(name.clone()) {
+                continue;
+            }
+            if let Some(s) = states.get(name.as_str()) {
+                stack.extend(targets(s));
+            }
+        }
+        for s in &p.states {
+            if !reachable.contains(&s.name.name) {
+                self.diag(
+                    Rule::UnreachableState,
+                    s.name.span,
+                    format!("state '{}' is unreachable from 'start'", s.name),
+                );
+            }
+        }
+        // Cycle check: iterative DFS with colors, reported at the state
+        // that closes the cycle.
+        let mut color: HashMap<String, u8> = HashMap::new(); // 1 = open, 2 = done
+        for s in &p.states {
+            if color.get(&s.name.name).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // (state, next-target-index) stack.
+            let mut dfs: Vec<(String, usize)> = vec![(s.name.name.clone(), 0)];
+            color.insert(s.name.name.clone(), 1);
+            while let Some((name, idx)) = dfs.pop() {
+                let Some(st) = states.get(name.as_str()) else {
+                    color.insert(name, 2);
+                    continue;
+                };
+                let ts = targets(st);
+                if idx >= ts.len() {
+                    color.insert(name, 2);
+                    continue;
+                }
+                dfs.push((name.clone(), idx + 1));
+                let next = &ts[idx];
+                if is_terminal(next) {
+                    continue;
+                }
+                match color.get(next.as_str()).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next.clone(), 1);
+                        dfs.push((next.clone(), 0));
+                    }
+                    1 => {
+                        let span = states
+                            .get(next.as_str())
+                            .map(|s| s.name.span)
+                            .unwrap_or(st.name.span);
+                        self.diag(
+                            Rule::StateCycle,
+                            span,
+                            format!("parser states cycle: '{name}' transitions back to '{next}'"),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn check_control(&mut self, c: &ControlDecl) {
+        self.check_params(&c.params);
+        let scope = Env::scope_of(&c.params);
+
+        // One namespace for params, actions, tables and registers.
+        let mut instances: HashMap<String, &'static str> = HashMap::new();
+        for p in &c.params {
+            instances.insert(p.name.name.clone(), "parameter");
+        }
+        let declared: Vec<(&Ident, &'static str)> = c
+            .actions
+            .iter()
+            .map(|a| (&a.name, "action"))
+            .chain(c.tables.iter().map(|t| (&t.name, "table")))
+            .chain(c.registers.iter().map(|r| (&r.name, "register")))
+            .collect();
+        for (name, kind) in declared {
+            if let Some(prev) = instances.insert(name.name.clone(), kind) {
+                self.diag(
+                    Rule::DuplicateInstance,
+                    name.span,
+                    format!("{kind} '{name}' collides with a {prev} of the same name"),
+                );
+            }
+        }
+
+        let actions: HashMap<&str, &ActionDecl> = c
+            .actions
+            .iter()
+            .map(|a| (a.name.name.as_str(), a))
+            .collect();
+        let tables: HashSet<&str> = c.tables.iter().map(|t| t.name.name.as_str()).collect();
+        let registers: HashMap<&str, &RegisterDef> = c
+            .registers
+            .iter()
+            .map(|r| (r.name.name.as_str(), r))
+            .collect();
+
+        for a in &c.actions {
+            self.check_action(a, &scope);
+        }
+        for t in &c.tables {
+            self.check_table(t, &scope, &actions);
+        }
+        for r in &c.registers {
+            self.check_register(r);
+        }
+        self.check_apply(&c.apply, &scope, &tables, &registers);
+    }
+
+    fn check_action(&mut self, a: &ActionDecl, scope: &Scope) {
+        let mut params: HashMap<&str, u32> = HashMap::new();
+        for p in &a.params {
+            match &p.ty {
+                TypeRef::Bits { width, .. } => {
+                    if params.insert(p.name.name.as_str(), *width).is_some() {
+                        self.diag(
+                            Rule::DuplicateInstance,
+                            p.name.span,
+                            format!(
+                                "parameter '{}' is declared more than once in action '{}'",
+                                p.name, a.name
+                            ),
+                        );
+                    }
+                }
+                TypeRef::Named(ty) => self.diag(
+                    Rule::WidthMismatch,
+                    ty.span,
+                    format!(
+                        "action parameter '{}.{}' must have type bit<N>, found '{}'",
+                        a.name, p.name, ty.name
+                    ),
+                ),
+            }
+        }
+        for stmt in &a.body {
+            let lhs_width = match self.env.path_width(scope, &stmt.lhs) {
+                Ok(w) => Some(w),
+                Err(msg) => {
+                    self.diag(Rule::UndeclaredRef, stmt.lhs.span(), msg);
+                    None
+                }
+            };
+            let rhs_width = self.expr_width(&stmt.rhs, scope, &params);
+            if let (Some(lw), Some(rw)) = (lhs_width, rhs_width) {
+                if lw != rw {
+                    self.diag(
+                        Rule::WidthMismatch,
+                        stmt.rhs.span(),
+                        format!(
+                            "assignment to '{}' mixes widths: destination is {lw} bits, source \
+                             is {rw} bits",
+                            stmt.lhs.dotted()
+                        ),
+                    );
+                }
+            }
+            if let (Some(lw), Expr::Lit(l)) = (lhs_width, &stmt.rhs) {
+                if l.width.is_none() && !fits(l.value, lw) {
+                    self.diag(
+                        Rule::WidthMismatch,
+                        l.span,
+                        format!(
+                            "literal {} does not fit the {lw}-bit destination '{}'",
+                            l.value,
+                            stmt.lhs.dotted()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Width of an expression, if determinable. Bare literals are
+    /// context-typed and return `None`; unresolvable paths emit SRC104.
+    fn expr_width(&mut self, e: &Expr, scope: &Scope, params: &HashMap<&str, u32>) -> Option<u32> {
+        match e {
+            Expr::Lit(l) => l.width,
+            Expr::Path(p) => {
+                if p.parts.len() == 1 {
+                    if let Some(w) = params.get(p.parts[0].name.as_str()) {
+                        return Some(*w);
+                    }
+                }
+                match self.env.path_width(scope, p) {
+                    Ok(w) => Some(w),
+                    Err(msg) => {
+                        self.diag(Rule::UndeclaredRef, p.span(), msg);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_table(&mut self, t: &TableDef, scope: &Scope, actions: &HashMap<&str, &ActionDecl>) {
+        self.check_pragmas(&t.pragmas, &["stage", "digest", "selector_hash"], scope);
+        for k in &t.key {
+            if let Err(msg) = self.env.path_width(scope, &k.field) {
+                self.diag(Rule::UndeclaredRef, k.field.span(), msg);
+            }
+            match k.match_kind.name.as_str() {
+                "exact" | "ternary" | "lpm" => {}
+                other => self.diag(
+                    Rule::UndeclaredRef,
+                    k.match_kind.span,
+                    format!("unknown match kind '{other}' (expected exact, ternary or lpm)"),
+                ),
+            }
+        }
+        let mut listed: HashSet<&str> = HashSet::new();
+        for a in &t.actions {
+            if !actions.contains_key(a.name.as_str()) {
+                self.diag(
+                    Rule::UndefinedAction,
+                    a.span,
+                    format!("table '{}' lists undefined action '{}'", t.name, a),
+                );
+            }
+            if !listed.insert(a.name.as_str()) {
+                self.diag(
+                    Rule::DuplicateInstance,
+                    a.span,
+                    format!("table '{}' lists action '{}' more than once", t.name, a),
+                );
+            }
+        }
+        if let Some(call) = &t.default_action {
+            match actions.get(call.name.name.as_str()) {
+                None => self.diag(
+                    Rule::UndefinedAction,
+                    call.name.span,
+                    format!(
+                        "table '{}' defaults to undefined action '{}'",
+                        t.name, call.name
+                    ),
+                ),
+                Some(decl) => {
+                    if !listed.contains(call.name.name.as_str()) {
+                        self.diag(
+                            Rule::UndefinedAction,
+                            call.name.span,
+                            format!(
+                                "default action '{}' is not in table '{}''s actions list",
+                                call.name, t.name
+                            ),
+                        );
+                    }
+                    if call.args.len() != decl.params.len() {
+                        self.diag(
+                            Rule::ActionArity,
+                            call.name.span,
+                            format!(
+                                "action '{}' takes {} argument{} but the default call passes {}",
+                                call.name,
+                                decl.params.len(),
+                                if decl.params.len() == 1 { "" } else { "s" },
+                                call.args.len()
+                            ),
+                        );
+                    }
+                    for (arg, param) in call.args.iter().zip(&decl.params) {
+                        let pw = match &param.ty {
+                            TypeRef::Bits { width, .. } => *width,
+                            TypeRef::Named(_) => continue, // already diagnosed
+                        };
+                        match arg {
+                            Expr::Lit(l) => {
+                                if let Some(aw) = l.width {
+                                    if aw != pw {
+                                        self.diag(
+                                            Rule::ActionArity,
+                                            l.span,
+                                            format!(
+                                                "argument for '{}' is {aw} bits wide but the \
+                                                 parameter is {pw} bits",
+                                                param.name
+                                            ),
+                                        );
+                                    }
+                                } else if !fits(l.value, pw) {
+                                    self.diag(
+                                        Rule::ActionArity,
+                                        l.span,
+                                        format!(
+                                            "argument {} does not fit the {pw}-bit parameter \
+                                             '{}'",
+                                            l.value, param.name
+                                        ),
+                                    );
+                                }
+                            }
+                            Expr::Path(p) => self.diag(
+                                Rule::ActionArity,
+                                p.span(),
+                                format!(
+                                    "default-action arguments must be literals, found '{}'",
+                                    p.dotted()
+                                ),
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_register(&mut self, r: &RegisterDef) {
+        self.check_pragmas(
+            &r.pragmas,
+            &["stage", "transactional", "hash_ways"],
+            &Scope::new(),
+        );
+        if r.cells == 0 {
+            self.diag(
+                Rule::WidthMismatch,
+                r.width_span,
+                format!("register '{}' has zero cells", r.name),
+            );
+        }
+        let transactional = r.pragmas.iter().any(|p| p.name.name == "transactional");
+        if transactional {
+            if let Some((_, span, stages)) = stage_pragma(&r.pragmas) {
+                if stages > 1 {
+                    self.diag(
+                        Rule::PragmaError,
+                        span,
+                        format!(
+                            "transactional register '{}' spans {stages} stages; read-modify-write \
+                             atomicity holds within a single stage only",
+                            r.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_pragmas(&mut self, pragmas: &[Pragma], known: &[&str], scope: &Scope) {
+        for p in pragmas {
+            let name = p.name.name.as_str();
+            if !known.contains(&name) {
+                self.diag(
+                    Rule::PragmaError,
+                    p.name.span,
+                    format!(
+                        "unknown pragma '{name}' (expected one of: {})",
+                        known.join(", ")
+                    ),
+                );
+                continue;
+            }
+            let ints = p
+                .args
+                .iter()
+                .filter(|a| matches!(a, PragmaArg::Int(..)))
+                .count();
+            match name {
+                "stage" if ints != p.args.len() || !(1..=2).contains(&p.args.len()) => {
+                    self.diag(
+                        Rule::PragmaError,
+                        p.name.span,
+                        "pragma 'stage' takes one or two integer arguments: \
+                         first-stage [span]",
+                    );
+                }
+                "transactional" if !p.args.is_empty() => {
+                    self.diag(
+                        Rule::PragmaError,
+                        p.name.span,
+                        "pragma 'transactional' takes no arguments",
+                    );
+                }
+                "hash_ways" | "selector_hash" => {
+                    let ok = p.args.len() == 1
+                        && matches!(p.args.first(), Some(PragmaArg::Int(v, _)) if *v >= 1);
+                    if !ok {
+                        self.diag(
+                            Rule::PragmaError,
+                            p.name.span,
+                            format!("pragma '{name}' takes one positive integer argument"),
+                        );
+                    }
+                }
+                "digest" => match p.args.first() {
+                    Some(PragmaArg::Path(path)) if p.args.len() == 1 => {
+                        if let Err(msg) = self.env.path_width(scope, path) {
+                            self.diag(Rule::UndeclaredRef, path.span(), msg);
+                        }
+                    }
+                    _ => self.diag(
+                        Rule::PragmaError,
+                        p.name.span,
+                        "pragma 'digest' takes one field-path argument",
+                    ),
+                },
+                _ => {}
+            }
+        }
+    }
+
+    fn check_apply(
+        &mut self,
+        stmts: &[ApplyStmt],
+        scope: &Scope,
+        tables: &HashSet<&str>,
+        registers: &HashMap<&str, &RegisterDef>,
+    ) {
+        for stmt in stmts {
+            match stmt {
+                ApplyStmt::Apply { target } => {
+                    if !tables.contains(target.name.as_str()) {
+                        self.diag(
+                            Rule::UndeclaredRef,
+                            target.span,
+                            format!("'{}' is not a declared table", target),
+                        );
+                    }
+                }
+                ApplyStmt::RegisterOp { dst, reg, index } => {
+                    let cell_width = match registers.get(reg.name.as_str()) {
+                        Some(r) => Some(r.cell_width),
+                        None => {
+                            self.diag(
+                                Rule::UndeclaredRef,
+                                reg.span,
+                                format!("'{}' is not a declared register", reg),
+                            );
+                            None
+                        }
+                    };
+                    match self.env.path_width(scope, dst) {
+                        Ok(w) => {
+                            if let Some(cw) = cell_width {
+                                if w != cw {
+                                    self.diag(
+                                        Rule::WidthMismatch,
+                                        dst.span(),
+                                        format!(
+                                            "register '{}' cells are {cw} bits but '{}' is {w} \
+                                             bits",
+                                            reg,
+                                            dst.dotted()
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                        Err(msg) => self.diag(Rule::UndeclaredRef, dst.span(), msg),
+                    }
+                    if let Expr::Path(p) = index {
+                        if let Err(msg) = self.env.path_width(scope, p) {
+                            self.diag(Rule::UndeclaredRef, p.span(), msg);
+                        }
+                    }
+                }
+                ApplyStmt::If { cond, then, els } => {
+                    match cond {
+                        Cond::ApplyResult { table, .. } => {
+                            if !tables.contains(table.name.as_str()) {
+                                self.diag(
+                                    Rule::UndeclaredRef,
+                                    table.span,
+                                    format!("'{}' is not a declared table", table),
+                                );
+                            }
+                        }
+                        Cond::Compare { lhs, rhs } => {
+                            let none = HashMap::new();
+                            let lw = self.expr_width(lhs, scope, &none);
+                            let rw = self.expr_width(rhs, scope, &none);
+                            if let (Some(lw), Some(rw)) = (lw, rw) {
+                                if lw != rw {
+                                    self.diag(
+                                        Rule::WidthMismatch,
+                                        rhs.span(),
+                                        format!("comparison mixes widths: {lw} bits vs {rw} bits"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    self.check_apply(then, scope, tables, registers);
+                    self.check_apply(els, scope, tables, registers);
+                }
+            }
+        }
+    }
+}
+
+/// The `@pragma stage F [S]` placement, if present: (first, span-of-name,
+/// stage count). Malformed stage pragmas are diagnosed elsewhere and
+/// ignored here.
+pub fn stage_pragma(pragmas: &[Pragma]) -> Option<(u32, Span, u32)> {
+    for p in pragmas {
+        if p.name.name != "stage" {
+            continue;
+        }
+        let mut ints = p.args.iter().filter_map(|a| match a {
+            PragmaArg::Int(v, _) => Some(*v),
+            PragmaArg::Path(_) => None,
+        });
+        let first = u32::try_from(ints.next()?).ok()?;
+        let span_count = ints
+            .next()
+            .map(|v| u32::try_from(v).ok())
+            .unwrap_or(Some(1))?;
+        return Some((first, p.name.span, span_count.max(1)));
+    }
+    None
+}
+
+/// Does `value` fit in `width` bits?
+fn fits(value: u128, width: u32) -> bool {
+    width >= 128 || value < (1u128 << width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        analyze(&parse(src).unwrap())
+            .diags
+            .iter()
+            .map(|d| d.rule.id())
+            .collect()
+    }
+
+    const CLEAN: &str = r#"
+header eth_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+struct headers_t { eth_h eth; }
+struct meta_t { bit<16> digest; bit<1> transit; }
+
+parser p(packet_in pkt, out headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            16w0x0800 : done;
+            default : accept;
+        };
+    }
+    state done { transition accept; }
+}
+
+control c(inout headers_t hdr, inout meta_t meta) {
+    action setd(bit<16> d) { meta.digest = d; }
+    action nop() { meta.transit = 1w0; }
+    @pragma stage 0 2
+    @pragma digest meta.digest
+    table t {
+        key = { hdr.eth.dst : exact; }
+        actions = { setd; nop; }
+        size = 1024;
+        default_action = nop();
+    }
+    @pragma stage 2
+    @pragma transactional
+    register<bit<1>>(2048) r;
+    apply {
+        if (t.apply().miss) {
+            meta.transit = r.execute(hdr.eth.dst);
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn clean_program_has_no_diags() {
+        let a = analyze(&parse(CLEAN).unwrap());
+        assert!(a.is_clean(), "{}", a.render());
+    }
+
+    #[test]
+    fn src101_unknown_type() {
+        let src = CLEAN.replace("eth_h eth;", "eth_h eth; vlan_h vlan;");
+        assert!(ids(&src).contains(&"SRC101"));
+    }
+
+    #[test]
+    fn src102_duplicate_type() {
+        let src = format!("{CLEAN}\nheader eth_h {{ bit<8> x; }}\n");
+        assert!(ids(&src).contains(&"SRC102"));
+    }
+
+    #[test]
+    fn src103_duplicate_instance() {
+        let src = CLEAN.replace(
+            "register<bit<1>>(2048) r;",
+            "register<bit<1>>(2048) r;\n    register<bit<1>>(64) t;",
+        );
+        assert!(ids(&src).contains(&"SRC103"));
+    }
+
+    #[test]
+    fn src104_undeclared_reference() {
+        let src = CLEAN.replace("hdr.eth.dst : exact;", "hdr.eth.vid : exact;");
+        assert!(ids(&src).contains(&"SRC104"));
+    }
+
+    #[test]
+    fn src105_width_mismatch() {
+        let src = CLEAN.replace("meta.transit = 1w0;", "meta.transit = 16w0;");
+        assert!(ids(&src).contains(&"SRC105"));
+    }
+
+    #[test]
+    fn src106_unreachable_state() {
+        let src = CLEAN.replace(
+            "state done { transition accept; }",
+            "state done { transition accept; }\n    state orphan { transition accept; }",
+        );
+        assert!(ids(&src).contains(&"SRC106"));
+    }
+
+    #[test]
+    fn src107_state_cycle() {
+        let src = CLEAN.replace(
+            "state done { transition accept; }",
+            "state done { transition start; }",
+        );
+        assert!(ids(&src).contains(&"SRC107"));
+    }
+
+    #[test]
+    fn src108_arity_mismatch() {
+        let src = CLEAN.replace("default_action = nop();", "default_action = setd();");
+        assert!(ids(&src).contains(&"SRC108"));
+    }
+
+    #[test]
+    fn src109_undefined_action() {
+        let src = CLEAN.replace("actions = { setd; nop; }", "actions = { setd; nop; drop; }");
+        assert!(ids(&src).contains(&"SRC109"));
+    }
+
+    #[test]
+    fn src110_transactional_multi_stage() {
+        let src = CLEAN.replace("@pragma stage 2\n", "@pragma stage 2 3\n");
+        assert!(ids(&src).contains(&"SRC110"));
+    }
+
+    #[test]
+    fn src111_missing_start_state() {
+        let src = CLEAN.replace("state start {", "state begin {");
+        let got = ids(&src);
+        assert!(got.contains(&"SRC111"), "{got:?}");
+    }
+
+    #[test]
+    fn diags_are_source_ordered_and_rendered_stably() {
+        let src = CLEAN
+            .replace("meta.transit = 1w0;", "meta.transit = 16w0;")
+            .replace("actions = { setd; nop; }", "actions = { setd; nop; drop; }");
+        let a = analyze(&parse(&src).unwrap());
+        let rendered = a.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("SRC105 "), "{lines:?}");
+        assert!(lines[1].starts_with("SRC109 "), "{lines:?}");
+    }
+}

@@ -1,0 +1,39 @@
+// The clean base program the per-rule mutation fixtures are derived from.
+// It must parse, analyze and lower without a single diagnostic; each
+// srcNNN_*.p4 sibling breaks exactly one rule.
+
+header eth_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+struct headers_t { eth_h eth; }
+struct meta_t { bit<16> digest; bit<8> mark; bit<1> seen; bit<7> pad; }
+
+parser p(packet_in pkt, out headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            16w0x0800 : tagged;
+            default   : accept;
+        };
+    }
+    state tagged { transition accept; }
+    state orphan { transition accept; }
+}
+
+control c(inout headers_t hdr, inout meta_t meta) {
+    action mark(bit<8> m) { meta.mark = m; }
+    action unmark() { meta.mark = 8w0; }
+    @pragma stage 0
+    table t {
+        key = { hdr.eth.dst : exact; }
+        actions = { mark; unmark; }
+        size = 64;
+        default_action = unmark();
+    }
+    @pragma stage 1
+    @pragma transactional
+    register<bit<1>>(64) seenreg;
+    apply {
+        if (t.apply().miss) {
+            meta.seen = seenreg.execute(meta.digest);
+        }
+    }
+}

@@ -79,8 +79,8 @@ fn ip_octets(ip: IpAddr, buf: &mut [u8; 16]) -> usize {
 #[inline]
 fn dst_addr_off(view: &FrameView) -> usize {
     match view.family {
-        AddrFamily::V4 => view.l3 as usize + 16,
-        AddrFamily::V6 => view.l3 as usize + 24,
+        AddrFamily::V4 => usize::from(view.l3) + 16,
+        AddrFamily::V6 => usize::from(view.l3) + 24,
     }
 }
 
@@ -88,8 +88,8 @@ fn dst_addr_off(view: &FrameView) -> usize {
 #[inline]
 fn l4_cksum_off(view: &FrameView) -> usize {
     match view.proto {
-        Protocol::Tcp => view.l4 as usize + 16,
-        Protocol::Udp => view.l4 as usize + 6,
+        Protocol::Tcp => usize::from(view.l4) + 16,
+        Protocol::Udp => usize::from(view.l4) + 6,
     }
 }
 
@@ -113,14 +113,14 @@ fn nat_in_place(out: &mut [u8], view: &FrameView, op: &RewriteOp) -> Result<(), 
     }
     let old_addr = old_addr.get(..addr_len).ok_or(WireError::Truncated)?;
 
-    let port_off = view.l4 as usize + 2;
+    let port_off = usize::from(view.l4) + 2;
     let old_port = read16(out, port_off)?;
     let old_port_bytes = old_port.to_be_bytes();
     let new_port_bytes = dip.port.to_be_bytes();
 
     // IPv4 header checksum covers the destination address (not the port).
     if view.family == AddrFamily::V4 {
-        let ip_ck_off = view.l3 as usize + 10;
+        let ip_ck_off = usize::from(view.l3) + 10;
         let ck = read16(out, ip_ck_off)?;
         write16(out, ip_ck_off, incremental_update(ck, old_addr, new_addr))?;
     }
@@ -155,7 +155,7 @@ fn encap(
     out: &mut [u8],
 ) -> Result<usize, WireError> {
     let dip = op.dip.0;
-    let l3 = view.l3 as usize;
+    let l3 = usize::from(view.l3);
     let inner = frame.get(l3..).ok_or(WireError::Truncated)?;
     let eth = frame.get(..l3).ok_or(WireError::Truncated)?;
 

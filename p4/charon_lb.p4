@@ -1,0 +1,158 @@
+// charon_lb.p4 — an alternate reference program for the sr-p4 front-end:
+// a Charon-style load-aware L4 balancer (PAPERS.md) in the same P4_16
+// subset. Unlike silkroad.p4 it has no hand-built twin; the gate is that
+// it parses, passes semantic analysis clean, and lowers to a layout
+// srcheck places on a Tofino-class chip.
+//
+// Shape: a digest-compressed connection cache pins established flows; on
+// a miss the bucket table proposes a primary server plus a load threshold,
+// a per-bucket load register is read transactionally, and if the primary
+// is saturated a spill table redirects the flow. The final server table
+// rewrites the packet.
+
+#include <core.p4>
+
+header eth_h {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_h {
+    bit<8>  version_ihl;
+    bit<8>  tos;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header l4_h {
+    bit<16> src_port;
+    bit<16> dst_port;
+}
+
+struct headers_t {
+    eth_h  eth;
+    ipv4_h ipv4;
+    l4_h   l4;
+}
+
+struct metadata_t {
+    bit<16> digest;
+    bit<8>  bucket;
+    bit<8>  server;
+    bit<8>  load;
+    bit<8>  threshold;
+    bit<1>  cache_hit;
+    bit<7>  pad;
+}
+
+parser charon_parser(packet_in pkt, out headers_t hdr, inout metadata_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            16w0x0800 : parse_ipv4;
+            default   : accept;
+        };
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6     : parse_l4;
+            8w17    : parse_l4;
+            default : accept;
+        };
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+
+control charon(inout headers_t hdr, inout metadata_t meta) {
+    action set_server(bit<8> srv) {
+        meta.server    = srv;
+        meta.cache_hit = 1w1;
+    }
+    action cache_miss() {
+        meta.cache_hit = 1w0;
+    }
+
+    action pick_primary(bit<8> srv, bit<8> limit) {
+        meta.server    = srv;
+        meta.threshold = limit;
+    }
+    action pick_spill(bit<8> srv) {
+        meta.server = srv;
+    }
+    action drop_flow() {
+        meta.threshold = 8w0;
+    }
+
+    action forward(bit<32> daddr, bit<16> dport) {
+        hdr.ipv4.dst_addr = daddr;
+        hdr.l4.dst_port   = dport;
+        hdr.ipv4.ttl      = 8w64;
+    }
+
+    @pragma stage 0 2
+    @pragma digest meta.digest
+    table ConnCache {
+        key = {
+            hdr.ipv4.src_addr : exact;
+            hdr.ipv4.dst_addr : exact;
+            hdr.ipv4.protocol : exact;
+            hdr.l4.src_port   : exact;
+            hdr.l4.dst_port   : exact;
+        }
+        actions = { set_server; cache_miss; }
+        size = 262144;
+        default_action = cache_miss();
+    }
+
+    @pragma stage 2
+    table BucketTable {
+        key = { meta.bucket : exact; }
+        actions = { pick_primary; drop_flow; }
+        size = 256;
+        default_action = drop_flow();
+    }
+
+    @pragma stage 4
+    table SpillTable {
+        key = { meta.bucket : exact; }
+        actions = { pick_spill; drop_flow; }
+        size = 256;
+        default_action = drop_flow();
+    }
+
+    @pragma stage 5
+    @pragma selector_hash 32
+    table ServerTable {
+        key = { meta.server : exact; }
+        actions = { forward; drop_flow; }
+        size = 256;
+        default_action = drop_flow();
+    }
+
+    // Per-bucket connection-count estimate, bumped-and-read in one cycle.
+    @pragma stage 3
+    @pragma transactional
+    register<bit<8>>(256) LoadTable;
+
+    apply {
+        if (ConnCache.apply().miss) {
+            BucketTable.apply();
+            meta.load = LoadTable.execute(meta.bucket);
+            if (meta.load == meta.threshold) {
+                SpillTable.apply();
+            }
+        }
+        ServerTable.apply();
+    }
+}

@@ -1,0 +1,216 @@
+// silkroad.p4 — the paper's ~400-line SilkRoad addition (§5.1), written in
+// the P4_16 subset sr-p4 compiles. Lowering this file must produce a
+// PipelineProgram resource-for-resource identical to the hand-built
+// reference PipelineProgram::silkroad(1_000_000, 4, 16, 6, 1_000, 4_000,
+// 144, 256, 4); `repro check` and crates/p4/tests/parity.rs gate that.
+//
+// Resource derivations (DESIGN.md §14.3):
+//   ConnTable     key = IPv4 5-tuple (32+32+8+16+16 = 104 bits), digest
+//                 compression stores meta.digest (16 bits); action data is
+//                 the 6-bit DIP-pool version; 1M entries over stages 0-3.
+//   TransitTable  2048-cell 1-bit bloom filter, 4 hash ways -> 8 stateful
+//                 ALUs and 4 x ceil(log2 2048) = 44 index-hash bits; the
+//                 one-cycle read-check-modify-write path (§4.3) pins it to
+//                 a single stage (stage 4).
+//   VIPTable      VIP = v6 address + port + proto (128+16+8 = 152 bits);
+//                 action carries old+new version (12 bits); stage 5.
+//   DIPPoolTable  key = pool row + version (32+6 = 38 bits); action data is
+//                 a full DIP rewrite (128+16 = 144 bits); the in-pool DIP
+//                 selection hash adds 64 selector bits; stage 6.
+//   LearnTable    keyed by the 16-bit digest; stage 7.
+
+#include <core.p4>
+
+header eth_h {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_h {
+    bit<8>  version_ihl;
+    bit<8>  tos;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_h {
+    bit<32>  version_class_flow;
+    bit<16>  payload_len;
+    bit<8>   next_hdr;
+    bit<8>   hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+header l4_h {
+    bit<16> src_port;
+    bit<16> dst_port;
+}
+
+struct headers_t {
+    eth_h  eth;
+    ipv4_h ipv4;
+    ipv6_h ipv6;
+    l4_h   l4;
+}
+
+// PHV-resident metadata: digest(16) + version(6) + new_version(6) +
+// transit(1) + pad(3) = 32 bits, the paper's "all the tables and metadata
+// needed" footprint.
+struct metadata_t {
+    bit<16> digest;
+    bit<6>  version;
+    bit<6>  new_version;
+    bit<1>  transit;
+    bit<3>  pad;
+}
+
+parser silkroad_parser(packet_in pkt, out headers_t hdr, inout metadata_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            16w0x0800 : parse_ipv4;
+            16w0x86dd : parse_ipv6;
+            default   : accept;
+        };
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6     : parse_l4;
+            8w17    : parse_l4;
+            default : accept;
+        };
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            8w6     : parse_l4;
+            8w17    : parse_l4;
+            default : accept;
+        };
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+
+control silkroad(inout headers_t hdr, inout metadata_t meta) {
+    // ConnTable hit: the connection is pinned to the pool version it
+    // arrived under.
+    action set_version(bit<6> v) {
+        meta.version = v;
+        meta.transit = 1w0;
+    }
+    action conn_miss() {
+        meta.transit     = 1w1;
+        meta.new_version = 6w0;
+    }
+
+    // VIPTable: current and next DIP-pool version for this VIP.
+    action set_versions(bit<6> cur, bit<6> next) {
+        meta.version     = cur;
+        meta.new_version = next;
+    }
+    action vip_miss() {
+        meta.new_version = 6w0;
+    }
+
+    // DIPPoolTable: rewrite toward the selected DIP.
+    action set_dip(bit<128> dip, bit<16> port) {
+        hdr.ipv6.dst_addr  = dip;
+        hdr.l4.dst_port    = port;
+        hdr.ipv4.ttl       = 8w64;
+        hdr.ipv6.hop_limit = 8w64;
+        hdr.eth.ether_type = 16w0x0800;
+    }
+    action pool_miss() {
+        meta.pad = 3w0;
+    }
+
+    // LearnTable: pending-insert digests awaiting the switch CPU.
+    action learn(bit<8> flags) {
+        hdr.ipv4.tos = flags;
+        meta.transit = 1w0;
+        meta.pad     = 3w0;
+    }
+    action no_learn() {
+        meta.pad = 3w0;
+    }
+
+    @pragma stage 0 4
+    @pragma digest meta.digest
+    table ConnTable {
+        key = {
+            hdr.ipv4.src_addr : exact;
+            hdr.ipv4.dst_addr : exact;
+            hdr.ipv4.protocol : exact;
+            hdr.l4.src_port   : exact;
+            hdr.l4.dst_port   : exact;
+        }
+        actions = { set_version; conn_miss; }
+        size = 1000000;
+        default_action = conn_miss();
+    }
+
+    @pragma stage 5
+    table VIPTable {
+        key = {
+            hdr.ipv6.dst_addr : exact;
+            hdr.l4.dst_port   : exact;
+            hdr.ipv6.next_hdr : exact;
+        }
+        actions = { set_versions; vip_miss; }
+        size = 1000;
+        default_action = vip_miss();
+    }
+
+    @pragma stage 6
+    @pragma selector_hash 64
+    table DIPPoolTable {
+        key = {
+            hdr.ipv4.dst_addr : exact;
+            meta.version      : exact;
+        }
+        actions = { set_dip; pool_miss; }
+        size = 4000;
+        default_action = pool_miss();
+    }
+
+    @pragma stage 7
+    table LearnTable {
+        key = { meta.digest : exact; }
+        actions = { learn; no_learn; }
+        size = 4096;
+        default_action = no_learn();
+    }
+
+    // The bloom-filter membership register: "is this connection in
+    // transit across a pool-version update?" (§4.3).
+    @pragma stage 4
+    @pragma transactional
+    @pragma hash_ways 4
+    register<bit<1>>(2048) TransitTable;
+
+    apply {
+        // The paper's miss path: ConnTable lookup -> TransitTable
+        // membership verdict -> VIPTable version read -> DIPPoolTable
+        // resolution. Hit path short-circuits straight to the pool.
+        if (ConnTable.apply().miss) {
+            meta.transit = TransitTable.execute(meta.digest);
+            if (meta.transit == 1w0) {
+                VIPTable.apply();
+            }
+        }
+        DIPPoolTable.apply();
+        LearnTable.apply();
+    }
+}

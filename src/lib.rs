@@ -11,6 +11,7 @@ pub use sr_asic;
 pub use sr_baselines;
 pub use sr_hash;
 pub use sr_netwide;
+pub use sr_p4;
 pub use sr_sim;
 pub use sr_types;
 pub use sr_workload;

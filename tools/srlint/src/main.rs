@@ -14,6 +14,12 @@
 //!   `format!`, `.collect()`, …) in hot-path code; the steady-state packet
 //!   path reuses caller-owned buffers (`tests/alloc_regression.rs` proves
 //!   it dynamically, this rule catches sneak-ins at review time).
+//! * **no-as-cast** — no numeric `as` casts in hot-path code. `as` to a
+//!   narrower integer silently truncates and `as` between signedness
+//!   silently wraps; the packet path converts via `From`/`TryFrom` (or an
+//!   explicit mask that states the intended width). Audited exceptions —
+//!   provably-widening casts, lane-index arithmetic already bounded by a
+//!   mask — are allowlisted per line.
 //! * **no-std-hashmap** — `sr-core` and `sr-hash` must use the workspace's
 //!   `FxHash` maps, not `std::collections::HashMap`/`HashSet` (SipHash
 //!   costs ~4x on short keys; see `sr_hash::FxHashMap`).
@@ -75,6 +81,14 @@ const ALLOC_PATTERNS: [&str; 11] = [
     ".to_string()",
     ".to_owned()",
     ".collect()",
+];
+
+/// Primitive numeric types whose `as` casts the no-as-cast rule flags.
+/// (Prefix-free as a set once the following character is checked, so a
+/// simple starts-with match per candidate is exact.)
+const CAST_TARGETS: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
 ];
 
 struct Violation {
@@ -316,6 +330,18 @@ fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
                     });
                 }
             }
+            if let Some(ty) = numeric_as_cast(&code) {
+                out.push(Violation {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: "no-as-cast",
+                    content: trimmed.to_string(),
+                    message: format!(
+                        "`as {ty}` cast in hot-path code (silently truncates/wraps; use \
+                         From/TryFrom or an explicit mask)"
+                    ),
+                });
+            }
         }
     }
     out
@@ -348,6 +374,30 @@ fn strip_strings_and_comments(line: &str) -> String {
         }
     }
     out
+}
+
+/// Find a numeric `as` cast: the token ` as ` followed by a primitive
+/// numeric type name (then a non-identifier character). `use x as y` and
+/// identifiers containing "as" never match — `as` must stand alone and
+/// the target must be one of `CAST_TARGETS` exactly.
+fn numeric_as_cast(code: &str) -> Option<&'static str> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(" as ") {
+        let rest = code[start + pos + 4..].trim_start();
+        for ty in CAST_TARGETS {
+            if let Some(after) = rest.strip_prefix(ty) {
+                let boundary = !after
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+                if boundary {
+                    return Some(ty);
+                }
+            }
+        }
+        start += pos + 4;
+    }
+    None
 }
 
 /// Indexing heuristic: a `[` directly preceded by an identifier character
@@ -425,6 +475,50 @@ mod tests {
         );
         assert_eq!(v[0].rule, "no-alloc");
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn hot_scope_catches_numeric_as_casts() {
+        let src = "// srlint: hot-path begin\n\
+                   fn f(x: u32) -> u8 { (x >> 24) as u8 }\n\
+                   // srlint: hot-path end\n\
+                   fn cold(x: u32) -> u8 { (x >> 24) as u8 }\n";
+        let v = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| (v.line, v.rule)).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].rule, "no-as-cast");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn as_cast_targets_are_matched_exactly() {
+        // Renaming imports, non-numeric casts, and identifiers containing
+        // "as" are not casts; every numeric primitive target is.
+        for clean in [
+            "use std::io::Result as IoResult;\n",
+            "let p = x as *const u8;\n",
+            "let y = x as u8x16;\n",
+            "fn measure_as_u8() {}\n",
+        ] {
+            let src = format!("// srlint: hot-path begin\n{clean}// srlint: hot-path end\n");
+            assert!(
+                rules("crates/core/src/engine.rs", &src).is_empty(),
+                "false positive on: {clean}"
+            );
+        }
+        for ty in CAST_TARGETS {
+            let src =
+                format!("// srlint: hot-path begin\nlet y = x as {ty};\n// srlint: hot-path end\n");
+            assert_eq!(
+                rules("crates/core/src/engine.rs", &src),
+                ["no-as-cast"],
+                "missed target {ty}"
+            );
+        }
     }
 
     #[test]

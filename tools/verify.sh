@@ -11,14 +11,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(
-    silkroad-lb sr-types sr-hash sr-asic silkroad sr-exec
+    silkroad-lb sr-types sr-hash sr-asic sr-p4 silkroad sr-exec
     sr-baselines sr-workload sr-sim sr-netwide sr-wire sr-bench srlint
 )
 PKG_FLAGS=()
 for p in "${FIRST_PARTY[@]}"; do PKG_FLAGS+=(-p "$p"); done
 
 echo "== build (release)"
-cargo build --release
+# --workspace so the sr-bench `repro` binary the later gates exercise is
+# rebuilt too: the root manifest is itself a package, and a bare
+# `cargo build` covers only it and its lib dependencies — leaving a
+# stale target/release/repro behind after CLI changes.
+cargo build --release --workspace
 
 echo "== tests"
 cargo test -q
@@ -34,6 +38,16 @@ cargo run -q --release -p srlint -- .
 
 echo "== srcheck (pipeline-layout gate: reference programs must place)"
 ./target/release/repro check > /dev/null
+
+# P4 front-end gate: every bundled .p4 must compile (parse -> semantic ->
+# lower) and place on the Tofino-class chip. The default `repro check`
+# above already runs the bundled sources plus the silkroad.p4-vs-
+# hand-built parity gate; this loop additionally proves the --p4 file
+# path works on each checked-in program.
+echo "== sr-p4 (P4 front-end gate: bundled .p4 sources compile and place)"
+for p4 in p4/*.p4; do
+    ./target/release/repro check --p4 "$p4" > /dev/null
+done
 
 # Run in a scratch dir so the smoke JSON does not clobber the committed
 # full-run BENCH_throughput.json.
