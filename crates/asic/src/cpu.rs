@@ -132,6 +132,24 @@ impl<P> SwitchCpu<P> {
         done
     }
 
+    /// The recycled-buffer form of [`SwitchCpu::pop_completed`]: feed each
+    /// completed job to `f` in FIFO order without materialising a `Vec`.
+    /// Returns the number of jobs popped — the batched install drain pulls
+    /// completions through this into a buffer it reuses across batches.
+    pub fn pop_completed_with<F: FnMut(CpuJob<P>)>(&mut self, now: Nanos, mut f: F) -> usize {
+        let mut n = 0usize;
+        while let Some(j) = self.queue.front() {
+            if j.completes_at <= now {
+                f(self.queue.pop_front().expect("front exists"));
+                self.completed_jobs += 1;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
     /// Whether all submitted jobs have completed by `now`.
     pub fn drained(&self, now: Nanos) -> bool {
         self.queue
@@ -189,6 +207,27 @@ mod tests {
         assert_eq!(second.len(), 1);
         assert_eq!(c.completed_jobs(), 2);
         assert!(c.drained(Nanos::from_micros(100)));
+    }
+
+    #[test]
+    fn callback_pop_matches_vec_pop() {
+        let mut a = cpu(200_000);
+        let mut b = cpu(200_000);
+        for i in 0..4 {
+            a.submit(i, Nanos::ZERO);
+            b.submit(i, Nanos::ZERO);
+        }
+        let now = Nanos::from_micros(12); // 2 of 4 jobs done
+        let via_vec: Vec<u32> = a
+            .pop_completed(now)
+            .into_iter()
+            .map(|j| j.payload)
+            .collect();
+        let mut via_cb = Vec::new();
+        assert_eq!(b.pop_completed_with(now, |j| via_cb.push(j.payload)), 2);
+        assert_eq!(via_vec, via_cb);
+        assert_eq!(a.completed_jobs(), b.completed_jobs());
+        assert_eq!(a.backlog(), b.backlog());
     }
 
     #[test]

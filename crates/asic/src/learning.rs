@@ -10,14 +10,16 @@
 //! a longer timeout means connections stay *pending* longer, growing the
 //! set the TransitTable must remember during an update.
 
-use sr_types::{Duration, Nanos};
-use std::collections::HashSet;
+use sr_hash::FxHashSet;
+use sr_types::{Duration, Nanos, TupleKey};
 
 /// A new-connection event queued toward the switch CPU.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LearnEvent<M> {
-    /// The connection key (canonical 5-tuple bytes).
-    pub key: Box<[u8]>,
+    /// The connection key (canonical 5-tuple bytes), stored inline: learn
+    /// events sit on the connection-setup path, where a per-event heap key
+    /// would show up as an allocation per new connection.
+    pub key: TupleKey,
     /// Metadata captured at first-packet time (e.g. the DIP-pool version the
     /// data plane selected).
     pub meta: M,
@@ -48,7 +50,7 @@ impl Default for LearningFilterConfig {
 pub struct LearningFilter<M> {
     cfg: LearningFilterConfig,
     buf: Vec<LearnEvent<M>>,
-    pending_keys: HashSet<Box<[u8]>>,
+    pending_keys: FxHashSet<TupleKey>,
     /// Events dropped because the filter was full (overflow loses learns —
     /// those connections are retried on their next packet).
     overflow_drops: u64,
@@ -59,7 +61,7 @@ impl<M> LearningFilter<M> {
     pub fn new(cfg: LearningFilterConfig) -> LearningFilter<M> {
         LearningFilter {
             buf: Vec::with_capacity(cfg.capacity),
-            pending_keys: HashSet::new(),
+            pending_keys: FxHashSet::default(),
             overflow_drops: 0,
             cfg,
         }
@@ -101,10 +103,29 @@ impl<M> LearningFilter<M> {
             self.overflow_drops += 1;
             return false;
         }
-        let boxed: Box<[u8]> = key.into();
-        self.pending_keys.insert(boxed.clone());
+        let inline = TupleKey::from_bytes(key);
+        self.pending_keys.insert(inline);
         self.buf.push(LearnEvent {
-            key: boxed,
+            key: inline,
+            meta,
+            arrived: now,
+        });
+        true
+    }
+
+    /// [`LearningFilter::learn`] for callers that already performed the
+    /// duplicate check against a superset of this filter's pending keys
+    /// (the control plane's in-flight set covers the filter *and* the CPU
+    /// queue). Skips the dedup probe; still records the key in the pending
+    /// set so [`LearningFilter::is_pending`] stays accurate.
+    pub fn learn_preapproved(&mut self, key: TupleKey, meta: M, now: Nanos) -> bool {
+        if self.buf.len() >= self.cfg.capacity {
+            self.overflow_drops += 1;
+            return false;
+        }
+        self.pending_keys.insert(key);
+        self.buf.push(LearnEvent {
+            key,
             meta,
             arrived: now,
         });
@@ -136,6 +157,25 @@ impl<M> LearningFilter<M> {
     pub fn drain_now(&mut self) -> Vec<LearnEvent<M>> {
         self.pending_keys.clear();
         std::mem::take(&mut self.buf)
+    }
+
+    /// The recycled-buffer form of [`LearningFilter::drain_if_due`]: feed
+    /// each due event to `f` in arrival order, keeping the buffer (and the
+    /// pending set's table) allocated for the next batch. Returns the
+    /// number of events drained — the steady-state setup path drains every
+    /// learn batch through this without touching the allocator.
+    pub fn drain_if_due_with<F: FnMut(LearnEvent<M>)>(&mut self, now: Nanos, mut f: F) -> usize {
+        match self.notify_deadline() {
+            Some(d) if d <= now => {
+                self.pending_keys.clear();
+                let n = self.buf.len();
+                for ev in self.buf.drain(..) {
+                    f(ev);
+                }
+                n
+            }
+            _ => 0,
+        }
     }
 }
 
@@ -203,6 +243,25 @@ mod tests {
         // After drain the same key may be learned again (entry insertion
         // may still be in flight — the CPU dedups at its layer).
         assert!(f.learn(b"a", 0, Nanos::from_millis(2)));
+    }
+
+    #[test]
+    fn callback_drain_matches_vec_drain() {
+        let mut a: LearningFilter<u32> = LearningFilter::new(cfg(10, 1));
+        let mut b: LearningFilter<u32> = LearningFilter::new(cfg(10, 1));
+        for (i, k) in [b"x", b"y", b"z"].iter().enumerate() {
+            a.learn(*k, i as u32, Nanos::from_micros(i as u64));
+            b.learn(*k, i as u32, Nanos::from_micros(i as u64));
+        }
+        // Not yet due: callback must not fire.
+        assert_eq!(b.drain_if_due_with(Nanos::from_micros(5), |_| panic!()), 0);
+        let when = Nanos::from_millis(2);
+        let via_vec = a.drain_if_due(when).expect("due");
+        let mut via_cb = Vec::new();
+        assert_eq!(b.drain_if_due_with(when, |ev| via_cb.push(ev)), 3);
+        assert_eq!(via_vec, via_cb);
+        assert!(b.is_empty());
+        assert!(!b.is_pending(b"x"));
     }
 
     #[test]

@@ -207,6 +207,36 @@ impl<V: Clone> ExactMatchTable<V> {
         self.inner.insert(key, value)
     }
 
+    /// [`ExactMatchTable::insert`] from precomputed hashes — the batched
+    /// setup path reuses the hashes the packet path computed at learn time,
+    /// and the shared BFS scratch inside the table makes the whole install
+    /// allocation-free at steady state. Placement is bit-identical to
+    /// [`ExactMatchTable::insert`]; see [`CuckooTable::insert_pre`].
+    pub fn insert_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: V,
+    ) -> Result<InsertOutcome, CuckooError> {
+        self.inner.insert_pre(key, stage_hashes, match_hash, value)
+    }
+
+    /// [`ExactMatchTable::insert_pre`] after the caller just probed these
+    /// hashes and missed — skips the duplicate scan and, for alias-free
+    /// free-slot landings, the shadowing re-probe; see
+    /// [`CuckooTable::insert_vacant_pre`].
+    pub fn insert_vacant_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: V,
+    ) -> Result<InsertOutcome, CuckooError> {
+        self.inner
+            .insert_vacant_pre(key, stage_hashes, match_hash, value)
+    }
+
     /// Software-path removal.
     pub fn remove(&mut self, key: &[u8]) -> Result<V, CuckooError> {
         self.inner.remove(key)

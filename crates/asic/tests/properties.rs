@@ -100,7 +100,7 @@ proptest! {
         let batch = f.drain_now();
         let mut seen = std::collections::HashSet::new();
         for ev in &batch {
-            prop_assert!(seen.insert(ev.key.clone()), "duplicate in batch");
+            prop_assert!(seen.insert(ev.key), "duplicate in batch");
         }
     }
 

@@ -63,7 +63,7 @@ fn main() {
     };
     // Flags are a closed set: a misspelled flag must fail loudly, not
     // silently run the full-scale defaults it was meant to override.
-    const BOOL_FLAGS: [&str; 4] = ["--full", "--smoke", "--encap", "--help"];
+    const BOOL_FLAGS: [&str; 5] = ["--full", "--smoke", "--encap", "--flood", "--help"];
     const VALUE_FLAGS: [&str; 3] = ["--jobs", "--pipes", "--p4"];
     let mut cmds: Vec<&str> = Vec::new();
     let mut skip_next = false;
@@ -124,11 +124,12 @@ fn main() {
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
             println!(
-                "targets: all {} check scale wall fleet export replay",
+                "targets: all {} check scale wall fleet churn export replay",
                 all.join(" ")
             );
-            println!("scale/wall/fleet options: --smoke (small trace, CI-sized)");
+            println!("scale/wall/fleet/churn options: --smoke (small trace, CI-sized)");
             println!("check usage: repro check [--p4 <file.p4>]");
+            println!("churn usage: repro churn [--smoke] [--flood]");
             println!("export usage: repro export <file.pcap> [--smoke]");
             println!("replay usage: repro replay <file.pcap> [--pipes N] [--smoke] [--encap]");
         }
@@ -143,6 +144,10 @@ fn main() {
         "scale" => run_scale(args.iter().any(|a| a == "--smoke")),
         "wall" => run_wall(args.iter().any(|a| a == "--smoke")),
         "fleet" => run_fleet(args.iter().any(|a| a == "--smoke")),
+        "churn" => run_churn(
+            args.iter().any(|a| a == "--smoke"),
+            args.iter().any(|a| a == "--flood"),
+        ),
         "export" => run_export(
             cmds.get(1).copied().unwrap_or_else(|| {
                 eprintln!("export needs a destination: repro export <file.pcap> [--smoke]");
@@ -509,6 +514,167 @@ fn run_fleet(smoke: bool) {
                 r.held_median
             );
             std::process::exit(1);
+        }
+    }
+}
+
+/// `repro churn [--smoke] [--flood]` — the batched connection-setup
+/// sweep. Paces waves of brand-new connections through the full
+/// learn→insert→promote pipeline under 1×/10× SYN storms, paired
+/// against the per-packet legacy-install baseline, and writes
+/// `BENCH_churn.json`.
+///
+/// Gates (both profiles): 0 PCC violations, 0 learning-filter overflow
+/// drops, and bit-identical decision digests batched-vs-per-packet and
+/// across 1/2/4 pipes. The full run additionally gates the batched arm's
+/// clean-handshake (storm 1) speedup over the per-packet baseline at the
+/// [`churn::SPEEDUP_FLOOR`] regression floor, reporting the measured
+/// ratio against the [`churn::SPEEDUP_TARGET`] stretch goal; the smoke
+/// profile skips the timing gate (CI hosts are too noisy to promise
+/// ratios) but still prints the measured speedup.
+///
+/// `--flood` runs the adversarial scenario instead: a deterministic
+/// storm of never-completing SYNs far beyond the learning filter's
+/// capacity, with an established background population serving traffic
+/// throughout. Gates: the filter sheds load (overflow_drops > 0),
+/// installed state stays within the model-derived bound, and the
+/// background flows see 0 PCC violations. No JSON is written — the
+/// flood is a pass/fail scenario, not a recorded figure.
+fn run_churn(smoke: bool, flood: bool) {
+    use sr_bench::churn;
+    if flood {
+        let r = churn::flood(smoke);
+        let mut t = Table::new(
+            format!(
+                "Churn flood — {} waves x {} unique SYNs, {} background flows ({})",
+                r.waves,
+                r.syns_per_wave,
+                r.background_flows,
+                if smoke { "smoke" } else { "full" }
+            ),
+            &["metric", "value"],
+        );
+        t.row(vec!["flood SYNs".into(), r.flood_syns.to_string()]);
+        t.row(vec![
+            "filter overflow drops".into(),
+            r.overflow_drops.to_string(),
+        ]);
+        t.row(vec![
+            "installed peak / bound".into(),
+            format!("{} / {}", r.installed_peak, r.live_bound),
+        ]);
+        t.row(vec![
+            "installed final".into(),
+            r.installed_final.to_string(),
+        ]);
+        t.row(vec!["idle-expired".into(), r.expired.to_string()]);
+        t.row(vec![
+            "background PCC violations".into(),
+            r.pcc_violations.to_string(),
+        ]);
+        println!("{}", t.render());
+        if r.overflow_drops == 0 {
+            eprintln!("repro churn --flood: learning filter never shed load");
+            std::process::exit(1);
+        }
+        if !r.bounded() {
+            eprintln!(
+                "repro churn --flood: installed peak {} escaped the bound {}",
+                r.installed_peak, r.live_bound
+            );
+            std::process::exit(1);
+        }
+        if r.pcc_violations > 0 {
+            eprintln!(
+                "repro churn --flood: {} PCC violations on background flows",
+                r.pcc_violations
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+    let b = churn::run(smoke);
+    let mut t = Table::new(
+        format!(
+            "Churn — {} waves x {} new flows, batch {} ({})",
+            b.params.waves,
+            b.params.flows_per_wave,
+            b.params.batch,
+            if smoke { "smoke" } else { "full" }
+        ),
+        &[
+            "storm",
+            "setups",
+            "baseline setups/s",
+            "batched setups/s",
+            "speedup",
+            "learn p50/p90/max",
+            "transit peak",
+            "digest",
+        ],
+    );
+    for p in &b.points {
+        t.row(vec![
+            format!("{}x", p.storm),
+            p.setups.to_string(),
+            format!("{:.0}K", p.baseline_setups_per_sec / 1e3),
+            format!("{:.0}K", p.batched_setups_per_sec / 1e3),
+            format!("{:.2}x", p.speedup),
+            format!(
+                "{}/{}/{}",
+                p.learn_depth_p50, p.learn_depth_p90, p.learn_depth_max
+            ),
+            format!("{:.2}%", 100.0 * p.transit_fill_peak),
+            format!("{:016x}", p.digest),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "decision digest identity (arms, pipe counts): {}",
+        if b.digests_ok() { "OK" } else { "DIVERGED" }
+    );
+    let json = b.to_json();
+    let path = "BENCH_churn.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !b.digests_ok() {
+        eprintln!("repro churn: decision digests diverged across arms or pipe counts");
+        std::process::exit(1);
+    }
+    if b.pcc_violations() > 0 {
+        eprintln!("repro churn: {} PCC violations", b.pcc_violations());
+        std::process::exit(1);
+    }
+    if let Some(p) = b.points.iter().find(|p| p.overflow_drops > 0) {
+        eprintln!(
+            "repro churn: {} learning-filter overflow drops at storm {}x",
+            p.overflow_drops, p.storm
+        );
+        std::process::exit(1);
+    }
+    if !smoke {
+        let speedup = b.gate_speedup();
+        if speedup < churn::SPEEDUP_FLOOR {
+            eprintln!(
+                "repro churn: batched setup speedup {speedup:.2}x fell below the {:.1}x \
+                 regression floor",
+                churn::SPEEDUP_FLOOR
+            );
+            std::process::exit(1);
+        }
+        if speedup < churn::SPEEDUP_TARGET {
+            println!(
+                "note: batched setup speedup {speedup:.2}x (floor {:.1}x) is below the \
+                 {:.0}x stretch target — see EXPERIMENTS.md for why the paired baseline \
+                 already amortizes most batching wins",
+                churn::SPEEDUP_FLOOR,
+                churn::SPEEDUP_TARGET
+            );
         }
     }
 }

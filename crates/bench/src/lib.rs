@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod churn;
 pub mod exec;
 pub mod extras;
 pub mod fig_memory;

@@ -210,9 +210,18 @@ fn measure(
     }
 
     // Steering pass, serial: the fan-in stage every packet crosses
-    // before its pipe can work on it.
-    let t0 = Instant::now();
+    // before its pipe can work on it. One untimed warmup iteration first:
+    // lane buffers reach steady-state capacity and the steering code and
+    // data go hot before the clock starts — without it the process's
+    // first measured pipe count absorbs cold caches and page faults (the
+    // recorded 495 K pps 1-pipe artifact that inflated modeled_speedup
+    // to 20x).
     let mut lanes: Vec<Vec<PacketMeta>> = (0..pipes).map(|_| Vec::new()).collect();
+    for pkt in &data {
+        let p = sw.steering().pipe_for(&pkt.tuple);
+        lanes[p].push(*pkt);
+    }
+    let t0 = Instant::now();
     for _ in 0..passes {
         for lane in &mut lanes {
             lane.clear();
@@ -231,6 +240,11 @@ fn measure(
     let mut busy_ns: Vec<u64> = Vec::with_capacity(pipes);
     for (p, lane) in lanes.iter().enumerate() {
         let pipe = sw.pipe_mut(p).expect("pipe exists").switch_mut();
+        // Untimed warmup drain, same reasoning as the steering warmup.
+        for chunk in lane.chunks(batch.max(1)) {
+            out.clear();
+            pipe.process_batch_into(chunk, now, &mut out);
+        }
         let t0 = Instant::now();
         for _ in 0..passes {
             for chunk in lane.chunks(batch.max(1)) {

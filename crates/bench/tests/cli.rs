@@ -71,6 +71,9 @@ fn unknown_flags_are_rejected_not_ignored() {
         &["wall", "--pin"][..],
         &["fleet", "--smok"][..],
         &["fleet", "--workers", "4"][..],
+        &["churn", "--smok"][..],
+        &["churn", "--floo"][..],
+        &["churn", "--storm", "10"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -176,7 +179,9 @@ fn help_lists_the_verification_targets() {
     let out = repro(&["help"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    for target in ["check", "scale", "wall", "fleet", "export", "replay"] {
+    for target in [
+        "check", "scale", "wall", "fleet", "churn", "export", "replay",
+    ] {
         assert!(stdout.contains(target), "help omits '{target}'");
     }
 }

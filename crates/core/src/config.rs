@@ -56,6 +56,11 @@ pub struct SilkRoadConfig {
     pub idle_timeout: Duration,
     /// RNG seed for all hash functions in this switch.
     pub seed: u64,
+    /// Route installs through the legacy per-packet pipeline (re-hash the
+    /// key on the switch CPU instead of reusing the packet-time hashes).
+    /// Decisions and table state are bit-identical either way; the churn
+    /// benchmark flips this on for its paired pre-change baseline arm.
+    pub legacy_setup: bool,
 }
 
 impl Default for SilkRoadConfig {
@@ -76,6 +81,7 @@ impl Default for SilkRoadConfig {
             syn_redirect_delay: Duration::from_millis(2),
             idle_timeout: Duration::from_secs(120),
             seed: 0x51_1c_0a_d0,
+            legacy_setup: false,
         }
     }
 }

@@ -79,6 +79,17 @@ impl ConnTable {
         self.table.lookup(key)
     }
 
+    /// [`ConnTable::lookup`] from precomputed hashes (the batched install
+    /// path's collision pre-check).
+    pub fn lookup_pre(
+        &self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+    ) -> Option<LookupHit<'_, ConnValue>> {
+        self.table.lookup_pre(key, stage_hashes, match_hash)
+    }
+
     /// ASIC lookup that also sets the entry's hit bit on an exact match
     /// (the data-plane path; plain `lookup` is for software inspection).
     ///
@@ -191,6 +202,35 @@ impl ConnTable {
     /// Install an entry (software path; timing is modelled by the CPU).
     pub fn install(&mut self, key: &[u8], value: ConnValue) -> Result<InsertOutcome, CuckooError> {
         self.table.insert(key, value)
+    }
+
+    /// [`ConnTable::install`] from precomputed hashes — the batched setup
+    /// path replays the packet-time hash pass carried in the learn event,
+    /// so the install itself never re-hashes the key. Placement is
+    /// bit-identical to [`ConnTable::install`].
+    pub fn install_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: ConnValue,
+    ) -> Result<InsertOutcome, CuckooError> {
+        self.table.insert_pre(key, stage_hashes, match_hash, value)
+    }
+
+    /// [`ConnTable::install_pre`] when the install drain's own collision
+    /// pre-check just probed these hashes and missed: the duplicate scan
+    /// and (for vacant, alias-free landings) the shadowing re-probe are
+    /// provably no-ops and skipped. Placement stays bit-identical.
+    pub fn install_vacant_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: ConnValue,
+    ) -> Result<InsertOutcome, CuckooError> {
+        self.table
+            .insert_vacant_pre(key, stage_hashes, match_hash, value)
     }
 
     /// Remove an entry on connection close/expiry.

@@ -4,9 +4,10 @@
 //! the population the 3-step update protocol reasons about — and carries
 //! per-VIP outstanding counters for the step-transition checks.
 
+use crate::dataplane::ConnHashes;
 use sr_asic::{LearningFilter, LearningFilterConfig, SwitchCpu, SwitchCpuConfig};
 use sr_hash::{FxHashMap, FxHashSet};
-use sr_types::{Dip, Nanos, PoolVersion, Vip};
+use sr_types::{Dip, Nanos, PoolVersion, TupleKey, Vip};
 
 /// Metadata captured when the data plane learns a new connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,13 +18,32 @@ pub struct LearnMeta {
     pub version: PoolVersion,
     /// The DIP that version's pool hashed the connection to.
     pub dip: Dip,
+    /// The packet-time ConnTable hashes, carried to install time so the
+    /// cuckoo insert never re-hashes the key ([`ConnHashes::empty`] when
+    /// the producer has no hash pass, e.g. control-plane tests).
+    pub hashes: ConnHashes,
+}
+
+/// How the control plane disposed of a learn attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LearnOutcome {
+    /// The event entered the pipeline (filter → CPU → install).
+    Entered,
+    /// The key is already somewhere in the pipeline; the attempt is a
+    /// duplicate and the connection stays pending.
+    AlreadyPending,
+    /// The filter was full; the connection stays unlearned and retries on
+    /// its next packet.
+    Overflow,
 }
 
 /// A pending ConnTable insertion travelling through the CPU queue.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct InstallJob {
-    /// Connection key (canonical 5-tuple bytes).
-    pub key: Box<[u8]>,
+    /// Connection key (canonical 5-tuple bytes), stored inline — install
+    /// jobs flow through the setup fast path, where a heap key per new
+    /// connection would be an allocation per setup.
+    pub key: TupleKey,
     /// Learn-time metadata.
     pub meta: LearnMeta,
     /// First-packet arrival time.
@@ -31,7 +51,7 @@ pub struct InstallJob {
 }
 
 /// An install that finished its CPU processing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct CompletedInstall {
     /// The job.
     pub job: InstallJob,
@@ -45,12 +65,13 @@ pub struct ControlPlane {
     pub learning: LearningFilter<LearnMeta>,
     /// The management CPU.
     pub cpu: SwitchCpu<InstallJob>,
-    /// Keys anywhere in the learn→install pipeline.
-    in_flight: FxHashSet<Box<[u8]>>,
+    /// Keys anywhere in the learn→install pipeline (inline keys — the set
+    /// reaches steady state and stops allocating once its table is sized).
+    in_flight: FxHashSet<TupleKey>,
     /// Per-VIP count of in-flight (pending) connections.
     outstanding: FxHashMap<Vip, u64>,
     /// Connections closed before their install completed.
-    closed_early: FxHashSet<Box<[u8]>>,
+    closed_early: FxHashSet<TupleKey>,
 }
 
 impl ControlPlane {
@@ -79,50 +100,64 @@ impl ControlPlane {
     /// (false on duplicate or filter overflow — the connection stays
     /// unlearned and retries on its next packet).
     pub fn learn(&mut self, key: &[u8], meta: LearnMeta, now: Nanos) -> bool {
-        if self.in_flight.contains(key) {
-            return false;
+        self.learn_gate(key, meta, now) == LearnOutcome::Entered
+    }
+
+    /// [`ControlPlane::learn`] with the dedup check fused into the insert:
+    /// one hashed operation on `in_flight` decides duplicate-vs-new (the
+    /// set covers both the filter and the CPU queue, so the filter's own
+    /// dedup probe is skipped), and the distinct outcomes let the miss
+    /// path drop its separate `is_pending` probe.
+    pub fn learn_gate(&mut self, key: &[u8], meta: LearnMeta, now: Nanos) -> LearnOutcome {
+        let inline = TupleKey::from_bytes(key);
+        if !self.in_flight.insert(inline) {
+            return LearnOutcome::AlreadyPending;
         }
-        if !self.learning.learn(key, meta, now) {
-            return false;
+        if !self.learning.learn_preapproved(inline, meta, now) {
+            // Rare: the filter was at capacity. Roll back the membership.
+            self.in_flight.remove(&inline);
+            return LearnOutcome::Overflow;
         }
-        self.in_flight.insert(key.into());
         *self.outstanding.entry(meta.vip).or_insert(0) += 1;
-        true
+        LearnOutcome::Entered
     }
 
     /// Drain the learning filter into the CPU queue if its notification is
-    /// due at `now`. Returns how many jobs were submitted.
+    /// due at `now`. Returns how many jobs were submitted. Allocation-free
+    /// at steady state: events move straight from the filter's recycled
+    /// buffer into the CPU queue.
     pub fn drain_learning(&mut self, now: Nanos) -> usize {
-        match self.learning.drain_if_due(now) {
-            Some(batch) => {
-                let n = batch.len();
-                // The CPU starts work when notified, i.e. at the drain time.
-                for ev in batch {
-                    self.cpu.submit(
-                        InstallJob {
-                            key: ev.key,
-                            meta: ev.meta,
-                            arrived: ev.arrived,
-                        },
-                        now,
-                    );
-                }
-                n
-            }
-            None => 0,
-        }
+        let ControlPlane { learning, cpu, .. } = self;
+        // The CPU starts work when notified, i.e. at the drain time.
+        learning.drain_if_due_with(now, |ev| {
+            cpu.submit(
+                InstallJob {
+                    key: ev.key,
+                    meta: ev.meta,
+                    arrived: ev.arrived,
+                },
+                now,
+            );
+        })
     }
 
     /// Pop installs whose CPU processing finished by `now`.
     pub fn pop_installs(&mut self, now: Nanos) -> Vec<CompletedInstall> {
-        self.cpu
-            .pop_completed(now)
-            .into_iter()
-            .map(|j| CompletedInstall {
+        let mut out = Vec::new();
+        self.pop_installs_into(now, &mut out);
+        out
+    }
+
+    /// The recycled-buffer form of [`ControlPlane::pop_installs`]: append
+    /// completions to `out` (which the caller reuses across batches) and
+    /// return how many were popped.
+    pub fn pop_installs_into(&mut self, now: Nanos, out: &mut Vec<CompletedInstall>) -> usize {
+        self.cpu.pop_completed_with(now, |j| {
+            out.push(CompletedInstall {
                 completed_at: j.completes_at,
                 job: j.payload,
-            })
-            .collect()
+            });
+        })
     }
 
     /// Mark a key's pipeline journey finished (installed, dropped, or
@@ -135,17 +170,70 @@ impl ControlPlane {
         }
     }
 
+    /// Whether an install batch that was just popped emptied the whole
+    /// pipeline: nothing buffered in the filter, nothing queued on the
+    /// CPU. When it did, every remaining `in_flight` key belongs to the
+    /// popped batch, and the batched drain can settle the membership with
+    /// one [`ControlPlane::clear_in_flight`] instead of a hashed removal
+    /// per job — the dominant per-install cost once the set's table has
+    /// grown to its churn high-water mark.
+    pub fn drained_pipeline_empty(&self) -> bool {
+        self.learning.is_empty() && self.cpu.next_completion().is_none()
+    }
+
+    /// The per-VIP half of [`ControlPlane::mark_terminal`] for a job the
+    /// batched drain just popped: its key is in `in_flight` by
+    /// construction (learns insert it; only terminals remove it; the CPU
+    /// queue pops each job once), so the membership check is skipped and
+    /// the counter decremented directly. The caller settles the set
+    /// itself via [`ControlPlane::clear_in_flight`].
+    pub fn mark_terminal_popped(&mut self, vip: Vip) {
+        debug_assert!(!self.in_flight.is_empty());
+        if let Some(c) = self.outstanding.get_mut(&vip) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Bulk-settle the in-flight membership after a drain that emptied
+    /// the pipeline (see [`ControlPlane::drained_pipeline_empty`]). Keeps
+    /// the set's capacity for the next burst.
+    pub fn clear_in_flight(&mut self) {
+        debug_assert!(self.drained_pipeline_empty());
+        debug_assert!(self.outstanding.values().all(|&c| c == 0));
+        self.in_flight.clear();
+    }
+
     /// Note that a connection closed; if it is still pending, its eventual
     /// install must be skipped.
     pub fn note_close(&mut self, key: &[u8]) {
         if self.in_flight.contains(key) {
-            self.closed_early.insert(key.into());
+            self.closed_early.insert(TupleKey::from_bytes(key));
         }
     }
 
     /// Whether `key` closed while pending (consumes the marker).
     pub fn take_closed_early(&mut self, key: &[u8]) -> bool {
         self.closed_early.remove(key)
+    }
+
+    /// Whether any connection closed while its install was pending. The
+    /// install drain checks this before hashing each key against the
+    /// (almost always empty) early-close set.
+    pub fn has_closed_early(&self) -> bool {
+        !self.closed_early.is_empty()
+    }
+
+    /// The learning filter's next notification deadline, if any — the
+    /// batched install drain pops every CPU completion due before it in
+    /// one pass.
+    pub fn learning_deadline(&self) -> Option<Nanos> {
+        self.learning.notify_deadline()
+    }
+
+    /// Events currently buffered in the learning filter (the churn bench
+    /// samples this as its learn-queue depth).
+    pub fn learn_queue_depth(&self) -> usize {
+        self.learning.len()
     }
 
     /// The next instant at which control-plane work becomes due.
@@ -167,6 +255,7 @@ mod tests {
             vip: Vip(Addr::v4(20, 0, 0, 1, 80)),
             version: PoolVersion(0),
             dip: Dip(Addr::v4(10, 0, 0, 1, 20)),
+            hashes: ConnHashes::empty(),
         }
     }
 
@@ -197,7 +286,7 @@ mod tests {
         // CPU takes 5 µs after the drain.
         let done = c.pop_installs(Nanos::from_millis(1) + Duration::from_micros(5));
         assert_eq!(done.len(), 1);
-        assert_eq!(&*done[0].job.key, b"k1");
+        assert_eq!(done[0].job.key.as_slice(), b"k1");
         assert_eq!(done[0].job.arrived, Nanos::ZERO);
 
         c.mark_terminal(b"k1", meta().vip);

@@ -128,6 +128,58 @@ impl HashedKey {
     pub fn select_hash(&self) -> u64 {
         self.vals[usize::from(self.conn_stages) + 1]
     }
+
+    /// Snapshot the ConnTable-relevant hashes (stage buckets + match/digest
+    /// hash) for the learn→install pipeline: the learn event carries this
+    /// so the eventual cuckoo insert reuses the packet-time hash pass
+    /// instead of re-hashing the key on the switch CPU.
+    pub fn conn_hashes(&self) -> ConnHashes {
+        let mut stage_hashes = [0u64; MAX_PACKET_HASHES];
+        let stages = usize::from(self.conn_stages);
+        stage_hashes[..stages].copy_from_slice(&self.vals[..stages]);
+        ConnHashes {
+            stage_hashes,
+            stages: self.conn_stages,
+            match_hash: self.conn_match_hash(),
+        }
+    }
+}
+
+/// The ConnTable hash values a learn event carries from packet time to
+/// install time ([`HashedKey::conn_hashes`]). `Copy` and fixed-size so the
+/// whole learn→CPU→install journey stays allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnHashes {
+    stage_hashes: [u64; MAX_PACKET_HASHES],
+    stages: u8,
+    match_hash: u64,
+}
+
+impl ConnHashes {
+    /// A placeholder with no usable hashes (`stages() == 0`); install paths
+    /// fall back to re-hashing the key when they meet one.
+    pub fn empty() -> ConnHashes {
+        ConnHashes {
+            stage_hashes: [0u64; MAX_PACKET_HASHES],
+            stages: 0,
+            match_hash: 0,
+        }
+    }
+
+    /// Per-stage ConnTable bucket hashes.
+    pub fn stage_hashes(&self) -> &[u64] {
+        &self.stage_hashes[..usize::from(self.stages)]
+    }
+
+    /// The ConnTable match-field (digest) hash.
+    pub fn match_hash(&self) -> u64 {
+        self.match_hash
+    }
+
+    /// Number of stage hashes captured (0 for [`ConnHashes::empty`]).
+    pub fn stages(&self) -> usize {
+        usize::from(self.stages)
+    }
 }
 
 /// The miss path's lazily computed TransitTable bloom hashes

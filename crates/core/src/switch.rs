@@ -16,8 +16,8 @@
 
 use crate::config::{ConnMapping, SilkRoadConfig};
 use crate::conn_table::{ConnTable, ConnValue};
-use crate::control::{CompletedInstall, ControlPlane, LearnMeta};
-use crate::dataplane::{DataPath, ForwardDecision, HashedKey, KeyHasher};
+use crate::control::{CompletedInstall, ControlPlane, LearnMeta, LearnOutcome};
+use crate::dataplane::{BloomHashes, DataPath, ForwardDecision, HashedKey, KeyHasher};
 use crate::memory::MemoryBreakdown;
 use crate::pool::PoolUpdate;
 use crate::stats::SwitchStats;
@@ -51,6 +51,15 @@ struct FallbackConn {
 /// Inline member bound for [`ResolveMemo`] — covers the pool sizes the
 /// experiments sweep; larger pools just skip the memo.
 const MEMO_DIPS: usize = 16;
+
+/// Batch chunk length: enough split probes in flight to overlap their
+/// entry loads without spilling the chunk's [`HashedKey`]s out of L1. The
+/// fused setup stage's scratch arrays are sized by the same constant.
+/// Sixteen measures ~10% faster than eight on the churn sweep (deeper
+/// memory-level parallelism in the hash/locate passes and one shared-state
+/// resolve per sixteen misses in the setup stage); chunk length never
+/// changes decisions, only how much work overlaps.
+const SETUP_CHUNK: usize = 16;
 
 /// One-entry DIP-resolve memo: the members of the last `(vip, version)`
 /// pool consulted by the hit path, copied inline. The ASIC resolves a
@@ -88,6 +97,10 @@ pub struct SilkRoadSwitch {
     meters: FxHashMap<Vip, Meter>,
     /// See [`ResolveMemo`]. Cleared by [`SilkRoadSwitch::advance`].
     resolve_memo: Option<ResolveMemo>,
+    /// Recycled buffer for the batched install drain in
+    /// [`SilkRoadSwitch::advance`] — completions pop into this instead of
+    /// a fresh `Vec` per control-plane wakeup.
+    install_scratch: Vec<CompletedInstall>,
     stats: SwitchStats,
 }
 
@@ -129,6 +142,7 @@ impl SilkRoadSwitch {
             fallback: FxHashMap::default(),
             meters: FxHashMap::default(),
             resolve_memo: None,
+            install_scratch: Vec::new(),
             stats: SwitchStats::default(),
             cfg,
         }
@@ -207,6 +221,22 @@ impl SilkRoadSwitch {
                 s.manager.live_versions(),
             )
         })
+    }
+
+    /// Learning-filter queue depth right now (churn-bench telemetry).
+    pub fn learn_queue_depth(&self) -> usize {
+        self.control.learn_queue_depth()
+    }
+
+    /// Learn events lost to learning-filter overflow so far (bounded-state
+    /// evidence for the SYN-flood scenario).
+    pub fn learn_overflow_drops(&self) -> u64 {
+        self.control.learning.overflow_drops()
+    }
+
+    /// TransitTable bloom fill ratio (churn-bench telemetry).
+    pub fn transit_fill_ratio(&self) -> f64 {
+        self.transit.fill_ratio()
     }
 
     /// TransitTable diagnostics: (recorded, checks, hits, size_bytes).
@@ -290,20 +320,71 @@ impl SilkRoadSwitch {
     }
 
     /// Run the control plane up to `now` (inclusive), in event order.
+    /// Learn batches and CPU completions drain through recycled buffers —
+    /// at steady state a wakeup allocates nothing.
+    ///
+    /// The batched pipeline (`legacy_setup` off) pops every CPU completion
+    /// due before the next learning-filter notification in one pass and
+    /// prefetches the next install's ConnTable buckets while the current
+    /// one runs; the legacy path wakes per event, which is the pre-change
+    /// behaviour the churn bench's baseline arm measures. Both orders
+    /// observe identical state: a filter drain only moves events into the
+    /// CPU queue (completion times are fixed at submit), and an install
+    /// touches neither the filter nor its deadline.
     pub fn advance(&mut self, now: Nanos) {
         // Any control-plane activity may edit pools; drop the resolve memo
         // before it can be consulted again.
         self.resolve_memo = None;
-        while let Some(t) = self.control.next_wakeup() {
-            if t > now {
-                break;
+        let mut jobs = std::mem::take(&mut self.install_scratch);
+        if self.cfg.legacy_setup {
+            while let Some(t) = self.control.next_wakeup() {
+                if t > now {
+                    break;
+                }
+                self.control.drain_learning(t);
+                jobs.clear();
+                self.control.pop_installs_into(t, &mut jobs);
+                for inst in jobs.drain(..) {
+                    self.handle_install(inst, false);
+                }
             }
-            self.control.drain_learning(t);
-            let installs = self.control.pop_installs(t);
-            for inst in installs {
-                self.handle_install(inst);
+        } else {
+            while let Some(t) = self.control.next_wakeup() {
+                if t > now {
+                    break;
+                }
+                self.control.drain_learning(t);
+                let bound = match self.control.learning_deadline() {
+                    Some(d) if d <= now => d,
+                    _ => now,
+                };
+                jobs.clear();
+                self.control.pop_installs_into(bound, &mut jobs);
+                // When this batch drained the pipeline dry (the common
+                // wave shape: every learned connection's install is due),
+                // the popped jobs are exactly the in-flight membership —
+                // settle the set with one bulk clear after the loop
+                // instead of a hashed removal per job. The per-VIP
+                // outstanding counters still step per install: an update
+                // transition firing mid-batch snapshots them.
+                let bulk = !jobs.is_empty() && self.control.drained_pipeline_empty();
+                for i in 0..jobs.len() {
+                    if let Some(next) = jobs.get(i + 1) {
+                        let h = &next.job.meta.hashes;
+                        if h.stages() == self.cfg.conn_stages {
+                            self.conn_table
+                                .prefetch_entry(h.stage_hashes(), h.match_hash());
+                        }
+                    }
+                    self.handle_install(jobs[i], bulk);
+                }
+                if bulk {
+                    self.control.clear_in_flight();
+                }
             }
         }
+        jobs.clear();
+        self.install_scratch = jobs;
     }
 
     // srlint: hot-path begin
@@ -330,31 +411,31 @@ impl SilkRoadSwitch {
     /// only, leaving each winning entry's cache-line load in flight), then
     /// run the real pipeline, resolving the located slots. Splitting the
     /// probe this way overlaps the per-packet chain of dependent random
-    /// reads across the chunk. The first two passes have no side effects,
-    /// and located coordinates are reused only while the ConnTable's layout
-    /// epoch is unchanged (a mid-chunk SYN repair relocates entries; the
-    /// rest of that chunk falls back to the fused probe) — so results and
-    /// stats are identical to the per-packet path, packet for packet.
+    /// reads across the chunk. The first two passes have no side effects;
+    /// the third resolves hits in place and sends the chunk's ConnTable
+    /// misses through the fused setup stage
+    /// ([`SilkRoadSwitch::setup_deferred`]) — so results and stats are
+    /// identical to the per-packet path, packet for packet.
     pub fn process_batch_into(
         &mut self,
         pkts: &[PacketMeta],
         now: Nanos,
         out: &mut Vec<ForwardDecision>,
     ) {
-        /// Chunk length: enough split probes in flight to overlap their
-        /// entry loads without spilling the chunk's [`HashedKey`]s out of
-        /// L1.
-        const CHUNK: usize = 8;
         self.advance(now);
         out.reserve(pkts.len());
-        let mut chunks = pkts.chunks_exact(CHUNK);
+        let mut chunks = pkts.chunks_exact(SETUP_CHUNK);
         for chunk in chunks.by_ref() {
-            // Pass 1: hash every key in the chunk.
-            let hashed: [HashedKey; CHUNK] =
-                std::array::from_fn(|i| self.hasher.hash_tuple(&chunk[i].tuple));
+            // Pass 1: hash every key in the chunk, warming each key's
+            // match-field words as its hashes land so the locate pass
+            // probes already-inbound cache lines.
+            let hashed: [HashedKey; SETUP_CHUNK] = std::array::from_fn(|i| {
+                let h = self.hasher.hash_tuple(&chunk[i].tuple);
+                self.conn_table.prefetch_words(h.conn_stage_hashes());
+                h
+            });
             // Pass 2: locate every packet's candidate ConnTable slot.
-            let epoch = self.conn_table.epoch();
-            let located: [Option<(u32, u32)>; CHUNK] = std::array::from_fn(|i| {
+            let located: [Option<(u32, u32)>; SETUP_CHUNK] = std::array::from_fn(|i| {
                 let h = &hashed[i];
                 self.conn_table.locate(
                     h.key().as_slice(),
@@ -362,19 +443,250 @@ impl SilkRoadSwitch {
                     h.conn_match_hash(),
                 )
             });
-            // Pass 3: the real pipeline, resolving warm slots.
-            for (i, pkt) in chunk.iter().enumerate() {
-                let d = if self.conn_table.epoch() == epoch {
-                    self.process_packet_located(pkt, &hashed[i], located[i], now)
-                } else {
-                    self.process_packet_hashed(pkt, &hashed[i], now)
-                };
-                out.push(d);
-            }
+            // Pass 3: hits resolve in place, misses defer into the fused
+            // setup stage.
+            self.process_chunk(chunk, &hashed, &located, now, out);
         }
         for pkt in chunks.remainder() {
             out.push(self.process_packet_inner(pkt, now));
         }
+    }
+
+    /// One batch chunk: admission, the located ConnTable probe, and the
+    /// fallback probe run in packet order with hits resolved immediately;
+    /// VIPTable misses are deferred into [`SilkRoadSwitch::setup_deferred`].
+    /// Deferral is order-safe because hits touch none of the state the miss
+    /// path writes (transit bloom, learning filter, pending set). The one
+    /// exception — a SYN falsely hitting a resident entry, whose §4.2
+    /// repair mutates the table and replays the miss path — flushes the
+    /// deferred misses (they precede it in packet order), runs the repair,
+    /// and finishes the chunk on the sequential path (the relocate bumped
+    /// the table epoch, invalidating the remaining located coordinates).
+    fn process_chunk(
+        &mut self,
+        chunk: &[PacketMeta],
+        hashed: &[HashedKey],
+        located: &[Option<(u32, u32)>],
+        now: Nanos,
+        out: &mut Vec<ForwardDecision>,
+    ) {
+        let base = out.len();
+        let mut deferred = [(0usize, VersionView::Stable(PoolVersion(0))); SETUP_CHUNK];
+        let mut n_def = 0usize;
+        let mut tail = None;
+        for (i, ((pkt, h), loc)) in chunk.iter().zip(hashed).zip(located).enumerate() {
+            let view = match self.admit(pkt, now) {
+                Ok(view) => view,
+                Err(d) => {
+                    out.push(d);
+                    continue;
+                }
+            };
+            if let Some((stage, slot)) = *loc {
+                let (value, exact, resident) =
+                    self.conn_table
+                        .lookup_marking_at(stage, slot, h.key().as_slice());
+                if !exact && pkt.flags.is_syn() {
+                    self.setup_deferred(chunk, hashed, deferred.get(..n_def), base, now, out);
+                    n_def = 0;
+                    out.push(self.on_conn_hit(pkt, view, h, value, exact, resident, now));
+                    tail = Some(i + 1);
+                    break;
+                }
+                out.push(self.on_conn_hit(pkt, view, h, value, exact, resident, now));
+                continue;
+            }
+            if let Some(d) = self.fallback_hit(h) {
+                out.push(d);
+                continue;
+            }
+            // VIPTable miss: reserve the decision slot, run setup later.
+            if let Some(slot) = deferred.get_mut(n_def) {
+                *slot = (i, view);
+            }
+            n_def += 1;
+            out.push(ForwardDecision::not_vip());
+        }
+        if let Some(start) = tail {
+            for (pkt, h) in chunk.iter().zip(hashed).skip(start) {
+                out.push(self.process_packet_hashed(pkt, h, now));
+            }
+        }
+        self.setup_deferred(chunk, hashed, deferred.get(..n_def), base, now, out);
+    }
+
+    /// The fused connection-setup stage: run a chunk's deferred VIPTable
+    /// misses in packet order. The TransitTable bloom hashes are computed
+    /// in one bulk pass first — and skipped entirely while no update holds
+    /// the filter, which is every steady-state batch — and the learn gate
+    /// dedups repeated keys within the chunk before probing the control
+    /// plane. Each decision lands in the placeholder slot pass 3 reserved
+    /// for its packet.
+    fn setup_deferred(
+        &mut self,
+        chunk: &[PacketMeta],
+        hashed: &[HashedKey],
+        deferred: Option<&[(usize, VersionView)]>,
+        base: usize,
+        now: Nanos,
+        out: &mut [ForwardDecision],
+    ) {
+        let deferred = deferred.unwrap_or(&[]);
+        if deferred.is_empty() {
+            return;
+        }
+        if self.setup_chunk_stable(chunk, hashed, deferred, base, now, out) {
+            return;
+        }
+        // Bulk bloom pass, aligned index-for-index with `deferred`.
+        let mut blooms: [Option<BloomHashes>; SETUP_CHUNK] = [None; SETUP_CHUNK];
+        if self.transit.enabled() && self.transit.active_users() > 0 {
+            for (slot, &(i, _)) in blooms.iter_mut().zip(deferred) {
+                *slot = hashed.get(i).map(|h| self.hasher.bloom_hashes(h.key()));
+            }
+        }
+        // Packet indices of this chunk's misses whose key is now pending in
+        // the setup pipeline: later duplicates skip the control-plane gate.
+        // Each slot carries the key's select hash so the dedup scan
+        // compares one word per candidate and touches full keys only on a
+        // hash match — a chunk of distinct keys (the common case) pays a
+        // few integer compares instead of byte-wise key comparisons.
+        let mut pending = [(0usize, 0u64); SETUP_CHUNK];
+        let mut n_pending = 0usize;
+        for (&(i, view), bloom) in deferred.iter().zip(&blooms) {
+            let (Some(pkt), Some(h)) = (chunk.get(i), hashed.get(i)) else {
+                continue;
+            };
+            let dup_pending = pending.iter().take(n_pending).any(|&(j, ph)| {
+                ph == h.select_hash() && hashed.get(j).is_some_and(|p| p.key() == h.key())
+            });
+            let (d, pending_after) =
+                self.miss_path_setup(pkt, view, h, bloom.as_ref(), dup_pending, now);
+            if pending_after {
+                if let Some(slot) = pending.get_mut(n_pending) {
+                    *slot = (i, h.select_hash());
+                    n_pending += 1;
+                }
+            }
+            if let Some(slot) = out.get_mut(base + i) {
+                *slot = d;
+            }
+        }
+    }
+
+    /// The steady-state fast path of the fused setup stage: when no update
+    /// holds the TransitTable (so no VIP is recording or draining) and
+    /// every miss in the chunk targets the same stable VIP view, the VIP
+    /// state and its pool resolve *once* for the whole chunk instead of
+    /// per packet; each miss then pays only its DIP selection and the
+    /// learn gate. With transit disabled an update can technically sit in
+    /// its recording phase, but recording into a disabled filter is a
+    /// no-op, so skipping it changes nothing. Decisions, stats, and
+    /// learn-gate outcomes are identical to the general path, packet for
+    /// packet. Returns false when the chunk does not qualify (an update in
+    /// flight, mixed VIPs, a non-stable view, or a missing pool).
+    fn setup_chunk_stable(
+        &mut self,
+        chunk: &[PacketMeta],
+        hashed: &[HashedKey],
+        deferred: &[(usize, VersionView)],
+        base: usize,
+        now: Nanos,
+        out: &mut [ForwardDecision],
+    ) -> bool {
+        if self.transit.enabled() && self.transit.active_users() > 0 {
+            return false;
+        }
+        let Some(&(i0, view0)) = deferred.first() else {
+            return false;
+        };
+        let VersionView::Stable(version) = view0 else {
+            return false;
+        };
+        let Some(pkt0) = chunk.get(i0) else {
+            return false;
+        };
+        let vip = Vip(pkt0.tuple.dst);
+        let uniform = deferred.iter().all(|&(i, view)| {
+            matches!(view, VersionView::Stable(v) if v == version)
+                && chunk.get(i).is_some_and(|p| p.tuple.dst == pkt0.tuple.dst)
+                && hashed.get(i).is_some()
+        });
+        if !uniform {
+            return false;
+        }
+        // Pass 1 — resolve the shared state once and select every miss's
+        // DIP while the pool borrow is live.
+        let Some(state) = self.vips.get(&vip) else {
+            return false;
+        };
+        let Some(pool) = state.manager.pool(version) else {
+            return false;
+        };
+        let mut dips: [Option<Dip>; SETUP_CHUNK] = [None; SETUP_CHUNK];
+        for (slot, &(i, _)) in dips.iter_mut().zip(deferred) {
+            if let Some(h) = hashed.get(i) {
+                *slot = pool.select_hashed(h.select_hash());
+            }
+        }
+        // Pass 2 — decisions and learn gates, with the same in-chunk
+        // dedup the general path runs.
+        let mut pending = [(0usize, 0u64); SETUP_CHUNK];
+        let mut n_pending = 0usize;
+        for (j, &(i, _)) in deferred.iter().enumerate() {
+            let Some(h) = hashed.get(i) else {
+                continue;
+            };
+            self.stats.vip_table_misses += 1;
+            let d = match dips.get(j).copied().flatten() {
+                Some(dip) => {
+                    let dup_pending = pending.iter().take(n_pending).any(|&(k, ph)| {
+                        ph == h.select_hash() && hashed.get(k).is_some_and(|p| p.key() == h.key())
+                    });
+                    let pending_after = if dup_pending {
+                        true
+                    } else {
+                        match self.control.learn_gate(
+                            h.key().as_slice(),
+                            LearnMeta {
+                                vip,
+                                version,
+                                dip,
+                                hashes: h.conn_hashes(),
+                            },
+                            now,
+                        ) {
+                            LearnOutcome::Entered => {
+                                self.stats.learns += 1;
+                                true
+                            }
+                            LearnOutcome::AlreadyPending => true,
+                            LearnOutcome::Overflow => false,
+                        }
+                    };
+                    if pending_after {
+                        if let Some(slot) = pending.get_mut(n_pending) {
+                            *slot = (i, h.select_hash());
+                            n_pending += 1;
+                        }
+                    }
+                    ForwardDecision {
+                        dip: Some(dip),
+                        path: DataPath::AsicVipTable,
+                        version: Some(version),
+                        conn_table_hit: false,
+                        false_hit: false,
+                    }
+                }
+                // An empty pool drops, exactly like the general path; the
+                // dedup list stays empty in that case there too.
+                None => ForwardDecision::dropped(),
+            };
+            if let Some(slot) = out.get_mut(base + i) {
+                *slot = d;
+            }
+        }
+        true
     }
 
     /// The per-packet pipeline, after the control plane has advanced.
@@ -403,32 +715,6 @@ impl SilkRoadSwitch {
     ) -> ForwardDecision {
         match self.admit(pkt, now) {
             Ok(view) => self.dispatch(pkt, view, hashed, now),
-            Err(d) => d,
-        }
-    }
-
-    /// [`SilkRoadSwitch::process_packet_hashed`] with the ConnTable slot
-    /// already located by the batch pipeline's locate pass. `located` is
-    /// only consulted for admitted packets, matching the fused path's
-    /// behaviour of not probing for dropped or non-VIP traffic.
-    #[inline]
-    fn process_packet_located(
-        &mut self,
-        pkt: &PacketMeta,
-        hashed: &HashedKey,
-        located: Option<(u32, u32)>,
-        now: Nanos,
-    ) -> ForwardDecision {
-        match self.admit(pkt, now) {
-            Ok(view) => {
-                if let Some((stage, slot)) = located {
-                    let (value, exact, resident) =
-                        self.conn_table
-                            .lookup_marking_at(stage, slot, hashed.key().as_slice());
-                    return self.on_conn_hit(pkt, view, hashed, value, exact, resident, now);
-                }
-                self.post_conn(pkt, view, hashed, now)
-            }
             Err(d) => d,
         }
     }
@@ -520,6 +806,24 @@ impl SilkRoadSwitch {
         d
     }
 
+    /// Step 2 of the pipeline: the fallback-table probe (overflow /
+    /// version-exhaustion connections). Hits set the entry's hit bit, same
+    /// as ConnTable: fallback pins age out through `expire_idle` when
+    /// their connection goes quiet.
+    #[inline]
+    fn fallback_hit(&mut self, hashed: &HashedKey) -> Option<ForwardDecision> {
+        let entry = self.fallback.get_mut(hashed.key().as_slice())?;
+        entry.hit = true;
+        self.stats.conn_table_hits += 1;
+        Some(ForwardDecision {
+            dip: Some(entry.dip),
+            path: DataPath::AsicConnTable,
+            version: None,
+            conn_table_hit: true,
+            false_hit: false,
+        })
+    }
+
     /// Steps 2–3 of the pipeline, after the ConnTable probe missed.
     #[inline]
     fn post_conn(
@@ -529,21 +833,9 @@ impl SilkRoadSwitch {
         hashed: &HashedKey,
         now: Nanos,
     ) -> ForwardDecision {
-        // 2. Fallback table (overflow / version-exhaustion connections).
-        // Hits set the entry's hit bit, same as ConnTable: fallback pins
-        // age out through `expire_idle` when their connection goes quiet.
-        if let Some(entry) = self.fallback.get_mut(hashed.key().as_slice()) {
-            entry.hit = true;
-            self.stats.conn_table_hits += 1;
-            return ForwardDecision {
-                dip: Some(entry.dip),
-                path: DataPath::AsicConnTable,
-                version: None,
-                conn_table_hit: true,
-                false_hit: false,
-            };
+        if let Some(d) = self.fallback_hit(hashed) {
+            return d;
         }
-
         // 3. VIPTable miss path.
         self.miss_path(pkt, view, hashed, now)
     }
@@ -609,30 +901,64 @@ impl SilkRoadSwitch {
         hashed: &HashedKey,
         now: Nanos,
     ) -> ForwardDecision {
+        self.miss_path_setup(pkt, view, hashed, None, false, now).0
+    }
+
+    /// The miss path, with the fused setup stage's extras: `bloom` is the
+    /// bulk-precomputed TransitTable hash pass (`None` computes lazily, the
+    /// per-packet path), and `dup_pending` is the in-chunk dedup verdict —
+    /// an earlier miss in the same chunk left this key pending, so the
+    /// control-plane gate can be skipped (the key cannot have left the
+    /// pipeline mid-batch; installs only happen in `advance`). Returns the
+    /// decision plus whether the key is pending in the setup pipeline
+    /// afterwards (feeds the next packets' dedup).
+    fn miss_path_setup(
+        &mut self,
+        pkt: &PacketMeta,
+        view: VersionView,
+        hashed: &HashedKey,
+        bloom: Option<&BloomHashes>,
+        dup_pending: bool,
+        now: Nanos,
+    ) -> (ForwardDecision, bool) {
         self.stats.vip_table_misses += 1;
         let vip = Vip(pkt.tuple.dst);
         let key = hashed.key().as_slice();
         let mut software = false;
 
+        // One VIP-state probe serves both the update-phase check and the
+        // pool fetch below; the borrow spans only field-local mutations
+        // (transit, stats), so it stays live across the match.
+        let state = self.vips.get(&vip);
         let version = match view {
             VersionView::Stable(v) => {
                 // Step 1 of an in-flight update: remember this connection.
-                let recording = self
-                    .vips
-                    .get(&vip)
+                let recording = state
                     .map(|s| s.update.phase == UpdatePhase::Recording)
                     .unwrap_or(false);
                 if recording {
-                    // Bloom hashes are computed lazily here — hit packets
-                    // never reach the miss path, so they never pay for them.
-                    let bloom = self.hasher.bloom_hashes(hashed.key());
-                    self.transit.record_hashed(bloom.as_slice());
+                    // Bloom hashes are computed lazily here unless the
+                    // batch path ran its bulk pass — hit packets never
+                    // reach the miss path, so they never pay for them.
+                    match bloom {
+                        Some(b) => self.transit.record_hashed(b.as_slice()),
+                        None => {
+                            let b = self.hasher.bloom_hashes(hashed.key());
+                            self.transit.record_hashed(b.as_slice());
+                        }
+                    }
                 }
                 v
             }
             VersionView::Updating { old, new } => {
-                let bloom = self.hasher.bloom_hashes(hashed.key());
-                if self.transit.check_hashed(bloom.as_slice()) {
+                let transit_hit = match bloom {
+                    Some(b) => self.transit.check_hashed(b.as_slice()),
+                    None => {
+                        let b = self.hasher.bloom_hashes(hashed.key());
+                        self.transit.check_hashed(b.as_slice())
+                    }
+                };
+                if transit_hit {
                     if pkt.flags.is_syn() {
                         // A SYN matching TransitTable in step 2 is redirected
                         // to software (§4.3): software distinguishes a real
@@ -640,7 +966,7 @@ impl SilkRoadSwitch {
                         // false positive (new version).
                         self.stats.transit_syn_redirects += 1;
                         software = true;
-                        if self.control.is_pending(key) {
+                        if dup_pending || self.control.is_pending(key) {
                             old
                         } else {
                             new
@@ -654,36 +980,57 @@ impl SilkRoadSwitch {
             }
         };
 
-        let Some(state) = self.vips.get(&vip) else {
-            return ForwardDecision::dropped();
+        let Some(state) = state else {
+            return (ForwardDecision::dropped(), dup_pending);
         };
         let Some(pool) = state.manager.pool(version) else {
-            return ForwardDecision::dropped();
+            return (ForwardDecision::dropped(), dup_pending);
         };
         let Some(dip) = pool.select_hashed(hashed.select_hash()) else {
-            return ForwardDecision::dropped();
+            return (ForwardDecision::dropped(), dup_pending);
         };
 
-        // Learn the connection (dedup inside the control plane).
-        if !self.control.is_pending(key)
-            && self
-                .control
-                .learn(key, LearnMeta { vip, version, dip }, now)
-        {
-            self.stats.learns += 1;
-        }
+        // Learn the connection (dedup inside the control plane; the batch
+        // path pre-dedups repeats within its chunk). The learn event
+        // carries the packet-time ConnTable hashes so the eventual install
+        // replays them instead of re-hashing. The gate's three outcomes
+        // fold the old `is_pending` pre-probe into the insert itself.
+        let pending_after = if dup_pending {
+            true
+        } else {
+            match self.control.learn_gate(
+                key,
+                LearnMeta {
+                    vip,
+                    version,
+                    dip,
+                    hashes: hashed.conn_hashes(),
+                },
+                now,
+            ) {
+                LearnOutcome::Entered => {
+                    self.stats.learns += 1;
+                    true
+                }
+                LearnOutcome::AlreadyPending => true,
+                LearnOutcome::Overflow => false,
+            }
+        };
 
-        ForwardDecision {
-            dip: Some(dip),
-            path: if software {
-                DataPath::SoftwareRedirect
-            } else {
-                DataPath::AsicVipTable
+        (
+            ForwardDecision {
+                dip: Some(dip),
+                path: if software {
+                    DataPath::SoftwareRedirect
+                } else {
+                    DataPath::AsicVipTable
+                },
+                version: Some(version),
+                conn_table_hit: false,
+                false_hit: false,
             },
-            version: Some(version),
-            conn_table_hit: false,
-            false_hit: false,
-        }
+            pending_after,
+        )
     }
     // srlint: hot-path end
 
@@ -904,18 +1251,43 @@ impl SilkRoadSwitch {
         }
     }
 
-    fn handle_install(&mut self, inst: CompletedInstall) {
+    /// Apply one completed install. `bulk` means the caller is draining a
+    /// batch that emptied the pipeline and will settle the in-flight set
+    /// with one bulk clear afterwards, so only the per-VIP outstanding
+    /// counter is stepped here.
+    fn handle_install(&mut self, inst: CompletedInstall, bulk: bool) {
         let CompletedInstall { job, completed_at } = inst;
         let vip = job.meta.vip;
-        self.control.mark_terminal(&job.key, vip);
+        let key = job.key;
+        if bulk {
+            self.control.mark_terminal_popped(vip);
+        } else {
+            self.control.mark_terminal(key.as_slice(), vip);
+        }
 
-        if self.control.take_closed_early(&job.key) {
+        if self.control.has_closed_early() && self.control.take_closed_early(key.as_slice()) {
             self.stats.installs_skipped_closed += 1;
         } else if self.vips.contains_key(&vip) {
+            // The batched setup path replays the packet-time hash pass the
+            // learn event carried instead of re-hashing the key on the
+            // CPU; `legacy_setup` (and hash-less producers) re-hash.
+            // Placement and decisions are bit-identical either way.
+            let hashes = job.meta.hashes;
+            let pre = !self.cfg.legacy_setup && hashes.stages() == self.cfg.conn_stages;
             // Install-time collision pre-check: if another resident already
             // aliases this digest+bucket, relocate it first so the new
             // entry's packets do not shadow-match (§4.2).
-            let resident = match self.conn_table.lookup(&job.key) {
+            let probe = if pre {
+                self.conn_table.lookup_pre(
+                    key.as_slice(),
+                    hashes.stage_hashes(),
+                    hashes.match_hash(),
+                )
+            } else {
+                self.conn_table.lookup(key.as_slice())
+            };
+            let vacant = probe.is_none();
+            let resident = match probe {
                 Some(hit) if !hit.exact => Some(TupleKey::from_bytes(hit.resident_key)),
                 _ => None,
             };
@@ -930,7 +1302,28 @@ impl SilkRoadSwitch {
                 dip: job.meta.dip,
                 arrived: job.arrived,
             };
-            match self.conn_table.install(&job.key, value) {
+            let installed = if pre && vacant {
+                // The pre-check above just probed these hashes and missed,
+                // and nothing has touched the table since: the insert can
+                // skip its duplicate scan and, for alias-free free-slot
+                // landings, the shadowing re-probe.
+                self.conn_table.install_vacant_pre(
+                    key.as_slice(),
+                    hashes.stage_hashes(),
+                    hashes.match_hash(),
+                    value,
+                )
+            } else if pre {
+                self.conn_table.install_pre(
+                    key.as_slice(),
+                    hashes.stage_hashes(),
+                    hashes.match_hash(),
+                    value,
+                )
+            } else {
+                self.conn_table.install(key.as_slice(), value)
+            };
+            match installed {
                 Ok(_) => {
                     self.stats.installs += 1;
                     if let Some(state) = self.vips.get_mut(&vip) {
@@ -939,7 +1332,7 @@ impl SilkRoadSwitch {
                 }
                 Err(CuckooError::Full) => {
                     self.fallback.insert(
-                        TupleKey::from_bytes(&job.key),
+                        key,
                         FallbackConn {
                             vip,
                             dip: job.meta.dip,

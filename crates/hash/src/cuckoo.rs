@@ -277,12 +277,113 @@ pub struct CuckooTable<V> {
     /// Cumulative count of relocations performed by the resident-shadowing
     /// repair (see [`CuckooTable::shadow_repairs`]).
     shadow_repairs: u64,
+    /// Shared mutation workspace (see [`InsertScratch`]).
+    scratch: InsertScratch,
 }
 
 /// Resident keys grouped by narrowest-stage digest (see `CuckooTable.alias`).
+/// Members are inline keys, a class whose last member leaves keeps its
+/// (empty) slot, and the map is pre-sized for the worst case at
+/// construction: class bookkeeping sits on the connection-setup path, and
+/// both choices keep registering/deregistering a key off the allocator.
+/// The retained footprint is bounded by the digest space (at most
+/// `2^bits` classes) and the table capacity.
 struct AliasIndex {
     digest: DigestFn,
-    classes: crate::FxHashMap<u32, Vec<Box<[u8]>>>,
+    classes: crate::FxHashMap<u32, AliasClass>,
+}
+
+/// One digest-collision class. At realistic digest widths almost every
+/// class holds one resident (~99.7% of inserts land in an empty class at
+/// 24 bits) and two covers the stray birthday pair, so the first two
+/// members live inline and the spill `Vec` is only allocated for a
+/// three-way collision. Combined with the pre-reserved `classes` map,
+/// registering a key on the connection-setup path stays off the
+/// allocator.
+#[derive(Default)]
+struct AliasClass {
+    /// First two members, oldest first; filled before `rest` is touched.
+    inline: [Option<InlineKey>; 2],
+    /// Spill for third-and-later members (three-way digest collisions are
+    /// birthday-cubed rare), oldest first.
+    rest: Vec<InlineKey>,
+}
+
+impl AliasClass {
+    fn is_empty(&self) -> bool {
+        self.inline[0].is_none()
+    }
+
+    /// Append a member, preserving insertion order (members always read
+    /// oldest-first, so shadowing repair visits keys in the same order
+    /// the old flat-`Vec` layout did).
+    fn push(&mut self, key: InlineKey) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(key);
+                return;
+            }
+        }
+        self.rest.push(key);
+    }
+
+    /// Drop every member equal to `key`, compacting survivors forward so
+    /// the oldest-first order is maintained.
+    fn retain_not(&mut self, key: &[u8]) {
+        self.rest.retain(|k| k.as_slice() != key);
+        for slot in &mut self.inline {
+            if slot.is_some_and(|k| k.as_slice() == key) {
+                *slot = None;
+            }
+        }
+        if self.inline[0].is_none() {
+            self.inline[0] = self.inline[1].take();
+        }
+        for slot in &mut self.inline {
+            if slot.is_none() && !self.rest.is_empty() {
+                *slot = Some(self.rest.remove(0));
+            }
+        }
+    }
+
+    /// Copy the members, oldest first, into `out`.
+    fn extend_into(&self, out: &mut Vec<InlineKey>) {
+        out.extend(self.inline.iter().flatten());
+        out.extend_from_slice(&self.rest);
+    }
+}
+
+/// One BFS node: a `(stage, slot)` whose resident the search would displace.
+#[derive(Clone)]
+struct Node {
+    stage: usize,
+    slot: usize,
+    parent: usize, // index into the node arena, usize::MAX for roots
+}
+
+/// Reusable workspace for insertion, relocation, and the shadowing repair.
+///
+/// The BFS node arena, its frontier and visited set, and every key list the
+/// repair plumbing used to allocate per insert live here instead. A mutating
+/// call takes the workspace out of the table (`std::mem::take`) for its
+/// duration and puts it back, so once the buffers have grown to their working
+/// size, connection setup performs no per-insert heap allocation.
+#[derive(Default)]
+struct InsertScratch {
+    /// BFS node arena.
+    nodes: Vec<Node>,
+    /// BFS frontier: (node index, depth).
+    queue: VecDeque<(usize, usize)>,
+    /// (stage, slot) positions already enqueued.
+    visited: crate::FxHashSet<(usize, usize)>,
+    /// Candidate word per stage for the entry being placed.
+    cand: Vec<usize>,
+    /// Keys displaced by the most recent BFS unwind.
+    moved: Vec<InlineKey>,
+    /// Shadowing-repair work queue: keys whose position just changed.
+    touched: VecDeque<InlineKey>,
+    /// Snapshot of one collision class while the repair relocates members.
+    members: Vec<InlineKey>,
 }
 
 impl<V: Clone> CuckooTable<V> {
@@ -305,14 +406,22 @@ impl<V: Clone> CuckooTable<V> {
             ),
             MatchMode::FullKey => None,
         };
-        let alias = digests.as_ref().map(|ds| AliasIndex {
-            digest: DigestFn::new(
-                cfg.seed ^ 0xd1e5,
-                ds.iter().map(|d| d.bits()).min().unwrap_or(16),
-            ),
-            classes: crate::FxHashMap::default(),
-        });
         let per_stage = cfg.words_per_stage * cfg.entries_per_word;
+        let alias = digests.as_ref().map(|ds| {
+            let bits = ds.iter().map(|d| d.bits()).min().unwrap_or(16);
+            // Pre-size the class map for the worst case it can ever reach
+            // (one class per resident, capped by the digest space), so
+            // class registration on the connection-setup path never grows
+            // the map mid-flight.
+            let max_classes = (per_stage * cfg.stages).min(1usize << bits.min(31));
+            AliasIndex {
+                digest: DigestFn::new(cfg.seed ^ 0xd1e5, bits),
+                classes: crate::FxHashMap::with_capacity_and_hasher(
+                    max_classes,
+                    Default::default(),
+                ),
+            }
+        });
         CuckooTable {
             stage_hash,
             digests,
@@ -326,6 +435,7 @@ impl<V: Clone> CuckooTable<V> {
             epoch: 0,
             alias,
             shadow_repairs: 0,
+            scratch: InsertScratch::default(),
             cfg,
         }
     }
@@ -696,6 +806,26 @@ impl<V: Clone> CuckooTable<V> {
         None
     }
 
+    // srlint: hot-path begin
+    /// [`CuckooTable::find_exact`] from precomputed stage hashes — no
+    /// hashing. `word_from(stage_hashes[s])` addresses the same word as
+    /// `word_of(s, key)` when the hashes honour the `probe_pre` contract.
+    fn find_exact_pre(&self, key: &[u8], stage_hashes: &[u64]) -> Option<(usize, usize)> {
+        for (stage, (&h, stage_slots)) in stage_hashes.iter().zip(&self.slots).enumerate() {
+            let range = self.slot_range(self.word_from(h));
+            let base = range.start;
+            for (off, slot) in stage_slots.get(range).unwrap_or(&[]).iter().enumerate() {
+                if let Some(e) = slot {
+                    if e.key.as_slice() == key {
+                        return Some((stage, base + off));
+                    }
+                }
+            }
+        }
+        None
+    }
+    // srlint: hot-path end
+
     /// Insert a key/value pair, running the BFS move search if every
     /// candidate slot is taken. Fails with [`CuckooError::Full`] when no
     /// eviction path exists within the configured limits, or
@@ -704,6 +834,68 @@ impl<V: Clone> CuckooTable<V> {
         if self.find_exact(key).is_some() {
             return Err(CuckooError::Duplicate);
         }
+        self.insert_new(key, None, value, false)
+    }
+
+    /// [`CuckooTable::insert`] with all hashing of the *inserted* key done
+    /// by the caller: `stage_hashes[i]` must be `self.stage_fns()[i]` over
+    /// the key and `match_hash` the output of [`CuckooTable::match_fn`] —
+    /// the hashes the packet path already computed when the connection first
+    /// missed. Placement is bit-identical to [`CuckooTable::insert`]
+    /// (candidate words and match fields derive from the same hash outputs);
+    /// only residents displaced by the BFS are re-hashed, since their
+    /// packet-time hashes are long gone.
+    pub fn insert_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: V,
+    ) -> Result<InsertOutcome, CuckooError> {
+        debug_assert_eq!(stage_hashes.len(), self.cfg.stages);
+        if self.find_exact_pre(key, stage_hashes).is_some() {
+            return Err(CuckooError::Duplicate);
+        }
+        self.insert_new(key, Some((stage_hashes, match_hash)), value, false)
+    }
+
+    /// [`CuckooTable::insert_pre`] for a caller that has *just probed*
+    /// these exact hashes (via [`CuckooTable::lookup_pre`]) and found no
+    /// hit of any kind, with the table untouched since. The probe already
+    /// proved what the duplicate pre-scan would — an exact duplicate is
+    /// also a match-field hit, so none can be stored — and it narrows the
+    /// §4.2 repair: no digest-colliding resident sits in any of the key's
+    /// candidate buckets, so when the insert lands in a free slot (no BFS
+    /// displacements) and the key's collision class has no other member,
+    /// no resident's lookup can have changed and the repair re-probe is
+    /// skipped. Displacing inserts, and keys whose digest class already
+    /// has members, repair exactly as [`CuckooTable::insert_pre`] does.
+    /// Placement is bit-identical to the checked variants.
+    pub fn insert_vacant_pre(
+        &mut self,
+        key: &[u8],
+        stage_hashes: &[u64],
+        match_hash: u64,
+        value: V,
+    ) -> Result<InsertOutcome, CuckooError> {
+        debug_assert_eq!(stage_hashes.len(), self.cfg.stages);
+        debug_assert!(
+            self.lookup_pre(key, stage_hashes, match_hash).is_none(),
+            "insert_vacant_pre requires a just-probed miss"
+        );
+        self.insert_new(key, Some((stage_hashes, match_hash)), value, true)
+    }
+
+    /// Shared tail of [`CuckooTable::insert`] / [`CuckooTable::insert_pre`]:
+    /// place the entry, register its collision class, and repair any
+    /// shadowing — all through the table's reusable scratch.
+    fn insert_new(
+        &mut self,
+        key: &[u8],
+        pre: Option<(&[u64], u64)>,
+        value: V,
+        probed_miss: bool,
+    ) -> Result<InsertOutcome, CuckooError> {
         let entry = Entry {
             key: InlineKey::new(key),
             // Placeholder; `insert_entry` stamps the landing stage's field.
@@ -711,41 +903,66 @@ impl<V: Clone> CuckooTable<V> {
             hit: false,
             value,
         };
-        if self.alias.is_none() {
-            // Full-key mode has no shadowing to repair, so nothing needs
-            // the moved-key list.
-            let out = self.insert_entry(entry, None, None).map_err(|(e, _)| e)?;
-            return Ok(out);
-        }
-        let mut touched: Vec<Box<[u8]>> = Vec::new();
-        let out = self
-            .insert_entry(entry, None, Some(&mut touched))
-            .map_err(|(e, _)| e)?;
-        self.alias_add(key);
-        touched.push(key.into());
-        self.repair_shadowed(touched);
-        Ok(out)
+        let ikey = entry.key;
+        let digest_mode = self.alias.is_some();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.moved.clear();
+        let result = match self.insert_entry(entry, None, pre, &mut scratch, digest_mode) {
+            Ok(out) => {
+                if digest_mode {
+                    let lone = self.alias_add(key, pre.map(|(_, mh)| mh));
+                    if probed_miss && out.moves == 0 && lone {
+                        // The caller's probe missed everywhere, the entry
+                        // landed in a free slot, and its collision class
+                        // holds only itself: no resident's lookup changed
+                        // and the repair would merely re-confirm the fresh
+                        // key's own exact hit. Skip the re-probe.
+                        scratch.moved.clear();
+                        scratch.touched.clear();
+                    } else {
+                        {
+                            let InsertScratch { moved, touched, .. } = &mut scratch;
+                            touched.clear();
+                            touched.extend(moved.drain(..));
+                        }
+                        scratch.touched.push_back(ikey);
+                        self.repair_shadowed(&mut scratch, pre.map(|(hs, mh)| (key, hs, mh)));
+                    }
+                }
+                Ok(out)
+            }
+            Err((e, _)) => Err(e),
+        };
+        self.scratch = scratch;
+        result
     }
 
-    /// Record a resident key in its collision class.
-    fn alias_add(&mut self, key: &[u8]) {
-        if let Some(a) = &mut self.alias {
-            a.classes
-                .entry(a.digest.digest(key))
-                .or_default()
-                .push(key.into());
-        }
+    /// Record a resident key in its collision class, reusing the caller's
+    /// match hash when it has one (the class digest truncates that same
+    /// hash). Returns whether the class held no other member — the signal
+    /// that lets a probed-miss insert skip the shadowing repair.
+    fn alias_add(&mut self, key: &[u8], match_hash: Option<u64>) -> bool {
+        let Some(a) = &mut self.alias else {
+            return true;
+        };
+        let class = match match_hash {
+            Some(mh) => a.digest.digest_of(mh),
+            None => a.digest.digest(key),
+        };
+        let members = a.classes.entry(class).or_default();
+        let lone = members.is_empty();
+        members.push(InlineKey::new(key));
+        lone
     }
 
-    /// Drop a key from its collision class.
+    /// Drop a key from its collision class. The class `Vec` is kept even
+    /// when emptied so churn over the same digest space reuses its capacity
+    /// (see [`AliasIndex`]).
     fn alias_remove(&mut self, key: &[u8]) {
         if let Some(a) = &mut self.alias {
             let class = a.digest.digest(key);
             if let Some(members) = a.classes.get_mut(&class) {
-                members.retain(|k| k.as_ref() != key);
-                if members.is_empty() {
-                    a.classes.remove(&class);
-                }
+                members.retain_not(key);
             }
         }
     }
@@ -754,38 +971,57 @@ impl<V: Clone> CuckooTable<V> {
     /// exact hit. Placing or moving an entry can shadow a digest-colliding
     /// resident probed later in the pipeline; the switch software holds the
     /// full keys, detects this at insertion time (§4.2), and relocates the
-    /// shadowing entry. `touched` is the set of keys that just changed
-    /// position; only their collision classes can have new shadowing.
-    fn repair_shadowed(&mut self, touched: Vec<Box<[u8]>>) {
+    /// shadowing entry. `scratch.touched` is the queue of keys that just
+    /// changed position; only their collision classes can have new
+    /// shadowing. `pre` carries the just-inserted key's precomputed hashes
+    /// so checking *it* for shadowing costs no re-hash.
+    fn repair_shadowed(&mut self, scratch: &mut InsertScratch, pre: Option<(&[u8], &[u64], u64)>) {
         if self.alias.is_none() {
+            scratch.touched.clear();
             return; // full-key mode has no false hits
         }
         // Bounds the (astronomically unlikely) case of keys aliasing in
         // every stage, where relocation cannot separate them.
         let mut budget = 64usize;
-        let mut work: VecDeque<Box<[u8]>> = touched.into();
-        while let Some(k) = work.pop_front() {
-            let members = {
+        while let Some(k) = scratch.touched.pop_front() {
+            scratch.members.clear();
+            {
                 let a = self.alias.as_ref().expect("checked above");
-                match a.classes.get(&a.digest.digest(&k)) {
-                    Some(m) => m.clone(),
+                let class = match pre {
+                    Some((pk, _, mh)) if pk == k.as_slice() => a.digest.digest_of(mh),
+                    _ => a.digest.digest(k.as_slice()),
+                };
+                match a.classes.get(&class) {
+                    Some(m) => m.extend_into(&mut scratch.members),
                     None => continue,
                 }
-            };
-            for resident in members {
-                let shadower = match self.lookup(&resident) {
-                    Some(hit) if !hit.exact => Box::<[u8]>::from(hit.resident_key),
-                    _ => continue,
+            }
+            for mi in 0..scratch.members.len() {
+                let resident = scratch.members[mi];
+                let shadower = {
+                    let hit = match pre {
+                        Some((pk, hs, mh)) if pk == resident.as_slice() => {
+                            self.lookup_pre(resident.as_slice(), hs, mh)
+                        }
+                        _ => self.lookup(resident.as_slice()),
+                    };
+                    match hit {
+                        Some(h) if !h.exact => Some(InlineKey::new(h.resident_key)),
+                        _ => None,
+                    }
                 };
+                let Some(shadower) = shadower else { continue };
                 if budget == 0 {
+                    scratch.touched.clear();
                     return;
                 }
                 budget -= 1;
-                let mut moved: Vec<Box<[u8]>> = Vec::new();
-                if self.relocate_raw(&shadower, &mut moved).is_ok() {
+                scratch.moved.clear();
+                if self.relocate_raw(shadower.as_slice(), scratch).is_ok() {
                     self.shadow_repairs += 1;
-                    work.extend(moved);
-                    work.push_back(shadower);
+                    let InsertScratch { moved, touched, .. } = &mut *scratch;
+                    touched.extend(moved.drain(..));
+                    scratch.touched.push_back(shadower);
                 }
                 // On failure (table too full to separate them) the false
                 // hit persists, as it would on a real switch out of room.
@@ -799,75 +1035,96 @@ impl<V: Clone> CuckooTable<V> {
     }
 
     /// Insert `entry`, optionally excluding one stage (used by relocation).
-    /// Keys of residents displaced by the BFS unwind are appended to
-    /// `moved_keys` when the caller supplied a list (only the digest-mode
-    /// shadowing repair wants them; materialising the clones otherwise is
-    /// wasted work). On failure the entry is handed back so the caller can
-    /// restore it without having cloned it up front.
+    /// The candidate words and match fields of the *entry's own* key come
+    /// from the caller's precomputed hashes when `pre` is supplied —
+    /// `word_from`/`match_field_from` over the same hash outputs that
+    /// `word_of`/`match_field_at` would compute, so placement is
+    /// bit-identical either way. Keys of residents displaced by the BFS
+    /// unwind are appended to `scratch.moved` when `record_moves` is set
+    /// (only the digest-mode shadowing repair wants them). On failure the
+    /// entry is handed back so the caller can restore it without having
+    /// cloned it up front.
     fn insert_entry(
         &mut self,
         entry: Entry<V>,
         exclude_stage: Option<usize>,
-        mut moved_keys: Option<&mut Vec<Box<[u8]>>>,
+        pre: Option<(&[u64], u64)>,
+        scratch: &mut InsertScratch,
+        record_moves: bool,
     ) -> Result<InsertOutcome, (CuckooError, Entry<V>)> {
         self.epoch += 1;
+        scratch.cand.clear();
+        for stage in 0..self.cfg.stages {
+            scratch.cand.push(match pre {
+                Some((hs, _)) => self.word_from(hs[stage]),
+                None => self.word_of(stage, entry.key.as_slice()),
+            });
+        }
         // Fast path: a free slot in one of the candidate words. Stage order
         // doubles as a preference order (wider digests first in the
-        // per-stage mode).
+        // per-stage mode). Vacancy is read off the dense match-field plane
+        // (`EMPTY_PLANE` marks free slots) — the same cache lines a caller
+        // that just probed these words still has warm — instead of the
+        // wide entry array.
         for stage in 0..self.cfg.stages {
             if Some(stage) == exclude_stage {
                 continue;
             }
-            let word = self.word_of(stage, entry.key.as_slice());
+            let word = scratch.cand[stage];
+            let mut landing = None;
             for slot in self.slot_range(word) {
-                if self.slots[stage][slot].is_none() {
-                    let mut entry = entry;
-                    entry.match_field = self.match_field_at(stage, entry.key.as_slice());
-                    self.mfs[stage][slot] = plane_mf(entry.match_field);
-                    self.slots[stage][slot] = Some(entry);
-                    self.len += 1;
-                    return Ok(InsertOutcome { moves: 0, stage });
+                if self.mfs[stage][slot] == EMPTY_PLANE {
+                    landing = Some(slot);
+                    break;
                 }
+            }
+            if let Some(slot) = landing {
+                debug_assert!(self.slots[stage][slot].is_none());
+                let mut entry = entry;
+                entry.match_field = match pre {
+                    Some((_, mh)) => self.match_field_from(stage, mh),
+                    None => self.match_field_at(stage, entry.key.as_slice()),
+                };
+                self.mfs[stage][slot] = plane_mf(entry.match_field);
+                self.slots[stage][slot] = Some(entry);
+                self.len += 1;
+                return Ok(InsertOutcome { moves: 0, stage });
             }
         }
         // BFS over eviction paths. Nodes are (stage, slot) positions whose
         // resident entry we would displace; we search for a resident that
         // has a free alternative slot in another stage.
-        #[derive(Clone)]
-        struct Node {
-            stage: usize,
-            slot: usize,
-            parent: usize, // index into `nodes`, usize::MAX for roots
-        }
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut queue: VecDeque<(usize, usize)> = VecDeque::new(); // (node idx, depth)
-        let mut visited: crate::FxHashSet<(usize, usize)> = crate::FxHashSet::default();
+        scratch.nodes.clear();
+        scratch.queue.clear();
+        scratch.visited.clear();
 
         for stage in 0..self.cfg.stages {
             if Some(stage) == exclude_stage {
                 continue;
             }
-            let word = self.word_of(stage, entry.key.as_slice());
+            let word = scratch.cand[stage];
             for slot in self.slot_range(word) {
-                if visited.insert((stage, slot)) {
-                    nodes.push(Node {
+                if scratch.visited.insert((stage, slot)) {
+                    scratch.nodes.push(Node {
                         stage,
                         slot,
                         parent: usize::MAX,
                     });
-                    queue.push_back((nodes.len() - 1, 1));
+                    scratch.queue.push_back((scratch.nodes.len() - 1, 1));
                 }
             }
         }
 
         let mut found: Option<(usize, usize, usize)> = None; // (node, free_stage, free_slot)
-        'bfs: while let Some((ni, depth)) = queue.pop_front() {
-            if nodes.len() > self.cfg.max_bfs_nodes {
+        'bfs: while let Some((ni, depth)) = scratch.queue.pop_front() {
+            if scratch.nodes.len() > self.cfg.max_bfs_nodes {
                 break;
             }
-            let (from_stage, from_slot) = (nodes[ni].stage, nodes[ni].slot);
+            let (from_stage, from_slot) = (scratch.nodes[ni].stage, scratch.nodes[ni].slot);
             // Borrow the resident's key in place — the BFS only reads the
-            // table, so no clone is needed to keep probing with it.
+            // table, so no clone is needed to keep probing with it. The
+            // resident's packet-time hashes are long gone, so (unlike the
+            // entry being placed) displaced residents are re-hashed.
             let resident_key: &[u8] = match &self.slots[from_stage][from_slot] {
                 Some(e) => e.key.as_slice(),
                 // Shouldn't happen (fast path would have used it), but a
@@ -888,13 +1145,15 @@ impl<V: Clone> CuckooTable<V> {
                         found = Some((ni, alt_stage, slot));
                         break 'bfs;
                     }
-                    if depth < self.cfg.max_bfs_depth && visited.insert((alt_stage, slot)) {
-                        nodes.push(Node {
+                    if depth < self.cfg.max_bfs_depth && scratch.visited.insert((alt_stage, slot)) {
+                        scratch.nodes.push(Node {
                             stage: alt_stage,
                             slot,
                             parent: ni,
                         });
-                        queue.push_back((nodes.len() - 1, depth + 1));
+                        scratch
+                            .queue
+                            .push_back((scratch.nodes.len() - 1, depth + 1));
                     }
                 }
             }
@@ -910,7 +1169,7 @@ impl<V: Clone> CuckooTable<V> {
         let mut dest = (free_stage, free_slot);
         let mut moves = 0usize;
         loop {
-            let src = (nodes[ni].stage, nodes[ni].slot);
+            let src = (scratch.nodes[ni].stage, scratch.nodes[ni].slot);
             let moved = self.slots[src.0][src.1].take();
             self.mfs[src.0][src.1] = EMPTY_PLANE;
             if let Some(mut m) = moved {
@@ -920,23 +1179,26 @@ impl<V: Clone> CuckooTable<V> {
                 if dest.0 != src.0 {
                     m.match_field = self.match_field_at(dest.0, m.key.as_slice());
                 }
-                if let Some(mv) = moved_keys.as_deref_mut() {
-                    mv.push(m.key.as_slice().into());
+                if record_moves {
+                    scratch.moved.push(m.key);
                 }
                 self.mfs[dest.0][dest.1] = plane_mf(m.match_field);
                 self.slots[dest.0][dest.1] = Some(m);
                 moves += 1;
             }
             dest = src;
-            if nodes[ni].parent == usize::MAX {
+            if scratch.nodes[ni].parent == usize::MAX {
                 break;
             }
-            ni = nodes[ni].parent;
+            ni = scratch.nodes[ni].parent;
         }
         debug_assert!(self.slots[dest.0][dest.1].is_none());
         let landed = dest.0;
         let mut entry = entry;
-        entry.match_field = self.match_field_at(landed, entry.key.as_slice());
+        entry.match_field = match pre {
+            Some((_, mh)) => self.match_field_from(landed, mh),
+            None => self.match_field_at(landed, entry.key.as_slice()),
+        };
         self.mfs[dest.0][dest.1] = plane_mf(entry.match_field);
         self.slots[dest.0][dest.1] = Some(entry);
         self.len += 1;
@@ -969,25 +1231,36 @@ impl<V: Clone> CuckooTable<V> {
     ///
     /// Returns the stage the entry moved to.
     pub fn relocate(&mut self, key: &[u8]) -> Result<usize, CuckooError> {
-        let mut touched: Vec<Box<[u8]>> = Vec::new();
-        let stage = self.relocate_raw(key, &mut touched)?;
-        touched.push(key.into());
-        self.repair_shadowed(touched);
-        Ok(stage)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.moved.clear();
+        let result = self.relocate_raw(key, &mut scratch);
+        if result.is_ok() {
+            {
+                let InsertScratch { moved, touched, .. } = &mut scratch;
+                touched.clear();
+                touched.extend(moved.drain(..));
+            }
+            scratch.touched.push_back(InlineKey::new(key));
+            self.repair_shadowed(&mut scratch, None);
+        }
+        self.scratch = scratch;
+        result
     }
 
     /// [`CuckooTable::relocate`] without the shadowing repair — the repair
-    /// itself relocates entries through this to avoid recursion.
+    /// itself relocates entries through this to avoid recursion. Displaced
+    /// residents are appended to `scratch.moved` in digest mode.
     fn relocate_raw(
         &mut self,
         key: &[u8],
-        moved_keys: &mut Vec<Box<[u8]>>,
+        scratch: &mut InsertScratch,
     ) -> Result<usize, CuckooError> {
         let (stage, slot) = self.find_exact(key).ok_or(CuckooError::NotFound)?;
         let entry = self.slots[stage][slot].take().expect("occupied");
         self.mfs[stage][slot] = EMPTY_PLANE;
         self.len -= 1;
-        match self.insert_entry(entry, Some(stage), Some(moved_keys)) {
+        let record_moves = self.alias.is_some();
+        match self.insert_entry(entry, Some(stage), None, scratch, record_moves) {
             Ok(out) => Ok(out.stage),
             Err((e, entry)) => {
                 // Roll back: the failed insert hands the entry back, so it
@@ -1389,6 +1662,61 @@ mod tests {
                         assert_eq!(x.resident_key, y.resident_key);
                     }
                     (a, b) => panic!("lookup {a:?} != lookup_pre {b:?} for {i}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_pre_places_identically_to_insert() {
+        // The batched setup path installs entries through `insert_pre` with
+        // the hashes the packet path computed; the per-packet baseline goes
+        // through `insert`. Decision-digest identity between the two arms
+        // rests on the two entry points producing bit-identical layouts.
+        for mode in [
+            MatchMode::FullKey,
+            MatchMode::Digest { bits: 8 },
+            MatchMode::DigestPerStage {
+                bits: vec![24, 16, 12, 8],
+            },
+        ] {
+            let mut a = small(mode.clone());
+            let mut b = small(mode);
+            let stage_fns = b.stage_fns().to_vec();
+            let match_fn = b.match_fn();
+            let mut hashes = vec![0u64; stage_fns.len()];
+            // 90% load forces BFS moves and (at 8-bit digests) repairs.
+            let n = (a.config().total_slots() * 9 / 10) as u32;
+            for i in 0..n {
+                let k = key(i);
+                crate::hasher::hash_all(&stage_fns, &k, &mut hashes);
+                let mh = match_fn.hash(&k);
+                let ra = a.insert(&k, i);
+                let rb = b.insert_pre(&k, &hashes, mh, i);
+                assert_eq!(ra, rb, "outcome diverged at key {i}");
+                if i % 5 == 0 {
+                    // Duplicate detection must agree too.
+                    assert_eq!(
+                        b.insert_pre(&k, &hashes, mh, i),
+                        Err(CuckooError::Duplicate)
+                    );
+                }
+            }
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.total_moves(), b.total_moves(), "BFS paths diverged");
+            assert_eq!(a.shadow_repairs(), b.shadow_repairs());
+            for stage in 0..a.cfg.stages {
+                assert_eq!(a.mfs[stage], b.mfs[stage], "plane differs at {stage}");
+                for (slot, (x, y)) in a.slots[stage].iter().zip(&b.slots[stage]).enumerate() {
+                    match (x, y) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.key.as_slice(), y.key.as_slice(), "{stage}/{slot}");
+                            assert_eq!(x.match_field, y.match_field, "{stage}/{slot}");
+                            assert_eq!(x.value, y.value, "{stage}/{slot}");
+                        }
+                        _ => panic!("occupancy differs at {stage}/{slot}"),
+                    }
                 }
             }
         }

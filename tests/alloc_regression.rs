@@ -298,6 +298,82 @@ fn wire_parse_steer_resolve_rewrite_is_allocation_free_v6() {
     }
 }
 
+/// Connection **setup** path: a warmed switch must establish a fresh
+/// cohort of connections — SYN burst through the learning filter, CPU
+/// install queue, cuckoo insert, and terminal promotion — without heap
+/// allocations. Warmup runs a same-sized cohort first so every reusable
+/// buffer (learn queue, in-flight set, CPU ring, install scratch, chunk
+/// staging) reaches its high-water capacity; the alias-class map is
+/// pre-sized at construction. Measured over both the SYN batch and the
+/// drain `advance`, i.e. the exact window the churn benchmark times.
+///
+/// Digest width is 24 bits — the churn benchmark's configuration (§6.1's
+/// wider point). Digest-collision classes keep two members inline, so
+/// only a *three-way* digest collision ever reaches the allocator; at 24
+/// bits that is birthday-cubed rare (and absent for these deterministic
+/// keys), while 16-bit tables at high occupancy can legitimately hit a
+/// handful per cohort.
+fn setup_cohort(
+    vip_addr: Addr,
+    dips: Vec<Dip>,
+    n: u32,
+    client: impl Fn(u32) -> Addr,
+) -> (u64, usize) {
+    let cfg = SilkRoadConfig {
+        conn_capacity: (n as usize) * 4,
+        digest_bits: 24,
+        ..Default::default()
+    };
+    let mut sw = SilkRoadSwitch::new(cfg);
+    sw.add_vip(Vip(vip_addr), dips).unwrap();
+    let mut out: Vec<ForwardDecision> = Vec::with_capacity(n as usize);
+
+    // Warmup cohort: grows every buffer the setup pipeline reuses.
+    let warm: Vec<PacketMeta> = (0..n)
+        .map(|i| PacketMeta::syn(FiveTuple::tcp(client(i), vip_addr)))
+        .collect();
+    sw.process_batch_into(&warm, Nanos::ZERO, &mut out);
+    sw.advance(Nanos::from_secs(10));
+    assert_eq!(sw.conn_count(), n as usize, "warm-up did not install");
+
+    // Measured cohort: n brand-new flows through the same pipeline.
+    let fresh: Vec<PacketMeta> = (0..n)
+        .map(|i| PacketMeta::syn(FiveTuple::tcp(client(n + i), vip_addr)))
+        .collect();
+    out.clear();
+    let before = allocs_so_far();
+    sw.process_batch_into(&fresh, Nanos::from_secs(20), &mut out);
+    sw.advance(Nanos::from_secs(30));
+    let allocs = allocs_so_far() - before;
+    (allocs, sw.conn_count())
+}
+
+#[test]
+fn connection_setup_path_is_allocation_free() {
+    const N: u32 = 2048;
+    let vip_addr = Addr::v4(20, 0, 0, 1, 80);
+    let (allocs, conns) = setup_cohort(vip_addr, v4_dips(), N, |i| Addr::v4_indexed(100, i, 1024));
+    assert_eq!(conns, 2 * N as usize, "measured cohort did not install");
+    assert_eq!(
+        allocs, 0,
+        "setup path allocated {allocs} times establishing {N} connections"
+    );
+}
+
+#[test]
+fn connection_setup_path_is_allocation_free_v6() {
+    const N: u32 = 1024;
+    let vip_addr = Addr::v6_indexed(0x0a0a, 1, 443);
+    let (allocs, conns) = setup_cohort(vip_addr, v6_dips(), N, |i| {
+        Addr::v6_indexed(0xc11e, i, 1024)
+    });
+    assert_eq!(conns, 2 * N as usize, "measured cohort did not install");
+    assert_eq!(
+        allocs, 0,
+        "v6 setup path allocated {allocs} times establishing {N} connections"
+    );
+}
+
 #[test]
 fn conn_table_hit_path_is_allocation_free_v6() {
     const N: u32 = 2048;

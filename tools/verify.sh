@@ -74,6 +74,21 @@ FLEET_TMP="$(mktemp -d)"
 ( cd "$FLEET_TMP" && "$OLDPWD/target/release/repro" fleet --smoke > /dev/null )
 rm -rf "$FLEET_TMP"
 
+# Churn smoke: the batched connection-setup sweep plus the SYN-flood
+# scenario. Hard gates inside the binary: decision digests bit-identical
+# between the batched and per-packet arms and across 1/2/4 pipes; the
+# flood must overflow the learning filter without installing junk state
+# and with zero PCC violations on the background flows. (The speedup
+# floor applies to full runs only — smoke timings are too noisy.)
+echo "== repro churn --smoke (batched setup sweep + SYN flood)"
+CHURN_TMP="$(mktemp -d)"
+(
+    cd "$CHURN_TMP"
+    "$OLDPWD/target/release/repro" churn --smoke > /dev/null
+    "$OLDPWD/target/release/repro" churn --smoke --flood > /dev/null
+)
+rm -rf "$CHURN_TMP"
+
 # Replay smoke: regenerate the smoke capture from the deterministic
 # exporter, require it byte-identical to the committed golden, replay it,
 # and require the decision digest to match the pinned value. Catches any
