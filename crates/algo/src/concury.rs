@@ -1,0 +1,196 @@
+//! Concury-style version-in-packet steering.
+//!
+//! Concury's observation: if the pool version a flow was born under rides
+//! *in the packet* (stamped into the DSCP field at the edge —
+//! `sr_wire::stamp` is the wire realization), then the switch can resolve
+//! every subsequent packet against the immutable pool of that version with
+//! **zero** per-connection SRAM. The ConnTable shrinks to a transition
+//! window: only flows born while an update is settling (before the edge
+//! reliably stamps the new version) get pinned entries, and those expire
+//! once the window closes.
+//!
+//! PCC comes from pool immutability: a stamped version always resolves
+//! against the membership it named when the flow was born, as long as the
+//! version ring is deep enough to outlive the flow (64 versions at
+//! SilkRoad's 6-bit width; the ring-wrap hazard is shared with SilkRoad
+//! itself).
+
+use crate::cost::ConnStateDesign;
+use crate::engine::AlgoEngine;
+use crate::pools::VersionedPools;
+use crate::state::MapConnState;
+use crate::steer::{Steer, Steering};
+use sr_types::{AddrFamily, Dip, Duration, Nanos, PoolVersion, Vip};
+
+/// Mask for the stamped version tag (6-bit DSCP payload).
+const TAG_MASK: u16 = 0x3f;
+
+/// Version-in-packet steering over versioned immutable pools.
+pub struct ConcurySteering {
+    pools: VersionedPools,
+    /// Transition window: while open, newborn flows get pinned entries
+    /// because the edge may still stamp the pre-update version.
+    window_until: Nanos,
+    settle: Duration,
+}
+
+impl ConcurySteering {
+    /// Build with a 6-bit version ring and the given transition-window
+    /// settle time (how long the edge takes to converge on a new version).
+    pub fn new(settle: Duration) -> ConcurySteering {
+        ConcurySteering {
+            pools: VersionedPools::new(6),
+            window_until: Nanos::ZERO,
+            settle,
+        }
+    }
+
+    /// The underlying pools (matrix accounting).
+    pub fn pools(&self) -> &VersionedPools {
+        &self.pools
+    }
+
+    /// Whether the transition window is open at `now`.
+    pub fn window_open(&self, now: Nanos) -> bool {
+        now < self.window_until
+    }
+}
+
+/// Encode a pool version as the 6-bit on-wire tag.
+pub fn version_tag(version: PoolVersion) -> u8 {
+    (version.0 & TAG_MASK) as u8
+}
+
+impl Steering for ConcurySteering {
+    fn is_vip(&self, vip: Vip) -> bool {
+        self.pools.contains(vip)
+    }
+
+    fn steer_tagged(&mut self, vip: Vip, select_hash: u64, tag: u8) -> Option<Steer> {
+        let version = PoolVersion(u16::from(tag) & TAG_MASK);
+        let dip = self.pools.select(vip, version, select_hash)?;
+        Some(Steer {
+            dip,
+            version,
+            needs_entry: false,
+            stamp: Some(tag),
+        })
+    }
+
+    fn steer_miss(&mut self, vip: Vip, select_hash: u64, now: Nanos) -> Option<Steer> {
+        let version = self.pools.current(vip)?;
+        let dip = self.pools.select(vip, version, select_hash)?;
+        Some(Steer {
+            dip,
+            version,
+            // Only transition-window newborns need SRAM: the stamp has not
+            // settled at the edge yet, so the entry pins the decision.
+            needs_entry: self.window_open(now),
+            stamp: Some(version_tag(version)),
+        })
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: &[Dip]) -> bool {
+        self.pools.add_vip(vip, dips)
+    }
+
+    fn update_pool(&mut self, vip: Vip, dips: &[Dip], now: Nanos) -> Option<PoolVersion> {
+        let v = self.pools.update(vip, dips)?;
+        self.window_until = now.saturating_add(self.settle);
+        Some(v)
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.pools.table_bytes()
+    }
+}
+
+/// The assembled Concury engine: version-in-packet steering + a small
+/// digest+version side table for transition-window flows.
+pub type ConcuryLb = AlgoEngine<MapConnState, ConcurySteering>;
+
+/// Build a [`ConcuryLb`] with SilkRoad-comparable parameters.
+pub fn concury_lb(seed: u64, family: AddrFamily, settle: Duration) -> ConcuryLb {
+    let conn = MapConnState::new(
+        ConnStateDesign::DigestVersion {
+            digest_bits: 16,
+            version_bits: 6,
+        },
+        family,
+        // Transition entries only need to outlive the window.
+        settle.saturating_mul(2),
+    );
+    AlgoEngine::new(conn, ConcurySteering::new(settle), seed, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ConnState;
+    use sr_types::{Addr, FiveTuple, PacketMeta};
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dips(n: u8) -> Vec<Dip> {
+        (1..=n).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+    }
+
+    fn flow(g: u32) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4_indexed(100, g, 1024), vip().0)
+    }
+
+    fn lb() -> ConcuryLb {
+        let mut e = concury_lb(7, AddrFamily::V4, Duration::from_millis(10));
+        assert!(e.add_vip(vip(), &dips(4)));
+        e
+    }
+
+    #[test]
+    fn steady_state_needs_no_entries() {
+        let mut e = lb();
+        let d0 = e.process(&PacketMeta::syn(flow(1)), None, Nanos(0));
+        let stamp = d0.stamp.expect("first packet returns a stamp");
+        assert_eq!(e.conn_state().entries(), 0, "no window, no entry");
+        // Later packets carry the stamp and ride the tagged fast path.
+        let d1 = e.process(&PacketMeta::data(flow(1), 100), Some(stamp), Nanos(5));
+        assert_eq!(d1.dip, d0.dip);
+        assert!(!d1.from_conn_state);
+        assert_eq!(e.stats().tagged, 1);
+    }
+
+    #[test]
+    fn stamped_flows_survive_updates() {
+        let mut e = lb();
+        let d0 = e.process(&PacketMeta::syn(flow(1)), None, Nanos(0));
+        let stamp = d0.stamp.unwrap();
+        e.update_pool(vip(), &dips(5), Nanos(10)).unwrap();
+        e.update_pool(vip(), &[Dip(Addr::v4(10, 9, 9, 9, 20))], Nanos(20))
+            .unwrap();
+        // The stamp still names the birth version's immutable pool.
+        let d1 = e.process(&PacketMeta::data(flow(1), 100), Some(stamp), Nanos(30));
+        assert_eq!(d1.dip, d0.dip);
+    }
+
+    #[test]
+    fn window_newborns_get_pinned() {
+        let mut e = lb();
+        e.update_pool(vip(), &dips(5), Nanos(0)).unwrap();
+        // Born inside the 10 ms window: entry installed.
+        e.process(&PacketMeta::syn(flow(2)), None, Nanos(1_000_000));
+        assert_eq!(e.conn_state().entries(), 1);
+        // Born after the window: stateless again.
+        e.process(&PacketMeta::syn(flow(3)), None, Nanos(11_000_000));
+        assert_eq!(e.conn_state().entries(), 1);
+        assert_eq!(e.stats().inserts, 1);
+    }
+
+    #[test]
+    fn tag_round_trip_is_lossless_in_ring() {
+        for v in 0..64u16 {
+            let tag = version_tag(PoolVersion(v));
+            assert_eq!(PoolVersion(u16::from(tag)), PoolVersion(v));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The shared SRAM entry-layout model — one formula for every figure.
+//!
+//! SilkRoad's memory figures (`silkroad::memory`, Figures 12/14), the
+//! baseline cost models (`sr-baselines`), and the comparison matrix
+//! (`repro compare`) must agree on what one connection entry costs. This
+//! module is the single source of truth: entry layouts in bits per
+//! [`ConnStateDesign`], plus the auxiliary row layouts (VIPTable,
+//! DIPPoolTable) the versioned designs carry.
+
+use sr_types::AddrFamily;
+
+/// Per-entry packing overhead bits (instruction + next-table address, §6).
+pub const OVERHEAD_BITS: u32 = 6;
+
+/// How a design encodes one connection entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnStateDesign {
+    /// Full 5-tuple key + full DIP+port action (software LBs, and the
+    /// naive ASIC strawman of Fig 14).
+    NaiveExact,
+    /// Digest key + full DIP+port action (SilkRoad's §4.2 fallback).
+    Digest {
+        /// Digest width in bits.
+        digest_bits: u8,
+    },
+    /// Digest key + version action + DIPPoolTable indirection (SilkRoad's
+    /// primary design: 16 + 6 + overhead = 28 bits).
+    DigestVersion {
+        /// Digest width in bits.
+        digest_bits: u8,
+        /// Version width in bits.
+        version_bits: u8,
+    },
+    /// Cuckoo-filter fingerprint key + version action (CuCoTrack: denser
+    /// than a digest entry, at the price of audited false positives).
+    Fingerprint {
+        /// Fingerprint width in bits.
+        fp_bits: u8,
+        /// Version width in bits.
+        version_bits: u8,
+    },
+    /// No per-connection switch state at all (ECMP, Concury's
+    /// steady-state flows, the hybrid's stable-version flows).
+    Stateless,
+}
+
+/// Bits one connection entry occupies under `design` for `family` keys.
+///
+/// `Stateless` costs zero — the whole point of the designs that encode
+/// the decision in the packet or the hash function instead of SRAM.
+pub fn conn_entry_bits(design: ConnStateDesign, family: AddrFamily) -> u32 {
+    let key_bits = 8 * family.five_tuple_bytes() as u32;
+    let action_full = 8 * family.dip_action_bytes() as u32;
+    match design {
+        ConnStateDesign::NaiveExact => key_bits + action_full + OVERHEAD_BITS,
+        ConnStateDesign::Digest { digest_bits } => {
+            u32::from(digest_bits) + action_full + OVERHEAD_BITS
+        }
+        ConnStateDesign::DigestVersion {
+            digest_bits,
+            version_bits,
+        } => u32::from(digest_bits) + u32::from(version_bits) + OVERHEAD_BITS,
+        ConnStateDesign::Fingerprint {
+            fp_bits,
+            version_bits,
+        } => u32::from(fp_bits) + u32::from(version_bits) + OVERHEAD_BITS,
+        ConnStateDesign::Stateless => 0,
+    }
+}
+
+/// SRAM bits of one VIPTable row for `family`: VIP key (addr + port +
+/// proto) plus old/new version actions.
+pub fn vip_row_bits(family: AddrFamily) -> u32 {
+    let vip_key_bits = 8 * (family.addr_bytes() as u32 + 2) + 8;
+    vip_key_bits + 2 * 6 + OVERHEAD_BITS
+}
+
+/// SRAM bits of one DIPPoolTable row header: (VIP index, version) key.
+pub fn pool_row_bits(version_bits: u8) -> u32 {
+    32 + u32::from(version_bits) + OVERHEAD_BITS
+}
+
+/// SRAM bits of one DIPPoolTable member (DIP + port action datum).
+pub fn pool_member_bits(family: AddrFamily) -> u32 {
+    8 * family.dip_action_bytes() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silkroad_entry_is_28_bits() {
+        // The paper's headline: 16-bit digest + 6-bit version + 6 overhead.
+        assert_eq!(
+            conn_entry_bits(
+                ConnStateDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6
+                },
+                AddrFamily::V6
+            ),
+            28
+        );
+    }
+
+    #[test]
+    fn naive_ipv6_entry_is_446_bits() {
+        // 37 B key + 18 B action + 6 b overhead.
+        assert_eq!(
+            conn_entry_bits(ConnStateDesign::NaiveExact, AddrFamily::V6),
+            446
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_denser_than_digest_version() {
+        let fp = conn_entry_bits(
+            ConnStateDesign::Fingerprint {
+                fp_bits: 8,
+                version_bits: 6,
+            },
+            AddrFamily::V6,
+        );
+        let dv = conn_entry_bits(
+            ConnStateDesign::DigestVersion {
+                digest_bits: 16,
+                version_bits: 6,
+            },
+            AddrFamily::V6,
+        );
+        assert_eq!(fp, 20);
+        assert!(fp < dv);
+    }
+
+    #[test]
+    fn stateless_costs_nothing_everywhere() {
+        for family in [AddrFamily::V4, AddrFamily::V6] {
+            assert_eq!(conn_entry_bits(ConnStateDesign::Stateless, family), 0);
+        }
+    }
+
+    #[test]
+    fn family_sizes_orderings() {
+        // Entry layouts keyed on full tuples must grow with the family.
+        assert!(
+            conn_entry_bits(ConnStateDesign::NaiveExact, AddrFamily::V6)
+                > conn_entry_bits(ConnStateDesign::NaiveExact, AddrFamily::V4)
+        );
+        // Digest-keyed layouts are family-independent on the key side.
+        assert_eq!(
+            conn_entry_bits(
+                ConnStateDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6
+                },
+                AddrFamily::V4
+            ),
+            conn_entry_bits(
+                ConnStateDesign::DigestVersion {
+                    digest_bits: 16,
+                    version_bits: 6
+                },
+                AddrFamily::V6
+            ),
+        );
+    }
+}

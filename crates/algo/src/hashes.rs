@@ -1,0 +1,103 @@
+//! Packet-time connection hashes — the currency of the algorithm boundary.
+//!
+//! Every [`crate::ConnState`] implementation consumes the same packet-time
+//! hash bundle: per-stage bucket hashes plus a match-field hash, computed
+//! once per packet and carried (by value, `Copy`, allocation-free) through
+//! whatever learn→install pipeline the algorithm uses. This module is the
+//! home of that bundle; `sr-core`'s `dataplane` re-exports it so the
+//! SilkRoad switch's hash-once path and the zoo's engines share one type.
+
+/// Upper bound on the hash functions the packet path evaluates *eagerly*
+/// (ConnTable stages + digest + ECMP select). The paper's switch uses
+/// 4 + 1 + 1; the bound is kept tight because the hashed-key carriers live
+/// on the hot path's stack.
+pub const MAX_PACKET_HASHES: usize = 8;
+
+/// [`MAX_PACKET_HASHES`] as the `u8` lane counter the carriers store.
+const MAX_LANES: u8 = MAX_PACKET_HASHES as u8;
+
+/// The ConnTable hash values a learn event carries from packet time to
+/// install time. `Copy` and fixed-size so the whole learn→CPU→install
+/// journey stays allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnHashes {
+    stage_hashes: [u64; MAX_PACKET_HASHES],
+    stages: u8,
+    match_hash: u64,
+}
+
+impl ConnHashes {
+    /// A placeholder with no usable hashes (`stages() == 0`); install paths
+    /// fall back to re-hashing the key when they meet one.
+    pub fn empty() -> ConnHashes {
+        ConnHashes {
+            stage_hashes: [0u64; MAX_PACKET_HASHES],
+            stages: 0,
+            match_hash: 0,
+        }
+    }
+
+    /// Assemble from a packet-time hash pass: the first `stages` lanes of
+    /// `stage_hashes` are per-stage bucket hashes, `match_hash` is the
+    /// match-field (digest/fingerprint) hash. Lane counts beyond
+    /// [`MAX_PACKET_HASHES`] are clamped — callers size their hash layouts
+    /// at construction, so the clamp is unreachable in practice.
+    // srlint: hot-path begin
+    pub fn from_parts(
+        stage_hashes: [u64; MAX_PACKET_HASHES],
+        stages: u8,
+        match_hash: u64,
+    ) -> ConnHashes {
+        ConnHashes {
+            stage_hashes,
+            stages: stages.min(MAX_LANES),
+            match_hash,
+        }
+    }
+
+    /// Per-stage ConnTable bucket hashes.
+    pub fn stage_hashes(&self) -> &[u64] {
+        &self.stage_hashes[..usize::from(self.stages)]
+    }
+
+    /// The ConnTable match-field (digest) hash.
+    pub fn match_hash(&self) -> u64 {
+        self.match_hash
+    }
+
+    /// Number of stage hashes captured (0 for [`ConnHashes::empty`]).
+    pub fn stages(&self) -> usize {
+        usize::from(self.stages)
+    }
+    // srlint: hot-path end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_stages() {
+        let h = ConnHashes::empty();
+        assert_eq!(h.stages(), 0);
+        assert!(h.stage_hashes().is_empty());
+        assert_eq!(h.match_hash(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut lanes = [0u64; MAX_PACKET_HASHES];
+        lanes[0] = 7;
+        lanes[1] = 9;
+        let h = ConnHashes::from_parts(lanes, 2, 0xfeed);
+        assert_eq!(h.stages(), 2);
+        assert_eq!(h.stage_hashes(), &[7, 9]);
+        assert_eq!(h.match_hash(), 0xfeed);
+    }
+
+    #[test]
+    fn from_parts_clamps_stage_count() {
+        let h = ConnHashes::from_parts([1u64; MAX_PACKET_HASHES], 200, 0);
+        assert_eq!(h.stages(), MAX_PACKET_HASHES);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cohen-style stateful/stateless hybrid steering.
+//!
+//! The hybrid observes that per-connection state only *matters* around
+//! pool updates: while membership is stable, stateless ECMP (the exact
+//! `sr_hash::ecmp_select` kernel `sr-baselines`' ECMP model uses) steers
+//! every packet of a flow identically, so entries are pure overhead. The
+//! design therefore runs stateless by default and pins entries only for
+//! flows seen **during an update window** — steering them by the
+//! pre-update membership until they die.
+//!
+//! The honest cost shows up in the matrix: a flow born before an update
+//! that stays idle through the whole window has no entry and no stamp, so
+//! its next packet re-resolves against the *new* membership — a real PCC
+//! violation that SilkRoad's always-stateful design never has.
+
+use crate::cost::{vip_row_bits, ConnStateDesign};
+use crate::engine::AlgoEngine;
+use crate::state::MapConnState;
+use crate::steer::{Steer, Steering};
+use sr_asic::sram::SramSpec;
+use sr_hash::{ecmp_select, FxHashMap};
+use sr_types::{AddrFamily, Dip, Duration, Nanos, PoolVersion, Vip};
+
+struct HybridPool {
+    /// The membership stateless flows resolve against.
+    live: Vec<Dip>,
+    /// A requested update waiting out its window: `(next membership,
+    /// flip time)`. Until the flip, misses steer by `live` *with* pinned
+    /// entries; at the flip, `live` is replaced.
+    pending: Option<(Vec<Dip>, Nanos)>,
+    /// Monotone update generation (reported as the decision version).
+    generation: u16,
+}
+
+/// Stateless-by-default steering with update-window pinning.
+pub struct HybridSteering {
+    pools: FxHashMap<Vip, HybridPool>,
+    window: Duration,
+}
+
+impl HybridSteering {
+    /// Build with the given update-window length (how long flows keep
+    /// being pinned to the pre-update membership before the flip).
+    pub fn new(window: Duration) -> HybridSteering {
+        HybridSteering {
+            pools: FxHashMap::default(),
+            window,
+        }
+    }
+
+    /// Whether any VIP currently has an update window open.
+    pub fn window_open(&self) -> bool {
+        self.pools.values().any(|p| p.pending.is_some())
+    }
+}
+
+impl Steering for HybridSteering {
+    fn is_vip(&self, vip: Vip) -> bool {
+        self.pools.contains_key(&vip)
+    }
+
+    fn steer_miss(&mut self, vip: Vip, select_hash: u64, _now: Nanos) -> Option<Steer> {
+        let pool = self.pools.get(&vip)?;
+        let idx = ecmp_select(select_hash, pool.live.len())?;
+        let dip = pool.live.get(idx).copied()?;
+        Some(Steer {
+            dip,
+            version: PoolVersion(pool.generation),
+            // Window open: pin this flow to the pre-update membership.
+            needs_entry: pool.pending.is_some(),
+            stamp: None,
+        })
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: &[Dip]) -> bool {
+        if self.pools.contains_key(&vip) {
+            return false;
+        }
+        self.pools.insert(
+            vip,
+            HybridPool {
+                live: dips.to_vec(),
+                pending: None,
+                generation: 0,
+            },
+        );
+        true
+    }
+
+    fn update_pool(&mut self, vip: Vip, dips: &[Dip], now: Nanos) -> Option<PoolVersion> {
+        let window = self.window;
+        let pool = self.pools.get_mut(&vip)?;
+        // A second update inside the window collapses into the pending one
+        // (the flip installs the latest membership).
+        pool.pending = Some((dips.to_vec(), now.saturating_add(window)));
+        pool.generation = pool.generation.wrapping_add(1);
+        Some(PoolVersion(pool.generation))
+    }
+
+    fn advance(&mut self, now: Nanos) {
+        for pool in self.pools.values_mut() {
+            let due = matches!(&pool.pending, Some((_, flip_at)) if now >= *flip_at);
+            if due {
+                if let Some((next, _)) = pool.pending.take() {
+                    pool.live = next;
+                }
+            }
+        }
+    }
+
+    fn table_bytes(&self) -> u64 {
+        // Stateless steering carries only the VIP rows + one flat member
+        // list per VIP (no versioned rows).
+        let family = self
+            .pools
+            .values()
+            .flat_map(|p| p.live.first())
+            .map(|d| d.family())
+            .next()
+            .unwrap_or(AddrFamily::V4);
+        let vip_rows = SramSpec {
+            entry_bits: vip_row_bits(family),
+        }
+        .bytes_for(self.pools.len() as u64);
+        let members: u64 = self.pools.values().map(|p| p.live.len() as u64).sum();
+        let member_bytes = SramSpec {
+            entry_bits: crate::cost::pool_member_bits(family),
+        }
+        .bytes_for(members);
+        vip_rows + member_bytes
+    }
+}
+
+/// The assembled hybrid engine: stateless ECMP + full-key entries for
+/// update-crossing flows only.
+pub type HybridLb = AlgoEngine<MapConnState, HybridSteering>;
+
+/// Build a [`HybridLb`]. Pinned entries store the full 5-tuple (there is
+/// no digest infrastructure in this design), so each one costs
+/// [`ConnStateDesign::NaiveExact`] bits — the matrix shows why only a few
+/// may exist.
+pub fn hybrid_lb(seed: u64, family: AddrFamily, window: Duration) -> HybridLb {
+    let conn = MapConnState::new(
+        ConnStateDesign::NaiveExact,
+        family,
+        // Pinned entries live while their flows do; idle ones age out on
+        // the same 30 s horizon the fleet engine uses.
+        Duration::from_secs(30),
+    );
+    AlgoEngine::new(conn, HybridSteering::new(window), seed, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ConnState;
+    use sr_types::{Addr, FiveTuple, PacketMeta};
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dips(n: u8) -> Vec<Dip> {
+        (1..=n).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+    }
+
+    fn flow(g: u32) -> FiveTuple {
+        FiveTuple::tcp(Addr::v4_indexed(100, g, 1024), vip().0)
+    }
+
+    fn lb() -> HybridLb {
+        let mut e = hybrid_lb(7, AddrFamily::V4, Duration::from_millis(10));
+        assert!(e.add_vip(vip(), &dips(4)));
+        e
+    }
+
+    #[test]
+    fn stable_flows_are_stateless() {
+        let mut e = lb();
+        let d0 = e.process(&PacketMeta::syn(flow(1)), None, Nanos(0));
+        let d1 = e.process(&PacketMeta::data(flow(1), 100), None, Nanos(5));
+        assert_eq!(d0.dip, d1.dip, "ECMP is deterministic per flow");
+        assert_eq!(e.conn_state().entries(), 0);
+        assert_eq!(e.stats().stateless, 2);
+    }
+
+    #[test]
+    fn window_flows_get_pinned_and_survive_the_flip() {
+        let mut e = lb();
+        let before = e.process(&PacketMeta::syn(flow(1)), None, Nanos(0));
+        e.update_pool(vip(), &dips(8), Nanos(10)).unwrap();
+        // Active during the window: pinned to the pre-update membership.
+        let pinned = e.process(&PacketMeta::data(flow(1), 100), None, Nanos(1_000_000));
+        assert_eq!(pinned.dip, before.dip);
+        assert_eq!(e.conn_state().entries(), 1);
+        // After the flip the entry still steers the flow.
+        e.advance(Nanos(20_000_000));
+        let after = e.process(&PacketMeta::data(flow(1), 100), None, Nanos(21_000_000));
+        assert!(after.from_conn_state);
+        assert_eq!(after.dip, before.dip);
+    }
+
+    #[test]
+    fn idle_flows_can_be_remapped_after_updates() {
+        let mut e = lb();
+        // Many flows sample the 4-member pool, then the pool doubles and
+        // every flow sleeps through the window.
+        let before: Vec<_> = (0..64)
+            .map(|g| e.process(&PacketMeta::syn(flow(g)), None, Nanos(0)).dip)
+            .collect();
+        e.update_pool(vip(), &dips(8), Nanos(10)).unwrap();
+        e.advance(Nanos(20_000_000));
+        let mut moved = 0;
+        for (g, b) in before.iter().enumerate() {
+            let d = e.process(
+                &PacketMeta::data(flow(g as u32), 100),
+                None,
+                Nanos(21_000_000),
+            );
+            if d.dip != *b {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "growing the pool must remap some idle flows");
+        assert_eq!(e.conn_state().entries(), 0, "no window activity, no state");
+    }
+
+    #[test]
+    fn second_update_collapses_into_the_window() {
+        let mut e = lb();
+        e.update_pool(vip(), &dips(8), Nanos(0)).unwrap();
+        e.update_pool(vip(), &dips(2), Nanos(1_000_000)).unwrap();
+        e.advance(Nanos(30_000_000));
+        // The flip installed the latest membership.
+        let d = e.process(&PacketMeta::syn(flow(9)), None, Nanos(31_000_000));
+        assert!(dips(2).contains(&d.dip.unwrap()));
+    }
+}

@@ -1,0 +1,195 @@
+//! Versioned immutable DIP pools — the steering substrate the zoo shares.
+//!
+//! SilkRoad, Concury, and CuCoTrack all steer new flows through versioned
+//! immutable pool membership: an update *creates a new version* rather than
+//! mutating the live one, so any flow pinned to (or stamped with) an old
+//! version keeps resolving against the membership it was born under.
+//! Selection within a pool is `sr_hash::ecmp_select` — the same
+//! multiply-shift kernel `sr-baselines`' ECMP and the hybrid's stateless
+//! path use, so cross-algorithm DIP choices are comparable by construction.
+
+use crate::cost::{pool_member_bits, pool_row_bits, vip_row_bits};
+use sr_asic::sram::SramSpec;
+use sr_hash::{ecmp_select, FxHashMap};
+use sr_types::{AddrFamily, Dip, PoolVersion, Vip};
+
+struct VipPools {
+    /// Live `(version, membership)` rows, oldest first.
+    versions: Vec<(PoolVersion, Vec<Dip>)>,
+    current: PoolVersion,
+}
+
+/// Per-VIP versioned immutable pools with SRAM row accounting.
+pub struct VersionedPools {
+    vips: FxHashMap<Vip, VipPools>,
+    version_bits: u8,
+}
+
+impl VersionedPools {
+    /// Build with `version_bits`-wide version rings (SilkRoad uses 6).
+    pub fn new(version_bits: u8) -> VersionedPools {
+        VersionedPools {
+            vips: FxHashMap::default(),
+            version_bits,
+        }
+    }
+
+    /// Register `vip` at version 0. Returns `false` if already present.
+    pub fn add_vip(&mut self, vip: Vip, dips: &[Dip]) -> bool {
+        if self.vips.contains_key(&vip) {
+            return false;
+        }
+        self.vips.insert(
+            vip,
+            VipPools {
+                versions: vec![(PoolVersion(0), dips.to_vec())],
+                current: PoolVersion(0),
+            },
+        );
+        true
+    }
+
+    /// Whether `vip` is registered.
+    pub fn contains(&self, vip: Vip) -> bool {
+        self.vips.contains_key(&vip)
+    }
+
+    /// Install a new membership under the next ring version and make it
+    /// current. Old versions stay resolvable (immutable pools) until the
+    /// ring wraps onto them.
+    pub fn update(&mut self, vip: Vip, dips: &[Dip]) -> Option<PoolVersion> {
+        let bits = self.version_bits;
+        let state = self.vips.get_mut(&vip)?;
+        let next = state.current.next_in_ring(bits);
+        // Ring reuse: a wrap onto a still-live row replaces it.
+        state.versions.retain(|(v, _)| *v != next);
+        state.versions.push((next, dips.to_vec()));
+        state.current = next;
+        Some(next)
+    }
+
+    /// The current (steering) version of `vip`.
+    pub fn current(&self, vip: Vip) -> Option<PoolVersion> {
+        Some(self.vips.get(&vip)?.current)
+    }
+
+    /// Resolve a DIP in `vip`'s pool at `version` by flow hash. `None` if
+    /// the VIP, the version row, or any member is missing.
+    pub fn select(&self, vip: Vip, version: PoolVersion, select_hash: u64) -> Option<Dip> {
+        let state = self.vips.get(&vip)?;
+        let (_, members) = state.versions.iter().find(|(v, _)| *v == version)?;
+        let idx = ecmp_select(select_hash, members.len())?;
+        members.get(idx).copied()
+    }
+
+    /// Membership of `vip` at `version` (tests, diffing).
+    pub fn members(&self, vip: Vip, version: PoolVersion) -> Option<&[Dip]> {
+        let state = self.vips.get(&vip)?;
+        state
+            .versions
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, m)| m.as_slice())
+    }
+
+    /// Live `(VIP, version)` rows.
+    pub fn rows(&self) -> u64 {
+        self.vips.values().map(|s| s.versions.len() as u64).sum()
+    }
+
+    /// Total members across live rows.
+    pub fn total_members(&self) -> u64 {
+        self.vips
+            .values()
+            .flat_map(|s| s.versions.iter())
+            .map(|(_, m)| m.len() as u64)
+            .sum()
+    }
+
+    /// SRAM bytes of the steering tables: VIPTable rows + DIPPoolTable row
+    /// headers + member words, under the shared [`crate::cost`] layouts.
+    /// Membership is family-homogeneous per deployment; the dominant V4/V6
+    /// family of the stored DIPs sizes the rows (V4 when empty).
+    pub fn table_bytes(&self) -> u64 {
+        let family = self
+            .vips
+            .values()
+            .flat_map(|s| s.versions.iter())
+            .flat_map(|(_, m)| m.first())
+            .map(|d| d.family())
+            .next()
+            .unwrap_or(AddrFamily::V4);
+        let vip_rows = SramSpec {
+            entry_bits: vip_row_bits(family),
+        }
+        .bytes_for(self.vips.len() as u64);
+        let pool_rows = SramSpec {
+            entry_bits: pool_row_bits(self.version_bits),
+        }
+        .bytes_for(self.rows());
+        let members = SramSpec {
+            entry_bits: pool_member_bits(family),
+        }
+        .bytes_for(self.total_members());
+        vip_rows + pool_rows + members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dips(n: u8) -> Vec<Dip> {
+        (1..=n).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+    }
+
+    #[test]
+    fn old_versions_stay_resolvable() {
+        let mut p = VersionedPools::new(6);
+        assert!(p.add_vip(vip(), &dips(4)));
+        let v0 = p.current(vip()).unwrap();
+        let d0 = p.select(vip(), v0, 12345).unwrap();
+        let v1 = p.update(vip(), &dips(5)).unwrap();
+        assert_ne!(v0, v1);
+        // The old row still resolves to the same DIP after the update —
+        // immutability is what makes version-in-packet steering PCC-safe.
+        assert_eq!(p.select(vip(), v0, 12345).unwrap(), d0);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.total_members(), 9);
+    }
+
+    #[test]
+    fn ring_wrap_replaces_rows() {
+        let mut p = VersionedPools::new(2); // ring of 4
+        p.add_vip(vip(), &dips(2));
+        for _ in 0..5 {
+            p.update(vip(), &dips(3)).unwrap();
+        }
+        assert!(p.rows() <= 4, "rows {}", p.rows());
+    }
+
+    #[test]
+    fn table_bytes_grow_with_rows() {
+        let mut p = VersionedPools::new(6);
+        p.add_vip(vip(), &dips(4));
+        let b0 = p.table_bytes();
+        p.update(vip(), &dips(5)).unwrap();
+        assert!(p.table_bytes() > b0);
+    }
+
+    #[test]
+    fn select_is_the_shared_ecmp_kernel() {
+        let mut p = VersionedPools::new(6);
+        p.add_vip(vip(), &dips(4));
+        let v = p.current(vip()).unwrap();
+        for h in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let want = ecmp_select(h, 4).map(|i| dips(4)[i]);
+            assert_eq!(p.select(vip(), v, h), want);
+        }
+    }
+}

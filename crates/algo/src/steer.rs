@@ -1,0 +1,153 @@
+//! The [`Steering`] trait — the miss-path seam of the algorithm boundary.
+
+use crate::pools::VersionedPools;
+use sr_types::{Dip, Nanos, PoolVersion, Vip};
+
+/// A miss-path steering decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Steer {
+    /// The chosen backend.
+    pub dip: Dip,
+    /// The pool version the choice was made under.
+    pub version: PoolVersion,
+    /// Whether the decision must be pinned in [`crate::ConnState`] to
+    /// survive pool updates. SilkRoad pins every flow; Concury only
+    /// transition-window flows; the hybrid only update-crossing flows.
+    pub needs_entry: bool,
+    /// What the edge should stamp into the packet so later packets of the
+    /// flow can be steered statelessly (`None` for algorithms that encode
+    /// nothing — the wire realization is `sr_wire::stamp`).
+    pub stamp: Option<u8>,
+}
+
+/// The miss-path policy: DIP selection for flows with no connection entry,
+/// plus the control-plane hooks (VIP registration, pool updates, time).
+pub trait Steering {
+    /// Whether `vip` is registered — non-VIP traffic bypasses the LB.
+    fn is_vip(&self, vip: Vip) -> bool;
+
+    /// Steer a packet that carries a stamped tag (version-in-packet
+    /// designs). `None` falls through to the stateful lookup + miss path;
+    /// the default ignores tags entirely.
+    fn steer_tagged(&mut self, vip: Vip, select_hash: u64, tag: u8) -> Option<Steer> {
+        let _ = (vip, select_hash, tag);
+        None
+    }
+
+    /// Steer a flow with no connection entry. `None` means drop (empty or
+    /// unknown pool).
+    fn steer_miss(&mut self, vip: Vip, select_hash: u64, now: Nanos) -> Option<Steer>;
+
+    /// Register a VIP with its initial pool. Returns `false` if already
+    /// present.
+    fn add_vip(&mut self, vip: Vip, dips: &[Dip]) -> bool;
+
+    /// Replace `vip`'s pool membership (the compare harness expresses
+    /// add/remove as full-membership updates). Returns the version the new
+    /// membership was installed under, or `None` for an unknown VIP.
+    fn update_pool(&mut self, vip: Vip, dips: &[Dip], now: Nanos) -> Option<PoolVersion>;
+
+    /// Advance time-driven state (update-window settling). Default no-op.
+    fn advance(&mut self, now: Nanos) {
+        let _ = now;
+    }
+
+    /// SRAM bytes of the steering tables (VIPTable + versioned DIP pool
+    /// rows) — the non-per-connection side of the memory matrix.
+    fn table_bytes(&self) -> u64;
+}
+
+/// Fully stateful steering over versioned immutable pools: every new flow
+/// is pinned in [`crate::ConnState`]. This is the trait-level model of
+/// SilkRoad's miss path (the production implementation, with learning
+/// filter and 3-step update protocol, is `silkroad::SilkRoadSwitch`);
+/// the CuCoTrack zoo member composes it with a cuckoo-filter
+/// [`crate::ConnState`].
+pub struct StatefulSteering {
+    pools: VersionedPools,
+}
+
+impl StatefulSteering {
+    /// Build over pools with `version_bits`-wide version rings.
+    pub fn new(version_bits: u8) -> StatefulSteering {
+        StatefulSteering {
+            pools: VersionedPools::new(version_bits),
+        }
+    }
+
+    /// The underlying pools (matrix accounting).
+    pub fn pools(&self) -> &VersionedPools {
+        &self.pools
+    }
+}
+
+impl Steering for StatefulSteering {
+    fn is_vip(&self, vip: Vip) -> bool {
+        self.pools.contains(vip)
+    }
+
+    fn steer_miss(&mut self, vip: Vip, select_hash: u64, _now: Nanos) -> Option<Steer> {
+        let version = self.pools.current(vip)?;
+        let dip = self.pools.select(vip, version, select_hash)?;
+        Some(Steer {
+            dip,
+            version,
+            needs_entry: true,
+            stamp: None,
+        })
+    }
+
+    fn add_vip(&mut self, vip: Vip, dips: &[Dip]) -> bool {
+        self.pools.add_vip(vip, dips)
+    }
+
+    fn update_pool(&mut self, vip: Vip, dips: &[Dip], _now: Nanos) -> Option<PoolVersion> {
+        self.pools.update(vip, dips)
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.pools.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_types::Addr;
+
+    fn vip() -> Vip {
+        Vip(Addr::v4(20, 0, 0, 1, 80))
+    }
+
+    fn dips(n: u8) -> Vec<Dip> {
+        (1..=n).map(|i| Dip(Addr::v4(10, 0, 0, i, 20))).collect()
+    }
+
+    #[test]
+    fn stateful_pins_every_flow() {
+        let mut s = StatefulSteering::new(6);
+        assert!(s.add_vip(vip(), &dips(4)));
+        assert!(s.is_vip(vip()));
+        let st = s.steer_miss(vip(), 42, Nanos::ZERO).unwrap();
+        assert!(st.needs_entry);
+        assert!(st.stamp.is_none());
+        assert!(dips(4).contains(&st.dip));
+    }
+
+    #[test]
+    fn update_bumps_version() {
+        let mut s = StatefulSteering::new(6);
+        s.add_vip(vip(), &dips(4));
+        let v0 = s.steer_miss(vip(), 42, Nanos::ZERO).unwrap().version;
+        let v1 = s.update_pool(vip(), &dips(5), Nanos::ZERO).unwrap();
+        assert_ne!(v0, v1);
+        assert_eq!(s.steer_miss(vip(), 42, Nanos::ZERO).unwrap().version, v1);
+    }
+
+    #[test]
+    fn unknown_vip_drops() {
+        let mut s = StatefulSteering::new(6);
+        assert!(!s.is_vip(vip()));
+        assert!(s.steer_miss(vip(), 42, Nanos::ZERO).is_none());
+    }
+}

@@ -17,8 +17,9 @@
 //! mid-redirect, non-SYN) is assigned by the *pre-update* switch pool, a
 //! *new* connection (SYN) by the current pool.
 
+use sr_algo::ConnStateDesign;
 use sr_hash::{ecmp_select, HashFn};
-use sr_types::{Addr, Dip, Duration, Nanos, PacketMeta, TypeError, Vip};
+use sr_types::{Addr, AddrFamily, Dip, Duration, Nanos, PacketMeta, TypeError, Vip};
 use std::collections::HashMap;
 
 /// How a redirected VIP returns to the switch.
@@ -192,6 +193,21 @@ impl DuetLb {
         if let Some(v) = self.vips.get_mut(&vip.0) {
             v.conns.remove(key);
         }
+    }
+
+    /// The algorithm-boundary entry layout of the stateful half: redirected
+    /// VIPs' connections live in SLB DRAM as full-key exact entries; the
+    /// switch half is [`ConnStateDesign::Stateless`] ECMP.
+    pub fn conn_design() -> ConnStateDesign {
+        ConnStateDesign::NaiveExact
+    }
+
+    /// Connection-state bytes across all redirected VIPs, charged by the
+    /// shared [`sr_algo::cost`] formula (the memory figure's code path).
+    pub fn state_bytes(&self, family: AddrFamily) -> u64 {
+        let bits = u64::from(sr_algo::conn_entry_bits(Self::conn_design(), family));
+        let entries: u64 = self.vips.values().map(|v| v.conns.len() as u64).sum();
+        (entries * bits).div_ceil(8)
     }
 
     /// Whether migrating `vip` back right now would break any live

@@ -5,8 +5,9 @@
 //! connections. This is the lower bound the paper's §2.3 argument starts
 //! from.
 
+use sr_algo::ConnStateDesign;
 use sr_hash::{ecmp_select, HashFn};
-use sr_types::{Addr, Dip, PacketMeta, TypeError, Vip};
+use sr_types::{Addr, AddrFamily, Dip, PacketMeta, TypeError, Vip};
 use std::collections::HashMap;
 
 /// The stateless ECMP balancer.
@@ -54,6 +55,19 @@ impl EcmpLb {
         self.packets += 1;
         let pool = self.vips.get(&pkt.tuple.dst)?;
         ecmp_select(self.hash.hash(pkt.tuple.tuple_key().as_slice()), pool.len()).map(|i| pool[i])
+    }
+
+    /// The algorithm-boundary entry layout: ECMP keeps no per-connection
+    /// state anywhere.
+    pub fn conn_design() -> ConnStateDesign {
+        ConnStateDesign::Stateless
+    }
+
+    /// Per-connection state bytes — zero, by [`sr_algo::cost`]'s shared
+    /// formula (the same code path the memory figure and the comparison
+    /// matrix use).
+    pub fn state_bytes(&self, family: AddrFamily) -> u64 {
+        u64::from(sr_algo::conn_entry_bits(Self::conn_design(), family))
     }
 }
 

@@ -8,8 +8,9 @@
 //! 8-core server) and latency (50 µs – 1 ms), which the load accounting
 //! here feeds into Fig 5a and Fig 13.
 
+use sr_algo::ConnStateDesign;
 use sr_hash::maglev::MaglevTable;
-use sr_types::{Addr, Dip, Nanos, PacketMeta, TypeError, Vip};
+use sr_types::{Addr, AddrFamily, Dip, Nanos, PacketMeta, TypeError, Vip};
 use std::collections::HashMap;
 
 /// SLB configuration.
@@ -148,12 +149,18 @@ impl SoftwareLb {
         self.conn_table.contains_key(key)
     }
 
-    /// Number of SLB servers needed to carry `pps` packets/s and `gbps`
-    /// Gbit/s of load.
-    pub fn servers_needed(&self, pps: f64, gbps: f64) -> u64 {
-        let by_pps = pps / (self.cfg.server_mpps * 1e6);
-        let by_bps = gbps / self.cfg.server_gbps;
-        by_pps.max(by_bps).ceil().max(1.0) as u64
+    /// The algorithm-boundary entry layout: full 5-tuple key + full DIP
+    /// action, in server DRAM.
+    pub fn conn_design() -> ConnStateDesign {
+        ConnStateDesign::NaiveExact
+    }
+
+    /// Connection-state bytes under the shared [`sr_algo::cost`] formula
+    /// — the same code path as the memory figure and the comparison
+    /// matrix. (DRAM, so entries are byte-rounded, not SRAM word-packed.)
+    pub fn state_bytes(&self, family: AddrFamily) -> u64 {
+        let bits = u64::from(sr_algo::conn_entry_bits(Self::conn_design(), family));
+        (self.stats.connections * bits).div_ceil(8)
     }
 }
 
@@ -250,14 +257,18 @@ mod tests {
     }
 
     #[test]
-    fn servers_needed_paper_numbers() {
-        let s = slb();
-        // §2.2: 15 Tbps needs 1500 servers at 10 Gbps line rate.
-        assert_eq!(s.servers_needed(0.0, 15_000.0), 1500);
-        // 24 Mpps needs 2 servers at 12 Mpps each.
-        assert_eq!(s.servers_needed(24e6, 0.0), 2);
-        // Minimum one server.
-        assert_eq!(s.servers_needed(0.0, 0.0), 1);
+    fn state_bytes_use_the_shared_cost_model() {
+        let mut s = slb();
+        assert_eq!(s.state_bytes(AddrFamily::V4), 0);
+        for p in 0..8 {
+            s.process_packet(&PacketMeta::syn(conn(p)), Nanos::ZERO);
+        }
+        // 8 naive-exact V4 entries: the same bits sr_algo::cost charges.
+        let bits = u64::from(sr_algo::conn_entry_bits(
+            SoftwareLb::conn_design(),
+            AddrFamily::V4,
+        ));
+        assert_eq!(s.state_bytes(AddrFamily::V4), (8 * bits).div_ceil(8));
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn main() {
     // Flags are a closed set: a misspelled flag must fail loudly, not
     // silently run the full-scale defaults it was meant to override.
     const BOOL_FLAGS: [&str; 5] = ["--full", "--smoke", "--encap", "--flood", "--help"];
-    const VALUE_FLAGS: [&str; 3] = ["--jobs", "--pipes", "--p4"];
+    const VALUE_FLAGS: [&str; 4] = ["--jobs", "--pipes", "--p4", "--algo"];
     let mut cmds: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -124,12 +124,13 @@ fn main() {
         "help" | "-h" | "--help" => {
             println!("usage: repro <target> [--full] [--jobs N]");
             println!(
-                "targets: all {} check scale wall fleet churn export replay",
+                "targets: all {} check scale wall fleet churn compare export replay",
                 all.join(" ")
             );
-            println!("scale/wall/fleet/churn options: --smoke (small trace, CI-sized)");
+            println!("scale/wall/fleet/churn/compare options: --smoke (small trace, CI-sized)");
             println!("check usage: repro check [--p4 <file.p4>]");
             println!("churn usage: repro churn [--smoke] [--flood]");
+            println!("compare usage: repro compare [--smoke] [--algo <name>]");
             println!("export usage: repro export <file.pcap> [--smoke]");
             println!("replay usage: repro replay <file.pcap> [--pipes N] [--smoke] [--encap]");
         }
@@ -147,6 +148,10 @@ fn main() {
         "churn" => run_churn(
             args.iter().any(|a| a == "--smoke"),
             args.iter().any(|a| a == "--flood"),
+        ),
+        "compare" => run_compare(
+            args.iter().any(|a| a == "--smoke"),
+            parse_value_flag(&args, "algo").as_deref(),
         ),
         "export" => run_export(
             cmds.get(1).copied().unwrap_or_else(|| {
@@ -675,6 +680,105 @@ fn run_churn(smoke: bool, flood: bool) {
                 churn::SPEEDUP_FLOOR,
                 churn::SPEEDUP_TARGET
             );
+        }
+    }
+}
+
+/// `repro compare [--smoke] [--algo <name>]` — the cross-algorithm LB
+/// matrix: every sr-algo zoo member through the identical churn +
+/// pool-update workload, with the paper-style columns (SRAM bytes/conn,
+/// PCC violations, insert fraction, steady pps, srcheck placement) and
+/// the acceptance gates. Writes `BENCH_compare.json`.
+fn run_compare(smoke: bool, only: Option<&str>) {
+    use sr_algo::AlgoName;
+    use sr_bench::compare;
+    let only = only.map(|s| {
+        AlgoName::parse(s).unwrap_or_else(|| {
+            let names: Vec<&str> = AlgoName::all().iter().map(|a| a.label()).collect();
+            eprintln!(
+                "unknown algorithm '{s}' — valid names: {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        })
+    });
+    let b = compare::run(smoke, only);
+    let mut t = Table::new(
+        format!(
+            "Algorithm comparison — {} waves x {} new flows, 2 pool updates ({})",
+            b.params.waves,
+            b.params.flows_per_wave,
+            if smoke { "smoke" } else { "full" }
+        ),
+        &[
+            "algo",
+            "SRAM B/conn",
+            "model bits",
+            "entries peak",
+            "insert frac",
+            "PCC viol",
+            "false hits",
+            "steady pps",
+            "placeable",
+        ],
+    );
+    for p in &b.points {
+        t.row(vec![
+            p.algo.to_string(),
+            format!("{:.2}", p.sram_bytes_per_conn),
+            p.model_bits_per_entry.to_string(),
+            p.entries_peak.to_string(),
+            format!("{:.3}", p.insert_fraction),
+            p.pcc_violations.to_string(),
+            p.false_hits.to_string(),
+            format!("{:.0}K", p.steady_pps / 1e3),
+            if p.placeable { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let json = b.to_json();
+    let path = "BENCH_compare.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(p) = b.points.iter().find(|p| !p.placeable) {
+        eprintln!("repro compare: {} layout is not srcheck-placeable", p.algo);
+        std::process::exit(1);
+    }
+    if b.stamp_failures() > 0 {
+        eprintln!(
+            "repro compare: {} version stamps lost in the wire round trip",
+            b.stamp_failures()
+        );
+        std::process::exit(1);
+    }
+    // The cross-algorithm gates need the full matrix; a single `--algo`
+    // row is a debugging view.
+    if b.has_all() {
+        let silk = b.point(AlgoName::Silkroad).expect("silkroad row");
+        let conc = b.point(AlgoName::Concury).expect("concury row");
+        let cuco = b.point(AlgoName::Cucotrack).expect("cucotrack row");
+        if silk.pcc_violations > 0 {
+            eprintln!(
+                "repro compare: SilkRoad broke PCC ({} violations)",
+                silk.pcc_violations
+            );
+            std::process::exit(1);
+        }
+        if conc.sram_bytes_per_conn >= silk.sram_bytes_per_conn {
+            eprintln!(
+                "repro compare: concury SRAM/conn {:.2} did not beat silkroad {:.2}",
+                conc.sram_bytes_per_conn, silk.sram_bytes_per_conn
+            );
+            std::process::exit(1);
+        }
+        if cuco.false_hits == 0 {
+            eprintln!("repro compare: cucotrack recorded no audited false hits");
+            std::process::exit(1);
         }
     }
 }

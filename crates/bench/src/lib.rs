@@ -13,6 +13,7 @@
 
 pub mod ablations;
 pub mod churn;
+pub mod compare;
 pub mod exec;
 pub mod extras;
 pub mod fig_memory;

@@ -74,6 +74,8 @@ fn unknown_flags_are_rejected_not_ignored() {
         &["churn", "--smok"][..],
         &["churn", "--floo"][..],
         &["churn", "--storm", "10"][..],
+        &["compare", "--smok"][..],
+        &["compare", "--algos", "concury"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -167,6 +169,33 @@ fn default_check_compiles_bundled_p4_and_reports_parity() {
     );
 }
 
+/// `compare --algo` is a closed registry: an unknown algorithm name is a
+/// usage error that lists the valid zoo members, so a typo cannot
+/// silently fall back to running the full (long) matrix.
+#[test]
+fn unknown_algorithms_are_usage_errors() {
+    for args in [
+        &["compare", "--algo", "maglev"][..],
+        &["compare", "--algo=maglev"][..],
+        &["compare", "--algo", "SilkRoad"][..], // names are exact, lowercase
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = stderr(&out);
+        assert!(err.contains("unknown algorithm"), "args {args:?}: {err}");
+        for name in ["silkroad", "concury", "cucotrack", "hybrid"] {
+            assert!(err.contains(name), "args {args:?} omits '{name}': {err}");
+        }
+    }
+}
+
+#[test]
+fn algo_flag_without_a_value_is_a_usage_error() {
+    let out = repro(&["compare", "--algo"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("needs a value"));
+}
+
 #[test]
 fn unknown_targets_are_rejected() {
     let out = repro(&["fig99"]);
@@ -180,7 +209,7 @@ fn help_lists_the_verification_targets() {
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     for target in [
-        "check", "scale", "wall", "fleet", "churn", "export", "replay",
+        "check", "scale", "wall", "fleet", "churn", "compare", "export", "replay",
     ] {
         assert!(stdout.contains(target), "help omits '{target}'");
     }

@@ -9,22 +9,12 @@
 use crate::config::{ConnMapping, SilkRoadConfig};
 use sr_asic::table::{ExactMatchTable, MatchMode, TableSpec};
 use sr_hash::cuckoo::{CuckooError, InsertOutcome, LookupHit};
-use sr_types::{Dip, Nanos, PoolVersion, TupleKey, Vip};
+use sr_types::{Nanos, PoolVersion, TupleKey, Vip};
 
-/// Value stored per connection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ConnValue {
-    /// The VIP the connection targets.
-    pub vip: Vip,
-    /// The DIP-pool version the connection is pinned to (always tracked for
-    /// refcounting, even in direct-DIP mode).
-    pub version: PoolVersion,
-    /// The DIP resolved at learn time (authoritative in
-    /// [`ConnMapping::DirectDip`] mode).
-    pub dip: Dip,
-    /// First-packet arrival time (drives the 3-step update bookkeeping).
-    pub arrived: Nanos,
-}
+/// Value stored per connection — field-for-field the algorithm boundary's
+/// [`sr_algo::ConnRecord`] (vip, pinned version, learn-time DIP, arrival
+/// time), so SilkRoad's table plugs into the zoo without translation.
+pub type ConnValue = sr_algo::ConnRecord;
 
 /// The ConnTable.
 pub struct ConnTable {
@@ -72,6 +62,11 @@ impl ConnTable {
     /// The configured mapping mode.
     pub fn mapping(&self) -> ConnMapping {
         self.mapping
+    }
+
+    /// The per-entry SRAM spec (digest / action / overhead widths).
+    pub fn spec(&self) -> &TableSpec {
+        self.table.spec()
     }
 
     /// ASIC lookup.
@@ -294,7 +289,7 @@ impl ConnTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sr_types::Addr;
+    use sr_types::{Addr, Dip};
 
     fn value(ver: u16) -> ConnValue {
         ConnValue {

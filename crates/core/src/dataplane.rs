@@ -9,11 +9,10 @@
 use sr_hash::{hash_all, HashFn};
 use sr_types::{Dip, FiveTuple, PoolVersion, RewriteMode, RewriteOp, TupleKey};
 
-/// Upper bound on the hash functions the packet path evaluates *eagerly*
-/// (ConnTable stages + digest + ECMP select). The paper's switch uses
-/// 4 + 1 + 1; the bound is kept tight because [`HashedKey`] lives on the
-/// hot path's stack.
-pub const MAX_PACKET_HASHES: usize = 8;
+// The packet-time hash bundle and its lane bound are defined at the
+// algorithm boundary (`sr-algo`), shared by every zoo member; SilkRoad's
+// learn→install pipeline carries the same type.
+pub use sr_algo::{ConnHashes, MAX_PACKET_HASHES};
 
 /// Upper bound on the TransitTable bloom ways hashed lazily on the miss
 /// path (the paper uses 4).
@@ -137,48 +136,7 @@ impl HashedKey {
         let mut stage_hashes = [0u64; MAX_PACKET_HASHES];
         let stages = usize::from(self.conn_stages);
         stage_hashes[..stages].copy_from_slice(&self.vals[..stages]);
-        ConnHashes {
-            stage_hashes,
-            stages: self.conn_stages,
-            match_hash: self.conn_match_hash(),
-        }
-    }
-}
-
-/// The ConnTable hash values a learn event carries from packet time to
-/// install time ([`HashedKey::conn_hashes`]). `Copy` and fixed-size so the
-/// whole learn→CPU→install journey stays allocation-free.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ConnHashes {
-    stage_hashes: [u64; MAX_PACKET_HASHES],
-    stages: u8,
-    match_hash: u64,
-}
-
-impl ConnHashes {
-    /// A placeholder with no usable hashes (`stages() == 0`); install paths
-    /// fall back to re-hashing the key when they meet one.
-    pub fn empty() -> ConnHashes {
-        ConnHashes {
-            stage_hashes: [0u64; MAX_PACKET_HASHES],
-            stages: 0,
-            match_hash: 0,
-        }
-    }
-
-    /// Per-stage ConnTable bucket hashes.
-    pub fn stage_hashes(&self) -> &[u64] {
-        &self.stage_hashes[..usize::from(self.stages)]
-    }
-
-    /// The ConnTable match-field (digest) hash.
-    pub fn match_hash(&self) -> u64 {
-        self.match_hash
-    }
-
-    /// Number of stage hashes captured (0 for [`ConnHashes::empty`]).
-    pub fn stages(&self) -> usize {
-        usize::from(self.stages)
+        ConnHashes::from_parts(stage_hashes, self.conn_stages, self.conn_match_hash())
     }
 }
 

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo_impl;
 pub mod config;
 pub mod conn_table;
 pub mod control;

@@ -10,6 +10,7 @@
 //! * **digest + version** — 16-bit digest key, 6-bit version action, plus
 //!   the DIPPoolTable indirection.
 
+use sr_algo::cost::{self, ConnStateDesign};
 use sr_asic::sram::SramSpec;
 use sr_types::AddrFamily;
 
@@ -30,6 +31,25 @@ pub enum MemoryDesign {
         /// Version width in bits.
         version_bits: u8,
     },
+}
+
+impl MemoryDesign {
+    /// The algorithm-boundary layout this design costs as. The figures'
+    /// designs and the comparison matrix share `sr_algo::cost` as the one
+    /// formula for entry bits.
+    pub fn conn_design(self) -> ConnStateDesign {
+        match self {
+            MemoryDesign::Naive => ConnStateDesign::NaiveExact,
+            MemoryDesign::DigestOnly { digest_bits } => ConnStateDesign::Digest { digest_bits },
+            MemoryDesign::DigestVersion {
+                digest_bits,
+                version_bits,
+            } => ConnStateDesign::DigestVersion {
+                digest_bits,
+                version_bits,
+            },
+        }
+    }
 }
 
 /// Inputs to the memory model.
@@ -72,47 +92,32 @@ impl MemoryBreakdown {
     }
 }
 
-/// Per-entry packing overhead bits (instruction + next-table address, §6).
-const OVERHEAD_BITS: u32 = 6;
-
-/// SRAM layout of one VIPTable row for `family`: VIP key (addr + port +
-/// proto) plus old/new version actions. Shared by the analytic model and
-/// the live switch's [`crate::SilkRoadSwitch::memory`] accounting so the
-/// two can never drift apart.
+/// SRAM layout of one VIPTable row for `family`. Shared by the analytic
+/// model, the live switch's [`crate::SilkRoadSwitch::memory`] accounting,
+/// and the comparison matrix (all delegate to `sr_algo::cost`) so the
+/// numbers can never drift apart.
 pub(crate) fn vip_row_spec(family: AddrFamily) -> SramSpec {
-    let vip_key_bits = 8 * (family.addr_bytes() as u32 + 2) + 8;
     SramSpec {
-        entry_bits: vip_key_bits + 2 * 6 + OVERHEAD_BITS,
+        entry_bits: cost::vip_row_bits(family),
     }
 }
 
 /// SRAM layout of one DIPPoolTable row header: (VIP index, version) key.
 pub(crate) fn pool_row_spec(version_bits: u8) -> SramSpec {
     SramSpec {
-        entry_bits: 32 + version_bits as u32 + OVERHEAD_BITS,
+        entry_bits: cost::pool_row_bits(version_bits),
     }
 }
 
 /// SRAM layout of one DIPPoolTable member (DIP + port action datum).
 pub(crate) fn pool_member_spec(family: AddrFamily) -> SramSpec {
     SramSpec {
-        entry_bits: 8 * family.dip_action_bytes() as u32,
+        entry_bits: cost::pool_member_bits(family),
     }
 }
 
 fn conn_entry_bits(design: MemoryDesign, family: AddrFamily) -> u32 {
-    let key_bits = 8 * family.five_tuple_bytes() as u32;
-    let action_full = 8 * family.dip_action_bytes() as u32;
-    match design {
-        MemoryDesign::Naive => key_bits + action_full + OVERHEAD_BITS,
-        MemoryDesign::DigestOnly { digest_bits } => {
-            digest_bits as u32 + action_full + OVERHEAD_BITS
-        }
-        MemoryDesign::DigestVersion {
-            digest_bits,
-            version_bits,
-        } => digest_bits as u32 + version_bits as u32 + OVERHEAD_BITS,
-    }
+    cost::conn_entry_bits(design.conn_design(), family)
 }
 
 /// Compute the SRAM demand of a design on the given inputs.

@@ -12,6 +12,9 @@
 //!   encapsulation, into a caller-provided buffer;
 //! * [`checksum`] — the one's-complement arithmetic both sides share;
 //! * [`emit`] — deterministic frame synthesis (the parser's inverse);
+//! * [`stamp`] — DSCP pool-version stamping (the Concury zoo member's
+//!   version-in-packet steering, `sr_algo::concury`, realized on the
+//!   wire);
 //! * [`pcap`] — classic pcap reading (zero-copy) and writing, no
 //!   external dependencies;
 //! * [`export`] — turning an `sr_workload` synthetic trace into a pcap
@@ -28,12 +31,14 @@ pub mod export;
 pub mod parse;
 pub mod pcap;
 pub mod rewrite;
+pub mod stamp;
 
 pub use emit::{build_frame, min_frame_len, FrameSpec};
 pub use export::{export_trace, ExportStats};
 pub use parse::{parse_frame, Parsed};
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};
 pub use rewrite::{rewrite_frame, verify_checksums, ENCAP_HEADROOM};
+pub use stamp::{parse_version, stamp_version, MAX_VERSION};
 
 use std::fmt;
 

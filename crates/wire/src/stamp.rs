@@ -1,0 +1,206 @@
+//! DSCP version stamping — Concury's on-wire realization.
+//!
+//! The Concury zoo member (`sr_algo::concury`) steers steady-state flows
+//! by the pool version the flow was born under, carried *in the packet*
+//! instead of in switch SRAM. This module is the wire half of that claim:
+//! the 6-bit version rides in the IP DSCP field — the top six bits of the
+//! IPv4 TOS byte, or of the IPv6 traffic class.
+//!
+//! [`stamp_version`] patches a raw frame in place (updating the IPv4
+//! header checksum incrementally per RFC 1624; IPv6 has no header
+//! checksum), and [`parse_version`] reads the stamp back. The proptests in
+//! `tests/properties.rs` prove the round trip lossless for both families
+//! and every 6-bit version, with the frame's tuple and checksums intact —
+//! the property Concury's PCC argument rests on.
+
+use crate::checksum::incremental_update;
+use crate::WireError;
+use sr_types::frame::{ETHERTYPE_IPV4, ETHERTYPE_IPV6, ETH_HDR_LEN};
+
+/// Width of the DSCP field (and thus of a stamped pool version).
+pub const VERSION_BITS: u32 = 6;
+
+/// Largest stampable version tag (`2^6 - 1`).
+pub const MAX_VERSION: u8 = (1 << VERSION_BITS) - 1;
+
+#[inline]
+fn ethertype(frame: &[u8]) -> Result<u16, WireError> {
+    let hi = frame.get(12).copied().ok_or(WireError::Truncated)?;
+    let lo = frame.get(13).copied().ok_or(WireError::Truncated)?;
+    Ok(u16::from_be_bytes([hi, lo]))
+}
+
+/// Write `version` into the frame's DSCP bits, preserving the ECN bits
+/// (IPv4) / ECN and flow label (IPv6). For IPv4 the header checksum is
+/// updated incrementally over the changed word, so the frame still
+/// verifies. Errors on truncated frames, non-IP ethertypes, and versions
+/// wider than [`VERSION_BITS`].
+pub fn stamp_version(frame: &mut [u8], version: u8) -> Result<(), WireError> {
+    if version > MAX_VERSION {
+        return Err(WireError::BadHeader("version wider than DSCP"));
+    }
+    let l3 = ETH_HDR_LEN;
+    match ethertype(frame)? {
+        ETHERTYPE_IPV4 => {
+            // TOS byte: DSCP in the top 6 bits, ECN in the low 2.
+            let tos_at = l3 + 1;
+            let old_tos = frame.get(tos_at).copied().ok_or(WireError::Truncated)?;
+            let new_tos = (version << 2) | (old_tos & 0x03);
+            if new_tos == old_tos {
+                return Ok(());
+            }
+            // The TOS byte lives in the header's first 16-bit word
+            // (version/IHL, TOS); patch the stored checksum over it.
+            let ver_ihl = frame.get(l3).copied().ok_or(WireError::Truncated)?;
+            let ck_at = l3 + 10;
+            let ck_hi = frame.get(ck_at).copied().ok_or(WireError::Truncated)?;
+            let ck_lo = frame.get(ck_at + 1).copied().ok_or(WireError::Truncated)?;
+            let old_ck = u16::from_be_bytes([ck_hi, ck_lo]);
+            let new_ck = incremental_update(old_ck, &[ver_ihl, old_tos], &[ver_ihl, new_tos]);
+            if let Some(b) = frame.get_mut(tos_at) {
+                *b = new_tos;
+            }
+            let new_ck_bytes = new_ck.to_be_bytes();
+            if let Some(b) = frame.get_mut(ck_at) {
+                *b = new_ck_bytes[0];
+            }
+            if let Some(b) = frame.get_mut(ck_at + 1) {
+                *b = new_ck_bytes[1];
+            }
+            Ok(())
+        }
+        ETHERTYPE_IPV6 => {
+            // Traffic class spans the low nibble of byte 0 and the high
+            // nibble of byte 1; DSCP is its top 6 bits. No checksum.
+            let b0 = frame.get(l3).copied().ok_or(WireError::Truncated)?;
+            let b1 = frame.get(l3 + 1).copied().ok_or(WireError::Truncated)?;
+            let tc = ((b0 & 0x0f) << 4) | (b1 >> 4);
+            let new_tc = (version << 2) | (tc & 0x03);
+            if let Some(b) = frame.get_mut(l3) {
+                *b = (b0 & 0xf0) | (new_tc >> 4);
+            }
+            if let Some(b) = frame.get_mut(l3 + 1) {
+                *b = ((new_tc & 0x0f) << 4) | (b1 & 0x0f);
+            }
+            Ok(())
+        }
+        other => Err(WireError::UnsupportedEtherType(other)),
+    }
+}
+
+/// Read the stamped version (the DSCP bits) back out of a frame.
+pub fn parse_version(frame: &[u8]) -> Result<u8, WireError> {
+    let l3 = ETH_HDR_LEN;
+    match ethertype(frame)? {
+        ETHERTYPE_IPV4 => {
+            let tos = frame.get(l3 + 1).copied().ok_or(WireError::Truncated)?;
+            Ok(tos >> 2)
+        }
+        ETHERTYPE_IPV6 => {
+            let b0 = frame.get(l3).copied().ok_or(WireError::Truncated)?;
+            let b1 = frame.get(l3 + 1).copied().ok_or(WireError::Truncated)?;
+            let tc = ((b0 & 0x0f) << 4) | (b1 >> 4);
+            Ok(tc >> 2)
+        }
+        other => Err(WireError::UnsupportedEtherType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{build_frame, FrameSpec};
+    use crate::parse::parse_frame;
+    use crate::rewrite::verify_checksums;
+    use sr_types::{Addr, FiveTuple, Protocol, TcpFlags};
+
+    fn v4_frame() -> Vec<u8> {
+        let mut buf = vec![0u8; 256];
+        let n = build_frame(
+            &FrameSpec {
+                tuple: FiveTuple::tcp(Addr::v4(100, 0, 0, 1, 4242), Addr::v4(20, 0, 0, 1, 80)),
+                flags: TcpFlags::SYN,
+                wire_len: 54,
+                seq: 7,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(n);
+        buf
+    }
+
+    fn v6_frame() -> Vec<u8> {
+        let mut buf = vec![0u8; 256];
+        let n = build_frame(
+            &FrameSpec {
+                tuple: FiveTuple {
+                    src: Addr::v6_indexed(1, 9, 5353),
+                    dst: Addr::v6_indexed(2, 3, 53),
+                    proto: Protocol::Udp,
+                },
+                flags: TcpFlags::NONE,
+                wire_len: 80,
+                seq: 0,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(n);
+        buf
+    }
+
+    #[test]
+    fn v4_round_trip_preserves_checksums_and_tuple() {
+        let mut f = v4_frame();
+        let before = parse_frame(&f).unwrap();
+        stamp_version(&mut f, 42).unwrap();
+        assert_eq!(parse_version(&f).unwrap(), 42);
+        verify_checksums(&f).unwrap();
+        let after = parse_frame(&f).unwrap();
+        assert_eq!(after.meta.tuple, before.meta.tuple);
+    }
+
+    #[test]
+    fn v6_round_trip_preserves_tuple() {
+        let mut f = v6_frame();
+        let before = parse_frame(&f).unwrap();
+        stamp_version(&mut f, 63).unwrap();
+        assert_eq!(parse_version(&f).unwrap(), 63);
+        let after = parse_frame(&f).unwrap();
+        assert_eq!(after.meta.tuple, before.meta.tuple);
+    }
+
+    #[test]
+    fn restamping_overwrites() {
+        let mut f = v4_frame();
+        stamp_version(&mut f, 10).unwrap();
+        stamp_version(&mut f, 20).unwrap();
+        assert_eq!(parse_version(&f).unwrap(), 20);
+        verify_checksums(&f).unwrap();
+    }
+
+    #[test]
+    fn wide_version_rejected() {
+        let mut f = v4_frame();
+        assert!(matches!(
+            stamp_version(&mut f, 64),
+            Err(WireError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_and_non_ip_rejected() {
+        let mut short = v4_frame();
+        short.truncate(10);
+        assert_eq!(stamp_version(&mut short, 1), Err(WireError::Truncated));
+        assert_eq!(parse_version(&short), Err(WireError::Truncated));
+        let mut arp = v4_frame();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(matches!(
+            stamp_version(&mut arp, 1),
+            Err(WireError::UnsupportedEtherType(_))
+        ));
+    }
+}

@@ -14,7 +14,10 @@
 use proptest::prelude::*;
 use sr_types::{Addr, FiveTuple, Protocol, TcpFlags};
 use sr_wire::checksum;
-use sr_wire::{build_frame, min_frame_len, parse_frame, verify_checksums, FrameSpec};
+use sr_wire::{
+    build_frame, min_frame_len, parse_frame, parse_version, stamp_version, verify_checksums,
+    FrameSpec,
+};
 
 /// Replace the even-aligned span `[at, at + new.len())` of `data` with
 /// `new` and check that the RFC 1624 incremental update of the stored
@@ -138,5 +141,36 @@ proptest! {
         let n = build_frame(&spec, &mut buf).unwrap();
         let cut = cut_raw % n;
         prop_assert!(parse_frame(&buf[..cut]).is_err());
+    }
+
+    /// Concury's version stamp round-trips losslessly through the wire
+    /// for any frame (v4 and v6) and any 6-bit version: stamp → parse
+    /// recovers the version, the checksums still verify, and the frame's
+    /// 5-tuple — what the switch steers on — is untouched. Stamping twice
+    /// (edge re-stamp after a pool update) behaves the same.
+    #[test]
+    fn version_stamp_roundtrip_is_lossless(
+        spec in arb_spec(),
+        version in 0u8..64,
+        restamp_raw in 0u8..128,
+    ) {
+        // Low half: no re-stamp; high half: re-stamp with (raw - 64).
+        let restamp = restamp_raw.checked_sub(64);
+        let mut buf = vec![0u8; 2048];
+        let n = build_frame(&spec, &mut buf).unwrap();
+        buf.truncate(n);
+        let before = parse_frame(&buf).unwrap();
+        stamp_version(&mut buf, version).unwrap();
+        let mut want = version;
+        if let Some(v2) = restamp {
+            stamp_version(&mut buf, v2).unwrap();
+            want = v2;
+        }
+        prop_assert_eq!(parse_version(&buf).unwrap(), want);
+        verify_checksums(&buf).unwrap();
+        let after = parse_frame(&buf).unwrap();
+        prop_assert_eq!(after.meta.tuple, before.meta.tuple);
+        prop_assert_eq!(after.meta.flags, before.meta.flags);
+        prop_assert_eq!(after.meta.len, before.meta.len);
     }
 }

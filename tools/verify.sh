@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(
-    silkroad-lb sr-types sr-hash sr-asic sr-p4 silkroad sr-exec
+    silkroad-lb sr-types sr-hash sr-asic sr-p4 sr-algo silkroad sr-exec
     sr-baselines sr-workload sr-sim sr-netwide sr-wire sr-bench srlint
 )
 PKG_FLAGS=()
@@ -88,6 +88,17 @@ CHURN_TMP="$(mktemp -d)"
     "$OLDPWD/target/release/repro" churn --smoke --flood > /dev/null
 )
 rm -rf "$CHURN_TMP"
+
+# Compare smoke: the cross-algorithm matrix — every sr-algo zoo member
+# (silkroad, concury, cucotrack, hybrid) through the identical churn +
+# pool-update workload. Hard gates inside the binary: all four layouts
+# srcheck-placeable, zero stamp round-trip losses, SilkRoad zero PCC
+# violations, Concury's SRAM bytes/conn below SilkRoad's, and CuCoTrack
+# reporting a nonzero audited false-hit rate.
+echo "== repro compare --smoke (cross-algorithm matrix + gates)"
+COMPARE_TMP="$(mktemp -d)"
+( cd "$COMPARE_TMP" && "$OLDPWD/target/release/repro" compare --smoke > /dev/null )
+rm -rf "$COMPARE_TMP"
 
 # Replay smoke: regenerate the smoke capture from the deterministic
 # exporter, require it byte-identical to the committed golden, replay it,
